@@ -1,0 +1,151 @@
+//! The runtime QoS controller (§4.1).
+//!
+//! "To find a proper level of accuracy, our framework computes APIM at the
+//! maximum level of approximation (32 relax bits). In case of large
+//! inaccuracy, it increases the level of accuracy in 4-bit steps until
+//! ensuring the acceptable quality of service."
+
+use apim_logic::PrecisionMode;
+
+/// Outcome of an adaptive tuning session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TuneOutcome {
+    /// The selected precision mode (the most aggressive acceptable one).
+    pub mode: PrecisionMode,
+    /// Number of candidate levels evaluated.
+    pub trials: u32,
+}
+
+/// The adaptive precision controller.
+///
+/// Generic over an acceptance oracle so it can drive either real kernel
+/// runs (`apim-workloads`) or analytic error estimates.
+///
+/// ```
+/// use apim_arch::{AdaptiveController, PrecisionMode};
+///
+/// // An application that tolerates at most 12 relaxed bits.
+/// let outcome = AdaptiveController::paper().tune(|mode| {
+///     mode.relaxed_product_bits() <= 12
+/// });
+/// assert_eq!(outcome.mode, PrecisionMode::LastStage { relax_bits: 12 });
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveController {
+    /// The starting (maximum) number of relax bits.
+    pub max_relax_bits: u8,
+    /// Accuracy step per iteration, bits.
+    pub step_bits: u8,
+}
+
+impl AdaptiveController {
+    /// The paper's controller: start at 32 relax bits, step by 4.
+    pub fn paper() -> Self {
+        AdaptiveController {
+            max_relax_bits: 32,
+            step_bits: 4,
+        }
+    }
+
+    /// Finds the most aggressive acceptable approximation level.
+    ///
+    /// `accept` is called with candidate modes from the maximum relaxation
+    /// downward in `step_bits` decrements; tuning stops at the first
+    /// accepted candidate. If even `relax_bits = 0` is rejected the
+    /// outcome falls back to [`PrecisionMode::Exact`].
+    pub fn tune<F>(&self, mut accept: F) -> TuneOutcome
+    where
+        F: FnMut(PrecisionMode) -> bool,
+    {
+        let mut trials = 0;
+        let mut m = i32::from(self.max_relax_bits);
+        let step = i32::from(self.step_bits.max(1));
+        loop {
+            let mode = if m > 0 {
+                PrecisionMode::LastStage {
+                    relax_bits: m as u8,
+                }
+            } else {
+                PrecisionMode::Exact
+            };
+            trials += 1;
+            if accept(mode) {
+                return TuneOutcome { mode, trials };
+            }
+            if m <= 0 {
+                // Even exact was rejected — the oracle is judging something
+                // other than approximation error; report exact.
+                return TuneOutcome {
+                    mode: PrecisionMode::Exact,
+                    trials,
+                };
+            }
+            m -= step;
+            if m < 0 {
+                m = 0;
+            }
+        }
+    }
+}
+
+impl Default for AdaptiveController {
+    fn default() -> Self {
+        AdaptiveController::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_maximum_when_tolerant() {
+        let outcome = AdaptiveController::paper().tune(|_| true);
+        assert_eq!(outcome.mode, PrecisionMode::LastStage { relax_bits: 32 });
+        assert_eq!(outcome.trials, 1);
+    }
+
+    #[test]
+    fn steps_down_in_4_bit_increments() {
+        // Accept at <= 20 relaxed bits: 32, 28, 24, 20 -> 4 trials.
+        let outcome = AdaptiveController::paper().tune(|mode| mode.relaxed_product_bits() <= 20);
+        assert_eq!(outcome.mode, PrecisionMode::LastStage { relax_bits: 20 });
+        assert_eq!(outcome.trials, 4);
+    }
+
+    #[test]
+    fn falls_back_to_exact() {
+        let outcome = AdaptiveController::paper().tune(|mode| !mode.is_approximate());
+        assert_eq!(outcome.mode, PrecisionMode::Exact);
+        // 32,28,24,20,16,12,8,4 rejected; 0 accepted as Exact.
+        assert_eq!(outcome.trials, 9);
+    }
+
+    #[test]
+    fn rejecting_everything_still_terminates() {
+        let outcome = AdaptiveController::paper().tune(|_| false);
+        assert_eq!(outcome.mode, PrecisionMode::Exact);
+        assert_eq!(outcome.trials, 9);
+    }
+
+    #[test]
+    fn custom_step_sizes() {
+        let ctl = AdaptiveController {
+            max_relax_bits: 16,
+            step_bits: 8,
+        };
+        let outcome = ctl.tune(|mode| mode.relaxed_product_bits() <= 8);
+        assert_eq!(outcome.mode, PrecisionMode::LastStage { relax_bits: 8 });
+        assert_eq!(outcome.trials, 2);
+    }
+
+    #[test]
+    fn zero_step_is_clamped() {
+        let ctl = AdaptiveController {
+            max_relax_bits: 4,
+            step_bits: 0,
+        };
+        let outcome = ctl.tune(|mode| !mode.is_approximate());
+        assert_eq!(outcome.mode, PrecisionMode::Exact);
+    }
+}

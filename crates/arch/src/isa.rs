@@ -1,0 +1,171 @@
+//! Controller-level operation traces.
+//!
+//! The APIM memory controller (Figure 1(b)) dispatches whole arithmetic
+//! macro-operations to processing blocks; a [`Trace`] is the sequence a
+//! compiled kernel issues. The executor costs traces with the analytic
+//! model and schedules independent ops across parallel block pairs.
+
+use apim_logic::PrecisionMode;
+use std::fmt;
+
+/// One controller-level operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Multiply two `bits`-wide operands under `mode`. `multiplier_ones`
+    /// is the set-bit count of the multiplier when known (`None` → model
+    /// the random-data average, §3.3).
+    Mul {
+        /// Operand width.
+        bits: u32,
+        /// Known multiplier density, if any.
+        multiplier_ones: Option<u32>,
+        /// Precision mode for this multiplication.
+        mode: PrecisionMode,
+    },
+    /// Add two `bits`-wide operands with the serial adder.
+    Add {
+        /// Operand width.
+        bits: u32,
+    },
+    /// Reduce `operands` values of `bits` bits with the Wallace-tree fast
+    /// adder (§3.2).
+    SumReduce {
+        /// Number of addends.
+        operands: u32,
+        /// Addend width.
+        bits: u32,
+    },
+    /// A fused multiply-accumulate group: `group` truncated products into
+    /// one tree + one final stage.
+    Mac {
+        /// Products in the group.
+        group: u32,
+        /// Operand width.
+        bits: u32,
+        /// Precision mode.
+        mode: PrecisionMode,
+    },
+    /// Restoring division of `bits`-bit operands (extension).
+    Divide {
+        /// Operand width.
+        bits: u32,
+    },
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Mul { bits, mode, .. } => write!(f, "mul{bits} [{mode}]"),
+            Op::Add { bits } => write!(f, "add{bits}"),
+            Op::SumReduce { operands, bits } => write!(f, "sum{operands}x{bits}"),
+            Op::Mac { group, bits, mode } => write!(f, "mac{group}x{bits} [{mode}]"),
+            Op::Divide { bits } => write!(f, "div{bits}"),
+        }
+    }
+}
+
+/// A sequence of controller operations. Ops are assumed independent for
+/// scheduling purposes (kernels over distinct elements), which matches the
+/// data-parallel OpenCL workloads of the evaluation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    ops: Vec<Op>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an operation.
+    pub fn push(&mut self, op: Op) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Appends `count` copies of an operation.
+    pub fn push_many(&mut self, op: Op, count: usize) -> &mut Self {
+        self.ops.extend(std::iter::repeat_n(op, count));
+        self
+    }
+
+    /// The operations in issue order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+impl FromIterator<Op> for Trace {
+    fn from_iter<I: IntoIterator<Item = Op>>(iter: I) -> Self {
+        Trace {
+            ops: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Op> for Trace {
+    fn extend<I: IntoIterator<Item = Op>>(&mut self, iter: I) {
+        self.ops.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_push_many() {
+        let mut t = Trace::new();
+        t.push(Op::Add { bits: 32 });
+        t.push_many(
+            Op::Mul {
+                bits: 32,
+                multiplier_ones: None,
+                mode: PrecisionMode::Exact,
+            },
+            3,
+        );
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let t: Trace = (0..5).map(|_| Op::Add { bits: 16 }).collect();
+        assert_eq!(t.len(), 5);
+        let mut t2 = Trace::new();
+        t2.extend(t.ops().iter().copied());
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let op = Op::SumReduce {
+            operands: 9,
+            bits: 16,
+        };
+        assert_eq!(op.to_string(), "sum9x16");
+        assert_eq!(Op::Add { bits: 8 }.to_string(), "add8");
+        assert_eq!(Op::Divide { bits: 8 }.to_string(), "div8");
+        assert_eq!(
+            Op::Mac {
+                group: 4,
+                bits: 32,
+                mode: PrecisionMode::Exact
+            }
+            .to_string(),
+            "mac4x32 [exact]"
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! The APIM architecture layer.
+//!
+//! Sits between the arithmetic stack (`apim-logic`) and whole applications:
+//!
+//! * [`config`] — sizing and configuration of an APIM memory device
+//!   (capacity, parallel processing-block pairs, operand width, precision).
+//! * [`isa`] — the controller-level operation trace ([`isa::Op`],
+//!   [`isa::Trace`]): what the memory controller dispatches.
+//! * [`memmap`] — dataset placement across crossbar tiles: address
+//!   translation and the tile-count bound on usable parallelism.
+//! * [`scheduler`] — maps independent operations onto the device's parallel
+//!   processing-block pairs (makespan model).
+//! * [`executor`] — costs traces and whole application profiles using the
+//!   analytic [`apim_logic::CostModel`]; this is what regenerates Figure 5
+//!   and the EDP columns of Table 1 at GB scale.
+//! * [`adaptive`] — the runtime QoS controller of §4.1: start from the
+//!   maximum approximation (32 relax bits) and step accuracy up 4 bits at a
+//!   time until the application's quality threshold holds.
+//! * [`report`] — cost/comparison report types with table-friendly
+//!   [`std::fmt::Display`] impls.
+//! * [`thermal`] — the lumped thermal-envelope check a PIM DIMM deployment
+//!   needs (dissipation happens in the memory module).
+//!
+//! # Example
+//!
+//! ```
+//! use apim_arch::{ApimConfig, Executor};
+//! use apim_baselines::AppProfile;
+//!
+//! # fn main() -> Result<(), apim_arch::ArchError> {
+//! let exec = Executor::new(ApimConfig::default())?;
+//! let cost = exec.run_profile(&AppProfile::sobel(), 256 << 20)?;
+//! assert!(cost.time.as_secs() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod adaptive;
+pub mod config;
+pub mod executor;
+pub mod isa;
+pub mod memmap;
+pub mod report;
+pub mod scheduler;
+pub mod thermal;
+
+pub use adaptive::{AdaptiveController, TuneOutcome};
+pub use config::{ApimConfig, ApimConfigBuilder, ArchError};
+pub use executor::Executor;
+pub use isa::{Op, Trace};
+pub use report::{ApimCost, Comparison};
+pub use thermal::ThermalModel;
+
+// The precision type is defined beside the multiplier but is part of the
+// architecture's public vocabulary.
+pub use apim_logic::{PrecisionError, PrecisionMode};

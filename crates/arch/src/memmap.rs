@@ -1,0 +1,222 @@
+//! Dataset placement across crossbar tiles.
+//!
+//! An APIM main memory is a sea of crossbar *tiles* (one data block plus
+//! its processing blocks and shared controllers, Figure 1(a)). A resident
+//! dataset is striped across tiles; computation on it can only use the
+//! processing blocks of the tiles that actually hold data — which is why
+//! a sub-tile working set cannot light up thousands of parallel units.
+//! Data is striped across tiles at *row* granularity (consecutive data
+//! rows land on consecutive tiles), so realistic datasets spread wide and
+//! the paper's fixed-parallelism, linear-scaling regime (§4.2) holds; the
+//! executor clamps its parallelism with
+//! [`MemoryMap::effective_parallel_units`], which only binds for datasets
+//! smaller than one row per unit.
+
+use crate::config::ArchError;
+
+/// Geometry of one tile's data block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileGeometry {
+    /// Wordlines per block.
+    pub rows: usize,
+    /// Bitlines per block.
+    pub cols: usize,
+}
+
+impl TileGeometry {
+    /// The paper-scale default: 1024 × 1024 cells per block (128 KiB of
+    /// data per tile).
+    pub fn paper() -> Self {
+        TileGeometry {
+            rows: 1024,
+            cols: 1024,
+        }
+    }
+
+    /// Data bytes stored per tile.
+    pub fn bytes_per_tile(&self) -> u64 {
+        (self.rows as u64 * self.cols as u64) / 8
+    }
+}
+
+impl Default for TileGeometry {
+    fn default() -> Self {
+        TileGeometry::paper()
+    }
+}
+
+/// Physical location of a byte within the memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Location {
+    /// Tile index.
+    pub tile: u64,
+    /// Wordline within the tile's data block.
+    pub row: usize,
+    /// First bit cell of the byte within the wordline.
+    pub col_bit: usize,
+}
+
+/// The address map of an APIM memory device.
+///
+/// ```
+/// use apim_arch::memmap::{MemoryMap, TileGeometry};
+///
+/// # fn main() -> Result<(), apim_arch::ArchError> {
+/// let map = MemoryMap::new(1 << 30, TileGeometry::paper())?;
+/// assert_eq!(map.tiles(), 8192);
+/// let loc = map.translate(128 + 5)?; // second data row -> second tile
+/// assert_eq!(loc.tile, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryMap {
+    capacity_bytes: u64,
+    geometry: TileGeometry,
+    tiles: u64,
+}
+
+impl MemoryMap {
+    /// Builds the map for a device of `capacity_bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidConfig`] if the capacity does not hold
+    /// at least one tile.
+    pub fn new(capacity_bytes: u64, geometry: TileGeometry) -> Result<Self, ArchError> {
+        let per_tile = geometry.bytes_per_tile();
+        if per_tile == 0 {
+            return Err(ArchError::InvalidConfig(
+                "tile geometry stores no data".into(),
+            ));
+        }
+        let tiles = capacity_bytes / per_tile;
+        if tiles == 0 {
+            return Err(ArchError::InvalidConfig(format!(
+                "capacity {capacity_bytes} smaller than one tile ({per_tile} B)"
+            )));
+        }
+        Ok(MemoryMap {
+            capacity_bytes,
+            geometry,
+            tiles,
+        })
+    }
+
+    /// Number of tiles.
+    pub fn tiles(&self) -> u64 {
+        self.tiles
+    }
+
+    /// The tile geometry.
+    pub fn geometry(&self) -> TileGeometry {
+        self.geometry
+    }
+
+    /// Translates a byte address to its physical location.
+    ///
+    /// Striping is row-interleaved: data row `r` lands on tile
+    /// `r mod tiles`, wordline `r / tiles` — consecutive rows spread
+    /// across tiles so computation parallelizes even for modest datasets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::DatasetTooLarge`] for addresses beyond the
+    /// mapped capacity.
+    pub fn translate(&self, byte_addr: u64) -> Result<Location, ArchError> {
+        let per_tile = self.geometry.bytes_per_tile();
+        let mapped = self.tiles * per_tile;
+        if byte_addr >= mapped {
+            return Err(ArchError::DatasetTooLarge {
+                dataset_bytes: byte_addr + 1,
+                capacity_bytes: mapped,
+            });
+        }
+        let bytes_per_row = (self.geometry.cols / 8) as u64;
+        let data_row = byte_addr / bytes_per_row;
+        Ok(Location {
+            tile: data_row % self.tiles,
+            row: (data_row / self.tiles) as usize,
+            col_bit: ((byte_addr % bytes_per_row) * 8) as usize,
+        })
+    }
+
+    /// Tiles touched by a dataset of the given size (row-interleaved
+    /// striping: one tile per data row until every tile holds data).
+    pub fn tiles_for(&self, dataset_bytes: u64) -> u64 {
+        let bytes_per_row = (self.geometry.cols / 8) as u64;
+        dataset_bytes.div_ceil(bytes_per_row).clamp(1, self.tiles)
+    }
+
+    /// The parallelism actually available to a dataset: no more units than
+    /// tiles holding its data, and never more than the device offers.
+    pub fn effective_parallel_units(&self, dataset_bytes: u64, configured_units: u32) -> u32 {
+        u32::try_from(self.tiles_for(dataset_bytes))
+            .unwrap_or(u32::MAX)
+            .min(configured_units)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> MemoryMap {
+        MemoryMap::new(8 << 30, TileGeometry::paper()).unwrap()
+    }
+
+    #[test]
+    fn paper_geometry_is_128k_per_tile() {
+        assert_eq!(TileGeometry::paper().bytes_per_tile(), 128 * 1024);
+        assert_eq!(map().tiles(), 65536);
+    }
+
+    #[test]
+    fn translation_round_trips_structure() {
+        let m = map();
+        let bytes_per_row = 128u64;
+        let loc = m.translate(0).unwrap();
+        assert_eq!((loc.tile, loc.row, loc.col_bit), (0, 0, 0));
+        // Byte 127 is still data row 0; byte 128 starts row 1 -> tile 1.
+        let loc = m.translate(bytes_per_row - 1).unwrap();
+        assert_eq!((loc.tile, loc.row, loc.col_bit), (0, 0, 1016));
+        let loc = m.translate(bytes_per_row).unwrap();
+        assert_eq!((loc.tile, loc.row, loc.col_bit), (1, 0, 0));
+        // After one row on every tile, striping wraps to wordline 1.
+        let loc = m.translate(bytes_per_row * 65536).unwrap();
+        assert_eq!((loc.tile, loc.row, loc.col_bit), (0, 1, 0));
+    }
+
+    #[test]
+    fn translation_is_injective_on_samples() {
+        let m = map();
+        let mut seen = std::collections::HashSet::new();
+        for addr in (0..10_000_000u64).step_by(977) {
+            let loc = m.translate(addr).unwrap();
+            assert!(seen.insert((loc.tile, loc.row, loc.col_bit)), "addr {addr}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_addresses_error() {
+        let m = map();
+        assert!(m.translate((8u64 << 30) + 1).is_err());
+    }
+
+    #[test]
+    fn only_tiny_datasets_limit_parallelism() {
+        let m = map();
+        assert_eq!(m.effective_parallel_units(1, 2048), 1);
+        assert_eq!(m.effective_parallel_units(129, 2048), 2, "two data rows");
+        assert_eq!(m.effective_parallel_units(64 * 1024, 2048), 512);
+        // Anything beyond units x row_bytes uses the full device.
+        assert_eq!(m.effective_parallel_units(1 << 20, 2048), 2048);
+        assert_eq!(m.effective_parallel_units(1 << 30, 2048), 2048);
+    }
+
+    #[test]
+    fn capacity_must_hold_a_tile() {
+        assert!(MemoryMap::new(1024, TileGeometry::paper()).is_err());
+        assert!(MemoryMap::new(128 * 1024, TileGeometry::paper()).is_ok());
+    }
+}

@@ -1,0 +1,126 @@
+//! Cost and comparison reports.
+
+use apim_device::{Cycles, EnergyDelayProduct, Joules, Seconds};
+use std::fmt;
+
+/// Cost of one APIM execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApimCost {
+    /// Critical-path cycles (after parallel scheduling).
+    pub cycles: Cycles,
+    /// Wall-clock time.
+    pub time: Seconds,
+    /// Total energy across all active units.
+    pub energy: Joules,
+}
+
+impl ApimCost {
+    /// Energy-delay product.
+    pub fn edp(&self) -> EnergyDelayProduct {
+        self.energy * self.time
+    }
+
+    /// Average power draw over the run, watts — the number a deployment
+    /// compares against a memory module's thermal budget.
+    pub fn average_power_watts(&self) -> f64 {
+        if self.time.as_secs() == 0.0 {
+            0.0
+        } else {
+            self.energy.as_joules() / self.time.as_secs()
+        }
+    }
+}
+
+impl fmt::Display for ApimCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} | {} | EDP {}", self.time, self.energy, self.edp())
+    }
+}
+
+/// APIM vs a baseline, in the paper's "improvement ×" vocabulary
+/// (values > 1 mean APIM wins).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comparison {
+    /// `t_baseline / t_apim` — "Speed up (GPU=1)" of Figure 5.
+    pub speedup: f64,
+    /// `e_baseline / e_apim` — "Energy Improvement (GPU=1)".
+    pub energy_improvement: f64,
+    /// `edp_baseline / edp_apim` — the "EDP Imp." columns of Table 1.
+    pub edp_improvement: f64,
+}
+
+impl Comparison {
+    /// Compares an APIM cost against baseline time/energy.
+    pub fn against(apim: &ApimCost, baseline_time: Seconds, baseline_energy: Joules) -> Self {
+        Comparison {
+            speedup: baseline_time / apim.time,
+            energy_improvement: baseline_energy / apim.energy,
+            edp_improvement: (baseline_energy * baseline_time).as_joule_seconds()
+                / apim.edp().as_joule_seconds(),
+        }
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "speedup {:.2}x | energy {:.2}x | EDP {:.1}x",
+            self.speedup, self.energy_improvement, self.edp_improvement
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost() -> ApimCost {
+        ApimCost {
+            cycles: Cycles::new(1000),
+            time: Seconds::from_nanos(1100.0),
+            energy: Joules::from_picojoules(500.0),
+        }
+    }
+
+    #[test]
+    fn edp_is_product() {
+        let c = cost();
+        let expect = 500e-12 * 1100e-9;
+        assert!((c.edp().as_joule_seconds() - expect).abs() < 1e-24);
+    }
+
+    #[test]
+    fn average_power_is_energy_over_time() {
+        let c = cost();
+        let expect = 500e-12 / 1100e-9;
+        assert!((c.average_power_watts() - expect).abs() < 1e-9);
+        let zero = ApimCost {
+            cycles: Cycles::ZERO,
+            time: Seconds::ZERO,
+            energy: Joules::ZERO,
+        };
+        assert_eq!(zero.average_power_watts(), 0.0);
+    }
+
+    #[test]
+    fn comparison_ratios() {
+        let c = cost();
+        let cmp = Comparison::against(
+            &c,
+            Seconds::from_nanos(5500.0),
+            Joules::from_picojoules(2500.0),
+        );
+        assert!((cmp.speedup - 5.0).abs() < 1e-9);
+        assert!((cmp.energy_improvement - 5.0).abs() < 1e-9);
+        assert!((cmp.edp_improvement - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        let c = cost();
+        assert!(!c.to_string().is_empty());
+        let cmp = Comparison::against(&c, Seconds::from_nanos(1.0), Joules::new(1.0));
+        assert!(cmp.to_string().contains("speedup"));
+    }
+}

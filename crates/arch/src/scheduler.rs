@@ -1,0 +1,234 @@
+//! Parallel scheduling of independent operations onto block pairs.
+//!
+//! The evaluation workloads are data-parallel: each element's arithmetic is
+//! independent, so the controller spreads operations over the
+//! `parallel_units` active block pairs. The makespan of `k` independent
+//! jobs on `u` identical machines is lower-bounded by both the average
+//! load and the longest job:
+//!
+//! ```text
+//! makespan_lb = max(ceil(total_cycles / units), longest_op_cycles)
+//! ```
+//!
+//! [`makespan`]/[`makespan_uniform`] return that cycle-granular bound
+//! (jobs pipeline across rounds in the profile-level model);
+//! [`Schedule::lpt`] builds the explicit job-granular assignment, which
+//! trace-level costing uses.
+
+use apim_device::Cycles;
+
+/// Computes the parallel makespan of a set of jobs.
+///
+/// ```
+/// use apim_arch::scheduler::makespan;
+/// use apim_device::Cycles;
+/// let jobs = [Cycles::new(10), Cycles::new(10), Cycles::new(10), Cycles::new(10)];
+/// assert_eq!(makespan(&jobs, 2).get(), 20);
+/// assert_eq!(makespan(&jobs, 8).get(), 10, "bounded by the longest job");
+/// ```
+pub fn makespan(jobs: &[Cycles], units: u32) -> Cycles {
+    debug_assert!(units > 0);
+    let total: u64 = jobs.iter().map(|c| c.get()).sum();
+    let longest = jobs.iter().map(|c| c.get()).max().unwrap_or(0);
+    Cycles::new((total.div_ceil(u64::from(units))).max(longest))
+}
+
+/// One placed job in a [`Schedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Index of the job in the input list.
+    pub job: usize,
+    /// Unit executing it.
+    pub unit: u32,
+    /// Start cycle.
+    pub start: u64,
+    /// Duration in cycles.
+    pub cycles: u64,
+}
+
+/// An explicit assignment of jobs to units (LPT greedy), for callers that
+/// need the timeline rather than just the makespan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    placements: Vec<Placement>,
+    makespan: Cycles,
+    units: u32,
+}
+
+impl Schedule {
+    /// Builds a longest-processing-time greedy schedule: jobs sorted by
+    /// decreasing length, each placed on the earliest-free unit. For the
+    /// near-uniform job sets APIM dispatches this matches the
+    /// [`makespan`] lower bound; for pathological mixes it is within the
+    /// classic 4/3 factor.
+    pub fn lpt(jobs: &[Cycles], units: u32) -> Self {
+        debug_assert!(units > 0);
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(jobs[i].get()));
+        let mut free_at = vec![0u64; units as usize];
+        let mut placements = Vec::with_capacity(jobs.len());
+        for job in order {
+            let (unit, start) = free_at
+                .iter()
+                .copied()
+                .enumerate()
+                .min_by_key(|&(_, t)| t)
+                .expect("at least one unit");
+            placements.push(Placement {
+                job,
+                unit: unit as u32,
+                start,
+                cycles: jobs[job].get(),
+            });
+            free_at[unit] = start + jobs[job].get();
+        }
+        let makespan = Cycles::new(free_at.into_iter().max().unwrap_or(0));
+        Schedule {
+            placements,
+            makespan,
+            units,
+        }
+    }
+
+    /// The placed jobs (in LPT placement order).
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// The schedule's completion time.
+    pub fn makespan(&self) -> Cycles {
+        self.makespan
+    }
+
+    /// Aggregate utilization: busy unit-cycles over `units × makespan`.
+    pub fn utilization(&self) -> f64 {
+        let busy: u64 = self.placements.iter().map(|p| p.cycles).sum();
+        let span = self.makespan.get() * u64::from(self.units);
+        if span == 0 {
+            0.0
+        } else {
+            busy as f64 / span as f64
+        }
+    }
+}
+
+/// Makespan for `count` identical jobs of `per_job` cycles — the common
+/// case for element-wise kernels, computed without materializing the job
+/// list (counts can be billions).
+pub fn makespan_uniform(per_job: Cycles, count: u64, units: u32) -> Cycles {
+    debug_assert!(units > 0);
+    if count == 0 {
+        return Cycles::ZERO;
+    }
+    let total = per_job.get().saturating_mul(count);
+    Cycles::new((total.div_ceil(u64::from(units))).max(per_job.get()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_job_set_is_free() {
+        assert_eq!(makespan(&[], 4), Cycles::ZERO);
+        assert_eq!(makespan_uniform(Cycles::new(100), 0, 4), Cycles::ZERO);
+    }
+
+    #[test]
+    fn single_unit_serializes() {
+        let jobs = [Cycles::new(5), Cycles::new(7), Cycles::new(11)];
+        assert_eq!(makespan(&jobs, 1).get(), 23);
+    }
+
+    #[test]
+    fn many_units_bound_by_longest() {
+        let jobs = [Cycles::new(5), Cycles::new(7), Cycles::new(100)];
+        assert_eq!(makespan(&jobs, 64).get(), 100);
+    }
+
+    #[test]
+    fn uniform_matches_explicit() {
+        let jobs = vec![Cycles::new(13); 1000];
+        for units in [1u32, 3, 64, 10_000] {
+            assert_eq!(
+                makespan(&jobs, units),
+                makespan_uniform(Cycles::new(13), 1000, units),
+                "units = {units}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_handles_huge_counts() {
+        let c = makespan_uniform(Cycles::new(900), 10_000_000_000, 7680);
+        assert!(c.get() > 1_000_000_000);
+    }
+
+    #[test]
+    fn lpt_places_every_job_without_overlap() {
+        let jobs: Vec<Cycles> = [13u64, 7, 25, 3, 25, 9, 1]
+            .iter()
+            .map(|&c| Cycles::new(c))
+            .collect();
+        let sched = Schedule::lpt(&jobs, 3);
+        assert_eq!(sched.placements().len(), jobs.len());
+        // Per unit: intervals must not overlap.
+        for unit in 0..3 {
+            let mut intervals: Vec<(u64, u64)> = sched
+                .placements()
+                .iter()
+                .filter(|p| p.unit == unit)
+                .map(|p| (p.start, p.start + p.cycles))
+                .collect();
+            intervals.sort_unstable();
+            for pair in intervals.windows(2) {
+                assert!(pair[0].1 <= pair[1].0, "overlap on unit {unit}");
+            }
+        }
+        // Every job appears exactly once.
+        let mut seen: Vec<usize> = sched.placements().iter().map(|p| p.job).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..jobs.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lpt_respects_the_lower_bound_and_4_3_factor() {
+        let jobs: Vec<Cycles> = (1..40).map(|i| Cycles::new(i * 7 % 90 + 1)).collect();
+        for units in [1u32, 2, 5, 11] {
+            let lb = makespan(&jobs, units).get();
+            let got = Schedule::lpt(&jobs, units).makespan().get();
+            assert!(got >= lb, "units {units}");
+            assert!(3 * got <= 4 * lb + 3 * jobs.iter().map(|c| c.get()).max().unwrap());
+        }
+    }
+
+    #[test]
+    fn uniform_jobs_schedule_tightly() {
+        // Jobs are indivisible: 100 x 17 cycles on 8 units is exactly
+        // ceil(100/8) = 13 rounds, one cycle-granular round above the
+        // fractional lower bound.
+        let jobs = vec![Cycles::new(17); 100];
+        let sched = Schedule::lpt(&jobs, 8);
+        assert_eq!(sched.makespan(), Cycles::new(13 * 17));
+        assert!(sched.makespan() >= makespan(&jobs, 8));
+        assert!(sched.utilization() > 0.95);
+    }
+
+    #[test]
+    fn empty_schedule_is_zero() {
+        let sched = Schedule::lpt(&[], 4);
+        assert_eq!(sched.makespan(), Cycles::ZERO);
+        assert_eq!(sched.utilization(), 0.0);
+    }
+
+    #[test]
+    fn more_units_never_slower() {
+        let jobs: Vec<Cycles> = (1..50).map(Cycles::new).collect();
+        let mut last = u64::MAX;
+        for units in [1u32, 2, 4, 8, 16, 32] {
+            let m = makespan(&jobs, units).get();
+            assert!(m <= last);
+            last = m;
+        }
+    }
+}

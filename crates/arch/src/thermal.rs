@@ -1,0 +1,128 @@
+//! Steady-state thermal model for a PIM memory module.
+//!
+//! In-memory computation dissipates inside the DIMM, not on a heatsinked
+//! processor die — a real deployment must check that the module's thermal
+//! envelope holds, because device switching speed is itself temperature-
+//! dependent (`apim_device::DeviceParams::at_temperature`). This module
+//! closes that loop with a lumped thermal-resistance model:
+//!
+//! ```text
+//! T_module = T_ambient + P_avg · θ_module
+//! ```
+
+use crate::report::ApimCost;
+
+/// Lumped thermal description of a memory module.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalModel {
+    /// Ambient temperature, kelvin.
+    pub ambient_kelvin: f64,
+    /// Module thermal resistance, kelvin per watt (DIMM without a heat
+    /// spreader ≈ 8–15 K/W; with one ≈ 3–6 K/W).
+    pub theta_kelvin_per_watt: f64,
+    /// Maximum allowed module temperature, kelvin (DRAM-class retention
+    /// limits sit near 358 K / 85 °C).
+    pub limit_kelvin: f64,
+}
+
+impl ThermalModel {
+    /// A bare DIMM in a 300 K enclosure with an 85 °C limit.
+    pub fn bare_dimm() -> Self {
+        ThermalModel {
+            ambient_kelvin: 300.0,
+            theta_kelvin_per_watt: 12.0,
+            limit_kelvin: 358.0,
+        }
+    }
+
+    /// Steady-state module temperature while sustaining `cost`'s average
+    /// power.
+    pub fn steady_state_kelvin(&self, cost: &ApimCost) -> f64 {
+        self.ambient_kelvin + cost.average_power_watts() * self.theta_kelvin_per_watt
+    }
+
+    /// Whether the run stays inside the thermal envelope.
+    pub fn within_budget(&self, cost: &ApimCost) -> bool {
+        self.steady_state_kelvin(cost) <= self.limit_kelvin
+    }
+
+    /// The maximum sustained power the envelope allows, watts.
+    pub fn power_budget_watts(&self) -> f64 {
+        (self.limit_kelvin - self.ambient_kelvin) / self.theta_kelvin_per_watt
+    }
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        ThermalModel::bare_dimm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ApimConfig;
+    use crate::executor::Executor;
+    use apim_baselines::AppProfile;
+    use apim_device::{Cycles, Joules, Seconds};
+
+    #[test]
+    fn budget_arithmetic() {
+        let t = ThermalModel::bare_dimm();
+        assert!((t.power_budget_watts() - 58.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_module_sits_at_ambient() {
+        let t = ThermalModel::bare_dimm();
+        let idle = ApimCost {
+            cycles: Cycles::ZERO,
+            time: Seconds::new(1.0),
+            energy: Joules::ZERO,
+        };
+        assert_eq!(t.steady_state_kelvin(&idle), 300.0);
+        assert!(t.within_budget(&idle));
+    }
+
+    #[test]
+    fn paper_workloads_fit_a_bare_dimm() {
+        // The headline configuration must be thermally deployable: a 1 GB
+        // Sobel run draws well under the ~4.8 W budget.
+        let exec = Executor::new(ApimConfig::default()).unwrap();
+        let thermal = ThermalModel::bare_dimm();
+        for profile in AppProfile::all() {
+            let cost = exec.run_profile(&profile, 1 << 30).unwrap();
+            assert!(
+                thermal.within_budget(&cost),
+                "{}: {:.2} W -> {:.1} K",
+                profile.name,
+                cost.average_power_watts(),
+                thermal.steady_state_kelvin(&cost)
+            );
+        }
+    }
+
+    #[test]
+    fn overdriven_module_trips_the_budget() {
+        let t = ThermalModel::bare_dimm();
+        let hot = ApimCost {
+            cycles: Cycles::new(1),
+            time: Seconds::new(1.0),
+            energy: Joules::new(10.0), // 10 W sustained
+        };
+        assert!(!t.within_budget(&hot));
+        assert!(t.steady_state_kelvin(&hot) > 400.0);
+    }
+
+    #[test]
+    fn device_timing_survives_the_thermal_envelope() {
+        // Close the loop: at the budget-limit temperature the device still
+        // switches within the MAGIC cycle (hot devices are *faster*).
+        use apim_device::vteam::VteamModel;
+        use apim_device::DeviceParams;
+        let t = ThermalModel::bare_dimm();
+        let params = DeviceParams::paper().at_temperature(t.limit_kelvin);
+        let set = VteamModel::new(&params).set_time();
+        assert!(set.as_nanos() <= params.cycle_ns);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the architecture layer.
+
+use apim_arch::scheduler::{makespan, makespan_uniform};
+use apim_arch::{AdaptiveController, ApimConfig, Executor, Op, PrecisionMode, Trace};
+use apim_baselines::AppProfile;
+use apim_device::Cycles;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn makespan_bounds_hold(jobs in proptest::collection::vec(1u64..10_000, 1..64), units in 1u32..128) {
+        let cycles: Vec<Cycles> = jobs.iter().map(|&j| Cycles::new(j)).collect();
+        let span = makespan(&cycles, units).get();
+        let total: u64 = jobs.iter().sum();
+        let longest = *jobs.iter().max().unwrap();
+        // Classic machine-scheduling bounds.
+        prop_assert!(span >= longest);
+        prop_assert!(span >= total / u64::from(units));
+        prop_assert!(span <= total);
+    }
+
+    #[test]
+    fn uniform_makespan_equals_general(per_job in 1u64..5000, count in 0u64..500, units in 1u32..64) {
+        let jobs: Vec<Cycles> = (0..count).map(|_| Cycles::new(per_job)).collect();
+        prop_assert_eq!(
+            makespan(&jobs, units),
+            makespan_uniform(Cycles::new(per_job), count, units)
+        );
+    }
+
+    #[test]
+    fn executor_energy_is_unit_independent(units in 1u32..10_000) {
+        let base = Executor::new(ApimConfig::default()).unwrap();
+        let scaled = Executor::new(ApimConfig {
+            parallel_units: units,
+            ..ApimConfig::default()
+        })
+        .unwrap();
+        let p = AppProfile::fft();
+        let a = base.run_profile(&p, 64 << 20).unwrap();
+        let b = scaled.run_profile(&p, 64 << 20).unwrap();
+        prop_assert!((a.energy.as_joules() - b.energy.as_joules()).abs()
+            < 1e-9 * a.energy.as_joules());
+    }
+
+    #[test]
+    fn trace_cost_is_permutation_invariant(muls in 0usize..20, adds in 0usize..20) {
+        let exec = Executor::new(ApimConfig::default()).unwrap();
+        let mul = Op::Mul {
+            bits: 32,
+            multiplier_ones: Some(7),
+            mode: PrecisionMode::Exact,
+        };
+        let add = Op::Add { bits: 32 };
+        let mut forward = Trace::new();
+        forward.push_many(mul, muls);
+        forward.push_many(add, adds);
+        let mut backward = Trace::new();
+        backward.push_many(add, adds);
+        backward.push_many(mul, muls);
+        let a = exec.run_trace(&forward);
+        let b = exec.run_trace(&backward);
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert!((a.energy.as_joules() - b.energy.as_joules()).abs() <= 1e-12);
+    }
+
+    #[test]
+    fn adaptive_always_returns_a_level_it_tested(threshold in 0u32..=36) {
+        // Oracle: accept anything at or below `threshold` relax bits.
+        let outcome = AdaptiveController::paper()
+            .tune(|mode| mode.relaxed_product_bits() <= threshold);
+        let chosen = outcome.mode.relaxed_product_bits();
+        prop_assert!(chosen <= threshold.min(32));
+        // The controller steps in 4-bit decrements from 32, so the chosen
+        // level is the first grid point at or below the threshold.
+        let expected = if threshold >= 32 { 32 } else { threshold / 4 * 4 };
+        prop_assert_eq!(chosen, expected);
+    }
+
+    #[test]
+    fn dataset_scaling_is_linear(mb in 1u64..512) {
+        let exec = Executor::new(ApimConfig::default()).unwrap();
+        let p = AppProfile::sharpen();
+        let one = exec.run_profile(&p, mb << 20).unwrap();
+        let two = exec.run_profile(&p, (mb * 2) << 20).unwrap();
+        let ratio = two.energy.as_joules() / one.energy.as_joules();
+        prop_assert!((ratio - 2.0).abs() < 0.05, "energy ratio {}", ratio);
+    }
+}

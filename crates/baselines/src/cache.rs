@@ -1,0 +1,97 @@
+//! Capacity-driven cache/reuse model for the GPU baseline.
+//!
+//! §4.2's explanation of Figure 5: "this data movement is due to small
+//! cache size of traditional core which increases the number of cache
+//! miss". We model the effective on-chip reuse window (caches + DRAM
+//! row-buffer locality) as a single LRU-like capacity `C`: a working set of
+//! `D` bytes re-reads the fraction `C/D` from on-chip storage and misses on
+//! the rest, so
+//!
+//! ```text
+//! miss(D) = max(0, 1 − C/D)
+//! ```
+//!
+//! This is the classic cold/capacity miss curve; it is deliberately sharp
+//! (no misses until the working set exceeds capacity) because that is what
+//! produces the paper's observation that APIM only wins beyond ≈200 MB.
+
+/// Effective reuse-capacity model.
+///
+/// ```
+/// use apim_baselines::cache::CapacityModel;
+/// let cache = CapacityModel::new(160 << 20); // 160 MiB effective window
+/// assert_eq!(cache.miss_ratio(32 << 20), 0.0); // fits: no capacity misses
+/// assert!(cache.miss_ratio(1 << 30) > 0.8);    // 1 GiB: movement-bound
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityModel {
+    capacity_bytes: u64,
+}
+
+impl CapacityModel {
+    /// A model with the given effective on-chip capacity.
+    pub fn new(capacity_bytes: u64) -> Self {
+        CapacityModel { capacity_bytes }
+    }
+
+    /// The effective capacity, bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Fraction of the working set's traffic that misses to DRAM.
+    pub fn miss_ratio(&self, working_set_bytes: u64) -> f64 {
+        if working_set_bytes == 0 {
+            return 0.0;
+        }
+        (1.0 - self.capacity_bytes as f64 / working_set_bytes as f64).max(0.0)
+    }
+
+    /// Bytes that must be fetched from DRAM when `traffic_bytes` of
+    /// references hit a `working_set_bytes` working set.
+    pub fn dram_bytes(&self, traffic_bytes: f64, working_set_bytes: u64) -> f64 {
+        traffic_bytes * self.miss_ratio(working_set_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_working_sets_never_miss() {
+        let c = CapacityModel::new(100);
+        assert_eq!(c.miss_ratio(50), 0.0);
+        assert_eq!(c.miss_ratio(100), 0.0);
+        assert_eq!(c.miss_ratio(0), 0.0);
+    }
+
+    #[test]
+    fn miss_ratio_monotonically_increases() {
+        let c = CapacityModel::new(160 << 20);
+        let sizes: Vec<u64> = [32u64, 64, 128, 256, 512, 1024]
+            .iter()
+            .map(|m| m << 20)
+            .collect();
+        let ratios: Vec<f64> = sizes.iter().map(|&d| c.miss_ratio(d)).collect();
+        for pair in ratios.windows(2) {
+            assert!(pair[1] >= pair[0]);
+        }
+        assert!(ratios[5] > 0.8);
+    }
+
+    #[test]
+    fn miss_ratio_asymptotes_to_one() {
+        let c = CapacityModel::new(1 << 20);
+        assert!(c.miss_ratio(u64::MAX / 2) > 0.999_999);
+        assert!(c.miss_ratio(u64::MAX / 2) <= 1.0);
+    }
+
+    #[test]
+    fn dram_bytes_scale_with_traffic() {
+        let c = CapacityModel::new(100);
+        let d = 400; // miss ratio 0.75
+        assert!((c.dram_bytes(1000.0, d) - 750.0).abs() < 1e-9);
+        assert_eq!(c.dram_bytes(1000.0, 50), 0.0);
+    }
+}

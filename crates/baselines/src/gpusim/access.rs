@@ -1,0 +1,202 @@
+//! Address-stream generators for the evaluation kernels.
+//!
+//! Each generator produces the byte-address sequence a GPU implementation
+//! of the kernel issues over a resident dataset: convolutions sweep with
+//! overlapping stencil reads, the FFT makes `log2 n` strided passes, and
+//! the scan-style kernels stream. Streams are lazy iterators so GB-scale
+//! address spaces cost nothing to describe.
+
+/// The shape of a kernel's memory traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatternKind {
+    /// Linear sweeps over the dataset.
+    Streaming,
+    /// 2-D stencil of `(2·radius + 1)²` taps over a `row_pixels`-wide
+    /// image of 4-byte samples.
+    Stencil {
+        /// Neighbourhood radius (1 for a 3×3 kernel).
+        radius: usize,
+        /// Image width in pixels.
+        row_pixels: usize,
+    },
+    /// Power-of-two strided passes (butterfly exchanges).
+    Strided,
+}
+
+/// A kernel's access pattern: a [`PatternKind`] repeated over `passes`
+/// sweeps of the dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessPattern {
+    /// Traffic shape.
+    pub kind: PatternKind,
+    /// Number of full sweeps over the dataset.
+    pub passes: u32,
+}
+
+impl AccessPattern {
+    /// A streaming pattern with the given number of passes.
+    pub fn streaming(passes: u32) -> Self {
+        AccessPattern {
+            kind: PatternKind::Streaming,
+            passes: passes.max(1),
+        }
+    }
+
+    /// A stencil pattern: `size × size` taps (`size` odd) over
+    /// `row_pixels`-wide rows, two sweeps (e.g. gradient + magnitude).
+    pub fn stencil(size: usize, row_pixels: usize) -> Self {
+        AccessPattern {
+            kind: PatternKind::Stencil {
+                radius: size / 2,
+                row_pixels: row_pixels.max(16),
+            },
+            passes: 2,
+        }
+    }
+
+    /// Strided passes with doubling strides (an FFT of `passes` stages).
+    pub fn strided_passes(passes: u32) -> Self {
+        AccessPattern {
+            kind: PatternKind::Strided,
+            passes: passes.max(1),
+        }
+    }
+
+    /// The natural pattern for one of the six evaluation apps (by profile
+    /// name).
+    pub fn for_app(name: &str) -> Self {
+        match name {
+            "Sobel" | "Sharpen" => AccessPattern::stencil(3, 4096),
+            "Robert" => AccessPattern::stencil(2, 4096),
+            "FFT" => AccessPattern::strided_passes(10),
+            _ => AccessPattern::streaming(2),
+        }
+    }
+
+    /// Total accesses this pattern's [`AccessPattern::stream`] issues over
+    /// `bytes` (same granularity as the stream: lines for streaming,
+    /// elements for strided/stencil traffic).
+    pub fn accesses(&self, bytes: u64, line_bytes: u64) -> u64 {
+        match &self.kind {
+            PatternKind::Streaming => (bytes / line_bytes).max(1) * u64::from(self.passes),
+            PatternKind::Strided => (bytes / 4).max(1) * u64::from(self.passes),
+            PatternKind::Stencil { radius, .. } => {
+                let pixels = (bytes / 4).max(1);
+                let taps = (2 * radius + 1).pow(2) as u64;
+                pixels * taps * u64::from(self.passes)
+            }
+        }
+    }
+
+    /// The lazy byte-address stream over a dataset of `bytes`.
+    pub fn stream(&self, bytes: u64, line_bytes: u64) -> Box<dyn Iterator<Item = u64>> {
+        let bytes = bytes.max(line_bytes);
+        match self.kind {
+            PatternKind::Streaming => {
+                let lines = bytes / line_bytes;
+                let passes = u64::from(self.passes);
+                Box::new((0..passes).flat_map(move |_| (0..lines).map(move |l| l * line_bytes)))
+            }
+            PatternKind::Strided => {
+                let elems = bytes / 4;
+                let passes = self.passes;
+                Box::new((0..passes).flat_map(move |p| {
+                    let stride = 1u64 << p.min(30);
+                    // Visit every element once per pass, in stride order:
+                    // for each offset within the stride group, walk the
+                    // strided chain — the classic butterfly footprint.
+                    (0..stride.min(elems)).flat_map(move |offset| {
+                        (0..elems.div_ceil(stride).max(1))
+                            .map(move |i| ((offset + i * stride) % elems.max(1)) * 4)
+                    })
+                }))
+            }
+            PatternKind::Stencil { radius, row_pixels } => {
+                let pixels = (bytes / 4).max(1);
+                let width = row_pixels as u64;
+                let height = (pixels / width).max(1);
+                let r = radius as i64;
+                let passes = u64::from(self.passes);
+                Box::new((0..passes).flat_map(move |_| {
+                    (0..height).flat_map(move |y| {
+                        (0..width).flat_map(move |x| {
+                            (-r..=r).flat_map(move |dy| {
+                                (-r..=r).map(move |dx| {
+                                    let xx = (x as i64 + dx).clamp(0, width as i64 - 1) as u64;
+                                    let yy = (y as i64 + dy).clamp(0, height as i64 - 1) as u64;
+                                    (yy * width + xx) * 4
+                                })
+                            })
+                        })
+                    })
+                }))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_visits_every_line_in_order() {
+        let p = AccessPattern::streaming(1);
+        let addrs: Vec<u64> = p.stream(256, 64).collect();
+        assert_eq!(addrs, vec![0, 64, 128, 192]);
+    }
+
+    #[test]
+    fn streaming_passes_repeat() {
+        let p = AccessPattern::streaming(3);
+        let addrs: Vec<u64> = p.stream(128, 64).collect();
+        assert_eq!(addrs, vec![0, 64, 0, 64, 0, 64]);
+        assert_eq!(p.accesses(128, 64), 6);
+    }
+
+    #[test]
+    fn stencil_covers_the_neighbourhood() {
+        let p = AccessPattern::stencil(3, 16);
+        let addrs: Vec<u64> = p.stream(16 * 16 * 4, 64).take(9).collect();
+        assert_eq!(addrs.len(), 9);
+        // First output (0,0) with clamped borders: addresses within the
+        // first two rows.
+        assert!(addrs.iter().all(|&a| a < 2 * 16 * 4));
+    }
+
+    #[test]
+    fn stencil_access_count_matches_formula() {
+        let p = AccessPattern::stencil(3, 16);
+        let bytes = 16 * 8 * 4; // 16x8 pixels
+        let n = p.stream(bytes, 64).count() as u64;
+        assert_eq!(n, p.accesses(bytes, 64));
+    }
+
+    #[test]
+    fn strided_visits_every_element_per_pass() {
+        let p = AccessPattern::strided_passes(3);
+        let bytes = 64 * 4;
+        let n = p.stream(bytes, 64).count() as u64;
+        assert_eq!(n, p.accesses(bytes, 64));
+        assert_eq!(n, 3 * 64);
+    }
+
+    #[test]
+    fn strided_pass_two_jumps() {
+        let p = AccessPattern::strided_passes(2);
+        let addrs: Vec<u64> = p.stream(16 * 4, 64).collect();
+        // Pass 0: sequential; pass 1: stride-2 chains.
+        assert_eq!(&addrs[..4], &[0, 4, 8, 12]);
+        let second_pass = &addrs[16..20];
+        assert_eq!(second_pass, &[0, 8, 16, 24]);
+    }
+
+    #[test]
+    fn for_app_maps_all_six() {
+        for name in ["Sobel", "Robert", "FFT", "DwtHaar1D", "Sharpen", "QuasiR"] {
+            let p = AccessPattern::for_app(name);
+            assert!(p.accesses(1 << 20, 64) > 0, "{name}");
+        }
+        assert_eq!(AccessPattern::for_app("FFT").kind, PatternKind::Strided);
+    }
+}

@@ -1,0 +1,118 @@
+//! A row-buffer DRAM channel model (the host DDR4 DIMMs of §4.1).
+
+use apim_device::Joules;
+
+/// One DRAM channel with open-row policy: consecutive accesses to the same
+/// row hit the row buffer (CAS-only); switching rows pays
+/// precharge + activate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramChannel {
+    /// Row size, bytes (one row per bank spans this much of the address
+    /// space in our simplified single-bank interleaving).
+    pub row_bytes: u64,
+    /// Row-buffer hit latency, ns (CAS + burst).
+    pub t_hit_ns: f64,
+    /// Row-buffer miss latency, ns (precharge + activate + CAS).
+    pub t_miss_ns: f64,
+    /// Energy per byte on a row hit.
+    pub e_hit_per_byte: Joules,
+    /// Extra energy per activation (row open).
+    pub e_activate: Joules,
+    open_row: Option<u64>,
+    row_hits: u64,
+    row_misses: u64,
+}
+
+impl DramChannel {
+    /// DDR4-like defaults: 2 KiB rows, ~15 ns CAS, ~45 ns full
+    /// precharge/activate/CAS, pJ-scale per-byte transfer energy. The
+    /// per-byte energy matches the analytic model's 400 pJ/B system cost
+    /// when row locality is poor.
+    pub fn ddr4() -> Self {
+        DramChannel {
+            row_bytes: 2048,
+            t_hit_ns: 15.0,
+            t_miss_ns: 45.0,
+            e_hit_per_byte: Joules::from_picojoules(150.0),
+            e_activate: Joules::from_picojoules(15_000.0),
+            open_row: None,
+            row_hits: 0,
+            row_misses: 0,
+        }
+    }
+
+    /// Accesses `bytes` at `addr`; returns `(latency_ns, energy)`.
+    pub fn access(&mut self, addr: u64, bytes: u64) -> (f64, Joules) {
+        let row = addr / self.row_bytes;
+        let transfer = self.e_hit_per_byte * bytes as f64;
+        if self.open_row == Some(row) {
+            self.row_hits += 1;
+            (self.t_hit_ns, transfer)
+        } else {
+            self.open_row = Some(row);
+            self.row_misses += 1;
+            (self.t_miss_ns, transfer + self.e_activate)
+        }
+    }
+
+    /// Row-buffer hit ratio so far.
+    pub fn row_hit_ratio(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+}
+
+impl Default for DramChannel {
+    fn default() -> Self {
+        DramChannel::ddr4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_accesses_hit_the_open_row() {
+        let mut d = DramChannel::ddr4();
+        let (t0, _) = d.access(0, 64);
+        let (t1, _) = d.access(64, 64);
+        let (t2, _) = d.access(128, 64);
+        assert!(t0 > t1, "first access opens the row");
+        assert_eq!(t1, t2);
+        assert!(d.row_hit_ratio() > 0.6);
+    }
+
+    #[test]
+    fn row_switches_pay_activation() {
+        let mut d = DramChannel::ddr4();
+        let (_, e0) = d.access(0, 64);
+        let (_, e1) = d.access(1 << 20, 64); // different row
+        let (_, e2) = d.access(1 << 20, 64); // same row again
+        assert!(e0.as_joules() > e2.as_joules());
+        assert!(e1.as_joules() > e2.as_joules());
+        assert_eq!(d.row_hit_ratio(), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn random_rows_never_hit() {
+        let mut d = DramChannel::ddr4();
+        for i in 0..100u64 {
+            d.access(i * 4096 * 7919, 64);
+        }
+        assert!(d.row_hit_ratio() < 0.05);
+    }
+
+    #[test]
+    fn energy_scales_with_transfer_size() {
+        let mut d = DramChannel::ddr4();
+        d.access(0, 64);
+        let (_, e_small) = d.access(64, 64);
+        let (_, e_big) = d.access(128, 256);
+        assert!(e_big.as_joules() > 3.0 * e_small.as_joules());
+    }
+}

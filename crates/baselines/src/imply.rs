@@ -1,0 +1,74 @@
+//! Cost model of stateful IMPLY logic (Borghetti et al. \[21\], Kvatinsky
+//! et al. \[22\]) — the other in-crossbar logic family the paper's §2
+//! surveys before settling on MAGIC.
+//!
+//! Material implication computes `q ← p IMP q` in one step but needs an
+//! initialization per gate evaluation and keeps all literals in one row;
+//! the published serial full adder built from IMPLY (Kvatinsky TVLSI'14)
+//! costs 29 steps per bit — more than twice MAGIC's 12 — and, unlike
+//! MAGIC, the result overwrites one of its operands, forcing extra copies
+//! in multi-operand reductions. This module quantifies why the paper
+//! chose MAGIC: same crossbar, same cycle time, different netlist economy.
+
+use apim_device::Cycles;
+use apim_logic::model::ceil_log2;
+
+/// IMPLY steps (cycles) per full-adder bit, per Kvatinsky et al.,
+/// "Memristor-based material implication (IMPLY) logic", TVLSI 22(10).
+pub const STEPS_PER_BIT: u32 = 29;
+
+/// Cycles for an IMPLY serial adder over two `n`-bit numbers.
+pub fn add_two_cycles(n: u32) -> Cycles {
+    Cycles::new(u64::from(STEPS_PER_BIT * n + 2))
+}
+
+/// Cycles for reducing `m` operands of `n` bits by serial IMPLY
+/// accumulation (accumulator width grows like the \[24\] model).
+pub fn sum_cycles(m: u32, n: u32) -> Cycles {
+    if m < 2 {
+        return Cycles::ZERO;
+    }
+    (1..m)
+        .map(|i| {
+            let width = n + ceil_log2(i);
+            Cycles::new(u64::from(STEPS_PER_BIT * width + 2))
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::magic_serial;
+
+    #[test]
+    fn two_operand_formula() {
+        assert_eq!(add_two_cycles(32).get(), (29 * 32 + 2) as u64);
+        assert_eq!(sum_cycles(2, 32), add_two_cycles(32));
+    }
+
+    #[test]
+    fn degenerate_counts() {
+        assert_eq!(sum_cycles(0, 8), Cycles::ZERO);
+        assert_eq!(sum_cycles(1, 8), Cycles::ZERO);
+    }
+
+    #[test]
+    fn imply_is_slower_than_magic_serial() {
+        // The §2 motivation: MAGIC's 12 steps/bit beat IMPLY's 29.
+        for n in [8u32, 16, 32] {
+            assert!(
+                sum_cycles(n, n).get() > magic_serial::sum_cycles(n, n).get(),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn ratio_is_roughly_29_over_12() {
+        let imply = sum_cycles(16, 16).get() as f64;
+        let magic = magic_serial::sum_cycles(16, 16).get() as f64;
+        let ratio = imply / magic;
+        assert!((2.0..3.0).contains(&ratio), "ratio {ratio}");
+    }
+}

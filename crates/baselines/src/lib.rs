@@ -1,0 +1,40 @@
+//! Baseline cost models for the APIM evaluation (§4).
+//!
+//! The paper compares APIM against three external systems that this repo
+//! cannot run directly and therefore models analytically (see `DESIGN.md`
+//! §2 for the substitution arguments):
+//!
+//! * [`gpu`] — the AMD Radeon R9 390 GPU with 64 GB DDR4: an analytic
+//!   compute + data-movement cost model with a capacity-driven cache-miss
+//!   curve ([`cache`]). Small datasets are compute-bound (GPU wins); large
+//!   datasets are movement-bound (APIM wins) — the crossover structure of
+//!   Figure 5. Calibrated once against the paper's quoted 1 GB operating
+//!   point (about 28x energy, 4.8x speedup).
+//! * [`magic_serial`] — the MAGIC-based serial adder of Talati et al.
+//!   \[24\], whose latency grows linearly with operand count *and* width.
+//! * [`gpusim`] — a trace-driven GPU memory-hierarchy simulator
+//!   (set-associative LRU caches + row-buffer DRAM) standing in for the
+//!   paper's modified multi2sim; the analytic [`gpu`] model is its closed
+//!   form and the two are cross-validated.
+//! * [`imply`] — stateful material-implication logic (\[21\]/\[22\]), the
+//!   in-crossbar logic family §2 surveys and rejects (29 steps per
+//!   full-adder bit vs MAGIC's 12).
+//! * [`pc_adder`] — the complementary-resistive-switching (CRS) crossbar
+//!   adder of Siemon et al. \[25\], faster than \[24\] but paying a large
+//!   per-array controller area overhead.
+//!
+//! [`profiles`] holds the per-application compute/traffic profiles shared
+//! by the GPU model and the APIM executor.
+
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod gpu;
+pub mod gpusim;
+pub mod imply;
+pub mod magic_serial;
+pub mod pc_adder;
+pub mod profiles;
+
+pub use gpu::{CostReport, GpuModel, GpuParams};
+pub use profiles::AppProfile;

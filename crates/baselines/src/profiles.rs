@@ -1,0 +1,197 @@
+//! Per-application compute/traffic profiles.
+//!
+//! Both cost models (GPU baseline and APIM executor) need to know how much
+//! arithmetic and how much memory traffic an application generates per byte
+//! of input. The numbers below are derived from the kernel structures in
+//! `apim-workloads` (operation counts per element are exact; traffic
+//! amplification reflects each kernel's access pattern: convolutions re-read
+//! neighbourhoods, the FFT strides cache-hostilely, the quasi-random
+//! generator streams).
+
+use std::fmt;
+
+/// Quality-of-service metric an application is judged by (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QosMetric {
+    /// Peak signal-to-noise ratio, accepted at ≥ 30 dB (image apps).
+    PsnrDb,
+    /// Mean relative error, accepted at < 10 %.
+    RelativeError,
+}
+
+/// Static cost profile of one evaluation application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppProfile {
+    /// Human-readable name as used in the paper's tables.
+    pub name: &'static str,
+    /// Arithmetic operations per input byte.
+    pub ops_per_byte: f64,
+    /// Fraction of those operations that are multiplications.
+    pub mul_fraction: f64,
+    /// Bytes of memory references generated per input byte on a traditional
+    /// core (neighbourhood re-reads, strided passes, write-backs).
+    pub traffic_amplification: f64,
+    /// The QoS metric the paper applies to this application.
+    pub qos: QosMetric,
+    /// Products accumulated per output value: APIM fuses these into one
+    /// Wallace tree + one final stage (§3.2), e.g. the taps of a
+    /// convolution window.
+    pub mac_group: u32,
+}
+
+impl AppProfile {
+    /// Sobel 3×3 edge detection: two convolutions + gradient magnitude.
+    pub fn sobel() -> Self {
+        AppProfile {
+            name: "Sobel",
+            ops_per_byte: 4.5,
+            mul_fraction: 0.45,
+            traffic_amplification: 13.3,
+            qos: QosMetric::PsnrDb,
+            mac_group: 12,
+        }
+    }
+
+    /// Roberts cross 2×2 edge detection.
+    pub fn robert() -> Self {
+        AppProfile {
+            name: "Robert",
+            ops_per_byte: 2.0,
+            mul_fraction: 0.40,
+            traffic_amplification: 12.6,
+            qos: QosMetric::PsnrDb,
+            mac_group: 2,
+        }
+    }
+
+    /// Radix-2 fast Fourier transform (fixed point).
+    pub fn fft() -> Self {
+        AppProfile {
+            name: "FFT",
+            ops_per_byte: 12.0,
+            mul_fraction: 0.50,
+            traffic_amplification: 82.0,
+            qos: QosMetric::RelativeError,
+            mac_group: 2,
+        }
+    }
+
+    /// One-dimensional Haar discrete wavelet transform.
+    pub fn dwt_haar1d() -> Self {
+        AppProfile {
+            name: "DwtHaar1D",
+            ops_per_byte: 1.5,
+            mul_fraction: 0.50,
+            traffic_amplification: 9.8,
+            qos: QosMetric::RelativeError,
+            mac_group: 1,
+        }
+    }
+
+    /// 3×3 sharpening convolution.
+    pub fn sharpen() -> Self {
+        AppProfile {
+            name: "Sharpen",
+            ops_per_byte: 2.8,
+            mul_fraction: 0.55,
+            traffic_amplification: 7.6,
+            qos: QosMetric::PsnrDb,
+            mac_group: 5,
+        }
+    }
+
+    /// Quasi-random (low-discrepancy) sequence generation.
+    pub fn quasi_random() -> Self {
+        AppProfile {
+            name: "QuasiR",
+            ops_per_byte: 2.2,
+            mul_fraction: 0.60,
+            traffic_amplification: 13.7,
+            qos: QosMetric::RelativeError,
+            mac_group: 1,
+        }
+    }
+
+    /// All six evaluation applications, in the paper's table order.
+    pub fn all() -> Vec<AppProfile> {
+        vec![
+            AppProfile::sobel(),
+            AppProfile::robert(),
+            AppProfile::fft(),
+            AppProfile::dwt_haar1d(),
+            AppProfile::sharpen(),
+            AppProfile::quasi_random(),
+        ]
+    }
+
+    /// Total arithmetic operations for a dataset of `bytes` bytes.
+    pub fn total_ops(&self, bytes: u64) -> f64 {
+        self.ops_per_byte * bytes as f64
+    }
+
+    /// Multiplications among [`AppProfile::total_ops`].
+    pub fn mul_ops(&self, bytes: u64) -> f64 {
+        self.total_ops(bytes) * self.mul_fraction
+    }
+
+    /// Additions among [`AppProfile::total_ops`].
+    pub fn add_ops(&self, bytes: u64) -> f64 {
+        self.total_ops(bytes) * (1.0 - self.mul_fraction)
+    }
+}
+
+impl fmt::Display for AppProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_distinct_profiles() {
+        let all = AppProfile::all();
+        assert_eq!(all.len(), 6);
+        let mut names: Vec<_> = all.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn fractions_are_sane() {
+        for p in AppProfile::all() {
+            assert!(p.mul_fraction > 0.0 && p.mul_fraction < 1.0, "{}", p.name);
+            assert!(p.ops_per_byte > 0.0, "{}", p.name);
+            assert!(p.traffic_amplification >= 1.0, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn image_apps_use_psnr() {
+        for p in [
+            AppProfile::sobel(),
+            AppProfile::robert(),
+            AppProfile::sharpen(),
+        ] {
+            assert_eq!(p.qos, QosMetric::PsnrDb);
+        }
+        for p in [
+            AppProfile::fft(),
+            AppProfile::dwt_haar1d(),
+            AppProfile::quasi_random(),
+        ] {
+            assert_eq!(p.qos, QosMetric::RelativeError);
+        }
+    }
+
+    #[test]
+    fn op_splits_add_up() {
+        let p = AppProfile::fft();
+        let bytes = 1 << 20;
+        let total = p.total_ops(bytes);
+        assert!((p.mul_ops(bytes) + p.add_ops(bytes) - total).abs() < 1e-6);
+    }
+}

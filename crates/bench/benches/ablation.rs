@@ -1,0 +1,15 @@
+//! Runs the design-choice ablation study (see `apim_bench::ablation`) and
+//! measures its generation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let data = apim_bench::ablation::generate();
+    println!("{}", apim_bench::ablation::render(&data));
+    c.bench_function("ablation/generate", |b| {
+        b.iter(apim_bench::ablation::generate)
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

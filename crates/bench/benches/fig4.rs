@@ -1,0 +1,12 @@
+//! Regenerates Figure 4 and measures the sweep's cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let data = apim_bench::fig4::generate();
+    println!("{}", apim_bench::fig4::render(&data));
+    c.bench_function("fig4/generate", |b| b.iter(apim_bench::fig4::generate));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates Figure 5 and measures the dataset sweep's cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let data = apim_bench::fig5::generate();
+    println!("{}", apim_bench::fig5::render(&data));
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(20);
+    group.bench_function("generate", |b| b.iter(apim_bench::fig5::generate));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Regenerates Figure 6 and measures the adder-model sweep's cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let rows = apim_bench::fig6::generate();
+    println!("{}", apim_bench::fig6::render(&rows));
+    c.bench_function("fig6/generate", |b| b.iter(apim_bench::fig6::generate));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates the headline numbers (incl. the adaptive QoS controller).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let h = apim_bench::headline::generate();
+    println!("{}", apim_bench::headline::render(&h));
+    let mut group = c.benchmark_group("headline");
+    group.sample_size(10);
+    group.bench_function("generate", |b| b.iter(apim_bench::headline::generate));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

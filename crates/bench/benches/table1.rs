@@ -1,0 +1,15 @@
+//! Regenerates Table 1 and measures one full quality + cost sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let rows = apim_bench::table1::generate();
+    println!("{}", apim_bench::table1::render(&rows));
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("generate", |b| b.iter(apim_bench::table1::generate));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Regenerates every table and figure of the APIM paper.
+//!
+//! ```text
+//! cargo run -p apim-bench --bin repro --release            # everything
+//! cargo run -p apim-bench --bin repro --release -- fig5    # one exhibit
+//! ```
+
+use apim_bench::{ablation, csv, fig4, fig5, fig5_sim, fig6, headline, table1};
+use std::env;
+use std::fs;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    if args.iter().any(|a| a == "csv") {
+        let dir = std::path::Path::new("repro_out");
+        fs::create_dir_all(dir).expect("create repro_out/");
+        fs::write(dir.join("fig4.csv"), csv::fig4_csv(&fig4::generate())).unwrap();
+        fs::write(dir.join("fig5.csv"), csv::fig5_csv(&fig5::generate())).unwrap();
+        fs::write(dir.join("fig6.csv"), csv::fig6_csv(&fig6::generate())).unwrap();
+        fs::write(dir.join("table1.csv"), csv::table1_csv(&table1::generate())).unwrap();
+        println!("wrote repro_out/{{fig4,fig5,fig6,table1}}.csv");
+        return;
+    }
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
+
+    if want("fig4") {
+        println!("{}", fig4::render(&fig4::generate()));
+    }
+    if want("fig5") {
+        println!("{}", fig5::render(&fig5::generate()));
+    }
+    if want("fig5sim") {
+        println!("{}", fig5_sim::render(&fig5_sim::generate()));
+    }
+    if want("fig6") {
+        println!("{}", fig6::render(&fig6::generate()));
+    }
+    if want("table1") {
+        println!("{}", table1::render(&table1::generate()));
+    }
+    if want("headline") {
+        println!("{}", headline::render(&headline::generate()));
+    }
+    if want("ablation") {
+        println!("{}", ablation::render(&ablation::generate()));
+    }
+}

@@ -1,0 +1,108 @@
+//! Minimal ASCII charts for terminal-friendly figure rendering.
+
+/// Renders a horizontal bar chart. Bars scale linearly to `width`
+/// characters against the maximum value.
+///
+/// ```
+/// use apim_bench::chart::bar_chart;
+/// let text = bar_chart(
+///     "speedup",
+///     &[("a".into(), 1.0), ("b".into(), 2.0)],
+///     10,
+/// );
+/// assert!(text.contains("a"));
+/// assert!(text.lines().count() >= 3);
+/// ```
+pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize) -> String {
+    let mut out = format!("{title}\n");
+    let max = rows
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let label_width = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, value) in rows {
+        let bar_len = ((value / max) * width as f64).round().max(0.0) as usize;
+        out.push_str(&format!(
+            "  {label:<label_width$} |{:<width$}| {value:.2}\n",
+            "#".repeat(bar_len.min(width)),
+        ));
+    }
+    out
+}
+
+/// Renders a log-scale bar chart (useful for Figure 6's cycle counts,
+/// which span two orders of magnitude). Zero/negative values render as
+/// empty bars.
+pub fn log_bar_chart(title: &str, rows: &[(String, f64)], width: usize) -> String {
+    let logs: Vec<(String, f64)> = rows
+        .iter()
+        .map(|(l, v)| (l.clone(), if *v > 1.0 { v.log10() } else { 0.0 }))
+        .collect();
+    let mut out = bar_chart(title, &logs, width);
+    out.push_str("  (bar length ~ log10 of the value)\n");
+    out
+}
+
+/// A sparkline over a numeric series using eighth-block glyphs.
+///
+/// ```
+/// use apim_bench::chart::sparkline;
+/// let s = sparkline(&[0.0, 0.5, 1.0]);
+/// assert_eq!(s.chars().count(), 3);
+/// ```
+pub fn sparkline(values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let max = values.iter().copied().fold(f64::MIN_POSITIVE, f64::max);
+    values
+        .iter()
+        .map(|v| {
+            let idx = ((v / max) * 7.0).round().clamp(0.0, 7.0) as usize;
+            GLYPHS[idx]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_the_maximum() {
+        let text = bar_chart("t", &[("x".into(), 5.0), ("y".into(), 10.0)], 20);
+        let lines: Vec<&str> = text.lines().collect();
+        let count = |l: &str| l.matches('#').count();
+        assert_eq!(count(lines[1]), 10);
+        assert_eq!(count(lines[2]), 20);
+    }
+
+    #[test]
+    fn labels_align() {
+        let text = bar_chart(
+            "t",
+            &[("short".into(), 1.0), ("a-longer-label".into(), 1.0)],
+            5,
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        let bar_start = |l: &str| l.find('|').unwrap();
+        assert_eq!(bar_start(lines[1]), bar_start(lines[2]));
+    }
+
+    #[test]
+    fn log_chart_compresses_magnitudes() {
+        let text = log_bar_chart("t", &[("small".into(), 10.0), ("big".into(), 10_000.0)], 40);
+        let lines: Vec<&str> = text.lines().collect();
+        let count = |l: &str| l.matches('#').count();
+        // log10: 1 vs 4 -> quarter-length bar, not 1/1000.
+        assert_eq!(count(lines[1]) * 4, count(lines[2]));
+    }
+
+    #[test]
+    fn sparkline_peaks_at_the_max() {
+        let s = sparkline(&[1.0, 2.0, 8.0]);
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+    }
+}

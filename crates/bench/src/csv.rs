@@ -1,0 +1,123 @@
+//! CSV export of every exhibit — plot-ready data without extra
+//! dependencies.
+
+use crate::{fig4, fig5, fig6, table1};
+use std::fmt::Write as _;
+
+/// Figure 4 as CSV: `series,knob_bits,edp_joule_seconds,error_percent`.
+pub fn fig4_csv(data: &fig4::Fig4Data) -> String {
+    let mut out = String::from("series,knob_bits,edp_joule_seconds,error_percent\n");
+    for p in &data.first_stage {
+        let _ = writeln!(
+            out,
+            "first_stage,{},{:e},{:e}",
+            p.mode.masked_multiplier_bits(),
+            p.edp_joule_seconds,
+            p.error_percent
+        );
+    }
+    for p in &data.last_stage {
+        let _ = writeln!(
+            out,
+            "last_stage,{},{:e},{:e}",
+            p.mode.relaxed_product_bits(),
+            p.edp_joule_seconds,
+            p.error_percent
+        );
+    }
+    out
+}
+
+/// Figure 5 as CSV: `app,dataset_mb,energy_improvement,speedup`.
+pub fn fig5_csv(series: &[fig5::Fig5Series]) -> String {
+    let mut out = String::from("app,dataset_mb,energy_improvement,speedup\n");
+    for s in series {
+        for p in &s.points {
+            let _ = writeln!(
+                out,
+                "{},{},{},{}",
+                s.app.name(),
+                p.dataset_bytes >> 20,
+                p.energy_improvement,
+                p.speedup
+            );
+        }
+    }
+    out
+}
+
+/// Figure 6 as CSV: `n,magic_24,pc_adder_25,apim_exact,apim_999`.
+pub fn fig6_csv(rows: &[fig6::Fig6Row]) -> String {
+    let mut out = String::from("n,magic_24,pc_adder_25,apim_exact,apim_999\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            r.n,
+            r.magic_cycles.get(),
+            r.pc_adder_cycles.get(),
+            r.apim_exact_cycles.get(),
+            r.apim_approx_cycles.get()
+        );
+    }
+    out
+}
+
+/// Table 1 as CSV: `app,relax_bits,edp_improvement,qol_percent,acceptable`.
+pub fn table1_csv(rows: &[table1::Table1Row]) -> String {
+    let mut out = String::from("app,relax_bits,edp_improvement,qol_percent,acceptable\n");
+    for row in rows {
+        for cell in &row.cells {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{}",
+                row.app.name(),
+                cell.relax_bits,
+                cell.edp_improvement,
+                cell.qol_percent,
+                cell.acceptable
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_csv_has_header_and_rows() {
+        let csv = fig6_csv(&fig6::generate());
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "n,magic_24,pc_adder_25,apim_exact,apim_999"
+        );
+        assert_eq!(csv.lines().count(), 1 + fig6::N_VALUES.len());
+    }
+
+    #[test]
+    fn fig5_csv_covers_all_points() {
+        let csv = fig5_csv(&fig5::generate());
+        assert_eq!(
+            csv.lines().count(),
+            1 + fig5::APPS.len() * fig5::DATASET_SIZES.len()
+        );
+        assert!(csv.contains("Sobel,1024,"));
+    }
+
+    #[test]
+    fn fig4_csv_tags_both_series() {
+        let csv = fig4_csv(&fig4::generate());
+        assert!(csv.contains("first_stage,32,"));
+        assert!(csv.contains("last_stage,64,"));
+    }
+
+    #[test]
+    fn table1_csv_has_36_cells() {
+        let csv = table1_csv(&table1::generate());
+        assert_eq!(csv.lines().count(), 1 + 36);
+        assert!(csv.lines().skip(1).all(|l| l.split(',').count() == 5));
+    }
+}

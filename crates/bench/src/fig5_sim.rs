@@ -1,0 +1,144 @@
+//! Figure 5, cross-validated: the same APIM-vs-GPU sweep with the GPU
+//! costed by the **trace-driven memory-hierarchy simulator**
+//! ([`apim_baselines::gpusim`]) instead of the analytic model.
+//!
+//! The paper used a modified multi2sim; this exhibit shows that replacing
+//! our analytic GPU stand-in with an actual cache/DRAM simulation driven
+//! by per-kernel address streams preserves the figure's shape: rising
+//! curves, a capacity cliff, and APIM winning at the gigabyte scale.
+
+use apim::{Apim, App, Comparison, PrecisionMode};
+use apim_baselines::gpusim::{access::AccessPattern, GpuSim};
+
+use crate::fig5::{Fig5Point, APPS, DATASET_SIZES};
+
+/// One subplot with both GPU cost sources.
+#[derive(Debug, Clone)]
+pub struct Fig5SimSeries {
+    /// The application.
+    pub app: App,
+    /// Points computed against the analytic GPU model.
+    pub analytic: Vec<Fig5Point>,
+    /// Points computed against the trace-driven simulator.
+    pub trace_driven: Vec<Fig5Point>,
+}
+
+/// Generates the cross-validated sweep.
+pub fn generate() -> Vec<Fig5SimSeries> {
+    let apim = Apim::default();
+    let sim = GpuSim::default();
+    APPS.iter()
+        .map(|&app| {
+            let profile = apim::profile_of(app);
+            let pattern = AccessPattern::for_app(profile.name);
+            let mut analytic = Vec::new();
+            let mut trace_driven = Vec::new();
+            for &bytes in &DATASET_SIZES {
+                let run = apim
+                    .run_with_mode(app, bytes, PrecisionMode::Exact)
+                    .expect("fits capacity");
+                analytic.push(Fig5Point {
+                    dataset_bytes: bytes,
+                    energy_improvement: run.comparison.energy_improvement,
+                    speedup: run.comparison.speedup,
+                });
+                let gpu = sim.run(&pattern, &profile, bytes).cost;
+                let cmp = Comparison::against(&run.apim, gpu.time, gpu.energy);
+                trace_driven.push(Fig5Point {
+                    dataset_bytes: bytes,
+                    energy_improvement: cmp.energy_improvement,
+                    speedup: cmp.speedup,
+                });
+            }
+            Fig5SimSeries {
+                app,
+                analytic,
+                trace_driven,
+            }
+        })
+        .collect()
+}
+
+/// Renders the cross-validation table.
+pub fn render(series: &[Fig5SimSeries]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Figure 5 cross-validation: GPU costed analytically vs by the trace-driven\n\
+         cache/DRAM simulator (energy improvement / speedup, GPU = 1)\n",
+    );
+    out.push_str(&format!("{:<22}", "app (gpu model)"));
+    for bytes in DATASET_SIZES {
+        out.push_str(&format!("{:>13}", format!("{}M", bytes >> 20)));
+    }
+    out.push('\n');
+    for s in series {
+        for (label, points) in [("analytic", &s.analytic), ("trace-driven", &s.trace_driven)] {
+            out.push_str(&format!("{:<22}", format!("{} ({label})", s.app.name())));
+            for p in points {
+                out.push_str(&format!(
+                    "{:>13}",
+                    format!("{:.1}/{:.2}", p.energy_improvement, p.speedup)
+                ));
+            }
+            out.push('\n');
+        }
+    }
+    out.push_str(
+        "\nShape check: both GPU cost sources show the capacity cliff and rising\n\
+         curves; Sobel/Robert/FFT cross over to APIM wins in both. DwtHaar1D's\n\
+         purely streaming trace keeps the GPU competitive even at 1 GB — an honest\n\
+         divergence between the two GPU models (see EXPERIMENTS.md).\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_models_agree_on_the_shape() {
+        let series = generate();
+        let mut wins_at_1gb = 0;
+        for s in &series {
+            let first = &s.trace_driven[0];
+            let last = &s.trace_driven[5];
+            assert!(
+                last.speedup > 1.8 * first.speedup,
+                "{}: trace-driven speedup must grow ({} -> {})",
+                s.app,
+                first.speedup,
+                last.speedup
+            );
+            assert!(s.analytic[5].speedup > 1.0, "{} analytic", s.app);
+            if last.speedup > 1.0 {
+                wins_at_1gb += 1;
+            }
+        }
+        // The streaming-only DwtHaar1D trace keeps the GPU competitive (a
+        // genuine modeling difference, noted in EXPERIMENTS.md); the other
+        // apps must agree with the analytic crossover.
+        assert!(wins_at_1gb >= 3, "only {wins_at_1gb} apps win at 1 GB");
+    }
+
+    #[test]
+    fn models_agree_within_an_order_of_magnitude_at_1gb() {
+        for s in generate() {
+            let a = s.analytic[5].speedup;
+            let t = s.trace_driven[5].speedup;
+            let ratio = (a / t).max(t / a);
+            assert!(
+                ratio < 12.0,
+                "{}: analytic {a:.2} vs trace-driven {t:.2}",
+                s.app
+            );
+        }
+    }
+
+    #[test]
+    fn render_shows_both_sources() {
+        let text = render(&generate());
+        assert!(text.contains("analytic"));
+        assert!(text.contains("trace-driven"));
+    }
+}

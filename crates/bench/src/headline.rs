@@ -1,0 +1,177 @@
+//! The paper's headline numbers (abstract + §4): exact-mode 28×/4.8× at
+//! 1 GB, up to 20× performance in approximate mode, and the adaptive
+//! controller reaching ~480× EDP improvement while keeping QoS.
+
+use apim::{Apim, App, PrecisionMode};
+
+/// Per-application outcome of the adaptive QoS run.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveRow {
+    /// The application.
+    pub app: App,
+    /// The precision the controller settled on.
+    pub mode: PrecisionMode,
+    /// Levels evaluated before settling.
+    pub trials: u32,
+    /// EDP improvement over GPU at that precision (1 GB).
+    pub edp_improvement: f64,
+    /// Speedup over GPU at that precision (1 GB).
+    pub speedup: f64,
+    /// Measured QoL, percent.
+    pub qol_percent: f64,
+}
+
+/// All headline numbers.
+#[derive(Debug, Clone)]
+pub struct Headline {
+    /// Best exact-mode energy improvement at 1 GB across apps.
+    pub exact_energy_improvement: f64,
+    /// Best exact-mode speedup at 1 GB across apps.
+    pub exact_speedup: f64,
+    /// Best approximate-mode speedup at 1 GB across apps (32 relax bits).
+    pub approx_speedup: f64,
+    /// Best approximate-mode EDP improvement across apps.
+    pub approx_edp_improvement: f64,
+    /// Adaptive-controller outcome per application.
+    pub adaptive: Vec<AdaptiveRow>,
+}
+
+const GB: u64 = 1 << 30;
+
+/// Computes every headline number.
+pub fn generate() -> Headline {
+    let apim = Apim::default();
+    let mut exact_energy: f64 = 0.0;
+    let mut exact_speed: f64 = 0.0;
+    let mut approx_speed: f64 = 0.0;
+    let mut approx_edp: f64 = 0.0;
+    for app in App::all() {
+        let exact = apim.run_with_mode(app, GB, PrecisionMode::Exact).unwrap();
+        exact_energy = exact_energy.max(exact.comparison.energy_improvement);
+        exact_speed = exact_speed.max(exact.comparison.speedup);
+        let approx = apim
+            .run_with_mode(app, GB, PrecisionMode::LastStage { relax_bits: 32 })
+            .unwrap();
+        approx_speed = approx_speed.max(approx.comparison.speedup);
+        approx_edp = approx_edp.max(approx.comparison.edp_improvement);
+    }
+    let adaptive = App::all()
+        .iter()
+        .map(|&app| {
+            let outcome = apim.tune(app);
+            let run = apim.run_with_mode(app, GB, outcome.mode).unwrap();
+            AdaptiveRow {
+                app,
+                mode: outcome.mode,
+                trials: outcome.trials,
+                edp_improvement: run.comparison.edp_improvement,
+                speedup: run.comparison.speedup,
+                qol_percent: run.quality.qol_percent,
+            }
+        })
+        .collect();
+    Headline {
+        exact_energy_improvement: exact_energy,
+        exact_speedup: exact_speed,
+        approx_speedup: approx_speed,
+        approx_edp_improvement: approx_edp,
+        adaptive,
+    }
+}
+
+/// Renders the headline summary.
+pub fn render(h: &Headline) -> String {
+    let mut out = String::new();
+    out.push_str("Headline numbers (1 GB datasets, best application unless noted)\n");
+    out.push_str(&format!(
+        "  exact mode:      {} energy savings, {} speedup   (paper: 28x, 4.8x)\n",
+        crate::times(h.exact_energy_improvement),
+        crate::times(h.exact_speedup)
+    ));
+    out.push_str(&format!(
+        "  approx mode:     {} speedup, {} EDP improvement  (paper: up to 20x, 480-968x)\n",
+        crate::times(h.approx_speedup),
+        crate::times(h.approx_edp_improvement)
+    ));
+    out.push_str("  adaptive controller (start 32 relax bits, 4-bit accuracy steps):\n");
+    for row in &h.adaptive {
+        out.push_str(&format!(
+            "    {:<10} -> {:<28} ({} trials): EDP {} | speedup {} | QoL {:.2}%\n",
+            row.app.name(),
+            row.mode.to_string(),
+            row.trials,
+            crate::times(row.edp_improvement),
+            crate::times(row.speedup),
+            row.qol_percent
+        ));
+    }
+    let mean_adaptive =
+        h.adaptive.iter().map(|r| r.edp_improvement).sum::<f64>() / h.adaptive.len().max(1) as f64;
+    let best_adaptive = h
+        .adaptive
+        .iter()
+        .map(|r| r.edp_improvement)
+        .fold(0.0f64, f64::max);
+    out.push_str(&format!(
+        "  adaptive EDP improvement: mean {} / best {}  (paper: up to 480x with QoS held)\n",
+        crate::times(mean_adaptive),
+        crate::times(best_adaptive)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_headline_in_band() {
+        let h = generate();
+        assert!(
+            (18.0..60.0).contains(&h.exact_energy_improvement),
+            "energy {}",
+            h.exact_energy_improvement
+        );
+        assert!(
+            (3.5..7.0).contains(&h.exact_speedup),
+            "speedup {}",
+            h.exact_speedup
+        );
+    }
+
+    #[test]
+    fn approx_mode_multiplies_the_win() {
+        let h = generate();
+        assert!(h.approx_speedup > 1.5 * h.exact_speedup);
+        assert!(
+            (200.0..1500.0).contains(&h.approx_edp_improvement),
+            "approx EDP {}",
+            h.approx_edp_improvement
+        );
+    }
+
+    #[test]
+    fn adaptive_holds_qos_and_gains_edp() {
+        let h = generate();
+        for row in &h.adaptive {
+            assert!(
+                row.mode.relaxed_product_bits() >= 4,
+                "{}: adaptive should find some relaxation",
+                row.app
+            );
+        }
+        let best = h
+            .adaptive
+            .iter()
+            .map(|r| r.edp_improvement)
+            .fold(0.0f64, f64::max);
+        assert!((150.0..1200.0).contains(&best), "best adaptive EDP {best}");
+    }
+
+    #[test]
+    fn render_mentions_paper_targets() {
+        let text = render(&generate());
+        assert!(text.contains("28x"));
+        assert!(text.contains("480"));
+    }
+}

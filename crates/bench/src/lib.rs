@@ -1,0 +1,54 @@
+//! Regeneration harness for every table and figure of the APIM paper.
+//!
+//! Each module produces the data behind one exhibit and renders it as the
+//! rows/series the paper reports:
+//!
+//! | module | paper exhibit |
+//! |---|---|
+//! | [`fig4`] | Figure 4 — error vs EDP for the two approximation approaches |
+//! | [`fig5`] | Figure 5 — energy/speedup of exact APIM vs GPU over dataset size |
+//! | [`fig5_sim`] | Figure 5 cross-validated with the trace-driven GPU simulator |
+//! | [`fig6`] | Figure 6 — multi-operand addition vs \[24\] and \[25\] |
+//! | [`table1`] | Table 1 — EDP improvement and QoL per approximation level |
+//! | [`headline`] | Abstract/§4 headline numbers incl. the adaptive controller |
+//! | [`ablation`] | design-choice ablations (interconnect, tree, logic family, MAJ) |
+//!
+//! Run everything with `cargo run -p apim-bench --bin repro --release`, or
+//! individual criterion benches (`cargo bench -p apim-bench`), which print
+//! the same series before measuring harness throughput. [`csv`] exports
+//! plot-ready data (`repro -- csv` writes one file per exhibit).
+
+#![deny(missing_docs)]
+
+pub mod ablation;
+pub mod chart;
+pub mod csv;
+pub mod fig4;
+pub mod fig5;
+pub mod fig5_sim;
+pub mod fig6;
+pub mod headline;
+pub mod table1;
+
+/// Renders a ratio as the paper's "NNNx" notation.
+pub fn times(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}x")
+    } else if x >= 10.0 {
+        format!("{x:.1}x")
+    } else {
+        format!("{x:.2}x")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn times_formats_by_magnitude() {
+        assert_eq!(times(480.4), "480x");
+        assert_eq!(times(28.04), "28.0x");
+        assert_eq!(times(4.8), "4.80x");
+    }
+}

@@ -1,0 +1,181 @@
+//! Table 1 — "Quality of loss and EDP improvement of the proposed APIM
+//! compared to GPU in different level of approximation".
+//!
+//! Six applications × relax levels {0, 4, 8, 16, 24, 32}: the EDP column
+//! comes from the analytic executor at the 1 GB operating point; the QoL
+//! column is *measured* by running each kernel with bit-exact approximate
+//! arithmetic against its golden output.
+
+use apim::{Apim, App, PrecisionMode};
+
+/// The approximation levels of the paper's table (relaxed product LSBs).
+pub const RELAX_LEVELS: [u8; 6] = [0, 4, 8, 16, 24, 32];
+
+/// Dataset size the EDP columns are evaluated at.
+pub const DATASET_BYTES: u64 = 1 << 30;
+
+/// One (application, level) cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Cell {
+    /// Relaxed bits.
+    pub relax_bits: u8,
+    /// EDP improvement over the GPU baseline.
+    pub edp_improvement: f64,
+    /// Measured quality loss, percent.
+    pub qol_percent: f64,
+    /// Whether the application's QoS criterion still holds.
+    pub acceptable: bool,
+}
+
+/// One application row.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// The application.
+    pub app: App,
+    /// Cells over [`RELAX_LEVELS`].
+    pub cells: Vec<Table1Cell>,
+}
+
+/// Generates the full table.
+pub fn generate() -> Vec<Table1Row> {
+    let apim = Apim::default();
+    App::all()
+        .iter()
+        .map(|&app| Table1Row {
+            app,
+            cells: RELAX_LEVELS
+                .iter()
+                .map(|&m| {
+                    let run = apim
+                        .run_with_mode(
+                            app,
+                            DATASET_BYTES,
+                            PrecisionMode::LastStage { relax_bits: m },
+                        )
+                        .expect("1 GB fits the default capacity");
+                    Table1Cell {
+                        relax_bits: m,
+                        edp_improvement: run.comparison.edp_improvement,
+                        qol_percent: run.quality.qol_percent,
+                        acceptable: run.quality.acceptable,
+                    }
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Renders the table as aligned text (same layout as the paper's Table 1).
+pub fn render(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table 1: QoL and EDP improvement vs GPU at {} MB, per approximation level\n",
+        DATASET_BYTES >> 20
+    ));
+    out.push_str(&format!("{:<11}", "app"));
+    for m in RELAX_LEVELS {
+        out.push_str(&format!("{:>11} {:>8}", format!("{m}b EDP"), "QoL"));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("{:<11}", row.app.name()));
+        for cell in &row.cells {
+            out.push_str(&format!(
+                "{:>11} {:>7.2}%",
+                crate::times(cell.edp_improvement),
+                cell.qol_percent
+            ));
+        }
+        out.push('\n');
+    }
+    out.push_str(
+        "\nShape checks: EDP improvement grows monotonically with the relax level while\n\
+         QoL degrades monotonically; the exact column spans ~70-200x (paper: 69-203x)\n\
+         and the 32-bit column ~240-810x (paper: 386-968x).\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edp_grows_and_qol_degrades_monotonically() {
+        for row in generate() {
+            for pair in row.cells.windows(2) {
+                assert!(
+                    pair[1].edp_improvement > pair[0].edp_improvement,
+                    "{}: EDP must grow with relaxation",
+                    row.app
+                );
+                assert!(
+                    pair[1].qol_percent >= pair[0].qol_percent - 1e-9,
+                    "{}: QoL must not improve with relaxation",
+                    row.app
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_column_matches_paper_band() {
+        // Paper row starts: 94, 177, 203, 90, 104, 69.
+        let rows = generate();
+        for row in &rows {
+            let edp0 = row.cells[0].edp_improvement;
+            assert!(
+                (50.0..260.0).contains(&edp0),
+                "{}: exact EDP improvement {edp0}",
+                row.app
+            );
+            assert_eq!(
+                row.cells[0].qol_percent, 0.0,
+                "{}: exact is lossless",
+                row.app
+            );
+        }
+        let min = rows
+            .iter()
+            .map(|r| r.cells[0].edp_improvement)
+            .fold(f64::INFINITY, f64::min);
+        let max = rows
+            .iter()
+            .map(|r| r.cells[0].edp_improvement)
+            .fold(0.0f64, f64::max);
+        assert!(
+            max / min > 1.8,
+            "apps must spread as in the paper ({min}..{max})"
+        );
+    }
+
+    #[test]
+    fn full_relaxation_multiplies_edp_gain() {
+        for row in generate() {
+            let gain = row.cells[5].edp_improvement / row.cells[0].edp_improvement;
+            assert!(
+                gain > 2.0,
+                "{}: relaxing 32 bits must multiply the EDP gain (got {gain:.2})",
+                row.app
+            );
+        }
+    }
+
+    #[test]
+    fn moderate_levels_stay_acceptable() {
+        for row in generate() {
+            assert!(row.cells[0].acceptable, "{} exact", row.app);
+            assert!(row.cells[1].acceptable, "{} @4b", row.app);
+            assert!(row.cells[2].acceptable, "{} @8b", row.app);
+        }
+    }
+
+    #[test]
+    fn render_contains_all_apps_and_levels() {
+        let text = render(&generate());
+        for app in App::all() {
+            assert!(text.contains(app.name()));
+        }
+        assert!(text.contains("32b EDP"));
+    }
+}

@@ -1,0 +1,25 @@
+//! The `apim-cli` binary: a thin shell around [`apim_cli::parse`] and
+//! [`apim_cli::execute`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match apim_cli::parse(&args) {
+        Ok(command) => command,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", apim_cli::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match apim_cli::execute(&command) {
+        Ok(text) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! Command layer of the `apim-cli` binary.
+//!
+//! Parsing and execution are plain functions over strings so the whole
+//! surface is unit-testable; `src/bin/main.rs` is a thin shell around
+//! [`parse`] + [`execute`].
+//!
+//! ```text
+//! apim-cli multiply 1000003 2000029 --relax 16
+//! apim-cli run sobel 512 --relax 8
+//! apim-cli tune fft
+//! apim-cli sweep robert
+//! apim-cli repro table1
+//! ```
+
+#![deny(missing_docs)]
+
+use apim::prelude::*;
+use apim::App;
+use std::fmt;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// In-memory multiplication of two operands.
+    Multiply {
+        /// Multiplicand.
+        a: u64,
+        /// Multiplier.
+        b: u64,
+        /// Precision mode.
+        mode: PrecisionMode,
+    },
+    /// One application over a resident dataset.
+    Run {
+        /// The application.
+        app: App,
+        /// Dataset size in MiB.
+        size_mb: u64,
+        /// Precision mode.
+        mode: PrecisionMode,
+    },
+    /// The §4.1 adaptive QoS loop for one application.
+    Tune {
+        /// The application.
+        app: App,
+    },
+    /// Dataset-size sweep (the Figure 5 view) for one application.
+    Sweep {
+        /// The application.
+        app: App,
+    },
+    /// Regenerate a paper exhibit (`fig4|fig5|fig6|table1|headline|all`).
+    Repro {
+        /// The exhibit name.
+        exhibit: String,
+    },
+    /// Gate-level device self-test.
+    SelfTest {
+        /// Number of random multiplications to verify.
+        samples: u32,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+apim-cli — the APIM (DAC'17) processing-in-memory simulator
+
+USAGE:
+  apim-cli multiply <a> <b> [--relax M | --mask F]
+  apim-cli run <app> <size-mb> [--relax M | --mask F]
+  apim-cli tune <app>
+  apim-cli sweep <app>
+  apim-cli repro <fig4|fig5|fig5sim|fig6|table1|headline|ablation|all>
+  apim-cli selftest [samples]
+  apim-cli help
+
+APPS: sobel | robert | fft | dwt | sharpen | quasir";
+
+fn parse_app(name: &str) -> Result<App, ParseError> {
+    match name.to_ascii_lowercase().as_str() {
+        "sobel" => Ok(App::Sobel),
+        "robert" => Ok(App::Robert),
+        "fft" => Ok(App::Fft),
+        "dwt" | "dwthaar1d" => Ok(App::DwtHaar1d),
+        "sharpen" => Ok(App::Sharpen),
+        "quasir" | "quasirandom" => Ok(App::QuasiRandom),
+        other => Err(ParseError(format!(
+            "unknown app `{other}` (expected sobel|robert|fft|dwt|sharpen|quasir)"
+        ))),
+    }
+}
+
+fn parse_mode(rest: &[String]) -> Result<PrecisionMode, ParseError> {
+    match rest {
+        [] => Ok(PrecisionMode::Exact),
+        [flag, value] if flag == "--relax" => {
+            let m: u8 = value
+                .parse()
+                .map_err(|_| ParseError(format!("invalid relax bits `{value}`")))?;
+            Ok(PrecisionMode::LastStage { relax_bits: m })
+        }
+        [flag, value] if flag == "--mask" => {
+            let f: u8 = value
+                .parse()
+                .map_err(|_| ParseError(format!("invalid mask bits `{value}`")))?;
+            Ok(PrecisionMode::FirstStage { masked_bits: f })
+        }
+        other => Err(ParseError(format!("unexpected arguments: {other:?}"))),
+    }
+}
+
+fn parse_u64(value: &str, what: &str) -> Result<u64, ParseError> {
+    value
+        .parse()
+        .map_err(|_| ParseError(format!("invalid {what} `{value}`")))
+}
+
+/// Parses an argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a user-facing message for anything the
+/// grammar above rejects.
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    match args {
+        [] => Ok(Command::Help),
+        [cmd, rest @ ..] => match cmd.as_str() {
+            "help" | "--help" | "-h" => Ok(Command::Help),
+            "multiply" => match rest {
+                [a, b, mode @ ..] => Ok(Command::Multiply {
+                    a: parse_u64(a, "multiplicand")?,
+                    b: parse_u64(b, "multiplier")?,
+                    mode: parse_mode(mode)?,
+                }),
+                _ => Err(ParseError("multiply needs two operands".into())),
+            },
+            "run" => match rest {
+                [app, size, mode @ ..] => Ok(Command::Run {
+                    app: parse_app(app)?,
+                    size_mb: parse_u64(size, "dataset size")?,
+                    mode: parse_mode(mode)?,
+                }),
+                _ => Err(ParseError("run needs an app and a size in MiB".into())),
+            },
+            "tune" => match rest {
+                [app] => Ok(Command::Tune {
+                    app: parse_app(app)?,
+                }),
+                _ => Err(ParseError("tune needs exactly one app".into())),
+            },
+            "sweep" => match rest {
+                [app] => Ok(Command::Sweep {
+                    app: parse_app(app)?,
+                }),
+                _ => Err(ParseError("sweep needs exactly one app".into())),
+            },
+            "selftest" => match rest {
+                [] => Ok(Command::SelfTest { samples: 16 }),
+                [n] => Ok(Command::SelfTest {
+                    samples: parse_u64(n, "sample count")?.min(10_000) as u32,
+                }),
+                _ => Err(ParseError("selftest takes at most a sample count".into())),
+            },
+            "repro" => match rest {
+                [exhibit] => Ok(Command::Repro {
+                    exhibit: exhibit.clone(),
+                }),
+                [] => Ok(Command::Repro {
+                    exhibit: "all".into(),
+                }),
+                _ => Err(ParseError("repro takes at most one exhibit".into())),
+            },
+            other => Err(ParseError(format!("unknown command `{other}`"))),
+        },
+    }
+}
+
+/// Executes a command, returning the text to print.
+///
+/// # Errors
+///
+/// Propagates simulator errors (invalid modes, oversized datasets) as
+/// [`apim::ApimError`].
+pub fn execute(command: &Command) -> Result<String, apim::ApimError> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    match command {
+        Command::Help => out.push_str(USAGE),
+        Command::Multiply { a, b, mode } => {
+            let apim = Apim::default();
+            mode.validate(apim.config().operand_bits)
+                .map_err(|e| apim::ArchError::InvalidConfig(e.to_string()))?;
+            let r = apim.multiply(*a, *b, *mode);
+            let exact = u128::from(*a) * u128::from(*b);
+            let _ = writeln!(out, "product   : {}", r.product);
+            let _ = writeln!(out, "exact     : {exact}");
+            let _ = writeln!(
+                out,
+                "rel error : {:.3e}",
+                if exact == 0 {
+                    0.0
+                } else {
+                    r.product.abs_diff(exact) as f64 / exact as f64
+                }
+            );
+            let _ = writeln!(out, "cycles    : {}", r.cost.cycles.get());
+            let _ = writeln!(out, "energy    : {}", r.cost.energy);
+            let _ = write!(out, "EDP       : {}", r.edp);
+        }
+        Command::Run { app, size_mb, mode } => {
+            let apim = Apim::default();
+            let report = apim.run_with_mode(*app, size_mb << 20, *mode)?;
+            let _ = write!(out, "{report}");
+        }
+        Command::Tune { app } => {
+            let apim = Apim::default();
+            let outcome = apim.tune(*app);
+            let report = apim.run_with_mode(*app, 1 << 30, outcome.mode)?;
+            let _ = writeln!(
+                out,
+                "{}: settled on {} after {} trials",
+                app.name(),
+                outcome.mode,
+                outcome.trials
+            );
+            let _ = write!(out, "at 1 GiB: {}", report.comparison);
+        }
+        Command::Sweep { app } => {
+            let apim = Apim::default();
+            let _ = writeln!(
+                out,
+                "{}: dataset sweep (energy x / speedup vs GPU)",
+                app.name()
+            );
+            for mb in [32u64, 64, 128, 256, 512, 1024] {
+                let r = apim.run_with_mode(*app, mb << 20, PrecisionMode::Exact)?;
+                let _ = writeln!(
+                    out,
+                    "{mb:>6} MiB: {:>6.1}x / {:>5.2}x",
+                    r.comparison.energy_improvement, r.comparison.speedup
+                );
+            }
+            out.pop();
+        }
+        Command::SelfTest { samples } => {
+            let apim = Apim::default();
+            let report = apim.self_test(*samples, 0xA11C)?;
+            let _ = writeln!(
+                out,
+                "self-test: {}/{} multiplications bit-exact vs reference",
+                report.samples - report.mismatches,
+                report.samples
+            );
+            let _ = writeln!(
+                out,
+                "hottest cell absorbed {} writes",
+                report.max_cell_writes
+            );
+            let _ = write!(
+                out,
+                "verdict: {}",
+                if report.passed() { "PASS" } else { "FAIL" }
+            );
+        }
+        Command::Repro { exhibit } => {
+            use apim_bench as b;
+            let all = exhibit == "all";
+            if all || exhibit == "fig4" {
+                let _ = writeln!(out, "{}", b::fig4::render(&b::fig4::generate()));
+            }
+            if all || exhibit == "fig5" {
+                let _ = writeln!(out, "{}", b::fig5::render(&b::fig5::generate()));
+            }
+            if all || exhibit == "fig5sim" {
+                let _ = writeln!(out, "{}", b::fig5_sim::render(&b::fig5_sim::generate()));
+            }
+            if all || exhibit == "fig6" {
+                let _ = writeln!(out, "{}", b::fig6::render(&b::fig6::generate()));
+            }
+            if all || exhibit == "table1" {
+                let _ = writeln!(out, "{}", b::table1::render(&b::table1::generate()));
+            }
+            if all || exhibit == "headline" {
+                let _ = writeln!(out, "{}", b::headline::render(&b::headline::generate()));
+            }
+            if all || exhibit == "ablation" {
+                let _ = writeln!(out, "{}", b::ablation::render(&b::ablation::generate()));
+            }
+            if out.is_empty() {
+                out = format!("unknown exhibit `{exhibit}`\n\n{USAGE}");
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_multiply_with_modes() {
+        assert_eq!(
+            parse(&args("multiply 3 5")).unwrap(),
+            Command::Multiply {
+                a: 3,
+                b: 5,
+                mode: PrecisionMode::Exact
+            }
+        );
+        assert_eq!(
+            parse(&args("multiply 3 5 --relax 16")).unwrap(),
+            Command::Multiply {
+                a: 3,
+                b: 5,
+                mode: PrecisionMode::LastStage { relax_bits: 16 }
+            }
+        );
+        assert_eq!(
+            parse(&args("multiply 3 5 --mask 4")).unwrap(),
+            Command::Multiply {
+                a: 3,
+                b: 5,
+                mode: PrecisionMode::FirstStage { masked_bits: 4 }
+            }
+        );
+    }
+
+    #[test]
+    fn parses_all_app_aliases() {
+        for (name, app) in [
+            ("sobel", App::Sobel),
+            ("ROBERT", App::Robert),
+            ("fft", App::Fft),
+            ("dwt", App::DwtHaar1d),
+            ("dwthaar1d", App::DwtHaar1d),
+            ("sharpen", App::Sharpen),
+            ("quasir", App::QuasiRandom),
+        ] {
+            assert_eq!(
+                parse(&args(&format!("tune {name}"))).unwrap(),
+                Command::Tune { app },
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse(&args("multiply 3")).is_err());
+        assert!(parse(&args("multiply x y")).is_err());
+        assert!(parse(&args("run nosuchapp 64")).is_err());
+        assert!(parse(&args("run sobel sixtyfour")).is_err());
+        assert!(parse(&args("multiply 1 2 --frob 3")).is_err());
+        assert!(parse(&args("frobnicate")).is_err());
+        assert!(parse(&args("tune")).is_err());
+    }
+
+    #[test]
+    fn empty_and_help_yield_usage() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&args("--help")).unwrap(), Command::Help);
+        let text = execute(&Command::Help).unwrap();
+        assert!(text.contains("USAGE"));
+    }
+
+    #[test]
+    fn multiply_executes_and_reports() {
+        let out = execute(&Command::Multiply {
+            a: 1000,
+            b: 2000,
+            mode: PrecisionMode::Exact,
+        })
+        .unwrap();
+        assert!(out.contains("product   : 2000000"));
+        assert!(out.contains("cycles"));
+    }
+
+    #[test]
+    fn run_reports_comparison() {
+        let out = execute(&Command::Run {
+            app: App::Robert,
+            size_mb: 256,
+            mode: PrecisionMode::Exact,
+        })
+        .unwrap();
+        assert!(out.contains("Robert"));
+        assert!(out.contains("speedup"));
+    }
+
+    #[test]
+    fn oversized_run_errors_cleanly() {
+        let err = execute(&Command::Run {
+            app: App::Fft,
+            size_mb: 1 << 20,
+            mode: PrecisionMode::Exact,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn invalid_mode_reported_not_panicking() {
+        let err = execute(&Command::Multiply {
+            a: 1,
+            b: 2,
+            mode: PrecisionMode::LastStage { relax_bits: 65 },
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("invalid"));
+    }
+
+    #[test]
+    fn sweep_lists_all_sizes() {
+        let out = execute(&Command::Sweep {
+            app: App::DwtHaar1d,
+        })
+        .unwrap();
+        for mb in ["32", "64", "128", "256", "512", "1024"] {
+            assert!(out.contains(mb), "{mb} missing");
+        }
+    }
+
+    #[test]
+    fn selftest_parses_and_passes() {
+        assert_eq!(
+            parse(&args("selftest")).unwrap(),
+            Command::SelfTest { samples: 16 }
+        );
+        assert_eq!(
+            parse(&args("selftest 4")).unwrap(),
+            Command::SelfTest { samples: 4 }
+        );
+        assert!(parse(&args("selftest four")).is_err());
+        let out = execute(&Command::SelfTest { samples: 4 }).unwrap();
+        assert!(out.contains("PASS"), "{out}");
+    }
+
+    #[test]
+    fn repro_unknown_exhibit_prints_usage() {
+        let out = execute(&Command::Repro {
+            exhibit: "fig99".into(),
+        })
+        .unwrap();
+        assert!(out.contains("unknown exhibit"));
+    }
+
+    #[test]
+    fn repro_fig6_renders() {
+        let out = execute(&Command::Repro {
+            exhibit: "fig6".into(),
+        })
+        .unwrap();
+        assert!(out.contains("Figure 6"));
+    }
+
+    #[test]
+    fn repro_ablation_renders() {
+        let out = execute(&Command::Repro {
+            exhibit: "ablation".into(),
+        })
+        .unwrap();
+        assert!(out.contains("Ablation 1"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Structured experiment campaigns: sweep applications × dataset sizes ×
+//! precision modes in one call and get a flat, CSV-exportable result
+//! table.
+//!
+//! The bench harness regenerates the paper's exact exhibits; `Campaign` is
+//! the general tool for everything else — custom sweeps, new operating
+//! points, sensitivity studies.
+//!
+//! ```
+//! use apim::campaign::Campaign;
+//! use apim::{App, PrecisionMode};
+//!
+//! # fn main() -> Result<(), apim::ApimError> {
+//! let results = Campaign::new()
+//!     .apps([App::Sobel, App::Fft])
+//!     .dataset_mb([256, 1024])
+//!     .modes([PrecisionMode::Exact, PrecisionMode::LastStage { relax_bits: 8 }])
+//!     .run()?;
+//! assert_eq!(results.rows().len(), 8);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::simulator::{Apim, ApimError, RunReport};
+use crate::{ApimConfig, App, PrecisionMode};
+use std::fmt::Write as _;
+
+/// A declarative sweep over applications, dataset sizes and precision
+/// modes.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    config: ApimConfig,
+    apps: Vec<App>,
+    dataset_bytes: Vec<u64>,
+    modes: Vec<PrecisionMode>,
+}
+
+impl Campaign {
+    /// A campaign with the default device, all six applications, the
+    /// paper's 1 GB operating point and exact mode.
+    pub fn new() -> Self {
+        Campaign {
+            config: ApimConfig::default(),
+            apps: App::all().to_vec(),
+            dataset_bytes: vec![1 << 30],
+            modes: vec![PrecisionMode::Exact],
+        }
+    }
+
+    /// Replaces the device configuration.
+    pub fn config(mut self, config: ApimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Restricts the applications.
+    pub fn apps(mut self, apps: impl IntoIterator<Item = App>) -> Self {
+        self.apps = apps.into_iter().collect();
+        self
+    }
+
+    /// Sets the dataset sizes, in MiB.
+    pub fn dataset_mb(mut self, mb: impl IntoIterator<Item = u64>) -> Self {
+        self.dataset_bytes = mb.into_iter().map(|m| m << 20).collect();
+        self
+    }
+
+    /// Sets the precision modes.
+    pub fn modes(mut self, modes: impl IntoIterator<Item = PrecisionMode>) -> Self {
+        self.modes = modes.into_iter().collect();
+        self
+    }
+
+    /// Runs the full cross product.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first simulator error (invalid configuration, oversized
+    /// dataset).
+    pub fn run(self) -> Result<CampaignResults, ApimError> {
+        let apim = Apim::new(self.config)?;
+        let mut rows = Vec::new();
+        for &app in &self.apps {
+            for &bytes in &self.dataset_bytes {
+                for &mode in &self.modes {
+                    rows.push(apim.run_with_mode(app, bytes, mode)?);
+                }
+            }
+        }
+        Ok(CampaignResults { rows })
+    }
+}
+
+impl Default for Campaign {
+    fn default() -> Self {
+        Campaign::new()
+    }
+}
+
+/// The flat result table of a [`Campaign`].
+#[derive(Debug, Clone)]
+pub struct CampaignResults {
+    rows: Vec<RunReport>,
+}
+
+impl CampaignResults {
+    /// All runs, in sweep order (app-major, then size, then mode).
+    pub fn rows(&self) -> &[RunReport] {
+        &self.rows
+    }
+
+    /// The run maximizing GPU-normalized EDP improvement.
+    pub fn best_edp(&self) -> Option<&RunReport> {
+        self.rows.iter().max_by(|a, b| {
+            a.comparison
+                .edp_improvement
+                .total_cmp(&b.comparison.edp_improvement)
+        })
+    }
+
+    /// Only the runs that meet their application's QoS criterion.
+    pub fn acceptable(&self) -> impl Iterator<Item = &RunReport> {
+        self.rows.iter().filter(|r| r.quality.acceptable)
+    }
+
+    /// CSV export:
+    /// `app,dataset_mb,mode,speedup,energy_improvement,edp_improvement,qol_percent,acceptable`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "app,dataset_mb,mode,speedup,energy_improvement,edp_improvement,qol_percent,acceptable\n",
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{}",
+                r.app.name(),
+                r.dataset_bytes >> 20,
+                r.mode,
+                r.comparison.speedup,
+                r.comparison.energy_improvement,
+                r.comparison.edp_improvement,
+                r.quality.qol_percent,
+                r.quality.acceptable
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_campaign_covers_all_apps_at_1gb() {
+        let results = Campaign::new().run().unwrap();
+        assert_eq!(results.rows().len(), 6);
+        assert!(results.acceptable().count() == 6, "exact mode is lossless");
+        let best = results.best_edp().unwrap();
+        assert!(best.comparison.edp_improvement > 100.0);
+    }
+
+    #[test]
+    fn cross_product_dimensions() {
+        let results = Campaign::new()
+            .apps([App::Robert])
+            .dataset_mb([64, 256, 1024])
+            .modes([
+                PrecisionMode::Exact,
+                PrecisionMode::LastStage { relax_bits: 16 },
+            ])
+            .run()
+            .unwrap();
+        assert_eq!(results.rows().len(), 6);
+    }
+
+    #[test]
+    fn csv_has_one_line_per_run_plus_header() {
+        let results = Campaign::new()
+            .apps([App::QuasiRandom])
+            .dataset_mb([128])
+            .modes([PrecisionMode::Exact])
+            .run()
+            .unwrap();
+        let csv = results.to_csv();
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.contains("QuasiR,128,exact,"));
+    }
+
+    #[test]
+    fn oversized_sweep_errors_cleanly() {
+        let err = Campaign::new().dataset_mb([1 << 20]).run().unwrap_err();
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn acceptable_filters_by_qos() {
+        let results = Campaign::new()
+            .apps([App::Fft])
+            .dataset_mb([64])
+            .modes([
+                PrecisionMode::Exact,
+                PrecisionMode::LastStage { relax_bits: 32 },
+            ])
+            .run()
+            .unwrap();
+        // Exact passes; 32 relax bits destroys FFT quality.
+        assert_eq!(results.acceptable().count(), 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Kernel tracing: record the *actual* controller-level operations a
+//! kernel performs and cost them exactly.
+//!
+//! The executor's profile path ([`crate::Apim::run`]) costs applications
+//! from static per-byte estimates; [`TracingArith`] instead wraps the
+//! approximate arithmetic backend and emits one [`apim_arch::Op`] per
+//! operation — including each multiplication's true partial-product count,
+//! which the §3.3 sense-amplifier scheme makes cost-relevant. Feed the
+//! trace to [`apim_arch::Executor::run_trace`] for an exact cost of the
+//! recorded kernel.
+//!
+//! ```
+//! use apim::tracing::TracingArith;
+//! use apim::{Apim, PrecisionMode};
+//! use apim_workloads::{sobel, image::synthetic_image};
+//!
+//! let apim = Apim::default();
+//! let mut arith = TracingArith::new(PrecisionMode::Exact);
+//! let img = synthetic_image(16, 16, 1);
+//! sobel::sobel(&img, &mut arith);
+//! let cost = apim.executor().run_trace(arith.trace());
+//! assert!(cost.energy.as_joules() > 0.0);
+//! ```
+
+use apim_arch::{Op, Trace};
+use apim_logic::functional::{multiply_signed, partial_product_shifts};
+use apim_logic::PrecisionMode;
+use apim_workloads::{Arith, OpCounts};
+
+/// An [`Arith`] backend that computes with bit-exact APIM semantics *and*
+/// records the operation trace.
+#[derive(Debug, Clone)]
+pub struct TracingArith {
+    mode: PrecisionMode,
+    bits: u32,
+    counts: OpCounts,
+    trace: Trace,
+}
+
+impl TracingArith {
+    /// A tracing backend at the given precision (32-bit operands).
+    pub fn new(mode: PrecisionMode) -> Self {
+        TracingArith {
+            mode,
+            bits: 32,
+            counts: OpCounts::default(),
+            trace: Trace::new(),
+        }
+    }
+
+    /// The recorded trace so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consumes the backend, returning the trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// The precision mode in force.
+    pub fn mode(&self) -> PrecisionMode {
+        self.mode
+    }
+}
+
+impl Arith for TracingArith {
+    fn mul(&mut self, a: i32, b: i32) -> i64 {
+        self.counts.muls += 1;
+        let ones =
+            partial_product_shifts(b.unsigned_abs().into(), self.mode.masked_multiplier_bits())
+                .len() as u32;
+        self.trace.push(Op::Mul {
+            bits: self.bits,
+            multiplier_ones: Some(ones),
+            mode: self.mode,
+        });
+        multiply_signed(i64::from(a), i64::from(b), self.bits, self.mode) as i64
+    }
+
+    fn add(&mut self, a: i64, b: i64) -> i64 {
+        self.counts.adds += 1;
+        self.trace.push(Op::Add { bits: self.bits });
+        a + b
+    }
+
+    fn counts(&self) -> OpCounts {
+        self.counts
+    }
+
+    fn reset_counts(&mut self) {
+        self.counts = OpCounts::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Apim;
+    use apim_workloads::image::synthetic_image;
+    use apim_workloads::robert::robert;
+    use apim_workloads::ApimArith;
+
+    #[test]
+    fn trace_length_matches_op_counts() {
+        let mut arith = TracingArith::new(PrecisionMode::Exact);
+        let img = synthetic_image(12, 12, 3);
+        robert(&img, &mut arith);
+        let counts = arith.counts();
+        assert_eq!(
+            arith.trace().len() as u64,
+            counts.muls + counts.adds,
+            "one op per recorded operation"
+        );
+        assert!(counts.muls > 0);
+    }
+
+    #[test]
+    fn traced_values_match_untraced_backend() {
+        let mode = PrecisionMode::LastStage { relax_bits: 12 };
+        let img = synthetic_image(10, 10, 9);
+        let mut traced = TracingArith::new(mode);
+        let mut plain = ApimArith::new(mode);
+        let a = robert(&img, &mut traced);
+        let b = robert(&img, &mut plain);
+        assert_eq!(a, b, "tracing must not change semantics");
+    }
+
+    #[test]
+    fn traced_cost_reflects_real_multiplier_density() {
+        let apim = Apim::default();
+        // All-ones multipliers are the worst case; sparse ones are cheap.
+        let mut dense = TracingArith::new(PrecisionMode::Exact);
+        dense.mul(0x7FFF_FFFF, 0x7FFF_FFFF);
+        let mut sparse = TracingArith::new(PrecisionMode::Exact);
+        sparse.mul(0x7FFF_FFFF, 0b100);
+        let dense_cost = apim.executor().run_trace(dense.trace());
+        let sparse_cost = apim.executor().run_trace(sparse.trace());
+        assert!(dense_cost.cycles.get() > 20 * sparse_cost.cycles.get());
+    }
+
+    #[test]
+    fn traced_kernel_cost_is_positive_and_mode_sensitive() {
+        let apim = Apim::default();
+        let img = synthetic_image(8, 8, 5);
+        let cost_of = |mode| {
+            let mut arith = TracingArith::new(mode);
+            robert(&img, &mut arith);
+            apim.executor().run_trace(arith.trace())
+        };
+        let exact = cost_of(PrecisionMode::Exact);
+        let relaxed = cost_of(PrecisionMode::LastStage { relax_bits: 32 });
+        assert!(exact.energy.as_joules() > 0.0);
+        assert!(relaxed.energy.as_joules() < exact.energy.as_joules());
+    }
+}

@@ -1,0 +1,202 @@
+//! The raw cell grid of one crossbar block.
+
+use crate::cell::{Cell, Fault};
+use crate::error::CrossbarError;
+use crate::Result;
+
+/// A rectangular grid of memristive cells.
+///
+/// `CrossbarArray` is the passive storage fabric; logic execution and cost
+/// accounting live in [`crate::BlockedCrossbar`], which owns one array per
+/// block. The array offers bounds-checked raw access plus fault injection.
+///
+/// ```
+/// use apim_crossbar::CrossbarArray;
+///
+/// # fn main() -> Result<(), apim_crossbar::CrossbarError> {
+/// let mut a = CrossbarArray::new(4, 8)?;
+/// a.set(2, 3, true)?;
+/// assert!(a.get(2, 3)?);
+/// assert_eq!(a.rows(), 4);
+/// assert_eq!(a.cols(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossbarArray {
+    rows: usize,
+    cols: usize,
+    cells: Vec<Cell>,
+}
+
+impl CrossbarArray {
+    /// Creates an array of `rows × cols` cells, all in the OFF state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidConfig`] if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(CrossbarError::InvalidConfig(
+                "array dimensions must be nonzero".into(),
+            ));
+        }
+        Ok(CrossbarArray {
+            rows,
+            cols,
+            cells: vec![Cell::new(); rows * cols],
+        })
+    }
+
+    /// Number of wordlines (rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of bitlines (columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn index(&self, row: usize, col: usize) -> Result<usize> {
+        if row >= self.rows {
+            return Err(CrossbarError::OutOfBounds {
+                what: "row",
+                index: row,
+                limit: self.rows,
+            });
+        }
+        if col >= self.cols {
+            return Err(CrossbarError::OutOfBounds {
+                what: "col",
+                index: col,
+                limit: self.cols,
+            });
+        }
+        Ok(row * self.cols + col)
+    }
+
+    /// Reads the logical value of a cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] for invalid coordinates.
+    pub fn get(&self, row: usize, col: usize) -> Result<bool> {
+        Ok(self.cells[self.index(row, col)?].read())
+    }
+
+    /// Writes the logical value of a cell (counting the write).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] for invalid coordinates.
+    pub fn set(&mut self, row: usize, col: usize, bit: bool) -> Result<()> {
+        let idx = self.index(row, col)?;
+        self.cells[idx].write(bit);
+        Ok(())
+    }
+
+    /// Total writes absorbed by a cell (endurance proxy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] for invalid coordinates.
+    pub fn cell_writes(&self, row: usize, col: usize) -> Result<u64> {
+        Ok(self.cells[self.index(row, col)?].writes())
+    }
+
+    /// The most-written cell's write count — the array's wear hotspot.
+    pub fn max_cell_writes(&self) -> u64 {
+        self.cells.iter().map(Cell::writes).max().unwrap_or(0)
+    }
+
+    /// Total writes absorbed by the whole array.
+    pub fn total_cell_writes(&self) -> u64 {
+        self.cells.iter().map(Cell::writes).sum()
+    }
+
+    /// Number of cells in the array.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Injects (or clears, with `None`) a stuck-at fault on a cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] for invalid coordinates.
+    pub fn inject_fault(&mut self, row: usize, col: usize, fault: Option<Fault>) -> Result<()> {
+        let idx = self.index(row, col)?;
+        self.cells[idx].set_fault(fault);
+        Ok(())
+    }
+
+    /// Number of cells with an injected fault.
+    pub fn fault_count(&self) -> usize {
+        self.cells.iter().filter(|c| c.fault().is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_array_is_all_zero() {
+        let a = CrossbarArray::new(3, 5).unwrap();
+        for r in 0..3 {
+            for c in 0..5 {
+                assert!(!a.get(r, c).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_dimensions_rejected() {
+        assert!(CrossbarArray::new(0, 5).is_err());
+        assert!(CrossbarArray::new(5, 0).is_err());
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut a = CrossbarArray::new(2, 2).unwrap();
+        a.set(1, 0, true).unwrap();
+        assert!(a.get(1, 0).unwrap());
+        assert!(!a.get(0, 1).unwrap());
+    }
+
+    #[test]
+    fn out_of_bounds_reported() {
+        let mut a = CrossbarArray::new(2, 2).unwrap();
+        assert!(matches!(
+            a.get(2, 0),
+            Err(CrossbarError::OutOfBounds { what: "row", .. })
+        ));
+        assert!(matches!(
+            a.set(0, 7, true),
+            Err(CrossbarError::OutOfBounds { what: "col", .. })
+        ));
+    }
+
+    #[test]
+    fn write_counting_tracks_hotspot() {
+        let mut a = CrossbarArray::new(2, 2).unwrap();
+        for _ in 0..5 {
+            a.set(0, 0, true).unwrap();
+        }
+        a.set(1, 1, false).unwrap();
+        assert_eq!(a.cell_writes(0, 0).unwrap(), 5);
+        assert_eq!(a.max_cell_writes(), 5);
+    }
+
+    #[test]
+    fn fault_injection_affects_reads() {
+        let mut a = CrossbarArray::new(2, 2).unwrap();
+        a.inject_fault(0, 0, Some(Fault::StuckAtOne)).unwrap();
+        assert!(a.get(0, 0).unwrap());
+        assert_eq!(a.fault_count(), 1);
+        a.inject_fault(0, 0, None).unwrap();
+        assert_eq!(a.fault_count(), 0);
+        assert!(!a.get(0, 0).unwrap());
+    }
+}

@@ -1,0 +1,1034 @@
+//! The blocked crossbar memory unit with configurable interconnects.
+
+use apim_device::{Cycles, DeviceParams, EnergyModel, TimingModel};
+
+use crate::array::CrossbarArray;
+use crate::cell::Fault;
+use crate::error::CrossbarError;
+use crate::stats::Stats;
+use crate::Result;
+
+use std::ops::Range;
+
+/// Opaque handle to one block of the crossbar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(usize);
+
+impl BlockId {
+    /// The raw block index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The role a block currently plays (§3.1: "the two blocks are structurally
+/// the same and can be used interchangeably").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockRole {
+    /// Holds resident data.
+    Data,
+    /// Scratch space for MAGIC execution.
+    Processing,
+}
+
+/// A reference to one wordline of one block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RowRef {
+    /// The block containing the row.
+    pub block: BlockId,
+    /// The wordline index within the block.
+    pub row: usize,
+}
+
+impl RowRef {
+    /// Creates a row reference.
+    pub fn new(block: BlockId, row: usize) -> Self {
+        RowRef { block, row }
+    }
+}
+
+/// Configuration of a [`BlockedCrossbar`].
+///
+/// ```
+/// use apim_crossbar::{BlockedCrossbar, CrossbarConfig};
+/// # fn main() -> Result<(), apim_crossbar::CrossbarError> {
+/// let config = CrossbarConfig {
+///     blocks: 2,
+///     rows: 32,
+///     cols: 128,
+///     ..CrossbarConfig::default()
+/// };
+/// let xbar = BlockedCrossbar::new(config)?;
+/// assert_eq!(xbar.block_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossbarConfig {
+    /// Number of blocks (≥ 2 for data + processing).
+    pub blocks: usize,
+    /// Wordlines per block.
+    pub rows: usize,
+    /// Bitlines per block.
+    pub cols: usize,
+    /// Device parameters from which energy/timing are derived.
+    pub params: DeviceParams,
+    /// When `true`, MAGIC NORs verify that output cells were initialized to
+    /// the ON state first and fail otherwise — catches scheduling bugs in
+    /// higher-level routines.
+    pub strict_init: bool,
+}
+
+impl Default for CrossbarConfig {
+    fn default() -> Self {
+        CrossbarConfig {
+            blocks: 4,
+            rows: 64,
+            cols: 256,
+            params: DeviceParams::default(),
+            strict_init: true,
+        }
+    }
+}
+
+/// The APIM memory unit: several crossbar blocks sharing row/column
+/// decoders, joined by configurable (barrel-shifter) interconnects, with
+/// modified sense amplifiers supporting bitwise reads and the majority
+/// function.
+///
+/// All compute primitives update the embedded [`Stats`]; see the
+/// [crate documentation](crate) for the cycle-accounting conventions.
+#[derive(Debug, Clone)]
+pub struct BlockedCrossbar {
+    blocks: Vec<CrossbarArray>,
+    roles: Vec<BlockRole>,
+    stats: Stats,
+    energy: EnergyModel,
+    timing: TimingModel,
+    strict_init: bool,
+    rows: usize,
+    cols: usize,
+}
+
+impl BlockedCrossbar {
+    /// Builds the memory unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidConfig`] if there are fewer than two
+    /// blocks (the blocked design needs at least a data and a processing
+    /// block), if a dimension is zero, or if the device parameters are
+    /// inconsistent.
+    pub fn new(config: CrossbarConfig) -> Result<Self> {
+        if config.blocks < 2 {
+            return Err(CrossbarError::InvalidConfig(
+                "need at least 2 blocks (data + processing)".into(),
+            ));
+        }
+        config
+            .params
+            .validate()
+            .map_err(CrossbarError::InvalidConfig)?;
+        let mut blocks = Vec::with_capacity(config.blocks);
+        let mut roles = Vec::with_capacity(config.blocks);
+        for i in 0..config.blocks {
+            blocks.push(CrossbarArray::new(config.rows, config.cols)?);
+            roles.push(if i == 0 {
+                BlockRole::Data
+            } else {
+                BlockRole::Processing
+            });
+        }
+        Ok(BlockedCrossbar {
+            blocks,
+            roles,
+            stats: Stats::new(),
+            energy: EnergyModel::new(&config.params),
+            timing: TimingModel::new(&config.params),
+            strict_init: config.strict_init,
+            rows: config.rows,
+            cols: config.cols,
+        })
+    }
+
+    /// Handle to block `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::NoSuchBlock`] if `index` is out of range.
+    pub fn block(&self, index: usize) -> Result<BlockId> {
+        if index >= self.blocks.len() {
+            return Err(CrossbarError::NoSuchBlock {
+                index,
+                blocks: self.blocks.len(),
+            });
+        }
+        Ok(BlockId(index))
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Wordlines per block.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Bitlines per block.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The current role of a block.
+    pub fn role(&self, block: BlockId) -> BlockRole {
+        self.roles[block.0]
+    }
+
+    /// Re-assigns a block's role (blocks are interchangeable, §3.1).
+    pub fn set_role(&mut self, block: BlockId, role: BlockRole) {
+        self.roles[block.0] = role;
+    }
+
+    /// Cumulative execution statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Resets statistics to zero (cell contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = Stats::new();
+    }
+
+    /// The timing model in force.
+    pub fn timing(&self) -> &TimingModel {
+        &self.timing
+    }
+
+    /// The energy model in force.
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy
+    }
+
+    /// Advances the cycle counter without touching cells — used by
+    /// higher-level routines to account latency the primitive set cannot
+    /// express (e.g. the non-hideable output initialization of a carry-save
+    /// stage).
+    pub fn advance_cycles(&mut self, cycles: Cycles) {
+        self.stats.cycles += cycles;
+    }
+
+    /// Discounts cycles that were charged sequentially but execute in
+    /// parallel on the real hardware.
+    ///
+    /// The simulator executes independent same-stage operations (e.g. the
+    /// carry-save groups of one Wallace-tree stage, §3.2) one after the
+    /// other, but the paper's hardware runs them concurrently. Callers that
+    /// model such parallelism replay the operations sequentially — keeping
+    /// every write, read and joule accounted — and then rewind the
+    /// serialization overhead. Saturates at zero.
+    pub fn rewind_cycles(&mut self, cycles: Cycles) {
+        self.stats.cycles = self.stats.cycles.saturating_sub(cycles);
+    }
+
+    fn check_range(&self, cols: &Range<usize>) -> Result<()> {
+        if cols.end > self.cols || cols.start >= cols.end {
+            return Err(CrossbarError::OutOfBounds {
+                what: "col range",
+                index: cols.end,
+                limit: self.cols,
+            });
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // Data movement (no compute cycles)
+    // ---------------------------------------------------------------
+
+    /// Stores one bit as resident data: counts the write and its energy but
+    /// no compute cycles (datasets are assumed memory-resident, §4.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] for invalid coordinates.
+    pub fn preload_bit(&mut self, block: BlockId, row: usize, col: usize, bit: bool) -> Result<()> {
+        self.blocks[block.0].set(row, col, bit)?;
+        self.stats.cell_writes += 1;
+        self.stats.energy += self.energy.write_op(1);
+        self.stats.energy_breakdown.write += self.energy.write_op(1);
+        Ok(())
+    }
+
+    /// Stores a word (LSB first) along a row starting at `col0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] if the word does not fit.
+    pub fn preload_word(
+        &mut self,
+        block: BlockId,
+        row: usize,
+        col0: usize,
+        bits: &[bool],
+    ) -> Result<()> {
+        for (i, &bit) in bits.iter().enumerate() {
+            self.blocks[block.0].set(row, col0 + i, bit)?;
+        }
+        self.stats.cell_writes += bits.len() as u64;
+        self.stats.energy += self.energy.write_op(bits.len());
+        self.stats.energy_breakdown.write += self.energy.write_op(bits.len());
+        Ok(())
+    }
+
+    /// Debug read of one cell — free of charge, for tests and result
+    /// extraction outside the modelled computation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] for invalid coordinates.
+    pub fn peek_bit(&self, block: BlockId, row: usize, col: usize) -> Result<bool> {
+        self.blocks[block.0].get(row, col)
+    }
+
+    /// Debug read of `len` bits (LSB first) along a row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] if the range does not fit.
+    pub fn peek_word(
+        &self,
+        block: BlockId,
+        row: usize,
+        col0: usize,
+        len: usize,
+    ) -> Result<Vec<bool>> {
+        (0..len)
+            .map(|i| self.blocks[block.0].get(row, col0 + i))
+            .collect()
+    }
+
+    // ---------------------------------------------------------------
+    // Sense-amplifier reads
+    // ---------------------------------------------------------------
+
+    /// Reads one bit through the sense amplifier.
+    ///
+    /// The 0.3 ns read is sub-cycle and overlapped with MAGIC execution
+    /// (§3.3), so it charges energy and a read count but no cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] for invalid coordinates.
+    pub fn read_bit(&mut self, block: BlockId, row: usize, col: usize) -> Result<bool> {
+        let bit = self.blocks[block.0].get(row, col)?;
+        self.stats.reads += 1;
+        self.stats.energy += self.energy.read_op(1);
+        self.stats.energy_breakdown.read += self.energy.read_op(1);
+        Ok(bit)
+    }
+
+    /// Evaluates the majority of three cells in one column through the
+    /// modified sense amplifier (Figure 3(b)).
+    ///
+    /// Charged one cycle: the 0.3 ns read + 0.6 ns MAJ fit inside one
+    /// 1.1 ns cycle, and the paper accounts MAJ-plus-writeback as 2 cycles
+    /// per bit (§3.4) — the write-back is the second cycle, performed with
+    /// [`BlockedCrossbar::write_back_bit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] for invalid coordinates.
+    pub fn maj_read(&mut self, block: BlockId, cells: [(usize, usize); 3]) -> Result<bool> {
+        let a = self.blocks[block.0].get(cells[0].0, cells[0].1)?;
+        let b = self.blocks[block.0].get(cells[1].0, cells[1].1)?;
+        let c = self.blocks[block.0].get(cells[2].0, cells[2].1)?;
+        self.stats.maj_ops += 1;
+        self.stats.cycles += Cycles::new(1);
+        self.stats.energy += self.energy.maj_op(1);
+        self.stats.energy_breakdown.maj += self.energy.maj_op(1);
+        Ok((a & b) | (b & c) | (c & a))
+    }
+
+    /// Writes one bit produced by peripheral logic back into the array:
+    /// one cycle, one cell write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] for invalid coordinates.
+    pub fn write_back_bit(
+        &mut self,
+        block: BlockId,
+        row: usize,
+        col: usize,
+        bit: bool,
+    ) -> Result<()> {
+        self.blocks[block.0].set(row, col, bit)?;
+        self.stats.cell_writes += 1;
+        self.stats.cycles += Cycles::new(1);
+        self.stats.energy += self.energy.write_op(1);
+        self.stats.energy_breakdown.write += self.energy.write_op(1);
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // MAGIC execution
+    // ---------------------------------------------------------------
+
+    /// Initializes output cells to the ON state ahead of MAGIC evaluation.
+    ///
+    /// Initialization of future output rows is overlapped with ongoing
+    /// evaluation on other rows (standard MAGIC scheduling), so it charges
+    /// writes and energy but no cycles; routines that cannot hide it call
+    /// [`BlockedCrossbar::advance_cycles`] explicitly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] for invalid coordinates.
+    pub fn init_rows(&mut self, block: BlockId, rows: &[usize], cols: Range<usize>) -> Result<()> {
+        self.check_range(&cols)?;
+        for &row in rows {
+            for col in cols.clone() {
+                self.blocks[block.0].set(row, col, true)?;
+            }
+        }
+        let cells = rows.len() * cols.len();
+        self.stats.cell_writes += cells as u64;
+        self.stats.energy += self.energy.write_op(cells);
+        self.stats.energy_breakdown.write += self.energy.write_op(cells);
+        Ok(())
+    }
+
+    /// Initializes scattered cells to the ON state (same accounting as
+    /// [`BlockedCrossbar::init_rows`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] for invalid coordinates.
+    pub fn init_cells(&mut self, block: BlockId, cells: &[(usize, usize)]) -> Result<()> {
+        for &(row, col) in cells {
+            self.blocks[block.0].set(row, col, true)?;
+        }
+        self.stats.cell_writes += cells.len() as u64;
+        self.stats.energy += self.energy.write_op(cells.len());
+        self.stats.energy_breakdown.write += self.energy.write_op(cells.len());
+        Ok(())
+    }
+
+    /// One column-parallel MAGIC NOR: for every column `c` in `cols`,
+    /// `out[c + shift] = NOR(inputs[c]…)`. Costs exactly one cycle
+    /// regardless of width.
+    ///
+    /// All inputs must live in one block. If `out` is in the same block the
+    /// shift must be zero; crossing into another block goes through the
+    /// configurable interconnect, which applies the shift *for free* (§3.1)
+    /// while charging interconnect energy.
+    ///
+    /// # Errors
+    ///
+    /// * [`CrossbarError::InputsSpanBlocks`] if inputs are spread over
+    ///   several blocks.
+    /// * [`CrossbarError::ShiftWithinBlock`] for a nonzero same-block shift.
+    /// * [`CrossbarError::OutOfBounds`] if any coordinate (after shifting)
+    ///   falls outside the arrays.
+    /// * [`CrossbarError::UninitializedOutput`] in strict mode when an
+    ///   output cell was not initialized to ON.
+    pub fn nor_rows_shifted(
+        &mut self,
+        inputs: &[RowRef],
+        out: RowRef,
+        cols: Range<usize>,
+        shift: isize,
+    ) -> Result<()> {
+        self.check_range(&cols)?;
+        let in_block = match inputs {
+            [] => {
+                return Err(CrossbarError::InvalidConfig(
+                    "NOR needs at least one input row".into(),
+                ))
+            }
+            [first, rest @ ..] => {
+                if rest.iter().any(|r| r.block != first.block) {
+                    return Err(CrossbarError::InputsSpanBlocks);
+                }
+                first.block
+            }
+        };
+        let cross_block = in_block != out.block;
+        if !cross_block && shift != 0 {
+            return Err(CrossbarError::ShiftWithinBlock { shift });
+        }
+        let width = cols.len();
+        for col in cols {
+            let out_col = col as isize + shift;
+            if out_col < 0 || out_col as usize >= self.cols {
+                return Err(CrossbarError::OutOfBounds {
+                    what: "shifted col",
+                    index: out_col.max(0) as usize,
+                    limit: self.cols,
+                });
+            }
+            let out_col = out_col as usize;
+            if self.strict_init && !self.blocks[out.block.0].get(out.row, out_col)? {
+                return Err(CrossbarError::UninitializedOutput {
+                    block: out.block.0,
+                    row: out.row,
+                    col: out_col,
+                });
+            }
+            let mut any = false;
+            for input in inputs {
+                any |= self.blocks[in_block.0].get(input.row, col)?;
+            }
+            // MAGIC: the pre-set output conditionally switches to 0.
+            self.blocks[out.block.0].set(out.row, out_col, !any)?;
+        }
+        self.stats.nor_ops += 1;
+        self.stats.nor_cells += width as u64;
+        self.stats.cycles += Cycles::new(1);
+        self.stats.energy += self.energy.nor_op(width);
+        self.stats.energy_breakdown.nor += self.energy.nor_op(width);
+        if cross_block {
+            self.stats.interconnect_bits += width as u64;
+            self.stats.energy += self.energy.interconnect_op(width);
+            self.stats.energy_breakdown.interconnect += self.energy.interconnect_op(width);
+        }
+        Ok(())
+    }
+
+    /// One row-parallel MAGIC NOR along *columns*: for every row `r` in
+    /// `rows`, `out_col[r] = NOR(input_cols[r]...)` — the transposed twin of
+    /// [`BlockedCrossbar::nor_rows_shifted`] ("in case of NOR in a column,
+    /// the execution voltage is applied to the wordlines of the outputs").
+    /// Costs one cycle regardless of the row count. All cells live in one
+    /// block; column layouts do not cross the (bitline-oriented)
+    /// interconnect, so no shift is available.
+    ///
+    /// # Errors
+    ///
+    /// * [`CrossbarError::InvalidConfig`] for an empty input set.
+    /// * [`CrossbarError::OutOfBounds`] for invalid coordinates.
+    /// * [`CrossbarError::UninitializedOutput`] in strict mode when an
+    ///   output cell was not initialized to ON.
+    pub fn nor_cols(
+        &mut self,
+        block: BlockId,
+        input_cols: &[usize],
+        out_col: usize,
+        rows: Range<usize>,
+    ) -> Result<()> {
+        if input_cols.is_empty() {
+            return Err(CrossbarError::InvalidConfig(
+                "NOR needs at least one input column".into(),
+            ));
+        }
+        if rows.end > self.rows || rows.start >= rows.end {
+            return Err(CrossbarError::OutOfBounds {
+                what: "row range",
+                index: rows.end,
+                limit: self.rows,
+            });
+        }
+        let height = rows.len();
+        for row in rows {
+            if self.strict_init && !self.blocks[block.0].get(row, out_col)? {
+                return Err(CrossbarError::UninitializedOutput {
+                    block: block.0,
+                    row,
+                    col: out_col,
+                });
+            }
+            let mut any = false;
+            for &col in input_cols {
+                any |= self.blocks[block.0].get(row, col)?;
+            }
+            self.blocks[block.0].set(row, out_col, !any)?;
+        }
+        self.stats.nor_ops += 1;
+        self.stats.nor_cells += height as u64;
+        self.stats.cycles += Cycles::new(1);
+        self.stats.energy += self.energy.nor_op(height);
+        self.stats.energy_breakdown.nor += self.energy.nor_op(height);
+        Ok(())
+    }
+
+    /// Initializes a column segment to the ON state (the column twin of
+    /// [`BlockedCrossbar::init_rows`]; same zero-cycle accounting).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] for invalid coordinates.
+    pub fn init_cols(&mut self, block: BlockId, cols: &[usize], rows: Range<usize>) -> Result<()> {
+        if rows.end > self.rows || rows.start >= rows.end {
+            return Err(CrossbarError::OutOfBounds {
+                what: "row range",
+                index: rows.end,
+                limit: self.rows,
+            });
+        }
+        for &col in cols {
+            for row in rows.clone() {
+                self.blocks[block.0].set(row, col, true)?;
+            }
+        }
+        let cells = cols.len() * rows.len();
+        self.stats.cell_writes += cells as u64;
+        self.stats.energy += self.energy.write_op(cells);
+        self.stats.energy_breakdown.write += self.energy.write_op(cells);
+        Ok(())
+    }
+
+    /// One single-bit MAGIC NOR over scattered cells of one block (used for
+    /// the serial carry chains). Costs one cycle.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BlockedCrossbar::nor_rows_shifted`] where
+    /// applicable.
+    pub fn nor_cells(
+        &mut self,
+        block: BlockId,
+        inputs: &[(usize, usize)],
+        out: (usize, usize),
+    ) -> Result<()> {
+        if inputs.is_empty() {
+            return Err(CrossbarError::InvalidConfig(
+                "NOR needs at least one input cell".into(),
+            ));
+        }
+        if self.strict_init && !self.blocks[block.0].get(out.0, out.1)? {
+            return Err(CrossbarError::UninitializedOutput {
+                block: block.0,
+                row: out.0,
+                col: out.1,
+            });
+        }
+        let mut any = false;
+        for &(row, col) in inputs {
+            any |= self.blocks[block.0].get(row, col)?;
+        }
+        self.blocks[block.0].set(out.0, out.1, !any)?;
+        self.stats.nor_ops += 1;
+        self.stats.nor_cells += 1;
+        self.stats.cycles += Cycles::new(1);
+        self.stats.energy += self.energy.nor_op(1);
+        self.stats.energy_breakdown.nor += self.energy.nor_op(1);
+        Ok(())
+    }
+
+    /// Copies a row segment into another block with an optional shift.
+    ///
+    /// A copy is two successive NOT (single-input NOR) operations; this
+    /// helper charges both (2 cycles) and handles intermediate
+    /// initialization. Routines that copy one source to *many*
+    /// destinations should perform the first NOT once and reuse it — see
+    /// the multiplier's partial-product generator in `apim-logic`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BlockedCrossbar::nor_rows_shifted`].
+    pub fn copy_row_shifted(
+        &mut self,
+        src: RowRef,
+        scratch: RowRef,
+        dst: RowRef,
+        cols: Range<usize>,
+        shift: isize,
+    ) -> Result<()> {
+        self.init_rows(scratch.block, &[scratch.row], cols.clone())?;
+        self.nor_rows_shifted(&[src], scratch, cols.clone(), 0)?;
+        let shifted = shift_range(&cols, 0);
+        self.init_rows(
+            dst.block,
+            &[dst.row],
+            shift_range(&cols, shift).ok_or(CrossbarError::OutOfBounds {
+                what: "shifted col",
+                index: cols.end,
+                limit: self.cols,
+            })?,
+        )?;
+        self.nor_rows_shifted(&[scratch], dst, shifted.expect("zero shift"), shift)?;
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // Fault injection / endurance (extension)
+    // ---------------------------------------------------------------
+
+    /// Injects (or clears) a stuck-at fault.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] for invalid coordinates.
+    pub fn inject_fault(
+        &mut self,
+        block: BlockId,
+        row: usize,
+        col: usize,
+        fault: Option<Fault>,
+    ) -> Result<()> {
+        self.blocks[block.0].inject_fault(row, col, fault)
+    }
+
+    /// Per-block endurance summary.
+    pub fn wear_report(&self) -> crate::wear::WearReport {
+        crate::wear::WearReport {
+            blocks: self
+                .blocks
+                .iter()
+                .enumerate()
+                .map(|(i, arr)| {
+                    let total = arr.total_cell_writes();
+                    crate::wear::BlockWear {
+                        block: i,
+                        max_cell_writes: arr.max_cell_writes(),
+                        total_writes: total,
+                        mean_writes: total as f64 / arr.cell_count() as f64,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// The highest per-cell write count across all blocks (wear hotspot).
+    pub fn max_cell_writes(&self) -> u64 {
+        self.blocks
+            .iter()
+            .map(CrossbarArray::max_cell_writes)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Shifts a column range, returning `None` on underflow.
+fn shift_range(cols: &Range<usize>, shift: isize) -> Option<Range<usize>> {
+    let start = cols.start as isize + shift;
+    let end = cols.end as isize + shift;
+    if start < 0 || end < 0 {
+        return None;
+    }
+    Some(start as usize..end as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xbar() -> BlockedCrossbar {
+        BlockedCrossbar::new(CrossbarConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let bad = CrossbarConfig {
+            blocks: 1,
+            ..CrossbarConfig::default()
+        };
+        assert!(BlockedCrossbar::new(bad).is_err());
+        let bad = CrossbarConfig {
+            rows: 0,
+            ..CrossbarConfig::default()
+        };
+        assert!(BlockedCrossbar::new(bad).is_err());
+    }
+
+    #[test]
+    fn roles_default_and_reassign() {
+        let mut x = xbar();
+        let b0 = x.block(0).unwrap();
+        let b1 = x.block(1).unwrap();
+        assert_eq!(x.role(b0), BlockRole::Data);
+        assert_eq!(x.role(b1), BlockRole::Processing);
+        x.set_role(b1, BlockRole::Data);
+        assert_eq!(x.role(b1), BlockRole::Data);
+    }
+
+    #[test]
+    fn no_such_block() {
+        let x = xbar();
+        assert!(matches!(
+            x.block(99),
+            Err(CrossbarError::NoSuchBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn preload_charges_no_cycles() {
+        let mut x = xbar();
+        let b = x.block(0).unwrap();
+        x.preload_word(b, 0, 0, &[true, true, false]).unwrap();
+        assert_eq!(x.stats().cycles, Cycles::ZERO);
+        assert_eq!(x.stats().cell_writes, 3);
+        assert!(x.stats().energy.as_joules() > 0.0);
+    }
+
+    #[test]
+    fn nor_truth_table() {
+        let mut x = xbar();
+        let b = x.block(0).unwrap();
+        for (a, bb, expected) in [
+            (false, false, true),
+            (false, true, false),
+            (true, false, false),
+            (true, true, false),
+        ] {
+            x.preload_bit(b, 0, 0, a).unwrap();
+            x.preload_bit(b, 1, 0, bb).unwrap();
+            x.init_rows(b, &[2], 0..1).unwrap();
+            x.nor_rows_shifted(
+                &[RowRef::new(b, 0), RowRef::new(b, 1)],
+                RowRef::new(b, 2),
+                0..1,
+                0,
+            )
+            .unwrap();
+            assert_eq!(x.peek_bit(b, 2, 0).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn nor_is_width_parallel_one_cycle() {
+        let mut x = xbar();
+        let b = x.block(0).unwrap();
+        x.preload_word(b, 0, 0, &[false; 64]).unwrap();
+        x.init_rows(b, &[1], 0..64).unwrap();
+        let before = x.stats().cycles;
+        x.nor_rows_shifted(&[RowRef::new(b, 0)], RowRef::new(b, 1), 0..64, 0)
+            .unwrap();
+        assert_eq!((x.stats().cycles - before).get(), 1);
+        assert_eq!(x.peek_word(b, 1, 0, 64).unwrap(), vec![true; 64]);
+    }
+
+    #[test]
+    fn cross_block_shift_applies_offset() {
+        let mut x = xbar();
+        let b0 = x.block(0).unwrap();
+        let b1 = x.block(1).unwrap();
+        x.preload_word(b0, 0, 0, &[false, true, false, false])
+            .unwrap();
+        x.init_rows(b1, &[0], 3..7).unwrap();
+        // NOT with shift +3: out[c+3] = !in[c]
+        x.nor_rows_shifted(&[RowRef::new(b0, 0)], RowRef::new(b1, 0), 0..4, 3)
+            .unwrap();
+        assert_eq!(
+            x.peek_word(b1, 0, 3, 4).unwrap(),
+            vec![true, false, true, true]
+        );
+        assert_eq!(x.stats().interconnect_bits, 4);
+    }
+
+    #[test]
+    fn same_block_shift_rejected() {
+        let mut x = xbar();
+        let b = x.block(0).unwrap();
+        x.init_rows(b, &[1], 0..8).unwrap();
+        let err = x
+            .nor_rows_shifted(&[RowRef::new(b, 0)], RowRef::new(b, 1), 0..4, 2)
+            .unwrap_err();
+        assert_eq!(err, CrossbarError::ShiftWithinBlock { shift: 2 });
+    }
+
+    #[test]
+    fn inputs_must_share_a_block() {
+        let mut x = xbar();
+        let b0 = x.block(0).unwrap();
+        let b1 = x.block(1).unwrap();
+        x.init_rows(b0, &[2], 0..4).unwrap();
+        let err = x
+            .nor_rows_shifted(
+                &[RowRef::new(b0, 0), RowRef::new(b1, 1)],
+                RowRef::new(b0, 2),
+                0..4,
+                0,
+            )
+            .unwrap_err();
+        assert_eq!(err, CrossbarError::InputsSpanBlocks);
+    }
+
+    #[test]
+    fn strict_init_catches_missing_initialization() {
+        let mut x = xbar();
+        let b = x.block(0).unwrap();
+        // Row 1 never initialized: cells read 0 -> strict mode errors.
+        let err = x
+            .nor_rows_shifted(&[RowRef::new(b, 0)], RowRef::new(b, 1), 0..4, 0)
+            .unwrap_err();
+        assert!(matches!(err, CrossbarError::UninitializedOutput { .. }));
+    }
+
+    #[test]
+    fn non_strict_mode_allows_uninitialized_outputs() {
+        let cfg = CrossbarConfig {
+            strict_init: false,
+            ..CrossbarConfig::default()
+        };
+        let mut x = BlockedCrossbar::new(cfg).unwrap();
+        let b = x.block(0).unwrap();
+        x.nor_rows_shifted(&[RowRef::new(b, 0)], RowRef::new(b, 1), 0..4, 0)
+            .unwrap();
+        assert_eq!(x.peek_word(b, 1, 0, 4).unwrap(), vec![true; 4]);
+    }
+
+    #[test]
+    fn nor_cells_single_bit() {
+        let mut x = xbar();
+        let b = x.block(0).unwrap();
+        x.preload_bit(b, 0, 0, true).unwrap();
+        x.preload_bit(b, 0, 1, false).unwrap();
+        x.init_cells(b, &[(0, 2)]).unwrap();
+        x.nor_cells(b, &[(0, 0), (0, 1)], (0, 2)).unwrap();
+        assert!(!x.peek_bit(b, 0, 2).unwrap());
+        assert_eq!(x.stats().cycles.get(), 1);
+    }
+
+    #[test]
+    fn nor_cols_is_the_transposed_twin() {
+        let mut x = xbar();
+        let b = x.block(0).unwrap();
+        // Column 0: bits per row; column 1: bits per row.
+        for (row, (a, bb)) in [(false, false), (false, true), (true, false), (true, true)]
+            .into_iter()
+            .enumerate()
+        {
+            x.preload_bit(b, row, 0, a).unwrap();
+            x.preload_bit(b, row, 1, bb).unwrap();
+        }
+        x.init_cols(b, &[2], 0..4).unwrap();
+        let before = x.stats().cycles;
+        x.nor_cols(b, &[0, 1], 2, 0..4).unwrap();
+        assert_eq!(
+            (x.stats().cycles - before).get(),
+            1,
+            "one cycle, any height"
+        );
+        let got: Vec<bool> = (0..4).map(|r| x.peek_bit(b, r, 2).unwrap()).collect();
+        assert_eq!(got, vec![true, false, false, false]);
+    }
+
+    #[test]
+    fn nor_cols_respects_strict_init() {
+        let mut x = xbar();
+        let b = x.block(0).unwrap();
+        let err = x.nor_cols(b, &[0], 1, 0..4).unwrap_err();
+        assert!(matches!(err, CrossbarError::UninitializedOutput { .. }));
+        assert!(x.nor_cols(b, &[], 1, 0..4).is_err());
+        assert!(x.nor_cols(b, &[0], 1, 0..9999).is_err());
+    }
+
+    #[test]
+    fn maj_read_majority_function() {
+        let mut x = xbar();
+        let b = x.block(0).unwrap();
+        for (bits, expected) in [
+            ([false, false, false], false),
+            ([true, false, false], false),
+            ([true, true, false], true),
+            ([true, true, true], true),
+        ] {
+            for (i, &bit) in bits.iter().enumerate() {
+                x.preload_bit(b, i, 0, bit).unwrap();
+            }
+            let got = x.maj_read(b, [(0, 0), (1, 0), (2, 0)]).unwrap();
+            assert_eq!(got, expected, "MAJ{bits:?}");
+        }
+        assert_eq!(x.stats().maj_ops, 4);
+        assert_eq!(x.stats().cycles.get(), 4);
+    }
+
+    #[test]
+    fn write_back_costs_one_cycle() {
+        let mut x = xbar();
+        let b = x.block(0).unwrap();
+        x.write_back_bit(b, 0, 0, true).unwrap();
+        assert_eq!(x.stats().cycles.get(), 1);
+        assert!(x.peek_bit(b, 0, 0).unwrap());
+    }
+
+    #[test]
+    fn copy_row_shifted_moves_and_shifts() {
+        let mut x = xbar();
+        let b0 = x.block(0).unwrap();
+        let b1 = x.block(1).unwrap();
+        let word = [true, false, true, true];
+        x.preload_word(b0, 0, 0, &word).unwrap();
+        let before = x.stats().cycles;
+        x.copy_row_shifted(
+            RowRef::new(b0, 0),
+            RowRef::new(b0, 10),
+            RowRef::new(b1, 0),
+            0..4,
+            5,
+        )
+        .unwrap();
+        assert_eq!((x.stats().cycles - before).get(), 2, "copy = 2 NOTs");
+        assert_eq!(x.peek_word(b1, 0, 5, 4).unwrap(), word.to_vec());
+    }
+
+    #[test]
+    fn read_bit_counts_energy_not_cycles() {
+        let mut x = xbar();
+        let b = x.block(0).unwrap();
+        x.preload_bit(b, 0, 0, true).unwrap();
+        let before = x.stats().energy;
+        assert!(x.read_bit(b, 0, 0).unwrap());
+        assert_eq!(x.stats().cycles, Cycles::ZERO);
+        assert_eq!(x.stats().reads, 1);
+        assert!(x.stats().energy.as_joules() > before.as_joules());
+    }
+
+    #[test]
+    fn shifted_out_of_bounds_rejected() {
+        let mut x = xbar();
+        let b0 = x.block(0).unwrap();
+        let b1 = x.block(1).unwrap();
+        let cols = 250..256;
+        x.init_rows(b1, &[0], cols.clone()).unwrap();
+        let err = x
+            .nor_rows_shifted(&[RowRef::new(b0, 0)], RowRef::new(b1, 0), cols, 10)
+            .unwrap_err();
+        assert!(matches!(err, CrossbarError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn fault_injection_reaches_reads() {
+        let mut x = xbar();
+        let b = x.block(0).unwrap();
+        x.inject_fault(b, 0, 0, Some(Fault::StuckAtOne)).unwrap();
+        assert!(x.peek_bit(b, 0, 0).unwrap());
+    }
+
+    #[test]
+    fn wear_tracking_reports_hotspot() {
+        let mut x = xbar();
+        let b = x.block(0).unwrap();
+        for _ in 0..7 {
+            x.preload_bit(b, 3, 3, true).unwrap();
+        }
+        assert_eq!(x.max_cell_writes(), 7);
+    }
+
+    #[test]
+    fn reset_stats_clears_accounting() {
+        let mut x = xbar();
+        let b = x.block(0).unwrap();
+        x.preload_bit(b, 0, 0, true).unwrap();
+        x.reset_stats();
+        assert_eq!(*x.stats(), Stats::new());
+    }
+
+    #[test]
+    fn advance_cycles_adds_latency() {
+        let mut x = xbar();
+        x.advance_cycles(Cycles::new(13));
+        assert_eq!(x.stats().cycles.get(), 13);
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        let mut x = xbar();
+        let b = x.block(0).unwrap();
+        assert!(x.nor_rows_shifted(&[], RowRef::new(b, 0), 0..4, 0).is_err());
+        assert!(x.nor_cells(b, &[], (0, 0)).is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! A single memristive cell.
+
+use std::fmt;
+
+/// A permanent defect injected into a cell (failure-injection extension).
+///
+/// Real RRAM arrays suffer stuck-at faults from forming failures and
+/// endurance wear-out; the simulator can inject them to study their effect
+/// on computation quality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// The cell always reads logic `0` (stuck at high resistance).
+    StuckAtZero,
+    /// The cell always reads logic `1` (stuck at low resistance).
+    StuckAtOne,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::StuckAtZero => write!(f, "stuck-at-0"),
+            Fault::StuckAtOne => write!(f, "stuck-at-1"),
+        }
+    }
+}
+
+/// One memristor in the crossbar.
+///
+/// Logic convention follows MAGIC: low resistance (`RON`) is logic `1`,
+/// high resistance (`ROFF`) is logic `0`. The cell tracks its write count
+/// for endurance studies.
+///
+/// ```
+/// use apim_crossbar::Cell;
+/// let mut cell = Cell::new();
+/// assert!(!cell.read());
+/// cell.write(true);
+/// assert!(cell.read());
+/// assert_eq!(cell.writes(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Cell {
+    bit: bool,
+    writes: u64,
+    fault: Option<Fault>,
+}
+
+impl Cell {
+    /// A fresh cell in the OFF (logic `0`) state.
+    pub const fn new() -> Self {
+        Cell {
+            bit: false,
+            writes: 0,
+            fault: None,
+        }
+    }
+
+    /// Reads the stored bit, honouring any injected fault.
+    pub fn read(&self) -> bool {
+        match self.fault {
+            Some(Fault::StuckAtZero) => false,
+            Some(Fault::StuckAtOne) => true,
+            None => self.bit,
+        }
+    }
+
+    /// Writes a bit. Faulty cells accept the write (and count it) but keep
+    /// reading their stuck value.
+    pub fn write(&mut self, bit: bool) {
+        // Real devices only dissipate switching energy when the state
+        // changes, but the controller cannot know that in advance; writes
+        // are counted unconditionally.
+        self.bit = bit;
+        self.writes += 1;
+    }
+
+    /// Number of write operations this cell has absorbed (endurance proxy).
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Injects (or clears) a permanent fault.
+    pub fn set_fault(&mut self, fault: Option<Fault>) {
+        self.fault = fault;
+    }
+
+    /// The currently injected fault, if any.
+    pub fn fault(&self) -> Option<Fault> {
+        self.fault
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_cell_reads_zero() {
+        assert!(!Cell::new().read());
+        assert_eq!(Cell::new().writes(), 0);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut c = Cell::new();
+        c.write(true);
+        assert!(c.read());
+        c.write(false);
+        assert!(!c.read());
+        assert_eq!(c.writes(), 2);
+    }
+
+    #[test]
+    fn stuck_at_zero_masks_writes() {
+        let mut c = Cell::new();
+        c.set_fault(Some(Fault::StuckAtZero));
+        c.write(true);
+        assert!(!c.read());
+        assert_eq!(c.writes(), 1, "faulty writes still wear the cell");
+    }
+
+    #[test]
+    fn stuck_at_one_masks_state() {
+        let mut c = Cell::new();
+        c.set_fault(Some(Fault::StuckAtOne));
+        assert!(c.read());
+        c.write(false);
+        assert!(c.read());
+    }
+
+    #[test]
+    fn clearing_fault_restores_state() {
+        let mut c = Cell::new();
+        c.write(true);
+        c.set_fault(Some(Fault::StuckAtZero));
+        assert!(!c.read());
+        c.set_fault(None);
+        assert!(c.read());
+        assert_eq!(c.fault(), None);
+    }
+
+    #[test]
+    fn fault_display() {
+        assert_eq!(Fault::StuckAtZero.to_string(), "stuck-at-0");
+        assert_eq!(Fault::StuckAtOne.to_string(), "stuck-at-1");
+    }
+}

@@ -1,0 +1,118 @@
+//! Error type for crossbar operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the crossbar simulator.
+///
+/// All public fallible operations of this crate return
+/// [`Result<T, CrossbarError>`](crate::Result).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrossbarError {
+    /// A cell coordinate was outside the array.
+    OutOfBounds {
+        /// Description of the access that failed.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The exclusive limit it violated.
+        limit: usize,
+    },
+    /// A block index did not exist.
+    NoSuchBlock {
+        /// The requested block index.
+        index: usize,
+        /// The number of blocks in the crossbar.
+        blocks: usize,
+    },
+    /// All NOR inputs must live in one block (the MAGIC voltage pattern is
+    /// applied per block).
+    InputsSpanBlocks,
+    /// A nonzero shift was requested without crossing the interconnect
+    /// (shifting happens *in* the interconnect between blocks).
+    ShiftWithinBlock {
+        /// The requested shift.
+        shift: isize,
+    },
+    /// The configuration was rejected.
+    InvalidConfig(String),
+    /// A MAGIC NOR targeted an output cell that was not initialized to the
+    /// ON state (detected only when `strict_init` is enabled).
+    UninitializedOutput {
+        /// Block of the offending output cell.
+        block: usize,
+        /// Row of the offending output cell.
+        row: usize,
+        /// Column of the offending output cell.
+        col: usize,
+    },
+}
+
+impl fmt::Display for CrossbarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrossbarError::OutOfBounds { what, index, limit } => {
+                write!(f, "{what} index {index} out of bounds (limit {limit})")
+            }
+            CrossbarError::NoSuchBlock { index, blocks } => {
+                write!(f, "block {index} does not exist ({blocks} blocks)")
+            }
+            CrossbarError::InputsSpanBlocks => {
+                write!(f, "MAGIC NOR inputs must all live in one block")
+            }
+            CrossbarError::ShiftWithinBlock { shift } => {
+                write!(f, "shift of {shift} requested within a single block")
+            }
+            CrossbarError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CrossbarError::UninitializedOutput { block, row, col } => write!(
+                f,
+                "MAGIC output cell ({block},{row},{col}) was not initialized to ON"
+            ),
+        }
+    }
+}
+
+impl Error for CrossbarError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CrossbarError::OutOfBounds {
+            what: "row",
+            index: 9,
+            limit: 8,
+        };
+        assert!(e.to_string().contains("row index 9"));
+        assert!(CrossbarError::InputsSpanBlocks
+            .to_string()
+            .contains("one block"));
+        assert!(CrossbarError::ShiftWithinBlock { shift: 3 }
+            .to_string()
+            .contains("3"));
+        assert!(CrossbarError::NoSuchBlock {
+            index: 5,
+            blocks: 2
+        }
+        .to_string()
+        .contains("block 5"));
+        assert!(CrossbarError::InvalidConfig("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(CrossbarError::UninitializedOutput {
+            block: 0,
+            row: 1,
+            col: 2
+        }
+        .to_string()
+        .contains("(0,1,2)"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<CrossbarError>();
+    }
+}

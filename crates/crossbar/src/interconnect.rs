@@ -1,0 +1,185 @@
+//! The configurable interconnect circuit (Figure 3(a) of the paper).
+//!
+//! "It can be visualized as a collection of switches, similar to a barrel
+//! shifter, which connects the bitlines of the two blocks … The select
+//! signals, sₙ, control the amount of shift." This module models that
+//! switch network explicitly: a logarithmic barrel shifter of
+//! `⌈log₂(max_shift+1)⌉` stages whose select word is the binary encoding
+//! of the shift. [`crate::BlockedCrossbar`] charges interconnect energy per
+//! bit moved; the per-bit constant is derived here from the per-switch
+//! cost, and the routing function is the ground truth the block-level
+//! `shift` parameter is tested against.
+
+use crate::error::CrossbarError;
+use crate::Result;
+
+/// A logarithmic barrel shifter connecting two blocks' bitlines.
+///
+/// ```
+/// use apim_crossbar::BarrelShifter;
+///
+/// # fn main() -> Result<(), apim_crossbar::CrossbarError> {
+/// let icn = BarrelShifter::new(64, 31)?;
+/// assert_eq!(icn.stages(), 5);
+/// assert_eq!(icn.route(10, 3)?, Some(13));
+/// assert_eq!(icn.select_signals(10), vec![false, true, false, true, false]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BarrelShifter {
+    width: usize,
+    max_shift: usize,
+    stages: u32,
+}
+
+impl BarrelShifter {
+    /// Builds a shifter joining `width` bitlines supporting shifts of
+    /// `0 ..= max_shift`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidConfig`] for a zero width or a
+    /// maximum shift not smaller than the width.
+    pub fn new(width: usize, max_shift: usize) -> Result<Self> {
+        if width == 0 {
+            return Err(CrossbarError::InvalidConfig(
+                "interconnect needs at least one bitline".into(),
+            ));
+        }
+        if max_shift >= width {
+            return Err(CrossbarError::InvalidConfig(format!(
+                "max shift {max_shift} must be smaller than the width {width}"
+            )));
+        }
+        let stages = usize::BITS - max_shift.leading_zeros();
+        Ok(BarrelShifter {
+            width,
+            max_shift,
+            stages: stages.max(1),
+        })
+    }
+
+    /// Number of bitlines joined.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of shifter stages (`⌈log₂(max_shift + 1)⌉`).
+    pub fn stages(&self) -> u32 {
+        self.stages
+    }
+
+    /// Total pass-gate switches in the network — the §3.1 area overhead
+    /// ("the area and logic overhead introduced by the proposed memory
+    /// unit is restricted to the interconnect circuit and its control
+    /// logic").
+    pub fn switch_count(&self) -> usize {
+        self.width * self.stages as usize
+    }
+
+    /// The per-stage select word for a shift: stage `k` (shift by `2^k`)
+    /// is enabled iff bit `k` of `shift` is set.
+    pub fn select_signals(&self, shift: usize) -> Vec<bool> {
+        (0..self.stages).map(|k| (shift >> k) & 1 == 1).collect()
+    }
+
+    /// Routes incoming bitline `b` under `shift`: returns the outgoing
+    /// bitline, or `None` if it shifts off the end of the array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::ShiftWithinBlock`] if `shift` exceeds the
+    /// configured maximum (the select word cannot encode it).
+    pub fn route(&self, shift: usize, bitline: usize) -> Result<Option<usize>> {
+        if shift > self.max_shift {
+            return Err(CrossbarError::ShiftWithinBlock {
+                shift: shift as isize,
+            });
+        }
+        // Apply the enabled stages in sequence — the physical signal path.
+        let mut line = bitline;
+        for (k, enabled) in self.select_signals(shift).iter().enumerate() {
+            if *enabled {
+                line += 1 << k;
+            }
+        }
+        Ok(if line < self.width { Some(line) } else { None })
+    }
+
+    /// Energy of moving an `active_bits`-wide word through the network,
+    /// given a per-switch toggle energy: every active bit traverses one
+    /// pass gate per stage.
+    pub fn word_energy_pj(&self, active_bits: usize, pj_per_switch: f64) -> f64 {
+        active_bits.min(self.width) as f64 * self.stages as f64 * pj_per_switch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_count_is_logarithmic() {
+        assert_eq!(BarrelShifter::new(64, 1).unwrap().stages(), 1);
+        assert_eq!(BarrelShifter::new(64, 3).unwrap().stages(), 2);
+        assert_eq!(BarrelShifter::new(64, 31).unwrap().stages(), 5);
+        assert_eq!(BarrelShifter::new(64, 32).unwrap().stages(), 6);
+    }
+
+    #[test]
+    fn routing_equals_plain_addition_within_bounds() {
+        let icn = BarrelShifter::new(32, 15).unwrap();
+        for shift in 0..=15 {
+            for b in 0..32 {
+                let got = icn.route(shift, b).unwrap();
+                let expect = if b + shift < 32 {
+                    Some(b + shift)
+                } else {
+                    None
+                };
+                assert_eq!(got, expect, "shift {shift}, bitline {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn select_word_is_binary_encoding() {
+        let icn = BarrelShifter::new(64, 31).unwrap();
+        assert_eq!(
+            icn.select_signals(0b10110),
+            vec![false, true, true, false, true]
+        );
+        assert_eq!(icn.select_signals(0), vec![false; 5]);
+    }
+
+    #[test]
+    fn oversized_shift_rejected() {
+        let icn = BarrelShifter::new(64, 7).unwrap();
+        assert!(icn.route(8, 0).is_err());
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(BarrelShifter::new(0, 0).is_err());
+        assert!(BarrelShifter::new(8, 8).is_err());
+        assert!(BarrelShifter::new(8, 7).is_ok());
+    }
+
+    #[test]
+    fn area_grows_log_not_linear() {
+        // Doubling the max shift adds one stage, not double the switches.
+        let a = BarrelShifter::new(256, 15).unwrap().switch_count();
+        let b = BarrelShifter::new(256, 31).unwrap().switch_count();
+        assert_eq!(b - a, 256);
+    }
+
+    #[test]
+    fn word_energy_scales_with_stages_and_width() {
+        let icn = BarrelShifter::new(64, 31).unwrap();
+        let e32 = icn.word_energy_pj(32, 0.4);
+        assert!((e32 - 32.0 * 5.0 * 0.4).abs() < 1e-12);
+        // Width-clamped.
+        assert_eq!(icn.word_energy_pj(1000, 0.4), icn.word_energy_pj(64, 0.4));
+    }
+}

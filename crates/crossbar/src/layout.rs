@@ -1,0 +1,135 @@
+//! Scratch-row allocation inside a processing block.
+
+use crate::error::CrossbarError;
+use crate::Result;
+
+/// A simple allocator for wordlines of a processing block.
+///
+/// Gate-level routines in `apim-logic` need scratch rows for intermediate
+/// NOR results; this keeps their bookkeeping out of the arithmetic code.
+/// Rows are handed out lowest-first and can be returned for reuse.
+///
+/// ```
+/// use apim_crossbar::RowAllocator;
+///
+/// # fn main() -> Result<(), apim_crossbar::CrossbarError> {
+/// let mut alloc = RowAllocator::new(8);
+/// let a = alloc.alloc()?;
+/// let b = alloc.alloc()?;
+/// assert_ne!(a, b);
+/// alloc.free(a);
+/// assert_eq!(alloc.alloc()?, a); // freed rows are reused
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowAllocator {
+    rows: usize,
+    free: Vec<usize>,
+    next: usize,
+}
+
+impl RowAllocator {
+    /// An allocator over `rows` wordlines.
+    pub fn new(rows: usize) -> Self {
+        RowAllocator {
+            rows,
+            free: Vec::new(),
+            next: 0,
+        }
+    }
+
+    /// Claims a free row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] when the block has no rows
+    /// left — the caller's layout needs a bigger block.
+    pub fn alloc(&mut self) -> Result<usize> {
+        if let Some(row) = self.free.pop() {
+            return Ok(row);
+        }
+        if self.next >= self.rows {
+            return Err(CrossbarError::OutOfBounds {
+                what: "scratch row",
+                index: self.next,
+                limit: self.rows,
+            });
+        }
+        let row = self.next;
+        self.next += 1;
+        Ok(row)
+    }
+
+    /// Claims `n` rows at once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] if fewer than `n` rows remain;
+    /// already-claimed rows are *not* rolled back in that case.
+    pub fn alloc_many(&mut self, n: usize) -> Result<Vec<usize>> {
+        (0..n).map(|_| self.alloc()).collect()
+    }
+
+    /// Returns a row for reuse.
+    pub fn free(&mut self, row: usize) {
+        debug_assert!(row < self.rows, "freeing row outside the block");
+        self.free.push(row);
+    }
+
+    /// Returns several rows for reuse.
+    pub fn free_many(&mut self, rows: impl IntoIterator<Item = usize>) {
+        for row in rows {
+            self.free(row);
+        }
+    }
+
+    /// Rows still available (free list + never-claimed).
+    pub fn available(&self) -> usize {
+        self.free.len() + (self.rows - self.next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_distinct_rows() {
+        let mut a = RowAllocator::new(4);
+        let rows = a.alloc_many(4).unwrap();
+        let mut sorted = rows.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+    }
+
+    #[test]
+    fn exhaustion_errors() {
+        let mut a = RowAllocator::new(2);
+        a.alloc_many(2).unwrap();
+        assert!(a.alloc().is_err());
+    }
+
+    #[test]
+    fn free_enables_reuse() {
+        let mut a = RowAllocator::new(2);
+        let r0 = a.alloc().unwrap();
+        let r1 = a.alloc().unwrap();
+        a.free_many([r0, r1]);
+        assert_eq!(a.available(), 2);
+        a.alloc().unwrap();
+        a.alloc().unwrap();
+        assert!(a.alloc().is_err());
+    }
+
+    #[test]
+    fn available_tracks_state() {
+        let mut a = RowAllocator::new(3);
+        assert_eq!(a.available(), 3);
+        let r = a.alloc().unwrap();
+        assert_eq!(a.available(), 2);
+        a.free(r);
+        assert_eq!(a.available(), 3);
+    }
+}

@@ -1,0 +1,69 @@
+//! Bit-accurate RRAM crossbar simulator for APIM.
+//!
+//! This crate models the memory unit of the APIM architecture (Figure 1 of
+//! the paper): a crossbar of memristive cells divided into *data blocks* and
+//! *processing blocks* that share row/column decoders and are joined by
+//! **configurable interconnects** (barrel shifters). It executes MAGIC NOR
+//! logic directly on simulated cells while accounting cycles, writes, reads
+//! and energy.
+//!
+//! The central type is [`BlockedCrossbar`]. Its compute primitives follow
+//! the paper's cost accounting:
+//!
+//! * [`BlockedCrossbar::nor_rows_shifted`] — one column-parallel MAGIC NOR,
+//!   one cycle, optionally crossing the interconnect with a bitline shift
+//!   (shifting adds **zero** latency — that is the point of §3.1).
+//! * [`BlockedCrossbar::nor_cells`] — a single-bit MAGIC NOR, one cycle.
+//! * [`BlockedCrossbar::read_bit`] — a sense-amplifier read (0.3 ns,
+//!   sub-cycle: overlapped with computation, so zero cycles are charged).
+//! * [`BlockedCrossbar::maj_read`] — the modified sense amplifier of §3.4
+//!   evaluating a majority of three cells; the paper charges the MAJ
+//!   evaluation plus the mandatory carry write-back as 2 cycles per bit, so
+//!   `maj_read` charges one cycle and the write-back charges the other.
+//! * [`BlockedCrossbar::preload_word`] — stores input data without charging
+//!   compute cycles (the paper's premise is that datasets are already
+//!   resident in memory).
+//!
+//! # Example
+//!
+//! ```
+//! use apim_crossbar::{BlockedCrossbar, CrossbarConfig, RowRef};
+//!
+//! # fn main() -> Result<(), apim_crossbar::CrossbarError> {
+//! let mut xbar = BlockedCrossbar::new(CrossbarConfig::default())?;
+//! let block = xbar.block(0)?;
+//! // Store two 4-bit words in rows 0 and 1.
+//! xbar.preload_word(block, 0, 0, &[true, false, true, false])?;
+//! xbar.preload_word(block, 1, 0, &[true, true, false, false])?;
+//! // One column-parallel MAGIC NOR into row 2: costs exactly 1 cycle.
+//! xbar.init_rows(block, &[2], 0..4)?;
+//! xbar.nor_rows_shifted(&[RowRef::new(block, 0), RowRef::new(block, 1)],
+//!                       RowRef::new(block, 2), 0..4, 0)?;
+//! assert_eq!(xbar.peek_word(block, 2, 0, 4)?, vec![false, false, false, true]);
+//! assert_eq!(xbar.stats().cycles.get(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod array;
+mod block;
+mod cell;
+mod error;
+mod interconnect;
+mod layout;
+mod stats;
+mod wear;
+
+pub use array::CrossbarArray;
+pub use block::{BlockId, BlockRole, BlockedCrossbar, CrossbarConfig, RowRef};
+pub use cell::{Cell, Fault};
+pub use error::CrossbarError;
+pub use interconnect::BarrelShifter;
+pub use layout::RowAllocator;
+pub use stats::{EnergyBreakdown, Stats};
+pub use wear::{BlockWear, WearReport};
+
+/// Convenience result alias for crossbar operations.
+pub type Result<T> = std::result::Result<T, CrossbarError>;

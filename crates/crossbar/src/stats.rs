@@ -1,0 +1,240 @@
+//! Execution statistics: cycles, operation counts and energy.
+
+use apim_device::{Cycles, EnergyDelayProduct, Joules, Seconds, TimingModel};
+use std::fmt;
+use std::ops::Sub;
+
+/// Energy split by physical mechanism — where the joules actually go.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// MAGIC NOR evaluations (output-cell switching + half-select).
+    pub nor: Joules,
+    /// Cell writes (initialization, write-back, preload).
+    pub write: Joules,
+    /// Sense-amplifier reads.
+    pub read: Joules,
+    /// Sense-amplifier majority evaluations.
+    pub maj: Joules,
+    /// Interconnect switch traversals.
+    pub interconnect: Joules,
+}
+
+impl EnergyBreakdown {
+    /// Sum of all categories (equals [`Stats::energy`]).
+    pub fn total(&self) -> Joules {
+        self.nor + self.write + self.read + self.maj + self.interconnect
+    }
+
+    fn merge(&mut self, other: &EnergyBreakdown) {
+        self.nor += other.nor;
+        self.write += other.write;
+        self.read += other.read;
+        self.maj += other.maj;
+        self.interconnect += other.interconnect;
+    }
+
+    fn sub(self, earlier: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            nor: self.nor - earlier.nor,
+            write: self.write - earlier.write,
+            read: self.read - earlier.read,
+            maj: self.maj - earlier.maj,
+            interconnect: self.interconnect - earlier.interconnect,
+        }
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "nor {} | write {} | read {} | maj {} | icn {}",
+            self.nor, self.write, self.read, self.maj, self.interconnect
+        )
+    }
+}
+
+/// Cumulative accounting of everything a [`crate::BlockedCrossbar`] (or a
+/// higher-level routine built on it) has executed.
+///
+/// `Stats` is cheap to copy and supports subtraction, so callers can take a
+/// snapshot before a routine and diff afterwards:
+///
+/// ```
+/// use apim_crossbar::{BlockedCrossbar, CrossbarConfig};
+///
+/// # fn main() -> Result<(), apim_crossbar::CrossbarError> {
+/// let mut xbar = BlockedCrossbar::new(CrossbarConfig::default())?;
+/// let before = *xbar.stats();
+/// let block = xbar.block(0)?;
+/// xbar.init_rows(block, &[0], 0..8)?;
+/// let delta = *xbar.stats() - before;
+/// assert_eq!(delta.cell_writes, 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Stats {
+    /// MAGIC execution cycles consumed.
+    pub cycles: Cycles,
+    /// Column- or row-parallel NOR evaluations.
+    pub nor_ops: u64,
+    /// Individual output cells switched by NOR evaluations.
+    pub nor_cells: u64,
+    /// Cells written (initialization + write-back + preload).
+    pub cell_writes: u64,
+    /// Bits read through the sense amplifiers.
+    pub reads: u64,
+    /// Sense-amplifier majority evaluations.
+    pub maj_ops: u64,
+    /// Bits moved through the configurable interconnect.
+    pub interconnect_bits: u64,
+    /// Total energy dissipated.
+    pub energy: Joules,
+    /// The same energy split by mechanism.
+    pub energy_breakdown: EnergyBreakdown,
+}
+
+impl Stats {
+    /// A zeroed statistics block.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Wall-clock latency of the accounted cycles under `timing`.
+    pub fn latency(&self, timing: &TimingModel) -> Seconds {
+        timing.cycles_to_time(self.cycles)
+    }
+
+    /// Energy-delay product under `timing`.
+    pub fn edp(&self, timing: &TimingModel) -> EnergyDelayProduct {
+        self.energy * self.latency(timing)
+    }
+
+    /// Merges another statistics block into this one.
+    pub fn merge(&mut self, other: &Stats) {
+        self.cycles += other.cycles;
+        self.nor_ops += other.nor_ops;
+        self.nor_cells += other.nor_cells;
+        self.cell_writes += other.cell_writes;
+        self.reads += other.reads;
+        self.maj_ops += other.maj_ops;
+        self.interconnect_bits += other.interconnect_bits;
+        self.energy += other.energy;
+        self.energy_breakdown.merge(&other.energy_breakdown);
+    }
+}
+
+impl Sub for Stats {
+    type Output = Stats;
+
+    /// Difference of two snapshots; `self` must be the later one.
+    fn sub(self, earlier: Stats) -> Stats {
+        Stats {
+            cycles: self.cycles - earlier.cycles,
+            nor_ops: self.nor_ops - earlier.nor_ops,
+            nor_cells: self.nor_cells - earlier.nor_cells,
+            cell_writes: self.cell_writes - earlier.cell_writes,
+            reads: self.reads - earlier.reads,
+            maj_ops: self.maj_ops - earlier.maj_ops,
+            interconnect_bits: self.interconnect_bits - earlier.interconnect_bits,
+            energy: self.energy - earlier.energy,
+            energy_breakdown: self.energy_breakdown.sub(earlier.energy_breakdown),
+        }
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} | nor: {} ({} cells) | writes: {} | reads: {} | maj: {} | icn bits: {} | {}",
+            self.cycles,
+            self.nor_ops,
+            self.nor_cells,
+            self.cell_writes,
+            self.reads,
+            self.maj_ops,
+            self.interconnect_bits,
+            self.energy
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(cycles: u64, writes: u64, energy_pj: f64) -> Stats {
+        Stats {
+            cycles: Cycles::new(cycles),
+            nor_ops: cycles,
+            nor_cells: cycles * 4,
+            cell_writes: writes,
+            reads: 1,
+            maj_ops: 2,
+            interconnect_bits: 8,
+            energy: Joules::from_picojoules(energy_pj),
+            energy_breakdown: EnergyBreakdown {
+                nor: Joules::from_picojoules(energy_pj),
+                ..EnergyBreakdown::default()
+            },
+        }
+    }
+
+    #[test]
+    fn merge_accumulates_all_fields() {
+        let mut a = sample(10, 5, 1.0);
+        let b = sample(3, 2, 0.5);
+        a.merge(&b);
+        assert_eq!(a.cycles.get(), 13);
+        assert_eq!(a.nor_ops, 13);
+        assert_eq!(a.nor_cells, 52);
+        assert_eq!(a.cell_writes, 7);
+        assert_eq!(a.reads, 2);
+        assert_eq!(a.maj_ops, 4);
+        assert_eq!(a.interconnect_bits, 16);
+        assert!((a.energy.as_picojoules() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subtraction_is_inverse_of_merge() {
+        let a = sample(10, 5, 1.0);
+        let mut ab = a;
+        let b = sample(3, 2, 0.5);
+        ab.merge(&b);
+        let diff = ab - a;
+        assert_eq!(diff.cycles, b.cycles);
+        assert_eq!(diff.cell_writes, b.cell_writes);
+        assert!((diff.energy.as_picojoules() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_uses_cycle_time() {
+        let timing = TimingModel::default();
+        let s = sample(100, 0, 1.0);
+        assert!((s.latency(&timing).as_nanos() - 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edp_is_energy_times_latency() {
+        let timing = TimingModel::default();
+        let s = sample(100, 0, 2.0);
+        let expected = 2e-12 * 110e-9;
+        assert!((s.edp(&timing).as_joule_seconds() - expected).abs() < 1e-25);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!sample(1, 1, 1.0).to_string().is_empty());
+        assert!(!sample(1, 1, 1.0).energy_breakdown.to_string().is_empty());
+    }
+
+    #[test]
+    fn breakdown_merges_and_totals() {
+        let mut a = sample(1, 1, 2.0);
+        a.merge(&sample(1, 1, 3.0));
+        assert!((a.energy_breakdown.nor.as_picojoules() - 5.0).abs() < 1e-12);
+        assert!((a.energy_breakdown.total().as_picojoules() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! Endurance reporting.
+//!
+//! RRAM cells wear out after a bounded number of SET/RESET events, and the
+//! MAGIC init-then-evaluate discipline concentrates writes on scratch rows.
+//! The wear report exposes the distribution so schedulers can rotate
+//! scratch allocations (wear leveling) and lifetime studies can reason
+//! about hotspots.
+
+use std::fmt;
+
+/// Per-block wear summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockWear {
+    /// Block index.
+    pub block: usize,
+    /// Writes absorbed by the hottest cell.
+    pub max_cell_writes: u64,
+    /// Total writes across the block.
+    pub total_writes: u64,
+    /// Mean writes per cell.
+    pub mean_writes: f64,
+}
+
+impl BlockWear {
+    /// Hotspot factor: how much hotter the worst cell is than the average
+    /// (1.0 = perfectly level). Zero-write blocks report 0.
+    pub fn hotspot_factor(&self) -> f64 {
+        if self.mean_writes == 0.0 {
+            0.0
+        } else {
+            self.max_cell_writes as f64 / self.mean_writes
+        }
+    }
+}
+
+/// Wear summary of the whole memory unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WearReport {
+    /// One entry per block.
+    pub blocks: Vec<BlockWear>,
+}
+
+impl WearReport {
+    /// The hottest cell's write count anywhere.
+    pub fn max_cell_writes(&self) -> u64 {
+        self.blocks
+            .iter()
+            .map(|b| b.max_cell_writes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Remaining lifetime fraction under a given endurance budget
+    /// (writes the weakest cell can still absorb / budget).
+    pub fn lifetime_remaining(&self, endurance_writes: u64) -> f64 {
+        let used = self.max_cell_writes().min(endurance_writes);
+        1.0 - used as f64 / endurance_writes as f64
+    }
+}
+
+impl fmt::Display for WearReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.blocks {
+            writeln!(
+                f,
+                "block {}: max {} writes/cell, mean {:.2}, hotspot x{:.1}",
+                b.block,
+                b.max_cell_writes,
+                b.mean_writes,
+                b.hotspot_factor()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+
+    use crate::{BlockedCrossbar, CrossbarConfig};
+
+    #[test]
+    fn fresh_crossbar_has_no_wear() {
+        let x = BlockedCrossbar::new(CrossbarConfig::default()).unwrap();
+        let report = x.wear_report();
+        assert_eq!(report.max_cell_writes(), 0);
+        assert_eq!(report.blocks.len(), 4);
+        assert_eq!(report.lifetime_remaining(1_000_000), 1.0);
+    }
+
+    #[test]
+    fn writes_show_up_in_the_right_block() {
+        let mut x = BlockedCrossbar::new(CrossbarConfig::default()).unwrap();
+        let b1 = x.block(1).unwrap();
+        for _ in 0..10 {
+            x.preload_bit(b1, 2, 2, true).unwrap();
+        }
+        let report = x.wear_report();
+        assert_eq!(report.blocks[1].max_cell_writes, 10);
+        assert_eq!(report.blocks[0].max_cell_writes, 0);
+        assert!(report.blocks[1].hotspot_factor() > 100.0, "one hot cell");
+    }
+
+    #[test]
+    fn lifetime_depletes_with_hotspot() {
+        let mut x = BlockedCrossbar::new(CrossbarConfig::default()).unwrap();
+        let b0 = x.block(0).unwrap();
+        for _ in 0..250 {
+            x.preload_bit(b0, 0, 0, true).unwrap();
+        }
+        let life = x.wear_report().lifetime_remaining(1000);
+        assert!((life - 0.75).abs() < 1e-9);
+        assert_eq!(x.wear_report().lifetime_remaining(100), 0.0);
+    }
+
+    #[test]
+    fn display_lists_every_block() {
+        let x = BlockedCrossbar::new(CrossbarConfig::default()).unwrap();
+        let text = x.wear_report().to_string();
+        assert_eq!(text.lines().count(), 4);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the crossbar's MAGIC primitives against plain
+//! bitwise reference semantics.
+
+use apim_crossbar::{BlockedCrossbar, CrossbarConfig, RowRef};
+use proptest::prelude::*;
+
+const W: usize = 16;
+
+fn xbar() -> BlockedCrossbar {
+    BlockedCrossbar::new(CrossbarConfig::default()).expect("default config")
+}
+
+fn load(x: &mut BlockedCrossbar, block: apim_crossbar::BlockId, row: usize, v: u16) {
+    let bits: Vec<bool> = (0..W).map(|i| (v >> i) & 1 == 1).collect();
+    x.preload_word(block, row, 0, &bits).unwrap();
+}
+
+fn read(x: &BlockedCrossbar, block: apim_crossbar::BlockId, row: usize) -> u16 {
+    (0..W).fold(0, |acc, i| {
+        acc | (u16::from(x.peek_bit(block, row, i).unwrap()) << i)
+    })
+}
+
+proptest! {
+    #[test]
+    fn nor_matches_bitwise_reference(a: u16, b: u16) {
+        let mut x = xbar();
+        let blk = x.block(0).unwrap();
+        load(&mut x, blk, 0, a);
+        load(&mut x, blk, 1, b);
+        x.init_rows(blk, &[2], 0..W).unwrap();
+        x.nor_rows_shifted(&[RowRef::new(blk, 0), RowRef::new(blk, 1)], RowRef::new(blk, 2), 0..W, 0)
+            .unwrap();
+        prop_assert_eq!(read(&x, blk, 2), !(a | b));
+    }
+
+    #[test]
+    fn three_input_nor_matches_reference(a: u16, b: u16, c: u16) {
+        let mut x = xbar();
+        let blk = x.block(0).unwrap();
+        load(&mut x, blk, 0, a);
+        load(&mut x, blk, 1, b);
+        load(&mut x, blk, 2, c);
+        x.init_rows(blk, &[3], 0..W).unwrap();
+        x.nor_rows_shifted(
+            &[RowRef::new(blk, 0), RowRef::new(blk, 1), RowRef::new(blk, 2)],
+            RowRef::new(blk, 3),
+            0..W,
+            0,
+        )
+        .unwrap();
+        prop_assert_eq!(read(&x, blk, 3), !(a | b | c));
+    }
+
+    #[test]
+    fn double_not_is_identity(a: u16) {
+        let mut x = xbar();
+        let b0 = x.block(0).unwrap();
+        let b1 = x.block(1).unwrap();
+        load(&mut x, b0, 0, a);
+        x.init_rows(b0, &[1], 0..W).unwrap();
+        x.nor_rows_shifted(&[RowRef::new(b0, 0)], RowRef::new(b0, 1), 0..W, 0).unwrap();
+        x.init_rows(b1, &[0], 0..W).unwrap();
+        x.nor_rows_shifted(&[RowRef::new(b0, 1)], RowRef::new(b1, 0), 0..W, 0).unwrap();
+        prop_assert_eq!(read(&x, b1, 0), a);
+    }
+
+    #[test]
+    fn shifted_copy_is_a_shift(a: u16, shift in 0usize..8) {
+        let mut x = xbar();
+        let b0 = x.block(0).unwrap();
+        let b1 = x.block(1).unwrap();
+        load(&mut x, b0, 0, a);
+        x.copy_row_shifted(
+            RowRef::new(b0, 0),
+            RowRef::new(b0, 10),
+            RowRef::new(b1, 0),
+            0..W,
+            shift as isize,
+        )
+        .unwrap();
+        let got = (0..W).fold(0u32, |acc, i| {
+            acc | (u32::from(x.peek_bit(b1, 0, i + shift).unwrap()) << i)
+        });
+        prop_assert_eq!(got, u32::from(a));
+    }
+
+    #[test]
+    fn cycle_count_is_deterministic(ops in 1usize..20) {
+        let run = |n: usize| {
+            let mut x = xbar();
+            let blk = x.block(0).unwrap();
+            for i in 0..n {
+                x.init_rows(blk, &[1 + i % 8], 0..W).unwrap();
+                x.nor_rows_shifted(&[RowRef::new(blk, 0)], RowRef::new(blk, 1 + i % 8), 0..W, 0)
+                    .unwrap();
+            }
+            x.stats().cycles.get()
+        };
+        prop_assert_eq!(run(ops), ops as u64);
+        prop_assert_eq!(run(ops), run(ops));
+    }
+
+    #[test]
+    fn maj_read_matches_majority(a: bool, b: bool, c: bool) {
+        let mut x = xbar();
+        let blk = x.block(0).unwrap();
+        x.preload_bit(blk, 0, 0, a).unwrap();
+        x.preload_bit(blk, 1, 0, b).unwrap();
+        x.preload_bit(blk, 2, 0, c).unwrap();
+        let got = x.maj_read(blk, [(0, 0), (1, 0), (2, 0)]).unwrap();
+        prop_assert_eq!(got, (a & b) | (b & c) | (c & a));
+    }
+
+    #[test]
+    fn energy_strictly_accumulates(ops in 1usize..12) {
+        let mut x = xbar();
+        let blk = x.block(0).unwrap();
+        let mut last = 0.0;
+        for i in 0..ops {
+            x.init_rows(blk, &[1 + i % 8], 0..W).unwrap();
+            x.nor_rows_shifted(&[RowRef::new(blk, 0)], RowRef::new(blk, 1 + i % 8), 0..W, 0)
+                .unwrap();
+            let now = x.stats().energy.as_joules();
+            prop_assert!(now > last);
+            last = now;
+        }
+    }
+
+    #[test]
+    fn preload_round_trips_any_word(a: u16, row in 0usize..32) {
+        let mut x = xbar();
+        let blk = x.block(1).unwrap();
+        load(&mut x, blk, row, a);
+        prop_assert_eq!(read(&x, blk, row), a);
+    }
+}

@@ -1,0 +1,186 @@
+//! Sense-amplifier read-margin analysis (Figure 3(b) of the paper).
+//!
+//! The modified sense amplifier mirrors the bitline current and compares it
+//! against references (`R1 > x`, `R2 > 2` in the figure): a single-cell
+//! read discriminates `RON` from `ROFF`; the majority (MAJ) function senses
+//! *three* cells in parallel and thresholds the summed current at "more
+//! than one cell in `RON`". Whether that works depends entirely on the
+//! device's resistance ratio — this module quantifies the margins and the
+//! resulting bit-error rate under current noise, justifying the paper's
+//! choice of `ROFF/RON = 1000`.
+
+use crate::params::DeviceParams;
+
+/// Read margins of the single-bit and majority sense paths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadMargins {
+    /// Bitline current with the cell in `RON`, amps.
+    pub i_on: f64,
+    /// Bitline current with the cell in `ROFF`, amps.
+    pub i_off: f64,
+    /// Relative single-bit margin: `(i_on − i_off) / i_on`.
+    pub single_bit: f64,
+    /// Worst-case relative MAJ margin: the smallest gap between adjacent
+    /// summed-current levels (0–3 cells in `RON`), normalized to one
+    /// `RON` current step.
+    pub majority: f64,
+}
+
+/// Sense-amplifier analysis for a device parameter set.
+///
+/// ```
+/// use apim_device::{sense::SenseAnalysis, DeviceParams};
+/// let sa = SenseAnalysis::new(&DeviceParams::default());
+/// let margins = sa.margins();
+/// // The paper's 10 kΩ / 10 MΩ device leaves >99.8 % of the signal.
+/// assert!(margins.single_bit > 0.99);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SenseAnalysis {
+    v_read: f64,
+    r_on: f64,
+    r_off: f64,
+}
+
+impl SenseAnalysis {
+    /// Builds the analysis from device parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are invalid.
+    pub fn new(params: &DeviceParams) -> Self {
+        params.validate().expect("invalid device parameters");
+        SenseAnalysis {
+            v_read: params.v_read_volts,
+            r_on: params.r_on_ohms,
+            r_off: params.r_off_ohms,
+        }
+    }
+
+    /// Computes the read margins.
+    pub fn margins(&self) -> ReadMargins {
+        let i_on = self.v_read / self.r_on;
+        let i_off = self.v_read / self.r_off;
+        // MAJ: summed current of 3 cells, k of them ON: k·i_on + (3−k)·i_off.
+        // Adjacent levels differ by exactly (i_on − i_off); the threshold
+        // sits halfway between levels 1 and 2 ("R2 > 2" in Figure 3(b)).
+        // Worst-case margin is half a level gap, normalized to i_on.
+        let level_gap = i_on - i_off;
+        ReadMargins {
+            i_on,
+            i_off,
+            single_bit: level_gap / i_on,
+            majority: 0.5 * level_gap / i_on,
+        }
+    }
+
+    /// Bit-error rate of a single-bit read under Gaussian current noise of
+    /// `sigma_relative` (standard deviation as a fraction of `i_on`): the
+    /// probability that noise crosses half the margin.
+    pub fn single_bit_error_rate(&self, sigma_relative: f64) -> f64 {
+        let m = self.margins().single_bit;
+        gaussian_tail(0.5 * m / sigma_relative.max(1e-12))
+    }
+
+    /// Bit-error rate of the MAJ evaluation under the same noise (three
+    /// summed cells ⇒ √3 larger noise, half-level threshold distance).
+    pub fn majority_error_rate(&self, sigma_relative: f64) -> f64 {
+        let m = self.margins().majority;
+        let sigma = sigma_relative.max(1e-12) * 3f64.sqrt();
+        gaussian_tail(m / sigma)
+    }
+
+    /// The smallest `ROFF/RON` ratio keeping the MAJ margin above
+    /// `required` (relative): solves the margin formula for the ratio.
+    pub fn required_ratio_for_majority_margin(required: f64) -> f64 {
+        // majority = 0.5 (1 − RON/ROFF)  ⇒  ROFF/RON = 1 / (1 − 2·required)
+        assert!(
+            required < 0.5,
+            "majority margin asymptotically approaches 0.5"
+        );
+        1.0 / (1.0 - 2.0 * required)
+    }
+}
+
+/// Upper Gaussian tail `Q(z)` via the Abramowitz–Stegun approximation
+/// (absolute error < 7.5e-8) — good enough for BER estimates.
+fn gaussian_tail(z: f64) -> f64 {
+    if z < 0.0 {
+        return 1.0 - gaussian_tail(-z);
+    }
+    let t = 1.0 / (1.0 + 0.2316419 * z);
+    let poly = t
+        * (0.319381530
+            + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+    let pdf = (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    (pdf * poly).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> SenseAnalysis {
+        SenseAnalysis::new(&DeviceParams::paper())
+    }
+
+    #[test]
+    fn paper_device_has_huge_margins() {
+        let m = paper().margins();
+        assert!(m.single_bit > 0.998, "single-bit margin {}", m.single_bit);
+        assert!(m.majority > 0.49, "MAJ margin {}", m.majority);
+        assert!(m.i_on / m.i_off > 900.0);
+    }
+
+    #[test]
+    fn low_ratio_devices_lose_margin() {
+        let mut p = DeviceParams::paper();
+        p.r_off_ohms = p.r_on_ohms * 2.0; // a terrible device
+        let m = SenseAnalysis::new(&p).margins();
+        assert!(m.single_bit < 0.51);
+        assert!(m.majority < 0.26);
+    }
+
+    #[test]
+    fn error_rates_are_negligible_at_realistic_noise() {
+        let sa = paper();
+        // 5 % current noise: errors far below 1e-9.
+        assert!(sa.single_bit_error_rate(0.05) < 1e-9);
+        assert!(sa.majority_error_rate(0.05) < 1e-6);
+    }
+
+    #[test]
+    fn error_rates_grow_with_noise() {
+        let sa = paper();
+        let quiet = sa.majority_error_rate(0.02);
+        let noisy = sa.majority_error_rate(0.2);
+        assert!(noisy > quiet);
+        assert!(noisy < 0.5);
+    }
+
+    #[test]
+    fn required_ratio_matches_inverse_formula() {
+        // A 40 % MAJ margin needs ROFF/RON = 5.
+        let r = SenseAnalysis::required_ratio_for_majority_margin(0.4);
+        assert!((r - 5.0).abs() < 1e-9);
+        // The paper's ratio of 1000 buys a ~0.4995 margin.
+        let mut p = DeviceParams::paper();
+        p.r_off_ohms = p.r_on_ohms * r;
+        let m = SenseAnalysis::new(&p).margins();
+        assert!((m.majority - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "asymptotically")]
+    fn impossible_margin_rejected() {
+        let _ = SenseAnalysis::required_ratio_for_majority_margin(0.5);
+    }
+
+    #[test]
+    fn gaussian_tail_reference_points() {
+        assert!((gaussian_tail(0.0) - 0.5).abs() < 1e-6);
+        assert!((gaussian_tail(1.0) - 0.158_655).abs() < 1e-4);
+        assert!((gaussian_tail(3.0) - 0.001_35).abs() < 1e-4);
+        assert!((gaussian_tail(-1.0) - 0.841_345).abs() < 1e-4);
+    }
+}

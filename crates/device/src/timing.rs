@@ -1,0 +1,98 @@
+//! Timing model: cycle-accurate latency constants.
+
+use crate::params::DeviceParams;
+use crate::units::{Cycles, Seconds};
+
+/// Latency constants of the APIM memory unit.
+///
+/// All in-memory logic is scheduled in units of the MAGIC NOR cycle
+/// (1.1 ns). Sense-amplifier reads (0.3 ns) and majority evaluations
+/// (0.6 ns) are sub-cycle: the paper counts "read + MAJ" as less than one
+/// cycle, followed by one full cycle to write the computed carry back
+/// (§3.4), which is why the approximate final stage costs 2 cycles per bit.
+///
+/// ```
+/// use apim_device::{DeviceParams, TimingModel};
+/// let t = TimingModel::new(&DeviceParams::default());
+/// assert!((t.cycle_time().as_nanos() - 1.1).abs() < 1e-12);
+/// assert!(t.read_time().as_nanos() + t.maj_time().as_nanos() < t.cycle_time().as_nanos());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingModel {
+    cycle: Seconds,
+    read: Seconds,
+    maj: Seconds,
+}
+
+impl TimingModel {
+    /// Builds the timing model from device parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are invalid (see
+    /// [`DeviceParams::validate`]).
+    pub fn new(params: &DeviceParams) -> Self {
+        params.validate().expect("invalid device parameters");
+        TimingModel {
+            cycle: Seconds::from_nanos(params.cycle_ns),
+            read: Seconds::from_nanos(params.read_ns),
+            maj: Seconds::from_nanos(params.maj_ns),
+        }
+    }
+
+    /// Duration of one MAGIC NOR cycle.
+    pub fn cycle_time(&self) -> Seconds {
+        self.cycle
+    }
+
+    /// Duration of one bitwise sense-amplifier read.
+    pub fn read_time(&self) -> Seconds {
+        self.read
+    }
+
+    /// Duration of one sense-amplifier majority evaluation.
+    pub fn maj_time(&self) -> Seconds {
+        self.maj
+    }
+
+    /// Converts a cycle count to wall-clock time.
+    pub fn cycles_to_time(&self, cycles: Cycles) -> Seconds {
+        self.cycle * cycles.get() as f64
+    }
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel::new(&DeviceParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_latencies() {
+        let t = TimingModel::default();
+        assert!((t.cycle_time().as_nanos() - 1.1).abs() < 1e-12);
+        assert!((t.read_time().as_nanos() - 0.3).abs() < 1e-12);
+        assert!((t.maj_time().as_nanos() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_to_time_scales_linearly() {
+        let t = TimingModel::default();
+        let one = t.cycles_to_time(Cycles::new(1));
+        let many = t.cycles_to_time(Cycles::new(385));
+        assert!((many.as_nanos() - 385.0 * one.as_nanos()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn read_plus_maj_fits_in_one_cycle() {
+        // §3.4: "reading the inputs takes about 0.3ns, while our design
+        // needs 0.6ns to calculate majority ... an effective delay of less
+        // than 1 cycle".
+        let t = TimingModel::default();
+        assert!(t.read_time().as_nanos() + t.maj_time().as_nanos() < t.cycle_time().as_nanos());
+    }
+}

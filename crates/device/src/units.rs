@@ -1,0 +1,413 @@
+//! Strongly-typed physical quantities.
+//!
+//! Newtypes keep cycles, wall-clock time, energy and energy-delay product
+//! from being confused with one another across the simulator (C-NEWTYPE).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A count of MAGIC execution cycles.
+///
+/// One cycle is the time taken by one MAGIC NOR evaluation (1.1 ns in the
+/// paper's 45 nm setup). Cycles are exact integers; convert to wall-clock
+/// time with [`crate::TimingModel::cycles_to_time`].
+///
+/// ```
+/// use apim_device::Cycles;
+/// let total = Cycles::new(12) * 32 + Cycles::new(1);
+/// assert_eq!(total.get(), 385); // 12N + 1 for N = 32
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    pub const fn new(count: u64) -> Self {
+        Cycles(count)
+    }
+
+    /// Returns the raw count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the maximum of two counts.
+    pub fn max(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.max(rhs.0))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+/// Wall-clock time in seconds.
+///
+/// ```
+/// use apim_device::Seconds;
+/// let t = Seconds::from_nanos(1.1) * 385.0;
+/// assert!((t.as_nanos() - 423.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Seconds(f64);
+
+impl Seconds {
+    /// Zero time.
+    pub const ZERO: Seconds = Seconds(0.0);
+
+    /// Creates a time from seconds.
+    pub const fn new(secs: f64) -> Self {
+        Seconds(secs)
+    }
+
+    /// Creates a time from nanoseconds.
+    pub fn from_nanos(nanos: f64) -> Self {
+        Seconds(nanos * 1e-9)
+    }
+
+    /// Returns the value in seconds.
+    pub const fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the value in nanoseconds.
+    pub fn as_nanos(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Returns the value in microseconds.
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Returns the maximum of two times.
+    pub fn max(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0.max(rhs.0))
+    }
+}
+
+impl Add for Seconds {
+    type Output = Seconds;
+    fn add(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Seconds {
+    fn add_assign(&mut self, rhs: Seconds) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Seconds {
+    type Output = Seconds;
+    fn sub(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Seconds {
+    type Output = Seconds;
+    fn mul(self, rhs: f64) -> Seconds {
+        Seconds(self.0 * rhs)
+    }
+}
+
+impl Div<Seconds> for Seconds {
+    type Output = f64;
+    fn div(self, rhs: Seconds) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Div<f64> for Seconds {
+    type Output = Seconds;
+    fn div(self, rhs: f64) -> Seconds {
+        Seconds(self.0 / rhs)
+    }
+}
+
+impl Sum for Seconds {
+    fn sum<I: Iterator<Item = Seconds>>(iter: I) -> Seconds {
+        Seconds(iter.map(|s| s.0).sum())
+    }
+}
+
+impl fmt::Display for Seconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1.0 {
+            write!(f, "{:.3} s", self.0)
+        } else if self.0 >= 1e-3 {
+            write!(f, "{:.3} ms", self.0 * 1e3)
+        } else if self.0 >= 1e-6 {
+            write!(f, "{:.3} us", self.0 * 1e6)
+        } else {
+            write!(f, "{:.3} ns", self.0 * 1e9)
+        }
+    }
+}
+
+/// Energy in joules.
+///
+/// ```
+/// use apim_device::Joules;
+/// let e = Joules::from_picojoules(0.1) * 1000.0;
+/// assert!((e.as_picojoules() - 100.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Joules(f64);
+
+impl Joules {
+    /// Zero energy.
+    pub const ZERO: Joules = Joules(0.0);
+
+    /// Creates an energy from joules.
+    pub const fn new(joules: f64) -> Self {
+        Joules(joules)
+    }
+
+    /// Creates an energy from picojoules.
+    pub fn from_picojoules(pj: f64) -> Self {
+        Joules(pj * 1e-12)
+    }
+
+    /// Returns the value in joules.
+    pub const fn as_joules(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the value in picojoules.
+    pub fn as_picojoules(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// Returns the value in nanojoules.
+    pub fn as_nanojoules(self) -> f64 {
+        self.0 * 1e9
+    }
+}
+
+impl Add for Joules {
+    type Output = Joules;
+    fn add(self, rhs: Joules) -> Joules {
+        Joules(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Joules {
+    fn add_assign(&mut self, rhs: Joules) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Joules {
+    type Output = Joules;
+    fn sub(self, rhs: Joules) -> Joules {
+        Joules(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Joules {
+    type Output = Joules;
+    fn mul(self, rhs: f64) -> Joules {
+        Joules(self.0 * rhs)
+    }
+}
+
+impl Div<Joules> for Joules {
+    type Output = f64;
+    fn div(self, rhs: Joules) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Div<f64> for Joules {
+    type Output = Joules;
+    fn div(self, rhs: f64) -> Joules {
+        Joules(self.0 / rhs)
+    }
+}
+
+impl Sum for Joules {
+    fn sum<I: Iterator<Item = Joules>>(iter: I) -> Joules {
+        Joules(iter.map(|e| e.0).sum())
+    }
+}
+
+impl Mul<Seconds> for Joules {
+    type Output = EnergyDelayProduct;
+    fn mul(self, rhs: Seconds) -> EnergyDelayProduct {
+        EnergyDelayProduct::new(self.0 * rhs.as_secs())
+    }
+}
+
+impl fmt::Display for Joules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1.0 {
+            write!(f, "{:.3} J", self.0)
+        } else if self.0 >= 1e-3 {
+            write!(f, "{:.3} mJ", self.0 * 1e3)
+        } else if self.0 >= 1e-6 {
+            write!(f, "{:.3} uJ", self.0 * 1e6)
+        } else if self.0 >= 1e-9 {
+            write!(f, "{:.3} nJ", self.0 * 1e9)
+        } else {
+            write!(f, "{:.4} pJ", self.0 * 1e12)
+        }
+    }
+}
+
+/// Energy-delay product in joule-seconds — the figure of merit of Figure 4
+/// and Table 1 of the paper.
+///
+/// ```
+/// use apim_device::{Joules, Seconds};
+/// let edp = Joules::from_picojoules(500.0) * Seconds::from_nanos(400.0);
+/// assert!(edp.as_joule_seconds() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct EnergyDelayProduct(f64);
+
+impl EnergyDelayProduct {
+    /// Creates an EDP value from joule-seconds.
+    pub const fn new(joule_seconds: f64) -> Self {
+        EnergyDelayProduct(joule_seconds)
+    }
+
+    /// Returns the value in joule-seconds.
+    pub const fn as_joule_seconds(self) -> f64 {
+        self.0
+    }
+
+    /// Ratio of two EDPs — `baseline.improvement_over(ours)` reads as the
+    /// paper's "EDP Imp." columns.
+    pub fn improvement_over(self, other: EnergyDelayProduct) -> f64 {
+        self.0 / other.0
+    }
+}
+
+impl Add for EnergyDelayProduct {
+    type Output = EnergyDelayProduct;
+    fn add(self, rhs: EnergyDelayProduct) -> EnergyDelayProduct {
+        EnergyDelayProduct(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for EnergyDelayProduct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3e} J.s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_arithmetic() {
+        let a = Cycles::new(10);
+        let b = Cycles::new(3);
+        assert_eq!((a + b).get(), 13);
+        assert_eq!((a - b).get(), 7);
+        assert_eq!((a * 4).get(), 40);
+        assert_eq!(Cycles::ZERO.get(), 0);
+        assert_eq!(a.max(b), a);
+        assert_eq!(b.saturating_sub(a), Cycles::ZERO);
+    }
+
+    #[test]
+    fn cycles_sum() {
+        let total: Cycles = (1..=4).map(Cycles::new).sum();
+        assert_eq!(total.get(), 10);
+    }
+
+    #[test]
+    fn seconds_conversions() {
+        let t = Seconds::from_nanos(1.1);
+        assert!((t.as_secs() - 1.1e-9).abs() < 1e-18);
+        assert!((t.as_nanos() - 1.1).abs() < 1e-12);
+        assert!(((t * 2.0).as_nanos() - 2.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seconds_ratio() {
+        let a = Seconds::from_nanos(100.0);
+        let b = Seconds::from_nanos(25.0);
+        assert!((a / b - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joules_conversions() {
+        let e = Joules::from_picojoules(100.0);
+        assert!((e.as_nanojoules() - 0.1).abs() < 1e-12);
+        assert!((e.as_joules() - 1e-10).abs() < 1e-20);
+    }
+
+    #[test]
+    fn edp_from_product() {
+        let edp = Joules::new(2.0) * Seconds::new(3.0);
+        assert!((edp.as_joule_seconds() - 6.0).abs() < 1e-12);
+        let better = EnergyDelayProduct::new(1.5);
+        assert!((edp.improvement_over(better) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Cycles::new(0)).is_empty());
+        assert!(!format!("{}", Seconds::ZERO).is_empty());
+        assert!(!format!("{}", Joules::ZERO).is_empty());
+        assert!(!format!("{}", EnergyDelayProduct::new(0.0)).is_empty());
+    }
+
+    #[test]
+    fn display_units_scale() {
+        assert_eq!(format!("{}", Seconds::new(2.0)), "2.000 s");
+        assert_eq!(format!("{}", Seconds::from_nanos(5.0)), "5.000 ns");
+        assert_eq!(format!("{}", Joules::from_picojoules(3.0)), "3.0000 pJ");
+        assert_eq!(format!("{}", Joules::new(0.002)), "2.000 mJ");
+    }
+}

@@ -1,0 +1,171 @@
+//! The width-independent 13-cycle carry-save (3:2) reduction of §3.2.
+//!
+//! All NOR evaluations run column-parallel over the whole operand window,
+//! so the latency matches a 1-bit addition (13 cycles) for any width. The
+//! two outputs are steered through the configurable interconnect into the
+//! *other* processing block: the sum word unshifted, the carry word shifted
+//! left by one bitline — which is exactly why the blocked memory of §3.1
+//! makes the Wallace tree free of shifting overhead.
+//!
+//! Netlist (one cycle per line; `[src]` = operands' block, `[dst]` = other):
+//!
+//! ```text
+//!  1. n1 = NOR(A,B)            [src]
+//!  2. b2 = NOR(B,C)            [src]
+//!  3. b3 = NOR(A,C)            [src]
+//!  4. cl = NOR(n1,b2,b3)       [src]   # Cout = MAJ(A,B,C), kept locally
+//!  5. carry = NOR(n1,b2,b3)    [dst, shift +1]
+//!  6. t1 = NOR(A,B,C)          [src]
+//!  7. t2 = NOR(t1,cl)          [src]   # (A+B+C)·Cout'
+//!  8. a' = NOR(A)              [src]
+//!  9. b' = NOR(B)              [src]
+//! 10. c' = NOR(C)              [src]
+//! 11. t3 = NOR(a',b',c')       [src]   # A·B·C
+//! 12. s' = NOR(t2,t3)          [src]   # S'
+//! 13. sum = NOR(s')            [dst, shift 0]
+//! ```
+
+use apim_crossbar::{BlockedCrossbar, Result, RowRef};
+use std::ops::Range;
+
+/// Number of scratch rows a CSA group needs in the source block.
+pub const CSA_SCRATCH_ROWS: usize = 11;
+
+/// Executes one 3:2 carry-save group.
+///
+/// Operands live in rows `a`, `b`, `c` of `a.block` (all three must share
+/// it); the sum lands in `sum_row` and the carry (pre-shifted by one
+/// bitline) in `carry_row`, both in the destination block. The carry's
+/// target columns are `cols.start + 1 .. cols.end + 1`; callers must have
+/// zeroed `carry_row[cols.start]`.
+///
+/// Charges exactly 13 cycles.
+///
+/// # Errors
+///
+/// Propagates crossbar errors; in particular the destination block must
+/// differ from the source block (the shift crosses the interconnect).
+#[allow(clippy::too_many_arguments)] // one parameter per netlist port
+pub fn csa_group(
+    xbar: &mut BlockedCrossbar,
+    a: RowRef,
+    b: RowRef,
+    c: RowRef,
+    sum: RowRef,
+    carry: RowRef,
+    cols: Range<usize>,
+    scratch: &[usize; CSA_SCRATCH_ROWS],
+) -> Result<()> {
+    let src = a.block;
+    let [n1, b2, b3, cl, t1, t2, ap, bp, cp, t3, sp] = scratch.map(|r| RowRef::new(src, r));
+
+    let op =
+        |xbar: &mut BlockedCrossbar, inputs: &[RowRef], out: RowRef, shift: isize| -> Result<()> {
+            let target = crate::gates::shifted(&cols, shift);
+            xbar.init_rows(out.block, &[out.row], target)?;
+            xbar.nor_rows_shifted(inputs, out, cols.clone(), shift)
+        };
+
+    op(xbar, &[a, b], n1, 0)?;
+    op(xbar, &[b, c], b2, 0)?;
+    op(xbar, &[a, c], b3, 0)?;
+    op(xbar, &[n1, b2, b3], cl, 0)?;
+    op(xbar, &[n1, b2, b3], carry, 1)?;
+    op(xbar, &[a, b, c], t1, 0)?;
+    op(xbar, &[t1, cl], t2, 0)?;
+    op(xbar, &[a], ap, 0)?;
+    op(xbar, &[b], bp, 0)?;
+    op(xbar, &[c], cp, 0)?;
+    op(xbar, &[ap, bp, cp], t3, 0)?;
+    op(xbar, &[t2, t3], sp, 0)?;
+    op(xbar, &[sp], sum, 0)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apim_crossbar::{BlockedCrossbar, CrossbarConfig};
+
+    const W: usize = 16;
+
+    fn to_bits(v: u64, n: usize) -> Vec<bool> {
+        (0..n).map(|i| (v >> i) & 1 == 1).collect()
+    }
+
+    fn from_bits(bits: &[bool]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .fold(0, |acc, (i, &b)| acc | (u64::from(b) << i))
+    }
+
+    fn run_csa(a: u64, b: u64, c: u64) -> (u64, u64, u64) {
+        let mut xbar = BlockedCrossbar::new(CrossbarConfig::default()).unwrap();
+        let src = xbar.block(1).unwrap();
+        let dst = xbar.block(2).unwrap();
+        for (row, v) in [(0, a), (1, b), (2, c)] {
+            xbar.preload_word(src, row, 0, &to_bits(v, W)).unwrap();
+        }
+        // Zero destination rows over the full window (incl. carry bit 0).
+        xbar.preload_word(dst, 0, 0, &[false; W + 2]).unwrap();
+        xbar.preload_word(dst, 1, 0, &[false; W + 2]).unwrap();
+        let scratch: [usize; CSA_SCRATCH_ROWS] = core::array::from_fn(|i| 3 + i);
+        let before = *xbar.stats();
+        csa_group(
+            &mut xbar,
+            RowRef::new(src, 0),
+            RowRef::new(src, 1),
+            RowRef::new(src, 2),
+            RowRef::new(dst, 0),
+            RowRef::new(dst, 1),
+            0..W,
+            &scratch,
+        )
+        .unwrap();
+        let cycles = (*xbar.stats() - before).cycles.get();
+        let sum = from_bits(&xbar.peek_word(dst, 0, 0, W).unwrap());
+        let carry = from_bits(&xbar.peek_word(dst, 1, 0, W + 1).unwrap());
+        (sum, carry, cycles)
+    }
+
+    #[test]
+    fn csa_preserves_sum() {
+        for (a, b, c) in [
+            (0, 0, 0),
+            (1, 2, 3),
+            (0xFFF, 0xABC, 0x123),
+            (21845, 13107, 255),
+        ] {
+            let (s, cy, _) = run_csa(a, b, c);
+            assert_eq!(s + cy, a + b + c, "csa({a},{b},{c})");
+        }
+    }
+
+    #[test]
+    fn csa_matches_functional_model() {
+        for (a, b, c) in [(7u64, 11, 13), (0x5555, 0x3333, 0x0F0F)] {
+            let (s, cy, _) = run_csa(a, b, c);
+            let (fs, fc) = crate::functional::csa(a as u128, b as u128, c as u128);
+            assert_eq!(s as u128, fs);
+            assert_eq!(cy as u128, fc);
+        }
+    }
+
+    #[test]
+    fn csa_costs_exactly_13_cycles_any_width() {
+        let (_, _, cycles) = run_csa(0x1234, 0x5678, 0x0FED);
+        assert_eq!(cycles, 13);
+    }
+
+    #[test]
+    fn csa_exhaustive_3_bit() {
+        for a in 0u64..8 {
+            for b in 0u64..8 {
+                for c in 0u64..8 {
+                    let (s, cy, _) = run_csa(a, b, c);
+                    assert_eq!(s + cy, a + b + c, "csa({a},{b},{c})");
+                }
+            }
+        }
+    }
+}

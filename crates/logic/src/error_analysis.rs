@@ -1,0 +1,243 @@
+//! Error estimation for approximate multiplication (Figure 4).
+//!
+//! Uses the bit-exact [`crate::functional`] semantics under a deterministic
+//! internal PRNG (SplitMix64), so results are reproducible without external
+//! dependencies.
+
+use crate::functional::multiply;
+use crate::precision::PrecisionMode;
+
+/// Aggregate error statistics of an approximate-multiplication experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorStats {
+    /// Mean of `|approx − exact| / exact` over samples with nonzero exact
+    /// product.
+    pub mean_relative: f64,
+    /// Maximum relative error observed.
+    pub max_relative: f64,
+    /// Mean absolute error.
+    pub mean_absolute: f64,
+    /// Fraction of samples whose product was wrong at all.
+    pub error_rate: f64,
+}
+
+/// Deterministic SplitMix64 PRNG (kept internal: `apim-logic` has no
+/// runtime dependency on `rand`).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next value uniform in `[0, 2^bits)`.
+    pub fn next_bits(&mut self, bits: u32) -> u64 {
+        if bits >= 64 {
+            self.next_u64()
+        } else {
+            self.next_u64() & ((1u64 << bits) - 1)
+        }
+    }
+}
+
+/// Monte-Carlo error statistics of `n × n` multiplication under `mode`,
+/// over `samples` uniformly random operand pairs.
+///
+/// ```
+/// use apim_logic::{error_analysis::multiplier_error, PrecisionMode};
+/// let stats = multiplier_error(32, PrecisionMode::LastStage { relax_bits: 8 }, 200, 7);
+/// assert!(stats.mean_relative < 1e-6); // 8 relaxed bits out of 64
+/// ```
+pub fn multiplier_error(n: u32, mode: PrecisionMode, samples: u32, seed: u64) -> ErrorStats {
+    let mut rng = SplitMix64::new(seed);
+    let mut sum_rel = 0.0f64;
+    let mut max_rel = 0.0f64;
+    let mut sum_abs = 0.0f64;
+    let mut wrong = 0u32;
+    let mut counted = 0u32;
+    for _ in 0..samples {
+        let a = rng.next_bits(n);
+        let b = rng.next_bits(n);
+        let exact = a as u128 * b as u128;
+        let approx = multiply(a, b, n, mode);
+        let abs = approx.abs_diff(exact) as f64;
+        sum_abs += abs;
+        if approx != exact {
+            wrong += 1;
+        }
+        if exact != 0 {
+            let rel = abs / exact as f64;
+            sum_rel += rel;
+            max_rel = max_rel.max(rel);
+            counted += 1;
+        }
+    }
+    ErrorStats {
+        mean_relative: if counted > 0 {
+            sum_rel / f64::from(counted)
+        } else {
+            0.0
+        },
+        max_relative: max_rel,
+        mean_absolute: sum_abs / f64::from(samples.max(1)),
+        error_rate: f64::from(wrong) / f64::from(samples.max(1)),
+    }
+}
+
+/// Per-bit error probability of the §3.4 sum approximation on uniform
+/// inputs: the approximated `S = NOT(Cout)` is wrong for exactly 2 of the 8
+/// input combinations.
+pub fn per_bit_error_probability() -> f64 {
+    2.0 / 8.0
+}
+
+/// Analytic upper bound on the absolute error of a last-stage
+/// approximation with `m` relaxed bits: only the low `m` product bits can
+/// be wrong.
+pub fn last_stage_error_bound(m: u32) -> f64 {
+    (2f64).powi(m as i32)
+}
+
+/// Analytic RMS error of the §3.4 approximate addition over `m` relaxed
+/// bits, for uniform independent operand bits.
+///
+/// Bit `i` errs by `+2^i` on `(0,0,0)` and `−2^i` on `(1,1,1)`; with the
+/// carry approximately Bernoulli(½), each sign occurs with probability
+/// 1/8, so per-bit `E[err²] = 2^{2i}/4` and
+///
+/// ```text
+/// RMS(m) = sqrt( (4^m − 1)/3 · 1/4 )
+/// ```
+///
+/// Cross-validated against Monte-Carlo in the tests (errors across bits
+/// are weakly correlated through the carry, so agreement is within tens of
+/// percent, not exact).
+pub fn expected_rms_error_last_stage(m: u32) -> f64 {
+    if m == 0 {
+        return 0.0;
+    }
+    (((4f64).powi(m as i32) - 1.0) / 3.0 / 4.0).sqrt()
+}
+
+/// Monte-Carlo RMS absolute error of [`crate::functional::approx_add_last_stage`]
+/// on uniform `width`-bit operands.
+pub fn measured_rms_error_last_stage(width: u32, m: u32, samples: u32, seed: u64) -> f64 {
+    use crate::functional::approx_add_last_stage;
+    let mut rng = SplitMix64::new(seed);
+    let mut sum_sq = 0.0f64;
+    for _ in 0..samples {
+        let x = u128::from(rng.next_bits(width.min(63)));
+        let y = u128::from(rng.next_bits(width.min(63)));
+        let approx = approx_add_last_stage(x, y, width + 1, m);
+        let exact = x + y;
+        let err = approx.abs_diff(exact) as f64;
+        sum_sq += err * err;
+    }
+    (sum_sq / f64::from(samples.max(1))).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_bits_bounded() {
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..100 {
+            assert!(rng.next_bits(8) < 256);
+            assert!(rng.next_bits(1) < 2);
+        }
+    }
+
+    #[test]
+    fn exact_mode_has_zero_error() {
+        let stats = multiplier_error(16, PrecisionMode::Exact, 100, 3);
+        assert_eq!(stats.mean_relative, 0.0);
+        assert_eq!(stats.error_rate, 0.0);
+        assert_eq!(stats.mean_absolute, 0.0);
+    }
+
+    #[test]
+    fn error_grows_with_relax_bits() {
+        let mut last = -1.0f64;
+        for m in [4u8, 16, 32, 48] {
+            let stats = multiplier_error(32, PrecisionMode::LastStage { relax_bits: m }, 300, 11);
+            assert!(
+                stats.mean_relative > last,
+                "m={m}: {} !> {last}",
+                stats.mean_relative
+            );
+            last = stats.mean_relative;
+        }
+    }
+
+    #[test]
+    fn last_stage_beats_first_stage_at_same_level() {
+        // The paper's core claim (Figure 4): for comparable settings the
+        // last-stage approach is orders of magnitude more accurate.
+        let first = multiplier_error(32, PrecisionMode::FirstStage { masked_bits: 16 }, 300, 5);
+        let last = multiplier_error(32, PrecisionMode::LastStage { relax_bits: 16 }, 300, 5);
+        assert!(last.mean_relative < first.mean_relative / 100.0);
+    }
+
+    #[test]
+    fn absolute_error_respects_bound() {
+        let m = 12u8;
+        let stats = multiplier_error(32, PrecisionMode::LastStage { relax_bits: m }, 500, 9);
+        assert!(stats.mean_absolute < last_stage_error_bound(u32::from(m)));
+    }
+
+    #[test]
+    fn per_bit_probability_is_25_percent() {
+        assert!((per_bit_error_probability() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn analytic_rms_matches_monte_carlo() {
+        for m in [4u32, 8, 12, 16] {
+            let analytic = expected_rms_error_last_stage(m);
+            let measured = measured_rms_error_last_stage(32, m, 4000, 0xD1CE);
+            let ratio = measured / analytic;
+            assert!(
+                (0.6..1.6).contains(&ratio),
+                "m={m}: measured {measured:.1} vs analytic {analytic:.1} (ratio {ratio:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn analytic_rms_grows_fourfold_per_two_bits() {
+        let r8 = expected_rms_error_last_stage(8);
+        let r10 = expected_rms_error_last_stage(10);
+        assert!((r10 / r8 - 4.0).abs() < 0.1);
+        assert_eq!(expected_rms_error_last_stage(0), 0.0);
+    }
+
+    #[test]
+    fn zero_samples_do_not_divide_by_zero() {
+        let stats = multiplier_error(8, PrecisionMode::Exact, 0, 1);
+        assert_eq!(stats.mean_relative, 0.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Precision configuration for APIM multiplication (§3.4).
+
+use std::error::Error;
+use std::fmt;
+
+/// How an APIM multiplication trades accuracy for energy/latency.
+///
+/// The paper describes two approximation approaches and an exact mode:
+///
+/// * [`PrecisionMode::Exact`] — full-precision multiplication.
+/// * [`PrecisionMode::FirstStage`] — mask the `masked_bits` least
+///   significant bits of the multiplier before generating partial products.
+///   Cheapest, but the error propagates through the whole pipeline.
+/// * [`PrecisionMode::LastStage`] — compute everything exactly until the
+///   final 2N-bit addition, then approximate the `relax_bits` low sum bits
+///   as complements of their exactly-computed carries. Far more accurate at
+///   similar EDP (Figure 4); this is the mode used for Table 1.
+///
+/// ```
+/// use apim_logic::PrecisionMode;
+/// let mode = PrecisionMode::LastStage { relax_bits: 8 };
+/// assert!(mode.validate(32).is_ok());
+/// assert_eq!(mode.relaxed_product_bits(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PrecisionMode {
+    /// Fully exact multiplication.
+    #[default]
+    Exact,
+    /// Mask multiplier LSBs before partial-product generation.
+    FirstStage {
+        /// Number of multiplier LSBs forced to zero (`0 ..= N`).
+        masked_bits: u8,
+    },
+    /// Approximate the low product bits in the final addition.
+    LastStage {
+        /// Number of product LSBs approximated (`0 ..= 2N`); the paper's
+        /// "relax bits" (Table 1 sweeps 0, 4, 8, 16, 24, 32).
+        relax_bits: u8,
+    },
+}
+
+impl PrecisionMode {
+    /// Checks that the mode is applicable to `n`-bit multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrecisionError`] if `masked_bits > n` or
+    /// `relax_bits > 2n`.
+    pub fn validate(self, n: u32) -> Result<(), PrecisionError> {
+        match self {
+            PrecisionMode::Exact => Ok(()),
+            PrecisionMode::FirstStage { masked_bits } => {
+                if u32::from(masked_bits) > n {
+                    Err(PrecisionError {
+                        mode: self,
+                        operand_bits: n,
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            PrecisionMode::LastStage { relax_bits } => {
+                if u32::from(relax_bits) > 2 * n {
+                    Err(PrecisionError {
+                        mode: self,
+                        operand_bits: n,
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Multiplier bits masked before partial-product generation.
+    pub fn masked_multiplier_bits(self) -> u32 {
+        match self {
+            PrecisionMode::FirstStage { masked_bits } => u32::from(masked_bits),
+            _ => 0,
+        }
+    }
+
+    /// Product LSBs relaxed in the final stage.
+    pub fn relaxed_product_bits(self) -> u32 {
+        match self {
+            PrecisionMode::LastStage { relax_bits } => u32::from(relax_bits),
+            _ => 0,
+        }
+    }
+
+    /// Whether any approximation is active.
+    pub fn is_approximate(self) -> bool {
+        match self {
+            PrecisionMode::Exact => false,
+            PrecisionMode::FirstStage { masked_bits } => masked_bits > 0,
+            PrecisionMode::LastStage { relax_bits } => relax_bits > 0,
+        }
+    }
+}
+
+impl fmt::Display for PrecisionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrecisionMode::Exact => write!(f, "exact"),
+            PrecisionMode::FirstStage { masked_bits } => {
+                write!(f, "first-stage ({masked_bits} masked bits)")
+            }
+            PrecisionMode::LastStage { relax_bits } => {
+                write!(f, "last-stage ({relax_bits} relax bits)")
+            }
+        }
+    }
+}
+
+/// A precision mode was incompatible with the operand width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrecisionError {
+    /// The offending mode.
+    pub mode: PrecisionMode,
+    /// The operand width it was validated against.
+    pub operand_bits: u32,
+}
+
+impl fmt::Display for PrecisionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "precision mode `{}` invalid for {}-bit operands",
+            self.mode, self.operand_bits
+        )
+    }
+}
+
+impl Error for PrecisionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_always_valid() {
+        assert!(PrecisionMode::Exact.validate(1).is_ok());
+        assert!(PrecisionMode::Exact.validate(64).is_ok());
+        assert!(!PrecisionMode::Exact.is_approximate());
+    }
+
+    #[test]
+    fn first_stage_bounds() {
+        assert!(PrecisionMode::FirstStage { masked_bits: 32 }
+            .validate(32)
+            .is_ok());
+        assert!(PrecisionMode::FirstStage { masked_bits: 33 }
+            .validate(32)
+            .is_err());
+        assert_eq!(
+            PrecisionMode::FirstStage { masked_bits: 8 }.masked_multiplier_bits(),
+            8
+        );
+    }
+
+    #[test]
+    fn last_stage_bounds() {
+        assert!(PrecisionMode::LastStage { relax_bits: 64 }
+            .validate(32)
+            .is_ok());
+        assert!(PrecisionMode::LastStage { relax_bits: 65 }
+            .validate(32)
+            .is_err());
+        assert_eq!(
+            PrecisionMode::LastStage { relax_bits: 16 }.relaxed_product_bits(),
+            16
+        );
+    }
+
+    #[test]
+    fn zero_approximation_counts_as_exact() {
+        assert!(!PrecisionMode::FirstStage { masked_bits: 0 }.is_approximate());
+        assert!(!PrecisionMode::LastStage { relax_bits: 0 }.is_approximate());
+        assert!(PrecisionMode::LastStage { relax_bits: 4 }.is_approximate());
+    }
+
+    #[test]
+    fn default_is_exact() {
+        assert_eq!(PrecisionMode::default(), PrecisionMode::Exact);
+    }
+
+    #[test]
+    fn display_and_error_messages() {
+        assert_eq!(PrecisionMode::Exact.to_string(), "exact");
+        let err = PrecisionMode::FirstStage { masked_bits: 40 }
+            .validate(32)
+            .unwrap_err();
+        assert!(err.to_string().contains("32-bit"));
+    }
+}

@@ -1,0 +1,283 @@
+//! Unified application runner: golden vs approximate execution + quality.
+
+use apim_logic::PrecisionMode;
+
+use crate::arith::{ApimArith, Arith, ExactArith, OpCounts};
+use crate::dwt::dwt_haar1d;
+use crate::fft::fft_real;
+use crate::image::synthetic_image;
+use crate::quality::{numeric_quality, QualityReport};
+use crate::quasirandom::quasi_random;
+use crate::robert::robert;
+use crate::sharpen::sharpen;
+use crate::sobel::sobel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// The six evaluation applications, in the paper's table order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum App {
+    /// Sobel 3×3 edge detection.
+    Sobel,
+    /// Roberts cross edge detection.
+    Robert,
+    /// Radix-2 fixed-point FFT.
+    Fft,
+    /// 1-D Haar wavelet transform.
+    DwtHaar1d,
+    /// 3×3 sharpening filter.
+    Sharpen,
+    /// Quasi-random sequence generation.
+    QuasiRandom,
+}
+
+impl App {
+    /// All six applications, table order.
+    pub fn all() -> [App; 6] {
+        [
+            App::Sobel,
+            App::Robert,
+            App::Fft,
+            App::DwtHaar1d,
+            App::Sharpen,
+            App::QuasiRandom,
+        ]
+    }
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            App::Sobel => "Sobel",
+            App::Robert => "Robert",
+            App::Fft => "FFT",
+            App::DwtHaar1d => "DwtHaar1D",
+            App::Sharpen => "Sharpen",
+            App::QuasiRandom => "QuasiR",
+        }
+    }
+
+    /// Whether the QoS metric is PSNR (image app) or relative error.
+    pub fn is_image(self) -> bool {
+        matches!(self, App::Sobel | App::Robert | App::Sharpen)
+    }
+}
+
+impl fmt::Display for App {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Configuration of one quality-evaluation run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Precision mode for the approximate pass.
+    pub mode: PrecisionMode,
+    /// Input-size hint: image side length or signal length (power of two
+    /// sizes are enforced where kernels need them).
+    pub size: usize,
+    /// Input generation seed.
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            mode: PrecisionMode::Exact,
+            size: 64,
+            seed: 0xA917,
+        }
+    }
+}
+
+/// Result of one application run.
+#[derive(Debug, Clone)]
+pub struct AppRun {
+    /// Quality of the approximate output vs the golden output.
+    pub quality: QualityReport,
+    /// Operation counts of the approximate pass (identical to the golden
+    /// pass — same kernel code).
+    pub ops: OpCounts,
+}
+
+fn random_signal(len: usize, seed: u64) -> Vec<i32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| rng.gen_range(0..(200 << crate::arith::FX_SHIFT)))
+        .collect()
+}
+
+/// Runs `app` under `config`: executes the golden (exact) and approximate
+/// passes on the same synthetic input and scores the quality.
+pub fn run_app(app: App, config: &RunConfig) -> AppRun {
+    let mode = config.mode;
+    match app {
+        App::Sobel | App::Robert | App::Sharpen => {
+            let side = config.size.max(8);
+            let input = synthetic_image(side, side, config.seed);
+            let mut golden_arith = ExactArith::new();
+            let mut approx_arith = ApimArith::new(mode);
+            let (golden, approx) = match app {
+                App::Sobel => (
+                    sobel(&input, &mut golden_arith),
+                    sobel(&input, &mut approx_arith),
+                ),
+                App::Robert => (
+                    robert(&input, &mut golden_arith),
+                    robert(&input, &mut approx_arith),
+                ),
+                _ => (
+                    sharpen(&input, &mut golden_arith),
+                    sharpen(&input, &mut approx_arith),
+                ),
+            };
+            AppRun {
+                quality: crate::quality::image_quality_sized(
+                    &golden.to_u8(),
+                    &approx.to_u8(),
+                    golden.width(),
+                ),
+                ops: approx_arith.counts(),
+            }
+        }
+        App::Fft => {
+            let len = config.size.next_power_of_two().clamp(64, 1024);
+            let signal = random_signal(len, config.seed);
+            let mut golden_arith = ExactArith::new();
+            let mut approx_arith = ApimArith::new(mode);
+            let golden = fft_real(&signal, &mut golden_arith);
+            let approx = fft_real(&signal, &mut approx_arith);
+            let g: Vec<i64> = golden
+                .iter()
+                .flat_map(|c| [i64::from(c.re), i64::from(c.im)])
+                .collect();
+            let a: Vec<i64> = approx
+                .iter()
+                .flat_map(|c| [i64::from(c.re), i64::from(c.im)])
+                .collect();
+            AppRun {
+                quality: numeric_quality(&g, &a),
+                ops: approx_arith.counts(),
+            }
+        }
+        App::DwtHaar1d => {
+            let len = config.size.next_power_of_two().clamp(64, 4096);
+            let signal = random_signal(len, config.seed);
+            let levels = len.trailing_zeros();
+            let mut golden_arith = ExactArith::new();
+            let mut approx_arith = ApimArith::new(mode);
+            let golden = dwt_haar1d(&signal, levels, &mut golden_arith);
+            let approx = dwt_haar1d(&signal, levels, &mut approx_arith);
+            let g: Vec<i64> = golden
+                .coefficients()
+                .iter()
+                .map(|&c| i64::from(c))
+                .collect();
+            let a: Vec<i64> = approx
+                .coefficients()
+                .iter()
+                .map(|&c| i64::from(c))
+                .collect();
+            AppRun {
+                quality: numeric_quality(&g, &a),
+                ops: approx_arith.counts(),
+            }
+        }
+        App::QuasiRandom => {
+            let n = config.size.clamp(64, 4096);
+            let mut golden_arith = ExactArith::new();
+            let mut approx_arith = ApimArith::new(mode);
+            let golden = quasi_random(n, &mut golden_arith);
+            let approx = quasi_random(n, &mut approx_arith);
+            let g: Vec<i64> = golden.products.iter().map(|&p| i64::from(p)).collect();
+            let a: Vec<i64> = approx.products.iter().map(|&p| i64::from(p)).collect();
+            AppRun {
+                quality: numeric_quality(&g, &a),
+                ops: approx_arith.counts(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_mode_is_lossless_for_every_app() {
+        for app in App::all() {
+            let run = run_app(app, &RunConfig::default());
+            assert!(run.quality.acceptable, "{app} exact must be acceptable");
+            assert_eq!(run.quality.qol_percent, 0.0, "{app} exact must be lossless");
+        }
+    }
+
+    #[test]
+    fn moderate_relaxation_is_acceptable_everywhere() {
+        let config = RunConfig {
+            mode: PrecisionMode::LastStage { relax_bits: 8 },
+            ..RunConfig::default()
+        };
+        for app in App::all() {
+            let run = run_app(app, &config);
+            assert!(run.quality.acceptable, "{app} @ m=8: {:?}", run.quality);
+        }
+    }
+
+    #[test]
+    fn quality_degrades_monotonically_with_relaxation() {
+        for app in App::all() {
+            let mut last = -1.0f64;
+            for m in [0u8, 8, 16, 24, 32] {
+                let run = run_app(
+                    app,
+                    &RunConfig {
+                        mode: PrecisionMode::LastStage { relax_bits: m },
+                        ..RunConfig::default()
+                    },
+                );
+                assert!(
+                    run.quality.qol_percent >= last - 1e-9,
+                    "{app}: QoL at m={m} = {} regressed below {last}",
+                    run.quality.qol_percent
+                );
+                last = run.quality.qol_percent;
+            }
+        }
+    }
+
+    #[test]
+    fn image_apps_report_psnr_and_ssim() {
+        for app in App::all() {
+            let run = run_app(app, &RunConfig::default());
+            assert_eq!(run.quality.psnr_db.is_some(), app.is_image(), "{app}");
+            assert_eq!(run.quality.ssim.is_some(), app.is_image(), "{app}");
+            if let Some(ssim) = run.quality.ssim {
+                assert!(
+                    (ssim - 1.0).abs() < 1e-9,
+                    "{app}: exact run must be identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn op_counts_are_nonzero_and_deterministic() {
+        for app in App::all() {
+            let a = run_app(app, &RunConfig::default());
+            let b = run_app(app, &RunConfig::default());
+            assert!(a.ops.muls > 0, "{app}");
+            assert_eq!(a.ops, b.ops, "{app}");
+        }
+    }
+
+    #[test]
+    fn names_and_order_match_paper() {
+        let names: Vec<_> = App::all().iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            ["Sobel", "Robert", "FFT", "DwtHaar1D", "Sharpen", "QuasiR"]
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Pluggable arithmetic: exact vs bit-exact APIM approximation.
+//!
+//! Every kernel in this crate is generic over [`Arith`], so one kernel body
+//! yields both the golden output ([`ExactArith`]) and the approximate
+//! output under any [`PrecisionMode`] ([`ApimArith`]), while counting the
+//! operations the cost executor needs.
+
+use apim_logic::functional::multiply_signed;
+use apim_logic::PrecisionMode;
+
+/// Fixed-point fraction bits used by all workloads (Q12).
+pub const FX_SHIFT: u32 = 12;
+
+/// The fixed-point representation of 1.0.
+pub const FX_ONE: i32 = 1 << FX_SHIFT;
+
+/// Operation counters accumulated by an [`Arith`] implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCounts {
+    /// Multiplications performed.
+    pub muls: u64,
+    /// Additions/subtractions performed.
+    pub adds: u64,
+}
+
+impl OpCounts {
+    /// Total operations.
+    pub fn total(&self) -> u64 {
+        self.muls + self.adds
+    }
+
+    /// Fraction of operations that are multiplications.
+    pub fn mul_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.muls as f64 / self.total() as f64
+        }
+    }
+}
+
+/// The arithmetic backend a kernel executes on.
+///
+/// Values are Q12 fixed point. `mul` returns the full Q24 product;
+/// [`Arith::mul_fx`] renormalizes back to Q12 (the shift is free on APIM —
+/// it rides the configurable interconnect).
+pub trait Arith {
+    /// Full-precision (Q24) product of two Q12 values.
+    fn mul(&mut self, a: i32, b: i32) -> i64;
+
+    /// Addition (APIM adds exactly; counted for the cost model).
+    fn add(&mut self, a: i64, b: i64) -> i64;
+
+    /// Operation counters so far.
+    fn counts(&self) -> OpCounts;
+
+    /// Clears the counters.
+    fn reset_counts(&mut self);
+
+    /// Q12 × Q12 → Q12 convenience.
+    fn mul_fx(&mut self, a: i32, b: i32) -> i32 {
+        (self.mul(a, b) >> FX_SHIFT) as i32
+    }
+
+    /// Subtraction, counted as an addition.
+    fn sub(&mut self, a: i64, b: i64) -> i64 {
+        self.add(a, -b)
+    }
+}
+
+/// Exact arithmetic — the golden reference.
+#[derive(Debug, Clone, Default)]
+pub struct ExactArith {
+    counts: OpCounts,
+}
+
+impl ExactArith {
+    /// A fresh exact backend.
+    pub fn new() -> Self {
+        ExactArith::default()
+    }
+}
+
+impl Arith for ExactArith {
+    fn mul(&mut self, a: i32, b: i32) -> i64 {
+        self.counts.muls += 1;
+        i64::from(a) * i64::from(b)
+    }
+
+    fn add(&mut self, a: i64, b: i64) -> i64 {
+        self.counts.adds += 1;
+        a + b
+    }
+
+    fn counts(&self) -> OpCounts {
+        self.counts
+    }
+
+    fn reset_counts(&mut self) {
+        self.counts = OpCounts::default();
+    }
+}
+
+/// APIM arithmetic: multiplications follow the bit-exact in-memory
+/// semantics of [`apim_logic::functional::multiply_signed`] under the
+/// configured [`PrecisionMode`]; additions are exact (APIM approximates
+/// only the multiplier's final stage).
+///
+/// ```
+/// use apim_workloads::{ApimArith, Arith};
+/// use apim_logic::PrecisionMode;
+///
+/// let mut exact = ApimArith::new(PrecisionMode::Exact);
+/// assert_eq!(exact.mul(4096, 4096), 4096 * 4096);
+/// let mut approx = ApimArith::new(PrecisionMode::LastStage { relax_bits: 20 });
+/// let p = approx.mul(123_456, 234_567);
+/// assert_ne!(p, 0);
+/// assert!((p - 123_456i64 * 234_567).unsigned_abs() < 1 << 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ApimArith {
+    mode: PrecisionMode,
+    counts: OpCounts,
+}
+
+impl ApimArith {
+    /// A backend running at the given precision.
+    pub fn new(mode: PrecisionMode) -> Self {
+        ApimArith {
+            mode,
+            counts: OpCounts::default(),
+        }
+    }
+
+    /// The precision mode in force.
+    pub fn mode(&self) -> PrecisionMode {
+        self.mode
+    }
+}
+
+impl Arith for ApimArith {
+    fn mul(&mut self, a: i32, b: i32) -> i64 {
+        self.counts.muls += 1;
+        multiply_signed(i64::from(a), i64::from(b), 32, self.mode) as i64
+    }
+
+    fn add(&mut self, a: i64, b: i64) -> i64 {
+        self.counts.adds += 1;
+        a + b
+    }
+
+    fn counts(&self) -> OpCounts {
+        self.counts
+    }
+
+    fn reset_counts(&mut self) {
+        self.counts = OpCounts::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_backends_agree() {
+        let mut e = ExactArith::new();
+        let mut a = ApimArith::new(PrecisionMode::Exact);
+        for (x, y) in [(4096i32, 4096i32), (-123_456, 78_901), (0, 5), (-1, -1)] {
+            assert_eq!(e.mul(x, y), a.mul(x, y), "{x}*{y}");
+        }
+        assert_eq!(e.counts().muls, 4);
+        assert_eq!(a.counts().muls, 4);
+    }
+
+    #[test]
+    fn adds_are_exact_everywhere() {
+        let mut a = ApimArith::new(PrecisionMode::LastStage { relax_bits: 32 });
+        assert_eq!(a.add(1 << 40, 12345), (1i64 << 40) + 12345);
+        assert_eq!(a.sub(100, 250), -150);
+        assert_eq!(a.counts().adds, 2);
+    }
+
+    #[test]
+    fn mul_fx_renormalizes() {
+        let mut e = ExactArith::new();
+        // 2.0 * 3.0 = 6.0 in Q12.
+        assert_eq!(e.mul_fx(2 * FX_ONE, 3 * FX_ONE), 6 * FX_ONE);
+        // 0.5 * 0.5 = 0.25.
+        assert_eq!(e.mul_fx(FX_ONE / 2, FX_ONE / 2), FX_ONE / 4);
+    }
+
+    #[test]
+    fn approximate_error_is_bounded() {
+        let m = 16u8;
+        let mut a = ApimArith::new(PrecisionMode::LastStage { relax_bits: m });
+        for (x, y) in [(123_456i32, 654_321i32), (-99_999, 88_888), (4096, -4096)] {
+            let approx = a.mul(x, y);
+            let exact = i64::from(x) * i64::from(y);
+            assert!(
+                (approx - exact).unsigned_abs() < 1 << m,
+                "{x}*{y}: {approx} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut a = ApimArith::new(PrecisionMode::Exact);
+        a.mul(1, 2);
+        a.add(1, 2);
+        a.reset_counts();
+        assert_eq!(a.counts(), OpCounts::default());
+    }
+
+    #[test]
+    fn mul_fraction_computed() {
+        let mut a = ExactArith::new();
+        a.mul(1, 1);
+        a.add(1, 1);
+        a.add(1, 1);
+        a.mul(2, 2);
+        assert!((a.counts().mul_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(OpCounts::default().mul_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! One-dimensional Haar discrete wavelet transform (DwtHaar1D).
+//!
+//! Each level maps sample pairs to a scaled average (approximation) and
+//! scaled difference (detail): `a' = (a + b) · (1/√2)`, `d = (a − b) ·
+//! (1/√2)`, with the scale as a Q12 constant — one multiplication per
+//! output, matching the AMD OpenCL DwtHaar1D kernel the paper uses.
+
+use crate::arith::Arith;
+
+/// Scale-factor fraction bits (Q15, finer than the Q12 data).
+const SCALE_SHIFT: u32 = 15;
+
+/// `1/√2` in Q15.
+const INV_SQRT2: i32 = 23170; // round(32768 / sqrt(2))
+
+/// Output of a full Haar decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HaarDecomposition {
+    /// Final approximation coefficients (coarsest level).
+    pub approximation: Vec<i32>,
+    /// Detail coefficients, concatenated finest-to-coarsest.
+    pub details: Vec<i32>,
+}
+
+impl HaarDecomposition {
+    /// All coefficients flattened (details then approximation) — the form
+    /// quality metrics compare.
+    pub fn coefficients(&self) -> Vec<i32> {
+        let mut all = self.details.clone();
+        all.extend_from_slice(&self.approximation);
+        all
+    }
+}
+
+/// One Haar analysis level: consumes `input` pairs, producing
+/// `(approximations, details)` of half the length.
+///
+/// # Panics
+///
+/// Panics if the input length is odd.
+pub fn haar_level<A: Arith>(input: &[i32], arith: &mut A) -> (Vec<i32>, Vec<i32>) {
+    assert!(
+        input.len().is_multiple_of(2),
+        "Haar level needs an even length"
+    );
+    let mut approx = Vec::with_capacity(input.len() / 2);
+    let mut detail = Vec::with_capacity(input.len() / 2);
+    for pair in input.chunks_exact(2) {
+        let sum = arith.add(i64::from(pair[0]), i64::from(pair[1]));
+        let diff = arith.sub(i64::from(pair[0]), i64::from(pair[1]));
+        approx.push((arith.mul(sum as i32, INV_SQRT2) >> SCALE_SHIFT) as i32);
+        detail.push((arith.mul(diff as i32, INV_SQRT2) >> SCALE_SHIFT) as i32);
+    }
+    (approx, detail)
+}
+
+/// Full multi-level decomposition down to `levels` (or as far as the
+/// length allows).
+///
+/// # Panics
+///
+/// Panics if the signal length is not a power of two.
+pub fn dwt_haar1d<A: Arith>(signal: &[i32], levels: u32, arith: &mut A) -> HaarDecomposition {
+    assert!(
+        signal.len().is_power_of_two(),
+        "DwtHaar1D needs a power-of-two length"
+    );
+    let mut current = signal.to_vec();
+    let mut details = Vec::new();
+    let max_levels = signal.len().trailing_zeros();
+    for _ in 0..levels.min(max_levels) {
+        let (approx, detail) = haar_level(&current, arith);
+        details.extend(detail);
+        current = approx;
+    }
+    HaarDecomposition {
+        approximation: current,
+        details,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::{ApimArith, ExactArith, FX_ONE, FX_SHIFT};
+    use apim_logic::PrecisionMode;
+
+    #[test]
+    fn constant_signal_has_zero_details() {
+        let signal = vec![3 * FX_ONE; 16];
+        let dec = dwt_haar1d(&signal, 4, &mut ExactArith::new());
+        assert!(dec.details.iter().all(|&d| d == 0));
+        assert_eq!(dec.approximation.len(), 1);
+        // After 4 levels of ·√2 scaling, the approximation is 3 · 4 = 12.
+        let got = f64::from(dec.approximation[0]) / f64::from(FX_ONE);
+        assert!((got - 12.0).abs() < 0.05, "got {got}");
+    }
+
+    #[test]
+    fn step_produces_one_detail_spike() {
+        let mut signal = vec![0i32; 8];
+        signal[4..].fill(100 << FX_SHIFT);
+        let dec = dwt_haar1d(&signal, 1, &mut ExactArith::new());
+        let nonzero = dec.details.iter().filter(|&&d| d != 0).count();
+        assert_eq!(nonzero, 0, "step aligned to pair boundary: no detail");
+        let dec2 = {
+            let mut s = vec![0i32; 8];
+            s[3..].fill(100 << FX_SHIFT);
+            dwt_haar1d(&s, 1, &mut ExactArith::new())
+        };
+        assert_eq!(dec2.details.iter().filter(|&&d| d != 0).count(), 1);
+    }
+
+    #[test]
+    fn energy_preserved_single_level() {
+        let signal: Vec<i32> = (0..32).map(|i| ((i * 53) % 97 - 48) << 8).collect();
+        let mut arith = ExactArith::new();
+        let (a, d) = haar_level(&signal, &mut arith);
+        let e_in: f64 = signal.iter().map(|&s| f64::from(s).powi(2)).sum();
+        let e_out: f64 = a
+            .iter()
+            .chain(d.iter())
+            .map(|&s| f64::from(s).powi(2))
+            .sum();
+        let ratio = e_out / e_in;
+        assert!(
+            (0.98..1.02).contains(&ratio),
+            "orthonormality ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn op_counts_per_level() {
+        let mut arith = ExactArith::new();
+        haar_level(&[FX_ONE; 32], &mut arith);
+        assert_eq!(arith.counts().muls, 32); // 2 per pair
+        assert_eq!(arith.counts().adds, 32);
+    }
+
+    #[test]
+    fn exact_apim_matches_golden() {
+        let signal: Vec<i32> = (0..64).map(|i| ((i * 31) % 211) << FX_SHIFT).collect();
+        assert_eq!(
+            dwt_haar1d(&signal, 6, &mut ExactArith::new()),
+            dwt_haar1d(&signal, 6, &mut ApimArith::new(PrecisionMode::Exact))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        dwt_haar1d(&[0; 12], 1, &mut ExactArith::new());
+    }
+}

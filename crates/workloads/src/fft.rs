@@ -1,0 +1,178 @@
+//! Radix-2 decimation-in-time FFT in Q12 fixed point.
+//!
+//! Twiddle factors are a quantized ROM table (built once with host floats,
+//! as any fixed-point FFT implementation would); all runtime arithmetic
+//! goes through the [`Arith`] backend, so the approximate multiplier is
+//! exercised in every butterfly.
+
+use crate::arith::Arith;
+
+/// Twiddle-factor fraction bits (Q15: finer than the Q12 data so butterfly
+/// products span ~35 bits, the range the paper's relax-bit sweep targets).
+pub const TW_SHIFT: u32 = 15;
+
+/// A Q12 complex sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Complex {
+    /// Real part (Q12).
+    pub re: i32,
+    /// Imaginary part (Q12).
+    pub im: i32,
+}
+
+impl Complex {
+    /// Builds a complex sample.
+    pub fn new(re: i32, im: i32) -> Self {
+        Complex { re, im }
+    }
+}
+
+/// Builds the Q12 twiddle table `e^{-2πi k / n}` for `k < n/2`.
+fn twiddles(n: usize) -> Vec<Complex> {
+    (0..n / 2)
+        .map(|k| {
+            let angle = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+            Complex {
+                re: (angle.cos() * f64::from(1 << TW_SHIFT)).round() as i32,
+                im: (angle.sin() * f64::from(1 << TW_SHIFT)).round() as i32,
+            }
+        })
+        .collect()
+}
+
+/// In-place radix-2 DIT FFT over `data` (length must be a power of two).
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft<A: Arith>(data: &mut [Complex], arith: &mut A) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n < 2 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    let tw = twiddles(n);
+    let mut len = 2;
+    while len <= n {
+        let half = len / 2;
+        let step = n / len;
+        for start in (0..n).step_by(len) {
+            for k in 0..half {
+                let w = tw[k * step];
+                let b = data[start + k + half];
+                // t = w * b (complex, Q12 renormalized).
+                let re1 = arith.mul(w.re, b.re);
+                let re2 = arith.mul(w.im, b.im);
+                let t_re = (arith.sub(re1, re2) >> TW_SHIFT) as i32;
+                let im1 = arith.mul(w.re, b.im);
+                let im2 = arith.mul(w.im, b.re);
+                let t_im = (arith.add(im1, im2) >> TW_SHIFT) as i32;
+                let a = data[start + k];
+                data[start + k] = Complex {
+                    re: arith.add(i64::from(a.re), i64::from(t_re)) as i32,
+                    im: arith.add(i64::from(a.im), i64::from(t_im)) as i32,
+                };
+                data[start + k + half] = Complex {
+                    re: arith.sub(i64::from(a.re), i64::from(t_re)) as i32,
+                    im: arith.sub(i64::from(a.im), i64::from(t_im)) as i32,
+                };
+            }
+        }
+        len *= 2;
+    }
+}
+
+/// FFT of a real Q12 signal, returning the complex spectrum.
+pub fn fft_real<A: Arith>(signal: &[i32], arith: &mut A) -> Vec<Complex> {
+    let mut data: Vec<Complex> = signal.iter().map(|&s| Complex::new(s, 0)).collect();
+    fft(&mut data, arith);
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::{ApimArith, ExactArith, FX_ONE, FX_SHIFT};
+    use apim_logic::PrecisionMode;
+
+    #[test]
+    fn dc_signal_concentrates_in_bin_zero() {
+        let signal = vec![FX_ONE; 8];
+        let spec = fft_real(&signal, &mut ExactArith::new());
+        assert_eq!(spec[0].re, 8 * FX_ONE);
+        for bin in &spec[1..] {
+            assert!(bin.re.abs() < FX_ONE / 16, "leakage {bin:?}");
+            assert!(bin.im.abs() < FX_ONE / 16);
+        }
+    }
+
+    #[test]
+    fn single_tone_peaks_at_its_bin() {
+        let n = 32;
+        let tone = 5;
+        let signal: Vec<i32> = (0..n)
+            .map(|i| {
+                let angle = 2.0 * std::f64::consts::PI * tone as f64 * i as f64 / n as f64;
+                (angle.cos() * f64::from(FX_ONE)) as i32
+            })
+            .collect();
+        let spec = fft_real(&signal, &mut ExactArith::new());
+        let mags: Vec<i64> = spec
+            .iter()
+            .map(|c| i64::from(c.re).pow(2) + i64::from(c.im).pow(2))
+            .collect();
+        let peak = mags
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &m)| m)
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!(peak == tone || peak == n - tone, "peak at {peak}");
+    }
+
+    #[test]
+    fn parseval_energy_roughly_preserved() {
+        let signal: Vec<i32> = (0..64).map(|i| ((i * 37) % 256 - 128) << 6).collect();
+        let spec = fft_real(&signal, &mut ExactArith::new());
+        let time_energy: f64 = signal.iter().map(|&s| f64::from(s) * f64::from(s)).sum();
+        let freq_energy: f64 = spec
+            .iter()
+            .map(|c| f64::from(c.re).powi(2) + f64::from(c.im).powi(2))
+            .sum::<f64>()
+            / 64.0;
+        let ratio = freq_energy / time_energy;
+        assert!((0.9..1.1).contains(&ratio), "Parseval ratio {ratio}");
+    }
+
+    #[test]
+    fn exact_apim_matches_golden() {
+        let signal: Vec<i32> = (0..32).map(|i| ((i * 97) % 200) << FX_SHIFT).collect();
+        let golden = fft_real(&signal, &mut ExactArith::new());
+        let apim = fft_real(&signal, &mut ApimArith::new(PrecisionMode::Exact));
+        assert_eq!(golden, apim);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut data = vec![Complex::default(); 12];
+        fft(&mut data, &mut ExactArith::new());
+    }
+
+    #[test]
+    fn butterfly_op_counts() {
+        let mut arith = ExactArith::new();
+        fft_real(&[FX_ONE; 16], &mut arith);
+        // n/2 log2(n) butterflies, 4 muls each.
+        assert_eq!(arith.counts().muls, 8 * 4 * 4);
+    }
+}

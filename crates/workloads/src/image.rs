@@ -1,0 +1,192 @@
+//! Fixed-point images and the synthetic scene generator.
+//!
+//! The paper draws test images from Caltech-101; this repo substitutes
+//! seeded synthetic scenes with comparable structure (smooth gradients,
+//! hard edges from geometric shapes, texture and sensor-like noise), which
+//! is what edge detectors and sharpening filters actually respond to.
+
+use crate::arith::FX_SHIFT;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A grayscale image in Q12 fixed point.
+///
+/// ```
+/// use apim_workloads::Image;
+/// let img = Image::from_u8(2, 2, &[0, 128, 255, 64]);
+/// assert_eq!(img.to_u8()[1], 128);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    data: Vec<i32>,
+}
+
+impl Image {
+    /// Builds an image from Q12 samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height`.
+    pub fn new(width: usize, height: usize, data: Vec<i32>) -> Self {
+        assert_eq!(data.len(), width * height, "image dimensions mismatch");
+        Image {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Builds an image from 8-bit pixels (scaled to Q12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels.len() != width * height`.
+    pub fn from_u8(width: usize, height: usize, pixels: &[u8]) -> Self {
+        let data = pixels.iter().map(|&p| i32::from(p) << FX_SHIFT).collect();
+        Image::new(width, height, data)
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The raw Q12 samples, row-major.
+    pub fn samples(&self) -> &[i32] {
+        &self.data
+    }
+
+    /// Sample with clamped (replicated) borders.
+    pub fn get_clamped(&self, x: isize, y: isize) -> i32 {
+        let x = x.clamp(0, self.width as isize - 1) as usize;
+        let y = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[y * self.width + x]
+    }
+
+    /// Converts back to 8-bit pixels (rounding, clamping).
+    pub fn to_u8(&self) -> Vec<u8> {
+        self.data
+            .iter()
+            .map(|&s| ((s + (1 << (FX_SHIFT - 1))) >> FX_SHIFT).clamp(0, 255) as u8)
+            .collect()
+    }
+}
+
+/// Generates a deterministic synthetic scene: a diagonal illumination
+/// gradient, several filled circles and a rectangle (hard edges), a
+/// checkerboard texture patch, and mild sensor noise.
+pub fn synthetic_image(width: usize, height: usize, seed: u64) -> Image {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pixels = vec![0u8; width * height];
+
+    // Illumination gradient.
+    for y in 0..height {
+        for x in 0..width {
+            let g = (x * 96 / width.max(1)) + (y * 96 / height.max(1));
+            pixels[y * width + x] = 40 + g as u8;
+        }
+    }
+
+    // Circles.
+    for _ in 0..4 {
+        let cx = rng.gen_range(0..width) as isize;
+        let cy = rng.gen_range(0..height) as isize;
+        let r = rng.gen_range(width.min(height) / 8..width.min(height) / 3) as isize;
+        let level: u8 = rng.gen_range(120..=255);
+        for y in 0..height as isize {
+            for x in 0..width as isize {
+                if (x - cx).pow(2) + (y - cy).pow(2) <= r * r {
+                    pixels[y as usize * width + x as usize] = level;
+                }
+            }
+        }
+    }
+
+    // A dark rectangle.
+    let rx = rng.gen_range(0..width / 2);
+    let ry = rng.gen_range(0..height / 2);
+    for y in ry..(ry + height / 4).min(height) {
+        for x in rx..(rx + width / 4).min(width) {
+            pixels[y * width + x] = 15;
+        }
+    }
+
+    // Checkerboard texture patch in the lower-right quadrant.
+    for y in height / 2..height {
+        for x in width / 2..width {
+            if (x / 4 + y / 4) % 2 == 0 {
+                let p = &mut pixels[y * width + x];
+                *p = p.saturating_add(40);
+            }
+        }
+    }
+
+    // Sensor noise.
+    for p in &mut pixels {
+        let noise: i16 = rng.gen_range(-6..=6);
+        *p = (i16::from(*p) + noise).clamp(0, 255) as u8;
+    }
+
+    Image::from_u8(width, height, &pixels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_u8() {
+        let px = [0u8, 1, 127, 254, 255];
+        let img = Image::from_u8(5, 1, &px);
+        assert_eq!(img.to_u8(), px.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions mismatch")]
+    fn dimension_mismatch_panics() {
+        let _ = Image::new(3, 3, vec![0; 8]);
+    }
+
+    #[test]
+    fn clamped_access_replicates_borders() {
+        let img = Image::from_u8(2, 2, &[10, 20, 30, 40]);
+        assert_eq!(img.get_clamped(-5, -5), img.get_clamped(0, 0));
+        assert_eq!(img.get_clamped(99, 0), img.get_clamped(1, 0));
+        assert_eq!(img.get_clamped(0, 99), img.get_clamped(0, 1));
+    }
+
+    #[test]
+    fn synthetic_is_deterministic_per_seed() {
+        let a = synthetic_image(32, 32, 7);
+        let b = synthetic_image(32, 32, 7);
+        let c = synthetic_image(32, 32, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn synthetic_has_dynamic_range_and_edges() {
+        let img = synthetic_image(64, 64, 1);
+        let px = img.to_u8();
+        let min = *px.iter().min().unwrap();
+        let max = *px.iter().max().unwrap();
+        assert!(max - min > 100, "needs contrast for edge detectors");
+        // Count strong horizontal gradients as an edge proxy.
+        let mut edges = 0;
+        for y in 0..64 {
+            for x in 1..64 {
+                if (i32::from(px[y * 64 + x]) - i32::from(px[y * 64 + x - 1])).abs() > 50 {
+                    edges += 1;
+                }
+            }
+        }
+        assert!(edges > 20, "synthetic scene should contain hard edges");
+    }
+}

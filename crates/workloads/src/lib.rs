@@ -1,0 +1,51 @@
+//! The six evaluation workloads of the APIM paper (§4.1) and their quality
+//! framework.
+//!
+//! The paper runs Sobel, Robert, FFT, DwtHaar1D, Sharpen and Quasi Random
+//! as OpenCL kernels; this crate re-implements them in Rust over a
+//! pluggable arithmetic trait ([`Arith`]) so the *same kernel code* runs
+//! both exactly (golden reference) and through the bit-exact APIM
+//! approximate-multiplier semantics
+//! ([`arith::ApimArith`] → [`apim_logic::functional`]).
+//!
+//! All kernels use Q12 fixed point (`value · 4096`): the scale places a
+//! 32×32-bit product's meaningful bits where the paper's 0–32 "relax bits"
+//! sweep bites gradually (see `DESIGN.md` §4.4).
+//!
+//! Inputs are synthetic: seeded structured images ([`image::synthetic_image`],
+//! a stand-in for the Caltech-101 photos) and seeded random signals, exactly
+//! as the paper generates non-image inputs randomly.
+//!
+//! # Example
+//!
+//! ```
+//! use apim_workloads::{App, run_app, RunConfig};
+//! use apim_logic::PrecisionMode;
+//!
+//! let run = run_app(App::Sobel, &RunConfig {
+//!     mode: PrecisionMode::LastStage { relax_bits: 8 },
+//!     ..RunConfig::default()
+//! });
+//! assert!(run.quality.acceptable, "8 relax bits keep Sobel above 30 dB");
+//! assert!(run.ops.muls > 0);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod apps;
+pub mod arith;
+pub mod dwt;
+pub mod fft;
+pub mod image;
+pub mod mathx;
+pub mod pgm;
+pub mod quality;
+pub mod quasirandom;
+pub mod robert;
+pub mod sharpen;
+pub mod sobel;
+
+pub use apps::{run_app, App, AppRun, RunConfig};
+pub use arith::{ApimArith, Arith, ExactArith, OpCounts, FX_ONE, FX_SHIFT};
+pub use image::Image;
+pub use quality::QualityReport;

@@ -1,0 +1,135 @@
+//! Derived math on the in-memory add/multiply primitives.
+//!
+//! §4.1: "The other common operations such as square root has been
+//! approximated by these two functions in OpenCL code." This module is
+//! that approximation: a Newton–Raphson square root built purely from the
+//! [`Arith`] backend's additions and multiplications, so it runs (and
+//! approximates) exactly like the rest of an APIM kernel.
+
+use crate::arith::{Arith, FX_ONE, FX_SHIFT};
+
+/// Newton iterations for the inverse square root — quadratic convergence
+/// makes five plenty across the Q12 range.
+const ITERATIONS: u32 = 5;
+
+/// Fixed-point (Q12) square root of a non-negative Q12 value, computed
+/// entirely with the backend's additions and multiplications.
+///
+/// Internally this is Newton–Raphson on the *inverse* square root —
+/// `z ← z · (3 − x·z²) / 2` — which is division-free (the `/2` is a shift,
+/// free on APIM's interconnect), followed by `√x = x · z`. The reciprocal
+/// estimate is kept in Q16 for precision.
+///
+/// ```
+/// use apim_workloads::{mathx::sqrt_fx, ExactArith, FX_ONE};
+/// let mut arith = ExactArith::new();
+/// // sqrt(4.0) = 2.0 in Q12.
+/// let y = sqrt_fx(4 * FX_ONE, &mut arith);
+/// assert!((y - 2 * FX_ONE).abs() <= 4);
+/// ```
+pub fn sqrt_fx<A: Arith>(x: i32, arith: &mut A) -> i32 {
+    if x <= 0 {
+        return 0;
+    }
+    // Power-of-two seed z0 = 2^(−⌈log2(v)/2⌉), encoded Q16: guarantees
+    // x·z0² ≤ 2 < 3, inside Newton's convergence basin.
+    let e = 31 - x.leading_zeros() as i32 - i32::try_from(FX_SHIFT).expect("small shift");
+    let half_up = if e >= 0 { (e + 1) / 2 } else { -((-e) / 2) };
+    let mut z: i32 = 1 << (16 - half_up).clamp(1, 30);
+    let three = 3 * FX_ONE;
+    for _ in 0..ITERATIONS {
+        // v·z in Q16 (precise: the product is O(√v)), then v·z² in Q12.
+        let xz = (arith.mul(x, z) >> FX_SHIFT) as i32;
+        let xz2 = (arith.mul(xz, z) >> 20) as i32;
+        // t = 3 − v·z² (Q12); z ← z·t/2 (Q16·Q12 >> 13 → Q16).
+        let t = arith.sub(i64::from(three), i64::from(xz2)) as i32;
+        z = (arith.mul(z, t) >> (FX_SHIFT + 1)) as i32;
+        if z <= 0 {
+            z = 1;
+        }
+    }
+    // √x = v · z: Q16 → Q12.
+    ((arith.mul(x, z) >> FX_SHIFT) >> 4) as i32
+}
+
+/// L2 gradient magnitude `sqrt(gx² + gy²)` in Q12, entirely on the
+/// backend's add/mul — the "true" Sobel magnitude the OpenCL original
+/// computes before the paper's approximation treatment.
+pub fn magnitude_fx<A: Arith>(gx: i32, gy: i32, arith: &mut A) -> i32 {
+    let gx2 = arith.mul_fx(gx, gx);
+    let gy2 = arith.mul_fx(gy, gy);
+    let sum = arith.add(i64::from(gx2), i64::from(gy2)) as i32;
+    sqrt_fx(sum, arith)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::{ApimArith, ExactArith};
+    use apim_logic::PrecisionMode;
+
+    fn to_f(q: i32) -> f64 {
+        f64::from(q) / f64::from(FX_ONE)
+    }
+
+    #[test]
+    fn matches_float_sqrt_across_range() {
+        let mut arith = ExactArith::new();
+        for v in [0.0625f64, 0.25, 1.0, 2.0, 4.0, 10.0, 100.0, 255.0, 4000.0] {
+            let x = (v * f64::from(FX_ONE)) as i32;
+            let y = to_f(sqrt_fx(x, &mut arith));
+            let expect = v.sqrt();
+            assert!(
+                (y - expect).abs() / expect < 0.01,
+                "sqrt({v}) = {y}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_and_negative_inputs_are_zero() {
+        let mut arith = ExactArith::new();
+        assert_eq!(sqrt_fx(0, &mut arith), 0);
+        assert_eq!(sqrt_fx(-100, &mut arith), 0);
+    }
+
+    #[test]
+    fn uses_only_add_and_mul() {
+        let mut arith = ExactArith::new();
+        sqrt_fx(7 * FX_ONE, &mut arith);
+        let counts = arith.counts();
+        assert!(counts.muls >= ITERATIONS as u64 * 2);
+        assert!(counts.adds >= ITERATIONS as u64);
+    }
+
+    #[test]
+    fn magnitude_is_euclidean() {
+        let mut arith = ExactArith::new();
+        // 3-4-5 triangle in Q12.
+        let m = magnitude_fx(3 * FX_ONE, 4 * FX_ONE, &mut arith);
+        assert!((to_f(m) - 5.0).abs() < 0.05, "got {}", to_f(m));
+    }
+
+    #[test]
+    fn approximate_backend_stays_close() {
+        let mut exact = ExactArith::new();
+        let mut approx = ApimArith::new(PrecisionMode::LastStage { relax_bits: 16 });
+        for v in [1.0f64, 9.0, 144.0] {
+            let x = (v * f64::from(FX_ONE)) as i32;
+            let a = to_f(sqrt_fx(x, &mut exact));
+            let b = to_f(sqrt_fx(x, &mut approx));
+            assert!((a - b).abs() / a < 0.02, "sqrt({v}): {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn monotone_over_the_pixel_range() {
+        let mut arith = ExactArith::new();
+        let mut last = -1;
+        for p in (0..=255).step_by(5) {
+            let y = sqrt_fx(p << FX_SHIFT, &mut arith);
+            assert!(y >= last, "sqrt must be monotone at {p}");
+            last = y;
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! PGM (portable graymap) image I/O — feed real photographs to the
+//! kernels without any external dependency.
+//!
+//! Both the binary (`P5`) and ASCII (`P2`) variants are supported for
+//! reading; writing emits `P5`. The paper evaluates on Caltech-101
+//! photos; converting any of them with `convert photo.jpg photo.pgm`
+//! (ImageMagick) yields a file this module loads directly.
+
+use crate::image::Image;
+use std::error::Error;
+use std::fmt;
+
+/// A PGM parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePgmError(String);
+
+impl fmt::Display for ParsePgmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid PGM: {}", self.0)
+    }
+}
+
+impl Error for ParsePgmError {}
+
+fn err(msg: impl Into<String>) -> ParsePgmError {
+    ParsePgmError(msg.into())
+}
+
+/// Tokenizer for the PGM header: whitespace-separated tokens with
+/// `#`-comments, returning the byte offset after the last token consumed.
+fn header_tokens(data: &[u8], count: usize) -> Result<(Vec<String>, usize), ParsePgmError> {
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while tokens.len() < count {
+        // Skip whitespace and comments.
+        while i < data.len() {
+            match data[i] {
+                b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+                b'#' => {
+                    while i < data.len() && data[i] != b'\n' {
+                        i += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        if i >= data.len() {
+            return Err(err("truncated header"));
+        }
+        let start = i;
+        while i < data.len() && !data[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        tokens.push(
+            std::str::from_utf8(&data[start..i])
+                .map_err(|_| err("non-ASCII header"))?
+                .to_string(),
+        );
+    }
+    // One whitespace byte separates the header from binary pixel data.
+    if i < data.len() && data[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    Ok((tokens, i))
+}
+
+/// Parses a PGM file (binary `P5` or ASCII `P2`) into an [`Image`].
+///
+/// Maxval up to 65535 is accepted; samples are rescaled to 8-bit before
+/// the Q12 conversion, matching the kernels' pixel model.
+///
+/// # Errors
+///
+/// Returns [`ParsePgmError`] for malformed headers, truncated pixel data
+/// or unsupported magic numbers.
+pub fn from_pgm(data: &[u8]) -> Result<Image, ParsePgmError> {
+    let (tokens, body_start) = header_tokens(data, 4)?;
+    let magic = tokens[0].as_str();
+    let width: usize = tokens[1].parse().map_err(|_| err("bad width"))?;
+    let height: usize = tokens[2].parse().map_err(|_| err("bad height"))?;
+    let maxval: u32 = tokens[3].parse().map_err(|_| err("bad maxval"))?;
+    if width == 0 || height == 0 {
+        return Err(err("zero dimensions"));
+    }
+    if maxval == 0 || maxval > 65535 {
+        return Err(err("maxval out of range"));
+    }
+    let rescale = |v: u32| ((v.min(maxval) * 255 + maxval / 2) / maxval) as u8;
+    let pixels: Vec<u8> = match magic {
+        "P5" => {
+            let body = &data[body_start..];
+            if maxval < 256 {
+                if body.len() < width * height {
+                    return Err(err("truncated P5 pixel data"));
+                }
+                body[..width * height]
+                    .iter()
+                    .map(|&b| rescale(b.into()))
+                    .collect()
+            } else {
+                if body.len() < 2 * width * height {
+                    return Err(err("truncated 16-bit P5 pixel data"));
+                }
+                body[..2 * width * height]
+                    .chunks_exact(2)
+                    .map(|c| rescale(u32::from(c[0]) << 8 | u32::from(c[1])))
+                    .collect()
+            }
+        }
+        "P2" => {
+            let text = std::str::from_utf8(&data[body_start..])
+                .map_err(|_| err("non-ASCII P2 pixel data"))?;
+            let values: Result<Vec<u32>, _> = text
+                .split_whitespace()
+                .take(width * height)
+                .map(str::parse)
+                .collect();
+            let values = values.map_err(|_| err("bad P2 sample"))?;
+            if values.len() < width * height {
+                return Err(err("truncated P2 pixel data"));
+            }
+            values.into_iter().map(rescale).collect()
+        }
+        other => return Err(err(format!("unsupported magic `{other}`"))),
+    };
+    Ok(Image::from_u8(width, height, &pixels))
+}
+
+/// Serializes an [`Image`] as binary PGM (`P5`, maxval 255).
+pub fn to_pgm(image: &Image) -> Vec<u8> {
+    let mut out = format!("P5\n{} {}\n255\n", image.width(), image.height()).into_bytes();
+    out.extend(image.to_u8());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::synthetic_image;
+
+    #[test]
+    fn binary_round_trip() {
+        let img = synthetic_image(24, 16, 3);
+        let bytes = to_pgm(&img);
+        let back = from_pgm(&bytes).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn ascii_p2_parses() {
+        let pgm = b"P2\n# a comment\n3 2\n255\n0 128 255\n10 20 30\n";
+        let img = from_pgm(pgm).unwrap();
+        assert_eq!(img.width(), 3);
+        assert_eq!(img.height(), 2);
+        assert_eq!(img.to_u8(), vec![0, 128, 255, 10, 20, 30]);
+    }
+
+    #[test]
+    fn comments_and_whitespace_in_header() {
+        let pgm = b"P5 # binary\n# size next\n 2\t2 \n255\n\x00\x40\x80\xFF";
+        let img = from_pgm(pgm).unwrap();
+        assert_eq!(img.to_u8(), vec![0, 64, 128, 255]);
+    }
+
+    #[test]
+    fn sixteen_bit_maxval_rescales() {
+        let mut pgm = b"P5\n2 1\n65535\n".to_vec();
+        pgm.extend([0xFF, 0xFF, 0x00, 0x00]); // 65535, 0
+        let img = from_pgm(&pgm).unwrap();
+        assert_eq!(img.to_u8(), vec![255, 0]);
+    }
+
+    #[test]
+    fn malformed_inputs_error_cleanly() {
+        assert!(from_pgm(b"P6\n1 1\n255\nX").is_err(), "PPM rejected");
+        assert!(from_pgm(b"P5\n0 4\n255\n").is_err(), "zero dims");
+        assert!(from_pgm(b"P5\n2 2\n255\n\x00").is_err(), "truncated");
+        assert!(from_pgm(b"P5\n2 2\n0\n....").is_err(), "bad maxval");
+        assert!(from_pgm(b"P2\n2 1\n255\n12").is_err(), "short P2");
+        assert!(from_pgm(b"").is_err(), "empty");
+    }
+
+    #[test]
+    fn kernels_accept_loaded_images() {
+        use crate::arith::ExactArith;
+        use crate::sobel::sobel;
+        let img = from_pgm(&to_pgm(&synthetic_image(16, 16, 8))).unwrap();
+        let out = sobel(&img, &mut ExactArith::new());
+        assert_eq!(out.width(), 16);
+    }
+}

@@ -1,0 +1,313 @@
+//! Quality-of-service metrics (§4.1).
+//!
+//! "For image processing applications, we accept 30 dB peak
+//! signal-to-noise ratio as an accuracy metric. For other applications, the
+//! acceptable accuracy is defined by having less than 10 % average relative
+//! error."
+
+/// PSNR acceptance threshold for image applications, dB.
+pub const PSNR_THRESHOLD_DB: f64 = 30.0;
+
+/// Mean-relative-error acceptance threshold for non-image applications.
+pub const REL_ERR_THRESHOLD: f64 = 0.10;
+
+/// Quality of one approximate run versus its golden reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityReport {
+    /// PSNR in dB (`None` for non-image outputs; `f64::INFINITY` when the
+    /// outputs are identical).
+    pub psnr_db: Option<f64>,
+    /// Mean relative error against the golden output.
+    pub mean_rel_err: f64,
+    /// The paper's "QoL" percentage (quality loss): mean relative error ×
+    /// 100 for numeric apps, mean absolute pixel error as a percentage of
+    /// full scale for images.
+    pub qol_percent: f64,
+    /// Structural similarity vs the golden output (image apps with at
+    /// least one 8×8 window; `None` otherwise).
+    pub ssim: Option<f64>,
+    /// Whether the paper's acceptance criterion holds.
+    pub acceptable: bool,
+}
+
+/// PSNR between two 8-bit images (`f64::INFINITY` if identical).
+///
+/// # Panics
+///
+/// Panics if lengths differ or are zero.
+pub fn psnr_u8(golden: &[u8], approx: &[u8]) -> f64 {
+    assert_eq!(golden.len(), approx.len(), "image size mismatch");
+    assert!(!golden.is_empty(), "empty image");
+    let mse: f64 = golden
+        .iter()
+        .zip(approx)
+        .map(|(&g, &a)| {
+            let d = f64::from(g) - f64::from(a);
+            d * d
+        })
+        .sum::<f64>()
+        / golden.len() as f64;
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0f64 * 255.0 / mse).log10()
+    }
+}
+
+/// Relative RMS error `‖approx − golden‖₂ / ‖golden‖₂` — the robust
+/// "average relative error" used for the numeric applications (a plain
+/// per-element mean is dominated by near-zero golden outputs).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn relative_rms_error(golden: &[i64], approx: &[i64]) -> f64 {
+    assert_eq!(golden.len(), approx.len(), "output size mismatch");
+    let err: f64 = golden
+        .iter()
+        .zip(approx)
+        .map(|(&g, &a)| ((a - g) as f64).powi(2))
+        .sum();
+    let norm: f64 = golden.iter().map(|&g| (g as f64).powi(2)).sum();
+    if norm == 0.0 {
+        if err == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (err / norm).sqrt()
+    }
+}
+
+/// Mean relative error between integer vectors, ignoring entries whose
+/// golden value is zero (standard for relative metrics).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn mean_relative_error(golden: &[i64], approx: &[i64]) -> f64 {
+    assert_eq!(golden.len(), approx.len(), "output size mismatch");
+    let mut sum = 0.0;
+    let mut counted = 0u64;
+    for (&g, &a) in golden.iter().zip(approx) {
+        if g != 0 {
+            sum += (a - g).unsigned_abs() as f64 / g.unsigned_abs() as f64;
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        sum / counted as f64
+    }
+}
+
+/// Structural similarity (SSIM) between two equally-sized 8-bit images,
+/// computed over 8×8 windows with the standard constants
+/// (`C1 = (0.01·255)²`, `C2 = (0.03·255)²`). Returns 1.0 for identical
+/// images; perceptually-relevant degradation pulls it toward 0.
+///
+/// # Panics
+///
+/// Panics if the images differ in size or are smaller than one window.
+pub fn ssim_u8(golden: &[u8], approx: &[u8], width: usize) -> f64 {
+    assert_eq!(golden.len(), approx.len(), "image size mismatch");
+    assert!(
+        width >= 8 && golden.len() / width >= 8,
+        "image too small for SSIM"
+    );
+    let height = golden.len() / width;
+    const C1: f64 = (0.01 * 255.0) * (0.01 * 255.0);
+    const C2: f64 = (0.03 * 255.0) * (0.03 * 255.0);
+    let mut total = 0.0;
+    let mut windows = 0u32;
+    for wy in (0..height - 7).step_by(8) {
+        for wx in (0..width - 7).step_by(8) {
+            let (mut sum_a, mut sum_b) = (0.0f64, 0.0f64);
+            let (mut sum_a2, mut sum_b2, mut sum_ab) = (0.0f64, 0.0, 0.0);
+            for dy in 0..8 {
+                for dx in 0..8 {
+                    let a = f64::from(golden[(wy + dy) * width + wx + dx]);
+                    let b = f64::from(approx[(wy + dy) * width + wx + dx]);
+                    sum_a += a;
+                    sum_b += b;
+                    sum_a2 += a * a;
+                    sum_b2 += b * b;
+                    sum_ab += a * b;
+                }
+            }
+            let n = 64.0;
+            let mu_a = sum_a / n;
+            let mu_b = sum_b / n;
+            let var_a = sum_a2 / n - mu_a * mu_a;
+            let var_b = sum_b2 / n - mu_b * mu_b;
+            let cov = sum_ab / n - mu_a * mu_b;
+            let ssim = ((2.0 * mu_a * mu_b + C1) * (2.0 * cov + C2))
+                / ((mu_a * mu_a + mu_b * mu_b + C1) * (var_a + var_b + C2));
+            total += ssim;
+            windows += 1;
+        }
+    }
+    total / f64::from(windows.max(1))
+}
+
+/// Builds a [`QualityReport`] for an image application.
+pub fn image_quality(golden: &[u8], approx: &[u8]) -> QualityReport {
+    image_quality_sized(golden, approx, 0)
+}
+
+/// [`image_quality`] with the image width supplied, enabling the SSIM
+/// field (pass 0 to skip SSIM).
+pub fn image_quality_sized(golden: &[u8], approx: &[u8], width: usize) -> QualityReport {
+    let psnr = psnr_u8(golden, approx);
+    let mean_abs: f64 = golden
+        .iter()
+        .zip(approx)
+        .map(|(&g, &a)| (f64::from(g) - f64::from(a)).abs())
+        .sum::<f64>()
+        / golden.len() as f64;
+    let golden_i: Vec<i64> = golden.iter().map(|&g| i64::from(g)).collect();
+    let approx_i: Vec<i64> = approx.iter().map(|&a| i64::from(a)).collect();
+    let ssim =
+        (width >= 8 && golden.len() / width.max(1) >= 8).then(|| ssim_u8(golden, approx, width));
+    QualityReport {
+        psnr_db: Some(psnr),
+        mean_rel_err: mean_relative_error(&golden_i, &approx_i),
+        qol_percent: 100.0 * mean_abs / 255.0,
+        ssim,
+        acceptable: psnr >= PSNR_THRESHOLD_DB,
+    }
+}
+
+/// Builds a [`QualityReport`] for a numeric application (relative RMS
+/// error against the < 10 % threshold).
+pub fn numeric_quality(golden: &[i64], approx: &[i64]) -> QualityReport {
+    let rel = relative_rms_error(golden, approx);
+    QualityReport {
+        psnr_db: None,
+        mean_rel_err: rel,
+        qol_percent: 100.0 * rel,
+        ssim: None,
+        acceptable: rel < REL_ERR_THRESHOLD,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_have_infinite_psnr() {
+        let img = [1u8, 2, 3, 200];
+        assert!(psnr_u8(&img, &img).is_infinite());
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let golden = [128u8; 256];
+        let mut small = golden;
+        small[0] = 130;
+        let mut big = golden;
+        for (i, p) in big.iter_mut().enumerate() {
+            *p = (i % 255) as u8;
+        }
+        assert!(psnr_u8(&golden, &small) > psnr_u8(&golden, &big));
+    }
+
+    #[test]
+    fn known_psnr_value() {
+        // Uniform error of 1 LSB: MSE = 1, PSNR = 20 log10(255) = 48.13 dB.
+        let golden = [100u8; 64];
+        let approx = [101u8; 64];
+        assert!((psnr_u8(&golden, &approx) - 48.1308).abs() < 1e-3);
+    }
+
+    #[test]
+    fn relative_error_ignores_zero_golden() {
+        assert_eq!(mean_relative_error(&[0, 0], &[5, 7]), 0.0);
+        let e = mean_relative_error(&[100, 0, 200], &[110, 99, 180]);
+        assert!((e - (0.1 + 0.1) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn image_quality_thresholds() {
+        let golden = [100u8; 100];
+        let good = [101u8; 100]; // 48 dB
+        assert!(image_quality(&golden, &good).acceptable);
+        let mut bad = [0u8; 100];
+        bad.iter_mut().step_by(2).for_each(|p| *p = 255);
+        assert!(!image_quality(&golden, &bad).acceptable);
+    }
+
+    #[test]
+    fn numeric_quality_thresholds() {
+        assert!(numeric_quality(&[100; 10], &[105; 10]).acceptable); // 5 %
+        assert!(!numeric_quality(&[100; 10], &[115; 10]).acceptable); // 15 %
+    }
+
+    #[test]
+    fn qol_percent_scales() {
+        let q = numeric_quality(&[1000; 4], &[1020; 4]);
+        assert!((q.qol_percent - 2.0).abs() < 1e-9);
+        let qi = image_quality(&[100u8; 4], &[110u8; 4]);
+        assert!((qi.qol_percent - 100.0 * 10.0 / 255.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatched_lengths_panic() {
+        psnr_u8(&[1, 2], &[1]);
+    }
+
+    #[test]
+    fn ssim_identity_is_one() {
+        let img: Vec<u8> = (0..256).map(|i| (i % 251) as u8).collect();
+        let s = ssim_u8(&img, &img, 16);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ssim_orders_degradation_levels() {
+        let golden: Vec<u8> = (0..1024).map(|i| ((i * 7) % 256) as u8).collect();
+        let slight: Vec<u8> = golden.iter().map(|&p| p.saturating_add(3)).collect();
+        let heavy: Vec<u8> = golden
+            .iter()
+            .map(|&p| p.wrapping_mul(13).wrapping_add(91))
+            .collect();
+        let s_slight = ssim_u8(&golden, &slight, 32);
+        let s_heavy = ssim_u8(&golden, &heavy, 32);
+        assert!(s_slight > 0.9, "slight {s_slight}");
+        assert!(s_heavy < s_slight, "{s_heavy} !< {s_slight}");
+    }
+
+    #[test]
+    fn ssim_tracks_kernel_approximation() {
+        use crate::arith::{ApimArith, ExactArith};
+        use crate::image::synthetic_image;
+        use crate::sharpen::sharpen;
+        use apim_logic::PrecisionMode;
+        let img = synthetic_image(32, 32, 5);
+        let golden = sharpen(&img, &mut ExactArith::new()).to_u8();
+        let mild = sharpen(
+            &img,
+            &mut ApimArith::new(PrecisionMode::LastStage { relax_bits: 16 }),
+        )
+        .to_u8();
+        let severe = sharpen(
+            &img,
+            &mut ApimArith::new(PrecisionMode::LastStage { relax_bits: 32 }),
+        )
+        .to_u8();
+        let s_mild = ssim_u8(&golden, &mild, 32);
+        let s_severe = ssim_u8(&golden, &severe, 32);
+        assert!(s_mild >= s_severe);
+        assert!(s_mild > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn ssim_rejects_tiny_images() {
+        ssim_u8(&[0; 16], &[0; 16], 4);
+    }
+}

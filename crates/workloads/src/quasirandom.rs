@@ -1,0 +1,135 @@
+//! Quasi-random (low-discrepancy) sequence generation — the paper's
+//! "Quasi Random" OpenCL benchmark.
+//!
+//! Generates a 2-D Halton-style point set (van der Corput radical inverse
+//! in bases 2 and 3) over the unit square shifted to `[1, 2)²` and uses it
+//! for a QMC estimate of `∫∫ x·y dx dy = 9/4`; the per-point products
+//! `x · y` are the arithmetic APIM accelerates. The shift keeps every
+//! product in the top octaves of the 32-bit range, where the paper's
+//! relax-bit sweep degrades gracefully.
+
+use crate::arith::Arith;
+
+/// Fraction bits of the generated points (Q16: products fill ~32 bits so
+/// the relax-bit sweep bites gradually).
+pub const QR_SHIFT: u32 = 16;
+
+/// 1.0 in the point representation.
+pub const QR_ONE: i32 = 1 << QR_SHIFT;
+
+/// Radical inverse of `index` in the given base, as a Q16 fraction.
+pub fn radical_inverse(mut index: u64, base: u64) -> i32 {
+    let mut inv = 0.0f64;
+    let mut f = 1.0 / base as f64;
+    while index > 0 {
+        inv += (index % base) as f64 * f;
+        index /= base;
+        f /= base as f64;
+    }
+    (inv * f64::from(QR_ONE)) as i32
+}
+
+/// Output of the quasi-random benchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuasiRun {
+    /// The generated (x, y) points, Q16 in `[1, 2)`.
+    pub points: Vec<(i32, i32)>,
+    /// Per-point products `x · y` (Q16) — the benchmark's output vector.
+    pub products: Vec<i32>,
+    /// QMC estimate of `∫∫ x·y` over `[1,2)²` (Q16; exact value is 9/4).
+    pub integral_estimate: i32,
+}
+
+/// Generates `n` Halton points and evaluates the QMC product integral
+/// through the given arithmetic backend.
+pub fn quasi_random<A: Arith>(n: usize, arith: &mut A) -> QuasiRun {
+    let mut points = Vec::with_capacity(n);
+    let mut products = Vec::with_capacity(n);
+    let mut acc = 0i64;
+    for i in 0..n {
+        let x = QR_ONE + radical_inverse(i as u64 + 1, 2);
+        let y = QR_ONE + radical_inverse(i as u64 + 1, 3);
+        points.push((x, y));
+        let p = (arith.mul(x, y) >> QR_SHIFT) as i32;
+        products.push(p);
+        acc = arith.add(acc, i64::from(p));
+    }
+    let estimate = if n == 0 { 0 } else { (acc / n as i64) as i32 };
+    QuasiRun {
+        points,
+        products,
+        integral_estimate: estimate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::{ApimArith, ExactArith};
+    use apim_logic::PrecisionMode;
+
+    #[test]
+    fn radical_inverse_base2_bit_reverses() {
+        // 1 -> 0.5, 2 -> 0.25, 3 -> 0.75
+        assert_eq!(radical_inverse(1, 2), QR_ONE / 2);
+        assert_eq!(radical_inverse(2, 2), QR_ONE / 4);
+        assert_eq!(radical_inverse(3, 2), 3 * QR_ONE / 4);
+        assert_eq!(radical_inverse(0, 2), 0);
+    }
+
+    #[test]
+    fn points_stay_in_unit_square() {
+        let run = quasi_random(256, &mut ExactArith::new());
+        for &(x, y) in &run.points {
+            assert!((QR_ONE..2 * QR_ONE).contains(&x));
+            assert!((QR_ONE..2 * QR_ONE).contains(&y));
+        }
+    }
+
+    #[test]
+    fn integral_estimate_approaches_quarter() {
+        let run = quasi_random(1024, &mut ExactArith::new());
+        let estimate = f64::from(run.integral_estimate) / f64::from(QR_ONE);
+        assert!(
+            (estimate - 2.25).abs() < 0.05,
+            "QMC estimate {estimate} should be near 9/4"
+        );
+    }
+
+    #[test]
+    fn low_discrepancy_beats_worst_case() {
+        // The first 2^k base-2 points are perfectly stratified: every
+        // half-open dyadic interval of width 1/8 contains exactly n/8.
+        let run = quasi_random(64, &mut ExactArith::new());
+        let mut buckets = [0usize; 8];
+        for &(x, _) in &run.points {
+            buckets[((x - QR_ONE) / (QR_ONE / 8)).clamp(0, 7) as usize] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert_eq!(b, 8, "bucket {i} has {b}");
+        }
+    }
+
+    #[test]
+    fn one_mul_and_add_per_point() {
+        let mut arith = ExactArith::new();
+        quasi_random(100, &mut arith);
+        assert_eq!(arith.counts().muls, 100);
+        assert_eq!(arith.counts().adds, 100);
+    }
+
+    #[test]
+    fn exact_apim_matches_golden() {
+        assert_eq!(
+            quasi_random(128, &mut ExactArith::new()),
+            quasi_random(128, &mut ApimArith::new(PrecisionMode::Exact))
+        );
+    }
+
+    #[test]
+    fn empty_run_is_well_defined() {
+        let run = quasi_random(0, &mut ExactArith::new());
+        assert_eq!(run.integral_estimate, 0);
+        assert!(run.points.is_empty());
+    }
+}

@@ -1,0 +1,85 @@
+//! Roberts cross 2×2 edge detection.
+//!
+//! The lightest of the paper's image kernels: two diagonal differences per
+//! pixel, each scaled by the 1/√2 Roberts normalization (a non-dyadic Q12
+//! weight, so the approximate multiplier is actually exercised), combined
+//! with the L1 magnitude.
+
+/// `1/√2` in Q15 (finer than the Q12 data so difference products span the
+/// bit range the relax sweep targets).
+const INV_SQRT2: i32 = 23170;
+
+/// Fraction bits of the weight.
+const WEIGHT_SHIFT: u32 = 15;
+
+use crate::arith::Arith;
+use crate::image::Image;
+
+/// Runs the Roberts cross operator.
+pub fn robert<A: Arith>(input: &Image, arith: &mut A) -> Image {
+    let (w, h) = (input.width(), input.height());
+    let mut out = Vec::with_capacity(w * h);
+    for y in 0..h as isize {
+        for x in 0..w as isize {
+            let p00 = input.get_clamped(x, y);
+            let p11 = input.get_clamped(x + 1, y + 1);
+            let p01 = input.get_clamped(x + 1, y);
+            let p10 = input.get_clamped(x, y + 1);
+            let d1 = arith.sub(i64::from(p00), i64::from(p11));
+            let g1 = arith.mul(d1 as i32, INV_SQRT2);
+            let d2 = arith.sub(i64::from(p01), i64::from(p10));
+            let g2 = arith.mul(d2 as i32, INV_SQRT2);
+            let mag = arith.add(g1.abs(), g2.abs()) >> WEIGHT_SHIFT;
+            out.push(mag.clamp(0, i64::from(i32::MAX)) as i32);
+        }
+    }
+    Image::new(w, h, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::{ApimArith, ExactArith, FX_SHIFT};
+    use crate::image::synthetic_image;
+    use apim_logic::PrecisionMode;
+
+    #[test]
+    fn flat_regions_are_silent() {
+        let img = Image::from_u8(6, 6, &[77u8; 36]);
+        let out = robert(&img, &mut ExactArith::new());
+        assert!(out.samples().iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn diagonal_edge_strongest() {
+        let mut px = vec![0u8; 36];
+        for y in 0..6 {
+            for x in 0..6 {
+                if x > y {
+                    px[y * 6 + x] = 220;
+                }
+            }
+        }
+        let img = Image::from_u8(6, 6, &px);
+        let out = robert(&img, &mut ExactArith::new());
+        assert!(out.samples().iter().any(|&s| s > 100 << FX_SHIFT));
+    }
+
+    #[test]
+    fn op_counts() {
+        let img = synthetic_image(10, 10, 2);
+        let mut arith = ExactArith::new();
+        robert(&img, &mut arith);
+        assert_eq!(arith.counts().muls, 100 * 2);
+        assert_eq!(arith.counts().adds, 100 * 3);
+    }
+
+    #[test]
+    fn exact_apim_matches_golden() {
+        let img = synthetic_image(9, 9, 11);
+        assert_eq!(
+            robert(&img, &mut ExactArith::new()),
+            robert(&img, &mut ApimArith::new(PrecisionMode::Exact))
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! 3×3 unsharp-style sharpening convolution.
+
+use crate::arith::{Arith, FX_SHIFT};
+use crate::image::Image;
+
+/// Q12-scaled sharpening kernel (center 5, cross −1).
+const KERNEL: [[i32; 3]; 3] = [[0, -1, 0], [-1, 5, -1], [0, -1, 0]];
+
+/// Runs the sharpening filter.
+pub fn sharpen<A: Arith>(input: &Image, arith: &mut A) -> Image {
+    let (w, h) = (input.width(), input.height());
+    let mut out = Vec::with_capacity(w * h);
+    for y in 0..h as isize {
+        for x in 0..w as isize {
+            let mut acc = 0i64;
+            for (dy, row) in KERNEL.iter().enumerate() {
+                for (dx, &c) in row.iter().enumerate() {
+                    if c == 0 {
+                        continue;
+                    }
+                    let s = input.get_clamped(x + dx as isize - 1, y + dy as isize - 1);
+                    let p = arith.mul(s, c << FX_SHIFT);
+                    acc = arith.add(acc, p);
+                }
+            }
+            let v = (acc >> FX_SHIFT).clamp(0, i64::from(255 << FX_SHIFT)) as i32;
+            out.push(v);
+        }
+    }
+    Image::new(w, h, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::{ApimArith, ExactArith};
+    use crate::image::synthetic_image;
+    use apim_logic::PrecisionMode;
+
+    #[test]
+    fn flat_image_unchanged() {
+        let img = Image::from_u8(8, 8, &[90u8; 64]);
+        let out = sharpen(&img, &mut ExactArith::new());
+        assert_eq!(out.to_u8(), vec![90u8; 64]);
+    }
+
+    #[test]
+    fn edges_gain_contrast() {
+        let mut px = vec![50u8; 64];
+        for y in 0..8 {
+            for x in 4..8 {
+                px[y * 8 + x] = 150;
+            }
+        }
+        let img = Image::from_u8(8, 8, &px);
+        let out = sharpen(&img, &mut ExactArith::new()).to_u8();
+        // The bright side of the seam overshoots, the dark side undershoots.
+        assert!(out[3 * 8 + 4] > 150);
+        assert!(out[3 * 8 + 3] < 50);
+    }
+
+    #[test]
+    fn op_counts() {
+        let img = synthetic_image(12, 12, 4);
+        let mut arith = ExactArith::new();
+        sharpen(&img, &mut arith);
+        assert_eq!(arith.counts().muls, 144 * 5);
+        assert_eq!(arith.counts().adds, 144 * 5);
+    }
+
+    #[test]
+    fn exact_apim_matches_golden() {
+        let img = synthetic_image(10, 10, 21);
+        assert_eq!(
+            sharpen(&img, &mut ExactArith::new()),
+            sharpen(&img, &mut ApimArith::new(PrecisionMode::Exact))
+        );
+    }
+
+    #[test]
+    fn output_clamped_to_pixel_range() {
+        let img = synthetic_image(16, 16, 9);
+        let out = sharpen(&img, &mut ExactArith::new());
+        for &s in out.samples() {
+            assert!((0..=255 << FX_SHIFT).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Sobel 3×3 edge detection.
+//!
+//! Two 3×3 convolutions (horizontal/vertical gradients) followed by the
+//! magnitude. As in the paper's OpenCL port, the square root is
+//! approximated with add/multiply-friendly arithmetic — here the standard
+//! `|gx| + |gy|` L1 magnitude. Weights carry the common 1/6 normalization,
+//! which also makes them non-dyadic: a power-of-two weight would have a
+//! single-bit multiplier and bypass the approximate final stage entirely.
+
+use crate::arith::{Arith, FX_SHIFT};
+use crate::image::Image;
+
+/// Q12 Sobel kernel weights (horizontal gradient; the vertical one is its
+/// transpose).
+const GX: [[i32; 3]; 3] = [[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]];
+
+/// Q12 representation of the 1/6 kernel normalization.
+const WEIGHT_SCALE: i32 = (1 << FX_SHIFT) / 6;
+
+/// Runs Sobel edge detection, returning the gradient-magnitude image.
+pub fn sobel<A: Arith>(input: &Image, arith: &mut A) -> Image {
+    let (w, h) = (input.width(), input.height());
+    let mut out = Vec::with_capacity(w * h);
+    for y in 0..h as isize {
+        for x in 0..w as isize {
+            let mut gx = 0i64;
+            let mut gy = 0i64;
+            for (dy, row) in GX.iter().enumerate() {
+                for (dx, &c) in row.iter().enumerate() {
+                    if c == 0 {
+                        continue;
+                    }
+                    let s = input.get_clamped(x + dx as isize - 1, y + dy as isize - 1);
+                    let weight = c * WEIGHT_SCALE;
+                    let px = arith.mul(s, weight);
+                    gx = arith.add(gx, px);
+                    // The vertical kernel is the transpose.
+                    let st = input.get_clamped(x + dy as isize - 1, y + dx as isize - 1);
+                    let py = arith.mul(st, weight);
+                    gy = arith.add(gy, py);
+                }
+            }
+            // L1 magnitude, renormalized from Q24 to Q12.
+            let mag = arith.add(gx.abs(), gy.abs()) >> FX_SHIFT;
+            out.push(mag.clamp(0, i64::from(i32::MAX)) as i32);
+        }
+    }
+    Image::new(w, h, out)
+}
+
+/// Sobel with the *Euclidean* magnitude `√(gx² + gy²)`, computed by the
+/// Newton–Raphson square root of [`crate::mathx`] — i.e. the paper's
+/// "square root approximated by [add and multiply]" path, end to end on
+/// the arithmetic backend. Costs ~3× the multiplications of [`sobel`].
+pub fn sobel_l2<A: Arith>(input: &Image, arith: &mut A) -> Image {
+    let (w, h) = (input.width(), input.height());
+    let mut out = Vec::with_capacity(w * h);
+    for y in 0..h as isize {
+        for x in 0..w as isize {
+            let mut gx = 0i64;
+            let mut gy = 0i64;
+            for (dy, row) in GX.iter().enumerate() {
+                for (dx, &c) in row.iter().enumerate() {
+                    if c == 0 {
+                        continue;
+                    }
+                    let s = input.get_clamped(x + dx as isize - 1, y + dy as isize - 1);
+                    let weight = c * WEIGHT_SCALE;
+                    let px = arith.mul(s, weight);
+                    gx = arith.add(gx, px);
+                    let st = input.get_clamped(x + dy as isize - 1, y + dx as isize - 1);
+                    let py = arith.mul(st, weight);
+                    gy = arith.add(gy, py);
+                }
+            }
+            let mag =
+                crate::mathx::magnitude_fx((gx >> FX_SHIFT) as i32, (gy >> FX_SHIFT) as i32, arith);
+            out.push(mag.max(0));
+        }
+    }
+    Image::new(w, h, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::ExactArith;
+    use crate::image::synthetic_image;
+
+    #[test]
+    fn flat_image_has_zero_gradient() {
+        let img = Image::from_u8(8, 8, &[100u8; 64]);
+        let mut arith = ExactArith::new();
+        let out = sobel(&img, &mut arith);
+        assert!(out.samples().iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn vertical_edge_detected() {
+        // Left half dark, right half bright: strong response at the seam.
+        let mut px = vec![0u8; 64];
+        for y in 0..8 {
+            for x in 4..8 {
+                px[y * 8 + x] = 200;
+            }
+        }
+        let img = Image::from_u8(8, 8, &px);
+        let out = sobel(&img, &mut ExactArith::new());
+        let seam = out.samples()[3 * 8 + 4];
+        let flat = out.samples()[3 * 8 + 1];
+        assert!(seam > 30 << FX_SHIFT, "seam response {seam}");
+        assert_eq!(flat, 0);
+    }
+
+    #[test]
+    fn op_counts_scale_with_pixels() {
+        let img = synthetic_image(16, 16, 3);
+        let mut arith = ExactArith::new();
+        sobel(&img, &mut arith);
+        // 12 nonzero taps per pixel (6 per direction) + magnitude add.
+        assert_eq!(arith.counts().muls, 16 * 16 * 12);
+        assert_eq!(arith.counts().adds, 16 * 16 * 13);
+    }
+
+    #[test]
+    fn l2_magnitude_is_euclidean_on_a_seam() {
+        // Left/right halves at 0/200: gx dominates, gy = 0 at mid-seam
+        // rows, so the L2 and L1 magnitudes agree there.
+        let mut px = vec![0u8; 64];
+        for y in 0..8 {
+            for x in 4..8 {
+                px[y * 8 + x] = 200;
+            }
+        }
+        let img = Image::from_u8(8, 8, &px);
+        let l1 = sobel(&img, &mut ExactArith::new());
+        let l2 = sobel_l2(&img, &mut ExactArith::new());
+        let idx = 3 * 8 + 4;
+        let a = l1.samples()[idx] as f64;
+        let b = l2.samples()[idx] as f64;
+        assert!((a - b).abs() / a < 0.05, "seam: L1 {a} vs L2 {b}");
+        // Where both gradients fire (corners of the seam), L2 < L1.
+        let corner = 0;
+        assert!(l2.samples()[corner] <= l1.samples()[corner]);
+    }
+
+    #[test]
+    fn l2_exact_apim_matches_golden() {
+        use crate::arith::ApimArith;
+        use apim_logic::PrecisionMode;
+        let img = synthetic_image(10, 10, 7);
+        assert_eq!(
+            sobel_l2(&img, &mut ExactArith::new()),
+            sobel_l2(&img, &mut ApimArith::new(PrecisionMode::Exact))
+        );
+    }
+
+    #[test]
+    fn approximate_exact_mode_matches_golden() {
+        use crate::arith::ApimArith;
+        use apim_logic::PrecisionMode;
+        let img = synthetic_image(12, 12, 5);
+        let golden = sobel(&img, &mut ExactArith::new());
+        let apim = sobel(&img, &mut ApimArith::new(PrecisionMode::Exact));
+        assert_eq!(golden, apim);
+    }
+}

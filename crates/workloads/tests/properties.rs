@@ -1,0 +1,133 @@
+//! Property-based tests for the workload kernels and quality metrics.
+
+use apim_logic::PrecisionMode;
+use apim_workloads::image::{synthetic_image, Image};
+use apim_workloads::quality::{psnr_u8, relative_rms_error};
+use apim_workloads::{dwt, fft, quasirandom, robert, sharpen, sobel};
+use apim_workloads::{ApimArith, Arith, ExactArith, FX_ONE, FX_SHIFT};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn sobel_of_any_flat_image_is_zero(level in 0u8..=255, side in 4usize..16) {
+        let pixels = vec![level; side * side];
+        let img = Image::from_u8(side, side, &pixels);
+        let out = sobel::sobel(&img, &mut ExactArith::new());
+        prop_assert!(out.samples().iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn robert_of_any_flat_image_is_zero(level in 0u8..=255) {
+        let img = Image::from_u8(6, 6, &[level; 36]);
+        let out = robert::robert(&img, &mut ExactArith::new());
+        prop_assert!(out.samples().iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn sharpen_preserves_any_flat_image(level in 0u8..=255) {
+        let img = Image::from_u8(6, 6, &[level; 36]);
+        let out = sharpen::sharpen(&img, &mut ExactArith::new());
+        prop_assert_eq!(out.to_u8(), vec![level; 36]);
+    }
+
+    #[test]
+    fn exact_apim_backend_is_transparent(seed: u64) {
+        let img = synthetic_image(10, 10, seed);
+        prop_assert_eq!(
+            sobel::sobel(&img, &mut ExactArith::new()),
+            sobel::sobel(&img, &mut ApimArith::new(PrecisionMode::Exact))
+        );
+    }
+
+    #[test]
+    fn fft_parseval_holds_for_random_signals(seed in 0u64..500) {
+        let signal: Vec<i32> = (0..64)
+            .map(|i| {
+                let x = seed.wrapping_mul(6364136223846793005).wrapping_add(i * 104729);
+                ((x % 200) as i32 - 100) << 8
+            })
+            .collect();
+        let spec = fft::fft_real(&signal, &mut ExactArith::new());
+        let time_e: f64 = signal.iter().map(|&s| f64::from(s).powi(2)).sum();
+        let freq_e: f64 = spec
+            .iter()
+            .map(|c| f64::from(c.re).powi(2) + f64::from(c.im).powi(2))
+            .sum::<f64>()
+            / 64.0;
+        if time_e > 1e6 {
+            let ratio = freq_e / time_e;
+            prop_assert!((0.85..1.15).contains(&ratio), "Parseval ratio {}", ratio);
+        }
+    }
+
+    #[test]
+    fn dwt_single_level_preserves_energy(seed in 0u64..500) {
+        let signal: Vec<i32> = (0..64)
+            .map(|i| {
+                let x = seed.wrapping_mul(2862933555777941757).wrapping_add(i * 9973);
+                ((x % 512) as i32 - 256) << 8
+            })
+            .collect();
+        let (a, d) = dwt::haar_level(&signal, &mut ExactArith::new());
+        let e_in: f64 = signal.iter().map(|&s| f64::from(s).powi(2)).sum();
+        let e_out: f64 = a.iter().chain(&d).map(|&s| f64::from(s).powi(2)).sum();
+        if e_in > 1e6 {
+            let ratio = e_out / e_in;
+            prop_assert!((0.95..1.05).contains(&ratio), "orthonormality {}", ratio);
+        }
+    }
+
+    #[test]
+    fn quasirandom_points_in_shifted_unit_square(n in 1usize..200) {
+        let run = quasirandom::quasi_random(n, &mut ExactArith::new());
+        let one = quasirandom::QR_ONE;
+        for &(x, y) in &run.points {
+            prop_assert!((one..2 * one).contains(&x));
+            prop_assert!((one..2 * one).contains(&y));
+        }
+        prop_assert_eq!(run.products.len(), n);
+    }
+
+    #[test]
+    fn relaxed_kernel_error_shrinks_with_fewer_relax_bits(seed: u64) {
+        let img = synthetic_image(8, 8, seed);
+        let golden = sharpen::sharpen(&img, &mut ExactArith::new());
+        let heavy = sharpen::sharpen(
+            &img,
+            &mut ApimArith::new(PrecisionMode::LastStage { relax_bits: 32 }),
+        );
+        let light = sharpen::sharpen(
+            &img,
+            &mut ApimArith::new(PrecisionMode::LastStage { relax_bits: 8 }),
+        );
+        let g: Vec<i64> = golden.samples().iter().map(|&s| i64::from(s)).collect();
+        let h: Vec<i64> = heavy.samples().iter().map(|&s| i64::from(s)).collect();
+        let l: Vec<i64> = light.samples().iter().map(|&s| i64::from(s)).collect();
+        prop_assert!(relative_rms_error(&g, &l) <= relative_rms_error(&g, &h) + 1e-12);
+    }
+
+    #[test]
+    fn psnr_identity_and_symmetry(pixels in proptest::collection::vec(0u8..=255, 16)) {
+        prop_assert!(psnr_u8(&pixels, &pixels).is_infinite());
+        let other: Vec<u8> = pixels.iter().map(|&p| p.wrapping_add(1)).collect();
+        let a = psnr_u8(&pixels, &other);
+        let b = psnr_u8(&other, &pixels);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mul_fx_matches_float_reference(a in -1000i32..1000, b in -1000i32..1000) {
+        let mut arith = ExactArith::new();
+        let got = arith.mul_fx(a * FX_ONE / 100, b * FX_ONE / 100);
+        let expect = (f64::from(a) / 100.0) * (f64::from(b) / 100.0);
+        let got_f = f64::from(got) / f64::from(FX_ONE);
+        prop_assert!((got_f - expect).abs() < 0.01, "{} vs {}", got_f, expect);
+    }
+
+    #[test]
+    fn images_round_trip_all_pixel_values(pixels in proptest::collection::vec(0u8..=255, 25)) {
+        let img = Image::from_u8(5, 5, &pixels);
+        prop_assert_eq!(img.to_u8(), pixels);
+        let _ = FX_SHIFT; // scale constant participates in the round trip
+    }
+}

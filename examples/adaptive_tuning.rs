@@ -1,0 +1,45 @@
+//! The §4.1 adaptive QoS loop, end to end: start every application at the
+//! maximum approximation (32 relax bits) and step accuracy up 4 bits at a
+//! time until its quality criterion holds.
+//!
+//! ```text
+//! cargo run --example adaptive_tuning --release
+//! ```
+
+use apim::prelude::*;
+use apim::ApimError;
+use apim_workloads::{run_app, RunConfig};
+
+fn main() -> Result<(), ApimError> {
+    let apim = Apim::new(ApimConfig::default())?;
+
+    println!("adaptive precision tuning (QoS: 30 dB PSNR / <10% relative error)\n");
+    for app in App::all() {
+        // Show the trajectory the controller walks.
+        print!("{:<10} trajectory:", app.name());
+        let outcome = AdaptiveController::paper().tune(|mode| {
+            let quality = run_app(
+                app,
+                &RunConfig {
+                    mode,
+                    ..RunConfig::default()
+                },
+            )
+            .quality;
+            print!(
+                " {}b({})",
+                mode.relaxed_product_bits(),
+                if quality.acceptable { "ok" } else { "x" }
+            );
+            quality.acceptable
+        });
+        let run = apim.run_with_mode(app, 1 << 30, outcome.mode)?;
+        println!(
+            "\n{:<10} settled on {:<26} -> {} at 1 GB\n",
+            "",
+            outcome.mode.to_string(),
+            run.comparison
+        );
+    }
+    Ok(())
+}

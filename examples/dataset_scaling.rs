@@ -1,0 +1,40 @@
+//! The data-movement argument of §4.2: sweep dataset sizes and watch the
+//! GPU lose to in-memory computation once the working set outgrows its
+//! caches.
+//!
+//! ```text
+//! cargo run --example dataset_scaling --release
+//! ```
+
+use apim::prelude::*;
+use apim::ApimError;
+
+fn main() -> Result<(), ApimError> {
+    let apim = Apim::new(ApimConfig::default())?;
+
+    println!("FFT, exact mode: APIM vs GPU across dataset sizes\n");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "size", "APIM time", "GPU time", "APIM energy", "GPU energy", "speedup", "energy x"
+    );
+    for mb in [1u64, 8, 32, 64, 128, 192, 256, 384, 512, 768, 1024] {
+        let run = apim.run_with_mode(App::Fft, mb << 20, PrecisionMode::Exact)?;
+        println!(
+            "{:>7}M {:>12} {:>12} {:>12} {:>12} {:>8.2}x {:>8.1}x",
+            mb,
+            run.apim.time.to_string(),
+            run.gpu.time.to_string(),
+            run.apim.energy.to_string(),
+            run.gpu.energy.to_string(),
+            run.comparison.speedup,
+            run.comparison.energy_improvement
+        );
+    }
+
+    println!(
+        "\nBelow the GPU's effective reuse capacity the workload is compute-bound and\n\
+         the GPU wins; past it, every byte pays the DRAM round-trip and APIM's\n\
+         in-place execution takes over — the crossover sits near 200 MB, as in §4.2."
+    );
+    Ok(())
+}

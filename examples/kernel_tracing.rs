@@ -1,0 +1,67 @@
+//! Exact kernel costing via operation tracing: record every controller
+//! operation a kernel actually issues (with its real multiplier density)
+//! and cost the trace — no per-byte estimates involved.
+//!
+//! ```text
+//! cargo run --example kernel_tracing --release
+//! ```
+
+use apim::prelude::*;
+use apim::tracing::TracingArith;
+use apim::ApimError;
+use apim_workloads::image::synthetic_image;
+use apim_workloads::robert::robert;
+use apim_workloads::sobel::{sobel, sobel_l2};
+use apim_workloads::Arith as _;
+
+fn main() -> Result<(), ApimError> {
+    let apim = Apim::new(ApimConfig::default())?;
+    let frame = synthetic_image(48, 48, 11);
+
+    println!("trace-exact kernel costs on a 48x48 frame (per-op recording)\n");
+    println!(
+        "{:>16} {:>10} {:>8} {:>8} {:>12} {:>12} {:>10}",
+        "kernel", "mode", "muls", "adds", "energy", "latency", "avg power"
+    );
+
+    for m in [0u8, 16, 32] {
+        let mode = if m == 0 {
+            PrecisionMode::Exact
+        } else {
+            PrecisionMode::LastStage { relax_bits: m }
+        };
+        for (name, which) in [("sobel-L1", 0), ("sobel-L2", 1), ("robert", 2)] {
+            let mut arith = TracingArith::new(mode);
+            match which {
+                0 => {
+                    sobel(&frame, &mut arith);
+                }
+                1 => {
+                    sobel_l2(&frame, &mut arith);
+                }
+                _ => {
+                    robert(&frame, &mut arith);
+                }
+            }
+            let counts = arith.counts();
+            let cost = apim.executor().run_trace(arith.trace());
+            println!(
+                "{:>16} {:>10} {:>8} {:>8} {:>12} {:>12} {:>8.2} W",
+                name,
+                format!("m={m}"),
+                counts.muls,
+                counts.adds,
+                cost.energy.to_string(),
+                cost.time.to_string(),
+                cost.average_power_watts()
+            );
+        }
+    }
+
+    println!(
+        "\nThe L2-magnitude Sobel pays ~3x the multiplications of the L1 variant for\n\
+         its Newton-Raphson square root (the paper's 'sqrt approximated by add and\n\
+         multiply'), and relaxing the final stage cuts every kernel's cost."
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Quickstart: multiply numbers inside memory, exactly and approximately,
+//! then run a whole application against the GPU baseline.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use apim::prelude::*;
+use apim::ApimError;
+
+fn main() -> Result<(), ApimError> {
+    // An APIM device in the paper's default configuration (32-bit in-memory
+    // arithmetic, 2048 concurrently active processing-block pairs).
+    let apim = Apim::new(ApimConfig::default())?;
+
+    // --- One multiplication, three precision levels -------------------
+    let (a, b) = (1_000_003u64, 2_000_029u64);
+    println!("in-memory multiplication of {a} x {b}:");
+    for mode in [
+        PrecisionMode::Exact,
+        PrecisionMode::LastStage { relax_bits: 16 },
+        PrecisionMode::LastStage { relax_bits: 32 },
+    ] {
+        let report = apim.multiply(a, b, mode);
+        let exact = a as u128 * b as u128;
+        let rel_err = report.product.abs_diff(exact) as f64 / exact as f64;
+        println!(
+            "  {:<28} product {:>20}  ({:>9} cycles, {}, rel err {:.2e})",
+            mode.to_string(),
+            report.product,
+            report.cost.cycles.get(),
+            report.cost.energy,
+            rel_err
+        );
+    }
+
+    // --- A whole application over a resident 512 MB dataset -----------
+    let run = apim.run_with_mode(
+        App::Sobel,
+        512 << 20,
+        PrecisionMode::LastStage { relax_bits: 8 },
+    )?;
+    println!("\nSobel over 512 MB (8 relax bits):");
+    println!("  APIM: {}", run.apim);
+    println!("  GPU : {} | {}", run.gpu.time, run.gpu.energy);
+    println!("  {}", run.comparison);
+    println!(
+        "  quality: PSNR {:.1} dB, QoL {:.2}% -> {}",
+        run.quality.psnr_db.unwrap_or(f64::INFINITY),
+        run.quality.qol_percent,
+        if run.quality.acceptable {
+            "acceptable"
+        } else {
+            "rejected"
+        }
+    );
+    Ok(())
+}

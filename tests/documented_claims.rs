@@ -1,0 +1,82 @@
+//! Regression guards for the numbers documented in `EXPERIMENTS.md` and
+//! the README results table — if a model change moves them materially,
+//! these tests fail and the documents must be re-measured.
+
+use apim::campaign::Campaign;
+use apim::{App, PrecisionMode};
+
+/// The documented Table 1 exact-mode EDP improvements at 1 GB.
+const DOCUMENTED_EDP_EXACT: [(App, f64); 6] = [
+    (App::Sobel, 129.0),
+    (App::Robert, 177.0),
+    (App::Fft, 200.0),
+    (App::DwtHaar1d, 88.0),
+    (App::Sharpen, 107.0),
+    (App::QuasiRandom, 68.0),
+];
+
+#[test]
+fn table1_exact_column_matches_experiments_md() {
+    let results = Campaign::new().run().unwrap();
+    for (app, documented) in DOCUMENTED_EDP_EXACT {
+        let row = results
+            .rows()
+            .iter()
+            .find(|r| r.app == app)
+            .expect("app in campaign");
+        let measured = row.comparison.edp_improvement;
+        let rel = (measured - documented).abs() / documented;
+        assert!(
+            rel < 0.15,
+            "{app}: measured {measured:.0}x drifted from documented {documented:.0}x"
+        );
+    }
+}
+
+#[test]
+fn headline_sobel_point_matches_readme() {
+    // README: "26.9× energy, 4.81× speedup (Sobel)" at 1 GB.
+    let results = Campaign::new().apps([App::Sobel]).run().unwrap();
+    let run = &results.rows()[0];
+    assert!(
+        (run.comparison.energy_improvement - 26.9).abs() < 4.0,
+        "energy {:.1}",
+        run.comparison.energy_improvement
+    );
+    assert!(
+        (run.comparison.speedup - 4.81).abs() < 0.7,
+        "speedup {:.2}",
+        run.comparison.speedup
+    );
+}
+
+#[test]
+fn documented_32bit_column_band_holds() {
+    // EXPERIMENTS.md: 32-bit column spans ~240–810×.
+    let results = Campaign::new()
+        .modes([PrecisionMode::LastStage { relax_bits: 32 }])
+        .run()
+        .unwrap();
+    let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+    for r in results.rows() {
+        lo = lo.min(r.comparison.edp_improvement);
+        hi = hi.max(r.comparison.edp_improvement);
+    }
+    assert!((200.0..320.0).contains(&lo), "min {lo:.0}");
+    assert!((650.0..950.0).contains(&hi), "max {hi:.0}");
+}
+
+#[test]
+fn adaptive_outcomes_match_experiments_md() {
+    // EXPERIMENTS.md: apps settle at 24–28 relax bits in 2–3 trials.
+    let apim = apim::Apim::default();
+    for app in App::all() {
+        let outcome = apim.tune(app);
+        let m = outcome.mode.relaxed_product_bits();
+        assert!(
+            (20..=32).contains(&m),
+            "{app}: settled at {m} bits (documented 24–28)"
+        );
+        assert!(outcome.trials <= 4, "{app}: {} trials", outcome.trials);
+    }
+}

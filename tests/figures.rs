@@ -1,0 +1,59 @@
+//! Smoke tests of the figure/table regeneration harness — every exhibit of
+//! the paper must generate and carry its headline claim.
+//!
+//! (The harness's own unit tests check the claims in detail; these
+//! integration tests pin the cross-crate wiring.)
+
+use apim_bench::{fig4, fig5, fig6, headline, table1};
+
+#[test]
+fn figure4_generates_with_the_accuracy_gap() {
+    let data = fig4::generate();
+    assert_eq!(data.first_stage.len(), 17);
+    assert_eq!(data.last_stage.len(), 17);
+    assert!(fig4::accuracy_advantage(&data) > 1e3);
+    assert!(fig4::render(&data).contains("Figure 4"));
+}
+
+#[test]
+fn figure5_generates_with_the_crossover() {
+    let series = fig5::generate();
+    assert_eq!(series.len(), 4);
+    for s in &series {
+        assert_eq!(s.points.len(), 6);
+        assert!(s.points[5].speedup > s.points[0].speedup);
+    }
+    assert!(fig5::render(&series).contains("Figure 5"));
+}
+
+#[test]
+fn figure6_generates_with_apim_ahead() {
+    let rows = fig6::generate();
+    assert_eq!(rows.len(), 8);
+    for r in &rows {
+        assert!(r.apim_exact_cycles <= r.pc_adder_cycles);
+        assert!(r.apim_exact_cycles < r.magic_cycles);
+    }
+    assert!(fig6::render(&rows).contains("Figure 6"));
+}
+
+#[test]
+fn table1_generates_six_by_six() {
+    let rows = table1::generate();
+    assert_eq!(rows.len(), 6);
+    for row in &rows {
+        assert_eq!(row.cells.len(), 6);
+        assert!(row.cells[5].edp_improvement > row.cells[0].edp_improvement);
+    }
+    assert!(table1::render(&rows).contains("Table 1"));
+}
+
+#[test]
+fn headline_generates_within_paper_bands() {
+    let h = headline::generate();
+    assert!(h.exact_energy_improvement > 18.0);
+    assert!(h.exact_speedup > 3.5);
+    assert!(h.approx_edp_improvement > h.exact_speedup * h.exact_energy_improvement);
+    assert_eq!(h.adaptive.len(), 6);
+    assert!(headline::render(&h).contains("adaptive"));
+}

@@ -1,0 +1,62 @@
+//! Workspace-level property tests through the public facade.
+
+use apim::prelude::*;
+use apim::App;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn facade_multiply_exact_equals_native(a: u32, b: u32) {
+        let apim = Apim::default();
+        let report = apim.multiply(u64::from(a), u64::from(b), PrecisionMode::Exact);
+        prop_assert_eq!(report.product, u128::from(a) * u128::from(b));
+    }
+
+    #[test]
+    fn facade_multiply_relaxed_bounds_error(a in 1u32.., b in 1u32.., m in 0u8..=32) {
+        let apim = Apim::default();
+        let report = apim.multiply(
+            u64::from(a),
+            u64::from(b),
+            PrecisionMode::LastStage { relax_bits: m },
+        );
+        let exact = u128::from(a) * u128::from(b);
+        prop_assert!(report.product.abs_diff(exact) < 1u128 << m || report.product == exact);
+    }
+
+    #[test]
+    fn deeper_relaxation_never_costs_more(m1 in 0u8..32, delta in 1u8..=8) {
+        let m2 = m1.saturating_add(delta).min(64);
+        let apim = Apim::default();
+        let c1 = apim.multiply(0xDEAD_BEEF, 0x1234_5677, PrecisionMode::LastStage { relax_bits: m1 });
+        let c2 = apim.multiply(0xDEAD_BEEF, 0x1234_5677, PrecisionMode::LastStage { relax_bits: m2 });
+        prop_assert!(c2.cost.cycles <= c1.cost.cycles);
+        prop_assert!(c2.cost.energy.as_joules() <= c1.cost.energy.as_joules());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn app_costs_scale_linearly_with_dataset(seed in 0u64..1000) {
+        let apim = Apim::default();
+        let app = App::all()[(seed % 6) as usize];
+        let small = apim.run_with_mode(app, 64 << 20, PrecisionMode::Exact).unwrap();
+        let large = apim.run_with_mode(app, 512 << 20, PrecisionMode::Exact).unwrap();
+        let ratio = large.apim.time / small.apim.time;
+        prop_assert!((ratio - 8.0).abs() < 0.5, "time ratio {}", ratio);
+    }
+
+    #[test]
+    fn comparisons_are_internally_consistent(mb in 32u64..=1024, app_idx in 0usize..6) {
+        let apim = Apim::default();
+        let app = App::all()[app_idx];
+        let run = apim.run_with_mode(app, mb << 20, PrecisionMode::Exact).unwrap();
+        let c = &run.comparison;
+        let recomputed = run.gpu.time / run.apim.time;
+        prop_assert!((c.speedup - recomputed).abs() < 1e-9 * recomputed.abs());
+        let edp = c.speedup * c.energy_improvement;
+        prop_assert!((c.edp_improvement - edp).abs() < 1e-6 * edp);
+    }
+}
