@@ -18,6 +18,15 @@ pub enum ArchError {
         /// Configured capacity.
         capacity_bytes: u64,
     },
+    /// The static microprogram verifier found hazards in the device's
+    /// kernels (only raised when
+    /// [`ApimConfig::verify_microprograms`] is enabled).
+    VerificationFailed {
+        /// Number of error-severity findings.
+        errors: usize,
+        /// Rendered findings, one per line.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ArchError {
@@ -30,6 +39,10 @@ impl fmt::Display for ArchError {
             } => write!(
                 f,
                 "dataset of {dataset_bytes} bytes exceeds APIM capacity of {capacity_bytes} bytes"
+            ),
+            ArchError::VerificationFailed { errors, detail } => write!(
+                f,
+                "microprogram verification failed with {errors} error(s):\n{detail}"
             ),
         }
     }
@@ -67,6 +80,10 @@ pub struct ApimConfig {
     pub operand_bits: u32,
     /// Multiplication precision mode.
     pub mode: PrecisionMode,
+    /// When `true`, [`crate::Executor::new`] statically verifies the
+    /// gate-level microprograms (via `apim-verify`) at the configured
+    /// operand width before accepting the device.
+    pub verify_microprograms: bool,
 }
 
 impl ApimConfig {
@@ -113,6 +130,7 @@ impl Default for ApimConfig {
             parallel_units: 2048,
             operand_bits: 32,
             mode: PrecisionMode::Exact,
+            verify_microprograms: false,
         }
     }
 }
@@ -158,6 +176,13 @@ impl ApimConfigBuilder {
     /// Sets the precision mode.
     pub fn mode(mut self, mode: PrecisionMode) -> Self {
         self.config.mode = mode;
+        self
+    }
+
+    /// Enables or disables static microprogram verification at executor
+    /// construction.
+    pub fn verify_microprograms(mut self, verify: bool) -> Self {
+        self.config.verify_microprograms = verify;
         self
     }
 

@@ -27,15 +27,37 @@ impl Executor {
     /// # Errors
     ///
     /// Returns [`ArchError::InvalidConfig`] if the configuration is
-    /// invalid.
+    /// invalid, and [`ArchError::VerificationFailed`] if
+    /// [`ApimConfig::verify_microprograms`] is set and the static hazard
+    /// analysis finds errors in the gate-level kernels at the configured
+    /// operand width.
     pub fn new(config: ApimConfig) -> Result<Self, ArchError> {
         config.validate()?;
+        if config.verify_microprograms {
+            Self::verify_microprograms(config.operand_bits)?;
+        }
         let cost = CostModel::new(&config.params);
         let memmap = MemoryMap::new(config.capacity_bytes, TileGeometry::paper())?;
         Ok(Executor {
             config,
             cost,
             memmap,
+        })
+    }
+
+    /// Runs the static microprogram verifier over every shipped kernel at
+    /// `operand_bits`, mapping error-severity findings into
+    /// [`ArchError::VerificationFailed`].
+    fn verify_microprograms(operand_bits: u32) -> Result<(), ArchError> {
+        let runs = apim_verify::verify_all(&[operand_bits])
+            .map_err(|e| ArchError::InvalidConfig(e.to_string()))?;
+        let errors: usize = runs.iter().map(|r| r.report.error_count()).sum();
+        if errors == 0 {
+            return Ok(());
+        }
+        Err(ArchError::VerificationFailed {
+            errors,
+            detail: apim_verify::render(&runs),
         })
     }
 
@@ -238,6 +260,17 @@ mod tests {
         assert!((t_ratio - 8.0).abs() < 0.2, "time ratio {t_ratio}");
         let e_ratio = large.energy / small.energy;
         assert!((e_ratio - 8.0).abs() < 0.2, "energy ratio {e_ratio}");
+    }
+
+    #[test]
+    fn verification_mode_accepts_the_shipped_kernels() {
+        let e = Executor::new(ApimConfig {
+            verify_microprograms: true,
+            operand_bits: 8,
+            ..ApimConfig::default()
+        })
+        .unwrap();
+        assert!(e.config().verify_microprograms);
     }
 
     #[test]

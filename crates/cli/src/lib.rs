@@ -59,6 +59,11 @@ pub enum Command {
         /// Number of random multiplications to verify.
         samples: u32,
     },
+    /// Static hazard analysis of the gate-level microprograms.
+    Verify {
+        /// Kernel to lint; `None` sweeps them all.
+        kernel: Option<apim_verify::Kernel>,
+    },
     /// Print usage.
     Help,
 }
@@ -86,6 +91,7 @@ USAGE:
   apim-cli sweep <app>
   apim-cli repro <fig4|fig5|fig5sim|fig6|table1|headline|ablation|all>
   apim-cli selftest [samples]
+  apim-cli verify [--all | gates|adder|csa|wallace|multiplier|mac]
   apim-cli help
 
 APPS: sobel | robert | fft | dwt | sharpen | quasir";
@@ -174,6 +180,19 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     samples: parse_u64(n, "sample count")?.min(10_000) as u32,
                 }),
                 _ => Err(ParseError("selftest takes at most a sample count".into())),
+            },
+            "verify" => match rest {
+                [] => Ok(Command::Verify { kernel: None }),
+                [flag] if flag == "--all" => Ok(Command::Verify { kernel: None }),
+                [name] => match apim_verify::Kernel::from_name(name) {
+                    Some(kernel) => Ok(Command::Verify {
+                        kernel: Some(kernel),
+                    }),
+                    None => Err(ParseError(format!(
+                        "unknown kernel `{name}` (expected gates|adder|csa|wallace|multiplier|mac)"
+                    ))),
+                },
+                _ => Err(ParseError("verify takes at most one kernel".into())),
             },
             "repro" => match rest {
                 [exhibit] => Ok(Command::Repro {
@@ -275,6 +294,24 @@ pub fn execute(command: &Command) -> Result<String, apim::ApimError> {
                 "verdict: {}",
                 if report.passed() { "PASS" } else { "FAIL" }
             );
+        }
+        Command::Verify { kernel } => {
+            let runs = match kernel {
+                Some(kernel) => apim_verify::DEFAULT_WIDTHS
+                    .iter()
+                    .map(|&w| apim_verify::verify_kernel(*kernel, w))
+                    .collect::<Result<Vec<_>, _>>()?,
+                None => apim_verify::verify_all(&apim_verify::DEFAULT_WIDTHS)?,
+            };
+            let errors: usize = runs.iter().map(|r| r.report.error_count()).sum();
+            if errors > 0 {
+                return Err(apim::ArchError::VerificationFailed {
+                    errors,
+                    detail: apim_verify::render(&runs),
+                }
+                .into());
+            }
+            let _ = write!(out, "{}", apim_verify::render(&runs));
         }
         Command::Repro { exhibit } => {
             use apim_bench as b;
@@ -452,6 +489,32 @@ mod tests {
         assert!(parse(&args("selftest four")).is_err());
         let out = execute(&Command::SelfTest { samples: 4 }).unwrap();
         assert!(out.contains("PASS"), "{out}");
+    }
+
+    #[test]
+    fn verify_parses_and_sweeps_clean() {
+        assert_eq!(
+            parse(&args("verify")).unwrap(),
+            Command::Verify { kernel: None }
+        );
+        assert_eq!(
+            parse(&args("verify --all")).unwrap(),
+            Command::Verify { kernel: None }
+        );
+        assert_eq!(
+            parse(&args("verify adder")).unwrap(),
+            Command::Verify {
+                kernel: Some(apim_verify::Kernel::SerialAdder)
+            }
+        );
+        assert!(parse(&args("verify nosuchkernel")).is_err());
+        assert!(parse(&args("verify adder csa")).is_err());
+        let out = execute(&Command::Verify {
+            kernel: Some(apim_verify::Kernel::CsaGroup),
+        })
+        .unwrap();
+        assert!(out.contains("clean"), "{out}");
+        assert_eq!(out.matches("csa").count(), 3, "one row per width: {out}");
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::array::CrossbarArray;
 use crate::cell::Fault;
 use crate::error::CrossbarError;
 use crate::stats::Stats;
+use crate::trace::{OpTrace, TraceOp};
 use crate::Result;
 
 use std::ops::Range;
@@ -108,6 +109,7 @@ pub struct BlockedCrossbar {
     strict_init: bool,
     rows: usize,
     cols: usize,
+    recorder: Option<Vec<TraceOp>>,
 }
 
 impl BlockedCrossbar {
@@ -148,7 +150,45 @@ impl BlockedCrossbar {
             strict_init: config.strict_init,
             rows: config.rows,
             cols: config.cols,
+            recorder: None,
         })
+    }
+
+    // ---------------------------------------------------------------
+    // Operation recording (consumed by the `apim-verify` static passes)
+    // ---------------------------------------------------------------
+
+    /// Starts recording every primitive into an operation trace,
+    /// discarding any previous recording.
+    ///
+    /// Primitives are recorded as *requests*, before validation — an
+    /// operation the runtime rejects still lands in the trace, so static
+    /// passes can diagnose the hazard that caused the rejection.
+    pub fn start_recording(&mut self) {
+        self.recorder = Some(Vec::new());
+    }
+
+    /// Whether a recording is in progress.
+    pub fn is_recording(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Stops recording and returns the captured microprogram. Returns an
+    /// empty trace if recording was never started.
+    pub fn stop_recording(&mut self) -> OpTrace {
+        OpTrace {
+            blocks: self.blocks.len(),
+            rows: self.rows,
+            cols: self.cols,
+            ops: self.recorder.take().unwrap_or_default(),
+        }
+    }
+
+    /// Appends to the trace when recording; `op` is only built if armed.
+    fn record(&mut self, op: impl FnOnce() -> TraceOp) {
+        if let Some(trace) = &mut self.recorder {
+            trace.push(op());
+        }
     }
 
     /// Handle to block `index`.
@@ -216,6 +256,9 @@ impl BlockedCrossbar {
     /// express (e.g. the non-hideable output initialization of a carry-save
     /// stage).
     pub fn advance_cycles(&mut self, cycles: Cycles) {
+        self.record(|| TraceOp::AdvanceCycles {
+            cycles: cycles.get(),
+        });
         self.stats.cycles += cycles;
     }
 
@@ -229,6 +272,9 @@ impl BlockedCrossbar {
     /// every write, read and joule accounted — and then rewind the
     /// serialization overhead. Saturates at zero.
     pub fn rewind_cycles(&mut self, cycles: Cycles) {
+        self.record(|| TraceOp::RewindCycles {
+            cycles: cycles.get(),
+        });
         self.stats.cycles = self.stats.cycles.saturating_sub(cycles);
     }
 
@@ -254,6 +300,11 @@ impl BlockedCrossbar {
     ///
     /// Returns [`CrossbarError::OutOfBounds`] for invalid coordinates.
     pub fn preload_bit(&mut self, block: BlockId, row: usize, col: usize, bit: bool) -> Result<()> {
+        self.record(|| TraceOp::PreloadBit {
+            block: block.0,
+            row,
+            col,
+        });
         self.blocks[block.0].set(row, col, bit)?;
         self.stats.cell_writes += 1;
         self.stats.energy += self.energy.write_op(1);
@@ -273,6 +324,12 @@ impl BlockedCrossbar {
         col0: usize,
         bits: &[bool],
     ) -> Result<()> {
+        self.record(|| TraceOp::PreloadWord {
+            block: block.0,
+            row,
+            col0,
+            len: bits.len(),
+        });
         for (i, &bit) in bits.iter().enumerate() {
             self.blocks[block.0].set(row, col0 + i, bit)?;
         }
@@ -322,6 +379,11 @@ impl BlockedCrossbar {
     ///
     /// Returns [`CrossbarError::OutOfBounds`] for invalid coordinates.
     pub fn read_bit(&mut self, block: BlockId, row: usize, col: usize) -> Result<bool> {
+        self.record(|| TraceOp::ReadBit {
+            block: block.0,
+            row,
+            col,
+        });
         let bit = self.blocks[block.0].get(row, col)?;
         self.stats.reads += 1;
         self.stats.energy += self.energy.read_op(1);
@@ -341,6 +403,10 @@ impl BlockedCrossbar {
     ///
     /// Returns [`CrossbarError::OutOfBounds`] for invalid coordinates.
     pub fn maj_read(&mut self, block: BlockId, cells: [(usize, usize); 3]) -> Result<bool> {
+        self.record(|| TraceOp::MajRead {
+            block: block.0,
+            cells,
+        });
         let a = self.blocks[block.0].get(cells[0].0, cells[0].1)?;
         let b = self.blocks[block.0].get(cells[1].0, cells[1].1)?;
         let c = self.blocks[block.0].get(cells[2].0, cells[2].1)?;
@@ -364,6 +430,11 @@ impl BlockedCrossbar {
         col: usize,
         bit: bool,
     ) -> Result<()> {
+        self.record(|| TraceOp::WriteBackBit {
+            block: block.0,
+            row,
+            col,
+        });
         self.blocks[block.0].set(row, col, bit)?;
         self.stats.cell_writes += 1;
         self.stats.cycles += Cycles::new(1);
@@ -387,6 +458,11 @@ impl BlockedCrossbar {
     ///
     /// Returns [`CrossbarError::OutOfBounds`] for invalid coordinates.
     pub fn init_rows(&mut self, block: BlockId, rows: &[usize], cols: Range<usize>) -> Result<()> {
+        self.record(|| TraceOp::InitRows {
+            block: block.0,
+            rows: rows.to_vec(),
+            cols: cols.clone(),
+        });
         self.check_range(&cols)?;
         for &row in rows {
             for col in cols.clone() {
@@ -407,6 +483,10 @@ impl BlockedCrossbar {
     ///
     /// Returns [`CrossbarError::OutOfBounds`] for invalid coordinates.
     pub fn init_cells(&mut self, block: BlockId, cells: &[(usize, usize)]) -> Result<()> {
+        self.record(|| TraceOp::InitCells {
+            block: block.0,
+            cells: cells.to_vec(),
+        });
         for &(row, col) in cells {
             self.blocks[block.0].set(row, col, true)?;
         }
@@ -441,6 +521,7 @@ impl BlockedCrossbar {
         cols: Range<usize>,
         shift: isize,
     ) -> Result<()> {
+        self.record(|| TraceOp::nor_rows(inputs, out, cols.clone(), shift));
         self.check_range(&cols)?;
         let in_block = match inputs {
             [] => {
@@ -518,6 +599,12 @@ impl BlockedCrossbar {
         out_col: usize,
         rows: Range<usize>,
     ) -> Result<()> {
+        self.record(|| TraceOp::NorCols {
+            block: block.0,
+            input_cols: input_cols.to_vec(),
+            out_col,
+            rows: rows.clone(),
+        });
         if input_cols.is_empty() {
             return Err(CrossbarError::InvalidConfig(
                 "NOR needs at least one input column".into(),
@@ -560,6 +647,11 @@ impl BlockedCrossbar {
     ///
     /// Returns [`CrossbarError::OutOfBounds`] for invalid coordinates.
     pub fn init_cols(&mut self, block: BlockId, cols: &[usize], rows: Range<usize>) -> Result<()> {
+        self.record(|| TraceOp::InitCols {
+            block: block.0,
+            cols: cols.to_vec(),
+            rows: rows.clone(),
+        });
         if rows.end > self.rows || rows.start >= rows.end {
             return Err(CrossbarError::OutOfBounds {
                 what: "row range",
@@ -592,6 +684,11 @@ impl BlockedCrossbar {
         inputs: &[(usize, usize)],
         out: (usize, usize),
     ) -> Result<()> {
+        self.record(|| TraceOp::NorCells {
+            block: block.0,
+            inputs: inputs.to_vec(),
+            out,
+        });
         if inputs.is_empty() {
             return Err(CrossbarError::InvalidConfig(
                 "NOR needs at least one input cell".into(),
@@ -1030,5 +1127,52 @@ mod tests {
         let b = x.block(0).unwrap();
         assert!(x.nor_rows_shifted(&[], RowRef::new(b, 0), 0..4, 0).is_err());
         assert!(x.nor_cells(b, &[], (0, 0)).is_err());
+    }
+
+    #[test]
+    fn recording_round_trips_the_microprogram() {
+        use crate::trace::TraceOp;
+        let mut x = xbar();
+        let a = x.block(0).unwrap();
+        let b = x.block(1).unwrap();
+        assert!(!x.is_recording());
+        x.preload_bit(a, 0, 0, true).unwrap(); // before arming: not recorded
+        x.start_recording();
+        assert!(x.is_recording());
+        let before = x.stats().cycles;
+        x.preload_word(a, 1, 0, &[true, false]).unwrap();
+        // Shift 1: the output window is cols 1..3, so initialize that.
+        x.init_rows(b, &[0], 1..3).unwrap();
+        x.nor_rows_shifted(&[RowRef::new(a, 1)], RowRef::new(b, 0), 0..2, 1)
+            .unwrap();
+        let trace = x.stop_recording();
+        assert!(!x.is_recording());
+        assert_eq!(
+            trace.ops,
+            vec![
+                TraceOp::PreloadWord {
+                    block: 0,
+                    row: 1,
+                    col0: 0,
+                    len: 2
+                },
+                TraceOp::InitRows {
+                    block: 1,
+                    rows: vec![0],
+                    cols: 1..3
+                },
+                TraceOp::NorRowsShifted {
+                    inputs: vec![(0, 1)],
+                    out: (1, 0),
+                    cols: 0..2,
+                    shift: 1
+                },
+            ]
+        );
+        assert_eq!((trace.blocks, trace.rows, trace.cols), (4, 64, 256));
+        assert_eq!(trace.cycles(), (x.stats().cycles - before).get());
+        // A fresh recording starts empty.
+        x.start_recording();
+        assert!(x.stop_recording().is_empty());
     }
 }

@@ -34,6 +34,26 @@ pub enum CrossbarError {
         /// The requested shift.
         shift: isize,
     },
+    /// A shift would move a column range partially or wholly outside the
+    /// array, silently changing its length if clamped.
+    IllegalShift {
+        /// The requested shift.
+        shift: isize,
+        /// Start of the unshifted column range.
+        start: usize,
+        /// End (exclusive) of the unshifted column range.
+        end: usize,
+    },
+    /// A scratch row was freed twice without an intervening allocation.
+    DoubleFree {
+        /// The offending row.
+        row: usize,
+    },
+    /// A scratch row that was never allocated was freed.
+    FreeUnallocated {
+        /// The offending row.
+        row: usize,
+    },
     /// The configuration was rejected.
     InvalidConfig(String),
     /// A MAGIC NOR targeted an output cell that was not initialized to the
@@ -62,6 +82,16 @@ impl fmt::Display for CrossbarError {
             }
             CrossbarError::ShiftWithinBlock { shift } => {
                 write!(f, "shift of {shift} requested within a single block")
+            }
+            CrossbarError::IllegalShift { shift, start, end } => write!(
+                f,
+                "shift of {shift} moves column range {start}..{end} outside the array"
+            ),
+            CrossbarError::DoubleFree { row } => {
+                write!(f, "scratch row {row} freed twice")
+            }
+            CrossbarError::FreeUnallocated { row } => {
+                write!(f, "scratch row {row} freed but was never allocated")
             }
             CrossbarError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             CrossbarError::UninitializedOutput { block, row, col } => write!(
@@ -108,6 +138,19 @@ mod tests {
         }
         .to_string()
         .contains("(0,1,2)"));
+        assert!(CrossbarError::IllegalShift {
+            shift: -2,
+            start: 0,
+            end: 4
+        }
+        .to_string()
+        .contains("0..4"));
+        assert!(CrossbarError::DoubleFree { row: 7 }
+            .to_string()
+            .contains("7"));
+        assert!(CrossbarError::FreeUnallocated { row: 9 }
+            .to_string()
+            .contains("never allocated"));
     }
 
     #[test]

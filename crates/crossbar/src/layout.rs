@@ -1,6 +1,7 @@
 //! Scratch-row allocation inside a processing block.
 
 use crate::error::CrossbarError;
+use crate::trace::AllocEvent;
 use crate::Result;
 
 /// A simple allocator for wordlines of a processing block.
@@ -8,6 +9,11 @@ use crate::Result;
 /// Gate-level routines in `apim-logic` need scratch rows for intermediate
 /// NOR results; this keeps their bookkeeping out of the arithmetic code.
 /// Rows are handed out lowest-first and can be returned for reuse.
+///
+/// Freeing is validated: returning a row twice or returning a row that was
+/// never handed out is rejected, because either would make
+/// [`available`](RowAllocator::available) overcount and eventually let
+/// [`alloc`](RowAllocator::alloc) give the same row to two callers.
 ///
 /// ```
 /// use apim_crossbar::RowAllocator;
@@ -17,8 +23,10 @@ use crate::Result;
 /// let a = alloc.alloc()?;
 /// let b = alloc.alloc()?;
 /// assert_ne!(a, b);
-/// alloc.free(a);
+/// alloc.free(a)?;
 /// assert_eq!(alloc.alloc()?, a); // freed rows are reused
+/// assert!(alloc.free(b).is_ok());
+/// assert!(alloc.free(b).is_err()); // double-free rejected
 /// # Ok(())
 /// # }
 /// ```
@@ -27,6 +35,7 @@ pub struct RowAllocator {
     rows: usize,
     free: Vec<usize>,
     next: usize,
+    trace: Option<Vec<AllocEvent>>,
 }
 
 impl RowAllocator {
@@ -36,6 +45,29 @@ impl RowAllocator {
             rows,
             free: Vec::new(),
             next: 0,
+            trace: None,
+        }
+    }
+
+    /// An allocator that records every alloc/free into an event log for the
+    /// `apim-verify` lifetime pass. Free *attempts* are recorded before
+    /// validation, so rejected double-frees are visible to the analysis.
+    pub fn with_tracing(rows: usize) -> Self {
+        RowAllocator {
+            trace: Some(Vec::new()),
+            ..RowAllocator::new(rows)
+        }
+    }
+
+    /// Drains and returns the recorded event log (empty when the allocator
+    /// was built without tracing).
+    pub fn take_events(&mut self) -> Vec<AllocEvent> {
+        self.trace.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    fn record(&mut self, event: AllocEvent) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(event);
         }
     }
 
@@ -47,6 +79,7 @@ impl RowAllocator {
     /// left — the caller's layout needs a bigger block.
     pub fn alloc(&mut self) -> Result<usize> {
         if let Some(row) = self.free.pop() {
+            self.record(AllocEvent::Alloc { row });
             return Ok(row);
         }
         if self.next >= self.rows {
@@ -58,6 +91,7 @@ impl RowAllocator {
         }
         let row = self.next;
         self.next += 1;
+        self.record(AllocEvent::Alloc { row });
         Ok(row)
     }
 
@@ -65,23 +99,62 @@ impl RowAllocator {
     ///
     /// # Errors
     ///
-    /// Returns [`CrossbarError::OutOfBounds`] if fewer than `n` rows remain;
-    /// already-claimed rows are *not* rolled back in that case.
+    /// Returns [`CrossbarError::OutOfBounds`] if fewer than `n` rows remain.
+    /// Rows claimed before the failure are rolled back, so a failed bulk
+    /// request leaves the allocator exactly as it found it.
     pub fn alloc_many(&mut self, n: usize) -> Result<Vec<usize>> {
-        (0..n).map(|_| self.alloc()).collect()
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.alloc() {
+                Ok(row) => rows.push(row),
+                Err(e) => {
+                    for row in rows.into_iter().rev() {
+                        self.free(row).expect("rolling back a row just claimed");
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(rows)
     }
 
     /// Returns a row for reuse.
-    pub fn free(&mut self, row: usize) {
-        debug_assert!(row < self.rows, "freeing row outside the block");
+    ///
+    /// # Errors
+    ///
+    /// * [`CrossbarError::OutOfBounds`] if `row` lies outside the block.
+    /// * [`CrossbarError::FreeUnallocated`] if `row` was never claimed.
+    /// * [`CrossbarError::DoubleFree`] if `row` is already on the free list.
+    pub fn free(&mut self, row: usize) -> Result<()> {
+        self.record(AllocEvent::Free { row });
+        if row >= self.rows {
+            return Err(CrossbarError::OutOfBounds {
+                what: "scratch row",
+                index: row,
+                limit: self.rows,
+            });
+        }
+        if row >= self.next {
+            return Err(CrossbarError::FreeUnallocated { row });
+        }
+        if self.free.contains(&row) {
+            return Err(CrossbarError::DoubleFree { row });
+        }
         self.free.push(row);
+        Ok(())
     }
 
     /// Returns several rows for reuse.
-    pub fn free_many(&mut self, rows: impl IntoIterator<Item = usize>) {
+    ///
+    /// # Errors
+    ///
+    /// Stops and reports the first row [`free`](RowAllocator::free) rejects;
+    /// rows before it are already returned.
+    pub fn free_many(&mut self, rows: impl IntoIterator<Item = usize>) -> Result<()> {
         for row in rows {
-            self.free(row);
+            self.free(row)?;
         }
+        Ok(())
     }
 
     /// Rows still available (free list + never-claimed).
@@ -116,7 +189,7 @@ mod tests {
         let mut a = RowAllocator::new(2);
         let r0 = a.alloc().unwrap();
         let r1 = a.alloc().unwrap();
-        a.free_many([r0, r1]);
+        a.free_many([r0, r1]).unwrap();
         assert_eq!(a.available(), 2);
         a.alloc().unwrap();
         a.alloc().unwrap();
@@ -129,7 +202,58 @@ mod tests {
         assert_eq!(a.available(), 3);
         let r = a.alloc().unwrap();
         assert_eq!(a.available(), 2);
-        a.free(r);
+        a.free(r).unwrap();
         assert_eq!(a.available(), 3);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut a = RowAllocator::new(4);
+        let r = a.alloc().unwrap();
+        a.free(r).unwrap();
+        assert_eq!(a.free(r), Err(CrossbarError::DoubleFree { row: r }));
+        assert_eq!(a.available(), 4, "rejected free must not overcount");
+    }
+
+    #[test]
+    fn free_of_never_allocated_rejected() {
+        let mut a = RowAllocator::new(4);
+        a.alloc().unwrap();
+        assert_eq!(a.free(3), Err(CrossbarError::FreeUnallocated { row: 3 }));
+        assert!(matches!(a.free(99), Err(CrossbarError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn failed_alloc_many_rolls_back() {
+        let mut a = RowAllocator::new(3);
+        let keep = a.alloc().unwrap();
+        assert!(a.alloc_many(3).is_err());
+        assert_eq!(a.available(), 2, "partial claim rolled back");
+        let again = a.alloc_many(2).unwrap();
+        assert!(!again.contains(&keep));
+    }
+
+    #[test]
+    fn tracing_records_attempts() {
+        let mut a = RowAllocator::with_tracing(2);
+        let r = a.alloc().unwrap();
+        a.free(r).unwrap();
+        let _ = a.free(r); // rejected, still recorded
+        assert_eq!(
+            a.take_events(),
+            vec![
+                AllocEvent::Alloc { row: r },
+                AllocEvent::Free { row: r },
+                AllocEvent::Free { row: r },
+            ]
+        );
+        assert!(a.take_events().is_empty(), "events drained");
+    }
+
+    #[test]
+    fn untraced_allocator_records_nothing() {
+        let mut a = RowAllocator::new(2);
+        a.alloc().unwrap();
+        assert!(a.take_events().is_empty());
     }
 }

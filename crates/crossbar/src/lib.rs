@@ -54,6 +54,7 @@ mod error;
 mod interconnect;
 mod layout;
 mod stats;
+mod trace;
 mod wear;
 
 pub use array::CrossbarArray;
@@ -63,6 +64,7 @@ pub use error::CrossbarError;
 pub use interconnect::BarrelShifter;
 pub use layout::RowAllocator;
 pub use stats::{EnergyBreakdown, Stats};
+pub use trace::{AllocEvent, OpTrace, TraceOp};
 pub use wear::{BlockWear, WearReport};
 
 /// Convenience result alias for crossbar operations.

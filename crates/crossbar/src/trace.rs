@@ -1,0 +1,278 @@
+//! Replayable operation IR recorded from [`BlockedCrossbar`] primitives.
+//!
+//! When recording is armed (see [`BlockedCrossbar::start_recording`]), every
+//! compute/data-movement primitive appends one [`TraceOp`] describing the
+//! *request* — including requests the runtime later rejects — so static
+//! analyses (the `apim-verify` crate) can replay a kernel's microprogram
+//! without re-executing it and flag hazards the relaxed runtime checks miss.
+//!
+//! [`BlockedCrossbar`]: crate::BlockedCrossbar
+//! [`BlockedCrossbar::start_recording`]: crate::BlockedCrossbar::start_recording
+
+use crate::block::RowRef;
+use std::ops::Range;
+
+/// One recorded crossbar primitive.
+///
+/// Coordinates are raw indices (block, row, column) exactly as passed to the
+/// primitive; no bounds clamping or shift resolution has been applied, so a
+/// consumer sees precisely what the kernel asked for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceOp {
+    /// `preload_bit`: store one resident-data bit (0 cycles).
+    PreloadBit {
+        /// Target block index.
+        block: usize,
+        /// Target wordline.
+        row: usize,
+        /// Target bitline.
+        col: usize,
+    },
+    /// `preload_word`: store `len` bits LSB-first from `col0` (0 cycles).
+    PreloadWord {
+        /// Target block index.
+        block: usize,
+        /// Target wordline.
+        row: usize,
+        /// First bitline of the word.
+        col0: usize,
+        /// Number of bits stored.
+        len: usize,
+    },
+    /// `read_bit`: sense-amplifier read (0 cycles).
+    ReadBit {
+        /// Source block index.
+        block: usize,
+        /// Source wordline.
+        row: usize,
+        /// Source bitline.
+        col: usize,
+    },
+    /// `maj_read`: majority of three cells in one block (1 cycle).
+    MajRead {
+        /// Source block index.
+        block: usize,
+        /// The three `(row, col)` cells.
+        cells: [(usize, usize); 3],
+    },
+    /// `write_back_bit`: peripheral write-back (1 cycle).
+    WriteBackBit {
+        /// Target block index.
+        block: usize,
+        /// Target wordline.
+        row: usize,
+        /// Target bitline.
+        col: usize,
+    },
+    /// `init_rows`: pre-set row segments to ON (0 cycles).
+    InitRows {
+        /// Target block index.
+        block: usize,
+        /// Wordlines initialized.
+        rows: Vec<usize>,
+        /// Bitline range initialized on each wordline.
+        cols: Range<usize>,
+    },
+    /// `init_cells`: pre-set scattered cells to ON (0 cycles).
+    InitCells {
+        /// Target block index.
+        block: usize,
+        /// The `(row, col)` cells initialized.
+        cells: Vec<(usize, usize)>,
+    },
+    /// `init_cols`: pre-set column segments to ON (0 cycles).
+    InitCols {
+        /// Target block index.
+        block: usize,
+        /// Bitlines initialized.
+        cols: Vec<usize>,
+        /// Wordline range initialized on each bitline.
+        rows: Range<usize>,
+    },
+    /// `nor_rows_shifted`: column-parallel MAGIC NOR (1 cycle).
+    NorRowsShifted {
+        /// Input rows (all must share a block).
+        inputs: Vec<(usize, usize)>,
+        /// Output `(block, row)`.
+        out: (usize, usize),
+        /// Input bitline range.
+        cols: Range<usize>,
+        /// Interconnect shift applied to output columns.
+        shift: isize,
+    },
+    /// `nor_cols`: row-parallel MAGIC NOR along columns (1 cycle).
+    NorCols {
+        /// Block holding all cells.
+        block: usize,
+        /// Input bitlines.
+        input_cols: Vec<usize>,
+        /// Output bitline.
+        out_col: usize,
+        /// Wordline range evaluated.
+        rows: Range<usize>,
+    },
+    /// `nor_cells`: single-bit MAGIC NOR over scattered cells (1 cycle).
+    NorCells {
+        /// Block holding all cells.
+        block: usize,
+        /// Input `(row, col)` cells.
+        inputs: Vec<(usize, usize)>,
+        /// Output `(row, col)` cell.
+        out: (usize, usize),
+    },
+    /// `advance_cycles`: explicit non-hideable latency.
+    AdvanceCycles {
+        /// Cycles added.
+        cycles: u64,
+    },
+    /// `rewind_cycles`: stage-parallelism discount (saturates at zero).
+    RewindCycles {
+        /// Cycles discounted.
+        cycles: u64,
+    },
+}
+
+impl TraceOp {
+    /// Convenience constructor turning [`RowRef`]s into raw coordinates.
+    pub(crate) fn nor_rows(
+        inputs: &[RowRef],
+        out: RowRef,
+        cols: Range<usize>,
+        shift: isize,
+    ) -> Self {
+        TraceOp::NorRowsShifted {
+            inputs: inputs.iter().map(|r| (r.block.index(), r.row)).collect(),
+            out: (out.block.index(), out.row),
+            cols,
+            shift,
+        }
+    }
+}
+
+/// A recorded microprogram: the sequence of primitives one kernel issued,
+/// plus the dimensions of the crossbar it ran on.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OpTrace {
+    /// Number of blocks in the recorded crossbar.
+    pub blocks: usize,
+    /// Wordlines per block.
+    pub rows: usize,
+    /// Bitlines per block.
+    pub cols: usize,
+    /// The primitives, in issue order.
+    pub ops: Vec<TraceOp>,
+}
+
+impl OpTrace {
+    /// Number of recorded primitives.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Cycles the trace accounts for under the crate's conventions:
+    /// preload/init/read are free, every NOR / MAJ / write-back costs one
+    /// cycle, and `advance`/`rewind` adjust the counter explicitly
+    /// (rewind saturates at zero, mirroring the runtime).
+    pub fn cycles(&self) -> u64 {
+        let mut total = 0u64;
+        for op in &self.ops {
+            match op {
+                TraceOp::NorRowsShifted { .. }
+                | TraceOp::NorCols { .. }
+                | TraceOp::NorCells { .. }
+                | TraceOp::MajRead { .. }
+                | TraceOp::WriteBackBit { .. } => total += 1,
+                TraceOp::AdvanceCycles { cycles } => total += cycles,
+                TraceOp::RewindCycles { cycles } => total = total.saturating_sub(*cycles),
+                TraceOp::PreloadBit { .. }
+                | TraceOp::PreloadWord { .. }
+                | TraceOp::ReadBit { .. }
+                | TraceOp::InitRows { .. }
+                | TraceOp::InitCells { .. }
+                | TraceOp::InitCols { .. } => {}
+            }
+        }
+        total
+    }
+}
+
+/// One scratch-row allocator event, recorded when the allocator is built
+/// with [`RowAllocator::with_tracing`].
+///
+/// Free events record the *attempt*, before validation — a rejected
+/// double-free still shows up, which is exactly what the lifetime pass
+/// wants to see.
+///
+/// [`RowAllocator::with_tracing`]: crate::RowAllocator::with_tracing
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocEvent {
+    /// A row was handed out.
+    Alloc {
+        /// The claimed wordline.
+        row: usize,
+    },
+    /// A row was offered back (possibly rejected by validation).
+    Free {
+        /// The wordline offered back.
+        row: usize,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_follow_the_conventions() {
+        let trace = OpTrace {
+            blocks: 2,
+            rows: 8,
+            cols: 8,
+            ops: vec![
+                TraceOp::PreloadWord {
+                    block: 0,
+                    row: 0,
+                    col0: 0,
+                    len: 4,
+                },
+                TraceOp::InitRows {
+                    block: 1,
+                    rows: vec![0],
+                    cols: 0..4,
+                },
+                TraceOp::NorRowsShifted {
+                    inputs: vec![(0, 0)],
+                    out: (1, 0),
+                    cols: 0..4,
+                    shift: 0,
+                },
+                TraceOp::WriteBackBit {
+                    block: 1,
+                    row: 1,
+                    col: 0,
+                },
+                TraceOp::AdvanceCycles { cycles: 13 },
+                TraceOp::RewindCycles { cycles: 5 },
+            ],
+        };
+        assert_eq!(trace.cycles(), 1 + 1 + 13 - 5);
+    }
+
+    #[test]
+    fn rewind_saturates_at_zero() {
+        let trace = OpTrace {
+            blocks: 2,
+            rows: 8,
+            cols: 8,
+            ops: vec![TraceOp::RewindCycles { cycles: 99 }],
+        };
+        assert_eq!(trace.cycles(), 0);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.len(), 1);
+    }
+}

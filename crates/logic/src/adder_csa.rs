@@ -61,7 +61,7 @@ pub fn csa_group(
 
     let op =
         |xbar: &mut BlockedCrossbar, inputs: &[RowRef], out: RowRef, shift: isize| -> Result<()> {
-            let target = crate::gates::shifted(&cols, shift);
+            let target = crate::gates::shifted(&cols, shift)?;
             xbar.init_rows(out.block, &[out.row], target)?;
             xbar.nor_rows_shifted(inputs, out, cols.clone(), shift)
         };

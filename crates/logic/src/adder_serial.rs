@@ -50,10 +50,15 @@ impl SerialScratch {
     }
 
     /// Releases the scratch rows.
-    pub fn release(self, alloc: &mut RowAllocator) {
-        alloc.free_many(self.netlist);
-        alloc.free(self.carry);
-        alloc.free(self.zero);
+    ///
+    /// # Errors
+    ///
+    /// Propagates the allocator's rejection if a row was already returned
+    /// (see [`RowAllocator::free`]).
+    pub fn release(self, alloc: &mut RowAllocator) -> Result<()> {
+        alloc.free_many(self.netlist)?;
+        alloc.free(self.carry)?;
+        alloc.free(self.zero)
     }
 }
 
@@ -231,7 +236,7 @@ mod tests {
         let mut big = RowAllocator::new(12);
         let s = SerialScratch::alloc(&mut big).unwrap();
         assert_eq!(big.available(), 0);
-        s.release(&mut big);
+        s.release(&mut big).unwrap();
         assert_eq!(big.available(), 12);
     }
 

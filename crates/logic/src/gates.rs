@@ -5,14 +5,28 @@
 //! column-parallel on whole row segments and follow the crate's init-then-
 //! evaluate discipline, so they compose with the adders and multiplier.
 
-use apim_crossbar::{BlockedCrossbar, Result, RowRef};
+use apim_crossbar::{BlockedCrossbar, CrossbarError, Result, RowRef};
 use std::ops::Range;
 
-/// Shifts a column range by `shift`, clamping at zero.
-pub(crate) fn shifted(cols: &Range<usize>, shift: isize) -> Range<usize> {
-    let start = (cols.start as isize + shift).max(0) as usize;
-    let end = (cols.end as isize + shift).max(0) as usize;
-    start..end
+/// Shifts a column range by `shift`.
+///
+/// # Errors
+///
+/// Returns [`CrossbarError::IllegalShift`] when the shifted range would
+/// start before column zero. Clamping instead (as an earlier version did)
+/// silently shrinks the range, so source and destination widths disagree
+/// and the NOR writes fewer bits than the caller asked for.
+pub(crate) fn shifted(cols: &Range<usize>, shift: isize) -> Result<Range<usize>> {
+    let start = cols.start as isize + shift;
+    let end = cols.end as isize + shift;
+    if start < 0 || end < 0 {
+        return Err(CrossbarError::IllegalShift {
+            shift,
+            start: cols.start,
+            end: cols.end,
+        });
+    }
+    Ok(start as usize..end as usize)
 }
 
 /// `dst = NOT(src)` over `cols`, optionally shifted across the
@@ -29,7 +43,7 @@ pub fn not_row(
     cols: Range<usize>,
     shift: isize,
 ) -> Result<()> {
-    xbar.init_rows(dst.block, &[dst.row], shifted(&cols, shift))?;
+    xbar.init_rows(dst.block, &[dst.row], shifted(&cols, shift)?)?;
     xbar.nor_rows_shifted(&[src], dst, cols, shift)
 }
 
@@ -383,9 +397,16 @@ mod tests {
     }
 
     #[test]
-    fn shifted_clamps_at_zero() {
-        assert_eq!(shifted(&(0..4), -2), 0..2);
-        assert_eq!(shifted(&(4..8), -2), 2..6);
-        assert_eq!(shifted(&(0..4), 3), 3..7);
+    fn shifted_rejects_underflow_instead_of_clamping() {
+        assert_eq!(
+            shifted(&(0..4), -2),
+            Err(apim_crossbar::CrossbarError::IllegalShift {
+                shift: -2,
+                start: 0,
+                end: 4
+            })
+        );
+        assert_eq!(shifted(&(4..8), -2).unwrap(), 2..6);
+        assert_eq!(shifted(&(0..4), 3).unwrap(), 3..7);
     }
 }

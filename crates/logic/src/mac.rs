@@ -94,6 +94,13 @@ impl CrossbarMac {
         &self.xbar
     }
 
+    /// Mutable access to the underlying crossbar — used by callers that
+    /// arm operation recording (see `BlockedCrossbar::start_recording`)
+    /// around a MAC evaluation.
+    pub fn crossbar_mut(&mut self) -> &mut BlockedCrossbar {
+        &mut self.xbar
+    }
+
     /// Evaluates `Σ aᵢ·bᵢ mod 2^n` over the term list under `mode`:
     /// per-term partial products (shared first NOT per term), one Wallace
     /// reduction over the whole pile, one (optionally relaxed) final

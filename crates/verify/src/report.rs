@@ -1,0 +1,201 @@
+//! Finding and report types shared by all passes.
+
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// Ordered so that `Error > Warning > Info`, letting reports sort
+/// worst-first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational observation; never fails a gate.
+    Info,
+    /// Suspicious but survivable — e.g. scratch rows leaked at exit.
+    Warning,
+    /// A hazard that corrupts results or cost accounting.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Which analysis produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pass {
+    /// Every NOR destination cell must be initialized (set ON) after its
+    /// last write and before evaluation.
+    InitDiscipline,
+    /// A NOR output cell must not overlap any of its input cells.
+    Aliasing,
+    /// Interconnect shifts must keep the column range inside the array.
+    ShiftBounds,
+    /// Scratch-row alloc/free pairing: double-frees, frees of rows never
+    /// handed out, rows still live at kernel exit.
+    ScratchLifetime,
+    /// Recorded cycles must equal the analytic cost-model prediction.
+    CycleAccounting,
+}
+
+impl Pass {
+    /// Stable kebab-case name used in rendered reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::InitDiscipline => "init-discipline",
+            Pass::Aliasing => "aliasing",
+            Pass::ShiftBounds => "shift-bounds",
+            Pass::ScratchLifetime => "scratch-lifetime",
+            Pass::CycleAccounting => "cycle-accounting",
+        }
+    }
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One diagnosed hazard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The pass that produced it.
+    pub pass: Pass,
+    /// Severity.
+    pub severity: Severity,
+    /// Index of the offending [`apim_crossbar::TraceOp`] in the trace, if
+    /// the finding anchors to one (lifetime findings anchor to allocator
+    /// events instead).
+    pub op_index: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.pass)?;
+        if let Some(i) = self.op_index {
+            write!(f, " op #{i}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// A severity-ranked collection of findings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    findings: Vec<Finding>,
+}
+
+impl LintReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        LintReport::default()
+    }
+
+    /// Builds a report from raw findings, ranking them worst-first (ties
+    /// keep trace order).
+    pub fn from_findings(mut findings: Vec<Finding>) -> Self {
+        findings.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then(a.op_index.cmp(&b.op_index))
+        });
+        LintReport { findings }
+    }
+
+    /// The ranked findings.
+    pub fn findings(&self) -> &[Finding] {
+        &self.findings
+    }
+
+    /// Whether no findings were produced at all.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Number of error-severity findings (the ones a gate fails on).
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    fn count(&self, severity: Severity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == severity)
+            .count()
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "clean: no findings");
+        }
+        for finding in &self.findings {
+            writeln!(f, "{finding}")?;
+        }
+        write!(
+            f,
+            "{} error(s), {} warning(s)",
+            self.error_count(),
+            self.warning_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(pass: Pass, severity: Severity, op: Option<usize>) -> Finding {
+        Finding {
+            pass,
+            severity,
+            op_index: op,
+            message: "x".into(),
+        }
+    }
+
+    #[test]
+    fn report_ranks_worst_first() {
+        let report = LintReport::from_findings(vec![
+            finding(Pass::ScratchLifetime, Severity::Warning, None),
+            finding(Pass::InitDiscipline, Severity::Error, Some(7)),
+            finding(Pass::Aliasing, Severity::Error, Some(2)),
+        ]);
+        let severities: Vec<_> = report.findings().iter().map(|f| f.severity).collect();
+        assert_eq!(
+            severities,
+            vec![Severity::Error, Severity::Error, Severity::Warning]
+        );
+        assert_eq!(
+            report.findings()[0].op_index,
+            Some(2),
+            "trace order in ties"
+        );
+        assert_eq!(report.error_count(), 2);
+        assert_eq!(report.warning_count(), 1);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn display_formats_are_stable() {
+        let f = finding(Pass::ShiftBounds, Severity::Error, Some(3));
+        assert_eq!(f.to_string(), "error[shift-bounds] op #3: x");
+        assert_eq!(LintReport::new().to_string(), "clean: no findings");
+        let report = LintReport::from_findings(vec![f]);
+        assert!(report.to_string().ends_with("1 error(s), 0 warning(s)"));
+    }
+}

@@ -1,0 +1,178 @@
+//! End-to-end lint tests: hazards seeded through *real* crossbar execution
+//! (recording captures the request even when the runtime rejects it), plus
+//! a property test that legal microprograms never produce findings.
+
+use apim_crossbar::{
+    AllocEvent, BlockedCrossbar, CrossbarConfig, OpTrace, RowAllocator, RowRef, TraceOp,
+};
+use apim_verify::{verify_trace, Pass, Severity};
+use proptest::prelude::*;
+
+fn relaxed_crossbar() -> BlockedCrossbar {
+    BlockedCrossbar::new(CrossbarConfig {
+        strict_init: false, // let the seeded hazard execute; the lint must still catch it
+        ..CrossbarConfig::default()
+    })
+    .unwrap()
+}
+
+#[test]
+fn skipped_init_is_caught_statically() {
+    let mut xbar = relaxed_crossbar();
+    let blk = xbar.block(1).unwrap();
+    xbar.start_recording();
+    xbar.preload_word(blk, 0, 0, &[true, false, true, false])
+        .unwrap();
+    // Evaluate a NOR into row 1 without initializing it first: the relaxed
+    // runtime executes this happily.
+    xbar.nor_rows_shifted(&[RowRef::new(blk, 0)], RowRef::new(blk, 1), 0..4, 0)
+        .unwrap();
+    let trace = xbar.stop_recording();
+    let report = verify_trace(&trace, &[], None);
+    assert_eq!(report.findings().len(), 1, "{report}");
+    assert_eq!(report.findings()[0].pass, Pass::InitDiscipline);
+    assert_eq!(report.findings()[0].severity, Severity::Error);
+    assert_eq!(report.findings()[0].op_index, Some(1));
+}
+
+#[test]
+fn aliased_destination_is_caught() {
+    let mut xbar = relaxed_crossbar();
+    let blk = xbar.block(0).unwrap();
+    xbar.start_recording();
+    xbar.init_cells(blk, &[(2, 3)]).unwrap();
+    // The output cell doubles as an input: executes on the simulator, but
+    // is electrically undefined on the device.
+    xbar.nor_cells(blk, &[(0, 3), (2, 3)], (2, 3)).unwrap();
+    let trace = xbar.stop_recording();
+    let report = verify_trace(&trace, &[], None);
+    assert_eq!(report.findings().len(), 1, "{report}");
+    assert_eq!(report.findings()[0].pass, Pass::Aliasing);
+}
+
+#[test]
+fn out_of_range_shift_is_caught_even_when_runtime_rejects_it() {
+    let mut xbar = relaxed_crossbar();
+    let a = xbar.block(0).unwrap();
+    let b = xbar.block(1).unwrap();
+    let cols = xbar.cols();
+    xbar.start_recording();
+    xbar.init_rows(b, &[0], cols - 4..cols).unwrap();
+    // Shift the window past the last bitline. The runtime refuses to
+    // execute it, but the *request* is recorded either way.
+    let result = xbar.nor_rows_shifted(&[RowRef::new(a, 0)], RowRef::new(b, 0), cols - 4..cols, 3);
+    assert!(result.is_err(), "runtime should reject the shift");
+    let trace = xbar.stop_recording();
+    assert_eq!(trace.len(), 2, "rejected request still recorded");
+    let report = verify_trace(&trace, &[], None);
+    let shift_findings: Vec<_> = report
+        .findings()
+        .iter()
+        .filter(|f| f.pass == Pass::ShiftBounds)
+        .collect();
+    assert_eq!(shift_findings.len(), 1, "{report}");
+    assert!(shift_findings[0].message.contains("outside the array"));
+}
+
+#[test]
+fn double_free_is_caught_from_the_event_log() {
+    let mut alloc = RowAllocator::with_tracing(8);
+    let row = alloc.alloc().unwrap();
+    alloc.free(row).unwrap();
+    assert!(alloc.free(row).is_err(), "allocator rejects at runtime too");
+    let events = alloc.take_events();
+    let report = verify_trace(&OpTrace::default(), &events, None);
+    assert_eq!(report.findings().len(), 1, "{report}");
+    assert_eq!(report.findings()[0].pass, Pass::ScratchLifetime);
+    assert!(report.findings()[0].message.contains("freed twice"));
+}
+
+#[test]
+fn cycle_mismatch_is_caught() {
+    let mut xbar = relaxed_crossbar();
+    let blk = xbar.block(0).unwrap();
+    xbar.start_recording();
+    xbar.init_rows(blk, &[1], 0..8).unwrap();
+    xbar.nor_rows_shifted(&[RowRef::new(blk, 0)], RowRef::new(blk, 1), 0..8, 0)
+        .unwrap();
+    // A stray stall the cost model knows nothing about.
+    xbar.advance_cycles(apim_device::Cycles::new(2));
+    let trace = xbar.stop_recording();
+    let report = verify_trace(&trace, &[], Some(1));
+    assert_eq!(report.findings().len(), 1, "{report}");
+    assert_eq!(report.findings()[0].pass, Pass::CycleAccounting);
+    assert!(report.findings()[0].message.contains("3 cycles"));
+}
+
+/// Deterministic xorshift so each proptest case derives its own program.
+fn next(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+proptest! {
+    /// Any well-formed microprogram — init before every NOR, disjoint
+    /// src/dst, in-bounds windows, paired alloc/free — lints clean, and the
+    /// trace accounts for exactly one cycle per NOR.
+    #[test]
+    fn random_legal_traces_lint_clean(
+        seed in 0u64..u64::MAX,
+        steps in 1usize..48,
+        width in 1usize..32,
+    ) {
+        let rows = 8usize;
+        let mut state = seed | 1;
+        let mut ops = Vec::new();
+        for _ in 0..steps {
+            let dst = (next(&mut state) as usize) % rows;
+            let mut src_a = (next(&mut state) as usize) % rows;
+            let mut src_b = (next(&mut state) as usize) % rows;
+            if src_a == dst {
+                src_a = (src_a + 1) % rows;
+            }
+            if src_b == dst {
+                src_b = (src_b + 1) % rows;
+            }
+            ops.push(TraceOp::InitRows { block: 1, rows: vec![dst], cols: 0..width });
+            ops.push(TraceOp::NorRowsShifted {
+                inputs: vec![(1, src_a), (1, src_b)],
+                out: (1, dst),
+                cols: 0..width,
+                shift: 0,
+            });
+        }
+        let trace = OpTrace { blocks: 2, rows, cols: 32, ops };
+        let mut alloc = RowAllocator::with_tracing(rows);
+        let claimed = alloc.alloc_many(1 + (next(&mut state) as usize) % rows).unwrap();
+        alloc.free_many(claimed).unwrap();
+        let events = alloc.take_events();
+        let report = verify_trace(&trace, &events, Some(steps as u64));
+        prop_assert!(report.is_clean(), "{}", report);
+    }
+
+    /// The lifetime pass accepts any sequence of paired claims and returns.
+    #[test]
+    fn balanced_alloc_free_sequences_lint_clean(rounds in 1usize..20, seed in 0u64..u64::MAX) {
+        let mut state = seed | 1;
+        let mut alloc = RowAllocator::with_tracing(16);
+        for _ in 0..rounds {
+            let n = 1 + (next(&mut state) as usize) % 8;
+            let claimed = alloc.alloc_many(n).unwrap();
+            alloc.free_many(claimed).unwrap();
+        }
+        let events = alloc.take_events();
+        let report = verify_trace(&OpTrace::default(), &events, None);
+        prop_assert!(report.is_clean(), "{}", report);
+    }
+}
+
+#[test]
+fn events_alone_never_trip_trace_passes() {
+    // A trace-free report over a leaky log: exactly the leak warnings.
+    let events = [AllocEvent::Alloc { row: 1 }, AllocEvent::Alloc { row: 2 }];
+    let report = verify_trace(&OpTrace::default(), &events, None);
+    assert_eq!(report.error_count(), 0);
+    assert_eq!(report.warning_count(), 2);
+}

@@ -1,0 +1,154 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the small slice of `rand` 0.8 it actually uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and
+//! [`Rng::gen_range`] over integer ranges. The generator is a SplitMix64
+//! stream — deterministic for a given seed, statistically fine for test-data
+//! synthesis, and explicitly *not* cryptographic (neither is the use here).
+
+#![deny(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random-number generator that can be seeded from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface, mirroring the subset of `rand::Rng` used here.
+pub trait Rng {
+    /// Returns the next raw 64-bit output of the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+/// A range type from which [`Rng::gen_range`] can sample a `T`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+fn sample_span<R: Rng>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    let wide = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+    wide % span
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + sample_span(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + sample_span(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let frac = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                self.start + frac * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_float!(f32, f64);
+
+/// Pseudo-random generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic generator backed by SplitMix64.
+    ///
+    /// Unlike the upstream ChaCha-based `StdRng`, this is not a CSPRNG; the
+    /// workspace only uses it to synthesise reproducible test inputs.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: u8 = rng.gen_range(120..=255);
+            assert!(w >= 120);
+            let s: i16 = rng.gen_range(-6..=6);
+            assert!((-6..=6).contains(&s));
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_span() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..256 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
