@@ -18,6 +18,11 @@ pub enum ArchError {
         /// Configured capacity.
         capacity_bytes: u64,
     },
+    /// A scheduling request named zero execution units. Raised by the
+    /// `scheduler` entry points instead of panicking, so a hostile
+    /// configuration arriving through a serving frontend degrades into a
+    /// structured error.
+    ZeroUnits,
     /// The static microprogram verifier found hazards in the device's
     /// kernels (only raised when
     /// [`ApimConfig::verify_microprograms`] is enabled).
@@ -40,6 +45,9 @@ impl fmt::Display for ArchError {
                 f,
                 "dataset of {dataset_bytes} bytes exceeds APIM capacity of {capacity_bytes} bytes"
             ),
+            ArchError::ZeroUnits => {
+                write!(f, "cannot schedule onto zero parallel units")
+            }
             ArchError::VerificationFailed { errors, detail } => write!(
                 f,
                 "microprogram verification failed with {errors} error(s):\n{detail}"

@@ -110,7 +110,9 @@ impl Executor {
     pub fn run_trace(&self, trace: &Trace) -> ApimCost {
         let costs: Vec<OpCost> = trace.ops().iter().map(|op| self.op_cost(op)).collect();
         let cycles_list: Vec<Cycles> = costs.iter().map(|c| c.cycles).collect();
-        let span = Schedule::lpt(&cycles_list, self.config.parallel_units).makespan();
+        let span = Schedule::lpt(&cycles_list, self.config.parallel_units)
+            .expect("config validated: parallel_units > 0")
+            .makespan();
         let energy: Joules = costs.iter().map(|c| c.energy).sum();
         ApimCost {
             cycles: span,
@@ -129,6 +131,7 @@ impl Executor {
             .map(|op| self.op_cost(op).cycles)
             .collect();
         Schedule::lpt(&cycles, self.config.parallel_units)
+            .expect("config validated: parallel_units > 0")
     }
 
     /// Costs a whole application over a resident dataset using its compute
@@ -196,8 +199,8 @@ impl Executor {
             .cost
             .final_add_width(bits, mode.relaxed_product_bits().min(bits));
 
-        let mul_span = makespan_uniform(group_cost.cycles, outputs, units);
-        let add_span = makespan_uniform(add_cost.cycles, loose_adds, units);
+        let mul_span = makespan_uniform(group_cost.cycles, outputs, units)?;
+        let add_span = makespan_uniform(add_cost.cycles, loose_adds, units)?;
         let span = mul_span + add_span;
         let energy = group_cost.energy * outputs as f64 + add_cost.energy * loose_adds as f64;
         Ok(ApimCost {

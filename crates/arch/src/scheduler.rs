@@ -15,6 +15,7 @@
 //! [`Schedule::lpt`] builds the explicit job-granular assignment, which
 //! trace-level costing uses.
 
+use crate::config::ArchError;
 use apim_device::Cycles;
 
 /// Computes the parallel makespan of a set of jobs.
@@ -22,15 +23,26 @@ use apim_device::Cycles;
 /// ```
 /// use apim_arch::scheduler::makespan;
 /// use apim_device::Cycles;
+/// # fn main() -> Result<(), apim_arch::ArchError> {
 /// let jobs = [Cycles::new(10), Cycles::new(10), Cycles::new(10), Cycles::new(10)];
-/// assert_eq!(makespan(&jobs, 2).get(), 20);
-/// assert_eq!(makespan(&jobs, 8).get(), 10, "bounded by the longest job");
+/// assert_eq!(makespan(&jobs, 2)?.get(), 20);
+/// assert_eq!(makespan(&jobs, 8)?.get(), 10, "bounded by the longest job");
+/// # Ok(())
+/// # }
 /// ```
-pub fn makespan(jobs: &[Cycles], units: u32) -> Cycles {
-    debug_assert!(units > 0);
+///
+/// # Errors
+///
+/// Returns [`ArchError::ZeroUnits`] for `units == 0` — a structured
+/// rejection rather than a release-mode division panic, so hostile
+/// configurations surfacing through the serving layer degrade cleanly.
+pub fn makespan(jobs: &[Cycles], units: u32) -> Result<Cycles, ArchError> {
+    if units == 0 {
+        return Err(ArchError::ZeroUnits);
+    }
     let total: u64 = jobs.iter().map(|c| c.get()).sum();
     let longest = jobs.iter().map(|c| c.get()).max().unwrap_or(0);
-    Cycles::new((total.div_ceil(u64::from(units))).max(longest))
+    Ok(Cycles::new((total.div_ceil(u64::from(units))).max(longest)))
 }
 
 /// One placed job in a [`Schedule`].
@@ -61,8 +73,14 @@ impl Schedule {
     /// near-uniform job sets APIM dispatches this matches the
     /// [`makespan`] lower bound; for pathological mixes it is within the
     /// classic 4/3 factor.
-    pub fn lpt(jobs: &[Cycles], units: u32) -> Self {
-        debug_assert!(units > 0);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::ZeroUnits`] for `units == 0`.
+    pub fn lpt(jobs: &[Cycles], units: u32) -> Result<Self, ArchError> {
+        if units == 0 {
+            return Err(ArchError::ZeroUnits);
+        }
         let mut order: Vec<usize> = (0..jobs.len()).collect();
         order.sort_by_key(|&i| std::cmp::Reverse(jobs[i].get()));
         let mut free_at = vec![0u64; units as usize];
@@ -83,11 +101,11 @@ impl Schedule {
             free_at[unit] = start + jobs[job].get();
         }
         let makespan = Cycles::new(free_at.into_iter().max().unwrap_or(0));
-        Schedule {
+        Ok(Schedule {
             placements,
             makespan,
             units,
-        }
+        })
     }
 
     /// The placed jobs (in LPT placement order).
@@ -115,13 +133,21 @@ impl Schedule {
 /// Makespan for `count` identical jobs of `per_job` cycles — the common
 /// case for element-wise kernels, computed without materializing the job
 /// list (counts can be billions).
-pub fn makespan_uniform(per_job: Cycles, count: u64, units: u32) -> Cycles {
-    debug_assert!(units > 0);
+///
+/// # Errors
+///
+/// Returns [`ArchError::ZeroUnits`] for `units == 0`.
+pub fn makespan_uniform(per_job: Cycles, count: u64, units: u32) -> Result<Cycles, ArchError> {
+    if units == 0 {
+        return Err(ArchError::ZeroUnits);
+    }
     if count == 0 {
-        return Cycles::ZERO;
+        return Ok(Cycles::ZERO);
     }
     let total = per_job.get().saturating_mul(count);
-    Cycles::new((total.div_ceil(u64::from(units))).max(per_job.get()))
+    Ok(Cycles::new(
+        (total.div_ceil(u64::from(units))).max(per_job.get()),
+    ))
 }
 
 #[cfg(test)]
@@ -130,20 +156,35 @@ mod tests {
 
     #[test]
     fn empty_job_set_is_free() {
-        assert_eq!(makespan(&[], 4), Cycles::ZERO);
-        assert_eq!(makespan_uniform(Cycles::new(100), 0, 4), Cycles::ZERO);
+        assert_eq!(makespan(&[], 4).unwrap(), Cycles::ZERO);
+        assert_eq!(
+            makespan_uniform(Cycles::new(100), 0, 4).unwrap(),
+            Cycles::ZERO
+        );
+    }
+
+    #[test]
+    fn zero_units_is_a_structured_error_not_a_panic() {
+        let jobs = [Cycles::new(5)];
+        assert_eq!(makespan(&jobs, 0), Err(ArchError::ZeroUnits));
+        assert_eq!(
+            makespan_uniform(Cycles::new(5), 10, 0),
+            Err(ArchError::ZeroUnits)
+        );
+        assert_eq!(Schedule::lpt(&jobs, 0), Err(ArchError::ZeroUnits));
+        assert!(ArchError::ZeroUnits.to_string().contains("zero"));
     }
 
     #[test]
     fn single_unit_serializes() {
         let jobs = [Cycles::new(5), Cycles::new(7), Cycles::new(11)];
-        assert_eq!(makespan(&jobs, 1).get(), 23);
+        assert_eq!(makespan(&jobs, 1).unwrap().get(), 23);
     }
 
     #[test]
     fn many_units_bound_by_longest() {
         let jobs = [Cycles::new(5), Cycles::new(7), Cycles::new(100)];
-        assert_eq!(makespan(&jobs, 64).get(), 100);
+        assert_eq!(makespan(&jobs, 64).unwrap().get(), 100);
     }
 
     #[test]
@@ -151,8 +192,8 @@ mod tests {
         let jobs = vec![Cycles::new(13); 1000];
         for units in [1u32, 3, 64, 10_000] {
             assert_eq!(
-                makespan(&jobs, units),
-                makespan_uniform(Cycles::new(13), 1000, units),
+                makespan(&jobs, units).unwrap(),
+                makespan_uniform(Cycles::new(13), 1000, units).unwrap(),
                 "units = {units}"
             );
         }
@@ -160,7 +201,7 @@ mod tests {
 
     #[test]
     fn uniform_handles_huge_counts() {
-        let c = makespan_uniform(Cycles::new(900), 10_000_000_000, 7680);
+        let c = makespan_uniform(Cycles::new(900), 10_000_000_000, 7680).unwrap();
         assert!(c.get() > 1_000_000_000);
     }
 
@@ -170,7 +211,7 @@ mod tests {
             .iter()
             .map(|&c| Cycles::new(c))
             .collect();
-        let sched = Schedule::lpt(&jobs, 3);
+        let sched = Schedule::lpt(&jobs, 3).unwrap();
         assert_eq!(sched.placements().len(), jobs.len());
         // Per unit: intervals must not overlap.
         for unit in 0..3 {
@@ -195,8 +236,8 @@ mod tests {
     fn lpt_respects_the_lower_bound_and_4_3_factor() {
         let jobs: Vec<Cycles> = (1..40).map(|i| Cycles::new(i * 7 % 90 + 1)).collect();
         for units in [1u32, 2, 5, 11] {
-            let lb = makespan(&jobs, units).get();
-            let got = Schedule::lpt(&jobs, units).makespan().get();
+            let lb = makespan(&jobs, units).unwrap().get();
+            let got = Schedule::lpt(&jobs, units).unwrap().makespan().get();
             assert!(got >= lb, "units {units}");
             assert!(3 * got <= 4 * lb + 3 * jobs.iter().map(|c| c.get()).max().unwrap());
         }
@@ -208,15 +249,15 @@ mod tests {
         // ceil(100/8) = 13 rounds, one cycle-granular round above the
         // fractional lower bound.
         let jobs = vec![Cycles::new(17); 100];
-        let sched = Schedule::lpt(&jobs, 8);
+        let sched = Schedule::lpt(&jobs, 8).unwrap();
         assert_eq!(sched.makespan(), Cycles::new(13 * 17));
-        assert!(sched.makespan() >= makespan(&jobs, 8));
+        assert!(sched.makespan() >= makespan(&jobs, 8).unwrap());
         assert!(sched.utilization() > 0.95);
     }
 
     #[test]
     fn empty_schedule_is_zero() {
-        let sched = Schedule::lpt(&[], 4);
+        let sched = Schedule::lpt(&[], 4).unwrap();
         assert_eq!(sched.makespan(), Cycles::ZERO);
         assert_eq!(sched.utilization(), 0.0);
     }
@@ -226,7 +267,7 @@ mod tests {
         let jobs: Vec<Cycles> = (1..50).map(Cycles::new).collect();
         let mut last = u64::MAX;
         for units in [1u32, 2, 4, 8, 16, 32] {
-            let m = makespan(&jobs, units).get();
+            let m = makespan(&jobs, units).unwrap().get();
             assert!(m <= last);
             last = m;
         }

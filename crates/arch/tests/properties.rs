@@ -10,7 +10,7 @@ proptest! {
     #[test]
     fn makespan_bounds_hold(jobs in proptest::collection::vec(1u64..10_000, 1..64), units in 1u32..128) {
         let cycles: Vec<Cycles> = jobs.iter().map(|&j| Cycles::new(j)).collect();
-        let span = makespan(&cycles, units).get();
+        let span = makespan(&cycles, units).unwrap().get();
         let total: u64 = jobs.iter().sum();
         let longest = *jobs.iter().max().unwrap();
         // Classic machine-scheduling bounds.
@@ -23,8 +23,8 @@ proptest! {
     fn uniform_makespan_equals_general(per_job in 1u64..5000, count in 0u64..500, units in 1u32..64) {
         let jobs: Vec<Cycles> = (0..count).map(|_| Cycles::new(per_job)).collect();
         prop_assert_eq!(
-            makespan(&jobs, units),
-            makespan_uniform(Cycles::new(per_job), count, units)
+            makespan(&jobs, units).unwrap(),
+            makespan_uniform(Cycles::new(per_job), count, units).unwrap()
         );
     }
 

@@ -1,0 +1,37 @@
+//! Serving-runtime throughput: drives the seeded loadgen mix through the
+//! worker pool at several worker counts and reports requests per second.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn loadgen(workers: usize, requests: u64) -> apim_serve::loadgen::LoadgenReport {
+    apim_serve::loadgen::run(&apim_serve::loadgen::LoadgenConfig {
+        requests,
+        seed: 7,
+        pool: apim_serve::PoolConfig {
+            workers,
+            queue_depth: 4096,
+            ..apim_serve::PoolConfig::default()
+        },
+    })
+    .expect("loadgen runs")
+}
+
+fn bench(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    for workers in [1usize, 2, 4] {
+        let report = loadgen(workers, 100);
+        println!(
+            "serve: {workers} worker(s) on {cores} core(s): {:.1} req/s, {} batches ({} coalesced)",
+            report.throughput_rps, report.snapshot.batches, report.snapshot.coalesced
+        );
+    }
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    group.bench_function("loadgen/100req/4workers", |b| b.iter(|| loadgen(4, 100)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -64,6 +64,26 @@ pub enum Command {
         /// Kernel to lint; `None` sweeps them all.
         kernel: Option<apim_verify::Kernel>,
     },
+    /// One-shot serving of a request file on the worker pool.
+    Serve {
+        /// Path to the request file (one request per line).
+        path: String,
+        /// Worker thread count (`None` = one per available core, capped).
+        workers: Option<usize>,
+        /// Admission-control queue depth.
+        queue_depth: Option<usize>,
+    },
+    /// Seeded open-loop load generator against an in-process pool.
+    Loadgen {
+        /// Number of requests to offer.
+        requests: usize,
+        /// Worker thread count (`None` = one per available core, capped).
+        workers: Option<usize>,
+        /// Mix seed.
+        seed: u64,
+        /// Admission-control queue depth.
+        queue_depth: Option<usize>,
+    },
     /// Print usage.
     Help,
 }
@@ -92,9 +112,16 @@ USAGE:
   apim-cli repro <fig4|fig5|fig5sim|fig6|table1|headline|ablation|all>
   apim-cli selftest [samples]
   apim-cli verify [--all | gates|adder|csa|wallace|multiplier|mac]
+  apim-cli serve <file> [--workers N] [--queue-depth N]
+  apim-cli loadgen [--requests N] [--workers N] [--seed S] [--queue-depth N]
   apim-cli help
 
-APPS: sobel | robert | fft | dwt | sharpen | quasir";
+APPS: sobel | robert | fft | dwt | sharpen | quasir
+
+REQUEST FILE: one request per line, `#` comments; each line is
+  [@<tenant>] run <app> <size-mb> [--relax M | --mask F]
+  [@<tenant>] multiply <a> <b>   [--relax M | --mask F]
+  [@<tenant>] mac <a1> <b1> ...  [--relax M | --mask F]";
 
 fn parse_app(name: &str) -> Result<App, ParseError> {
     match name.to_ascii_lowercase().as_str() {
@@ -133,6 +160,32 @@ fn parse_u64(value: &str, what: &str) -> Result<u64, ParseError> {
     value
         .parse()
         .map_err(|_| ParseError(format!("invalid {what} `{value}`")))
+}
+
+/// Walks `--flag value` pairs shared by `serve` and `loadgen`.
+/// `extra` handles command-specific flags; it returns `false` for flags it
+/// does not recognise.
+fn parse_pool_flags(
+    flags: &[String],
+    mut extra: impl FnMut(&str, &str) -> Result<bool, ParseError>,
+) -> Result<(Option<usize>, Option<usize>), ParseError> {
+    let mut workers = None;
+    let mut queue_depth = None;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| ParseError(format!("{flag} needs a value")))?;
+        match flag.as_str() {
+            "--workers" => workers = Some(parse_u64(value, "worker count")? as usize),
+            "--queue-depth" => {
+                queue_depth = Some(parse_u64(value, "queue depth")? as usize);
+            }
+            other if extra(other, value)? => {}
+            other => return Err(ParseError(format!("unknown flag `{other}`"))),
+        }
+    }
+    Ok((workers, queue_depth))
 }
 
 /// Parses an argument vector (without the program name).
@@ -194,6 +247,37 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 },
                 _ => Err(ParseError("verify takes at most one kernel".into())),
             },
+            "serve" => match rest {
+                [path, flags @ ..] if !path.starts_with("--") => {
+                    let (workers, queue_depth) = parse_pool_flags(flags, |_, _| Ok(false))?;
+                    Ok(Command::Serve {
+                        path: path.clone(),
+                        workers,
+                        queue_depth,
+                    })
+                }
+                _ => Err(ParseError("serve needs a request file".into())),
+            },
+            "loadgen" => {
+                let mut requests = 200usize;
+                let mut seed = 7u64;
+                let (workers, queue_depth) = parse_pool_flags(rest, |flag, value| {
+                    match flag {
+                        "--requests" => {
+                            requests = parse_u64(value, "request count")? as usize;
+                        }
+                        "--seed" => seed = parse_u64(value, "seed")?,
+                        _ => return Ok(false),
+                    }
+                    Ok(true)
+                })?;
+                Ok(Command::Loadgen {
+                    requests,
+                    workers,
+                    seed,
+                    queue_depth,
+                })
+            }
             "repro" => match rest {
                 [exhibit] => Ok(Command::Repro {
                     exhibit: exhibit.clone(),
@@ -206,6 +290,18 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             other => Err(ParseError(format!("unknown command `{other}`"))),
         },
     }
+}
+
+/// Builds a pool configuration from optional CLI overrides.
+fn pool_config(workers: Option<usize>, queue_depth: Option<usize>) -> apim_serve::PoolConfig {
+    let mut config = apim_serve::PoolConfig::default();
+    if let Some(workers) = workers {
+        config.workers = workers;
+    }
+    if let Some(depth) = queue_depth {
+        config.queue_depth = depth;
+    }
+    config
 }
 
 /// Executes a command, returning the text to print.
@@ -312,6 +408,52 @@ pub fn execute(command: &Command) -> Result<String, apim::ApimError> {
                 .into());
             }
             let _ = write!(out, "{}", apim_verify::render(&runs));
+        }
+        Command::Serve {
+            path,
+            workers,
+            queue_depth,
+        } => {
+            let text = std::fs::read_to_string(path).map_err(|e| {
+                apim::ApimError::Runtime(format!("cannot read request file `{path}`: {e}"))
+            })?;
+            let mut requests = Vec::new();
+            for (number, line) in text.lines().enumerate() {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                requests.push(apim_serve::Request::parse_line(line).map_err(|e| {
+                    apim::ApimError::Runtime(format!("{path}:{}: {e}", number + 1))
+                })?);
+            }
+            let pool = apim_serve::Pool::new(pool_config(*workers, *queue_depth))?;
+            let responses = pool.run_all(requests)?;
+            for response in &responses {
+                let verdict = match &response.result {
+                    Ok(output) => output.summary(),
+                    Err(e) => format!("error: {e}"),
+                };
+                let _ = writeln!(
+                    out,
+                    "#{:<4} @{:<3} {:>8.1?}  {verdict}",
+                    response.id, response.tenant.0, response.latency
+                );
+            }
+            let _ = write!(out, "{}", pool.metrics().snapshot());
+        }
+        Command::Loadgen {
+            requests,
+            workers,
+            seed,
+            queue_depth,
+        } => {
+            let report = apim_serve::loadgen::run(&apim_serve::loadgen::LoadgenConfig {
+                requests: *requests as u64,
+                seed: *seed,
+                pool: pool_config(*workers, *queue_depth),
+            })?;
+            let _ = write!(out, "{report}");
         }
         Command::Repro { exhibit } => {
             use apim_bench as b;
@@ -515,6 +657,103 @@ mod tests {
         .unwrap();
         assert!(out.contains("clean"), "{out}");
         assert_eq!(out.matches("csa").count(), 3, "one row per width: {out}");
+    }
+
+    #[test]
+    fn serve_parses_path_and_pool_flags() {
+        assert_eq!(
+            parse(&args("serve reqs.txt")).unwrap(),
+            Command::Serve {
+                path: "reqs.txt".into(),
+                workers: None,
+                queue_depth: None,
+            }
+        );
+        assert_eq!(
+            parse(&args("serve reqs.txt --workers 4 --queue-depth 32")).unwrap(),
+            Command::Serve {
+                path: "reqs.txt".into(),
+                workers: Some(4),
+                queue_depth: Some(32),
+            }
+        );
+        assert!(parse(&args("serve")).is_err(), "file is mandatory");
+        assert!(parse(&args("serve --workers 4")).is_err(), "flag is no file");
+        assert!(parse(&args("serve reqs.txt --workers")).is_err());
+        assert!(parse(&args("serve reqs.txt --seed 7")).is_err());
+    }
+
+    #[test]
+    fn loadgen_parses_defaults_and_overrides() {
+        assert_eq!(
+            parse(&args("loadgen")).unwrap(),
+            Command::Loadgen {
+                requests: 200,
+                workers: None,
+                seed: 7,
+                queue_depth: None,
+            }
+        );
+        assert_eq!(
+            parse(&args("loadgen --requests 50 --workers 2 --seed 99 --queue-depth 64")).unwrap(),
+            Command::Loadgen {
+                requests: 50,
+                workers: Some(2),
+                seed: 99,
+                queue_depth: Some(64),
+            }
+        );
+        assert!(parse(&args("loadgen --requests")).is_err());
+        assert!(parse(&args("loadgen --frob 3")).is_err());
+        assert!(parse(&args("loadgen --seed banana")).is_err());
+    }
+
+    #[test]
+    fn serve_executes_a_request_file() {
+        let dir = std::env::temp_dir().join("apim-cli-serve-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("requests.txt");
+        std::fs::write(
+            &path,
+            "# smoke requests\n\
+             multiply 1000 2000\n\
+             @1 run quasir 32 --relax 8\n\
+             \n\
+             mac 3 4 5 6\n",
+        )
+        .unwrap();
+        let out = execute(&Command::Serve {
+            path: path.to_string_lossy().into_owned(),
+            workers: Some(2),
+            queue_depth: Some(16),
+        })
+        .unwrap();
+        assert!(out.contains("product 2000000"), "{out}");
+        assert!(out.contains("mac x2"), "{out}");
+        assert!(out.contains("apim_serve_completed_total 3"), "{out}");
+        assert!(out.contains("apim_serve_failed_total 0"), "{out}");
+
+        let err = execute(&Command::Serve {
+            path: dir.join("missing.txt").to_string_lossy().into_owned(),
+            workers: None,
+            queue_depth: None,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn loadgen_executes_and_reports_throughput() {
+        let out = execute(&Command::Loadgen {
+            requests: 20,
+            workers: Some(2),
+            seed: 7,
+            queue_depth: Some(64),
+        })
+        .unwrap();
+        assert!(out.contains("20 offered"), "{out}");
+        assert!(out.contains("req/s"), "{out}");
+        assert!(out.contains("apim_serve_completed_total"), "{out}");
     }
 
     #[test]

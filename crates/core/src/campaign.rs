@@ -71,6 +71,20 @@ impl Campaign {
         self
     }
 
+    /// The sweep's cross product as `(app, dataset_bytes, mode)` tuples,
+    /// in row order (app-major, then size, then mode).
+    pub fn jobs(&self) -> Vec<(App, u64, PrecisionMode)> {
+        let mut jobs = Vec::with_capacity(self.apps.len() * self.dataset_bytes.len() * self.modes.len());
+        for &app in &self.apps {
+            for &bytes in &self.dataset_bytes {
+                for &mode in &self.modes {
+                    jobs.push((app, bytes, mode));
+                }
+            }
+        }
+        jobs
+    }
+
     /// Runs the full cross product.
     ///
     /// # Errors
@@ -78,17 +92,47 @@ impl Campaign {
     /// Returns the first simulator error (invalid configuration, oversized
     /// dataset).
     pub fn run(self) -> Result<CampaignResults, ApimError> {
+        let jobs = self.jobs();
         let apim = Apim::new(self.config)?;
-        let mut rows = Vec::new();
-        for &app in &self.apps {
-            for &bytes in &self.dataset_bytes {
-                for &mode in &self.modes {
-                    rows.push(apim.run_with_mode(app, bytes, mode)?);
-                }
-            }
-        }
+        let rows = jobs
+            .into_iter()
+            .map(|(app, bytes, mode)| apim.run_with_mode(app, bytes, mode))
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(CampaignResults { rows })
     }
+
+    /// Runs the full cross product on a parallel backend (the `apim-serve`
+    /// worker pool implements [`CampaignExecutor`]). Row order and values
+    /// are identical to [`Campaign::run`] — the backend only changes the
+    /// wall-clock time.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first simulator or runtime error.
+    pub fn run_parallel<E: CampaignExecutor>(self, executor: &E) -> Result<CampaignResults, ApimError> {
+        let jobs = self.jobs();
+        let rows = executor.run_campaign(&self.config, &jobs)?;
+        Ok(CampaignResults { rows })
+    }
+}
+
+/// A backend able to execute a campaign's job list in parallel. The sole
+/// in-tree implementation is `apim_serve::Pool`, which shards simulator
+/// instances across worker threads; the contract is strict: one
+/// [`RunReport`] per job, in job order, identical to what the serial path
+/// produces.
+pub trait CampaignExecutor {
+    /// Executes every `(app, dataset_bytes, mode)` job under `config`,
+    /// returning reports in job order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first configuration or execution error.
+    fn run_campaign(
+        &self,
+        config: &ApimConfig,
+        jobs: &[(App, u64, PrecisionMode)],
+    ) -> Result<Vec<RunReport>, ApimError>;
 }
 
 impl Default for Campaign {

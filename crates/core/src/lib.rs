@@ -61,7 +61,7 @@ pub use apim_workloads::{App, QualityReport, RunConfig};
 
 /// Commonly used items in one import.
 pub mod prelude {
-    pub use crate::campaign::Campaign;
+    pub use crate::campaign::{Campaign, CampaignExecutor};
     pub use crate::{
         AdaptiveController, Apim, ApimConfig, App, AppProfile, Comparison, GpuModel, PrecisionMode,
         RunReport,

@@ -22,6 +22,9 @@ pub enum ApimError {
     Arch(ArchError),
     /// A crossbar-layer error (gate-level simulation).
     Crossbar(CrossbarError),
+    /// An execution runtime (e.g. the `apim-serve` pool) reported a
+    /// failure it could not recover by retrying.
+    Runtime(String),
 }
 
 impl fmt::Display for ApimError {
@@ -29,6 +32,7 @@ impl fmt::Display for ApimError {
         match self {
             ApimError::Arch(e) => write!(f, "{e}"),
             ApimError::Crossbar(e) => write!(f, "{e}"),
+            ApimError::Runtime(msg) => write!(f, "runtime failure: {msg}"),
         }
     }
 }
@@ -38,6 +42,7 @@ impl Error for ApimError {
         match self {
             ApimError::Arch(e) => Some(e),
             ApimError::Crossbar(e) => Some(e),
+            ApimError::Runtime(_) => None,
         }
     }
 }

@@ -1,0 +1,383 @@
+//! Lock-free observability for the serving runtime.
+//!
+//! Every instrument is a plain atomic: counters and gauges are single
+//! `AtomicU64`/`AtomicI64` cells, histograms are fixed arrays of atomic
+//! buckets. Recording never takes a lock and never allocates, so the hot
+//! path of a worker thread pays a handful of relaxed atomic adds per
+//! request. [`Metrics::snapshot`] reads everything into an immutable
+//! [`MetricsSnapshot`] whose `Display` impl is the text exporter.
+
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous level (queue depth, busy workers).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Sets an absolute level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of buckets in a [`Histogram`]: powers of two from 1 µs up to
+/// ~2³⁸ µs (≈ 76 h), which comfortably brackets any request latency the
+/// runtime can produce.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A fixed-bucket latency histogram with power-of-two bucket edges.
+///
+/// Bucket `i` counts samples in `[2^(i-1), 2^i)` microseconds (bucket 0
+/// counts 0 µs samples); quantiles report the upper edge of the bucket
+/// containing the requested rank, so they are conservative by at most 2×.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Index of the bucket holding a `us`-microsecond sample.
+    fn bucket_of(us: u64) -> usize {
+        ((64 - us.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Upper edge, in µs, of bucket `i`.
+    fn upper_edge(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&self, latency: Duration) {
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound, in µs, on the `q`-quantile (`0.0 ..= 1.0`) of the
+    /// recorded samples; `None` when empty.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::upper_edge(i));
+            }
+        }
+        Some(Self::upper_edge(HISTOGRAM_BUCKETS - 1))
+    }
+
+    /// Mean sample, in µs; `None` when empty.
+    pub fn mean_us(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum_us.load(Ordering::Relaxed) as f64 / n as f64)
+    }
+}
+
+/// Per-tenant counters. The registry keeps [`TENANT_SLOTS`] of these;
+/// tenant ids are folded into the slots modulo [`TENANT_SLOTS`], so small
+/// deployments (ids `0..8`) get exact per-tenant figures and larger id
+/// spaces degrade to striped aggregates rather than unbounded memory.
+#[derive(Debug, Default)]
+pub struct TenantCounters {
+    /// Requests admitted into the queue.
+    pub accepted: Counter,
+    /// Requests rejected at admission (overload or quota).
+    pub rejected: Counter,
+    /// Requests that finished with a successful outcome.
+    pub completed: Counter,
+}
+
+/// Number of per-tenant metric stripes.
+pub const TENANT_SLOTS: usize = 8;
+
+/// The serving runtime's metrics registry. All instruments are lock-free;
+/// share it as an `Arc<Metrics>` between the pool and observers.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests admitted into the queue.
+    pub accepted: Counter,
+    /// Requests rejected with `Overloaded` at admission.
+    pub rejected: Counter,
+    /// Requests answered with a successful outcome.
+    pub completed: Counter,
+    /// Requests answered with a structured error after retries.
+    pub failed: Counter,
+    /// Execution attempts beyond the first (retry/backoff loop).
+    pub retries: Counter,
+    /// Batches dispatched to workers.
+    pub batches: Counter,
+    /// Requests that shared a batch with at least one other request.
+    pub coalesced: Counter,
+    /// Jobs currently waiting in the intake queue.
+    pub queue_depth: Gauge,
+    /// Workers currently executing a batch.
+    pub workers_busy: Gauge,
+    /// End-to-end request latency (submission → response).
+    pub latency: Histogram,
+    /// Per-batch service time on a worker.
+    pub batch_service: Histogram,
+    /// Striped per-tenant counters (see [`TenantCounters`]).
+    pub per_tenant: [TenantCounters; TENANT_SLOTS],
+}
+
+impl Metrics {
+    /// The per-tenant stripe for a tenant id.
+    pub fn tenant(&self, id: u16) -> &TenantCounters {
+        &self.per_tenant[usize::from(id) % TENANT_SLOTS]
+    }
+
+    /// Reads every instrument into an immutable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            accepted: self.accepted.get(),
+            rejected: self.rejected.get(),
+            completed: self.completed.get(),
+            failed: self.failed.get(),
+            retries: self.retries.get(),
+            batches: self.batches.get(),
+            coalesced: self.coalesced.get(),
+            queue_depth: self.queue_depth.get(),
+            workers_busy: self.workers_busy.get(),
+            latency_p50_us: self.latency.quantile_us(0.50),
+            latency_p95_us: self.latency.quantile_us(0.95),
+            latency_p99_us: self.latency.quantile_us(0.99),
+            latency_mean_us: self.latency.mean_us(),
+            batch_service_p50_us: self.batch_service.quantile_us(0.50),
+            tenants: self
+                .per_tenant
+                .iter()
+                .map(|t| (t.accepted.get(), t.rejected.get(), t.completed.get()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of every instrument in [`Metrics`]; its `Display`
+/// impl is the text exporter (one `apim_serve_*` line per figure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests admitted.
+    pub accepted: u64,
+    /// Requests rejected at admission.
+    pub rejected: u64,
+    /// Successful responses.
+    pub completed: u64,
+    /// Failed responses.
+    pub failed: u64,
+    /// Retry attempts.
+    pub retries: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Requests that shared a batch.
+    pub coalesced: u64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: i64,
+    /// Busy workers at snapshot time.
+    pub workers_busy: i64,
+    /// p50 end-to-end latency, µs.
+    pub latency_p50_us: Option<u64>,
+    /// p95 end-to-end latency, µs.
+    pub latency_p95_us: Option<u64>,
+    /// p99 end-to-end latency, µs.
+    pub latency_p99_us: Option<u64>,
+    /// Mean end-to-end latency, µs.
+    pub latency_mean_us: Option<f64>,
+    /// p50 batch service time, µs.
+    pub batch_service_p50_us: Option<u64>,
+    /// `(accepted, rejected, completed)` per tenant stripe.
+    pub tenants: Vec<(u64, u64, u64)>,
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# apim-serve metrics snapshot")?;
+        writeln!(f, "apim_serve_accepted_total {}", self.accepted)?;
+        writeln!(f, "apim_serve_rejected_total {}", self.rejected)?;
+        writeln!(f, "apim_serve_completed_total {}", self.completed)?;
+        writeln!(f, "apim_serve_failed_total {}", self.failed)?;
+        writeln!(f, "apim_serve_retries_total {}", self.retries)?;
+        writeln!(f, "apim_serve_batches_total {}", self.batches)?;
+        writeln!(f, "apim_serve_coalesced_total {}", self.coalesced)?;
+        writeln!(f, "apim_serve_queue_depth {}", self.queue_depth)?;
+        writeln!(f, "apim_serve_workers_busy {}", self.workers_busy)?;
+        for (name, v) in [
+            ("p50", self.latency_p50_us),
+            ("p95", self.latency_p95_us),
+            ("p99", self.latency_p99_us),
+        ] {
+            writeln!(
+                f,
+                "apim_serve_latency_{name}_us {}",
+                v.map_or_else(|| "nan".into(), |v| v.to_string())
+            )?;
+        }
+        writeln!(
+            f,
+            "apim_serve_latency_mean_us {}",
+            self.latency_mean_us
+                .map_or_else(|| "nan".into(), |v| format!("{v:.1}"))
+        )?;
+        for (slot, (acc, rej, comp)) in self.tenants.iter().enumerate() {
+            if acc + rej + comp > 0 {
+                writeln!(
+                    f,
+                    "apim_serve_tenant{{slot=\"{slot}\"}} accepted={acc} rejected={rej} completed={comp}"
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let m = Metrics::default();
+        m.accepted.inc();
+        m.accepted.add(4);
+        m.queue_depth.inc();
+        m.queue_depth.inc();
+        m.queue_depth.dec();
+        assert_eq!(m.accepted.get(), 5);
+        assert_eq!(m.queue_depth.get(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_power_of_two_edges() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(1023), 10);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_of_a_uniform_ramp() {
+        let h = Histogram::default();
+        for us in 1..=100u64 {
+            h.record(Duration::from_micros(us));
+        }
+        // Samples 1..=100 µs: the median rank (50) falls in bucket
+        // [32, 64), the p99 rank (99) in [64, 128).
+        assert_eq!(h.quantile_us(0.50), Some(64));
+        assert_eq!(h.quantile_us(0.95), Some(128));
+        assert_eq!(h.quantile_us(0.99), Some(128));
+        assert_eq!(h.quantile_us(0.0), Some(2), "min rank clamps to 1 sample");
+        assert_eq!(h.quantile_us(1.0), Some(128));
+        let mean = h.mean_us().unwrap();
+        assert!((mean - 50.5).abs() < 1e-9, "{mean}");
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_us(0.5), None);
+        assert_eq!(h.mean_us(), None);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let h = Histogram::default();
+        let mut x = 1u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(Duration::from_micros(x % 1_000_000));
+        }
+        let mut last = 0;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let v = h.quantile_us(q).unwrap();
+            assert!(v >= last, "quantile({q}) = {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn snapshot_renders_every_line() {
+        let m = Metrics::default();
+        m.accepted.add(10);
+        m.tenant(3).accepted.add(7);
+        m.tenant(3 + TENANT_SLOTS as u16).accepted.add(1); // striped alias
+        m.latency.record(Duration::from_micros(500));
+        let text = m.snapshot().to_string();
+        assert!(text.contains("apim_serve_accepted_total 10"));
+        assert!(text.contains("apim_serve_latency_p50_us 512"));
+        assert!(text.contains("slot=\"3\""));
+        assert!(text.contains("accepted=8"), "aliased stripe sums: {text}");
+    }
+}

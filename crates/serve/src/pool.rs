@@ -1,0 +1,569 @@
+//! The worker pool: sharded simulator instances behind a bounded queue.
+//!
+//! Each worker thread owns its own [`Apim`] instance (the simulator is a
+//! cheap value type, so sharding it removes all cross-worker contention on
+//! the hot path); work arrives as coalesced batches from the shared
+//! [`Intake`](crate::queue::Intake) queue. Execution attempts that fail —
+//! simulator errors, injected faults, worker panics — are retried with
+//! capped exponential backoff while the request's deadline allows, then
+//! surfaced as a structured [`ServeError`].
+
+use crate::metrics::Metrics;
+use crate::queue::{Intake, Job};
+use crate::request::{JobKind, JobOutput, Request, Response, ServeError};
+use apim::{Apim, ApimConfig, ApimError, App, PrecisionMode};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Deterministic fault injection for chaos-testing the retry and
+/// panic-isolation paths. Attempt numbers are global across the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPlan {
+    /// No injected faults.
+    #[default]
+    None,
+    /// Every `n`-th execution attempt returns a synthetic failure.
+    FailEvery(u64),
+    /// Every `n`-th execution attempt panics inside the worker.
+    PanicEvery(u64),
+}
+
+/// Configuration of a [`Pool`].
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Worker threads (each holds one simulator shard). Must be nonzero.
+    pub workers: usize,
+    /// Intake queue capacity: admission control rejects beyond this.
+    pub queue_depth: usize,
+    /// Largest batch a worker coalesces per pop.
+    pub max_batch: usize,
+    /// Retries after a failed execution attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub retry_backoff: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_cap: Duration,
+    /// Deadline applied to requests that carry none.
+    pub default_deadline: Option<Duration>,
+    /// Max queue slots one tenant may hold (`None` = no quota).
+    pub per_tenant_quota: Option<usize>,
+    /// Device configuration for every worker's simulator shard.
+    pub apim: ApimConfig,
+    /// Injected faults (testing).
+    pub fault: FaultPlan,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
+            queue_depth: 256,
+            max_batch: 8,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(50),
+            default_deadline: None,
+            per_tenant_quota: None,
+            apim: ApimConfig::default(),
+            fault: FaultPlan::None,
+        }
+    }
+}
+
+/// One-slot rendezvous delivering a [`Response`] to a [`JobHandle`].
+#[derive(Debug, Default)]
+pub struct ResponseSlot {
+    value: Mutex<Option<Response>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    fn fill(&self, response: Response) {
+        let mut value = self.value.lock().expect("slot lock");
+        *value = Some(response);
+        drop(value);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Response {
+        let mut value = self.value.lock().expect("slot lock");
+        loop {
+            if let Some(response) = value.take() {
+                return response;
+            }
+            value = self.ready.wait(value).expect("slot lock");
+        }
+    }
+
+    fn try_take(&self) -> Option<Response> {
+        self.value.lock().expect("slot lock").take()
+    }
+}
+
+/// Receipt for an accepted request; redeem it with [`JobHandle::wait`].
+#[derive(Debug)]
+pub struct JobHandle {
+    id: u64,
+    slot: Arc<ResponseSlot>,
+}
+
+impl JobHandle {
+    /// The pool-assigned request id (submission order).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the response arrives. Every accepted request is
+    /// answered, including across drain and shutdown.
+    pub fn wait(self) -> Response {
+        self.slot.wait()
+    }
+
+    /// Returns the response if it already arrived, consuming it.
+    pub fn try_wait(&self) -> Option<Response> {
+        self.slot.try_take()
+    }
+}
+
+/// A concurrent serving pool over sharded APIM simulator instances.
+///
+/// ```
+/// use apim_serve::{JobKind, Pool, PoolConfig, Request};
+///
+/// # fn main() -> Result<(), apim::ApimError> {
+/// let pool = Pool::new(PoolConfig { workers: 2, ..PoolConfig::default() })?;
+/// let handle = pool
+///     .submit(Request::new(JobKind::Multiply { a: 7, b: 6 }))
+///     .expect("queue has room");
+/// let response = handle.wait();
+/// assert!(response.result.is_ok());
+/// pool.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    config: PoolConfig,
+}
+
+#[derive(Debug)]
+struct Shared {
+    intake: Intake,
+    metrics: Arc<Metrics>,
+    config: PoolConfig,
+    next_id: AtomicU64,
+    attempt_counter: AtomicU64,
+}
+
+impl Pool {
+    /// Spawns the workers, each with its own simulator shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`apim::ArchError::ZeroUnits`] for `workers == 0` and
+    /// propagates invalid device configurations.
+    pub fn new(config: PoolConfig) -> Result<Self, ApimError> {
+        if config.workers == 0 {
+            return Err(apim::ArchError::ZeroUnits.into());
+        }
+        // Validate the device configuration once, up front.
+        Apim::new(config.apim.clone())?;
+        let metrics = Arc::new(Metrics::default());
+        let shared = Arc::new(Shared {
+            intake: Intake::new(
+                config.queue_depth,
+                config.per_tenant_quota,
+                Arc::clone(&metrics),
+            ),
+            metrics,
+            config: config.clone(),
+            next_id: AtomicU64::new(0),
+            attempt_counter: AtomicU64::new(0),
+        });
+        let workers = (0..config.workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("apim-serve-{index}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Ok(Pool {
+            shared,
+            workers,
+            config,
+        })
+    }
+
+    /// The pool's configuration.
+    pub fn config(&self) -> &PoolConfig {
+        &self.config
+    }
+
+    /// The live metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Submits a request. Admission control answers synchronously: a full
+    /// queue or exhausted tenant quota rejects immediately (backpressure),
+    /// an accepted request returns a [`JobHandle`] that is always
+    /// eventually answered.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`], [`ServeError::QuotaExceeded`] or
+    /// [`ServeError::ShuttingDown`].
+    pub fn submit(&self, request: Request) -> Result<JobHandle, ServeError> {
+        let metrics = &self.shared.metrics;
+        let slot = Arc::new(ResponseSlot::default());
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let tenant = request.tenant;
+        let job = Job {
+            id,
+            request,
+            submitted: Instant::now(),
+            slot: Arc::clone(&slot),
+        };
+        match self.shared.intake.push(job) {
+            Ok(()) => {
+                metrics.accepted.inc();
+                metrics.tenant(tenant.0).accepted.inc();
+                Ok(JobHandle { id, slot })
+            }
+            Err(e) => {
+                metrics.rejected.inc();
+                metrics.tenant(tenant.0).rejected.inc();
+                Err(e)
+            }
+        }
+    }
+
+    /// Blocks until every accepted request has been answered. New
+    /// submissions remain possible afterwards; call [`Pool::shutdown`] to
+    /// also stop the workers.
+    pub fn drain(&self) {
+        self.shared.intake.drain();
+    }
+
+    /// Graceful shutdown: stop accepting, finish the entire backlog, join
+    /// every worker. Consumes the pool.
+    pub fn shutdown(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        self.shared.intake.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// Jobs currently queued (excludes in-flight work).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.intake.depth()
+    }
+
+    /// Executes a fixed request set to completion, bypassing admission
+    /// control, and returns responses in input order.
+    ///
+    /// This is the one-shot path (`apim-cli serve`, parallel campaigns):
+    /// with the whole workload known up front the pool batches it by
+    /// `(app, mode)`, costs each batch with the device's analytic model
+    /// and places batches onto workers with the architecture layer's LPT
+    /// [`Schedule`](apim_arch::scheduler::Schedule) — the same scheduler
+    /// the simulated device uses for its block pairs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device configuration errors; per-request failures are
+    /// reported inside each [`Response`].
+    pub fn run_all(&self, requests: Vec<Request>) -> Result<Vec<Response>, ApimError> {
+        self.run_all_with_config(&self.config.apim, requests)
+    }
+
+    /// [`Pool::run_all`] with an explicit device configuration (used by
+    /// parallel campaigns, whose sweep carries its own config).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device configuration errors.
+    pub fn run_all_with_config(
+        &self,
+        device: &ApimConfig,
+        requests: Vec<Request>,
+    ) -> Result<Vec<Response>, ApimError> {
+        let probe = Apim::new(device.clone())?;
+        // Group request indices into batches keyed by (app, mode).
+        type BatchKey = (Option<App>, PrecisionMode);
+        let mut batches: Vec<(BatchKey, Vec<usize>)> = Vec::new();
+        let mut by_key: HashMap<BatchKey, usize> = HashMap::new();
+        for (index, request) in requests.iter().enumerate() {
+            let key = request.batch_key();
+            let slot = *by_key.entry(key).or_insert_with(|| {
+                batches.push((key, Vec::new()));
+                batches.len() - 1
+            });
+            batches[slot].1.push(index);
+        }
+        // Cost each batch with the analytic model and LPT-place the
+        // batches onto the worker count.
+        let cycles: Vec<apim::Cycles> = batches
+            .iter()
+            .map(|(_, members)| {
+                let total: u64 = members
+                    .iter()
+                    .map(|&i| estimate_cycles(&probe, &requests[i]))
+                    .sum();
+                apim::Cycles::new(total.max(1))
+            })
+            .collect();
+        let schedule =
+            apim_arch::scheduler::Schedule::lpt(&cycles, u32::try_from(self.config.workers).unwrap_or(u32::MAX))
+                .map_err(ApimError::from)?;
+        // Per-worker batch lists, executed on scoped threads with one
+        // simulator shard each; results land at their original index.
+        let mut per_worker: Vec<Vec<usize>> = vec![Vec::new(); self.config.workers];
+        for placement in schedule.placements() {
+            per_worker[placement.unit as usize].push(placement.job);
+        }
+        let mut slots: Vec<Option<Response>> = Vec::new();
+        slots.resize_with(requests.len(), || None);
+        let slots = Mutex::new(slots);
+        let shared = &self.shared;
+        let requests = &requests;
+        let batches = &batches;
+        std::thread::scope(|scope| -> Result<(), ApimError> {
+            let mut joins = Vec::new();
+            for batch_ids in per_worker.into_iter().filter(|w| !w.is_empty()) {
+                let apim = Apim::new(device.clone())?;
+                let slots = &slots;
+                joins.push(scope.spawn(move || {
+                    for batch_id in batch_ids {
+                        let started = Instant::now();
+                        let members = &batches[batch_id].1;
+                        let mut memo = RunMemo::default();
+                        for &index in members {
+                            let response = execute_job(
+                                shared,
+                                &apim,
+                                &mut memo,
+                                index as u64,
+                                &requests[index],
+                                started,
+                            );
+                            let tenant = requests[index].tenant;
+                            shared.metrics.accepted.inc();
+                            shared.metrics.tenant(tenant.0).accepted.inc();
+                            if response.result.is_ok() {
+                                shared.metrics.completed.inc();
+                                shared.metrics.tenant(tenant.0).completed.inc();
+                            } else {
+                                shared.metrics.failed.inc();
+                            }
+                            slots.lock().expect("result slots")[index] = Some(response);
+                        }
+                        shared.metrics.batches.inc();
+                        if members.len() > 1 {
+                            shared.metrics.coalesced.add(members.len() as u64);
+                        }
+                        shared.metrics.batch_service.record(started.elapsed());
+                    }
+                }));
+            }
+            for join in joins {
+                let _ = join.join();
+            }
+            Ok(())
+        })?;
+        Ok(slots
+            .into_inner()
+            .expect("result slots")
+            .into_iter()
+            .map(|r| r.expect("every request answered"))
+            .collect())
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+/// Modeled cycle cost of one request — the weight LPT balances on.
+fn estimate_cycles(apim: &Apim, request: &Request) -> u64 {
+    match &request.kind {
+        JobKind::Run { app, dataset_bytes } => apim
+            .executor()
+            .run_profile_with_mode(&apim::profile_of(*app), *dataset_bytes, request.mode)
+            .map(|cost| cost.cycles.get())
+            .unwrap_or(1),
+        JobKind::Multiply { .. } => u64::from(apim.config().operand_bits) * 16,
+        JobKind::Mac { pairs } => pairs.len() as u64 * u64::from(apim.config().operand_bits) * 16,
+    }
+}
+
+/// Within one batch, identical `(app, dataset, mode)` runs are computed
+/// once — the setup amortization batching exists for.
+#[derive(Default)]
+struct RunMemo {
+    runs: HashMap<(App, u64, PrecisionMode), Result<JobOutput, ServeError>>,
+}
+
+fn worker_loop(shared: &Shared) {
+    let apim = match Apim::new(shared.config.apim.clone()) {
+        Ok(apim) => apim,
+        // Pool::new validated the config; this is unreachable in practice.
+        Err(_) => return,
+    };
+    while let Some(batch) = shared.intake.pop_batch(shared.config.max_batch) {
+        shared.metrics.workers_busy.inc();
+        let started = Instant::now();
+        let mut memo = RunMemo::default();
+        let size = batch.len();
+        // Batch-shape metrics are published before any response slot is
+        // filled, so a snapshot taken by a client that has observed every
+        // response accounts for every batch too.
+        shared.metrics.batches.inc();
+        if size > 1 {
+            shared.metrics.coalesced.add(size as u64);
+        }
+        for job in &batch {
+            let response = execute_job(shared, &apim, &mut memo, job.id, &job.request, job.submitted);
+            // Metrics update before the slot fill: a client that observes
+            // the response must also observe its effect on the registry.
+            if response.result.is_ok() {
+                shared.metrics.completed.inc();
+                shared.metrics.tenant(job.request.tenant.0).completed.inc();
+            } else {
+                shared.metrics.failed.inc();
+            }
+            job.slot.fill(response);
+        }
+        shared.metrics.batch_service.record(started.elapsed());
+        // Gauge drops before `done`: anyone woken by a completed drain must
+        // see an idle pool in the snapshot.
+        shared.metrics.workers_busy.dec();
+        shared.intake.done(size);
+    }
+}
+
+/// Executes one request with deadline checks and capped-exponential-backoff
+/// retries, recording latency and retry metrics.
+fn execute_job(
+    shared: &Shared,
+    apim: &Apim,
+    memo: &mut RunMemo,
+    id: u64,
+    request: &Request,
+    submitted: Instant,
+) -> Response {
+    let deadline = request
+        .deadline
+        .or(shared.config.default_deadline)
+        .map(|d| submitted + d);
+    let max_attempts = 1 + shared.config.max_retries;
+    let mut attempts = 0;
+    let mut last_error = ServeError::WorkerPanicked;
+    while attempts < max_attempts {
+        if deadline.is_some_and(|d| Instant::now() > d) {
+            last_error = ServeError::DeadlineExceeded;
+            break;
+        }
+        attempts += 1;
+        match attempt(shared, apim, memo, request) {
+            Ok(output) => {
+                let latency = submitted.elapsed();
+                shared.metrics.latency.record(latency);
+                return Response {
+                    id,
+                    tenant: request.tenant,
+                    attempts,
+                    latency,
+                    result: Ok(output),
+                };
+            }
+            Err(error) => {
+                last_error = error;
+                if attempts < max_attempts {
+                    shared.metrics.retries.inc();
+                    let backoff = shared
+                        .config
+                        .retry_backoff
+                        .saturating_mul(1 << (attempts - 1).min(16))
+                        .min(shared.config.backoff_cap);
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+    }
+    let latency = submitted.elapsed();
+    shared.metrics.latency.record(latency);
+    Response {
+        id,
+        tenant: request.tenant,
+        attempts,
+        latency,
+        result: Err(match last_error {
+            ServeError::Failed { reason, .. } => ServeError::Failed { reason, attempts },
+            other => other,
+        }),
+    }
+}
+
+/// One execution attempt, with injected faults and panic isolation.
+fn attempt(
+    shared: &Shared,
+    apim: &Apim,
+    memo: &mut RunMemo,
+    request: &Request,
+) -> Result<JobOutput, ServeError> {
+    let attempt_number = shared.attempt_counter.fetch_add(1, Ordering::Relaxed) + 1;
+    match shared.config.fault {
+        FaultPlan::FailEvery(n) if n > 0 && attempt_number.is_multiple_of(n) => {
+            return Err(ServeError::Failed {
+                reason: "injected fault".into(),
+                attempts: 0,
+            });
+        }
+        _ => {}
+    }
+    let panic_here = matches!(shared.config.fault, FaultPlan::PanicEvery(n)
+        if n > 0 && attempt_number.is_multiple_of(n));
+    catch_unwind(AssertUnwindSafe(|| {
+        if panic_here {
+            panic!("injected panic");
+        }
+        match &request.kind {
+            JobKind::Run { app, dataset_bytes } => {
+                let key = (*app, *dataset_bytes, request.mode);
+                if let Some(cached) = memo.runs.get(&key) {
+                    return cached.clone();
+                }
+                let result = apim
+                    .run_with_mode(*app, *dataset_bytes, request.mode)
+                    .map(|report| JobOutput::Run(Box::new(report)))
+                    .map_err(|e| ServeError::Failed {
+                        reason: e.to_string(),
+                        attempts: 0,
+                    });
+                memo.runs.insert(key, result.clone());
+                result
+            }
+            JobKind::Multiply { a, b } => Ok(JobOutput::Multiply(apim.multiply(*a, *b, request.mode))),
+            JobKind::Mac { pairs } => {
+                let (reports, batch) = apim.multiply_batch(pairs, request.mode);
+                Ok(JobOutput::Mac { reports, batch })
+            }
+        }
+    }))
+    .unwrap_or(Err(ServeError::WorkerPanicked))
+}

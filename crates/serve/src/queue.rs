@@ -1,0 +1,157 @@
+//! Bounded intake queue with admission control, coalescing pop and drain
+//! tracking.
+//!
+//! Admission is synchronous and never blocks: a full queue (or an
+//! exhausted per-tenant quota) rejects immediately with a structured
+//! error, so producers get backpressure instead of unbounded growth.
+//! Workers pop *batches*: the oldest job plus up to `max_batch - 1`
+//! queued jobs sharing its `(app, mode)` batch key, preserving FIFO order
+//! within the key.
+
+use crate::metrics::Metrics;
+use crate::request::{Request, ServeError, TenantId};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use crate::pool::ResponseSlot;
+
+/// One queued unit of work: the request plus its delivery plumbing.
+#[derive(Debug)]
+pub(crate) struct Job {
+    pub id: u64,
+    pub request: Request,
+    pub submitted: Instant,
+    pub slot: Arc<ResponseSlot>,
+}
+
+#[derive(Debug)]
+struct State {
+    jobs: VecDeque<Job>,
+    open: bool,
+    inflight: usize,
+    per_tenant: HashMap<TenantId, usize>,
+}
+
+/// The shared intake queue.
+#[derive(Debug)]
+pub(crate) struct Intake {
+    state: Mutex<State>,
+    not_empty: Condvar,
+    idle: Condvar,
+    capacity: usize,
+    per_tenant_quota: Option<usize>,
+    metrics: Arc<Metrics>,
+}
+
+impl Intake {
+    pub fn new(capacity: usize, per_tenant_quota: Option<usize>, metrics: Arc<Metrics>) -> Self {
+        Intake {
+            state: Mutex::new(State {
+                jobs: VecDeque::with_capacity(capacity.min(1024)),
+                open: true,
+                inflight: 0,
+                per_tenant: HashMap::new(),
+            }),
+            not_empty: Condvar::new(),
+            idle: Condvar::new(),
+            capacity,
+            per_tenant_quota,
+            metrics,
+        }
+    }
+
+    /// Admission control: accept the job or reject it synchronously.
+    pub fn push(&self, job: Job) -> Result<(), ServeError> {
+        let mut state = self.state.lock().expect("intake lock");
+        if !state.open {
+            return Err(ServeError::ShuttingDown);
+        }
+        if state.jobs.len() >= self.capacity {
+            return Err(ServeError::Overloaded {
+                depth: self.capacity,
+            });
+        }
+        let tenant = job.request.tenant;
+        let held = state.per_tenant.entry(tenant).or_insert(0);
+        if let Some(quota) = self.per_tenant_quota {
+            if *held >= quota {
+                return Err(ServeError::QuotaExceeded { tenant });
+            }
+        }
+        *held += 1;
+        state.jobs.push_back(job);
+        self.metrics.queue_depth.set(state.jobs.len() as i64);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until work is available, then pops the oldest job plus up to
+    /// `max_batch - 1` queued jobs with the same batch key. Returns `None`
+    /// once the queue is closed *and* empty (worker shutdown signal).
+    pub fn pop_batch(&self, max_batch: usize) -> Option<Vec<Job>> {
+        let mut state = self.state.lock().expect("intake lock");
+        loop {
+            if let Some(first) = state.jobs.pop_front() {
+                let key = first.request.batch_key();
+                let mut batch = vec![first];
+                let mut index = 0;
+                while batch.len() < max_batch && index < state.jobs.len() {
+                    if state.jobs[index].request.batch_key() == key {
+                        batch.push(state.jobs.remove(index).expect("index in bounds"));
+                    } else {
+                        index += 1;
+                    }
+                }
+                for job in &batch {
+                    let held = state
+                        .per_tenant
+                        .get_mut(&job.request.tenant)
+                        .expect("tenant accounted at push");
+                    *held -= 1;
+                }
+                state.per_tenant.retain(|_, held| *held > 0);
+                state.inflight += batch.len();
+                self.metrics.queue_depth.set(state.jobs.len() as i64);
+                return Some(batch);
+            }
+            if !state.open {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("intake lock");
+        }
+    }
+
+    /// Marks `n` popped jobs as responded; wakes drainers when the queue
+    /// goes fully idle.
+    pub fn done(&self, n: usize) {
+        let mut state = self.state.lock().expect("intake lock");
+        state.inflight -= n;
+        if state.jobs.is_empty() && state.inflight == 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    /// Blocks until every accepted job has been responded to.
+    pub fn drain(&self) {
+        let mut state = self.state.lock().expect("intake lock");
+        while !(state.jobs.is_empty() && state.inflight == 0) {
+            state = self.idle.wait(state).expect("intake lock");
+        }
+    }
+
+    /// Stops accepting new work and wakes every blocked worker so they can
+    /// finish the backlog and exit.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("intake lock");
+        state.open = false;
+        drop(state);
+        self.not_empty.notify_all();
+    }
+
+    /// Jobs currently queued (excludes in-flight).
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("intake lock").jobs.len()
+    }
+}

@@ -1,0 +1,326 @@
+//! Multi-thread integration tests of the serving runtime: admission
+//! control under pressure, drain/shutdown completeness, panic isolation,
+//! retry/backoff, deadlines and loadgen determinism.
+
+use apim::App;
+use apim_serve::{
+    loadgen, FaultPlan, JobKind, Pool, PoolConfig, Request, ServeError, TenantId,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A moderately expensive request (~ms of kernel work) for queue-pressure
+/// tests.
+fn run_request(app: App) -> Request {
+    Request::new(JobKind::Run {
+        app,
+        dataset_bytes: 64 << 20,
+    })
+}
+
+fn small_pool(workers: usize, queue_depth: usize) -> Pool {
+    Pool::new(PoolConfig {
+        workers,
+        queue_depth,
+        max_batch: 4,
+        ..PoolConfig::default()
+    })
+    .expect("valid pool")
+}
+
+#[test]
+fn queue_fills_to_overloaded_and_drain_loses_nothing() {
+    let pool = Arc::new(small_pool(2, 4));
+    let max_depth_seen = Arc::new(AtomicUsize::new(0));
+    // Four producers race 25 submissions each against two slow workers.
+    let mut accepted_handles = Vec::new();
+    let mut rejected = 0usize;
+    std::thread::scope(|scope| {
+        let mut producers = Vec::new();
+        for _ in 0..4 {
+            let pool = Arc::clone(&pool);
+            let max_depth_seen = Arc::clone(&max_depth_seen);
+            producers.push(scope.spawn(move || {
+                let mut handles = Vec::new();
+                let mut rejections = 0usize;
+                for _ in 0..25 {
+                    max_depth_seen.fetch_max(pool.queue_depth(), Ordering::Relaxed);
+                    match pool.submit(run_request(App::Fft)) {
+                        Ok(handle) => handles.push(handle),
+                        Err(e) => {
+                            assert!(
+                                matches!(e, ServeError::Overloaded { depth: 4 }),
+                                "unexpected rejection {e:?}"
+                            );
+                            rejections += 1;
+                        }
+                    }
+                }
+                (handles, rejections)
+            }));
+        }
+        for producer in producers {
+            let (handles, rejections) = producer.join().unwrap();
+            accepted_handles.extend(handles);
+            rejected += rejections;
+        }
+    });
+    assert!(rejected > 0, "4 producers vs depth-4 queue must overload");
+    assert!(
+        max_depth_seen.load(Ordering::Relaxed) <= 4,
+        "queue depth stayed bounded"
+    );
+    pool.drain();
+    // Every accepted request is answered, successfully, exactly once.
+    let accepted = accepted_handles.len();
+    for handle in accepted_handles {
+        let response = handle.try_wait().expect("drained pool answered everything");
+        assert!(response.result.is_ok(), "{:?}", response.result);
+    }
+    let snapshot = pool.metrics().snapshot();
+    assert_eq!(snapshot.accepted, accepted as u64);
+    assert_eq!(snapshot.completed, accepted as u64);
+    assert_eq!(snapshot.rejected, rejected as u64);
+    assert_eq!(snapshot.failed, 0);
+    assert_eq!(snapshot.queue_depth, 0);
+}
+
+#[test]
+fn shutdown_answers_the_entire_backlog() {
+    let pool = small_pool(2, 64);
+    let handles: Vec<_> = (0..32)
+        .map(|_| pool.submit(run_request(App::QuasiRandom)).expect("room"))
+        .collect();
+    pool.shutdown();
+    for handle in handles {
+        let response = handle.try_wait().expect("shutdown completed the backlog");
+        assert!(response.result.is_ok());
+    }
+}
+
+#[test]
+fn panicking_worker_neither_deadlocks_nor_loses_requests() {
+    let pool = Pool::new(PoolConfig {
+        workers: 3,
+        queue_depth: 64,
+        max_retries: 3,
+        retry_backoff: Duration::from_micros(100),
+        fault: FaultPlan::PanicEvery(3),
+        ..PoolConfig::default()
+    })
+    .expect("valid pool");
+    let handles: Vec<_> = (0..30)
+        .map(|_| pool.submit(run_request(App::QuasiRandom)).expect("room"))
+        .collect();
+    let mut completed = 0u64;
+    let mut panicked = 0u64;
+    for handle in handles {
+        match handle.wait().result {
+            Ok(_) => completed += 1,
+            Err(ServeError::WorkerPanicked) => panicked += 1,
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+    assert_eq!(completed + panicked, 30, "every request answered");
+    assert!(completed > 0, "retries recover most injected panics");
+    let snapshot = pool.metrics().snapshot();
+    assert_eq!(snapshot.completed, completed);
+    assert_eq!(snapshot.failed, panicked);
+    assert!(snapshot.retries > 0, "panics triggered the retry path");
+    pool.shutdown();
+}
+
+#[test]
+fn injected_faults_are_retried_with_backoff() {
+    let pool = Pool::new(PoolConfig {
+        workers: 1,
+        queue_depth: 16,
+        max_retries: 4,
+        retry_backoff: Duration::from_micros(50),
+        fault: FaultPlan::FailEvery(2),
+        ..PoolConfig::default()
+    })
+    .expect("valid pool");
+    let handles: Vec<_> = (0..10)
+        .map(|i| {
+            pool.submit(Request::new(JobKind::Multiply { a: i, b: i + 1 }))
+                .expect("room")
+        })
+        .collect();
+    for handle in handles {
+        let response = handle.wait();
+        // Every 2nd attempt fails, so every request eventually succeeds
+        // within one retry.
+        assert!(response.result.is_ok(), "{:?}", response.result);
+        assert!(response.attempts <= 2);
+    }
+    assert!(pool.metrics().snapshot().retries > 0);
+    pool.shutdown();
+}
+
+#[test]
+fn expired_deadline_is_a_structured_error() {
+    let pool = small_pool(1, 16);
+    // Stall the single worker, then submit a request that expires in the
+    // queue behind it.
+    let stall = pool.submit(run_request(App::Fft)).expect("room");
+    let doomed = pool
+        .submit(
+            Request::new(JobKind::Multiply { a: 1, b: 2 }).deadline(Duration::from_nanos(1)),
+        )
+        .expect("room");
+    assert!(matches!(
+        doomed.wait().result,
+        Err(ServeError::DeadlineExceeded)
+    ));
+    assert!(stall.wait().result.is_ok());
+    pool.shutdown();
+}
+
+#[test]
+fn tenant_quota_rejects_the_greedy_tenant_only() {
+    let pool = Pool::new(PoolConfig {
+        workers: 1,
+        queue_depth: 16,
+        per_tenant_quota: Some(2),
+        ..PoolConfig::default()
+    })
+    .expect("valid pool");
+    // Stall the worker so submissions stay queued.
+    let stall = pool.submit(run_request(App::Fft)).expect("room");
+    let greedy = TenantId(1);
+    let mut results = Vec::new();
+    for _ in 0..4 {
+        results.push(pool.submit(
+            Request::new(JobKind::Multiply { a: 1, b: 2 }).tenant(greedy),
+        ));
+    }
+    let quota_rejections = results
+        .iter()
+        .filter(|r| matches!(r, Err(ServeError::QuotaExceeded { tenant }) if *tenant == greedy))
+        .count();
+    assert!(quota_rejections > 0, "tenant 1 exceeded its 2-slot quota");
+    // A different tenant still gets in.
+    let other = pool
+        .submit(Request::new(JobKind::Multiply { a: 3, b: 4 }).tenant(TenantId(2)))
+        .expect("other tenants unaffected");
+    pool.drain();
+    assert!(other.wait().result.is_ok());
+    assert!(stall.wait().result.is_ok());
+    pool.shutdown();
+}
+
+#[test]
+fn batches_coalesce_same_key_requests() {
+    let pool = Pool::new(PoolConfig {
+        workers: 1,
+        queue_depth: 64,
+        max_batch: 8,
+        ..PoolConfig::default()
+    })
+    .expect("valid pool");
+    // Stall the worker, then enqueue 8 identical-key requests: they should
+    // ride in far fewer than 8 batches.
+    let stall = pool.submit(run_request(App::Fft)).expect("room");
+    let handles: Vec<_> = (0..8)
+        .map(|_| pool.submit(run_request(App::QuasiRandom)).expect("room"))
+        .collect();
+    for handle in handles {
+        assert!(handle.wait().result.is_ok());
+    }
+    assert!(stall.wait().result.is_ok());
+    let snapshot = pool.metrics().snapshot();
+    assert!(
+        snapshot.coalesced >= 2,
+        "same-key requests shared a batch: {snapshot:?}"
+    );
+    assert!(
+        snapshot.batches < 9,
+        "8 same-key requests + 1 stall took {} batches",
+        snapshot.batches
+    );
+    pool.shutdown();
+}
+
+#[test]
+fn zero_workers_is_a_structured_error() {
+    let err = Pool::new(PoolConfig {
+        workers: 0,
+        ..PoolConfig::default()
+    })
+    .unwrap_err();
+    assert!(err.to_string().contains("zero"), "{err}");
+}
+
+#[test]
+fn loadgen_is_deterministic_across_seeds_and_worker_counts() {
+    let run = |workers: usize| {
+        loadgen::run(&loadgen::LoadgenConfig {
+            requests: 40,
+            seed: 11,
+            pool: PoolConfig {
+                workers,
+                queue_depth: 64, // ≥ requests: nothing rejected
+                ..PoolConfig::default()
+            },
+        })
+        .expect("loadgen runs")
+    };
+    let a = run(2);
+    let b = run(2);
+    let c = run(4);
+    assert_eq!(a.accepted, 40);
+    assert_eq!(a.failed, 0);
+    assert_eq!(a.checksum, b.checksum, "same seed, same workers");
+    assert_eq!(a.checksum, c.checksum, "results do not depend on scheduling");
+    assert_eq!(a.completed, c.completed);
+
+    let other_seed = loadgen::run(&loadgen::LoadgenConfig {
+        requests: 40,
+        seed: 12,
+        pool: PoolConfig {
+            workers: 2,
+            queue_depth: 64,
+            ..PoolConfig::default()
+        },
+    })
+    .expect("loadgen runs");
+    assert_ne!(a.checksum, other_seed.checksum, "seed changes the mix");
+}
+
+/// The acceptance-criteria perf gate: ≥ 4 workers achieve ≥ 2× the
+/// throughput of 1 worker on the same seeded mix. Ignored by default
+/// (timing-sensitive); CI runs it in release via the serve-smoke step.
+#[test]
+#[ignore = "timing-sensitive; run explicitly (CI serve-smoke, --release)"]
+fn perf_4_workers_at_least_2x_1_worker() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores < 4 {
+        eprintln!("skipping scaling gate: {cores} core(s) available, need >= 4");
+        return;
+    }
+    let run = |workers: usize| {
+        loadgen::run(&loadgen::LoadgenConfig {
+            requests: 200,
+            seed: 7,
+            pool: PoolConfig {
+                workers,
+                queue_depth: 1024,
+                ..PoolConfig::default()
+            },
+        })
+        .expect("loadgen runs")
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial.completed, parallel.completed, "same accepted work");
+    assert!(
+        parallel.throughput_rps >= 2.0 * serial.throughput_rps,
+        "wanted ≥2x: 1 worker {:.1} req/s, 4 workers {:.1} req/s",
+        serial.throughput_rps,
+        parallel.throughput_rps
+    );
+}
