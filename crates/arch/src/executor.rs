@@ -100,6 +100,16 @@ impl Executor {
                     energy: trial.energy * f64::from(bits),
                 }
             }
+            Op::Sub { bits } => self.cost.serial_sub(bits),
+            Op::MulTrunc {
+                bits,
+                multiplier_ones,
+                mode,
+            } => match multiplier_ones {
+                Some(ones) => self.cost.multiply_trunc_with_ones(bits, ones, mode),
+                None => self.cost.multiply_trunc_expected(bits, mode),
+            },
+            Op::Shift { bits, amount } => self.cost.shift_copy(bits, amount),
         }
     }
 

@@ -50,6 +50,32 @@ pub enum Op {
         /// Operand width.
         bits: u32,
     },
+    /// Subtract two `bits`-wide operands (serial adder netlist with a
+    /// complemented subtrahend: `12N + 2` cycles).
+    Sub {
+        /// Operand width.
+        bits: u32,
+    },
+    /// Truncated `bits × bits → bits` multiplication (C `int` semantics,
+    /// the form compiled DAG products take). `multiplier_ones` as in
+    /// [`Op::Mul`].
+    MulTrunc {
+        /// Operand width.
+        bits: u32,
+        /// Known multiplier density, if any.
+        multiplier_ones: Option<u32>,
+        /// Precision mode for this multiplication.
+        mode: PrecisionMode,
+    },
+    /// Constant shift of a `bits`-wide word through the block interconnect:
+    /// positive `amount` is a logical left shift, negative an arithmetic
+    /// right shift (sign bits re-driven serially).
+    Shift {
+        /// Operand width.
+        bits: u32,
+        /// Signed shift distance.
+        amount: i32,
+    },
 }
 
 impl fmt::Display for Op {
@@ -60,6 +86,10 @@ impl fmt::Display for Op {
             Op::SumReduce { operands, bits } => write!(f, "sum{operands}x{bits}"),
             Op::Mac { group, bits, mode } => write!(f, "mac{group}x{bits} [{mode}]"),
             Op::Divide { bits } => write!(f, "div{bits}"),
+            Op::Sub { bits } => write!(f, "sub{bits}"),
+            Op::MulTrunc { bits, mode, .. } => write!(f, "tmul{bits} [{mode}]"),
+            Op::Shift { bits, amount } if *amount >= 0 => write!(f, "shl{bits}.{amount}"),
+            Op::Shift { bits, amount } => write!(f, "shr{bits}.{}", -amount),
         }
     }
 }

@@ -1,0 +1,55 @@
+//! Compiler-vs-hand-written cost: compiles the DAG-expressed workload
+//! inner loops, prints their cycle gap against the hand-scheduled kernels'
+//! analytic cost, and times the compile and gate-execute paths.
+
+use std::collections::HashMap;
+
+use apim_compile::{compile, CompileOptions};
+use apim_workloads::dags;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let options = CompileOptions::default();
+    for (name, dag, hand_cycles) in [
+        (
+            "sharpen",
+            dags::sharpen_dag(),
+            dags::sharpen_hand_cycles as fn(&apim_logic::CostModel) -> u64,
+        ),
+        (
+            "sobel",
+            dags::sobel_gradient_dag(),
+            dags::sobel_gradient_hand_cycles,
+        ),
+    ] {
+        let program = compile(&dag, &options).expect("workload DAG compiles");
+        let inputs: HashMap<String, u64> = program
+            .dag()
+            .inputs()
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.to_string(), (i as u64 + 1) << 12))
+            .collect();
+        let report = program.run(&inputs).expect("compiled program runs");
+        let hand = hand_cycles(program.model());
+        println!(
+            "compile: {name}: {} compiled vs {hand} hand cycles ({:+.1}% gap), {} micro-ops",
+            report.cycles,
+            100.0 * (report.cycles as f64 - hand as f64) / hand as f64,
+            report.trace_len
+        );
+
+        let mut group = c.benchmark_group("compile");
+        group.sample_size(10);
+        group.bench_function(format!("{name}/compile"), |b| {
+            b.iter(|| compile(&dag, &options).expect("compiles"))
+        });
+        group.bench_function(format!("{name}/run"), |b| {
+            b.iter(|| program.run(&inputs).expect("runs"))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

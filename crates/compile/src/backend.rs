@@ -1,0 +1,771 @@
+//! Gate-level backend: executes a compiled DAG on simulated cells and
+//! verifies the captured microprogram.
+//!
+//! The backend realizes each DAG node with the same primitive sequences
+//! the hand-written kernels use (`add_words`, `sub_words`,
+//! `reduce_rows_to_two_at`, the MAC's shared-NOT partial-product
+//! generator), placed per the [`Placement`]'s row map. Every execution
+//! runs with operation recording armed and finishes by replaying the
+//! trace through all five `apim-verify` hazard passes — including
+//! cycle-accounting against the closed-form cost this module accumulates
+//! node by node. A finding of error severity aborts the run with
+//! [`CompileError::VerificationFailed`].
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use apim_arch::isa::Trace;
+use apim_crossbar::{AllocEvent, BlockId, BlockedCrossbar, CrossbarConfig, RowAllocator, RowRef};
+use apim_device::Joules;
+use apim_logic::adder_serial::{add_words, add_words_with_carry, SerialScratch};
+use apim_logic::functional::partial_product_shifts;
+use apim_logic::subtractor::sub_words;
+use apim_logic::wallace::reduce_rows_to_two_at;
+use apim_logic::{CostModel, PrecisionMode};
+use apim_verify::{verify_trace, LintReport};
+
+use crate::eval::evaluate_all;
+use crate::ir::{Dag, Node, NodeId};
+use crate::lower::lower;
+use crate::plan::{
+    mul_copy_overhead, mul_multiplier, place, schedule, serial_copy_overhead, BlockSchedule,
+    Placement, Slot, ROW_AUX, ROW_RES, ROW_X, ROW_Y,
+};
+use crate::CompileError;
+
+/// Knobs for [`compile`].
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Target crossbar geometry (and device parameters).
+    pub config: CrossbarConfig,
+    /// Run the negated-constant strength reduction before placement.
+    pub strength_reduce: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            config: CrossbarConfig::default(),
+            strength_reduce: true,
+        }
+    }
+}
+
+/// A DAG compiled against a concrete crossbar geometry.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    dag: Dag,
+    placement: Placement,
+    schedule: BlockSchedule,
+    trace: Trace,
+    model: CostModel,
+}
+
+/// Outcome of one gate-level execution of a compiled program.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The value read back from the crossbar's result row.
+    pub value: u64,
+    /// The pure-integer reference value ([`crate::eval::evaluate`]) — equal
+    /// to `value` for a correct compiler.
+    pub reference: u64,
+    /// Cycles actually charged by the simulated crossbar.
+    pub cycles: u64,
+    /// The closed-form cycle prediction fed to the cycle-accounting pass.
+    pub expected_cycles: u64,
+    /// Energy actually charged by the simulated crossbar.
+    pub energy: Joules,
+    /// Number of recorded microprogram primitives.
+    pub trace_len: usize,
+    /// The full hazard report (clean for a correct compiler).
+    pub lint: LintReport,
+}
+
+/// Compiles `dag` for the geometry in `options`: optimization, lowering,
+/// placement and block-pair scheduling. Gate-level execution is deferred
+/// to [`CompiledProgram::run`].
+///
+/// # Errors
+///
+/// [`CompileError::NoRoot`] without a designated output,
+/// [`CompileError::AreaExceeded`] when the program does not fit.
+pub fn compile(dag: &Dag, options: &CompileOptions) -> Result<CompiledProgram, CompileError> {
+    let mut dag = dag.clone();
+    dag.root().ok_or(CompileError::NoRoot)?;
+    if options.strength_reduce {
+        dag.strength_reduce_negated_constants();
+    }
+    let placement = place(&dag, &options.config)?;
+    let model = CostModel::new(&options.config.params);
+    let schedule = schedule(&dag, &placement, &model);
+    let trace = lower(&dag);
+    Ok(CompiledProgram {
+        dag,
+        placement,
+        schedule,
+        trace,
+        model,
+    })
+}
+
+impl CompiledProgram {
+    /// The (possibly strength-reduced) DAG this program executes.
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// The row placement.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The block-pair list schedule.
+    pub fn schedule(&self) -> &BlockSchedule {
+        &self.schedule
+    }
+
+    /// The lowered controller macro-op trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The analytic cost model used for cycle bookkeeping.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Executes the program on simulated cells with the given input
+    /// bindings, then lints the recorded microprogram.
+    ///
+    /// # Errors
+    ///
+    /// Unbound inputs, crossbar faults, or —
+    /// [`CompileError::VerificationFailed`] — an error-severity hazard
+    /// finding (a compiler bug by definition).
+    pub fn run(&self, inputs: &HashMap<String, u64>) -> Result<RunReport, CompileError> {
+        let values = evaluate_all(&self.dag, inputs)?;
+        let cfg = &self.placement.config;
+        let n = self.dag.width() as usize;
+        let mut xbar = BlockedCrossbar::new(cfg.clone())?;
+        let blocks: Vec<BlockId> = (0..cfg.blocks)
+            .map(|i| xbar.block(i))
+            .collect::<Result<_, _>>()?;
+
+        // Traced allocators, one per block; the planner pre-simulated this
+        // exact call sequence, so each alloc's row is asserted against it.
+        let mut allocs: Vec<RowAllocator> = (0..cfg.blocks)
+            .map(|_| RowAllocator::with_tracing(cfg.rows))
+            .collect();
+        let mut scratches: Vec<SerialScratch> = Vec::with_capacity(2);
+        let mut regions: Vec<Vec<usize>> = Vec::with_capacity(2);
+        for alloc in allocs.iter_mut().take(2) {
+            let staging = alloc.alloc_many(4)?;
+            debug_assert_eq!(staging, [ROW_X, ROW_Y, ROW_AUX, ROW_RES]);
+            scratches.push(SerialScratch::alloc(alloc)?);
+            regions.push(if self.placement.region_rows > 0 {
+                alloc.alloc_many(self.placement.region_rows)?
+            } else {
+                Vec::new()
+            });
+        }
+        let scratches: [SerialScratch; 2] = scratches.try_into().expect("two compute blocks");
+
+        let stats_before = *xbar.stats();
+        xbar.start_recording();
+
+        let mut machine = Machine {
+            xbar: &mut xbar,
+            blocks: &blocks,
+            scratch: &scratches,
+            n,
+            t0: self.placement.region_base,
+            not_row: self.placement.region_base + self.placement.region_rows.saturating_sub(1),
+        };
+        let mut expected_cycles = 0u64;
+        for i in 0..self.dag.len() {
+            let id = NodeId(i);
+            let dest = self.placement.slots[i];
+            let row = allocs[dest.block].alloc()?;
+            debug_assert_eq!(row, dest.row, "planner/runtime divergence at {id}");
+            expected_cycles +=
+                machine.exec(&self.dag, &self.placement, &self.model, &values, id)?;
+            for &op in &self.placement.frees[i] {
+                let s = self.placement.slots[op.0];
+                allocs[s.block].free(s.row)?;
+            }
+        }
+        let trace = machine.xbar.stop_recording();
+
+        let root = self.dag.root().ok_or(CompileError::NoRoot)?;
+        let root_slot = self.placement.slots[root.0];
+        let value = from_bits(&xbar.peek_word(blocks[root_slot.block], root_slot.row, 0, n)?);
+
+        // Teardown: return every reserved row so the scratch-lifetime pass
+        // sees a leak-free program.
+        allocs[root_slot.block].free(root_slot.row)?;
+        for (b, scratch) in scratches.into_iter().enumerate() {
+            allocs[b].free_many(regions[b].iter().copied())?;
+            scratch.release(&mut allocs[b])?;
+            allocs[b].free_many([ROW_X, ROW_Y, ROW_AUX, ROW_RES])?;
+        }
+
+        // Merge the per-block event logs into one flat row space (block ·
+        // rows + row) — each row belongs to exactly one allocator, so
+        // per-row event ordering is preserved.
+        let mut events = Vec::new();
+        for (b, alloc) in allocs.iter_mut().enumerate() {
+            let offset = b * cfg.rows;
+            events.extend(alloc.take_events().into_iter().map(|ev| match ev {
+                AllocEvent::Alloc { row } => AllocEvent::Alloc { row: row + offset },
+                AllocEvent::Free { row } => AllocEvent::Free { row: row + offset },
+            }));
+        }
+
+        let lint = verify_trace(&trace, &events, Some(expected_cycles));
+        if lint.error_count() > 0 {
+            return Err(CompileError::VerificationFailed(lint.to_string()));
+        }
+        let delta = *xbar.stats() - stats_before;
+        Ok(RunReport {
+            value,
+            reference: values[root.0],
+            cycles: delta.cycles.get(),
+            expected_cycles,
+            energy: delta.energy,
+            trace_len: trace.len(),
+            lint,
+        })
+    }
+}
+
+/// Execution context: the crossbar plus the fixed layout handles.
+struct Machine<'a> {
+    xbar: &'a mut BlockedCrossbar,
+    blocks: &'a [BlockId],
+    scratch: &'a [SerialScratch; 2],
+    n: usize,
+    /// First ALU-region row (partial products / tree survivors).
+    t0: usize,
+    /// Shared multiplicand-complement row (block 1, top of the region).
+    not_row: usize,
+}
+
+impl Machine<'_> {
+    /// Two-NOT copy of a word segment between any two value rows, staged
+    /// through block 1's AUX row (2 cycles).
+    fn copy_word(&mut self, src: Slot, dst: Slot, cols: Range<usize>) -> Result<(), CompileError> {
+        self.xbar.copy_row_shifted(
+            RowRef::new(self.blocks[src.block], src.row),
+            RowRef::new(self.blocks[1], ROW_AUX),
+            RowRef::new(self.blocks[dst.block], dst.row),
+            cols,
+            0,
+        )?;
+        Ok(())
+    }
+
+    /// Returns a compute-block row holding the operand: its home row when
+    /// already in block 0, else a 2-cycle staging copy into `staging_row`.
+    fn stage(&mut self, slot: Slot, staging_row: usize) -> Result<usize, CompileError> {
+        if slot.block == 0 {
+            return Ok(slot.row);
+        }
+        let n = self.n;
+        self.copy_word(
+            slot,
+            Slot {
+                block: 0,
+                row: staging_row,
+            },
+            0..n,
+        )?;
+        Ok(staging_row)
+    }
+
+    /// Executes one node, returning its closed-form expected cycle count.
+    fn exec(
+        &mut self,
+        dag: &Dag,
+        placement: &Placement,
+        model: &CostModel,
+        values: &[u64],
+        id: NodeId,
+    ) -> Result<u64, CompileError> {
+        let n = self.n;
+        let bits = dag.width();
+        let dest = placement.slots[id.0];
+        match &dag.nodes()[id.0] {
+            Node::Input { .. } | Node::Const { .. } => {
+                self.xbar.preload_word(
+                    self.blocks[dest.block],
+                    dest.row,
+                    0,
+                    &to_bits(values[id.0], n),
+                )?;
+                Ok(0)
+            }
+            Node::Add { a, b } => {
+                let x = self.stage(placement.slots[a.0], ROW_X)?;
+                let y = self.stage(placement.slots[b.0], ROW_Y)?;
+                let (out, copy_out) = self.serial_out(dest);
+                add_words(self.xbar, self.blocks[0], x, y, out, 0..n, &self.scratch[0])?;
+                if copy_out {
+                    self.copy_word(
+                        Slot {
+                            block: 0,
+                            row: ROW_RES,
+                        },
+                        dest,
+                        0..n,
+                    )?;
+                }
+                Ok(model.serial_add(bits).cycles.get()
+                    + serial_copy_overhead(placement, *a, *b, id))
+            }
+            Node::Sub { a, b } => {
+                let x = self.stage(placement.slots[a.0], ROW_X)?;
+                let y = self.stage(placement.slots[b.0], ROW_Y)?;
+                let (out, copy_out) = self.serial_out(dest);
+                sub_words(
+                    self.xbar,
+                    self.blocks[0],
+                    x,
+                    y,
+                    ROW_AUX,
+                    out,
+                    0..n,
+                    &self.scratch[0],
+                )?;
+                if copy_out {
+                    self.copy_word(
+                        Slot {
+                            block: 0,
+                            row: ROW_RES,
+                        },
+                        dest,
+                        0..n,
+                    )?;
+                }
+                Ok(model.serial_sub(bits).cycles.get()
+                    + serial_copy_overhead(placement, *a, *b, id))
+            }
+            Node::Shl { x, amount } => {
+                let k = *amount as usize;
+                let src = placement.slots[x.0];
+                self.xbar
+                    .preload_word(self.blocks[dest.block], dest.row, 0, &vec![false; n])?;
+                self.xbar.copy_row_shifted(
+                    RowRef::new(self.blocks[src.block], src.row),
+                    RowRef::new(self.blocks[1], ROW_AUX),
+                    RowRef::new(self.blocks[dest.block], dest.row),
+                    0..n - k,
+                    k as isize,
+                )?;
+                Ok(2)
+            }
+            Node::Shr { x, amount } => {
+                let k = *amount as usize;
+                let src = placement.slots[x.0];
+                let sign = self.xbar.read_bit(self.blocks[src.block], src.row, n - 1)?;
+                self.xbar
+                    .preload_word(self.blocks[dest.block], dest.row, 0, &vec![false; n])?;
+                self.xbar.copy_row_shifted(
+                    RowRef::new(self.blocks[src.block], src.row),
+                    RowRef::new(self.blocks[1], ROW_AUX),
+                    RowRef::new(self.blocks[dest.block], dest.row),
+                    k..n,
+                    -(k as isize),
+                )?;
+                for col in n - k..n {
+                    self.xbar
+                        .write_back_bit(self.blocks[dest.block], dest.row, col, sign)?;
+                }
+                Ok(2 + k as u64)
+            }
+            Node::Mul { a, b, mode } => {
+                let (mcand, mult, _) = mul_multiplier(dag, *a, *b, *mode);
+                let mbits = self.read_multiplier(placement.slots[mult.0])?;
+                debug_assert_eq!(mbits, values[mult.0]);
+                let shifts = partial_product_shifts(mbits, mode.masked_multiplier_bits());
+                let count = self.place_pps(placement.slots[mcand.0], &shifts, 0)?;
+                self.finish_product(count, *mode, dest)?;
+                Ok(model.multiply_trunc_value(bits, mbits, *mode).cycles.get()
+                    + mul_copy_overhead(
+                        bits,
+                        count,
+                        mode.relaxed_product_bits(),
+                        placement.in_compute(id),
+                    ))
+            }
+            Node::Mac { terms, mode } => {
+                let mut count = 0usize;
+                let mut multipliers = Vec::with_capacity(terms.len());
+                for &(ta, tb) in terms {
+                    let mbits = self.read_multiplier(placement.slots[tb.0])?;
+                    debug_assert_eq!(mbits, values[tb.0]);
+                    multipliers.push(mbits);
+                    let shifts = partial_product_shifts(mbits, mode.masked_multiplier_bits());
+                    count += self.place_pps(placement.slots[ta.0], &shifts, count)?;
+                }
+                self.finish_product(count, *mode, dest)?;
+                Ok(model
+                    .mac_group_value(bits, &multipliers, *mode)
+                    .cycles
+                    .get()
+                    + mul_copy_overhead(
+                        bits,
+                        count,
+                        mode.relaxed_product_bits(),
+                        placement.in_compute(id),
+                    ))
+            }
+        }
+    }
+
+    /// Where a serial (block 0) result lands: the destination row when it
+    /// lives in block 0, else the staging RES row plus a copy-out.
+    fn serial_out(&self, dest: Slot) -> (usize, bool) {
+        if dest.block == 0 {
+            (dest.row, false)
+        } else {
+            (ROW_RES, true)
+        }
+    }
+
+    /// Reads the multiplier word through the sense amplifier (free of
+    /// cycles, like the hand-written multiplier's bit scan).
+    fn read_multiplier(&mut self, slot: Slot) -> Result<u64, CompileError> {
+        let mut bits = 0u64;
+        for col in 0..self.n {
+            bits |= u64::from(self.xbar.read_bit(self.blocks[slot.block], slot.row, col)?) << col;
+        }
+        Ok(bits)
+    }
+
+    /// Generates one multiplicand's truncated partial products into region
+    /// rows `t0 + pp_base ..`, sharing a single complement NOR
+    /// (`1 + shifts.len()` cycles; zero for an all-zero multiplier).
+    fn place_pps(
+        &mut self,
+        mcand: Slot,
+        shifts: &[u32],
+        pp_base: usize,
+    ) -> Result<usize, CompileError> {
+        if shifts.is_empty() {
+            return Ok(0);
+        }
+        let n = self.n;
+        self.xbar.init_rows(self.blocks[1], &[self.not_row], 0..n)?;
+        self.xbar.nor_rows_shifted(
+            &[RowRef::new(self.blocks[mcand.block], mcand.row)],
+            RowRef::new(self.blocks[1], self.not_row),
+            0..n,
+            0,
+        )?;
+        for (i, &shift) in shifts.iter().enumerate() {
+            let lo = shift as usize;
+            let row = self.t0 + pp_base + i;
+            self.xbar
+                .preload_word(self.blocks[0], row, 0, &vec![false; n + 2])?;
+            self.xbar.init_rows(self.blocks[0], &[row], lo..n)?;
+            self.xbar.nor_rows_shifted(
+                &[RowRef::new(self.blocks[1], self.not_row)],
+                RowRef::new(self.blocks[0], row),
+                0..n - lo,
+                lo as isize,
+            )?;
+        }
+        Ok(shifts.len())
+    }
+
+    /// Turns a pile of `count` partial products (region rows `t0..`) into
+    /// the destination word: Wallace reduction to two survivors, then the
+    /// (optionally relaxed) final addition of the §3.4 scheme.
+    fn finish_product(
+        &mut self,
+        count: usize,
+        mode: PrecisionMode,
+        dest: Slot,
+    ) -> Result<(), CompileError> {
+        let n = self.n;
+        match count {
+            0 => {
+                self.xbar
+                    .preload_word(self.blocks[dest.block], dest.row, 0, &vec![false; n])?;
+                Ok(())
+            }
+            1 => self.copy_word(
+                Slot {
+                    block: 0,
+                    row: self.t0,
+                },
+                dest,
+                0..n,
+            ),
+            _ => {
+                let (survivor_block, survivors) = reduce_rows_to_two_at(
+                    self.xbar,
+                    self.blocks[0],
+                    self.blocks[1],
+                    count,
+                    0..n,
+                    self.t0,
+                )?;
+                debug_assert_eq!(survivors, 2);
+                let m = (mode.relaxed_product_bits() as usize).min(n);
+                self.final_add(survivor_block, m, dest)
+            }
+        }
+    }
+
+    /// The §3.4 final product generation over the two survivors at rows
+    /// `t0`/`t0 + 1` of `s`: `m` approximate LSBs via MAJ carries, the rest
+    /// via the serial netlist seeded with the boundary carry.
+    fn final_add(&mut self, s: BlockId, m: usize, dest: Slot) -> Result<(), CompileError> {
+        let n = self.n;
+        let si = if s == self.blocks[0] { 0 } else { 1 };
+        let oi = 1 - si;
+        let (t0, t1) = (self.t0, self.t0 + 1);
+        if m == 0 {
+            if si == 0 && dest.block == 0 {
+                add_words(self.xbar, s, t0, t1, dest.row, 0..n, &self.scratch[0])?;
+            } else {
+                add_words(self.xbar, s, t0, t1, ROW_RES, 0..n, &self.scratch[si])?;
+                self.copy_word(
+                    Slot {
+                        block: si,
+                        row: ROW_RES,
+                    },
+                    dest,
+                    0..n,
+                )?;
+            }
+            return Ok(());
+        }
+        // Approximate LSBs: a MAJ + write-back carry chain in AUX, then
+        // one parallel inversion into the partner block's RES row.
+        self.xbar.preload_bit(s, ROW_AUX, 0, false)?;
+        for col in 0..m {
+            let carry = self
+                .xbar
+                .maj_read(s, [(t0, col), (t1, col), (ROW_AUX, col)])?;
+            self.xbar.write_back_bit(s, ROW_AUX, col + 1, carry)?;
+        }
+        self.xbar.init_rows(self.blocks[oi], &[ROW_RES], 0..m)?;
+        self.xbar.nor_rows_shifted(
+            &[RowRef::new(s, ROW_AUX)],
+            RowRef::new(self.blocks[oi], ROW_RES),
+            1..m + 1,
+            -1,
+        )?;
+        if m == n {
+            return self.copy_word(
+                Slot {
+                    block: oi,
+                    row: ROW_RES,
+                },
+                dest,
+                0..n,
+            );
+        }
+        // Hand the exact boundary carry to the serial netlist and finish
+        // the high bits.
+        let scratch = &self.scratch[si];
+        self.xbar.init_cells(s, &[(scratch.carry, m)])?;
+        self.xbar
+            .nor_cells(s, &[(ROW_AUX, m)], (scratch.carry, m))?;
+        add_words_with_carry(self.xbar, s, t0, t1, ROW_RES, m..n, scratch)?;
+        self.copy_word(
+            Slot {
+                block: oi,
+                row: ROW_RES,
+            },
+            dest,
+            0..m,
+        )?;
+        self.copy_word(
+            Slot {
+                block: si,
+                row: ROW_RES,
+            },
+            dest,
+            m..n,
+        )?;
+        Ok(())
+    }
+}
+
+fn to_bits(v: u64, n: usize) -> Vec<bool> {
+    (0..n).map(|i| (v >> i) & 1 == 1).collect()
+}
+
+fn from_bits(bits: &[bool]) -> u64 {
+    bits.iter()
+        .enumerate()
+        .fold(0, |acc, (i, &b)| acc | (u64::from(b) << i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+
+    fn run_dag(dag: &Dag, bindings: &[(&str, u64)]) -> RunReport {
+        let program = compile(dag, &CompileOptions::default()).unwrap();
+        let inputs: HashMap<String, u64> =
+            bindings.iter().map(|&(k, v)| (k.to_string(), v)).collect();
+        let report = program.run(&inputs).unwrap();
+        assert!(report.lint.is_clean(), "lint: {}", report.lint);
+        assert_eq!(
+            report.cycles, report.expected_cycles,
+            "measured vs predicted cycles"
+        );
+        assert_eq!(
+            report.value,
+            evaluate(program.dag(), &inputs).unwrap(),
+            "gate level vs reference evaluator"
+        );
+        report
+    }
+
+    #[test]
+    fn add_sub_chain_matches_reference() {
+        let mut dag = Dag::new(16).unwrap();
+        let x = dag.input("x").unwrap();
+        let y = dag.input("y").unwrap();
+        let s = dag.add(x, y).unwrap();
+        let d = dag.sub(s, x).unwrap();
+        dag.set_root(d).unwrap();
+        let report = run_dag(&dag, &[("x", 0xABCD), ("y", 0x1234)]);
+        assert_eq!(report.value, 0x1234);
+        // One add + one sub, all operands resident in the compute block.
+        assert_eq!(report.cycles, (12 * 16 + 1) + (12 * 16 + 2));
+    }
+
+    #[test]
+    fn constant_multiplier_product() {
+        let mut dag = Dag::new(16).unwrap();
+        let x = dag.input("x").unwrap();
+        let c = dag.constant(0b101);
+        let m = dag.mul(x, c, PrecisionMode::Exact).unwrap();
+        dag.set_root(m).unwrap();
+        let report = run_dag(&dag, &[("x", 1234)]);
+        assert_eq!(report.value, (1234 * 0b101) & 0xFFFF);
+    }
+
+    #[test]
+    fn unknown_multiplier_product_all_modes() {
+        for mode in [
+            PrecisionMode::Exact,
+            PrecisionMode::FirstStage { masked_bits: 4 },
+            PrecisionMode::LastStage { relax_bits: 6 },
+            PrecisionMode::LastStage { relax_bits: 16 },
+        ] {
+            let mut dag = Dag::new(16).unwrap();
+            let x = dag.input("x").unwrap();
+            let y = dag.input("y").unwrap();
+            let m = dag.mul(x, y, mode).unwrap();
+            dag.set_root(m).unwrap();
+            run_dag(&dag, &[("x", 51234), ("y", 47111)]);
+        }
+    }
+
+    #[test]
+    fn shifts_match_reference() {
+        let mut dag = Dag::new(16).unwrap();
+        let x = dag.input("x").unwrap();
+        let l = dag.shl(x, 3).unwrap();
+        let r = dag.shr(l, 5).unwrap();
+        dag.set_root(r).unwrap();
+        // 0xF00F << 3 = 0x8078 (negative) >> 5 arithmetic.
+        let report = run_dag(&dag, &[("x", 0xF00F)]);
+        assert_eq!(report.cycles, 2 + (2 + 5));
+        assert_eq!(report.value, 0xFC03);
+    }
+
+    #[test]
+    fn mac_node_matches_reference() {
+        let mut dag = Dag::new(16).unwrap();
+        let x = dag.input("x").unwrap();
+        let y = dag.input("y").unwrap();
+        let c = dag.constant(3);
+        let d = dag.constant(21);
+        let m = dag.mac(vec![(x, c), (y, d)], PrecisionMode::Exact).unwrap();
+        dag.set_root(m).unwrap();
+        let report = run_dag(&dag, &[("x", 1000), ("y", 2000)]);
+        assert_eq!(report.value, (1000 * 3 + 2000 * 21) & 0xFFFF);
+    }
+
+    #[test]
+    fn spilled_values_round_trip() {
+        // 24-row blocks: staging alone eats 16, so values spill quickly.
+        let mut dag = Dag::new(8).unwrap();
+        let inputs: Vec<NodeId> = (0..12)
+            .map(|i| dag.input(&format!("x{i}")).unwrap())
+            .collect();
+        let mut acc = inputs[0];
+        for &x in &inputs[1..] {
+            acc = dag.add(acc, x).unwrap();
+        }
+        dag.set_root(acc).unwrap();
+        let options = CompileOptions {
+            config: CrossbarConfig {
+                rows: 24,
+                ..CrossbarConfig::default()
+            },
+            ..CompileOptions::default()
+        };
+        let program = compile(&dag, &options).unwrap();
+        assert!(program.placement().spilled > 0);
+        let bindings: HashMap<String, u64> =
+            (0..12).map(|i| (format!("x{i}"), i as u64 + 1)).collect();
+        let report = program.run(&bindings).unwrap();
+        assert!(report.lint.is_clean(), "lint: {}", report.lint);
+        assert_eq!(report.cycles, report.expected_cycles);
+        assert_eq!(report.value, (1..=12).sum::<u64>() & 0xFF);
+    }
+
+    #[test]
+    fn strength_reduction_pays_off_at_the_gate_level() {
+        let build = || {
+            let mut dag = Dag::new(16).unwrap();
+            let x = dag.input("x").unwrap();
+            let c = dag.constant(0xFFF0); // -16
+            let m = dag.mul(x, c, PrecisionMode::Exact).unwrap();
+            let y = dag.input("y").unwrap();
+            let r = dag.add(y, m).unwrap();
+            dag.set_root(r).unwrap();
+            dag
+        };
+        let reduced = compile(&build(), &CompileOptions::default()).unwrap();
+        let naive = compile(
+            &build(),
+            &CompileOptions {
+                strength_reduce: false,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+        let inputs: HashMap<String, u64> =
+            [("x".to_string(), 777u64), ("y".to_string(), 123u64)].into();
+        let fast = reduced.run(&inputs).unwrap();
+        let slow = naive.run(&inputs).unwrap();
+        assert_eq!(fast.value, slow.value, "rewrite preserves semantics");
+        assert!(
+            fast.cycles < slow.cycles,
+            "reduced {} vs naive {}",
+            fast.cycles,
+            slow.cycles
+        );
+    }
+
+    #[test]
+    fn compile_requires_root() {
+        let mut dag = Dag::new(8).unwrap();
+        dag.input("x").unwrap();
+        assert!(matches!(
+            compile(&dag, &CompileOptions::default()),
+            Err(CompileError::NoRoot)
+        ));
+    }
+}

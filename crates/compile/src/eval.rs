@@ -1,0 +1,164 @@
+//! Pure-integer reference evaluator for expression DAGs.
+//!
+//! This is the semantic ground truth the gate-level backend must match
+//! bit-for-bit: wrapping `width`-bit two's-complement arithmetic, with
+//! multiplications and MACs deferring to the same functional models
+//! ([`apim_logic::functional::multiply_trunc`],
+//! [`apim_logic::mac::mac_trunc_functional`]) the hand-written kernels are
+//! validated against — including the deliberate bit patterns of the §3.4
+//! approximate modes.
+
+use std::collections::HashMap;
+
+use apim_logic::functional::multiply_trunc;
+use apim_logic::mac::mac_trunc_functional;
+
+use crate::ir::{Dag, Node, NodeId};
+use crate::CompileError;
+
+/// Evaluates every node, returning the per-node values in id order.
+///
+/// # Errors
+///
+/// Returns [`CompileError::UnboundInput`] if a named input has no binding.
+pub fn evaluate_all(dag: &Dag, inputs: &HashMap<String, u64>) -> Result<Vec<u64>, CompileError> {
+    let n = dag.width();
+    let mask = dag.mask();
+    let mut values: Vec<u64> = Vec::with_capacity(dag.len());
+    for node in dag.nodes() {
+        let v = match node {
+            Node::Input { name } => *inputs
+                .get(name)
+                .ok_or_else(|| CompileError::UnboundInput(name.clone()))?,
+            Node::Const { value } => *value,
+            Node::Add { a, b } => values[a.0].wrapping_add(values[b.0]),
+            Node::Sub { a, b } => values[a.0].wrapping_sub(values[b.0]),
+            Node::Mul { a, b, mode } => multiply_trunc(values[a.0], values[b.0], n, *mode),
+            Node::Mac { terms, mode } => {
+                let pairs: Vec<(u64, u64)> = terms
+                    .iter()
+                    .map(|&(a, b)| (values[a.0], values[b.0]))
+                    .collect();
+                mac_trunc_functional(&pairs, n, *mode)
+            }
+            Node::Shl { x, amount } => values[x.0] << amount,
+            Node::Shr { x, amount } => {
+                let v = values[x.0];
+                let sign = (v >> (n - 1)) & 1 == 1;
+                let shifted = v >> amount;
+                if sign {
+                    // Arithmetic shift: fill the vacated top bits with the
+                    // sign.
+                    shifted | (mask & !(mask >> amount))
+                } else {
+                    shifted
+                }
+            }
+        };
+        values.push(v & mask);
+    }
+    Ok(values)
+}
+
+/// Evaluates the DAG's root node.
+///
+/// # Errors
+///
+/// [`CompileError::NoRoot`] when no root is set, or an unbound-input error.
+pub fn evaluate(dag: &Dag, inputs: &HashMap<String, u64>) -> Result<u64, CompileError> {
+    let root = dag.root().ok_or(CompileError::NoRoot)?;
+    Ok(evaluate_all(dag, inputs)?[root.0])
+}
+
+/// Convenience: evaluates with a slice of `(name, value)` bindings.
+///
+/// # Errors
+///
+/// Same as [`evaluate`].
+pub fn evaluate_bound(dag: &Dag, bindings: &[(&str, u64)]) -> Result<u64, CompileError> {
+    let map: HashMap<String, u64> = bindings.iter().map(|&(k, v)| (k.to_string(), v)).collect();
+    evaluate(dag, &map)
+}
+
+/// Looks up a node's value in an [`evaluate_all`] result.
+pub fn value_of(values: &[u64], id: NodeId) -> u64 {
+    values[id.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apim_logic::PrecisionMode;
+
+    #[test]
+    fn exact_arithmetic_wraps() {
+        let mut dag = Dag::new(8).unwrap();
+        let x = dag.input("x").unwrap();
+        let c = dag.constant(200);
+        let s = dag.add(x, c).unwrap();
+        dag.set_root(s).unwrap();
+        assert_eq!(evaluate_bound(&dag, &[("x", 100)]).unwrap(), 44); // 300 mod 256
+    }
+
+    #[test]
+    fn exact_mul_is_wrapping_product() {
+        let mut dag = Dag::new(8).unwrap();
+        let x = dag.input("x").unwrap();
+        let y = dag.input("y").unwrap();
+        let m = dag.mul(x, y, PrecisionMode::Exact).unwrap();
+        dag.set_root(m).unwrap();
+        assert_eq!(
+            evaluate_bound(&dag, &[("x", 200), ("y", 200)]).unwrap(),
+            (200u64 * 200) & 0xFF
+        );
+    }
+
+    #[test]
+    fn arithmetic_shift_sign_fills() {
+        let mut dag = Dag::new(8).unwrap();
+        let x = dag.input("x").unwrap();
+        let s = dag.shr(x, 2).unwrap();
+        dag.set_root(s).unwrap();
+        // -8 (0xF8) >> 2 = -2 (0xFE)
+        assert_eq!(evaluate_bound(&dag, &[("x", 0xF8)]).unwrap(), 0xFE);
+        // 0x78 >> 2 = 0x1E (positive: plain shift)
+        assert_eq!(evaluate_bound(&dag, &[("x", 0x78)]).unwrap(), 0x1E);
+    }
+
+    #[test]
+    fn left_shift_masks_overflow() {
+        let mut dag = Dag::new(8).unwrap();
+        let x = dag.input("x").unwrap();
+        let s = dag.shl(x, 3).unwrap();
+        dag.set_root(s).unwrap();
+        assert_eq!(evaluate_bound(&dag, &[("x", 0xFF)]).unwrap(), 0xF8);
+    }
+
+    #[test]
+    fn unbound_input_is_an_error() {
+        let mut dag = Dag::new(8).unwrap();
+        let x = dag.input("x").unwrap();
+        dag.set_root(x).unwrap();
+        assert!(matches!(
+            evaluate_bound(&dag, &[]),
+            Err(CompileError::UnboundInput(_))
+        ));
+    }
+
+    #[test]
+    fn strength_reduction_preserves_semantics() {
+        for value in [3u64, 77, 200, 255] {
+            let mut dag = Dag::new(16).unwrap();
+            let x = dag.input("x").unwrap();
+            let c = dag.constant(0xF000); // -0x1000: four ones vs one negated
+            let m = dag.mul(x, c, PrecisionMode::Exact).unwrap();
+            let y = dag.input("y").unwrap();
+            let r = dag.add(y, m).unwrap();
+            dag.set_root(r).unwrap();
+            let before = evaluate_bound(&dag, &[("x", value), ("y", 5)]).unwrap();
+            dag.strength_reduce_negated_constants();
+            let after = evaluate_bound(&dag, &[("x", value), ("y", 5)]).unwrap();
+            assert_eq!(before, after, "x={value}");
+        }
+    }
+}

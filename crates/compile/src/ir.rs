@@ -1,0 +1,516 @@
+//! The expression-DAG intermediate representation.
+//!
+//! A [`Dag`] is a flat, topologically ordered list of [`Node`]s over
+//! `width`-bit two's-complement words (stored as `u64` bit patterns).
+//! Node operands always refer to earlier nodes, so the builder API cannot
+//! construct a cycle; every compiler stage simply walks the list in id
+//! order. Multiplications and fused MACs carry their own
+//! [`PrecisionMode`] annotation — the paper's §3.4 approximation knobs are
+//! a per-operation decision, not a whole-program one.
+
+use apim_logic::PrecisionMode;
+
+use crate::CompileError;
+
+/// Index of a node inside its [`Dag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// One DAG operation over `width`-bit words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A named external input, bound at run time.
+    Input {
+        /// Binding name.
+        name: String,
+    },
+    /// A compile-time constant (masked to the DAG width).
+    Const {
+        /// The value's bit pattern.
+        value: u64,
+    },
+    /// Wrapping addition.
+    Add {
+        /// Left operand.
+        a: NodeId,
+        /// Right operand.
+        b: NodeId,
+    },
+    /// Wrapping subtraction `a - b`.
+    Sub {
+        /// Minuend.
+        a: NodeId,
+        /// Subtrahend.
+        b: NodeId,
+    },
+    /// Truncated `n × n → n` multiplication under `mode`.
+    Mul {
+        /// Multiplicand.
+        a: NodeId,
+        /// Multiplier (partial products follow its set bits).
+        b: NodeId,
+        /// Precision annotation for this product.
+        mode: PrecisionMode,
+    },
+    /// Fused multiply-accumulate `Σ aᵢ·bᵢ mod 2^n`: all partial products
+    /// share one Wallace tree and one final addition (§3.2).
+    Mac {
+        /// The `(multiplicand, multiplier)` pairs.
+        terms: Vec<(NodeId, NodeId)>,
+        /// Precision annotation for the fused reduction.
+        mode: PrecisionMode,
+    },
+    /// Logical left shift by a constant (low bits zero-filled).
+    Shl {
+        /// Operand.
+        x: NodeId,
+        /// Shift distance, `1 ≤ amount < width`.
+        amount: u32,
+    },
+    /// Arithmetic right shift by a constant (sign-filled).
+    Shr {
+        /// Operand.
+        x: NodeId,
+        /// Shift distance, `1 ≤ amount < width`.
+        amount: u32,
+    },
+}
+
+/// An expression DAG: the compiler's input program.
+///
+/// ```
+/// use apim_compile::Dag;
+/// use apim_logic::PrecisionMode;
+///
+/// let mut dag = Dag::new(16).unwrap();
+/// let x = dag.input("x").unwrap();
+/// let three = dag.constant(3);
+/// let m = dag.mul(x, three, PrecisionMode::Exact).unwrap();
+/// let y = dag.input("y").unwrap();
+/// let root = dag.add(m, y).unwrap();
+/// dag.set_root(root).unwrap();
+/// assert_eq!(dag.len(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dag {
+    width: u32,
+    nodes: Vec<Node>,
+    root: Option<NodeId>,
+}
+
+impl Dag {
+    /// Creates an empty DAG over `width`-bit words (`4..=64`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects widths outside the crossbar-supported `4..=64` range.
+    pub fn new(width: u32) -> Result<Self, CompileError> {
+        if !(4..=64).contains(&width) {
+            return Err(CompileError::InvalidDag(format!(
+                "word width {width} outside supported range 4..=64"
+            )));
+        }
+        Ok(Dag {
+            width,
+            nodes: Vec::new(),
+            root: None,
+        })
+    }
+
+    /// Word width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The `width`-bit mask.
+    pub fn mask(&self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The nodes in topological (id) order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The designated output node.
+    pub fn root(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    /// Input names in first-definition order.
+    pub fn inputs(&self) -> Vec<&str> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Input { name } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        self.nodes.push(node);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    fn check(&self, id: NodeId) -> Result<(), CompileError> {
+        if id.0 >= self.nodes.len() {
+            return Err(CompileError::InvalidDag(format!(
+                "operand {id} does not exist yet (DAG has {} nodes)",
+                self.nodes.len()
+            )));
+        }
+        Ok(())
+    }
+
+    fn check_mode(&self, mode: PrecisionMode) -> Result<(), CompileError> {
+        mode.validate(self.width)
+            .map_err(|e| CompileError::InvalidDag(e.to_string()))
+    }
+
+    fn check_shift(&self, amount: u32) -> Result<(), CompileError> {
+        if amount == 0 || amount >= self.width {
+            return Err(CompileError::InvalidDag(format!(
+                "shift distance {amount} outside 1..{}",
+                self.width
+            )));
+        }
+        Ok(())
+    }
+
+    /// Adds a named input. Re-using a name returns the existing node.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty names.
+    pub fn input(&mut self, name: &str) -> Result<NodeId, CompileError> {
+        if name.is_empty() {
+            return Err(CompileError::InvalidDag("empty input name".into()));
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if matches!(n, Node::Input { name: existing } if existing == name) {
+                return Ok(NodeId(i));
+            }
+        }
+        Ok(self.push(Node::Input { name: name.into() }))
+    }
+
+    /// Adds a constant (masked to the DAG width).
+    pub fn constant(&mut self, value: u64) -> NodeId {
+        let v = value & self.mask();
+        self.push(Node::Const { value: v })
+    }
+
+    /// Adds a wrapping addition.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range operands.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> Result<NodeId, CompileError> {
+        self.check(a)?;
+        self.check(b)?;
+        Ok(self.push(Node::Add { a, b }))
+    }
+
+    /// Adds a wrapping subtraction `a - b`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range operands.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> Result<NodeId, CompileError> {
+        self.check(a)?;
+        self.check(b)?;
+        Ok(self.push(Node::Sub { a, b }))
+    }
+
+    /// Adds a truncated multiplication under `mode`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range operands and modes invalid for the width.
+    pub fn mul(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        mode: PrecisionMode,
+    ) -> Result<NodeId, CompileError> {
+        self.check(a)?;
+        self.check(b)?;
+        self.check_mode(mode)?;
+        Ok(self.push(Node::Mul { a, b, mode }))
+    }
+
+    /// Adds a fused MAC over `terms`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty term lists, out-of-range operands and invalid modes.
+    pub fn mac(
+        &mut self,
+        terms: Vec<(NodeId, NodeId)>,
+        mode: PrecisionMode,
+    ) -> Result<NodeId, CompileError> {
+        if terms.is_empty() {
+            return Err(CompileError::InvalidDag(
+                "MAC needs at least one term".into(),
+            ));
+        }
+        for &(a, b) in &terms {
+            self.check(a)?;
+            self.check(b)?;
+        }
+        self.check_mode(mode)?;
+        Ok(self.push(Node::Mac { terms, mode }))
+    }
+
+    /// Adds a logical left shift.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range operands and shift distances.
+    pub fn shl(&mut self, x: NodeId, amount: u32) -> Result<NodeId, CompileError> {
+        self.check(x)?;
+        self.check_shift(amount)?;
+        Ok(self.push(Node::Shl { x, amount }))
+    }
+
+    /// Adds an arithmetic right shift.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range operands and shift distances.
+    pub fn shr(&mut self, x: NodeId, amount: u32) -> Result<NodeId, CompileError> {
+        self.check(x)?;
+        self.check_shift(amount)?;
+        Ok(self.push(Node::Shr { x, amount }))
+    }
+
+    /// Designates the output node.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range ids.
+    pub fn set_root(&mut self, id: NodeId) -> Result<(), CompileError> {
+        self.check(id)?;
+        self.root = Some(id);
+        Ok(())
+    }
+
+    /// Direct operand ids of `id`.
+    pub fn operands(&self, id: NodeId) -> Vec<NodeId> {
+        match &self.nodes[id.0] {
+            Node::Input { .. } | Node::Const { .. } => Vec::new(),
+            Node::Add { a, b } | Node::Sub { a, b } | Node::Mul { a, b, .. } => vec![*a, *b],
+            Node::Mac { terms, .. } => terms.iter().flat_map(|&(a, b)| [a, b]).collect(),
+            Node::Shl { x, .. } | Node::Shr { x, .. } => vec![*x],
+        }
+    }
+
+    /// Longest operand chain ending at `id` (leaves have depth 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        let mut depths = vec![0usize; self.nodes.len()];
+        for i in 0..=id.0 {
+            let d = self
+                .operands(NodeId(i))
+                .iter()
+                .map(|op| depths[op.0] + 1)
+                .max()
+                .unwrap_or(0);
+            depths[i] = d;
+        }
+        depths[id.0]
+    }
+
+    /// Rewrites exact multiplications by a negative constant into the
+    /// cheaper `x·|c|` followed by a flipped combining operation.
+    ///
+    /// A two's-complement constant like `-4096` has almost every high bit
+    /// set, so a faithful partial-product expansion costs ~`width` rows and
+    /// NOR cycles; its negation has one. Under [`PrecisionMode::Exact`] the
+    /// truncated product is the exact wrapping product, so
+    /// `a + x·c  ≡  a - x·(-c) (mod 2^width)` and the rewrite is
+    /// semantics-preserving. Approximate modes are left untouched — there
+    /// the approximation acts on the actual partial-product pile, and the
+    /// rewrite would change the computed bits.
+    ///
+    /// Returns the number of multiplications rewritten.
+    pub fn strength_reduce_negated_constants(&mut self) -> usize {
+        let mask = self.mask();
+        let sign = 1u64 << (self.width - 1);
+        let mut rewritten = 0usize;
+        // Pass 1: flip the multiplier constant of every profitable
+        // candidate and remember which mul nodes now carry a negated
+        // meaning.
+        let mut negated = vec![false; self.nodes.len()];
+        for i in 0..self.nodes.len() {
+            let Node::Mul { a, b, mode } = self.nodes[i].clone() else {
+                continue;
+            };
+            if mode != PrecisionMode::Exact {
+                continue;
+            }
+            // Only rewrite when every consumer is an Add/Sub we can flip
+            // (pass 2 below) — otherwise the negation has nowhere to go.
+            // That rules out the root and dead nodes (their own value would
+            // change with no consumer to compensate). An Add whose *other*
+            // operand is already a negated product is excluded too: one
+            // flip per consumer.
+            let id = NodeId(i);
+            if self.root == Some(id) {
+                continue;
+            }
+            let mut consumed = false;
+            let all_uses_flippable = (i + 1..self.nodes.len()).all(|j| {
+                let uses = self.operands(NodeId(j)).contains(&id);
+                consumed |= uses;
+                !uses
+                    || match self.nodes[j] {
+                        Node::Add { a, b } => {
+                            (a == id) != (b == id) && !negated[a.0] && !negated[b.0]
+                        }
+                        Node::Sub { a, b } => b == id && a != id && !negated[a.0],
+                        _ => false,
+                    }
+            });
+            if !all_uses_flippable || !consumed {
+                continue;
+            }
+            if a == b {
+                // x·x with a constant x: negating the shared node squares
+                // the sign away instead of flipping it.
+                continue;
+            }
+            let (op_idx, other) = match (&self.nodes[a.0], &self.nodes[b.0]) {
+                (_, Node::Const { value }) => (b, *value),
+                (Node::Const { value }, _) => (a, *value),
+                _ => continue,
+            };
+            // The constant must belong to this product alone — rewriting a
+            // node shared with other consumers (or the root) would change
+            // their values too.
+            let shared = self.root == Some(op_idx)
+                || (0..self.nodes.len())
+                    .any(|j| j != i && self.operands(NodeId(j)).contains(&op_idx));
+            if shared {
+                continue;
+            }
+            if other & sign == 0 {
+                continue;
+            }
+            let neg = other.wrapping_neg() & mask;
+            if neg.count_ones() >= other.count_ones() {
+                continue;
+            }
+            self.nodes[op_idx.0] = Node::Const { value: neg };
+            negated[i] = true;
+            rewritten += 1;
+        }
+        if rewritten == 0 {
+            return 0;
+        }
+        // Pass 2: flip the consumers. `x + m` becomes `x - m'`;
+        // `x - m` becomes `x + m'`.
+        for j in 0..self.nodes.len() {
+            match self.nodes[j].clone() {
+                Node::Add { a, b } if negated[b.0] => self.nodes[j] = Node::Sub { a, b },
+                Node::Add { a, b } if negated[a.0] => self.nodes[j] = Node::Sub { a: b, b: a },
+                Node::Sub { a, b } if negated[b.0] => self.nodes[j] = Node::Add { a, b },
+                _ => {}
+            }
+        }
+        rewritten
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_enforces_topological_order() {
+        let mut dag = Dag::new(8).unwrap();
+        let x = dag.input("x").unwrap();
+        assert!(dag.add(x, NodeId(7)).is_err());
+        assert!(dag.set_root(NodeId(3)).is_err());
+    }
+
+    #[test]
+    fn width_and_shift_validation() {
+        assert!(Dag::new(3).is_err());
+        assert!(Dag::new(65).is_err());
+        let mut dag = Dag::new(8).unwrap();
+        let x = dag.input("x").unwrap();
+        assert!(dag.shl(x, 0).is_err());
+        assert!(dag.shl(x, 8).is_err());
+        assert!(dag.shr(x, 7).is_ok());
+    }
+
+    #[test]
+    fn inputs_deduplicate_by_name() {
+        let mut dag = Dag::new(8).unwrap();
+        let a = dag.input("x").unwrap();
+        let b = dag.input("x").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(dag.inputs(), vec!["x"]);
+    }
+
+    #[test]
+    fn depth_counts_longest_chain() {
+        let mut dag = Dag::new(8).unwrap();
+        let x = dag.input("x").unwrap();
+        let c = dag.constant(3);
+        let m = dag.mul(x, c, PrecisionMode::Exact).unwrap();
+        let s = dag.add(m, x).unwrap();
+        assert_eq!(dag.depth(x), 0);
+        assert_eq!(dag.depth(m), 1);
+        assert_eq!(dag.depth(s), 2);
+    }
+
+    #[test]
+    fn strength_reduction_flips_add_to_sub() {
+        let mut dag = Dag::new(16).unwrap();
+        let x = dag.input("x").unwrap();
+        let c = dag.constant(0xFFF0); // -16: 12 ones vs 1 one negated
+        let m = dag.mul(x, c, PrecisionMode::Exact).unwrap();
+        let y = dag.input("y").unwrap();
+        let r = dag.add(y, m).unwrap();
+        dag.set_root(r).unwrap();
+        assert_eq!(dag.strength_reduce_negated_constants(), 1);
+        assert_eq!(dag.nodes()[c.0], Node::Const { value: 16 });
+        assert!(matches!(dag.nodes()[r.0], Node::Sub { a, b } if a == y && b == m));
+    }
+
+    #[test]
+    fn strength_reduction_leaves_approx_modes_alone() {
+        let mut dag = Dag::new(16).unwrap();
+        let x = dag.input("x").unwrap();
+        let c = dag.constant(0xFFF0);
+        let m = dag
+            .mul(x, c, PrecisionMode::LastStage { relax_bits: 4 })
+            .unwrap();
+        let y = dag.input("y").unwrap();
+        let r = dag.add(y, m).unwrap();
+        dag.set_root(r).unwrap();
+        assert_eq!(dag.strength_reduce_negated_constants(), 0);
+    }
+}

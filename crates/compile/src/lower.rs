@@ -1,0 +1,140 @@
+//! Lowering: expression DAG → controller macro-op trace.
+//!
+//! Each arithmetic node becomes one [`apim_arch::isa::Op`]; leaves
+//! (inputs, constants) are resident data and lower to nothing. The
+//! resulting [`Trace`] is what the analytic executor costs and what
+//! `apim-serve` schedules — the gate-level backend is its bit-true
+//! realization.
+
+use apim_arch::isa::{Op, Trace};
+use apim_logic::functional::partial_product_shifts;
+
+use crate::ir::{Dag, Node};
+use crate::plan::mul_multiplier;
+
+/// Lowers every arithmetic node of `dag` to a controller macro-op, in id
+/// order.
+pub fn lower(dag: &Dag) -> Trace {
+    let bits = dag.width();
+    let mut trace = Trace::new();
+    for node in dag.nodes() {
+        match node {
+            Node::Input { .. } | Node::Const { .. } => {}
+            Node::Add { .. } => {
+                trace.push(Op::Add { bits });
+            }
+            Node::Sub { .. } => {
+                trace.push(Op::Sub { bits });
+            }
+            Node::Mul { a, b, mode } => {
+                let multiplier_ones = match mul_multiplier(dag, *a, *b, *mode) {
+                    (_, _, Some(c)) => {
+                        Some(partial_product_shifts(c, mode.masked_multiplier_bits()).len() as u32)
+                    }
+                    _ => None,
+                };
+                trace.push(Op::MulTrunc {
+                    bits,
+                    multiplier_ones,
+                    mode: *mode,
+                });
+            }
+            Node::Mac { terms, mode } => {
+                trace.push(Op::Mac {
+                    group: terms.len() as u32,
+                    bits,
+                    mode: *mode,
+                });
+            }
+            Node::Shl { amount, .. } => {
+                trace.push(Op::Shift {
+                    bits,
+                    amount: *amount as i32,
+                });
+            }
+            Node::Shr { amount, .. } => {
+                trace.push(Op::Shift {
+                    bits,
+                    amount: -(*amount as i32),
+                });
+            }
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apim_logic::PrecisionMode;
+
+    #[test]
+    fn leaves_lower_to_nothing() {
+        let mut dag = Dag::new(16).unwrap();
+        let x = dag.input("x").unwrap();
+        let _c = dag.constant(5);
+        dag.set_root(x).unwrap();
+        assert!(lower(&dag).is_empty());
+    }
+
+    #[test]
+    fn const_multiplier_density_is_propagated() {
+        let mut dag = Dag::new(16).unwrap();
+        let x = dag.input("x").unwrap();
+        let c = dag.constant(0b1010_0001);
+        let m = dag.mul(x, c, PrecisionMode::Exact).unwrap();
+        dag.set_root(m).unwrap();
+        let trace = lower(&dag);
+        assert_eq!(
+            trace.ops(),
+            &[Op::MulTrunc {
+                bits: 16,
+                multiplier_ones: Some(3),
+                mode: PrecisionMode::Exact,
+            }]
+        );
+    }
+
+    #[test]
+    fn shifts_encode_direction_in_the_sign() {
+        let mut dag = Dag::new(16).unwrap();
+        let x = dag.input("x").unwrap();
+        let l = dag.shl(x, 3).unwrap();
+        let r = dag.shr(l, 12).unwrap();
+        dag.set_root(r).unwrap();
+        let trace = lower(&dag);
+        assert_eq!(
+            trace.ops(),
+            &[
+                Op::Shift {
+                    bits: 16,
+                    amount: 3
+                },
+                Op::Shift {
+                    bits: 16,
+                    amount: -12
+                }
+            ]
+        );
+    }
+
+    #[test]
+    fn mac_lowers_to_one_fused_op() {
+        let mut dag = Dag::new(16).unwrap();
+        let x = dag.input("x").unwrap();
+        let y = dag.input("y").unwrap();
+        let c = dag.constant(3);
+        let d = dag.constant(5);
+        let m = dag.mac(vec![(x, c), (y, d)], PrecisionMode::Exact).unwrap();
+        dag.set_root(m).unwrap();
+        let trace = lower(&dag);
+        assert_eq!(
+            trace.ops(),
+            &[Op::Mac {
+                group: 2,
+                bits: 16,
+                mode: PrecisionMode::Exact,
+            }]
+        );
+    }
+}

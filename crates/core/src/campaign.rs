@@ -74,7 +74,8 @@ impl Campaign {
     /// The sweep's cross product as `(app, dataset_bytes, mode)` tuples,
     /// in row order (app-major, then size, then mode).
     pub fn jobs(&self) -> Vec<(App, u64, PrecisionMode)> {
-        let mut jobs = Vec::with_capacity(self.apps.len() * self.dataset_bytes.len() * self.modes.len());
+        let mut jobs =
+            Vec::with_capacity(self.apps.len() * self.dataset_bytes.len() * self.modes.len());
         for &app in &self.apps {
             for &bytes in &self.dataset_bytes {
                 for &mode in &self.modes {
@@ -109,7 +110,10 @@ impl Campaign {
     /// # Errors
     ///
     /// Returns the first simulator or runtime error.
-    pub fn run_parallel<E: CampaignExecutor>(self, executor: &E) -> Result<CampaignResults, ApimError> {
+    pub fn run_parallel<E: CampaignExecutor>(
+        self,
+        executor: &E,
+    ) -> Result<CampaignResults, ApimError> {
         let jobs = self.jobs();
         let rows = executor.run_campaign(&self.config, &jobs)?;
         Ok(CampaignResults { rows })

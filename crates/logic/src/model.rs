@@ -422,6 +422,48 @@ impl CostModel {
         }
     }
 
+    /// Serial in-memory subtraction of two `n`-bit numbers: the ripple
+    /// netlist of [`CostModel::serial_add`] plus one row-wide NOT of the
+    /// subtrahend and a seeded (rather than zero) carry complement —
+    /// `12N + 2` cycles, mirroring [`crate::subtractor::sub_words`].
+    pub fn serial_sub(&self, n: u32) -> OpCost {
+        let nn = n as usize;
+        let netlist_ops = u64::from(12 * n);
+        let per_serial_bit = self.em.nor_op(1) + self.em.write_op(1);
+        OpCost {
+            cycles: Cycles::new(netlist_ops + 2),
+            // NOT of the subtrahend row, the carry-seed preload, the seed
+            // complement NOR, then init + NOR per netlist operation.
+            energy: (self.em.write_op(nn) + self.em.nor_op(nn))
+                + self.em.write_op(1)
+                + per_serial_bit
+                + per_serial_bit * netlist_ops as f64,
+        }
+    }
+
+    /// Constant shift of an `n`-bit word through the interconnect: two
+    /// NOT copies (the shift rides the cross-block NOR for free, §2), plus
+    /// — for arithmetic right shifts (`amount < 0`) — one sense-amp read
+    /// and `|amount|` serial write-backs that re-drive the sign bits.
+    pub fn shift_copy(&self, n: u32, amount: i32) -> OpCost {
+        let k = amount.unsigned_abs().min(n);
+        let width = (n - k) as usize;
+        let copy_energy = self.em.write_op(n as usize)
+            + (self.em.write_op(width) + self.em.nor_op(width) + self.em.interconnect_op(width))
+            + (self.em.write_op(width) + self.em.nor_op(width));
+        if amount >= 0 {
+            OpCost {
+                cycles: Cycles::new(2),
+                energy: copy_energy,
+            }
+        } else {
+            OpCost {
+                cycles: Cycles::new(2 + u64::from(k)),
+                energy: copy_energy + self.em.read_op(1) + self.em.write_op(1) * f64::from(k),
+            }
+        }
+    }
+
     /// Cycles of a gate-level restoring division of `n`-bit operands
     /// (extension; see [`crate::divider`]): `n` trial subtractions over a
     /// `2n`-bit window plus two commit NOTs per set quotient bit

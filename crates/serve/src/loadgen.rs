@@ -102,7 +102,9 @@ pub fn request_mix(seed: u64, count: u64) -> Vec<Request> {
                 b: rng.next_bits(32),
             },
             _ => JobKind::Mac {
-                pairs: (0..16).map(|_| (rng.next_bits(32), rng.next_bits(32))).collect(),
+                pairs: (0..16)
+                    .map(|_| (rng.next_bits(32), rng.next_bits(32)))
+                    .collect(),
             },
         };
         requests.push(Request::new(kind).tenant(tenant).mode(mode));
@@ -120,13 +122,15 @@ fn digest(output: &JobOutput) -> u64 {
         z ^ (z >> 31)
     };
     match output {
-        JobOutput::Run(report) => fold(report.comparison.speedup.to_bits())
-            ^ fold(report.quality.qol_percent.to_bits()),
+        JobOutput::Run(report) => {
+            fold(report.comparison.speedup.to_bits()) ^ fold(report.quality.qol_percent.to_bits())
+        }
         JobOutput::Multiply(r) => fold(r.product as u64) ^ fold((r.product >> 64) as u64),
         JobOutput::Mac { reports, .. } => reports
             .iter()
             .map(|r| fold(r.product as u64))
             .fold(0, |acc, h| acc ^ h),
+        JobOutput::Compile { value, cycles, .. } => fold(*value) ^ fold(*cycles),
     }
 }
 
@@ -195,7 +199,9 @@ mod tests {
     fn mix_covers_every_job_class_and_tenant() {
         let mix = request_mix(7, 200);
         assert!(mix.iter().any(|r| matches!(r.kind, JobKind::Run { .. })));
-        assert!(mix.iter().any(|r| matches!(r.kind, JobKind::Multiply { .. })));
+        assert!(mix
+            .iter()
+            .any(|r| matches!(r.kind, JobKind::Multiply { .. })));
         assert!(mix.iter().any(|r| matches!(r.kind, JobKind::Mac { .. })));
         for t in 0..4u16 {
             assert!(mix.iter().any(|r| r.tenant == TenantId(t)), "tenant {t}");

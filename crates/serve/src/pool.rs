@@ -325,9 +325,11 @@ impl Pool {
                 apim::Cycles::new(total.max(1))
             })
             .collect();
-        let schedule =
-            apim_arch::scheduler::Schedule::lpt(&cycles, u32::try_from(self.config.workers).unwrap_or(u32::MAX))
-                .map_err(ApimError::from)?;
+        let schedule = apim_arch::scheduler::Schedule::lpt(
+            &cycles,
+            u32::try_from(self.config.workers).unwrap_or(u32::MAX),
+        )
+        .map_err(ApimError::from)?;
         // Per-worker batch lists, executed on scoped threads with one
         // simulator shard each; results land at their original index.
         let mut per_worker: Vec<Vec<usize>> = vec![Vec::new(); self.config.workers];
@@ -408,6 +410,11 @@ fn estimate_cycles(apim: &Apim, request: &Request) -> u64 {
             .unwrap_or(1),
         JobKind::Multiply { .. } => u64::from(apim.config().operand_bits) * 16,
         JobKind::Mac { pairs } => pairs.len() as u64 * u64::from(apim.config().operand_bits) * 16,
+        // One multiply-equivalent per statement: compiling for a real
+        // estimate would cost more than the imbalance it prevents.
+        JobKind::Compile { source } => {
+            source.lines().count().max(1) as u64 * u64::from(apim.config().operand_bits) * 16
+        }
     }
 }
 
@@ -437,7 +444,14 @@ fn worker_loop(shared: &Shared) {
             shared.metrics.coalesced.add(size as u64);
         }
         for job in &batch {
-            let response = execute_job(shared, &apim, &mut memo, job.id, &job.request, job.submitted);
+            let response = execute_job(
+                shared,
+                &apim,
+                &mut memo,
+                job.id,
+                &job.request,
+                job.submitted,
+            );
             // Metrics update before the slot fill: a client that observes
             // the response must also observe its effect on the registry.
             if response.result.is_ok() {
@@ -558,12 +572,41 @@ fn attempt(
                 memo.runs.insert(key, result.clone());
                 result
             }
-            JobKind::Multiply { a, b } => Ok(JobOutput::Multiply(apim.multiply(*a, *b, request.mode))),
+            JobKind::Multiply { a, b } => {
+                Ok(JobOutput::Multiply(apim.multiply(*a, *b, request.mode)))
+            }
             JobKind::Mac { pairs } => {
                 let (reports, batch) = apim.multiply_batch(pairs, request.mode);
                 Ok(JobOutput::Mac { reports, batch })
             }
+            JobKind::Compile { source } => run_compiled(source),
         }
     }))
     .unwrap_or(Err(ServeError::WorkerPanicked))
+}
+
+/// Compiles and gate-executes one expression program. Unbound inputs
+/// default to their declaration index + 1 so open programs still serve.
+fn run_compiled(source: &str) -> Result<JobOutput, ServeError> {
+    let fail = |reason: String| ServeError::Failed {
+        reason,
+        attempts: 0,
+    };
+    let program =
+        apim_compile::parse_program(source).map_err(|e| fail(format!("invalid program: {e}")))?;
+    let compiled = apim_compile::compile(&program.dag, &apim_compile::CompileOptions::default())
+        .map_err(|e| fail(e.to_string()))?;
+    let inputs: HashMap<String, u64> = compiled
+        .dag()
+        .inputs()
+        .iter()
+        .enumerate()
+        .map(|(i, name)| (name.to_string(), i as u64 + 1))
+        .collect();
+    let report = compiled.run(&inputs).map_err(|e| fail(e.to_string()))?;
+    Ok(JobOutput::Compile {
+        value: report.value,
+        cycles: report.cycles,
+        micro_ops: report.trace_len,
+    })
 }

@@ -1,6 +1,6 @@
 //! Request, response and error vocabulary of the serving runtime.
 
-use apim::{App, ApimCost, MulReport, PrecisionMode, RunReport};
+use apim::{ApimCost, App, MulReport, PrecisionMode, RunReport};
 use std::fmt;
 use std::time::Duration;
 
@@ -37,6 +37,13 @@ pub enum JobKind {
     Mac {
         /// The operand pairs.
         pairs: Vec<(u64, u64)>,
+    },
+    /// A pre-compiled expression program: compiled to a MAGIC microprogram
+    /// and gate-executed by `apim-compile`. Precision comes from the
+    /// program's own `mode` directives, not the request mode.
+    Compile {
+        /// Program text in the `apim-compile` expression language.
+        source: String,
     },
 }
 
@@ -107,7 +114,13 @@ impl Request {
     /// [@<tenant>] run <app> <size-mb> [--relax M | --mask F]
     /// [@<tenant>] multiply <a> <b>    [--relax M | --mask F]
     /// [@<tenant>] mac <a1> <b1> [<a2> <b2> ...] [--relax M | --mask F]
+    /// [@<tenant>] compile <program, `;` standing in for newlines>
     /// ```
+    ///
+    /// A `compile` request carries a whole expression program on one line;
+    /// since a request file is line-oriented, `;` separates the program's
+    /// statements. The program is parsed (not compiled) at admission, so
+    /// syntax errors are rejected here with their line:column position.
     ///
     /// # Errors
     ///
@@ -123,6 +136,26 @@ impl Request {
                 );
                 tokens.remove(0);
             }
+        }
+        if tokens.first() == Some(&"compile") {
+            let body = line.trim_start();
+            let body = match body.strip_prefix('@') {
+                Some(rest) => rest
+                    .split_once(char::is_whitespace)
+                    .map(|(_, b)| b.trim_start())
+                    .unwrap_or(""),
+                None => body,
+            };
+            let source = body
+                .strip_prefix("compile")
+                .map(|s| s.trim_start())
+                .unwrap_or("");
+            if source.is_empty() {
+                return Err("compile needs a program".into());
+            }
+            let source = source.replace(';', "\n");
+            apim_compile::parse_program(&source).map_err(|e| format!("invalid program: {e}"))?;
+            return Ok(Request::new(JobKind::Compile { source }).tenant(tenant));
         }
         let mode = match tokens.as_slice() {
             [.., flag, value] if *flag == "--relax" => {
@@ -167,7 +200,7 @@ impl Request {
             }
             _ => {
                 return Err(format!(
-                    "cannot parse request `{line}` (expected run|multiply|mac)"
+                    "cannot parse request `{line}` (expected run|multiply|mac|compile)"
                 ))
             }
         };
@@ -203,6 +236,16 @@ pub enum JobOutput {
         /// Cost of the whole dispatch on the configured block pairs.
         batch: ApimCost,
     },
+    /// Result of a [`JobKind::Compile`]: the gate-executed program value
+    /// and its verified microprogram size/cost.
+    Compile {
+        /// Value the microprogram left in the result row.
+        value: u64,
+        /// Measured crossbar cycles.
+        cycles: u64,
+        /// Micro-ops in the verified trace.
+        micro_ops: usize,
+    },
 }
 
 impl JobOutput {
@@ -213,6 +256,13 @@ impl JobOutput {
             JobOutput::Multiply(r) => format!("product {}", r.product),
             JobOutput::Mac { reports, batch } => {
                 format!("mac x{} in {} cycles", reports.len(), batch.cycles.get())
+            }
+            JobOutput::Compile {
+                value,
+                cycles,
+                micro_ops,
+            } => {
+                format!("compiled {micro_ops} micro-ops, value {value} in {cycles} cycles")
             }
         }
     }
@@ -318,12 +368,42 @@ mod tests {
 
     #[test]
     fn parse_line_accepts_all_app_aliases() {
-        for name in ["sobel", "Robert", "FFT", "dwt", "DwtHaar1D", "sharpen", "quasir"] {
+        for name in [
+            "sobel",
+            "Robert",
+            "FFT",
+            "dwt",
+            "DwtHaar1D",
+            "sharpen",
+            "quasir",
+        ] {
             assert!(
                 Request::parse_line(&format!("run {name} 64")).is_ok(),
                 "{name}"
             );
         }
+    }
+
+    #[test]
+    fn parse_line_accepts_compile_programs() {
+        let r = Request::parse_line("@2 compile width 16; in a; out a * 3 + 1").unwrap();
+        assert_eq!(r.tenant, TenantId(2));
+        match &r.kind {
+            JobKind::Compile { source } => {
+                assert!(source.contains('\n'), "`;` becomes newline: {source}");
+            }
+            other => panic!("expected compile, got {other:?}"),
+        }
+
+        let r = Request::parse_line("compile width 8; out 2 * 3").unwrap();
+        assert_eq!(r.tenant, TenantId(0));
+
+        assert!(Request::parse_line("compile").is_err(), "program mandatory");
+        let err = Request::parse_line("compile width 16; out 1 +").unwrap_err();
+        assert!(
+            err.contains("invalid program: 2:"),
+            "position survives: {err}"
+        );
     }
 
     #[test]
@@ -363,6 +443,8 @@ mod tests {
         }
         .to_string()
         .contains("tenant2"));
-        assert!(ServeError::DeadlineExceeded.to_string().contains("deadline"));
+        assert!(ServeError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
     }
 }

@@ -3,9 +3,7 @@
 //! retry/backoff, deadlines and loadgen determinism.
 
 use apim::App;
-use apim_serve::{
-    loadgen, FaultPlan, JobKind, Pool, PoolConfig, Request, ServeError, TenantId,
-};
+use apim_serve::{loadgen, FaultPlan, JobKind, Pool, PoolConfig, Request, ServeError, TenantId};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -166,9 +164,7 @@ fn expired_deadline_is_a_structured_error() {
     // queue behind it.
     let stall = pool.submit(run_request(App::Fft)).expect("room");
     let doomed = pool
-        .submit(
-            Request::new(JobKind::Multiply { a: 1, b: 2 }).deadline(Duration::from_nanos(1)),
-        )
+        .submit(Request::new(JobKind::Multiply { a: 1, b: 2 }).deadline(Duration::from_nanos(1)))
         .expect("room");
     assert!(matches!(
         doomed.wait().result,
@@ -192,9 +188,7 @@ fn tenant_quota_rejects_the_greedy_tenant_only() {
     let greedy = TenantId(1);
     let mut results = Vec::new();
     for _ in 0..4 {
-        results.push(pool.submit(
-            Request::new(JobKind::Multiply { a: 1, b: 2 }).tenant(greedy),
-        ));
+        results.push(pool.submit(Request::new(JobKind::Multiply { a: 1, b: 2 }).tenant(greedy)));
     }
     let quota_rejections = results
         .iter()
@@ -273,7 +267,10 @@ fn loadgen_is_deterministic_across_seeds_and_worker_counts() {
     assert_eq!(a.accepted, 40);
     assert_eq!(a.failed, 0);
     assert_eq!(a.checksum, b.checksum, "same seed, same workers");
-    assert_eq!(a.checksum, c.checksum, "results do not depend on scheduling");
+    assert_eq!(
+        a.checksum, c.checksum,
+        "results do not depend on scheduling"
+    );
     assert_eq!(a.completed, c.completed);
 
     let other_seed = loadgen::run(&loadgen::LoadgenConfig {

@@ -34,6 +34,7 @@
 
 pub mod apps;
 pub mod arith;
+pub mod dags;
 pub mod dwt;
 pub mod fft;
 pub mod image;

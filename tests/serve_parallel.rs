@@ -27,15 +27,9 @@ fn campaign() -> Campaign {
 #[test]
 fn parallel_campaign_rows_are_identical_to_serial() {
     let serial = campaign().run().expect("serial sweep");
-    let parallel = campaign()
-        .run_parallel(&pool(4))
-        .expect("parallel sweep");
+    let parallel = campaign().run_parallel(&pool(4)).expect("parallel sweep");
     assert_eq!(serial.rows().len(), 12);
-    assert_eq!(
-        serial.rows().len(),
-        parallel.rows().len(),
-        "same row count"
-    );
+    assert_eq!(serial.rows().len(), parallel.rows().len(), "same row count");
     for (s, p) in serial.rows().iter().zip(parallel.rows()) {
         // Bit-exact equality of every field, via the exhaustive Debug
         // rendering (RunReport holds floats, which must match exactly:
@@ -59,8 +53,6 @@ fn parallel_campaign_propagates_oversized_datasets() {
 #[test]
 fn parallel_campaign_works_on_a_single_worker() {
     let serial = campaign().run().expect("serial sweep");
-    let parallel = campaign()
-        .run_parallel(&pool(1))
-        .expect("parallel sweep");
+    let parallel = campaign().run_parallel(&pool(1)).expect("parallel sweep");
     assert_eq!(serial.to_csv(), parallel.to_csv());
 }
