@@ -1,0 +1,54 @@
+//! Cluster-tier overhead: one RPC round-trip through a loopback node
+//! versus the same job submitted straight into an in-process pool. The
+//! difference is the wire tax — framing, TCP, and a thread handoff per
+//! side — which the cluster design bets is negligible next to a kernel
+//! run.
+
+use apim_cluster::LoopbackCluster;
+use apim_serve::{JobKind, Pool, PoolConfig, Request, TenantId};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn request() -> Request {
+    Request::new(JobKind::Multiply {
+        a: 1_000_003,
+        b: 2_000_029,
+    })
+    .tenant(TenantId(1))
+}
+
+fn pool_config() -> PoolConfig {
+    PoolConfig {
+        workers: 2,
+        queue_depth: 64,
+        ..PoolConfig::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let pool = Pool::new(pool_config()).expect("pool");
+    let cluster = LoopbackCluster::spawn(1, &pool_config()).expect("cluster");
+    let client = cluster.client().expect("client");
+
+    let mut group = c.benchmark_group("cluster");
+    group.sample_size(10);
+    group.bench_function("submit/in-process", |b| {
+        b.iter(|| {
+            let response = pool.submit(request()).expect("submit").wait();
+            assert!(response.result.is_ok());
+        });
+    });
+    group.bench_function("submit/rpc-loopback", |b| {
+        b.iter(|| {
+            let response = client.submit(&request()).expect("rpc");
+            assert!(response.node_latency_us < u64::MAX);
+        });
+    });
+    group.finish();
+
+    drop(client);
+    cluster.shutdown();
+    pool.shutdown();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -96,6 +96,40 @@ pub enum Command {
         /// Admission-control queue depth.
         queue_depth: Option<usize>,
     },
+    /// A cluster node daemon: one serving pool behind a TCP listener.
+    Node {
+        /// Listen address (`host:port`; port 0 picks a free port).
+        addr: String,
+        /// Worker thread count (`None` = one per available core, capped).
+        workers: Option<usize>,
+        /// Admission-control queue depth.
+        queue_depth: Option<usize>,
+        /// Serve for this many seconds then shut down (`None` = forever).
+        for_secs: Option<u64>,
+    },
+    /// Seeded load generator against running cluster nodes.
+    ClusterLoadgen {
+        /// Node addresses.
+        nodes: Vec<String>,
+        /// Number of requests to offer.
+        requests: usize,
+        /// Mix seed.
+        seed: u64,
+        /// Closed-loop submitter threads.
+        concurrency: usize,
+    },
+    /// In-process robustness gate: spawn a loopback fleet, kill a node
+    /// mid-run, fail unless every request is still answered.
+    ClusterSmoke {
+        /// Loopback nodes to spawn.
+        nodes: usize,
+        /// Number of requests to offer.
+        requests: usize,
+        /// Worker threads per node.
+        workers: Option<usize>,
+        /// Mix seed.
+        seed: u64,
+    },
     /// Print usage.
     Help,
 }
@@ -127,6 +161,10 @@ USAGE:
   apim-cli compile <sharpen|sobel|file> [--set name=val ...] [--compare]
   apim-cli serve <file> [--workers N] [--queue-depth N]
   apim-cli loadgen [--requests N] [--workers N] [--seed S] [--queue-depth N]
+  apim-cli node [--addr H:P] [--workers N] [--queue-depth N] [--for-secs S]
+  apim-cli cluster-loadgen --nodes a:p,b:p[,...] [--requests N] [--seed S]
+                           [--concurrency C]
+  apim-cli cluster-smoke [--nodes N] [--requests N] [--workers N] [--seed S]
   apim-cli help
 
 APPS: sobel | robert | fft | dwt | sharpen | quasir
@@ -328,6 +366,93 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     workers,
                     seed,
                     queue_depth,
+                })
+            }
+            "node" => {
+                let mut addr = "127.0.0.1:7751".to_string();
+                let mut for_secs = None;
+                let (workers, queue_depth) = parse_pool_flags(rest, |flag, value| {
+                    match flag {
+                        "--addr" => addr = value.to_string(),
+                        "--for-secs" => for_secs = Some(parse_u64(value, "duration")?),
+                        _ => return Ok(false),
+                    }
+                    Ok(true)
+                })?;
+                Ok(Command::Node {
+                    addr,
+                    workers,
+                    queue_depth,
+                    for_secs,
+                })
+            }
+            "cluster-loadgen" => {
+                let mut nodes = Vec::new();
+                let mut requests = 200usize;
+                let mut seed = 7u64;
+                let mut concurrency = 8usize;
+                let mut it = rest.iter();
+                while let Some(flag) = it.next() {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| ParseError(format!("{flag} needs a value")))?;
+                    match flag.as_str() {
+                        "--nodes" => {
+                            nodes = value
+                                .split(',')
+                                .filter(|s| !s.is_empty())
+                                .map(String::from)
+                                .collect();
+                        }
+                        "--requests" => {
+                            requests = parse_u64(value, "request count")? as usize;
+                        }
+                        "--seed" => seed = parse_u64(value, "seed")?,
+                        "--concurrency" => {
+                            concurrency = parse_u64(value, "concurrency")?.max(1) as usize;
+                        }
+                        other => return Err(ParseError(format!("unknown flag `{other}`"))),
+                    }
+                }
+                if nodes.is_empty() {
+                    return Err(ParseError(
+                        "cluster-loadgen needs --nodes a:port[,b:port...]".into(),
+                    ));
+                }
+                Ok(Command::ClusterLoadgen {
+                    nodes,
+                    requests,
+                    seed,
+                    concurrency,
+                })
+            }
+            "cluster-smoke" => {
+                let mut nodes = 2usize;
+                let mut requests = 200usize;
+                let mut seed = 7u64;
+                let mut workers = None;
+                let mut it = rest.iter();
+                while let Some(flag) = it.next() {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| ParseError(format!("{flag} needs a value")))?;
+                    match flag.as_str() {
+                        "--nodes" => nodes = parse_u64(value, "node count")?.max(1) as usize,
+                        "--requests" => {
+                            requests = parse_u64(value, "request count")? as usize;
+                        }
+                        "--seed" => seed = parse_u64(value, "seed")?,
+                        "--workers" => {
+                            workers = Some(parse_u64(value, "worker count")? as usize);
+                        }
+                        other => return Err(ParseError(format!("unknown flag `{other}`"))),
+                    }
+                }
+                Ok(Command::ClusterSmoke {
+                    nodes,
+                    requests,
+                    workers,
+                    seed,
                 })
             }
             "repro" => match rest {
@@ -646,6 +771,76 @@ pub fn execute(command: &Command) -> Result<String, apim::ApimError> {
             })?;
             let _ = write!(out, "{report}");
         }
+        Command::Node {
+            addr,
+            workers,
+            queue_depth,
+            for_secs,
+        } => {
+            let node = apim_cluster::Node::spawn(apim_cluster::NodeConfig {
+                addr: addr.clone(),
+                pool: pool_config(*workers, *queue_depth),
+            })
+            .map_err(|e| apim::ApimError::Runtime(format!("cannot start node: {e}")))?;
+            // The daemon announces its address up front (port 0 resolves
+            // to a real port) so scripts can capture it before blocking.
+            println!("apim-node listening on {}", node.addr());
+            match for_secs {
+                Some(secs) => std::thread::sleep(std::time::Duration::from_secs(*secs)),
+                None => loop {
+                    std::thread::sleep(std::time::Duration::from_secs(3600));
+                },
+            }
+            let snapshot = node.metrics().snapshot();
+            node.shutdown();
+            let _ = write!(out, "{snapshot}");
+        }
+        Command::ClusterLoadgen {
+            nodes,
+            requests,
+            seed,
+            concurrency,
+        } => {
+            let report = apim_cluster::loadgen::run(&apim_cluster::loadgen::ClusterLoadgenConfig {
+                requests: *requests as u64,
+                seed: *seed,
+                concurrency: *concurrency,
+                cluster: apim_cluster::ClusterConfig::new(nodes.clone()),
+            })
+            .map_err(|e| apim::ApimError::Runtime(format!("cluster-loadgen: {e}")))?;
+            let _ = write!(out, "{report}");
+            // Rejections are backpressure doing its job; lost requests mean
+            // no node could answer — that is an infrastructure failure.
+            if report.lost > 0 {
+                return Err(apim::ApimError::Runtime(format!(
+                    "cluster-loadgen: {} of {} requests lost\n{report}",
+                    report.lost, report.offered
+                )));
+            }
+        }
+        Command::ClusterSmoke {
+            nodes,
+            requests,
+            workers,
+            seed,
+        } => {
+            let report = apim_cluster::loadgen::smoke(&apim_cluster::loadgen::SmokeConfig {
+                nodes: *nodes,
+                requests: *requests as u64,
+                seed: *seed,
+                workers: workers.unwrap_or(2),
+                kill_after: None,
+            })
+            .map_err(|e| apim::ApimError::Runtime(format!("cluster-smoke: {e}")))?;
+            let _ = write!(out, "{report}");
+            if !report.passed() {
+                return Err(apim::ApimError::Runtime(format!(
+                    "cluster-smoke FAILED: {} of {} requests lost or rejected",
+                    report.loadgen.lost + report.loadgen.rejected,
+                    report.loadgen.offered
+                )));
+            }
+        }
         Command::Repro { exhibit } => {
             use apim_bench as b;
             let all = exhibit == "all";
@@ -954,6 +1149,103 @@ mod tests {
         assert!(out.contains("20 offered"), "{out}");
         assert!(out.contains("req/s"), "{out}");
         assert!(out.contains("apim_serve_completed_total"), "{out}");
+        // Tail latency and admission accounting are part of the report.
+        assert!(out.contains("latency: p50 "), "{out}");
+        assert!(out.contains(" / p95 "), "{out}");
+        assert!(out.contains(" / p99 "), "{out}");
+        assert!(out.contains("rejected at admission: 0 of 20"), "{out}");
+    }
+
+    #[test]
+    fn node_parses_defaults_and_overrides() {
+        assert_eq!(
+            parse(&args("node")).unwrap(),
+            Command::Node {
+                addr: "127.0.0.1:7751".into(),
+                workers: None,
+                queue_depth: None,
+                for_secs: None,
+            }
+        );
+        assert_eq!(
+            parse(&args(
+                "node --addr 0.0.0.0:9000 --workers 4 --queue-depth 32 --for-secs 2"
+            ))
+            .unwrap(),
+            Command::Node {
+                addr: "0.0.0.0:9000".into(),
+                workers: Some(4),
+                queue_depth: Some(32),
+                for_secs: Some(2),
+            }
+        );
+        assert!(parse(&args("node --addr")).is_err());
+        assert!(parse(&args("node --frob 3")).is_err());
+    }
+
+    #[test]
+    fn cluster_loadgen_parses_node_list() {
+        assert_eq!(
+            parse(&args(
+                "cluster-loadgen --nodes a:1,b:2 --requests 50 --seed 3"
+            ))
+            .unwrap(),
+            Command::ClusterLoadgen {
+                nodes: vec!["a:1".into(), "b:2".into()],
+                requests: 50,
+                seed: 3,
+                concurrency: 8,
+            }
+        );
+        assert!(
+            parse(&args("cluster-loadgen --requests 50")).is_err(),
+            "--nodes is mandatory"
+        );
+        assert!(parse(&args("cluster-loadgen --nodes a:1 --workers 2")).is_err());
+    }
+
+    #[test]
+    fn cluster_smoke_parses_and_passes_the_gate() {
+        assert_eq!(
+            parse(&args("cluster-smoke")).unwrap(),
+            Command::ClusterSmoke {
+                nodes: 2,
+                requests: 200,
+                workers: None,
+                seed: 7,
+            }
+        );
+        assert!(parse(&args("cluster-smoke --queue-depth 4")).is_err());
+        let out = execute(&Command::ClusterSmoke {
+            nodes: 2,
+            requests: 60,
+            workers: Some(2),
+            seed: 7,
+        })
+        .unwrap();
+        assert!(out.contains("zero requests lost — PASS"), "{out}");
+        assert!(out.contains("apim_cluster_latency_p99_us"), "{out}");
+    }
+
+    #[test]
+    fn cluster_loadgen_executes_against_live_nodes() {
+        let pool = apim_serve::PoolConfig {
+            workers: 2,
+            queue_depth: 64,
+            ..apim_serve::PoolConfig::default()
+        };
+        let cluster = apim_cluster::LoopbackCluster::spawn(2, &pool).unwrap();
+        let out = execute(&Command::ClusterLoadgen {
+            nodes: cluster.addrs().to_vec(),
+            requests: 30,
+            seed: 7,
+            concurrency: 4,
+        })
+        .unwrap();
+        assert!(out.contains("30 offered, 30 succeeded"), "{out}");
+        assert!(out.contains("apim_cluster_nodes 2"), "{out}");
+        assert!(out.contains("checksum"), "{out}");
+        cluster.shutdown();
     }
 
     #[test]

@@ -1,0 +1,543 @@
+//! The cluster client/router: sharding, health checks and failover.
+//!
+//! Requests shard by **consistent hashing on the tenant id**: every node
+//! contributes `vnodes` points to a hash ring, and a tenant's requests
+//! walk the ring from `hash(tenant)`, so (a) one tenant's traffic lands
+//! on one *home* node — keeping that node's per-tenant quota meaningful
+//! fleet-wide — and (b) losing a node only remaps the tenants it owned,
+//! not the whole fleet.
+//!
+//! Failover is transport-level only: a connection failure (dead node,
+//! severed mid-RPC) marks the node down and retries the request on the
+//! next distinct node along the ring with capped exponential backoff.
+//! *Admission* rejections (overload, quota, deadline) are answered to the
+//! caller unchanged — forwarding a quota rejection to a non-home node
+//! would silently defeat the quota it enforces. An optional hedge fires
+//! a duplicate RPC at the next replica when the primary has not answered
+//! within a configured delay; first success wins.
+
+use crate::wire::{self, Message, RecvError, WireOutput};
+use apim_serve::{Request, ServeError, TenantId};
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of a [`ClusterClient`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Node addresses (`host:port`). Order is identity: metrics and
+    /// routing report nodes by their index here.
+    pub nodes: Vec<String>,
+    /// Virtual nodes per physical node on the hash ring.
+    pub vnodes: usize,
+    /// Total RPC attempts per request across distinct nodes.
+    pub max_attempts: u32,
+    /// Backoff before a failover retry; doubles per attempt.
+    pub retry_backoff: Duration,
+    /// Upper bound on one backoff sleep.
+    pub backoff_cap: Duration,
+    /// Socket read timeout on an RPC (a node slower than this counts as
+    /// failed and the request fails over).
+    pub rpc_timeout: Duration,
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Background health-check period; `None` disables the checker (nodes
+    /// are then only marked down by failed RPCs and revived by retries).
+    pub health_interval: Option<Duration>,
+    /// Launch a duplicate RPC on the next replica when the primary has
+    /// not answered within this delay; `None` disables hedging.
+    pub hedge_after: Option<Duration>,
+    /// Connections kept warm per node (also the per-node RPC concurrency
+    /// sweet spot; more RPCs just open extra connections).
+    pub conns_per_node: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: Vec::new(),
+            vnodes: 16,
+            max_attempts: 4,
+            retry_backoff: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(50),
+            rpc_timeout: Duration::from_secs(10),
+            connect_timeout: Duration::from_secs(1),
+            health_interval: Some(Duration::from_millis(100)),
+            hedge_after: None,
+            conns_per_node: 4,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A configuration for the given nodes with every knob at its default.
+    pub fn new(nodes: Vec<String>) -> Self {
+        ClusterConfig {
+            nodes,
+            ..ClusterConfig::default()
+        }
+    }
+}
+
+/// Structured failure modes of a cluster submission.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// The client was built with an empty node list.
+    NoNodes,
+    /// A node answered with an admission/execution rejection; not a
+    /// transport failure, so no failover was attempted.
+    Rejected(ServeError),
+    /// Every eligible node failed at the transport level.
+    Unavailable {
+        /// RPC attempts made.
+        attempts: u32,
+        /// Rendering of the last transport error.
+        last: String,
+    },
+    /// A node broke the protocol (bad frame, wrong correlation id).
+    Protocol(String),
+    /// An IO failure outside the RPC path (e.g. metrics pull).
+    Io(io::Error),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::NoNodes => write!(f, "no nodes configured"),
+            ClusterError::Rejected(e) => write!(f, "rejected by node: {e}"),
+            ClusterError::Unavailable { attempts, last } => {
+                write!(
+                    f,
+                    "all nodes unavailable after {attempts} attempt(s): {last}"
+                )
+            }
+            ClusterError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            ClusterError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// The answer to one successfully served cluster request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterResponse {
+    /// Index (into [`ClusterConfig::nodes`]) of the node that answered.
+    pub node: usize,
+    /// Digest + summary of the result.
+    pub output: WireOutput,
+    /// Node-side execution attempts.
+    pub attempts: u32,
+    /// Node-side latency, µs.
+    pub node_latency_us: u64,
+    /// Transport-level failovers this request survived.
+    pub failovers: u32,
+}
+
+/// Point-in-time counters of the client's own behaviour (the node-side
+/// story lives in the fleet metrics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClientStats {
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Requests answered successfully.
+    pub succeeded: u64,
+    /// Requests rejected by a node (admission/execution).
+    pub rejected: u64,
+    /// Transport-level RPC failures observed.
+    pub transport_failures: u64,
+    /// Requests that failed over to another node at least once.
+    pub failovers: u64,
+    /// Hedged duplicate RPCs launched.
+    pub hedges: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatsCells {
+    submitted: AtomicU64,
+    succeeded: AtomicU64,
+    rejected: AtomicU64,
+    transport_failures: AtomicU64,
+    failovers: AtomicU64,
+    hedges: AtomicU64,
+}
+
+/// One configured node: address, up/down belief, warm connections.
+struct NodeSlot {
+    addr: String,
+    up: AtomicBool,
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+struct ClientInner {
+    config: ClusterConfig,
+    nodes: Vec<NodeSlot>,
+    /// `(ring position, node index)`, sorted by position.
+    ring: Vec<(u64, usize)>,
+    seq: AtomicU64,
+    stats: StatsCells,
+    stop: AtomicBool,
+}
+
+/// A sharding, health-checking, failing-over client over a static node
+/// list. Cheap to clone behind an `Arc`; `submit` is safe from any number
+/// of threads concurrently.
+pub struct ClusterClient {
+    inner: Arc<ClientInner>,
+    health_thread: Option<JoinHandle<()>>,
+}
+
+impl fmt::Debug for ClusterClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClusterClient")
+            .field("nodes", &self.inner.config.nodes)
+            .finish()
+    }
+}
+
+/// SplitMix64 finalizer: the ring's hash function.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ClusterClient {
+    /// Builds the ring and starts the health checker (if configured).
+    /// Connections open lazily on first use, so construction succeeds even
+    /// while nodes are still coming up.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoNodes`] for an empty node list.
+    pub fn connect(config: ClusterConfig) -> Result<ClusterClient, ClusterError> {
+        if config.nodes.is_empty() {
+            return Err(ClusterError::NoNodes);
+        }
+        let nodes: Vec<NodeSlot> = config
+            .nodes
+            .iter()
+            .map(|addr| NodeSlot {
+                addr: addr.clone(),
+                up: AtomicBool::new(true),
+                conns: Mutex::new(Vec::new()),
+            })
+            .collect();
+        let mut ring = Vec::with_capacity(nodes.len() * config.vnodes.max(1));
+        for (index, _) in nodes.iter().enumerate() {
+            for replica in 0..config.vnodes.max(1) {
+                ring.push((mix((index as u64) << 32 | replica as u64), index));
+            }
+        }
+        ring.sort_unstable();
+        let inner = Arc::new(ClientInner {
+            config,
+            nodes,
+            ring,
+            seq: AtomicU64::new(0),
+            stats: StatsCells::default(),
+            stop: AtomicBool::new(false),
+        });
+        let health_thread = inner.config.health_interval.map(|interval| {
+            let health_inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("apim-cluster-health".into())
+                .spawn(move || health_loop(&health_inner, interval))
+                .expect("spawn health thread")
+        });
+        Ok(ClusterClient {
+            inner,
+            health_thread,
+        })
+    }
+
+    /// The preferred node order for a tenant: ring successors of
+    /// `hash(tenant)`, deduplicated, covering every node. Element 0 is the
+    /// tenant's home node.
+    pub fn route(&self, tenant: TenantId) -> Vec<usize> {
+        let inner = &self.inner;
+        let point = mix(0x007e_4a11 ^ u64::from(tenant.0));
+        let start = inner
+            .ring
+            .partition_point(|&(position, _)| position < point);
+        let mut order = Vec::with_capacity(inner.nodes.len());
+        for i in 0..inner.ring.len() {
+            let (_, node) = inner.ring[(start + i) % inner.ring.len()];
+            if !order.contains(&node) {
+                order.push(node);
+                if order.len() == inner.nodes.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// Whether the client currently believes a node is serving.
+    pub fn node_up(&self, index: usize) -> bool {
+        self.inner.nodes[index].up.load(Ordering::Relaxed)
+    }
+
+    /// Submits one request to the tenant's home node, failing over along
+    /// the ring on transport errors.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Rejected`] carries a node's own structured
+    /// rejection; [`ClusterError::Unavailable`] means no node could be
+    /// reached within the attempt budget.
+    pub fn submit(&self, request: &Request) -> Result<ClusterResponse, ClusterError> {
+        let inner = &self.inner;
+        inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let order = self.route(request.tenant);
+        let max_attempts = inner.config.max_attempts.max(1);
+        let mut attempts = 0u32;
+        let mut failovers = 0u32;
+        let mut last = String::from("no attempt made");
+        while attempts < max_attempts {
+            // Prefer up nodes; once everything is marked down, probe in
+            // ring order anyway — a revived node answers, a dead one fails
+            // fast.
+            let position = attempts as usize % order.len();
+            let all_down = order
+                .iter()
+                .all(|&n| !inner.nodes[n].up.load(Ordering::Relaxed));
+            let node = order[position];
+            if !all_down && !inner.nodes[node].up.load(Ordering::Relaxed) {
+                attempts += 1;
+                continue;
+            }
+            if attempts > 0 {
+                let backoff = inner
+                    .config
+                    .retry_backoff
+                    .saturating_mul(1 << (attempts - 1).min(16))
+                    .min(inner.config.backoff_cap);
+                std::thread::sleep(backoff);
+            }
+            attempts += 1;
+            match self.attempt_with_hedge(node, order.get(position + 1).copied(), request) {
+                Ok((winner, reply)) => match reply.result {
+                    Ok(output) => {
+                        inner.stats.succeeded.fetch_add(1, Ordering::Relaxed);
+                        if failovers > 0 {
+                            inner.stats.failovers.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return Ok(ClusterResponse {
+                            node: winner,
+                            output,
+                            attempts: reply.attempts,
+                            node_latency_us: reply.latency_us,
+                            failovers,
+                        });
+                    }
+                    Err(error) => {
+                        inner.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        return Err(ClusterError::Rejected(error));
+                    }
+                },
+                Err(e) => {
+                    inner
+                        .stats
+                        .transport_failures
+                        .fetch_add(1, Ordering::Relaxed);
+                    inner.nodes[node].up.store(false, Ordering::Relaxed);
+                    failovers += 1;
+                    last = e;
+                }
+            }
+        }
+        Err(ClusterError::Unavailable { attempts, last })
+    }
+
+    /// One RPC, optionally racing a hedged duplicate on `backup`.
+    fn attempt_with_hedge(
+        &self,
+        primary: usize,
+        backup: Option<usize>,
+        request: &Request,
+    ) -> Result<(usize, wire::Reply), String> {
+        let inner = &self.inner;
+        let (Some(hedge_after), Some(backup)) = (inner.config.hedge_after, backup) else {
+            return rpc_submit(inner, primary, request).map(|r| (primary, r));
+        };
+        let (tx, rx) = mpsc::channel();
+        let settled = Arc::new(AtomicBool::new(false));
+        for (delay, node) in [(None, primary), (Some(hedge_after), backup)] {
+            let tx = tx.clone();
+            let inner = Arc::clone(&self.inner);
+            let request = request.clone();
+            let settled = Arc::clone(&settled);
+            std::thread::spawn(move || {
+                if let Some(delay) = delay {
+                    std::thread::sleep(delay);
+                    // The primary came back while we slept: stand down.
+                    if settled.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    inner.stats.hedges.fetch_add(1, Ordering::Relaxed);
+                }
+                let outcome = rpc_submit(&inner, node, request);
+                settled.store(true, Ordering::Relaxed);
+                let _ = tx.send((node, outcome));
+            });
+        }
+        drop(tx);
+        let mut last = String::from("hedge channel closed");
+        // First success wins; the loser's result (or double execution) is
+        // discarded — requests are idempotent simulator calls.
+        for (node, outcome) in rx {
+            match outcome {
+                Ok(reply) => return Ok((node, reply)),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    /// Pulls every node's metrics snapshot; unreachable nodes are listed,
+    /// not fatal.
+    ///
+    /// # Errors
+    ///
+    /// This call itself cannot fail; the `Result` keeps the signature
+    /// uniform with the submission path for callers that `?` through.
+    pub fn pull_metrics(&self) -> Result<crate::fleet::FleetSnapshot, ClusterError> {
+        let inner = &self.inner;
+        let mut per_node = Vec::new();
+        let mut unreachable = Vec::new();
+        for (index, slot) in inner.nodes.iter().enumerate() {
+            match rpc(inner, index, &Message::MetricsPull) {
+                Ok(Message::Metrics { snapshot }) => per_node.push((slot.addr.clone(), snapshot)),
+                Ok(_) | Err(_) => unreachable.push(slot.addr.clone()),
+            }
+        }
+        Ok(crate::fleet::FleetSnapshot::merge_from(
+            per_node,
+            unreachable,
+        ))
+    }
+
+    /// The client's own counters.
+    pub fn stats(&self) -> ClientStats {
+        let s = &self.inner.stats;
+        ClientStats {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            succeeded: s.succeeded.load(Ordering::Relaxed),
+            rejected: s.rejected.load(Ordering::Relaxed),
+            transport_failures: s.transport_failures.load(Ordering::Relaxed),
+            failovers: s.failovers.load(Ordering::Relaxed),
+            hedges: s.hedges.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-tenant request counts grouped by home node — a quick view of
+    /// how the ring spreads the tenant space.
+    pub fn shard_map(&self, tenants: impl Iterator<Item = TenantId>) -> HashMap<usize, u64> {
+        let mut map = HashMap::new();
+        for tenant in tenants {
+            *map.entry(self.route(tenant)[0]).or_insert(0) += 1;
+        }
+        map
+    }
+}
+
+impl Drop for ClusterClient {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        if let Some(health) = self.health_thread.take() {
+            let _ = health.join();
+        }
+    }
+}
+
+fn health_loop(inner: &Arc<ClientInner>, interval: Duration) {
+    let mut nonce = 0u64;
+    while !inner.stop.load(Ordering::SeqCst) {
+        nonce += 1;
+        for (index, slot) in inner.nodes.iter().enumerate() {
+            let alive = matches!(
+                rpc(inner, index, &Message::Ping { nonce }),
+                Ok(Message::Pong { nonce: n, .. }) if n == nonce
+            );
+            slot.up.store(alive, Ordering::Relaxed);
+        }
+        // Sleep in small slices so Drop never waits a full interval.
+        let mut remaining = interval;
+        while remaining > Duration::ZERO && !inner.stop.load(Ordering::SeqCst) {
+            let slice = remaining.min(Duration::from_millis(10));
+            std::thread::sleep(slice);
+            remaining = remaining.saturating_sub(slice);
+        }
+    }
+}
+
+/// Checks out a warm connection or opens a fresh one.
+fn checkout(inner: &ClientInner, node: usize) -> Result<TcpStream, String> {
+    if let Some(conn) = inner.nodes[node].conns.lock().expect("conn pool").pop() {
+        return Ok(conn);
+    }
+    let addr: SocketAddr = inner.nodes[node]
+        .addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolve {}: {e}", inner.nodes[node].addr))?
+        .next()
+        .ok_or_else(|| format!("resolve {}: no address", inner.nodes[node].addr))?;
+    let stream = TcpStream::connect_timeout(&addr, inner.config.connect_timeout)
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(inner.config.rpc_timeout))
+        .map_err(|e| e.to_string())?;
+    Ok(stream)
+}
+
+/// Returns a healthy connection to the warm pool (bounded).
+fn checkin(inner: &ClientInner, node: usize, conn: TcpStream) {
+    let mut pool = inner.nodes[node].conns.lock().expect("conn pool");
+    if pool.len() < inner.config.conns_per_node {
+        pool.push(conn);
+    }
+}
+
+/// One request/response exchange on a checked-out connection. Any failure
+/// discards the connection (its stream state is unknown).
+fn rpc(inner: &ClientInner, node: usize, message: &Message) -> Result<Message, String> {
+    let mut conn = checkout(inner, node)?;
+    wire::write_message(&mut conn, message).map_err(|e| format!("send: {e}"))?;
+    match wire::read_message(&mut conn) {
+        Ok(answer) => {
+            checkin(inner, node, conn);
+            Ok(answer)
+        }
+        Err(RecvError::Io(e)) => Err(format!("recv: {e}")),
+        Err(RecvError::Wire(e)) => Err(format!("recv protocol: {e}")),
+    }
+}
+
+/// A submit RPC with correlation-id checking.
+fn rpc_submit(
+    inner: &ClientInner,
+    node: usize,
+    request: impl std::borrow::Borrow<Request>,
+) -> Result<wire::Reply, String> {
+    let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+    let message = Message::Submit {
+        seq,
+        request: request.borrow().clone(),
+    };
+    match rpc(inner, node, &message)? {
+        Message::Reply { seq: got, reply } if got == seq => Ok(reply),
+        Message::Reply { seq: got, .. } => {
+            Err(format!("correlation mismatch: sent {seq}, got {got}"))
+        }
+        other => Err(format!("unexpected answer kind {other:?}")),
+    }
+}

@@ -1,0 +1,125 @@
+//! Fleet-wide metrics: per-node snapshots plus their exact merge.
+//!
+//! The aggregator pulls each node's `MetricsSnapshot` over the wire and
+//! folds them with [`MetricsSnapshot::merge`], which sums the raw
+//! histogram buckets — so the merged p50/p95/p99 are the true quantiles
+//! of the union of every node's samples (at bucket resolution), not an
+//! average of per-node quantiles.
+
+use apim_serve::MetricsSnapshot;
+use std::fmt;
+
+/// One pull across the fleet: per-node snapshots, their merge, and the
+/// nodes that could not be reached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSnapshot {
+    /// `(address, snapshot)` for every node that answered.
+    pub per_node: Vec<(String, MetricsSnapshot)>,
+    /// Every answering node's snapshot merged into one.
+    pub merged: MetricsSnapshot,
+    /// Addresses that did not answer the pull.
+    pub unreachable: Vec<String>,
+}
+
+impl FleetSnapshot {
+    /// Builds the fleet view by merging the per-node snapshots.
+    pub fn merge_from(
+        per_node: Vec<(String, MetricsSnapshot)>,
+        unreachable: Vec<String>,
+    ) -> FleetSnapshot {
+        let mut merged = apim_serve::Metrics::default().snapshot();
+        for (_, snapshot) in &per_node {
+            merged.merge(snapshot);
+        }
+        FleetSnapshot {
+            per_node,
+            merged,
+            unreachable,
+        }
+    }
+}
+
+impl fmt::Display for FleetSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let us = |v: Option<u64>| v.map_or_else(|| "nan".into(), |v| v.to_string());
+        writeln!(f, "# apim-cluster fleet snapshot")?;
+        writeln!(f, "apim_cluster_nodes {}", self.per_node.len())?;
+        writeln!(
+            f,
+            "apim_cluster_nodes_unreachable {}",
+            self.unreachable.len()
+        )?;
+        for (addr, s) in &self.per_node {
+            writeln!(
+                f,
+                "apim_cluster_node{{node=\"{addr}\"}} accepted={} rejected={} completed={} \
+                 failed={} p50_us={} p99_us={}",
+                s.accepted,
+                s.rejected,
+                s.completed,
+                s.failed,
+                us(s.latency_p50_us),
+                us(s.latency_p99_us),
+            )?;
+        }
+        let m = &self.merged;
+        writeln!(f, "apim_cluster_accepted_total {}", m.accepted)?;
+        writeln!(f, "apim_cluster_rejected_total {}", m.rejected)?;
+        writeln!(f, "apim_cluster_completed_total {}", m.completed)?;
+        writeln!(f, "apim_cluster_failed_total {}", m.failed)?;
+        writeln!(f, "apim_cluster_retries_total {}", m.retries)?;
+        writeln!(f, "apim_cluster_batches_total {}", m.batches)?;
+        writeln!(f, "apim_cluster_queue_depth {}", m.queue_depth)?;
+        writeln!(f, "apim_cluster_workers_busy {}", m.workers_busy)?;
+        for (name, v) in [
+            ("p50", m.latency_p50_us),
+            ("p95", m.latency_p95_us),
+            ("p99", m.latency_p99_us),
+        ] {
+            writeln!(f, "apim_cluster_latency_{name}_us {}", us(v))?;
+        }
+        write!(
+            f,
+            "apim_cluster_latency_mean_us {}",
+            m.latency_mean_us
+                .map_or_else(|| "nan".into(), |v| format!("{v:.1}"))
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apim_serve::Metrics;
+    use std::time::Duration;
+
+    #[test]
+    fn merge_from_two_nodes_reports_union_quantiles() {
+        let a = Metrics::default();
+        let b = Metrics::default();
+        a.accepted.add(10);
+        b.accepted.add(20);
+        for us in 1..=50u64 {
+            a.latency.record(Duration::from_micros(us));
+            b.latency.record(Duration::from_micros(us + 50));
+        }
+        let fleet = FleetSnapshot::merge_from(
+            vec![("n0:1".into(), a.snapshot()), ("n1:2".into(), b.snapshot())],
+            vec![],
+        );
+        assert_eq!(fleet.merged.accepted, 30);
+        let whole = Metrics::default();
+        for us in 1..=100u64 {
+            whole.latency.record(Duration::from_micros(us));
+        }
+        let expected = whole.snapshot();
+        assert_eq!(fleet.merged.latency_p50_us, expected.latency_p50_us);
+        assert_eq!(fleet.merged.latency_p99_us, expected.latency_p99_us);
+
+        let text = fleet.to_string();
+        assert!(text.contains("apim_cluster_nodes 2"), "{text}");
+        assert!(text.contains("apim_cluster_accepted_total 30"), "{text}");
+        assert!(text.contains("node=\"n0:1\""), "{text}");
+        assert!(text.contains("apim_cluster_latency_p99_us"), "{text}");
+    }
+}

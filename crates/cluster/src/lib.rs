@@ -1,0 +1,36 @@
+//! `apim-cluster`: a distributed serving tier over the `apim-serve`
+//! runtime — many node daemons, each wrapping one pool, behind a
+//! sharding, failing-over client.
+//!
+//! The APIM architecture scales by replicating crossbar block pairs
+//! behind one controller; this crate is the same shape one level up:
+//! many serving pools behind one router. Plain std TCP with blocking
+//! I/O and a thread per connection — no async runtime — because the
+//! per-request work (a full in-memory kernel run) dwarfs any scheduling
+//! overhead an executor would save.
+//!
+//! - [`wire`] — the length-prefixed, versioned binary protocol. Strict
+//!   bounds-checked decoding: malformed frames produce structured
+//!   errors, never panics.
+//! - [`node`] — the daemon: one [`apim_serve::Pool`] behind a listener.
+//! - [`client`] — the router: consistent hashing on tenant id, health
+//!   checks, failover with capped backoff, optional hedged sends.
+//! - [`fleet`] — per-node metrics snapshots merged into exact
+//!   fleet-wide quantiles.
+//! - [`harness`] — in-process loopback fleet for deterministic tests.
+//! - [`loadgen`] — cluster load generation and the kill-a-node smoke
+//!   gate.
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod fleet;
+pub mod harness;
+pub mod loadgen;
+pub mod node;
+pub mod wire;
+
+pub use client::{ClientStats, ClusterClient, ClusterConfig, ClusterError, ClusterResponse};
+pub use fleet::FleetSnapshot;
+pub use harness::LoopbackCluster;
+pub use node::{Node, NodeConfig};

@@ -1,0 +1,276 @@
+//! Cluster load generation and the kill-a-node smoke scenario.
+//!
+//! [`run`] drives the same seeded request mix as `apim-serve`'s loadgen
+//! through a [`ClusterClient`] from a team of closed-loop submitter
+//! threads, then pulls the fleet metrics. [`smoke`] wraps it in the CI
+//! robustness gate: spawn a loopback fleet, kill a node once a quarter of
+//! the responses are in, and require that **every** submitted request is
+//! still answered successfully — failover must hide the loss completely.
+
+use crate::client::{ClusterClient, ClusterConfig, ClusterError};
+use crate::fleet::FleetSnapshot;
+use crate::harness::LoopbackCluster;
+use apim_serve::{loadgen::request_mix, PoolConfig, Request};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Configuration of a cluster load-generation run.
+#[derive(Debug, Clone)]
+pub struct ClusterLoadgenConfig {
+    /// Requests to offer.
+    pub requests: u64,
+    /// PRNG seed for the request mix (same mix as `apim-serve` loadgen).
+    pub seed: u64,
+    /// Closed-loop submitter threads.
+    pub concurrency: usize,
+    /// The client/router under test.
+    pub cluster: ClusterConfig,
+}
+
+impl Default for ClusterLoadgenConfig {
+    fn default() -> Self {
+        ClusterLoadgenConfig {
+            requests: 200,
+            seed: 7,
+            concurrency: 8,
+            cluster: ClusterConfig::default(),
+        }
+    }
+}
+
+/// Outcome of a cluster load-generation run.
+#[derive(Debug, Clone)]
+pub struct ClusterLoadgenReport {
+    /// Requests offered.
+    pub offered: u64,
+    /// Requests answered successfully (after any failover).
+    pub succeeded: u64,
+    /// Requests rejected by a node's admission control.
+    pub rejected: u64,
+    /// Requests lost: no node could answer within the retry budget.
+    pub lost: u64,
+    /// Requests that survived at least one transport failover.
+    pub failovers: u64,
+    /// Wall-clock time, first submission to last response.
+    pub elapsed: Duration,
+    /// Successful responses per second.
+    pub throughput_rps: f64,
+    /// XOR of every successful result digest — comparable to the
+    /// single-pool loadgen checksum for the same seed and request count.
+    pub checksum: u64,
+    /// Fleet metrics pulled after the run.
+    pub fleet: FleetSnapshot,
+}
+
+impl fmt::Display for ClusterLoadgenReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cluster-loadgen: {} offered, {} succeeded, {} rejected, {} lost, {} failed over",
+            self.offered, self.succeeded, self.rejected, self.lost, self.failovers
+        )?;
+        writeln!(
+            f,
+            "elapsed {:.3} s, throughput {:.1} req/s, checksum {:#018x}",
+            self.elapsed.as_secs_f64(),
+            self.throughput_rps,
+            self.checksum
+        )?;
+        write!(f, "{}", self.fleet)
+    }
+}
+
+/// Runs the seeded mix through a cluster client, invoking `on_response`
+/// (with the running success count) after every answered request — the
+/// smoke scenario's kill trigger hangs off this.
+///
+/// # Errors
+///
+/// Propagates client construction failures; per-request failures are
+/// counted in the report instead.
+pub fn run_with(
+    config: &ClusterLoadgenConfig,
+    on_response: impl Fn(u64) + Sync,
+) -> Result<ClusterLoadgenReport, ClusterError> {
+    let client = ClusterClient::connect(config.cluster.clone())?;
+    let requests = request_mix(config.seed, config.requests);
+    let offered = requests.len() as u64;
+    let succeeded = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let lost = AtomicU64::new(0);
+    let failovers = AtomicU64::new(0);
+    let checksum = Mutex::new(0u64);
+    let next = AtomicUsize::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..config.concurrency.max(1) {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(request): Option<&Request> = requests.get(index) else {
+                    return;
+                };
+                match client.submit(request) {
+                    Ok(response) => {
+                        *checksum.lock().expect("checksum") ^= response.output.digest;
+                        if response.failovers > 0 {
+                            failovers.fetch_add(1, Ordering::Relaxed);
+                        }
+                        on_response(succeeded.fetch_add(1, Ordering::Relaxed) + 1);
+                    }
+                    Err(ClusterError::Rejected(_)) => {
+                        rejected.fetch_add(1, Ordering::Relaxed);
+                        on_response(succeeded.load(Ordering::Relaxed));
+                    }
+                    Err(_) => {
+                        lost.fetch_add(1, Ordering::Relaxed);
+                        on_response(succeeded.load(Ordering::Relaxed));
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    let fleet = client.pull_metrics()?;
+    let succeeded = succeeded.into_inner();
+    Ok(ClusterLoadgenReport {
+        offered,
+        succeeded,
+        rejected: rejected.into_inner(),
+        lost: lost.into_inner(),
+        failovers: failovers.into_inner(),
+        elapsed,
+        throughput_rps: succeeded as f64 / elapsed.as_secs_f64().max(1e-9),
+        checksum: checksum.into_inner().expect("checksum"),
+        fleet,
+    })
+}
+
+/// [`run_with`] without a response hook.
+///
+/// # Errors
+///
+/// See [`run_with`].
+pub fn run(config: &ClusterLoadgenConfig) -> Result<ClusterLoadgenReport, ClusterError> {
+    run_with(config, |_| {})
+}
+
+/// Configuration of the [`smoke`] scenario.
+#[derive(Debug, Clone)]
+pub struct SmokeConfig {
+    /// Loopback nodes to spawn.
+    pub nodes: usize,
+    /// Requests to offer.
+    pub requests: u64,
+    /// Mix seed.
+    pub seed: u64,
+    /// Worker threads per node.
+    pub workers: usize,
+    /// Kill node 0 once this many responses are in (`None` = requests/4).
+    pub kill_after: Option<u64>,
+}
+
+impl Default for SmokeConfig {
+    fn default() -> Self {
+        SmokeConfig {
+            nodes: 2,
+            requests: 200,
+            seed: 7,
+            workers: 2,
+            kill_after: None,
+        }
+    }
+}
+
+/// Outcome of the smoke scenario.
+#[derive(Debug, Clone)]
+pub struct SmokeReport {
+    /// The load report against the degraded fleet.
+    pub loadgen: ClusterLoadgenReport,
+    /// Index of the node that was killed mid-run.
+    pub killed_node: usize,
+    /// Response count at which the kill fired.
+    pub killed_after: u64,
+}
+
+impl SmokeReport {
+    /// The CI gate: every offered request was answered (none rejected —
+    /// queues are sized for the offered load — and none lost to the kill).
+    pub fn passed(&self) -> bool {
+        self.loadgen.lost == 0
+            && self.loadgen.rejected == 0
+            && self.loadgen.succeeded == self.loadgen.offered
+    }
+}
+
+impl fmt::Display for SmokeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cluster-smoke: killed node {} after {} responses; {}",
+            self.killed_node,
+            self.killed_after,
+            if self.passed() {
+                "zero requests lost — PASS"
+            } else {
+                "LOST REQUESTS — FAIL"
+            }
+        )?;
+        write!(f, "{}", self.loadgen)
+    }
+}
+
+/// Spawns a loopback fleet, runs the mix, kills node 0 mid-run and
+/// reports whether failover hid the loss.
+///
+/// # Errors
+///
+/// Propagates harness spawn and client construction failures.
+pub fn smoke(config: &SmokeConfig) -> Result<SmokeReport, ClusterError> {
+    let pool = PoolConfig {
+        workers: config.workers.max(1),
+        // Deep enough that admission control never rejects the offered
+        // load, even after it all fails over to one node: the gate is
+        // about losing accepted requests, not backpressure.
+        queue_depth: usize::try_from(config.requests).unwrap_or(usize::MAX),
+        ..PoolConfig::default()
+    };
+    let cluster = LoopbackCluster::spawn(config.nodes.max(1), &pool).map_err(ClusterError::Io)?;
+    let kill_at = config
+        .kill_after
+        .unwrap_or(config.requests / 4)
+        .min(config.requests.saturating_sub(1));
+    let harness = Mutex::new(Some(cluster));
+    let killed_after = AtomicU64::new(0);
+    let loadgen_config = ClusterLoadgenConfig {
+        requests: config.requests,
+        seed: config.seed,
+        concurrency: 8,
+        cluster: harness
+            .lock()
+            .expect("harness")
+            .as_ref()
+            .expect("alive")
+            .client_config(),
+    };
+    let report = run_with(&loadgen_config, |succeeded| {
+        if succeeded >= kill_at {
+            let mut slot = harness.lock().expect("harness");
+            if let Some(fleet) = slot.as_mut() {
+                if fleet.alive() == config.nodes.max(1) {
+                    fleet.kill(0);
+                    killed_after.store(succeeded, Ordering::Relaxed);
+                }
+            }
+        }
+    })?;
+    if let Some(fleet) = harness.lock().expect("harness").take() {
+        fleet.shutdown();
+    }
+    Ok(SmokeReport {
+        loadgen: report,
+        killed_node: 0,
+        killed_after: killed_after.load(Ordering::Relaxed),
+    })
+}

@@ -1,0 +1,245 @@
+//! The node daemon: one `apim_serve::Pool` behind a TCP listener.
+//!
+//! Each accepted connection gets a handler thread that decodes frames,
+//! submits work to the pool and writes replies back on the same
+//! connection. A connection carries one RPC at a time — the router holds
+//! a small pool of connections per node and checks one out per in-flight
+//! request, so node-side concurrency equals the client's connection
+//! count, with zero correlation bookkeeping on the hot path.
+//!
+//! Malformed frames close the connection: once a peer has sent bytes
+//! outside the protocol there is no trustworthy framing left to answer
+//! on. Well-formed but rejected requests (overload, quota) are answered
+//! with structured errors, so admission control crosses the wire intact.
+
+use crate::wire::{self, Message, RecvError, Reply, WireOutput};
+use apim_serve::loadgen::output_digest;
+use apim_serve::{Pool, PoolConfig, Response};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of a [`Node`].
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Listen address; port 0 picks a free loopback port (the harness
+    /// default).
+    pub addr: String,
+    /// The serving pool this node wraps.
+    pub pool: PoolConfig,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            addr: "127.0.0.1:0".into(),
+            pool: PoolConfig::default(),
+        }
+    }
+}
+
+struct NodeInner {
+    pool: Pool,
+    stop: AtomicBool,
+    /// Clones of every live connection, kept so shutdown/kill can unblock
+    /// handler threads parked in blocking reads.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+/// A running node daemon. Dropping the handle without calling
+/// [`Node::shutdown`] or [`Node::kill`] kills the node abruptly.
+pub struct Node {
+    addr: SocketAddr,
+    inner: Arc<NodeInner>,
+    accept_thread: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node").field("addr", &self.addr).finish()
+    }
+}
+
+impl Node {
+    /// Binds the listener, spawns the pool and the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures and invalid pool configurations (the
+    /// latter as [`io::ErrorKind::InvalidInput`]).
+    pub fn spawn(config: NodeConfig) -> io::Result<Node> {
+        let pool = Pool::new(config.pool)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let inner = Arc::new(NodeInner {
+            pool,
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        });
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_inner = Arc::clone(&inner);
+        let accept_handlers = Arc::clone(&handlers);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("apim-node-accept-{addr}"))
+            .spawn(move || accept_loop(&listener, &accept_inner, &accept_handlers))?;
+        Ok(Node {
+            addr,
+            inner,
+            accept_thread: Some(accept_thread),
+            handlers,
+        })
+    }
+
+    /// The bound address (with the real port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The node's live metrics registry (also served over the wire).
+    pub fn metrics(&self) -> &apim_serve::Metrics {
+        self.inner.pool.metrics()
+    }
+
+    /// Graceful stop: refuse new connections, finish the pool's backlog,
+    /// close connections, join every thread. Clients should quiesce first;
+    /// replies racing the close may be cut off.
+    pub fn shutdown(mut self) {
+        self.inner.pool.drain();
+        self.stop_threads();
+    }
+
+    /// Abrupt stop for failover testing: connections are severed
+    /// immediately, mid-flight RPCs and all. Clients observe transport
+    /// errors and must retry elsewhere.
+    pub fn kill(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        for conn in self.inner.conns.lock().expect("conn list").drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(accept) = self.accept_thread.take() {
+            let _ = accept.join();
+        }
+        let handlers: Vec<_> = self
+            .handlers
+            .lock()
+            .expect("handler list")
+            .drain(..)
+            .collect();
+        for handler in handlers {
+            let _ = handler.join();
+        }
+    }
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop_threads();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    inner: &Arc<NodeInner>,
+    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !inner.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let _ = stream.set_nodelay(true);
+                if let Ok(clone) = stream.try_clone() {
+                    inner.conns.lock().expect("conn list").push(clone);
+                }
+                let conn_inner = Arc::clone(inner);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("apim-node-conn-{peer}"))
+                    .spawn(move || handle_connection(stream, &conn_inner));
+                if let Ok(handle) = spawned {
+                    handlers.lock().expect("handler list").push(handle);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Reduces a pool [`Response`] to its wire reply.
+fn reply_of(response: &Response) -> Reply {
+    Reply {
+        tenant: response.tenant,
+        attempts: response.attempts,
+        latency_us: u64::try_from(response.latency.as_micros()).unwrap_or(u64::MAX),
+        result: response
+            .result
+            .as_ref()
+            .map(|output| WireOutput {
+                digest: output_digest(output),
+                summary: output.summary(),
+            })
+            .map_err(Clone::clone),
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, inner: &Arc<NodeInner>) {
+    loop {
+        let message = match wire::read_message(&mut stream) {
+            Ok(message) => message,
+            // Transport failure or protocol violation: the framing can no
+            // longer be trusted, so the connection ends here. The decoder
+            // guarantees malformed bytes land in this arm as structured
+            // errors rather than panics.
+            Err(RecvError::Io(_) | RecvError::Wire(_)) => return,
+        };
+        if inner.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let answer = match message {
+            Message::Submit { seq, request } => {
+                let tenant = request.tenant;
+                match inner.pool.submit(request) {
+                    Ok(handle) => Message::Reply {
+                        seq,
+                        reply: reply_of(&handle.wait()),
+                    },
+                    Err(error) => Message::Reply {
+                        seq,
+                        reply: Reply {
+                            tenant,
+                            attempts: 0,
+                            latency_us: 0,
+                            result: Err(error),
+                        },
+                    },
+                }
+            }
+            Message::Ping { nonce } => Message::Pong {
+                nonce,
+                workers: u32::try_from(inner.pool.config().workers).unwrap_or(u32::MAX),
+                queue_depth: inner.pool.queue_depth() as u64,
+            },
+            Message::MetricsPull => Message::Metrics {
+                snapshot: inner.pool.metrics().snapshot(),
+            },
+            // Clients never send Reply/Pong/Metrics; a peer that does is
+            // broken, and the connection closes.
+            Message::Reply { .. } | Message::Pong { .. } | Message::Metrics { .. } => return,
+        };
+        if wire::write_message(&mut stream, &answer).is_err() {
+            return;
+        }
+    }
+}

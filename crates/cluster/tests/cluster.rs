@@ -1,0 +1,152 @@
+//! Integration tests for the loopback cluster: bit-identical results
+//! versus a single pool, and zero lost requests when a node dies
+//! mid-run.
+
+use apim_cluster::loadgen::{smoke, SmokeConfig};
+use apim_cluster::{ClusterError, LoopbackCluster};
+use apim_serve::loadgen::{output_digest, request_mix};
+use apim_serve::{JobKind, Pool, PoolConfig, Request, TenantId};
+
+fn deep_pool(workers: usize, depth: usize) -> PoolConfig {
+    PoolConfig {
+        workers,
+        queue_depth: depth,
+        ..PoolConfig::default()
+    }
+}
+
+/// The mix plus one compile request, so every `JobKind` crosses the wire.
+fn test_requests(count: u64) -> Vec<Request> {
+    let mut requests = request_mix(11, count);
+    requests.push(
+        Request::new(JobKind::Compile {
+            source: "width 16\nin a\nout a * 3 + 1".into(),
+        })
+        .tenant(TenantId(5)),
+    );
+    requests
+}
+
+#[test]
+fn three_node_cluster_is_bit_identical_to_a_single_pool() {
+    let requests = test_requests(40);
+    let cluster = LoopbackCluster::spawn(3, &deep_pool(2, requests.len())).expect("spawn");
+    let client = cluster.client().expect("client");
+
+    let mut cluster_digests = Vec::with_capacity(requests.len());
+    for request in &requests {
+        let response = client.submit(request).expect("cluster submit");
+        cluster_digests.push(response.output.digest);
+    }
+
+    let pool = Pool::new(deep_pool(2, requests.len())).expect("pool");
+    for (index, request) in requests.iter().enumerate() {
+        let response = pool.submit(request.clone()).expect("pool submit").wait();
+        let output = response.result.expect("pool result");
+        assert_eq!(
+            cluster_digests[index],
+            output_digest(&output),
+            "request {index} differs between cluster and single pool"
+        );
+    }
+    pool.shutdown();
+
+    // Sharding spread the work: with 40+ requests over many tenants,
+    // more than one node must have seen traffic.
+    let fleet = client.pull_metrics().expect("fleet");
+    let busy = fleet
+        .per_node
+        .iter()
+        .filter(|(_, s)| s.completed > 0)
+        .count();
+    assert!(busy >= 2, "expected >=2 busy nodes, got {busy}");
+    cluster.shutdown();
+}
+
+#[test]
+fn tenant_routing_is_stable_and_spread() {
+    let cluster = LoopbackCluster::spawn(3, &deep_pool(1, 8)).expect("spawn");
+    let client = cluster.client().expect("client");
+    let mut homes = std::collections::HashSet::new();
+    for tenant in 0..32u16 {
+        let order = client.route(TenantId(tenant));
+        assert_eq!(
+            order,
+            client.route(TenantId(tenant)),
+            "routing must be stable"
+        );
+        assert_eq!(order.len(), 3, "ring walk must cover all distinct nodes");
+        homes.insert(order[0]);
+    }
+    assert!(homes.len() >= 2, "32 tenants should map to >=2 home nodes");
+    cluster.shutdown();
+}
+
+#[test]
+fn killing_a_node_mid_run_loses_nothing() {
+    let report = smoke(&SmokeConfig {
+        nodes: 3,
+        requests: 120,
+        seed: 3,
+        workers: 2,
+        kill_after: Some(30),
+    })
+    .expect("smoke");
+    assert!(
+        report.passed(),
+        "smoke gate failed: {} lost, {} rejected of {} offered\n{report}",
+        report.loadgen.lost,
+        report.loadgen.rejected,
+        report.loadgen.offered
+    );
+    assert!(report.killed_after >= 30, "kill should have fired mid-run");
+    // The survivors' merged snapshot still covers >=2 nodes and carries
+    // real latency percentiles.
+    let fleet = &report.loadgen.fleet;
+    assert!(fleet.per_node.len() >= 2, "expected >=2 reachable nodes");
+    assert!(fleet.merged.latency_p50_us.is_some());
+    assert!(fleet.merged.latency_p99_us.is_some());
+    // The killed node's counters die with it, so the survivors' merge can
+    // undercount — but never overcount — the client-observed successes.
+    assert!(fleet.merged.completed > 0);
+    assert!(fleet.merged.completed <= report.loadgen.succeeded);
+}
+
+#[test]
+fn admission_rejections_do_not_fail_over() {
+    // One worker, queue depth 1, and a tenant hammering it: overload
+    // rejections must come back as `Rejected`, not be retried onto other
+    // nodes (which would defeat per-tenant quotas).
+    let cluster = LoopbackCluster::spawn(2, &deep_pool(1, 1)).expect("spawn");
+    let client = cluster.client().expect("client");
+    let requests: Vec<Request> = (0..64)
+        .map(|_| {
+            Request::new(JobKind::Mac {
+                pairs: vec![(3, 5); 64],
+            })
+            .tenant(TenantId(1))
+        })
+        .collect();
+    let mut rejected = 0u32;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|request| scope.spawn(|| client.submit(request)))
+            .collect();
+        for handle in handles {
+            if let Err(error) = handle.join().expect("submitter") {
+                match error {
+                    ClusterError::Rejected(_) => rejected += 1,
+                    other => panic!("expected admission rejection, got {other}"),
+                }
+            }
+        }
+    });
+    assert!(rejected > 0, "overload should reject some of 64 requests");
+    assert_eq!(
+        client.stats().failovers,
+        0,
+        "rejections must not trigger failover"
+    );
+    cluster.shutdown();
+}

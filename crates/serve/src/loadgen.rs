@@ -74,6 +74,19 @@ impl fmt::Display for LoadgenReport {
             self.throughput_rps,
             self.checksum
         )?;
+        let us = |v: Option<u64>| v.map_or_else(|| "n/a".into(), |v| format!("{v} us"));
+        writeln!(
+            f,
+            "latency: p50 {} / p95 {} / p99 {}",
+            us(self.snapshot.latency_p50_us),
+            us(self.snapshot.latency_p95_us),
+            us(self.snapshot.latency_p99_us),
+        )?;
+        writeln!(
+            f,
+            "rejected at admission: {} of {} offered",
+            self.snapshot.rejected, self.offered
+        )?;
         write!(f, "{}", self.snapshot)
     }
 }
@@ -112,8 +125,11 @@ pub fn request_mix(seed: u64, count: u64) -> Vec<Request> {
     requests
 }
 
-/// Folds one successful output into the order-independent digest.
-fn digest(output: &JobOutput) -> u64 {
+/// Folds one successful output into a 64-bit digest of its exact result
+/// bits. Two executions of the same request digest equal iff their results
+/// are bit-identical, so the cluster tier uses this to assert that a
+/// sharded run matches a single-pool run without shipping whole reports.
+pub fn output_digest(output: &JobOutput) -> u64 {
     let fold = |x: u64| {
         // SplitMix64 finalizer as the per-item hash.
         let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -162,7 +178,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ApimError> {
         match &response.result {
             Ok(output) => {
                 completed += 1;
-                checksum ^= digest(output);
+                checksum ^= output_digest(output);
             }
             Err(_) => failed += 1,
         }
@@ -193,6 +209,24 @@ mod tests {
     fn mix_is_deterministic_per_seed() {
         assert_eq!(request_mix(7, 50), request_mix(7, 50));
         assert_ne!(request_mix(7, 50), request_mix(8, 50));
+    }
+
+    #[test]
+    fn report_prints_tail_latency_and_rejections() {
+        let report = run(&LoadgenConfig {
+            requests: 10,
+            seed: 7,
+            pool: PoolConfig {
+                workers: 2,
+                ..PoolConfig::default()
+            },
+        })
+        .expect("loadgen runs");
+        let text = report.to_string();
+        assert!(text.contains("latency: p50 "), "{text}");
+        assert!(text.contains(" / p95 "), "{text}");
+        assert!(text.contains(" / p99 "), "{text}");
+        assert!(text.contains("rejected at admission: 0 of 10"), "{text}");
     }
 
     #[test]

@@ -116,24 +116,7 @@ impl Histogram {
     /// Upper bound, in µs, on the `q`-quantile (`0.0 ..= 1.0`) of the
     /// recorded samples; `None` when empty.
     pub fn quantile_us(&self, q: f64) -> Option<u64> {
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return None;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Some(Self::upper_edge(i));
-            }
-        }
-        Some(Self::upper_edge(HISTOGRAM_BUCKETS - 1))
+        quantile_from_buckets(&self.bucket_counts(), q)
     }
 
     /// Mean sample, in µs; `None` when empty.
@@ -141,6 +124,46 @@ impl Histogram {
         let n = self.count();
         (n > 0).then(|| self.sum_us.load(Ordering::Relaxed) as f64 / n as f64)
     }
+
+    /// A point-in-time copy of the raw bucket counts. Index `i` counts
+    /// samples whose bucket upper edge is `2^i` µs (index 0 counts 0 µs),
+    /// so two dumps from different registries merge by elementwise sum.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Sum of every recorded sample, in µs.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+}
+
+/// Upper bound, in µs, on the `q`-quantile of a bucket-count dump (as
+/// produced by [`Histogram::bucket_counts`], possibly summed across
+/// several histograms); `None` when the buckets are empty.
+pub fn quantile_from_buckets(counts: &[u64], q: f64) -> Option<u64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+    let mut seen = 0;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return Some(Histogram::upper_edge(i));
+        }
+    }
+    Some(Histogram::upper_edge(counts.len().saturating_sub(1)))
+}
+
+/// Mean, in µs, implied by a bucket dump and its sample sum.
+fn mean_from_buckets(counts: &[u64], sum_us: u64) -> Option<f64> {
+    let n: u64 = counts.iter().sum();
+    (n > 0).then(|| sum_us as f64 / n as f64)
 }
 
 /// Per-tenant counters. The registry keeps [`TENANT_SLOTS`] of these;
@@ -213,6 +236,10 @@ impl Metrics {
             latency_p99_us: self.latency.quantile_us(0.99),
             latency_mean_us: self.latency.mean_us(),
             batch_service_p50_us: self.batch_service.quantile_us(0.50),
+            latency_buckets: self.latency.bucket_counts(),
+            latency_sum_us: self.latency.sum_us(),
+            batch_service_buckets: self.batch_service.bucket_counts(),
+            batch_service_sum_us: self.batch_service.sum_us(),
             tenants: self
                 .per_tenant
                 .iter()
@@ -254,8 +281,271 @@ pub struct MetricsSnapshot {
     pub latency_mean_us: Option<f64>,
     /// p50 batch service time, µs.
     pub batch_service_p50_us: Option<u64>,
+    /// Raw end-to-end latency bucket counts (power-of-two edges); what
+    /// [`MetricsSnapshot::merge`] sums so merged quantiles stay exact.
+    pub latency_buckets: Vec<u64>,
+    /// Sum of every latency sample, µs.
+    pub latency_sum_us: u64,
+    /// Raw batch service time bucket counts.
+    pub batch_service_buckets: Vec<u64>,
+    /// Sum of every batch service sample, µs.
+    pub batch_service_sum_us: u64,
     /// `(accepted, rejected, completed)` per tenant stripe.
     pub tenants: Vec<(u64, u64, u64)>,
+}
+
+/// Version byte leading every [`MetricsSnapshot::encode`] payload.
+pub const SNAPSHOT_CODEC_VERSION: u8 = 1;
+
+/// Cap on decoded vector lengths: generous against any real snapshot, but
+/// small enough that a hostile length prefix cannot force an allocation.
+const MAX_DECODED_LEN: u64 = 4096;
+
+/// Why a [`MetricsSnapshot::decode`] rejected its input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload ended before the encoding was complete.
+    Truncated,
+    /// The leading version byte is not one this build understands.
+    UnsupportedVersion(u8),
+    /// A length prefix or varint exceeds the decoder's hard bounds.
+    LengthOverflow,
+    /// Bytes remained after a complete snapshot was decoded.
+    TrailingBytes,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "snapshot payload truncated"),
+            CodecError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot codec version {v}")
+            }
+            CodecError::LengthOverflow => write!(f, "snapshot length field out of bounds"),
+            CodecError::TrailingBytes => write!(f, "trailing bytes after snapshot"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Appends `v` as an LEB128 varint.
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads one LEB128 varint, advancing `pos`.
+fn take_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes.get(*pos).ok_or(CodecError::Truncated)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(CodecError::LengthOverflow);
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(CodecError::LengthOverflow);
+        }
+    }
+}
+
+/// Zigzag fold of an `i64` into the varint-friendly unsigned space.
+fn zigzag(v: i64) -> u64 {
+    (v.wrapping_shl(1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Elementwise `a[i] += b[i]`, growing `a` to cover `b`.
+fn add_buckets(a: &mut Vec<u64>, b: &[u64]) {
+    if a.len() < b.len() {
+        a.resize(b.len(), 0);
+    }
+    for (acc, &v) in a.iter_mut().zip(b) {
+        *acc = acc.saturating_add(v);
+    }
+}
+
+impl MetricsSnapshot {
+    /// Folds another snapshot into this one: counters, gauges, histogram
+    /// buckets and per-tenant stripes sum; latency quantiles and means are
+    /// recomputed from the merged buckets, so a fleet-wide p99 is exactly
+    /// the p99 of the union of both nodes' samples (at bucket resolution).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.retries += other.retries;
+        self.batches += other.batches;
+        self.coalesced += other.coalesced;
+        self.queue_depth += other.queue_depth;
+        self.workers_busy += other.workers_busy;
+        add_buckets(&mut self.latency_buckets, &other.latency_buckets);
+        self.latency_sum_us = self.latency_sum_us.saturating_add(other.latency_sum_us);
+        add_buckets(
+            &mut self.batch_service_buckets,
+            &other.batch_service_buckets,
+        );
+        self.batch_service_sum_us = self
+            .batch_service_sum_us
+            .saturating_add(other.batch_service_sum_us);
+        if self.tenants.len() < other.tenants.len() {
+            self.tenants.resize(other.tenants.len(), (0, 0, 0));
+        }
+        for (mine, theirs) in self.tenants.iter_mut().zip(&other.tenants) {
+            mine.0 += theirs.0;
+            mine.1 += theirs.1;
+            mine.2 += theirs.2;
+        }
+        self.recompute_derived();
+    }
+
+    /// Re-derives the quantile and mean fields from the raw buckets.
+    fn recompute_derived(&mut self) {
+        self.latency_p50_us = quantile_from_buckets(&self.latency_buckets, 0.50);
+        self.latency_p95_us = quantile_from_buckets(&self.latency_buckets, 0.95);
+        self.latency_p99_us = quantile_from_buckets(&self.latency_buckets, 0.99);
+        self.latency_mean_us = mean_from_buckets(&self.latency_buckets, self.latency_sum_us);
+        self.batch_service_p50_us = quantile_from_buckets(&self.batch_service_buckets, 0.50);
+    }
+
+    /// Compact binary encoding: a version byte, then every raw figure as
+    /// an LEB128 varint (gauges zigzag-folded). Derived fields (quantiles,
+    /// means) are *not* encoded — [`MetricsSnapshot::decode`] recomputes
+    /// them from the buckets, so a round trip is exact.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.push(SNAPSHOT_CODEC_VERSION);
+        for v in [
+            self.accepted,
+            self.rejected,
+            self.completed,
+            self.failed,
+            self.retries,
+            self.batches,
+            self.coalesced,
+        ] {
+            put_varint(&mut out, v);
+        }
+        put_varint(&mut out, zigzag(self.queue_depth));
+        put_varint(&mut out, zigzag(self.workers_busy));
+        for buckets in [&self.latency_buckets, &self.batch_service_buckets] {
+            // Trailing empty buckets carry no information; drop them.
+            let used = buckets.len() - buckets.iter().rev().take_while(|&&c| c == 0).count();
+            put_varint(&mut out, used as u64);
+            for &count in &buckets[..used] {
+                put_varint(&mut out, count);
+            }
+        }
+        put_varint(&mut out, self.latency_sum_us);
+        put_varint(&mut out, self.batch_service_sum_us);
+        put_varint(&mut out, self.tenants.len() as u64);
+        for &(acc, rej, comp) in &self.tenants {
+            put_varint(&mut out, acc);
+            put_varint(&mut out, rej);
+            put_varint(&mut out, comp);
+        }
+        out
+    }
+
+    /// Decodes an [`MetricsSnapshot::encode`] payload.
+    ///
+    /// # Errors
+    ///
+    /// Structured [`CodecError`]s for truncation, version mismatch,
+    /// out-of-bounds lengths and trailing bytes; never panics.
+    pub fn decode(bytes: &[u8]) -> Result<MetricsSnapshot, CodecError> {
+        let (&version, rest) = bytes.split_first().ok_or(CodecError::Truncated)?;
+        if version != SNAPSHOT_CODEC_VERSION {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        let mut pos = 0usize;
+        let mut next = || take_varint(rest, &mut pos);
+        let [accepted, rejected, completed, failed, retries, batches, coalesced] = [
+            next()?,
+            next()?,
+            next()?,
+            next()?,
+            next()?,
+            next()?,
+            next()?,
+        ];
+        let queue_depth = unzigzag(take_varint(rest, &mut pos)?);
+        let workers_busy = unzigzag(take_varint(rest, &mut pos)?);
+        let mut take_buckets = |cap: u64| -> Result<Vec<u64>, CodecError> {
+            let len = take_varint(rest, &mut pos)?;
+            if len > cap {
+                return Err(CodecError::LengthOverflow);
+            }
+            let mut buckets = Vec::with_capacity(len as usize);
+            for _ in 0..len {
+                buckets.push(take_varint(rest, &mut pos)?);
+            }
+            Ok(buckets)
+        };
+        let mut latency_buckets = take_buckets(HISTOGRAM_BUCKETS as u64)?;
+        let mut batch_service_buckets = take_buckets(HISTOGRAM_BUCKETS as u64)?;
+        latency_buckets.resize(HISTOGRAM_BUCKETS, 0);
+        batch_service_buckets.resize(HISTOGRAM_BUCKETS, 0);
+        let latency_sum_us = take_varint(rest, &mut pos)?;
+        let batch_service_sum_us = take_varint(rest, &mut pos)?;
+        let tenant_count = take_varint(rest, &mut pos)?;
+        if tenant_count > MAX_DECODED_LEN {
+            return Err(CodecError::LengthOverflow);
+        }
+        let mut tenants = Vec::with_capacity(tenant_count as usize);
+        for _ in 0..tenant_count {
+            tenants.push((
+                take_varint(rest, &mut pos)?,
+                take_varint(rest, &mut pos)?,
+                take_varint(rest, &mut pos)?,
+            ));
+        }
+        if pos != rest.len() {
+            return Err(CodecError::TrailingBytes);
+        }
+        let mut snapshot = MetricsSnapshot {
+            accepted,
+            rejected,
+            completed,
+            failed,
+            retries,
+            batches,
+            coalesced,
+            queue_depth,
+            workers_busy,
+            latency_p50_us: None,
+            latency_p95_us: None,
+            latency_p99_us: None,
+            latency_mean_us: None,
+            batch_service_p50_us: None,
+            latency_buckets,
+            latency_sum_us,
+            batch_service_buckets,
+            batch_service_sum_us,
+            tenants,
+        };
+        snapshot.recompute_derived();
+        Ok(snapshot)
+    }
 }
 
 impl fmt::Display for MetricsSnapshot {
@@ -365,6 +655,107 @@ mod tests {
             assert!(v >= last, "quantile({q}) = {v} < {last}");
             last = v;
         }
+    }
+
+    #[test]
+    fn merge_sums_counters_and_recomputes_quantiles() {
+        let a = Metrics::default();
+        let b = Metrics::default();
+        a.accepted.add(10);
+        b.accepted.add(5);
+        a.tenant(1).completed.add(3);
+        b.tenant(1).completed.add(4);
+        b.tenant(9).rejected.add(2); // striped alias of slot 1
+        for us in 1..=50u64 {
+            a.latency.record(Duration::from_micros(us));
+        }
+        for us in 51..=100u64 {
+            b.latency.record(Duration::from_micros(us));
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.accepted, 15);
+        assert_eq!(merged.tenants[1], (0, 2, 7));
+        // The merged histogram holds the full 1..=100 µs ramp, so the
+        // quantiles must equal a single histogram fed the same samples.
+        let whole = Histogram::default();
+        for us in 1..=100u64 {
+            whole.record(Duration::from_micros(us));
+        }
+        assert_eq!(merged.latency_p50_us, whole.quantile_us(0.50));
+        assert_eq!(merged.latency_p99_us, whole.quantile_us(0.99));
+        assert_eq!(merged.latency_mean_us, whole.mean_us());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let m = Metrics::default();
+        m.accepted.add(3);
+        m.latency.record(Duration::from_micros(10));
+        let snap = m.snapshot();
+        let mut merged = snap.clone();
+        merged.merge(&Metrics::default().snapshot());
+        assert_eq!(merged, snap);
+    }
+
+    #[test]
+    fn codec_round_trips_exactly() {
+        let m = Metrics::default();
+        m.accepted.add(1000);
+        m.rejected.add(17);
+        m.completed.add(983);
+        m.retries.add(5);
+        m.queue_depth.set(-2); // exercises the zigzag path
+        m.workers_busy.set(7);
+        m.tenant(0).accepted.add(500);
+        m.tenant(5).rejected.add(17);
+        for us in [0u64, 1, 3, 900, 70_000, 5_000_000] {
+            m.latency.record(Duration::from_micros(us));
+            m.batch_service.record(Duration::from_micros(us / 2));
+        }
+        let snap = m.snapshot();
+        let bytes = snap.encode();
+        assert_eq!(MetricsSnapshot::decode(&bytes), Ok(snap.clone()));
+        // Compact: a handful of live figures fits well under the text form.
+        assert!(bytes.len() < snap.to_string().len(), "{}", bytes.len());
+    }
+
+    #[test]
+    fn codec_round_trips_the_empty_snapshot() {
+        let snap = Metrics::default().snapshot();
+        assert_eq!(MetricsSnapshot::decode(&snap.encode()), Ok(snap));
+    }
+
+    #[test]
+    fn decode_rejects_malformed_payloads() {
+        let good = {
+            let m = Metrics::default();
+            m.accepted.add(40);
+            m.latency.record(Duration::from_micros(123));
+            m.snapshot().encode()
+        };
+        assert_eq!(MetricsSnapshot::decode(&[]), Err(CodecError::Truncated));
+        assert_eq!(
+            MetricsSnapshot::decode(&[99]),
+            Err(CodecError::UnsupportedVersion(99))
+        );
+        for cut in 1..good.len() {
+            assert!(
+                MetricsSnapshot::decode(&good[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert_eq!(
+            MetricsSnapshot::decode(&trailing),
+            Err(CodecError::TrailingBytes)
+        );
+        // A hostile bucket count must be rejected before allocation.
+        let mut oversized = vec![SNAPSHOT_CODEC_VERSION];
+        oversized.extend(std::iter::repeat_n(0, 9));
+        oversized.extend(std::iter::repeat_n(0xff, 10)); // varint ~ 2^70
+        assert!(MetricsSnapshot::decode(&oversized).is_err());
     }
 
     #[test]
