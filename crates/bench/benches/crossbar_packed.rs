@@ -1,0 +1,36 @@
+//! Packed vs scalar-oracle crossbar backend: NOR throughput at fixed
+//! widths plus the end-to-end compiled sharpen/sobel kernels. Prints the
+//! speedup table (the `BENCH_packed.json` exhibit) before measuring.
+
+use apim_bench::perf;
+use apim_crossbar::Backend;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", perf::render(&perf::generate(true)));
+
+    for width in [64usize, 256] {
+        let mut group = c.benchmark_group("crossbar_packed");
+        group.sample_size(10);
+        group.bench_function(format!("nor{width}/packed"), |b| {
+            b.iter(|| perf::nor_ops_per_sec(Backend::Packed, width, 2_000))
+        });
+        group.bench_function(format!("nor{width}/oracle"), |b| {
+            b.iter(|| perf::nor_ops_per_sec(Backend::Scalar, width, 2_000))
+        });
+        group.finish();
+    }
+
+    let mut group = c.benchmark_group("crossbar_packed");
+    group.sample_size(10);
+    group.bench_function("sharpen4x4/packed", |b| {
+        b.iter(|| perf::sharpen_secs(Backend::Packed, 4))
+    });
+    group.bench_function("sobel4x4/packed", |b| {
+        b.iter(|| perf::sobel_secs(Backend::Packed, 4))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

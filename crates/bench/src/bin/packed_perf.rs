@@ -1,0 +1,49 @@
+//! Measures the packed-vs-oracle backend speedup and writes
+//! `BENCH_packed.json`.
+//!
+//! ```text
+//! cargo run -p apim-bench --release --bin packed-perf            # full sizes
+//! cargo run -p apim-bench --release --bin packed-perf -- --quick # CI smoke
+//! ```
+//!
+//! In `--quick` mode the run additionally *gates*: it exits non-zero if the
+//! packed backend is not at least 4x the oracle's NOR throughput at
+//! 64-column width (skipped on single-core machines, where timing noise
+//! dominates).
+
+use apim_bench::perf;
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let quick = env::args().any(|a| a == "--quick");
+    let report = perf::generate(quick);
+    print!("{}", perf::render(&report));
+    if !quick {
+        fs::write("BENCH_packed.json", perf::to_json(&report)).expect("write BENCH_packed.json");
+        println!("wrote BENCH_packed.json");
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if quick && cores >= 2 {
+        let gate = report
+            .nor
+            .iter()
+            .find(|r| r.width == 64)
+            .expect("width-64 row");
+        let speedup = gate.speedup();
+        if speedup < 4.0 {
+            eprintln!(
+                "FAIL: packed NOR throughput only {speedup:.2}x oracle at width 64 (need >= 4x)"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("gate ok: packed NOR throughput {speedup:.1}x oracle at width 64 (>= 4x)");
+    } else if quick {
+        println!("gate skipped: {cores} core(s), timing too noisy");
+    }
+    ExitCode::SUCCESS
+}

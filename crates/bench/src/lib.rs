@@ -12,6 +12,7 @@
 //! | [`table1`] | Table 1 — EDP improvement and QoL per approximation level |
 //! | [`headline`] | Abstract/§4 headline numbers incl. the adaptive controller |
 //! | [`ablation`] | design-choice ablations (interconnect, tree, logic family, MAJ) |
+//! | [`perf`] | packed-vs-oracle simulator speedup (`BENCH_packed.json`) |
 //!
 //! Run everything with `cargo run -p apim-bench --bin repro --release`, or
 //! individual criterion benches (`cargo bench -p apim-bench`), which print
@@ -28,6 +29,7 @@ pub mod fig5;
 pub mod fig5_sim;
 pub mod fig6;
 pub mod headline;
+pub mod perf;
 pub mod table1;
 
 /// Renders a ratio as the paper's "NNNx" notation.

@@ -1,0 +1,275 @@
+//! Packed-vs-oracle performance measurement (the `BENCH_packed.json`
+//! exhibit).
+//!
+//! The bit-packed backend is supposed to make the *simulator* as
+//! column-parallel as the hardware it models; this module measures by how
+//! much. Two families of numbers:
+//!
+//! * **NOR throughput** — tight init+NOR loops at fixed widths on the
+//!   packed backend vs the scalar oracle ([`Backend::Scalar`]), in NOR
+//!   invocations per second.
+//! * **End-to-end kernels** — the compiled sharpen / sobel inner loops
+//!   executed at the gate level over a synthetic image, wall-clock per
+//!   backend.
+//!
+//! Used by the `crossbar_packed` criterion bench, the `packed-perf` binary
+//! (which writes `BENCH_packed.json`) and the CI perf-smoke gate.
+
+use apim_compile::{compile, CompileOptions};
+use apim_crossbar::{Backend, BlockedCrossbar, CrossbarConfig, RowRef};
+use apim_workloads::dags;
+use apim_workloads::image::synthetic_image;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// One width's NOR-throughput comparison.
+#[derive(Debug, Clone)]
+pub struct NorRow {
+    /// Columns per NOR (the paper's "width-independent" axis).
+    pub width: usize,
+    /// NOR invocations per iteration loop.
+    pub iters: u64,
+    /// Packed-backend throughput, NOR invocations / second.
+    pub packed_ops_per_sec: f64,
+    /// Scalar-oracle throughput, NOR invocations / second.
+    pub oracle_ops_per_sec: f64,
+}
+
+impl NorRow {
+    /// Packed-over-oracle speedup.
+    pub fn speedup(&self) -> f64 {
+        self.packed_ops_per_sec / self.oracle_ops_per_sec
+    }
+}
+
+/// One end-to-end kernel comparison (compiled DAG at the gate level).
+#[derive(Debug, Clone)]
+pub struct KernelRow {
+    /// Kernel name (`sharpen` / `sobel`).
+    pub name: &'static str,
+    /// Pixels executed.
+    pub pixels: usize,
+    /// Packed-backend wall-clock, seconds.
+    pub packed_secs: f64,
+    /// Scalar-oracle wall-clock, seconds.
+    pub oracle_secs: f64,
+}
+
+impl KernelRow {
+    /// Packed-over-oracle speedup.
+    pub fn speedup(&self) -> f64 {
+        self.oracle_secs / self.packed_secs
+    }
+}
+
+/// The whole packed-vs-oracle exhibit.
+#[derive(Debug, Clone)]
+pub struct PackedPerf {
+    /// NOR microbenchmark rows, one per width.
+    pub nor: Vec<NorRow>,
+    /// End-to-end kernel rows.
+    pub kernels: Vec<KernelRow>,
+}
+
+/// Measures NOR-invocation throughput on one backend: a tight
+/// init-then-NOR loop (two inputs, same block) at the given width,
+/// the crossbar sized so the span crosses word boundaries when `width`
+/// does.
+pub fn nor_ops_per_sec(backend: Backend, width: usize, iters: u64) -> f64 {
+    let mut x = BlockedCrossbar::new(CrossbarConfig {
+        blocks: 2,
+        rows: 16,
+        cols: width,
+        backend,
+        ..CrossbarConfig::default()
+    })
+    .expect("bench config");
+    let b = x.block(0).expect("block 0");
+    // Non-trivial operands so the fold has real bit patterns to chew on.
+    for row in 0..2 {
+        for col in (row..width).step_by(3) {
+            x.preload_bit(b, row, col, true).expect("preload");
+        }
+    }
+    let started = Instant::now();
+    for i in 0..iters {
+        let out = 2 + (i % 8) as usize;
+        x.init_rows(b, &[out], 0..width).expect("init");
+        x.nor_rows_shifted(
+            &[RowRef::new(b, 0), RowRef::new(b, 1)],
+            RowRef::new(b, out),
+            0..width,
+            0,
+        )
+        .expect("nor");
+    }
+    iters as f64 / started.elapsed().as_secs_f64()
+}
+
+/// Compares packed vs oracle NOR throughput at one width.
+pub fn nor_row(width: usize, iters: u64) -> NorRow {
+    NorRow {
+        width,
+        iters,
+        packed_ops_per_sec: nor_ops_per_sec(Backend::Packed, width, iters),
+        oracle_ops_per_sec: nor_ops_per_sec(Backend::Scalar, width, iters / 8 + 1),
+    }
+}
+
+fn options(backend: Backend) -> CompileOptions {
+    CompileOptions {
+        config: CrossbarConfig {
+            backend,
+            ..CrossbarConfig::default()
+        },
+        ..CompileOptions::default()
+    }
+}
+
+/// Wall-clock seconds for the compiled sharpen inner loop over every pixel
+/// of a `side × side` synthetic image on one backend.
+pub fn sharpen_secs(backend: Backend, side: usize) -> f64 {
+    let program = compile(&dags::sharpen_dag(), &options(backend)).expect("sharpen compiles");
+    let img = synthetic_image(side, side, 7);
+    let started = Instant::now();
+    for y in 0..side as isize {
+        for x in 0..side as isize {
+            let inputs: HashMap<String, u64> = [
+                ("c", img.get_clamped(x, y)),
+                ("n", img.get_clamped(x, y - 1)),
+                ("s", img.get_clamped(x, y + 1)),
+                ("w", img.get_clamped(x - 1, y)),
+                ("e", img.get_clamped(x + 1, y)),
+            ]
+            .into_iter()
+            .map(|(name, v)| (name.to_string(), v as i64 as u64))
+            .collect();
+            program.run(&inputs).expect("sharpen pixel");
+        }
+    }
+    started.elapsed().as_secs_f64()
+}
+
+/// Wall-clock seconds for the compiled sobel gradients over every pixel of
+/// a `side × side` synthetic image on one backend.
+pub fn sobel_secs(backend: Backend, side: usize) -> f64 {
+    let program = compile(&dags::sobel_gradient_dag(), &options(backend)).expect("sobel compiles");
+    let img = synthetic_image(side, side, 7);
+    let started = Instant::now();
+    for y in 0..side as isize {
+        for x in 0..side as isize {
+            dags::sobel_gradients_via_dag(&program, &img, x, y).expect("sobel pixel");
+        }
+    }
+    started.elapsed().as_secs_f64()
+}
+
+/// Generates the full exhibit. `quick` shrinks iteration counts and image
+/// sides for CI smoke runs; the recorded `BENCH_packed.json` uses the full
+/// sizes.
+pub fn generate(quick: bool) -> PackedPerf {
+    let iters: u64 = if quick { 20_000 } else { 200_000 };
+    let side = if quick { 4 } else { 8 };
+    let nor = [64usize, 256].iter().map(|&w| nor_row(w, iters)).collect();
+    let kernels = vec![
+        KernelRow {
+            name: "sharpen",
+            pixels: side * side,
+            packed_secs: sharpen_secs(Backend::Packed, side),
+            oracle_secs: sharpen_secs(Backend::Scalar, side),
+        },
+        KernelRow {
+            name: "sobel",
+            pixels: side * side,
+            packed_secs: sobel_secs(Backend::Packed, side),
+            oracle_secs: sobel_secs(Backend::Scalar, side),
+        },
+    ];
+    PackedPerf { nor, kernels }
+}
+
+/// Renders the exhibit as the README's speedup table.
+pub fn render(perf: &PackedPerf) -> String {
+    let mut out = String::new();
+    out.push_str("packed vs scalar-oracle crossbar backend\n");
+    out.push_str("| benchmark | oracle | packed | speedup |\n");
+    out.push_str("|---|---|---|---|\n");
+    for row in &perf.nor {
+        out.push_str(&format!(
+            "| NOR width {} | {:.0} ops/s | {:.0} ops/s | {} |\n",
+            row.width,
+            row.oracle_ops_per_sec,
+            row.packed_ops_per_sec,
+            crate::times(row.speedup()),
+        ));
+    }
+    for k in &perf.kernels {
+        out.push_str(&format!(
+            "| {} {}px (gate-level) | {:.3} s | {:.3} s | {} |\n",
+            k.name,
+            k.pixels,
+            k.oracle_secs,
+            k.packed_secs,
+            crate::times(k.speedup()),
+        ));
+    }
+    out
+}
+
+/// Serializes the exhibit as `BENCH_packed.json` (oracle = before,
+/// packed = after; no external JSON dependency, so formatted by hand).
+pub fn to_json(perf: &PackedPerf) -> String {
+    let mut out = String::from("{\n  \"exhibit\": \"packed-vs-oracle crossbar backend\",\n");
+    out.push_str("  \"nor_throughput\": [\n");
+    for (i, row) in perf.nor.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"width\": {}, \"iters\": {}, \"before_ops_per_sec\": {:.1}, \"after_ops_per_sec\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            row.width,
+            row.iters,
+            row.oracle_ops_per_sec,
+            row.packed_ops_per_sec,
+            row.speedup(),
+            if i + 1 < perf.nor.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"kernels\": [\n");
+    for (i, k) in perf.kernels.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"pixels\": {}, \"before_secs\": {:.4}, \"after_secs\": {:.4}, \"speedup\": {:.2}}}{}\n",
+            k.name,
+            k.pixels,
+            k.oracle_secs,
+            k.packed_secs,
+            k.speedup(),
+            if i + 1 < perf.kernels.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_produces_sane_rows() {
+        let row = nor_row(64, 200);
+        assert!(row.packed_ops_per_sec > 0.0);
+        assert!(row.oracle_ops_per_sec > 0.0);
+        let perf = PackedPerf {
+            nor: vec![row],
+            kernels: vec![KernelRow {
+                name: "sharpen",
+                pixels: 1,
+                packed_secs: 0.5,
+                oracle_secs: 1.0,
+            }],
+        };
+        assert!((perf.kernels[0].speedup() - 2.0).abs() < 1e-12);
+        let json = to_json(&perf);
+        assert!(json.contains("\"nor_throughput\""));
+        assert!(json.contains("\"before_secs\": 1.0000"));
+        assert!(render(&perf).contains("sharpen"));
+    }
+}

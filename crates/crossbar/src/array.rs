@@ -4,11 +4,17 @@ use crate::cell::{Cell, Fault};
 use crate::error::CrossbarError;
 use crate::Result;
 
-/// A rectangular grid of memristive cells.
+/// A rectangular grid of memristive cells — the **scalar reference oracle**.
 ///
 /// `CrossbarArray` is the passive storage fabric; logic execution and cost
-/// accounting live in [`crate::BlockedCrossbar`], which owns one array per
+/// accounting live in [`crate::BlockedCrossbar`], which owns one store per
 /// block. The array offers bounds-checked raw access plus fault injection.
+///
+/// Production simulation runs on the bit-packed [`crate::PackedArray`]
+/// ([`crate::Backend::Packed`], the default); this one-[`Cell`]-per-
+/// coordinate grid is retained as [`crate::Backend::Scalar`], the slow but
+/// obviously-correct implementation the differential suites compare the
+/// packed fabric against bit-for-bit (cell state, wear counters, faults).
 ///
 /// ```
 /// use apim_crossbar::CrossbarArray;

@@ -5,6 +5,7 @@ use apim_device::{Cycles, DeviceParams, EnergyModel, TimingModel};
 use crate::array::CrossbarArray;
 use crate::cell::Fault;
 use crate::error::CrossbarError;
+use crate::packed::{self, PackedArray, WORD_BITS};
 use crate::stats::Stats;
 use crate::trace::{OpTrace, TraceOp};
 use crate::Result;
@@ -48,6 +49,233 @@ impl RowRef {
     }
 }
 
+/// Which storage fabric backs the simulated cells.
+///
+/// Both backends are bit-identical in results, statistics, wear counters
+/// and error payloads; the packed backend is the production path, the
+/// scalar backend is the reference oracle the differential suites compare
+/// against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Bit-packed rows, 64 cells per `u64` word: column-parallel MAGIC NOR
+    /// executes as word ops (`!(a | b | …)` with edge masks), the
+    /// interconnect shift as a cross-word funnel shift.
+    #[default]
+    Packed,
+    /// One [`crate::Cell`] per coordinate with per-cell loops — the scalar
+    /// reference implementation kept as the differential-testing oracle.
+    Scalar,
+}
+
+/// One block's storage, dispatched on the configured [`Backend`].
+#[derive(Debug, Clone)]
+enum Store {
+    Packed(PackedArray),
+    Scalar(CrossbarArray),
+}
+
+impl Store {
+    fn new(backend: Backend, rows: usize, cols: usize) -> Result<Self> {
+        Ok(match backend {
+            Backend::Packed => Store::Packed(PackedArray::new(rows, cols)?),
+            Backend::Scalar => Store::Scalar(CrossbarArray::new(rows, cols)?),
+        })
+    }
+
+    fn get(&self, row: usize, col: usize) -> Result<bool> {
+        match self {
+            Store::Packed(a) => a.get(row, col),
+            Store::Scalar(a) => a.get(row, col),
+        }
+    }
+
+    fn set(&mut self, row: usize, col: usize, bit: bool) -> Result<()> {
+        match self {
+            Store::Packed(a) => a.set(row, col, bit),
+            Store::Scalar(a) => a.set(row, col, bit),
+        }
+    }
+
+    fn cell_writes(&self, row: usize, col: usize) -> Result<u64> {
+        match self {
+            Store::Packed(a) => a.cell_writes(row, col),
+            Store::Scalar(a) => a.cell_writes(row, col),
+        }
+    }
+
+    fn max_cell_writes(&self) -> u64 {
+        match self {
+            Store::Packed(a) => a.max_cell_writes(),
+            Store::Scalar(a) => a.max_cell_writes(),
+        }
+    }
+
+    fn total_cell_writes(&self) -> u64 {
+        match self {
+            Store::Packed(a) => a.total_cell_writes(),
+            Store::Scalar(a) => a.total_cell_writes(),
+        }
+    }
+
+    fn cell_count(&self) -> usize {
+        match self {
+            Store::Packed(a) => a.cell_count(),
+            Store::Scalar(a) => a.cell_count(),
+        }
+    }
+
+    fn inject_fault(&mut self, row: usize, col: usize, fault: Option<Fault>) -> Result<()> {
+        match self {
+            Store::Packed(a) => a.inject_fault(row, col, fault),
+            Store::Scalar(a) => a.inject_fault(row, col, fault),
+        }
+    }
+
+    /// Lowest column in `span` of `row` reading OFF, if any (pre-validated
+    /// coordinates). The strict-init scan.
+    fn first_off(&self, row: usize, span: &Range<usize>) -> Option<usize> {
+        match self {
+            Store::Packed(a) => a.first_off(row, span),
+            Store::Scalar(a) => span
+                .clone()
+                .find(|&c| !a.get(row, c).expect("span validated")),
+        }
+    }
+
+    /// Sets every cell of a pre-validated span of `row` to ON.
+    fn fill_on_span(&mut self, row: usize, span: &Range<usize>) {
+        match self {
+            Store::Packed(a) => a.fill_on_span(row, span),
+            Store::Scalar(a) => {
+                for col in span.clone() {
+                    a.set(row, col, true).expect("span validated");
+                }
+            }
+        }
+    }
+
+    /// Stores `bits` LSB-first from `col0` of a pre-validated row.
+    fn store_bools(&mut self, row: usize, col0: usize, bits: &[bool]) {
+        match self {
+            Store::Packed(a) => {
+                for (i, chunk) in bits.chunks(WORD_BITS).enumerate() {
+                    let mut word = 0u64;
+                    for (b, &bit) in chunk.iter().enumerate() {
+                        word |= u64::from(bit) << b;
+                    }
+                    a.store_word_bits(row, col0 + i * WORD_BITS, chunk.len(), word);
+                }
+            }
+            Store::Scalar(a) => {
+                for (i, &bit) in bits.iter().enumerate() {
+                    a.set(row, col0 + i, bit).expect("span validated");
+                }
+            }
+        }
+    }
+
+    /// Stores the low `width ≤ 64` bits of `value` from `col0` of a
+    /// pre-validated row.
+    fn store_word_bits(&mut self, row: usize, col0: usize, width: usize, value: u64) {
+        match self {
+            Store::Packed(a) => a.store_word_bits(row, col0, width, value),
+            Store::Scalar(a) => {
+                for i in 0..width {
+                    a.set(row, col0 + i, (value >> i) & 1 == 1)
+                        .expect("span validated");
+                }
+            }
+        }
+    }
+
+    /// Stores `len` OFF cells from `col0` of a pre-validated row.
+    fn store_zeros(&mut self, row: usize, col0: usize, len: usize) {
+        match self {
+            Store::Packed(a) => {
+                for (w, mask) in packed::word_span(&(col0..col0 + len)) {
+                    a.store_masked(row, w, 0, mask);
+                }
+            }
+            Store::Scalar(a) => {
+                for i in 0..len {
+                    a.set(row, col0 + i, false).expect("span validated");
+                }
+            }
+        }
+    }
+
+    /// Reads `width ≤ 64` bits LSB-first from `col0` of a pre-validated row.
+    fn read_word_bits(&self, row: usize, col0: usize, width: usize) -> u64 {
+        match self {
+            Store::Packed(a) => a.read_word_bits(row, col0, width),
+            Store::Scalar(a) => {
+                let mut out = 0u64;
+                for i in 0..width {
+                    out |= u64::from(a.get(row, col0 + i).expect("span validated")) << i;
+                }
+                out
+            }
+        }
+    }
+
+    /// Same-block column-parallel NOR (`shift == 0`, pre-validated).
+    fn nor_same(&mut self, in_rows: &[usize], out_row: usize, span: &Range<usize>) {
+        match self {
+            Store::Packed(a) => packed::nor_span_same(a, in_rows, out_row, span),
+            Store::Scalar(a) => {
+                for col in span.clone() {
+                    let mut any = false;
+                    for &r in in_rows {
+                        any |= a.get(r, col).expect("span validated");
+                    }
+                    a.set(out_row, col, !any).expect("span validated");
+                }
+            }
+        }
+    }
+}
+
+/// Cross-block column-parallel NOR through the interconnect
+/// (pre-validated coordinates; `inp` and `out` are different blocks).
+fn nor_cross(
+    inp: &Store,
+    in_rows: &[usize],
+    out: &mut Store,
+    out_row: usize,
+    in_span: &Range<usize>,
+    shift: isize,
+) {
+    match (inp, out) {
+        (Store::Packed(i), Store::Packed(o)) => {
+            packed::nor_span_cross(i, in_rows, o, out_row, in_span, shift);
+        }
+        (Store::Scalar(i), Store::Scalar(o)) => {
+            for col in in_span.clone() {
+                let out_col = (col as isize + shift) as usize;
+                let mut any = false;
+                for &r in in_rows {
+                    any |= i.get(r, col).expect("span validated");
+                }
+                o.set(out_row, out_col, !any).expect("span validated");
+            }
+        }
+        _ => unreachable!("all blocks of one crossbar share a backend"),
+    }
+}
+
+/// Splits `blocks` into (immutable input, mutable output) at two distinct
+/// indices.
+fn pair_mut(blocks: &mut [Store], input: usize, output: usize) -> (&Store, &mut Store) {
+    debug_assert_ne!(input, output);
+    if input < output {
+        let (left, right) = blocks.split_at_mut(output);
+        (&left[input], &mut right[0])
+    } else {
+        let (left, right) = blocks.split_at_mut(input);
+        (&right[0], &mut left[output])
+    }
+}
+
 /// Configuration of a [`BlockedCrossbar`].
 ///
 /// ```
@@ -78,6 +306,9 @@ pub struct CrossbarConfig {
     /// the ON state first and fail otherwise — catches scheduling bugs in
     /// higher-level routines.
     pub strict_init: bool,
+    /// Storage fabric: bit-packed production path (default) or the scalar
+    /// reference oracle.
+    pub backend: Backend,
 }
 
 impl Default for CrossbarConfig {
@@ -88,6 +319,7 @@ impl Default for CrossbarConfig {
             cols: 256,
             params: DeviceParams::default(),
             strict_init: true,
+            backend: Backend::Packed,
         }
     }
 }
@@ -99,14 +331,20 @@ impl Default for CrossbarConfig {
 ///
 /// All compute primitives update the embedded [`Stats`]; see the
 /// [crate documentation](crate) for the cycle-accounting conventions.
+///
+/// Every fallible primitive validates its *entire* request — bounds,
+/// shift legality and (in strict mode) output initialization — before
+/// mutating any cell, so a rejected operation leaves the crossbar exactly
+/// as it was.
 #[derive(Debug, Clone)]
 pub struct BlockedCrossbar {
-    blocks: Vec<CrossbarArray>,
+    blocks: Vec<Store>,
     roles: Vec<BlockRole>,
     stats: Stats,
     energy: EnergyModel,
     timing: TimingModel,
     strict_init: bool,
+    backend: Backend,
     rows: usize,
     cols: usize,
     recorder: Option<Vec<TraceOp>>,
@@ -134,7 +372,7 @@ impl BlockedCrossbar {
         let mut blocks = Vec::with_capacity(config.blocks);
         let mut roles = Vec::with_capacity(config.blocks);
         for i in 0..config.blocks {
-            blocks.push(CrossbarArray::new(config.rows, config.cols)?);
+            blocks.push(Store::new(config.backend, config.rows, config.cols)?);
             roles.push(if i == 0 {
                 BlockRole::Data
             } else {
@@ -148,6 +386,7 @@ impl BlockedCrossbar {
             energy: EnergyModel::new(&config.params),
             timing: TimingModel::new(&config.params),
             strict_init: config.strict_init,
+            backend: config.backend,
             rows: config.rows,
             cols: config.cols,
             recorder: None,
@@ -221,6 +460,11 @@ impl BlockedCrossbar {
         self.cols
     }
 
+    /// The storage fabric in use.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
     /// The current role of a block.
     pub fn role(&self, block: BlockId) -> BlockRole {
         self.roles[block.0]
@@ -289,6 +533,59 @@ impl BlockedCrossbar {
         Ok(())
     }
 
+    fn check_row(&self, row: usize) -> Result<()> {
+        if row >= self.rows {
+            return Err(CrossbarError::OutOfBounds {
+                what: "row",
+                index: row,
+                limit: self.rows,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_col(&self, col: usize) -> Result<()> {
+        if col >= self.cols {
+            return Err(CrossbarError::OutOfBounds {
+                what: "col",
+                index: col,
+                limit: self.cols,
+            });
+        }
+        Ok(())
+    }
+
+    /// Resolves `cols` shifted by `shift` against the column count,
+    /// reporting the first offending output column exactly like the
+    /// historical per-column walk did.
+    fn shifted_span(&self, cols: &Range<usize>, shift: isize) -> Result<Range<usize>> {
+        let start = cols.start as isize + shift;
+        let end = cols.end as isize + shift;
+        if start < 0 {
+            return Err(CrossbarError::OutOfBounds {
+                what: "shifted col",
+                index: 0,
+                limit: self.cols,
+            });
+        }
+        if end as usize > self.cols {
+            let first_bad = (self.cols as isize - shift).max(cols.start as isize);
+            return Err(CrossbarError::OutOfBounds {
+                what: "shifted col",
+                index: (first_bad + shift) as usize,
+                limit: self.cols,
+            });
+        }
+        Ok(start as usize..end as usize)
+    }
+
+    fn charge_writes(&mut self, cells: usize) {
+        self.stats.cell_writes += cells as u64;
+        let energy = self.energy.write_op(cells);
+        self.stats.energy += energy;
+        self.stats.energy_breakdown.write += energy;
+    }
+
     // ---------------------------------------------------------------
     // Data movement (no compute cycles)
     // ---------------------------------------------------------------
@@ -306,9 +603,7 @@ impl BlockedCrossbar {
             col,
         });
         self.blocks[block.0].set(row, col, bit)?;
-        self.stats.cell_writes += 1;
-        self.stats.energy += self.energy.write_op(1);
-        self.stats.energy_breakdown.write += self.energy.write_op(1);
+        self.charge_writes(1);
         Ok(())
     }
 
@@ -316,7 +611,8 @@ impl BlockedCrossbar {
     ///
     /// # Errors
     ///
-    /// Returns [`CrossbarError::OutOfBounds`] if the word does not fit.
+    /// Returns [`CrossbarError::OutOfBounds`] if the word does not fit; the
+    /// crossbar is left unchanged.
     pub fn preload_word(
         &mut self,
         block: BlockId,
@@ -330,12 +626,83 @@ impl BlockedCrossbar {
             col0,
             len: bits.len(),
         });
-        for (i, &bit) in bits.iter().enumerate() {
-            self.blocks[block.0].set(row, col0 + i, bit)?;
+        self.check_word_store(row, col0, bits.len())?;
+        self.blocks[block.0].store_bools(row, col0, bits);
+        self.charge_writes(bits.len());
+        Ok(())
+    }
+
+    /// Stores the low `width ≤ 64` bits of `value` (LSB first) along a row
+    /// starting at `col0` — the packed fast path of
+    /// [`BlockedCrossbar::preload_word`], with identical accounting and
+    /// trace recording.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidConfig`] for `width > 64` and
+    /// [`CrossbarError::OutOfBounds`] if the word does not fit.
+    pub fn preload_u64(
+        &mut self,
+        block: BlockId,
+        row: usize,
+        col0: usize,
+        width: usize,
+        value: u64,
+    ) -> Result<()> {
+        self.record(|| TraceOp::PreloadWord {
+            block: block.0,
+            row,
+            col0,
+            len: width,
+        });
+        if width > WORD_BITS {
+            return Err(CrossbarError::InvalidConfig(format!(
+                "preload_u64 width {width} exceeds {WORD_BITS} bits"
+            )));
         }
-        self.stats.cell_writes += bits.len() as u64;
-        self.stats.energy += self.energy.write_op(bits.len());
-        self.stats.energy_breakdown.write += self.energy.write_op(bits.len());
+        self.check_word_store(row, col0, width)?;
+        self.blocks[block.0].store_word_bits(row, col0, width, value);
+        self.charge_writes(width);
+        Ok(())
+    }
+
+    /// Stores `len` OFF cells along a row starting at `col0` (any length) —
+    /// the fast path for zeroing accumulator rows, accounted like a
+    /// same-length [`BlockedCrossbar::preload_word`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] if the span does not fit.
+    pub fn preload_zeros(
+        &mut self,
+        block: BlockId,
+        row: usize,
+        col0: usize,
+        len: usize,
+    ) -> Result<()> {
+        self.record(|| TraceOp::PreloadWord {
+            block: block.0,
+            row,
+            col0,
+            len,
+        });
+        self.check_word_store(row, col0, len)?;
+        self.blocks[block.0].store_zeros(row, col0, len);
+        self.charge_writes(len);
+        Ok(())
+    }
+
+    /// Validates a `len`-cell store at `(row, col0..)`, reporting the same
+    /// error payloads the historical per-cell walk produced.
+    fn check_word_store(&self, row: usize, col0: usize, len: usize) -> Result<()> {
+        self.check_row(row)?;
+        if col0 + len > self.cols {
+            return Err(CrossbarError::OutOfBounds {
+                what: "col",
+                index: col0.max(self.cols),
+                limit: self.cols,
+            });
+        }
         Ok(())
     }
 
@@ -364,6 +731,33 @@ impl BlockedCrossbar {
         (0..len)
             .map(|i| self.blocks[block.0].get(row, col0 + i))
             .collect()
+    }
+
+    /// Debug read of `width ≤ 64` bits (LSB first) along a row as a packed
+    /// word — the fast path of [`BlockedCrossbar::peek_word`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidConfig`] for `width > 64` and
+    /// [`CrossbarError::OutOfBounds`] if the range does not fit.
+    pub fn peek_u64(&self, block: BlockId, row: usize, col0: usize, width: usize) -> Result<u64> {
+        if width > WORD_BITS {
+            return Err(CrossbarError::InvalidConfig(format!(
+                "peek_u64 width {width} exceeds {WORD_BITS} bits"
+            )));
+        }
+        self.check_word_store(row, col0, width)?;
+        Ok(self.blocks[block.0].read_word_bits(row, col0, width))
+    }
+
+    /// Per-cell write count (endurance proxy) — debug accessor for wear
+    /// studies and the differential suites.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] for invalid coordinates.
+    pub fn cell_writes(&self, block: BlockId, row: usize, col: usize) -> Result<u64> {
+        self.blocks[block.0].cell_writes(row, col)
     }
 
     // ---------------------------------------------------------------
@@ -456,7 +850,8 @@ impl BlockedCrossbar {
     ///
     /// # Errors
     ///
-    /// Returns [`CrossbarError::OutOfBounds`] for invalid coordinates.
+    /// Returns [`CrossbarError::OutOfBounds`] for invalid coordinates; the
+    /// whole request is validated before any cell is written.
     pub fn init_rows(&mut self, block: BlockId, rows: &[usize], cols: Range<usize>) -> Result<()> {
         self.record(|| TraceOp::InitRows {
             block: block.0,
@@ -465,14 +860,12 @@ impl BlockedCrossbar {
         });
         self.check_range(&cols)?;
         for &row in rows {
-            for col in cols.clone() {
-                self.blocks[block.0].set(row, col, true)?;
-            }
+            self.check_row(row)?;
         }
-        let cells = rows.len() * cols.len();
-        self.stats.cell_writes += cells as u64;
-        self.stats.energy += self.energy.write_op(cells);
-        self.stats.energy_breakdown.write += self.energy.write_op(cells);
+        for &row in rows {
+            self.blocks[block.0].fill_on_span(row, &cols);
+        }
+        self.charge_writes(rows.len() * cols.len());
         Ok(())
     }
 
@@ -481,18 +874,23 @@ impl BlockedCrossbar {
     ///
     /// # Errors
     ///
-    /// Returns [`CrossbarError::OutOfBounds`] for invalid coordinates.
+    /// Returns [`CrossbarError::OutOfBounds`] for invalid coordinates; the
+    /// whole request is validated before any cell is written.
     pub fn init_cells(&mut self, block: BlockId, cells: &[(usize, usize)]) -> Result<()> {
         self.record(|| TraceOp::InitCells {
             block: block.0,
             cells: cells.to_vec(),
         });
         for &(row, col) in cells {
-            self.blocks[block.0].set(row, col, true)?;
+            self.check_row(row)?;
+            self.check_col(col)?;
         }
-        self.stats.cell_writes += cells.len() as u64;
-        self.stats.energy += self.energy.write_op(cells.len());
-        self.stats.energy_breakdown.write += self.energy.write_op(cells.len());
+        for &(row, col) in cells {
+            self.blocks[block.0]
+                .set(row, col, true)
+                .expect("cells validated");
+        }
+        self.charge_writes(cells.len());
         Ok(())
     }
 
@@ -504,6 +902,14 @@ impl BlockedCrossbar {
     /// shift must be zero; crossing into another block goes through the
     /// configurable interconnect, which applies the shift *for free* (§3.1)
     /// while charging interconnect energy.
+    ///
+    /// On the packed backend the evaluation is word-parallel: inputs fold
+    /// with word-OR, the NOR is `!fold` under the span's edge masks, and a
+    /// cross-block shift is a cross-word funnel shift.
+    ///
+    /// The full request — column range, shift legality and (in strict
+    /// mode) every output cell's initialization — is validated before any
+    /// write, so a rejected NOR leaves the crossbar unchanged.
     ///
     /// # Errors
     ///
@@ -540,40 +946,51 @@ impl BlockedCrossbar {
         if !cross_block && shift != 0 {
             return Err(CrossbarError::ShiftWithinBlock { shift });
         }
-        let width = cols.len();
-        for col in cols {
-            let out_col = col as isize + shift;
-            if out_col < 0 || out_col as usize >= self.cols {
-                return Err(CrossbarError::OutOfBounds {
-                    what: "shifted col",
-                    index: out_col.max(0) as usize,
-                    limit: self.cols,
-                });
-            }
-            let out_col = out_col as usize;
-            if self.strict_init && !self.blocks[out.block.0].get(out.row, out_col)? {
+        let out_span = self.shifted_span(&cols, shift)?;
+        self.check_row(out.row)?;
+        for input in inputs {
+            self.check_row(input.row)?;
+        }
+        if self.strict_init {
+            if let Some(col) = self.blocks[out.block.0].first_off(out.row, &out_span) {
                 return Err(CrossbarError::UninitializedOutput {
                     block: out.block.0,
                     row: out.row,
-                    col: out_col,
+                    col,
                 });
             }
-            let mut any = false;
-            for input in inputs {
-                any |= self.blocks[in_block.0].get(input.row, col)?;
+        }
+        let width = cols.len();
+        // Hot path: gather input rows on the stack (MAGIC fan-in rarely
+        // exceeds a handful of rows), spilling to the heap only beyond 8.
+        let mut row_buf = [0usize; 8];
+        let mut row_spill = Vec::new();
+        let in_rows: &[usize] = if inputs.len() <= row_buf.len() {
+            for (slot, r) in row_buf.iter_mut().zip(inputs) {
+                *slot = r.row;
             }
-            // MAGIC: the pre-set output conditionally switches to 0.
-            self.blocks[out.block.0].set(out.row, out_col, !any)?;
+            &row_buf[..inputs.len()]
+        } else {
+            row_spill.extend(inputs.iter().map(|r| r.row));
+            &row_spill
+        };
+        if cross_block {
+            let (inp, dst) = pair_mut(&mut self.blocks, in_block.0, out.block.0);
+            nor_cross(inp, in_rows, dst, out.row, &cols, shift);
+        } else {
+            self.blocks[in_block.0].nor_same(in_rows, out.row, &cols);
         }
         self.stats.nor_ops += 1;
         self.stats.nor_cells += width as u64;
         self.stats.cycles += Cycles::new(1);
-        self.stats.energy += self.energy.nor_op(width);
-        self.stats.energy_breakdown.nor += self.energy.nor_op(width);
+        let nor_energy = self.energy.nor_op(width);
+        self.stats.energy += nor_energy;
+        self.stats.energy_breakdown.nor += nor_energy;
         if cross_block {
             self.stats.interconnect_bits += width as u64;
-            self.stats.energy += self.energy.interconnect_op(width);
-            self.stats.energy_breakdown.interconnect += self.energy.interconnect_op(width);
+            let link_energy = self.energy.interconnect_op(width);
+            self.stats.energy += link_energy;
+            self.stats.energy_breakdown.interconnect += link_energy;
         }
         Ok(())
     }
@@ -585,6 +1002,9 @@ impl BlockedCrossbar {
     /// Costs one cycle regardless of the row count. All cells live in one
     /// block; column layouts do not cross the (bitline-oriented)
     /// interconnect, so no shift is available.
+    ///
+    /// Like the row-parallel twin, the whole request is validated before
+    /// any write.
     ///
     /// # Errors
     ///
@@ -617,20 +1037,33 @@ impl BlockedCrossbar {
                 limit: self.rows,
             });
         }
+        self.check_col(out_col)?;
+        for &col in input_cols {
+            self.check_col(col)?;
+        }
+        if self.strict_init {
+            for row in rows.clone() {
+                if !self.blocks[block.0]
+                    .get(row, out_col)
+                    .expect("rows validated")
+                {
+                    return Err(CrossbarError::UninitializedOutput {
+                        block: block.0,
+                        row,
+                        col: out_col,
+                    });
+                }
+            }
+        }
         let height = rows.len();
         for row in rows {
-            if self.strict_init && !self.blocks[block.0].get(row, out_col)? {
-                return Err(CrossbarError::UninitializedOutput {
-                    block: block.0,
-                    row,
-                    col: out_col,
-                });
-            }
             let mut any = false;
             for &col in input_cols {
-                any |= self.blocks[block.0].get(row, col)?;
+                any |= self.blocks[block.0].get(row, col).expect("cols validated");
             }
-            self.blocks[block.0].set(row, out_col, !any)?;
+            self.blocks[block.0]
+                .set(row, out_col, !any)
+                .expect("cols validated");
         }
         self.stats.nor_ops += 1;
         self.stats.nor_cells += height as u64;
@@ -645,7 +1078,8 @@ impl BlockedCrossbar {
     ///
     /// # Errors
     ///
-    /// Returns [`CrossbarError::OutOfBounds`] for invalid coordinates.
+    /// Returns [`CrossbarError::OutOfBounds`] for invalid coordinates; the
+    /// whole request is validated before any cell is written.
     pub fn init_cols(&mut self, block: BlockId, cols: &[usize], rows: Range<usize>) -> Result<()> {
         self.record(|| TraceOp::InitCols {
             block: block.0,
@@ -660,14 +1094,14 @@ impl BlockedCrossbar {
             });
         }
         for &col in cols {
+            self.check_col(col)?;
+        }
+        for &col in cols {
             for row in rows.clone() {
-                self.blocks[block.0].set(row, col, true)?;
+                self.blocks[block.0].set(row, col, true).expect("validated");
             }
         }
-        let cells = cols.len() * rows.len();
-        self.stats.cell_writes += cells as u64;
-        self.stats.energy += self.energy.write_op(cells);
-        self.stats.energy_breakdown.write += self.energy.write_op(cells);
+        self.charge_writes(cols.len() * rows.len());
         Ok(())
     }
 
@@ -792,7 +1226,7 @@ impl BlockedCrossbar {
     pub fn max_cell_writes(&self) -> u64 {
         self.blocks
             .iter()
-            .map(CrossbarArray::max_cell_writes)
+            .map(Store::max_cell_writes)
             .max()
             .unwrap_or(0)
     }
@@ -816,6 +1250,14 @@ mod tests {
         BlockedCrossbar::new(CrossbarConfig::default()).unwrap()
     }
 
+    fn scalar_xbar() -> BlockedCrossbar {
+        BlockedCrossbar::new(CrossbarConfig {
+            backend: Backend::Scalar,
+            ..CrossbarConfig::default()
+        })
+        .unwrap()
+    }
+
     #[test]
     fn construction_validates() {
         let bad = CrossbarConfig {
@@ -828,6 +1270,12 @@ mod tests {
             ..CrossbarConfig::default()
         };
         assert!(BlockedCrossbar::new(bad).is_err());
+    }
+
+    #[test]
+    fn default_backend_is_packed() {
+        assert_eq!(xbar().backend(), Backend::Packed);
+        assert_eq!(scalar_xbar().backend(), Backend::Scalar);
     }
 
     #[test]
@@ -862,25 +1310,26 @@ mod tests {
 
     #[test]
     fn nor_truth_table() {
-        let mut x = xbar();
-        let b = x.block(0).unwrap();
-        for (a, bb, expected) in [
-            (false, false, true),
-            (false, true, false),
-            (true, false, false),
-            (true, true, false),
-        ] {
-            x.preload_bit(b, 0, 0, a).unwrap();
-            x.preload_bit(b, 1, 0, bb).unwrap();
-            x.init_rows(b, &[2], 0..1).unwrap();
-            x.nor_rows_shifted(
-                &[RowRef::new(b, 0), RowRef::new(b, 1)],
-                RowRef::new(b, 2),
-                0..1,
-                0,
-            )
-            .unwrap();
-            assert_eq!(x.peek_bit(b, 2, 0).unwrap(), expected);
+        for mut x in [xbar(), scalar_xbar()] {
+            let b = x.block(0).unwrap();
+            for (a, bb, expected) in [
+                (false, false, true),
+                (false, true, false),
+                (true, false, false),
+                (true, true, false),
+            ] {
+                x.preload_bit(b, 0, 0, a).unwrap();
+                x.preload_bit(b, 1, 0, bb).unwrap();
+                x.init_rows(b, &[2], 0..1).unwrap();
+                x.nor_rows_shifted(
+                    &[RowRef::new(b, 0), RowRef::new(b, 1)],
+                    RowRef::new(b, 2),
+                    0..1,
+                    0,
+                )
+                .unwrap();
+                assert_eq!(x.peek_bit(b, 2, 0).unwrap(), expected);
+            }
         }
     }
 
@@ -913,6 +1362,21 @@ mod tests {
             vec![true, false, true, true]
         );
         assert_eq!(x.stats().interconnect_bits, 4);
+    }
+
+    #[test]
+    fn cross_block_shift_crosses_word_boundaries() {
+        let mut x = xbar();
+        let b0 = x.block(0).unwrap();
+        let b1 = x.block(1).unwrap();
+        let pattern: Vec<bool> = (0..80).map(|i| i % 3 == 0).collect();
+        x.preload_word(b0, 0, 20, &pattern).unwrap();
+        x.init_rows(b1, &[0], 90..170).unwrap();
+        x.nor_rows_shifted(&[RowRef::new(b0, 0)], RowRef::new(b1, 0), 20..100, 70)
+            .unwrap();
+        let got = x.peek_word(b1, 0, 90, 80).unwrap();
+        let expect: Vec<bool> = pattern.iter().map(|&b| !b).collect();
+        assert_eq!(got, expect);
     }
 
     #[test]
@@ -952,6 +1416,69 @@ mod tests {
             .nor_rows_shifted(&[RowRef::new(b, 0)], RowRef::new(b, 1), 0..4, 0)
             .unwrap_err();
         assert!(matches!(err, CrossbarError::UninitializedOutput { .. }));
+    }
+
+    #[test]
+    fn rejected_nor_leaves_crossbar_unchanged() {
+        // Regression for the historical partial-mutation bug: a mid-range
+        // strict-init (or bounds) failure used to leave already-visited
+        // columns overwritten. The full request is now validated up front.
+        for mut x in [xbar(), scalar_xbar()] {
+            let b = x.block(0).unwrap();
+            x.preload_word(b, 0, 0, &[true; 8]).unwrap();
+            // Columns 0..4 initialized, 4..8 NOT initialized: the NOR over
+            // 0..8 must fail on column 4 and write nothing.
+            x.init_rows(b, &[1], 0..4).unwrap();
+            let stats_before = *x.stats();
+            let row_before = x.peek_word(b, 1, 0, 8).unwrap();
+            let wear_before: Vec<u64> = (0..8).map(|c| x.cell_writes(b, 1, c).unwrap()).collect();
+            let err = x
+                .nor_rows_shifted(&[RowRef::new(b, 0)], RowRef::new(b, 1), 0..8, 0)
+                .unwrap_err();
+            assert_eq!(
+                err,
+                CrossbarError::UninitializedOutput {
+                    block: 0,
+                    row: 1,
+                    col: 4
+                }
+            );
+            assert_eq!(x.peek_word(b, 1, 0, 8).unwrap(), row_before);
+            assert_eq!(*x.stats(), stats_before);
+            let wear_after: Vec<u64> = (0..8).map(|c| x.cell_writes(b, 1, c).unwrap()).collect();
+            assert_eq!(wear_after, wear_before, "no wear on a rejected op");
+        }
+    }
+
+    #[test]
+    fn rejected_shifted_nor_leaves_crossbar_unchanged() {
+        for mut x in [xbar(), scalar_xbar()] {
+            let b0 = x.block(0).unwrap();
+            let b1 = x.block(1).unwrap();
+            let cols = 250..256;
+            x.init_rows(b1, &[0], cols.clone()).unwrap();
+            let before = x.peek_word(b1, 0, 248, 8).unwrap();
+            let stats_before = *x.stats();
+            let err = x
+                .nor_rows_shifted(&[RowRef::new(b0, 0)], RowRef::new(b1, 0), cols, 10)
+                .unwrap_err();
+            assert!(matches!(err, CrossbarError::OutOfBounds { .. }));
+            assert_eq!(x.peek_word(b1, 0, 248, 8).unwrap(), before);
+            assert_eq!(*x.stats(), stats_before);
+        }
+    }
+
+    #[test]
+    fn rejected_init_rows_leaves_crossbar_unchanged() {
+        for mut x in [xbar(), scalar_xbar()] {
+            let b = x.block(0).unwrap();
+            let stats_before = *x.stats();
+            // Second row out of bounds: nothing (including row 0) is set.
+            let err = x.init_rows(b, &[0, 9999], 0..4).unwrap_err();
+            assert!(matches!(err, CrossbarError::OutOfBounds { .. }));
+            assert_eq!(x.peek_word(b, 0, 0, 4).unwrap(), vec![false; 4]);
+            assert_eq!(*x.stats(), stats_before);
+        }
     }
 
     #[test]
@@ -1011,6 +1538,21 @@ mod tests {
         assert!(matches!(err, CrossbarError::UninitializedOutput { .. }));
         assert!(x.nor_cols(b, &[], 1, 0..4).is_err());
         assert!(x.nor_cols(b, &[0], 1, 0..9999).is_err());
+    }
+
+    #[test]
+    fn nor_cols_validates_before_writing() {
+        for mut x in [xbar(), scalar_xbar()] {
+            let b = x.block(0).unwrap();
+            x.init_cols(b, &[2], 0..4).unwrap();
+            let stats_before = *x.stats();
+            // Input column out of bounds: no row of the output is touched.
+            let err = x.nor_cols(b, &[0, 9999], 2, 0..4).unwrap_err();
+            assert!(matches!(err, CrossbarError::OutOfBounds { .. }));
+            let got: Vec<bool> = (0..4).map(|r| x.peek_bit(b, r, 2).unwrap()).collect();
+            assert_eq!(got, vec![true; 4], "outputs keep their init value");
+            assert_eq!(*x.stats(), stats_before);
+        }
     }
 
     #[test]
@@ -1089,20 +1631,57 @@ mod tests {
 
     #[test]
     fn fault_injection_reaches_reads() {
-        let mut x = xbar();
-        let b = x.block(0).unwrap();
-        x.inject_fault(b, 0, 0, Some(Fault::StuckAtOne)).unwrap();
-        assert!(x.peek_bit(b, 0, 0).unwrap());
+        for mut x in [xbar(), scalar_xbar()] {
+            let b = x.block(0).unwrap();
+            x.inject_fault(b, 0, 0, Some(Fault::StuckAtOne)).unwrap();
+            assert!(x.peek_bit(b, 0, 0).unwrap());
+        }
     }
 
     #[test]
     fn wear_tracking_reports_hotspot() {
+        for mut x in [xbar(), scalar_xbar()] {
+            let b = x.block(0).unwrap();
+            for _ in 0..7 {
+                x.preload_bit(b, 3, 3, true).unwrap();
+            }
+            assert_eq!(x.max_cell_writes(), 7);
+            assert_eq!(x.cell_writes(b, 3, 3).unwrap(), 7);
+        }
+    }
+
+    #[test]
+    fn preload_u64_matches_preload_word() {
+        let mut a = xbar();
+        let mut b = xbar();
+        let blk = a.block(0).unwrap();
+        let v = 0xDEAD_BEEF_1234_5678u64;
+        let bits: Vec<bool> = (0..64).map(|i| (v >> i) & 1 == 1).collect();
+        a.preload_word(blk, 2, 30, &bits).unwrap();
+        b.preload_u64(blk, 2, 30, 64, v).unwrap();
+        assert_eq!(
+            a.peek_word(blk, 2, 30, 64).unwrap(),
+            b.peek_word(blk, 2, 30, 64).unwrap()
+        );
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(b.peek_u64(blk, 2, 30, 64).unwrap(), v);
+        // Oversized widths and overflowing spans are rejected.
+        assert!(b.preload_u64(blk, 0, 0, 65, 0).is_err());
+        assert!(b.preload_u64(blk, 0, 250, 10, 0).is_err());
+        assert!(b.peek_u64(blk, 0, 0, 65).is_err());
+    }
+
+    #[test]
+    fn preload_zeros_clears_a_span() {
         let mut x = xbar();
         let b = x.block(0).unwrap();
-        for _ in 0..7 {
-            x.preload_bit(b, 3, 3, true).unwrap();
-        }
-        assert_eq!(x.max_cell_writes(), 7);
+        x.init_rows(b, &[0], 0..100).unwrap();
+        x.preload_zeros(b, 0, 10, 70).unwrap();
+        assert!(x.peek_bit(b, 0, 9).unwrap());
+        assert_eq!(x.peek_word(b, 0, 10, 70).unwrap(), vec![false; 70]);
+        assert!(x.peek_bit(b, 0, 80).unwrap());
+        assert_eq!(x.stats().cell_writes, 170);
+        assert!(x.preload_zeros(b, 0, 250, 10).is_err());
     }
 
     #[test]

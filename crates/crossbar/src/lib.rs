@@ -53,16 +53,18 @@ mod cell;
 mod error;
 mod interconnect;
 mod layout;
+mod packed;
 mod stats;
 mod trace;
 mod wear;
 
 pub use array::CrossbarArray;
-pub use block::{BlockId, BlockRole, BlockedCrossbar, CrossbarConfig, RowRef};
+pub use block::{Backend, BlockId, BlockRole, BlockedCrossbar, CrossbarConfig, RowRef};
 pub use cell::{Cell, Fault};
 pub use error::CrossbarError;
 pub use interconnect::BarrelShifter;
 pub use layout::RowAllocator;
+pub use packed::{PackedArray, WORD_BITS};
 pub use stats::{EnergyBreakdown, Stats};
 pub use trace::{AllocEvent, OpTrace, TraceOp};
 pub use wear::{BlockWear, WearReport};

@@ -1,0 +1,382 @@
+//! Differential suite: the bit-packed production backend against the scalar
+//! reference oracle.
+//!
+//! Random operation sequences — preloads, inits, NORs in every flavour,
+//! shifted copies, faults, reads — are applied to two crossbars that differ
+//! only in [`Backend`]. Every per-op result (including error payloads), the
+//! final cell state, the cumulative statistics, the per-cell wear counters
+//! and the recorded traces must be identical.
+
+use apim_crossbar::{
+    Backend, BlockId, BlockedCrossbar, CrossbarConfig, CrossbarError, Fault, RowRef,
+};
+use proptest::prelude::*;
+
+const BLOCKS: usize = 3;
+const ROWS: usize = 10;
+/// Spans two words (with a ragged top word) so edge masks, cross-word
+/// funnel shifts and partial-word wear all get exercised.
+const COLS: usize = 100;
+
+fn pair(strict: bool) -> (BlockedCrossbar, BlockedCrossbar) {
+    let cfg = |backend| CrossbarConfig {
+        blocks: BLOCKS,
+        rows: ROWS,
+        cols: COLS,
+        strict_init: strict,
+        backend,
+        ..CrossbarConfig::default()
+    };
+    (
+        BlockedCrossbar::new(cfg(Backend::Packed)).unwrap(),
+        BlockedCrossbar::new(cfg(Backend::Scalar)).unwrap(),
+    )
+}
+
+/// Deterministic generator shared by both replays (SplitMix64).
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+
+    /// Mostly-valid index: occasionally past the limit to exercise the
+    /// error paths (which must also match, payload for payload).
+    fn index(&mut self, limit: usize) -> usize {
+        self.below(limit + limit / 8 + 1)
+    }
+}
+
+/// One random primitive, generated once and replayed on both backends.
+#[derive(Debug, Clone)]
+enum Op {
+    PreloadBit(usize, usize, usize, bool),
+    PreloadWord(usize, usize, usize, Vec<bool>),
+    PreloadU64(usize, usize, usize, usize, u64),
+    PreloadZeros(usize, usize, usize, usize),
+    InitRows(usize, Vec<usize>, usize, usize),
+    InitCells(usize, Vec<(usize, usize)>),
+    InitCols(usize, Vec<usize>, usize, usize),
+    /// `(in_block, in_rows, out_block, out_row, col_lo, col_hi, shift,
+    /// init_first)` — when `init_first`, the shifted output span is
+    /// initialized beforehand so strict mode lets the NOR through.
+    NorRows(usize, Vec<usize>, usize, usize, usize, usize, isize, bool),
+    NorCols(usize, Vec<usize>, usize, usize, usize, bool),
+    NorCells(usize, Vec<(usize, usize)>, (usize, usize), bool),
+    CopyRow(usize, usize, usize, usize, usize, usize, usize, isize),
+    InjectFault(usize, usize, usize, Option<Fault>),
+    ReadBit(usize, usize, usize),
+    MajRead(usize, [(usize, usize); 3]),
+    WriteBackBit(usize, usize, usize, bool),
+}
+
+fn random_op(g: &mut Gen) -> Op {
+    let blk = |g: &mut Gen| g.below(BLOCKS);
+    match g.below(15) {
+        0 => Op::PreloadBit(blk(g), g.index(ROWS), g.index(COLS), g.bool()),
+        1 => {
+            let len = g.below(24);
+            let bits = (0..len).map(|_| g.bool()).collect();
+            Op::PreloadWord(blk(g), g.index(ROWS), g.index(COLS), bits)
+        }
+        2 => Op::PreloadU64(blk(g), g.index(ROWS), g.index(COLS), g.below(66), g.next()),
+        3 => Op::PreloadZeros(blk(g), g.index(ROWS), g.index(COLS), g.below(80)),
+        4 => {
+            let rows = (0..1 + g.below(3)).map(|_| g.index(ROWS)).collect();
+            let lo = g.index(COLS);
+            Op::InitRows(blk(g), rows, lo, lo + g.below(80))
+        }
+        5 => {
+            let cells = (0..g.below(6))
+                .map(|_| (g.index(ROWS), g.index(COLS)))
+                .collect();
+            Op::InitCells(blk(g), cells)
+        }
+        6 => {
+            let cols = (0..1 + g.below(3)).map(|_| g.index(COLS)).collect();
+            let lo = g.index(ROWS);
+            Op::InitCols(blk(g), cols, lo, lo + 1 + g.below(4))
+        }
+        7 | 8 => {
+            let in_block = blk(g);
+            let cross = g.bool();
+            let out_block = if cross {
+                (in_block + 1) % BLOCKS
+            } else {
+                in_block
+            };
+            let shift = if cross { g.below(141) as isize - 70 } else { 0 };
+            let in_rows = (0..1 + g.below(3)).map(|_| g.index(ROWS)).collect();
+            let lo = g.index(COLS);
+            Op::NorRows(
+                in_block,
+                in_rows,
+                out_block,
+                g.index(ROWS),
+                lo,
+                lo + 1 + g.below(80),
+                shift,
+                g.bool(),
+            )
+        }
+        9 => {
+            let cols = (0..1 + g.below(3)).map(|_| g.index(COLS)).collect();
+            let lo = g.index(ROWS);
+            Op::NorCols(
+                blk(g),
+                cols,
+                g.index(COLS),
+                lo,
+                lo + 1 + g.below(5),
+                g.bool(),
+            )
+        }
+        10 => {
+            let inputs = (0..1 + g.below(3))
+                .map(|_| (g.index(ROWS), g.index(COLS)))
+                .collect();
+            Op::NorCells(blk(g), inputs, (g.index(ROWS), g.index(COLS)), g.bool())
+        }
+        11 => {
+            let lo = g.index(COLS);
+            Op::CopyRow(
+                blk(g),
+                g.index(ROWS),
+                g.index(ROWS),
+                blk(g),
+                g.index(ROWS),
+                lo,
+                lo + 1 + g.below(70),
+                g.below(141) as isize - 70,
+            )
+        }
+        12 => {
+            let fault = match g.below(3) {
+                0 => None,
+                1 => Some(Fault::StuckAtZero),
+                _ => Some(Fault::StuckAtOne),
+            };
+            Op::InjectFault(blk(g), g.index(ROWS), g.index(COLS), fault)
+        }
+        13 => Op::ReadBit(blk(g), g.index(ROWS), g.index(COLS)),
+        _ => {
+            if g.bool() {
+                let cell = |g: &mut Gen| (g.index(ROWS), g.index(COLS));
+                Op::MajRead(blk(g), [cell(g), cell(g), cell(g)])
+            } else {
+                Op::WriteBackBit(blk(g), g.index(ROWS), g.index(COLS), g.bool())
+            }
+        }
+    }
+}
+
+/// Applies one op, folding every sub-result into a comparable value.
+fn apply(x: &mut BlockedCrossbar, op: &Op) -> Vec<Result<u64, CrossbarError>> {
+    let ids: Vec<BlockId> = (0..x.block_count()).map(|i| x.block(i).unwrap()).collect();
+    let b = |i: usize| ids[i];
+    match op {
+        Op::PreloadBit(blk, row, col, bit) => {
+            vec![x.preload_bit(b(*blk), *row, *col, *bit).map(|()| 0)]
+        }
+        Op::PreloadWord(blk, row, col0, bits) => {
+            vec![x.preload_word(b(*blk), *row, *col0, bits).map(|()| 0)]
+        }
+        Op::PreloadU64(blk, row, col0, width, value) => {
+            vec![x
+                .preload_u64(b(*blk), *row, *col0, *width, *value)
+                .map(|()| 0)]
+        }
+        Op::PreloadZeros(blk, row, col0, len) => {
+            vec![x.preload_zeros(b(*blk), *row, *col0, *len).map(|()| 0)]
+        }
+        Op::InitRows(blk, rows, lo, hi) => {
+            vec![x.init_rows(b(*blk), rows, *lo..*hi).map(|()| 0)]
+        }
+        Op::InitCells(blk, cells) => vec![x.init_cells(b(*blk), cells).map(|()| 0)],
+        Op::InitCols(blk, cols, lo, hi) => {
+            vec![x.init_cols(b(*blk), cols, *lo..*hi).map(|()| 0)]
+        }
+        Op::NorRows(in_blk, in_rows, out_blk, out_row, lo, hi, shift, init_first) => {
+            let mut results = Vec::new();
+            if *init_first {
+                let start = *lo as isize + shift;
+                let end = *hi as isize + shift;
+                if start >= 0 && end as usize <= COLS && start < end {
+                    results.push(
+                        x.init_rows(b(*out_blk), &[*out_row], start as usize..end as usize)
+                            .map(|()| 0),
+                    );
+                }
+            }
+            let inputs: Vec<RowRef> = in_rows
+                .iter()
+                .map(|&r| RowRef::new(b(*in_blk), r))
+                .collect();
+            results.push(
+                x.nor_rows_shifted(
+                    &inputs,
+                    RowRef::new(b(*out_blk), *out_row),
+                    *lo..*hi,
+                    *shift,
+                )
+                .map(|()| 0),
+            );
+            results
+        }
+        Op::NorCols(blk, cols, out_col, lo, hi, init_first) => {
+            let mut results = Vec::new();
+            if *init_first && *out_col < COLS && *hi <= ROWS && lo < hi {
+                results.push(x.init_cols(b(*blk), &[*out_col], *lo..*hi).map(|()| 0));
+            }
+            results.push(x.nor_cols(b(*blk), cols, *out_col, *lo..*hi).map(|()| 0));
+            results
+        }
+        Op::NorCells(blk, inputs, out, init_first) => {
+            let mut results = Vec::new();
+            if *init_first && out.0 < ROWS && out.1 < COLS {
+                results.push(x.init_cells(b(*blk), &[*out]).map(|()| 0));
+            }
+            results.push(x.nor_cells(b(*blk), inputs, *out).map(|()| 0));
+            results
+        }
+        Op::CopyRow(src_blk, src_row, scratch_row, dst_blk, dst_row, lo, hi, shift) => {
+            vec![x
+                .copy_row_shifted(
+                    RowRef::new(b(*src_blk), *src_row),
+                    RowRef::new(b(*src_blk), *scratch_row),
+                    RowRef::new(b(*dst_blk), *dst_row),
+                    *lo..*hi,
+                    *shift,
+                )
+                .map(|()| 0)]
+        }
+        Op::InjectFault(blk, row, col, fault) => {
+            vec![x.inject_fault(b(*blk), *row, *col, *fault).map(|()| 0)]
+        }
+        Op::ReadBit(blk, row, col) => vec![x.read_bit(b(*blk), *row, *col).map(u64::from)],
+        Op::MajRead(blk, cells) => vec![x.maj_read(b(*blk), *cells).map(u64::from)],
+        Op::WriteBackBit(blk, row, col, bit) => {
+            vec![x.write_back_bit(b(*blk), *row, *col, *bit).map(|()| 0)]
+        }
+    }
+}
+
+/// Full observable state: every cell bit and every per-cell wear counter.
+fn observe(x: &BlockedCrossbar) -> (Vec<bool>, Vec<u64>) {
+    let mut bits = Vec::new();
+    let mut wear = Vec::new();
+    for blk in 0..x.block_count() {
+        let b = x.block(blk).unwrap();
+        for row in 0..x.rows() {
+            for col in 0..x.cols() {
+                bits.push(x.peek_bit(b, row, col).unwrap());
+                wear.push(x.cell_writes(b, row, col).unwrap());
+            }
+        }
+    }
+    (bits, wear)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_op_streams_are_bit_identical(seed: u64, strict: bool, ops in 1usize..120) {
+        let (mut packed, mut scalar) = pair(strict);
+        packed.start_recording();
+        scalar.start_recording();
+        let mut gen_p = Gen(seed);
+        let mut gen_s = Gen(seed);
+        for i in 0..ops {
+            let op_p = random_op(&mut gen_p);
+            let op_s = random_op(&mut gen_s);
+            let rp = apply(&mut packed, &op_p);
+            let rs = apply(&mut scalar, &op_s);
+            prop_assert_eq!(&rp, &rs, "op {} diverged: {:?}", i, op_p);
+        }
+        prop_assert_eq!(packed.stats(), scalar.stats(), "stats diverged");
+        let (bits_p, wear_p) = observe(&packed);
+        let (bits_s, wear_s) = observe(&scalar);
+        prop_assert_eq!(bits_p, bits_s, "cell state diverged");
+        prop_assert_eq!(wear_p, wear_s, "wear counters diverged");
+        prop_assert_eq!(packed.wear_report(), scalar.wear_report());
+        prop_assert_eq!(packed.max_cell_writes(), scalar.max_cell_writes());
+        prop_assert_eq!(packed.stop_recording(), scalar.stop_recording());
+    }
+
+    #[test]
+    fn funnel_shift_matches_oracle_for_every_offset(seed: u64, shift in -70isize..=70) {
+        let (mut packed, mut scalar) = pair(true);
+        let mut g = Gen(seed);
+        let lo = g.below(20);
+        let hi = lo + 1 + g.below(COLS - 20);
+        let start = lo as isize + shift;
+        let end = hi as isize + shift;
+        if start >= 0 && end as usize <= COLS {
+            for x in [&mut packed, &mut scalar] {
+                let b0 = x.block(0).unwrap();
+                let b1 = x.block(1).unwrap();
+                let mut gg = Gen(seed ^ 0xABCD);
+                for col in lo..hi {
+                    x.preload_bit(b0, 0, col, gg.bool()).unwrap();
+                }
+                x.init_rows(b1, &[0], start as usize..end as usize).unwrap();
+                x.nor_rows_shifted(&[RowRef::new(b0, 0)], RowRef::new(b1, 0), lo..hi, shift)
+                    .unwrap();
+            }
+            prop_assert_eq!(observe(&packed), observe(&scalar));
+            prop_assert_eq!(packed.stats(), scalar.stats());
+        }
+    }
+}
+
+/// Fixed regression (satellite 1): a mid-range strict-init failure must
+/// leave both backends untouched and agree on the error payload.
+#[test]
+fn rejected_ops_leave_both_backends_identical_and_unchanged() {
+    let (mut packed, mut scalar) = pair(true);
+    for x in [&mut packed, &mut scalar] {
+        let b = x.block(0).unwrap();
+        x.preload_u64(b, 0, 0, 64, 0xFFFF_0000_FF00_00FF).unwrap();
+        x.init_rows(b, &[1], 0..40).unwrap();
+    }
+    let before_p = observe(&packed);
+    let before_s = observe(&scalar);
+    for (x, before) in [(&mut packed, &before_p), (&mut scalar, &before_s)] {
+        let b = x.block(0).unwrap();
+        let stats = *x.stats();
+        // Strict-init fails at column 40, bounds at shifted column 100.
+        let err = x
+            .nor_rows_shifted(&[RowRef::new(b, 0)], RowRef::new(b, 1), 0..64, 0)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CrossbarError::UninitializedOutput {
+                block: 0,
+                row: 1,
+                col: 40
+            }
+        );
+        let b1 = x.block(1).unwrap();
+        let err = x
+            .nor_rows_shifted(&[RowRef::new(b, 0)], RowRef::new(b1, 1), 0..64, 60)
+            .unwrap_err();
+        assert!(matches!(err, CrossbarError::OutOfBounds { .. }), "{err:?}");
+        assert_eq!(&observe(x), before, "rejected ops must not mutate");
+        assert_eq!(*x.stats(), stats, "rejected ops must not charge stats");
+    }
+    assert_eq!(observe(&packed), observe(&scalar));
+}

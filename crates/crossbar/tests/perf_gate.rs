@@ -1,0 +1,66 @@
+//! Ignored-by-default performance gate, run in release mode by the CI
+//! perf-smoke job:
+//!
+//! ```text
+//! cargo test -p apim-crossbar --release --test perf_gate -- --ignored
+//! ```
+//!
+//! The bit-packed backend must sustain at least 4x the scalar oracle's NOR
+//! throughput at 64-column width. Guarded on core count like the serve
+//! scaling gate: single-core machines skip (timing noise dominates there).
+
+use apim_crossbar::{Backend, BlockedCrossbar, CrossbarConfig, RowRef};
+use std::time::Instant;
+
+fn nor_ops_per_sec(backend: Backend, width: usize, iters: u64) -> f64 {
+    let mut x = BlockedCrossbar::new(CrossbarConfig {
+        blocks: 2,
+        rows: 16,
+        cols: width,
+        backend,
+        ..CrossbarConfig::default()
+    })
+    .unwrap();
+    let b = x.block(0).unwrap();
+    for row in 0..2 {
+        for col in (row..width).step_by(3) {
+            x.preload_bit(b, row, col, true).unwrap();
+        }
+    }
+    let started = Instant::now();
+    for i in 0..iters {
+        let out = 2 + (i % 8) as usize;
+        x.init_rows(b, &[out], 0..width).unwrap();
+        x.nor_rows_shifted(
+            &[RowRef::new(b, 0), RowRef::new(b, 1)],
+            RowRef::new(b, out),
+            0..width,
+            0,
+        )
+        .unwrap();
+    }
+    iters as f64 / started.elapsed().as_secs_f64()
+}
+
+#[test]
+#[ignore = "perf gate: run explicitly in release mode (CI perf-smoke job)"]
+fn perf_packed_nor_at_least_4x_oracle() {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if cores < 2 {
+        eprintln!("skipping perf gate: only {cores} core(s) available");
+        return;
+    }
+    // Warm up both paths, then measure; the oracle gets fewer iterations
+    // (it is the slow side by design).
+    nor_ops_per_sec(Backend::Packed, 64, 10_000);
+    let packed = nor_ops_per_sec(Backend::Packed, 64, 200_000);
+    let oracle = nor_ops_per_sec(Backend::Scalar, 64, 25_000);
+    let speedup = packed / oracle;
+    println!("packed {packed:.0} ops/s, oracle {oracle:.0} ops/s, speedup {speedup:.1}x");
+    assert!(
+        speedup >= 4.0,
+        "packed NOR throughput only {speedup:.2}x the scalar oracle at width 64 (need >= 4x)"
+    );
+}

@@ -57,21 +57,25 @@ pub fn divide(
     let mut alloc = RowAllocator::new(xbar.rows());
     let rows = alloc.alloc_many(4)?; // remainder, shifted divisor, !divisor, trial
     let scratch = SerialScratch::alloc(&mut alloc)?;
-    let to_bits = |v: u64, bits: usize| (0..bits).map(|i| (v >> i) & 1 == 1).collect::<Vec<_>>();
+    // Word stores split a > 64-bit request into two accounting ops, so the
+    // packed fast path only applies while the window fits one word.
+    let preload_window = |xbar: &mut BlockedCrossbar, row: usize, v: u128| -> Result<()> {
+        if w <= 64 {
+            xbar.preload_u64(block, row, 0, w, v as u64)
+        } else {
+            let bits: Vec<bool> = (0..w).map(|i| (v >> i) & 1 == 1).collect();
+            xbar.preload_word(block, row, 0, &bits)
+        }
+    };
 
     // Remainder register starts as the dividend over the full window.
-    xbar.preload_word(block, rows[0], 0, &to_bits(x, w))?;
+    preload_window(xbar, rows[0], u128::from(x))?;
     let before = xbar.stats().cycles;
     let mut quotient = 0u64;
     for step in (0..n).rev() {
         // Trial: remainder - (y << step).
         let shifted = (y as u128) << step;
-        xbar.preload_word(
-            block,
-            rows[1],
-            0,
-            &(0..w).map(|i| (shifted >> i) & 1 == 1).collect::<Vec<_>>(),
-        )?;
+        preload_window(xbar, rows[1], shifted)?;
         let ge = greater_equal(
             xbar,
             block,
@@ -104,11 +108,7 @@ pub fn divide(
         // Restoring is free: on failure the remainder row was never
         // touched (the trial wrote only the scratch output row).
     }
-    let remainder_bits = xbar.peek_word(block, rows[0], 0, n)?;
-    let remainder = remainder_bits
-        .iter()
-        .enumerate()
-        .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i));
+    let remainder = xbar.peek_u64(block, rows[0], 0, n)?;
     Ok(DivRun {
         quotient,
         remainder,

@@ -12,7 +12,9 @@
 //! Products are truncated `n`-bit C `int` semantics; the accumulation wraps
 //! modulo `2^n` exactly like the kernels it models.
 
-use apim_crossbar::{BlockedCrossbar, CrossbarConfig, CrossbarError, Result, RowAllocator, Stats};
+use apim_crossbar::{
+    Backend, BlockedCrossbar, CrossbarConfig, CrossbarError, Result, RowAllocator, Stats,
+};
 use apim_device::DeviceParams;
 
 use crate::adder_csa::CSA_SCRATCH_ROWS;
@@ -60,6 +62,22 @@ impl CrossbarMac {
     /// Returns [`CrossbarError::InvalidConfig`] for unsupported widths or a
     /// zero term budget.
     pub fn new(n: u32, max_terms: usize, params: &DeviceParams) -> Result<Self> {
+        Self::with_backend(n, max_terms, params, Backend::default())
+    }
+
+    /// Like [`CrossbarMac::new`] on an explicit storage [`Backend`] — the
+    /// differential suites run the same MAC on the packed path and the
+    /// scalar oracle and compare bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CrossbarMac::new`].
+    pub fn with_backend(
+        n: u32,
+        max_terms: usize,
+        params: &DeviceParams,
+        backend: Backend,
+    ) -> Result<Self> {
         if !(4..=64).contains(&n) {
             return Err(CrossbarError::InvalidConfig(format!(
                 "operand width {n} outside supported range 4..=64"
@@ -80,6 +98,7 @@ impl CrossbarMac {
             cols,
             params: params.clone(),
             strict_init: true,
+            backend,
         })?;
         Ok(CrossbarMac { xbar, n, max_terms })
     }
@@ -138,8 +157,8 @@ impl CrossbarMac {
         // 2i + 1 (multiplier); loading happens before the compute snapshot,
         // as in the multiplier.
         for (i, &(a, b)) in terms.iter().enumerate() {
-            self.xbar.preload_word(data, 2 * i, 0, &to_bits(a, n))?;
-            self.xbar.preload_word(data, 2 * i + 1, 0, &to_bits(b, n))?;
+            self.xbar.preload_u64(data, 2 * i, 0, n, a)?;
+            self.xbar.preload_u64(data, 2 * i + 1, 0, n, b)?;
         }
         let snapshot = *self.xbar.stats();
         let mut pp_rows = 0usize;
@@ -164,8 +183,7 @@ impl CrossbarMac {
             for &shift in &shifts {
                 let lo = shift as usize;
                 let hi = (lo + n).min(w);
-                self.xbar
-                    .preload_word(p1, pp_rows, 0, &vec![false; w + 2])?;
+                self.xbar.preload_zeros(p1, pp_rows, 0, w + 2)?;
                 self.xbar.init_rows(p1, &[pp_rows], lo..hi)?;
                 self.xbar.nor_rows_shifted(
                     &[apim_crossbar::RowRef::new(p0, not_row)],
@@ -179,7 +197,7 @@ impl CrossbarMac {
 
         let value = match pp_rows {
             0 => 0,
-            1 => from_bits(&self.xbar.peek_word(p1, 0, 0, w)?),
+            1 => self.xbar.peek_u64(p1, 0, 0, w)?,
             _ => {
                 let (block, survivors) = reduce_rows_to_two(&mut self.xbar, p1, p0, pp_rows, 0..w)?;
                 debug_assert_eq!(survivors, 2);
@@ -207,7 +225,7 @@ impl CrossbarMac {
         let scratch = SerialScratch::alloc(&mut alloc)?;
         if m == 0 {
             add_words(&mut self.xbar, block, 0, 1, 2, 0..w, &scratch)?;
-            return Ok(from_bits(&self.xbar.peek_word(block, 2, 0, w)?));
+            return self.xbar.peek_u64(block, 2, 0, w);
         }
         self.xbar.preload_bit(block, carry_row, 0, false)?;
         for i in 0..m {
@@ -223,7 +241,7 @@ impl CrossbarMac {
             1..m + 1,
             -1,
         )?;
-        let low = from_bits(&self.xbar.peek_word(other, 0, 0, m)?);
+        let low = self.xbar.peek_u64(other, 0, 0, m)?;
         if m == w {
             return Ok(low);
         }
@@ -231,19 +249,9 @@ impl CrossbarMac {
         self.xbar
             .nor_cells(block, &[(carry_row, m)], (scratch.carry, m))?;
         add_words_with_carry(&mut self.xbar, block, 0, 1, 2, m..w, &scratch)?;
-        let high = from_bits(&self.xbar.peek_word(block, 2, m, w - m)?);
+        let high = self.xbar.peek_u64(block, 2, m, w - m)?;
         Ok(low | high << m)
     }
-}
-
-fn to_bits(v: u64, n: usize) -> Vec<bool> {
-    (0..n).map(|i| (v >> i) & 1 == 1).collect()
-}
-
-fn from_bits(bits: &[bool]) -> u64 {
-    bits.iter()
-        .enumerate()
-        .fold(0, |acc, (i, &b)| acc | (u64::from(b) << i))
 }
 
 /// Functional reference of the fused MAC: all partial products of all

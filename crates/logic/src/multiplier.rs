@@ -29,7 +29,7 @@
 //! enforced by tests.
 
 use apim_crossbar::{
-    BlockId, BlockedCrossbar, CrossbarConfig, CrossbarError, Result, RowAllocator, Stats,
+    Backend, BlockId, BlockedCrossbar, CrossbarConfig, CrossbarError, Result, RowAllocator, Stats,
 };
 use apim_device::DeviceParams;
 
@@ -101,7 +101,18 @@ impl CrossbarMultiplier {
                 "operand width {n} outside supported range 4..=64"
             )));
         }
-        Self::build(n, params, 1)
+        Self::build(n, params, 1, Backend::default())
+    }
+
+    /// Like [`CrossbarMultiplier::new`] on an explicit storage [`Backend`]
+    /// — the differential suites run the same multiplier on the packed
+    /// path and the scalar oracle and compare bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CrossbarMultiplier::new`].
+    pub fn with_backend(n: u32, params: &DeviceParams, backend: Backend) -> Result<Self> {
+        Self::build(n, params, 1, backend)
     }
 
     /// Like [`CrossbarMultiplier::new`] but with wear leveling: the final
@@ -120,10 +131,10 @@ impl CrossbarMultiplier {
                 "wear leveling needs at least one slot".into(),
             ));
         }
-        Self::build(n, params, slots)
+        Self::build(n, params, slots, Backend::default())
     }
 
-    fn build(n: u32, params: &DeviceParams, level_slots: usize) -> Result<Self> {
+    fn build(n: u32, params: &DeviceParams, level_slots: usize, backend: Backend) -> Result<Self> {
         if !(4..=64).contains(&n) {
             return Err(CrossbarError::InvalidConfig(format!(
                 "operand width {n} outside supported range 4..=64"
@@ -140,6 +151,7 @@ impl CrossbarMultiplier {
             cols,
             params: params.clone(),
             strict_init: true,
+            backend,
         })?;
         Ok(CrossbarMultiplier {
             xbar,
@@ -212,8 +224,8 @@ impl CrossbarMultiplier {
         let p1 = self.xbar.block(2)?;
 
         // Resident data (outside the compute accounting).
-        self.xbar.preload_word(data, 0, 0, &to_bits(a, n))?;
-        self.xbar.preload_word(data, 1, 0, &to_bits(b, n))?;
+        self.xbar.preload_u64(data, 0, 0, n, a)?;
+        self.xbar.preload_u64(data, 1, 0, n, b)?;
         let snapshot = *self.xbar.stats();
         let mut breakdown = StageBreakdown::default();
 
@@ -247,8 +259,7 @@ impl CrossbarMultiplier {
         )?;
         for (row, &shift) in shifts.iter().enumerate() {
             // Fresh operand row: clear the full product window.
-            self.xbar
-                .preload_word(p1, base + row, 0, &vec![false; w + 2])?;
+            self.xbar.preload_zeros(p1, base + row, 0, w + 2)?;
             let lo = shift as usize;
             let hi = (lo + n).min(w);
             self.xbar.init_rows(p1, &[base + row], lo..hi)?;
@@ -261,7 +272,7 @@ impl CrossbarMultiplier {
         }
         breakdown.partial_products = *self.xbar.stats() - snapshot;
         if ones == 1 {
-            let product = from_bits(&self.xbar.peek_word(p1, base, 0, w)?);
+            let product = peek_wide(&self.xbar, p1, base, 0, w)?;
             return Ok(MulRun {
                 product,
                 stats: *self.xbar.stats() - snapshot,
@@ -316,7 +327,7 @@ impl CrossbarMultiplier {
                 0..w,
                 &scratch,
             )?;
-            return Ok(from_bits(&self.xbar.peek_word(block, out_row, 0, w)?));
+            return peek_wide(&self.xbar, block, out_row, 0, w);
         }
 
         // Relaxed region: exact carries via the MAJ sense amplifier
@@ -338,7 +349,7 @@ impl CrossbarMultiplier {
             1..m + 1,
             -1,
         )?;
-        let low = from_bits(&self.xbar.peek_word(other, base, 0, m)?);
+        let low = peek_wide(&self.xbar, other, base, 0, m)?;
         if m == w {
             return Ok(low);
         }
@@ -356,19 +367,29 @@ impl CrossbarMultiplier {
             m..w,
             &scratch,
         )?;
-        let high = from_bits(&self.xbar.peek_word(block, out_row, m, w - m)?);
+        let high = peek_wide(&self.xbar, block, out_row, m, w - m)?;
         Ok(low | high << m)
     }
 }
 
-fn to_bits(v: u64, n: usize) -> Vec<bool> {
-    (0..n).map(|i| (v >> i) & 1 == 1).collect()
-}
-
-fn from_bits(bits: &[bool]) -> u128 {
-    bits.iter()
-        .enumerate()
-        .fold(0, |acc, (i, &b)| acc | (u128::from(b) << i))
+/// Debug read of up to 128 bits (the `2N`-bit product window) as ≤ 64-bit
+/// packed chunks — peeks are unaccounted, so chunking changes nothing.
+fn peek_wide(
+    xbar: &BlockedCrossbar,
+    block: BlockId,
+    row: usize,
+    col0: usize,
+    width: usize,
+) -> Result<u128> {
+    let mut out = 0u128;
+    let mut done = 0usize;
+    while done < width {
+        let chunk = (width - done).min(64);
+        let v = xbar.peek_u64(block, row, col0 + done, chunk)?;
+        out |= u128::from(v) << done;
+        done += chunk;
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

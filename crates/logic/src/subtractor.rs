@@ -72,9 +72,8 @@ pub fn subtract(
     let mut alloc = RowAllocator::new(xbar.rows());
     let rows = alloc.alloc_many(4)?; // x, y, !y, out
     let scratch = SerialScratch::alloc(&mut alloc)?;
-    let to_bits = |v: u64| (0..n).map(|i| (v >> i) & 1 == 1).collect::<Vec<_>>();
-    xbar.preload_word(block, rows[0], 0, &to_bits(x))?;
-    xbar.preload_word(block, rows[1], 0, &to_bits(y))?;
+    xbar.preload_u64(block, rows[0], 0, n, x)?;
+    xbar.preload_u64(block, rows[1], 0, n, y)?;
     sub_words(
         xbar,
         block,
@@ -85,11 +84,7 @@ pub fn subtract(
         0..n,
         &scratch,
     )?;
-    let bits = xbar.peek_word(block, rows[3], 0, n)?;
-    Ok(bits
-        .iter()
-        .enumerate()
-        .fold(0, |acc, (i, &b)| acc | (u64::from(b) << i)))
+    xbar.peek_u64(block, rows[3], 0, n)
 }
 
 /// In-memory unsigned comparison: `x ≥ y`, read from the subtraction's

@@ -57,6 +57,22 @@ impl VectorUnit {
     ///
     /// Returns a configuration error for zero lanes or unsupported widths.
     pub fn new(n: u32, lanes: usize, params: &apim_device::DeviceParams) -> Result<Self> {
+        Self::with_backend(n, lanes, params, apim_crossbar::Backend::default())
+    }
+
+    /// Like [`VectorUnit::new`] on an explicit storage backend — the
+    /// differential suites run the same lanes on the packed path and the
+    /// scalar oracle and compare bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`VectorUnit::new`].
+    pub fn with_backend(
+        n: u32,
+        lanes: usize,
+        params: &apim_device::DeviceParams,
+        backend: apim_crossbar::Backend,
+    ) -> Result<Self> {
         if !(4..=64).contains(&n) {
             return Err(apim_crossbar::CrossbarError::InvalidConfig(format!(
                 "lane width {n} outside 4..=64"
@@ -73,6 +89,7 @@ impl VectorUnit {
             cols: n as usize + 4,
             params: params.clone(),
             strict_init: true,
+            backend,
         })?;
         Ok(VectorUnit {
             xbar,
@@ -111,9 +128,8 @@ impl VectorUnit {
         // Preload all lanes (resident data).
         for (lane, &(a, b)) in pairs.iter().enumerate() {
             let base = lane * LANE_ROWS;
-            let bits = |v: u64| (0..n).map(|i| (v >> i) & 1 == 1).collect::<Vec<_>>();
-            self.xbar.preload_word(block, base, 0, &bits(a))?;
-            self.xbar.preload_word(block, base + 1, 0, &bits(b))?;
+            self.xbar.preload_u64(block, base, 0, n, a)?;
+            self.xbar.preload_u64(block, base + 1, 0, n, b)?;
         }
         let snapshot = *self.xbar.stats();
         let before = snapshot.cycles;
@@ -141,12 +157,7 @@ impl VectorUnit {
         let mut values = Vec::with_capacity(pairs.len());
         for lane in 0..pairs.len() {
             let base = lane * LANE_ROWS;
-            let bits = self.xbar.peek_word(block, base + 2, 0, n)?;
-            values.push(
-                bits.iter()
-                    .enumerate()
-                    .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i)),
-            );
+            values.push(self.xbar.peek_u64(block, base + 2, 0, n)?);
         }
         Ok(VectorRun {
             values,
@@ -174,8 +185,7 @@ impl VectorUnit {
         let n = self.n;
         for (lane, &w) in words.iter().enumerate() {
             let base = lane * LANE_ROWS;
-            let bits = (0..n).map(|i| (w >> i) & 1 == 1).collect::<Vec<_>>();
-            self.xbar.preload_word(block, base, 0, &bits)?;
+            self.xbar.preload_u64(block, base, 0, n, w)?;
         }
         let snapshot = *self.xbar.stats();
         let before = snapshot.cycles;
@@ -196,13 +206,7 @@ impl VectorUnit {
         let mut values = Vec::with_capacity(words.len());
         for lane in 0..words.len() {
             let base = lane * LANE_ROWS;
-            let bits = self.xbar.peek_word(block, base + 1, 0, n)?;
-            values.push(
-                bits.iter()
-                    .enumerate()
-                    .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
-                    & mask,
-            );
+            values.push(self.xbar.peek_u64(block, base + 1, 0, n)? & mask);
         }
         Ok(VectorRun {
             values,

@@ -33,7 +33,7 @@ fn zero_row(
     cols: &Range<usize>,
 ) -> Result<()> {
     let width = cols.len() + 2;
-    xbar.preload_word(block, row, cols.start, &vec![false; width])
+    xbar.preload_zeros(block, row, cols.start, width)
 }
 
 /// Reduces the operands stored in rows `0..count` of `src` down to at most
