@@ -7,7 +7,7 @@ fn bench(c: &mut Criterion) {
     let data = apim_bench::ablation::generate();
     println!("{}", apim_bench::ablation::render(&data));
     c.bench_function("ablation/generate", |b| {
-        b.iter(apim_bench::ablation::generate)
+        b.iter(apim_bench::ablation::generate);
     });
 }
 

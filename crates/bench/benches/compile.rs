@@ -42,10 +42,10 @@ fn bench(c: &mut Criterion) {
         let mut group = c.benchmark_group("compile");
         group.sample_size(10);
         group.bench_function(format!("{name}/compile"), |b| {
-            b.iter(|| compile(&dag, &options).expect("compiles"))
+            b.iter(|| compile(&dag, &options).expect("compiles"));
         });
         group.bench_function(format!("{name}/run"), |b| {
-            b.iter(|| program.run(&inputs).expect("runs"))
+            b.iter(|| program.run(&inputs).expect("runs"));
         });
         group.finish();
     }

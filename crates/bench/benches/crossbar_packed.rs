@@ -13,10 +13,10 @@ fn bench(c: &mut Criterion) {
         let mut group = c.benchmark_group("crossbar_packed");
         group.sample_size(10);
         group.bench_function(format!("nor{width}/packed"), |b| {
-            b.iter(|| perf::nor_ops_per_sec(Backend::Packed, width, 2_000))
+            b.iter(|| perf::nor_ops_per_sec(Backend::Packed, width, 2_000));
         });
         group.bench_function(format!("nor{width}/oracle"), |b| {
-            b.iter(|| perf::nor_ops_per_sec(Backend::Scalar, width, 2_000))
+            b.iter(|| perf::nor_ops_per_sec(Backend::Scalar, width, 2_000));
         });
         group.finish();
     }
@@ -24,10 +24,10 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("crossbar_packed");
     group.sample_size(10);
     group.bench_function("sharpen4x4/packed", |b| {
-        b.iter(|| perf::sharpen_secs(Backend::Packed, 4))
+        b.iter(|| perf::sharpen_secs(Backend::Packed, 4));
     });
     group.bench_function("sobel4x4/packed", |b| {
-        b.iter(|| perf::sobel_secs(Backend::Packed, 4))
+        b.iter(|| perf::sobel_secs(Backend::Packed, 4));
     });
     group.finish();
 }

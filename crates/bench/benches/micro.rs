@@ -17,7 +17,7 @@ fn bench_gate_level(c: &mut Criterion) {
             bench.iter(|| {
                 mul.multiply(black_box(a), black_box(b), PrecisionMode::Exact)
                     .expect("valid operands")
-            })
+            });
         });
     }
     let mut mul = CrossbarMultiplier::new(32, &params).expect("valid width");
@@ -29,7 +29,7 @@ fn bench_gate_level(c: &mut Criterion) {
                 PrecisionMode::LastStage { relax_bits: 16 },
             )
             .expect("valid operands")
-        })
+        });
     });
     group.finish();
 }
@@ -44,7 +44,7 @@ fn bench_functional(c: &mut Criterion) {
                 32,
                 PrecisionMode::Exact,
             )
-        })
+        });
     });
     group.bench_function("multiply_32x32_relax16", |b| {
         b.iter(|| {
@@ -54,7 +54,7 @@ fn bench_functional(c: &mut Criterion) {
                 32,
                 PrecisionMode::LastStage { relax_bits: 16 },
             )
-        })
+        });
     });
     group.bench_function("multiply_trunc_32", |b| {
         b.iter(|| {
@@ -64,7 +64,7 @@ fn bench_functional(c: &mut Criterion) {
                 32,
                 PrecisionMode::LastStage { relax_bits: 16 },
             )
-        })
+        });
     });
     group.finish();
 }
@@ -73,7 +73,7 @@ fn bench_cost_model(c: &mut Criterion) {
     let model = CostModel::new(&DeviceParams::default());
     let mut group = c.benchmark_group("cost_model");
     group.bench_function("multiply_expected", |b| {
-        b.iter(|| model.multiply_expected(black_box(32), PrecisionMode::Exact))
+        b.iter(|| model.multiply_expected(black_box(32), PrecisionMode::Exact));
     });
     group.bench_function("mac_group_12", |b| {
         b.iter(|| {
@@ -83,7 +83,7 @@ fn bench_cost_model(c: &mut Criterion) {
                 16,
                 PrecisionMode::LastStage { relax_bits: 16 },
             )
-        })
+        });
     });
     group.finish();
 }
@@ -101,7 +101,7 @@ fn bench_engines(c: &mut Criterion) {
                 PrecisionMode::Exact,
             )
             .expect("valid terms")
-        })
+        });
     });
     let mut vu = VectorUnit::new(16, 8, &params).expect("vector unit");
     group.bench_function("vector_add_8x16bit", |b| {
@@ -117,7 +117,7 @@ fn bench_engines(c: &mut Criterion) {
                 (15, 16),
             ]))
             .expect("within lanes")
-        })
+        });
     });
     group.finish();
 }

@@ -63,6 +63,16 @@ pub enum Command {
     Verify {
         /// Kernel to lint; `None` sweeps them all.
         kernel: Option<apim_verify::Kernel>,
+        /// Run the symbolic equivalence checker instead of the hazard
+        /// passes (`--equiv`).
+        equiv: bool,
+        /// Equivalence target; `None` sweeps every hand kernel plus the
+        /// compiled sharpen/Sobel DAGs.
+        equiv_target: Option<apim_verify::EquivTarget>,
+        /// Check only this width; `None` sweeps the defaults.
+        width: Option<u32>,
+        /// Show the concrete counterexample assignment on mismatch.
+        counterexample: bool,
     },
     /// Compile an expression DAG to a verified MAGIC microprogram and run
     /// it at the gate level.
@@ -157,7 +167,9 @@ USAGE:
   apim-cli sweep <app>
   apim-cli repro <fig4|fig5|fig5sim|fig6|table1|headline|ablation|all>
   apim-cli selftest [samples]
-  apim-cli verify [--all | gates|adder|csa|wallace|multiplier|mac]
+  apim-cli verify [--all | gates|adder|csa|wallace|multiplier|mac] [--width N]
+  apim-cli verify --equiv [adder|subtractor|wallace|multiplier|mac|divider]
+                          [--width N] [--counterexample]
   apim-cli compile <sharpen|sobel|file> [--set name=val ...] [--compare]
   apim-cli serve <file> [--workers N] [--queue-depth N]
   apim-cli loadgen [--requests N] [--workers N] [--seed S] [--queue-depth N]
@@ -294,19 +306,68 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 }),
                 _ => Err(ParseError("selftest takes at most a sample count".into())),
             },
-            "verify" => match rest {
-                [] => Ok(Command::Verify { kernel: None }),
-                [flag] if flag == "--all" => Ok(Command::Verify { kernel: None }),
-                [name] => match apim_verify::Kernel::from_name(name) {
-                    Some(kernel) => Ok(Command::Verify {
-                        kernel: Some(kernel),
-                    }),
-                    None => Err(ParseError(format!(
-                        "unknown kernel `{name}` (expected gates|adder|csa|wallace|multiplier|mac)"
-                    ))),
-                },
-                _ => Err(ParseError("verify takes at most one kernel".into())),
-            },
+            "verify" => {
+                let mut equiv = false;
+                let mut width = None;
+                let mut counterexample = false;
+                let mut name: Option<&str> = None;
+                let mut it = rest.iter();
+                while let Some(flag) = it.next() {
+                    match flag.as_str() {
+                        "--all" => {}
+                        "--equiv" => equiv = true,
+                        "--counterexample" => counterexample = true,
+                        "--width" => {
+                            let w = it
+                                .next()
+                                .ok_or_else(|| ParseError("--width needs a bit count".into()))?;
+                            let w = parse_u64(w, "width")?;
+                            if !(4..=64).contains(&w) {
+                                return Err(ParseError(format!(
+                                    "width {w} outside supported range 4..=64"
+                                )));
+                            }
+                            width = Some(w as u32);
+                        }
+                        bare if !bare.starts_with("--") && name.is_none() => name = Some(bare),
+                        bare if !bare.starts_with("--") => {
+                            return Err(ParseError("verify takes at most one kernel".into()))
+                        }
+                        other => return Err(ParseError(format!("unknown verify flag `{other}`"))),
+                    }
+                }
+                if counterexample && !equiv {
+                    return Err(ParseError("--counterexample requires --equiv".into()));
+                }
+                let (kernel, equiv_target) = match (equiv, name) {
+                    (_, None) => (None, None),
+                    (true, Some(n)) => match apim_verify::EquivTarget::from_name(n) {
+                        Some(t) => (None, Some(t)),
+                        None => {
+                            return Err(ParseError(format!(
+                                "unknown equiv target `{n}` (expected \
+                                 adder|subtractor|wallace|multiplier|mac|divider)"
+                            )))
+                        }
+                    },
+                    (false, Some(n)) => match apim_verify::Kernel::from_name(n) {
+                        Some(k) => (Some(k), None),
+                        None => {
+                            return Err(ParseError(format!(
+                                "unknown kernel `{n}` (expected \
+                                 gates|adder|csa|wallace|multiplier|mac)"
+                            )))
+                        }
+                    },
+                };
+                Ok(Command::Verify {
+                    kernel,
+                    equiv,
+                    equiv_target,
+                    width,
+                    counterexample,
+                })
+            }
             "compile" => match rest {
                 [target, flags @ ..] if !target.starts_with("--") => {
                     let mut bindings = Vec::new();
@@ -613,6 +674,116 @@ fn pool_config(workers: Option<usize>, queue_depth: Option<usize>) -> apim_serve
     config
 }
 
+/// The `verify --equiv` sweep: hand kernels through their recording
+/// harnesses, plus — in the full sweep — the compiled sharpen/Sobel DAGs
+/// checked through [`apim_compile::CompiledProgram::verify_equiv`] with
+/// deterministic input bindings.
+fn run_verify_equiv(
+    target: Option<apim_verify::EquivTarget>,
+    widths: &[u32],
+    counterexample: bool,
+) -> Result<String, apim::ApimError> {
+    use std::collections::HashMap;
+    use std::fmt::Write as _;
+
+    struct Row {
+        name: &'static str,
+        width: u32,
+        detail: String,
+        report: apim_verify::EquivReport,
+    }
+    let fail = |e: apim_compile::CompileError| apim::ApimError::Runtime(e.to_string());
+
+    let targets: Vec<apim_verify::EquivTarget> = match target {
+        Some(t) => vec![t],
+        None => apim_verify::EquivTarget::ALL.to_vec(),
+    };
+    let mut rows = Vec::new();
+    for t in &targets {
+        for &w in widths {
+            for run in apim_verify::verify_equiv_kernel(*t, w)? {
+                rows.push(Row {
+                    name: run.target.name(),
+                    width: w,
+                    detail: run.detail,
+                    report: run.report,
+                });
+            }
+        }
+    }
+    if target.is_none() {
+        for &w in widths {
+            for (name, dag) in [
+                (
+                    "sharpen-dag",
+                    apim_workloads::dags::sharpen_dag_at(w).map_err(fail)?,
+                ),
+                (
+                    "sobel-dag",
+                    apim_workloads::dags::sobel_gradient_dag_at(w).map_err(fail)?,
+                ),
+            ] {
+                let program = apim_compile::compile(&dag, &apim_compile::CompileOptions::default())
+                    .map_err(fail)?;
+                let mask = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
+                let names = program.dag().inputs().to_vec();
+                let inputs: HashMap<String, u64> = names
+                    .iter()
+                    .enumerate()
+                    .map(|(i, n)| (n.to_string(), (3 * i as u64 + 7) & mask))
+                    .collect();
+                let report = program.verify_equiv(&inputs).map_err(fail)?;
+                rows.push(Row {
+                    name,
+                    width: w,
+                    detail: format!("{} inputs (compiled)", names.len()),
+                    report,
+                });
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>5} {:<22} {:>5} {:>7} {:<18} verdict",
+        "kernel", "width", "detail", "bits", "nodes", "mode"
+    );
+    let mut failures = 0usize;
+    for row in &rows {
+        let verdict = if row.report.equivalent {
+            "equivalent".to_string()
+        } else {
+            failures += 1;
+            match (&row.report.counterexample, counterexample) {
+                (Some(cx), true) => format!("MISMATCH {cx}"),
+                (Some(_), false) => "MISMATCH (re-run with --counterexample)".to_string(),
+                (None, _) => format!("FAILED ({})", row.report.lint),
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{:<12} {:>5} {:<22} {:>5} {:>7} {:<18} {}",
+            row.name,
+            row.width,
+            row.detail,
+            row.report.input_bits,
+            row.report.nodes,
+            row.report.mode.to_string(),
+            verdict
+        );
+    }
+    if failures > 0 {
+        return Err(apim::ArchError::VerificationFailed {
+            errors: failures,
+            detail: out,
+        }
+        .into());
+    }
+    let _ = write!(out, "{} checks, all equivalent", rows.len());
+    Ok(out)
+}
+
 /// Executes a command, returning the text to print.
 ///
 /// # Errors
@@ -700,23 +871,41 @@ pub fn execute(command: &Command) -> Result<String, apim::ApimError> {
                 if report.passed() { "PASS" } else { "FAIL" }
             );
         }
-        Command::Verify { kernel } => {
-            let runs = match kernel {
-                Some(kernel) => apim_verify::DEFAULT_WIDTHS
-                    .iter()
-                    .map(|&w| apim_verify::verify_kernel(*kernel, w))
-                    .collect::<Result<Vec<_>, _>>()?,
-                None => apim_verify::verify_all(&apim_verify::DEFAULT_WIDTHS)?,
+        Command::Verify {
+            kernel,
+            equiv,
+            equiv_target,
+            width,
+            counterexample,
+        } => {
+            let widths: Vec<u32> = match width {
+                Some(w) => vec![*w],
+                None => apim_verify::DEFAULT_WIDTHS.to_vec(),
             };
-            let errors: usize = runs.iter().map(|r| r.report.error_count()).sum();
-            if errors > 0 {
-                return Err(apim::ArchError::VerificationFailed {
-                    errors,
-                    detail: apim_verify::render(&runs),
+            if *equiv {
+                let _ = write!(
+                    out,
+                    "{}",
+                    run_verify_equiv(*equiv_target, &widths, *counterexample)?
+                );
+            } else {
+                let runs = match kernel {
+                    Some(kernel) => widths
+                        .iter()
+                        .map(|&w| apim_verify::verify_kernel(*kernel, w))
+                        .collect::<Result<Vec<_>, _>>()?,
+                    None => apim_verify::verify_all(&widths)?,
+                };
+                let errors: usize = runs.iter().map(|r| r.report.error_count()).sum();
+                if errors > 0 {
+                    return Err(apim::ArchError::VerificationFailed {
+                        errors,
+                        detail: apim_verify::render(&runs),
+                    }
+                    .into());
                 }
-                .into());
+                let _ = write!(out, "{}", apim_verify::render(&runs));
             }
-            let _ = write!(out, "{}", apim_verify::render(&runs));
         }
         Command::Compile {
             target,
@@ -1019,30 +1208,86 @@ mod tests {
         assert!(out.contains("PASS"), "{out}");
     }
 
+    /// The pre-`--equiv` hazard sweep with everything defaulted.
+    fn hazard_verify(kernel: Option<apim_verify::Kernel>) -> Command {
+        Command::Verify {
+            kernel,
+            equiv: false,
+            equiv_target: None,
+            width: None,
+            counterexample: false,
+        }
+    }
+
     #[test]
     fn verify_parses_and_sweeps_clean() {
-        assert_eq!(
-            parse(&args("verify")).unwrap(),
-            Command::Verify { kernel: None }
-        );
-        assert_eq!(
-            parse(&args("verify --all")).unwrap(),
-            Command::Verify { kernel: None }
-        );
+        assert_eq!(parse(&args("verify")).unwrap(), hazard_verify(None));
+        assert_eq!(parse(&args("verify --all")).unwrap(), hazard_verify(None));
         assert_eq!(
             parse(&args("verify adder")).unwrap(),
-            Command::Verify {
-                kernel: Some(apim_verify::Kernel::SerialAdder)
-            }
+            hazard_verify(Some(apim_verify::Kernel::SerialAdder))
         );
         assert!(parse(&args("verify nosuchkernel")).is_err());
         assert!(parse(&args("verify adder csa")).is_err());
-        let out = execute(&Command::Verify {
-            kernel: Some(apim_verify::Kernel::CsaGroup),
-        })
-        .unwrap();
+        let out = execute(&hazard_verify(Some(apim_verify::Kernel::CsaGroup))).unwrap();
         assert!(out.contains("clean"), "{out}");
         assert_eq!(out.matches("csa").count(), 3, "one row per width: {out}");
+    }
+
+    #[test]
+    fn verify_equiv_parses_flags() {
+        assert_eq!(
+            parse(&args("verify --equiv")).unwrap(),
+            Command::Verify {
+                kernel: None,
+                equiv: true,
+                equiv_target: None,
+                width: None,
+                counterexample: false,
+            }
+        );
+        assert_eq!(
+            parse(&args("verify --equiv divider --width 8 --counterexample")).unwrap(),
+            Command::Verify {
+                kernel: None,
+                equiv: true,
+                equiv_target: Some(apim_verify::EquivTarget::Divider),
+                width: Some(8),
+                counterexample: true,
+            }
+        );
+        assert_eq!(
+            parse(&args("verify adder --width 16")).unwrap(),
+            Command::Verify {
+                kernel: Some(apim_verify::Kernel::SerialAdder),
+                equiv: false,
+                equiv_target: None,
+                width: Some(16),
+                counterexample: false,
+            }
+        );
+        assert!(parse(&args("verify --equiv csa")).is_err(), "no equiv spec");
+        assert!(parse(&args("verify --equiv --width 2")).is_err());
+        assert!(parse(&args("verify --equiv --width")).is_err());
+        assert!(
+            parse(&args("verify --counterexample")).is_err(),
+            "requires --equiv"
+        );
+        assert!(parse(&args("verify --frobnicate")).is_err());
+    }
+
+    #[test]
+    fn verify_equiv_executes_one_target() {
+        let out = execute(&Command::Verify {
+            kernel: None,
+            equiv: true,
+            equiv_target: Some(apim_verify::EquivTarget::SerialAdder),
+            width: Some(8),
+            counterexample: false,
+        })
+        .unwrap();
+        assert!(out.contains("equivalent"), "{out}");
+        assert!(out.contains("exhaustive(65536)"), "{out}");
     }
 
     #[test]

@@ -15,14 +15,16 @@ use std::collections::HashMap;
 use std::ops::Range;
 
 use apim_arch::isa::Trace;
-use apim_crossbar::{AllocEvent, BlockId, BlockedCrossbar, CrossbarConfig, RowAllocator, RowRef};
+use apim_crossbar::{
+    AllocEvent, BlockId, BlockedCrossbar, CrossbarConfig, OpTrace, RowAllocator, RowRef,
+};
 use apim_device::Joules;
 use apim_logic::adder_serial::{add_words, add_words_with_carry, SerialScratch};
 use apim_logic::functional::partial_product_shifts;
 use apim_logic::subtractor::sub_words;
 use apim_logic::wallace::reduce_rows_to_two_at;
 use apim_logic::{CostModel, PrecisionMode};
-use apim_verify::{verify_trace, LintReport};
+use apim_verify::{check_equiv, verify_trace, EquivReport, LintReport, OutputBinding};
 
 use crate::eval::evaluate_all;
 use crate::ir::{Dag, Node, NodeId};
@@ -143,6 +145,51 @@ impl CompiledProgram {
     /// [`CompileError::VerificationFailed`] — an error-severity hazard
     /// finding (a compiler bug by definition).
     pub fn run(&self, inputs: &HashMap<String, u64>) -> Result<RunReport, CompileError> {
+        let exec = self.execute(inputs)?;
+        let lint = verify_trace(&exec.ops, &exec.events, Some(exec.expected_cycles));
+        if lint.error_count() > 0 {
+            return Err(CompileError::VerificationFailed(lint.to_string()));
+        }
+        Ok(RunReport {
+            value: exec.value,
+            reference: exec.reference,
+            cycles: exec.cycles,
+            expected_cycles: exec.expected_cycles,
+            energy: exec.energy,
+            trace_len: exec.ops.len(),
+            lint,
+        })
+    }
+
+    /// Symbolically re-executes the recorded microprogram for one input
+    /// specialization and checks the root row against the pure-integer
+    /// reference evaluator.
+    ///
+    /// Compiled programs read multiplier operands through the sense
+    /// amplifiers to steer partial-product placement, so every input stays
+    /// concrete and the proof covers the recorded specialization: the
+    /// symbolic replay still discharges X-propagation, init obligations
+    /// and write-back divergence that concrete execution can mask.
+    ///
+    /// # Errors
+    ///
+    /// Unbound inputs or crossbar faults; checker verdicts (including
+    /// non-equivalence) land in the returned report.
+    pub fn verify_equiv(&self, inputs: &HashMap<String, u64>) -> Result<EquivReport, CompileError> {
+        let exec = self.execute(inputs)?;
+        let output = OutputBinding {
+            block: exec.root_block,
+            row: exec.root_row,
+            col0: 0,
+            width: self.dag.width() as usize,
+        };
+        let reference = exec.reference;
+        Ok(check_equiv(&exec.ops, &[], &output, move |_| reference))
+    }
+
+    /// One recorded gate-level execution: the shared body behind
+    /// [`CompiledProgram::run`] and [`CompiledProgram::verify_equiv`].
+    fn execute(&self, inputs: &HashMap<String, u64>) -> Result<Execution, CompileError> {
         let values = evaluate_all(&self.dag, inputs)?;
         let cfg = &self.placement.config;
         let n = self.dag.width() as usize;
@@ -221,21 +268,33 @@ impl CompiledProgram {
             }));
         }
 
-        let lint = verify_trace(&trace, &events, Some(expected_cycles));
-        if lint.error_count() > 0 {
-            return Err(CompileError::VerificationFailed(lint.to_string()));
-        }
         let delta = *xbar.stats() - stats_before;
-        Ok(RunReport {
+        Ok(Execution {
+            ops: trace,
+            events,
+            expected_cycles,
             value,
             reference: values[root.0],
             cycles: delta.cycles.get(),
-            expected_cycles,
             energy: delta.energy,
-            trace_len: trace.len(),
-            lint,
+            root_block: root_slot.block,
+            root_row: root_slot.row,
         })
     }
+}
+
+/// Raw outcome of one recorded gate-level execution, before any
+/// verification pass has judged it.
+struct Execution {
+    ops: OpTrace,
+    events: Vec<AllocEvent>,
+    expected_cycles: u64,
+    value: u64,
+    reference: u64,
+    cycles: u64,
+    energy: Joules,
+    root_block: usize,
+    root_row: usize,
 }
 
 /// Execution context: the crossbar plus the fixed layout handles.
@@ -757,6 +816,22 @@ mod tests {
             fast.cycles,
             slow.cycles
         );
+    }
+
+    #[test]
+    fn symbolic_replay_proves_the_recorded_specialization() {
+        let mut dag = Dag::new(16).unwrap();
+        let x = dag.input("x").unwrap();
+        let y = dag.input("y").unwrap();
+        let m = dag.mul(x, y, PrecisionMode::Exact).unwrap();
+        let s = dag.add(m, x).unwrap();
+        dag.set_root(s).unwrap();
+        let program = compile(&dag, &CompileOptions::default()).unwrap();
+        let inputs: HashMap<String, u64> =
+            [("x".to_string(), 51234u64), ("y".to_string(), 47111u64)].into();
+        let report = program.verify_equiv(&inputs).unwrap();
+        assert!(report.equivalent, "{}", report.lint);
+        assert_eq!(report.input_bits, 0, "compiled inputs stay concrete");
     }
 
     #[test]

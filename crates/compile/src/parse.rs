@@ -571,10 +571,10 @@ pub fn render_program(program: &Program) -> String {
             match m {
                 PrecisionMode::Exact => out.push_str("mode exact\n"),
                 PrecisionMode::FirstStage { masked_bits } => {
-                    out.push_str(&format!("mode mask {masked_bits}\n"))
+                    out.push_str(&format!("mode mask {masked_bits}\n"));
                 }
                 PrecisionMode::LastStage { relax_bits } => {
-                    out.push_str(&format!("mode relax {relax_bits}\n"))
+                    out.push_str(&format!("mode relax {relax_bits}\n"));
                 }
             }
         }
@@ -584,10 +584,10 @@ pub fn render_program(program: &Program) -> String {
             Node::Input { name } => out.push_str(&format!("in {name}\n")),
             Node::Const { value } => out.push_str(&format!("let t{i} = {value}\n")),
             Node::Add { a, b } => {
-                out.push_str(&format!("let t{i} = {} + {}\n", name(*a), name(*b)))
+                out.push_str(&format!("let t{i} = {} + {}\n", name(*a), name(*b)));
             }
             Node::Sub { a, b } => {
-                out.push_str(&format!("let t{i} = {} - {}\n", name(*a), name(*b)))
+                out.push_str(&format!("let t{i} = {} - {}\n", name(*a), name(*b)));
             }
             Node::Mul { a, b, mode: m } => {
                 set_mode(&mut out, *m);
@@ -602,10 +602,10 @@ pub fn render_program(program: &Program) -> String {
                 out.push_str(&format!("let t{i} = mac({})\n", body.join(", ")));
             }
             Node::Shl { x, amount } => {
-                out.push_str(&format!("let t{i} = {} << {amount}\n", name(*x)))
+                out.push_str(&format!("let t{i} = {} << {amount}\n", name(*x)));
             }
             Node::Shr { x, amount } => {
-                out.push_str(&format!("let t{i} = {} >> {amount}\n", name(*x)))
+                out.push_str(&format!("let t{i} = {} >> {amount}\n", name(*x)));
             }
         }
     }

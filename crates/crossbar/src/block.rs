@@ -6,6 +6,7 @@ use crate::array::CrossbarArray;
 use crate::cell::Fault;
 use crate::error::CrossbarError;
 use crate::packed::{self, PackedArray, WORD_BITS};
+use crate::semantics;
 use crate::stats::Stats;
 use crate::trace::{OpTrace, TraceOp};
 use crate::Result;
@@ -138,7 +139,7 @@ impl Store {
             Store::Packed(a) => a.first_off(row, span),
             Store::Scalar(a) => span
                 .clone()
-                .find(|&c| !a.get(row, c).expect("span validated")),
+                .find(|&c| !semantics::strict_init_ok(a.get(row, c).expect("span validated"))),
         }
     }
 
@@ -163,7 +164,8 @@ impl Store {
                     for (b, &bit) in chunk.iter().enumerate() {
                         word |= u64::from(bit) << b;
                     }
-                    a.store_word_bits(row, col0 + i * WORD_BITS, chunk.len(), word);
+                    a.store_word_bits(row, col0 + i * WORD_BITS, chunk.len(), word)
+                        .expect("span validated");
                 }
             }
             Store::Scalar(a) => {
@@ -178,7 +180,9 @@ impl Store {
     /// pre-validated row.
     fn store_word_bits(&mut self, row: usize, col0: usize, width: usize, value: u64) {
         match self {
-            Store::Packed(a) => a.store_word_bits(row, col0, width, value),
+            Store::Packed(a) => a
+                .store_word_bits(row, col0, width, value)
+                .expect("span validated"),
             Store::Scalar(a) => {
                 for i in 0..width {
                     a.set(row, col0 + i, (value >> i) & 1 == 1)
@@ -207,7 +211,7 @@ impl Store {
     /// Reads `width ≤ 64` bits LSB-first from `col0` of a pre-validated row.
     fn read_word_bits(&self, row: usize, col0: usize, width: usize) -> u64 {
         match self {
-            Store::Packed(a) => a.read_word_bits(row, col0, width),
+            Store::Packed(a) => a.read_word_bits(row, col0, width).expect("span validated"),
             Store::Scalar(a) => {
                 let mut out = 0u64;
                 for i in 0..width {
@@ -224,11 +228,12 @@ impl Store {
             Store::Packed(a) => packed::nor_span_same(a, in_rows, out_row, span),
             Store::Scalar(a) => {
                 for col in span.clone() {
-                    let mut any = false;
-                    for &r in in_rows {
-                        any |= a.get(r, col).expect("span validated");
-                    }
-                    a.set(out_row, col, !any).expect("span validated");
+                    let value = semantics::nor_bits(
+                        in_rows
+                            .iter()
+                            .map(|&r| a.get(r, col).expect("span validated")),
+                    );
+                    a.set(out_row, col, value).expect("span validated");
                 }
             }
         }
@@ -252,11 +257,12 @@ fn nor_cross(
         (Store::Scalar(i), Store::Scalar(o)) => {
             for col in in_span.clone() {
                 let out_col = (col as isize + shift) as usize;
-                let mut any = false;
-                for &r in in_rows {
-                    any |= i.get(r, col).expect("span validated");
-                }
-                o.set(out_row, out_col, !any).expect("span validated");
+                let value = semantics::nor_bits(
+                    in_rows
+                        .iter()
+                        .map(|&r| i.get(r, col).expect("span validated")),
+                );
+                o.set(out_row, out_col, value).expect("span validated");
             }
         }
         _ => unreachable!("all blocks of one crossbar share a backend"),
@@ -265,6 +271,11 @@ fn nor_cross(
 
 /// Splits `blocks` into (immutable input, mutable output) at two distinct
 /// indices.
+///
+/// The only caller is `nor_rows_shifted`'s cross-block branch, entered
+/// exclusively when `in_block != out.block`, so the distinct-index debug
+/// assertion is unreachable from the public API (audit: it documents the
+/// split-borrow contract, it does not guard reachable input).
 fn pair_mut(blocks: &mut [Store], input: usize, output: usize) -> (&Store, &mut Store) {
     debug_assert_ne!(input, output);
     if input < output {
@@ -601,6 +612,7 @@ impl BlockedCrossbar {
             block: block.0,
             row,
             col,
+            value: bit,
         });
         self.blocks[block.0].set(row, col, bit)?;
         self.charge_writes(1);
@@ -624,7 +636,7 @@ impl BlockedCrossbar {
             block: block.0,
             row,
             col0,
-            len: bits.len(),
+            bits: bits.to_vec(),
         });
         self.check_word_store(row, col0, bits.len())?;
         self.blocks[block.0].store_bools(row, col0, bits);
@@ -653,7 +665,11 @@ impl BlockedCrossbar {
             block: block.0,
             row,
             col0,
-            len: width,
+            // Oversized widths are recorded (then rejected below); guard the
+            // shift so the request still lands in the trace.
+            bits: (0..width)
+                .map(|i| i < WORD_BITS && (value >> i) & 1 == 1)
+                .collect(),
         });
         if width > WORD_BITS {
             return Err(CrossbarError::InvalidConfig(format!(
@@ -684,7 +700,7 @@ impl BlockedCrossbar {
             block: block.0,
             row,
             col0,
-            len,
+            bits: vec![false; len],
         });
         self.check_word_store(row, col0, len)?;
         self.blocks[block.0].store_zeros(row, col0, len);
@@ -828,6 +844,7 @@ impl BlockedCrossbar {
             block: block.0,
             row,
             col,
+            value: bit,
         });
         self.blocks[block.0].set(row, col, bit)?;
         self.stats.cell_writes += 1;
@@ -1043,10 +1060,10 @@ impl BlockedCrossbar {
         }
         if self.strict_init {
             for row in rows.clone() {
-                if !self.blocks[block.0]
+                let before = self.blocks[block.0]
                     .get(row, out_col)
-                    .expect("rows validated")
-                {
+                    .expect("rows validated");
+                if !semantics::strict_init_ok(before) {
                     return Err(CrossbarError::UninitializedOutput {
                         block: block.0,
                         row,
@@ -1057,12 +1074,13 @@ impl BlockedCrossbar {
         }
         let height = rows.len();
         for row in rows {
-            let mut any = false;
-            for &col in input_cols {
-                any |= self.blocks[block.0].get(row, col).expect("cols validated");
-            }
+            let value = semantics::nor_bits(
+                input_cols
+                    .iter()
+                    .map(|&col| self.blocks[block.0].get(row, col).expect("cols validated")),
+            );
             self.blocks[block.0]
-                .set(row, out_col, !any)
+                .set(row, out_col, value)
                 .expect("cols validated");
         }
         self.stats.nor_ops += 1;
@@ -1128,18 +1146,23 @@ impl BlockedCrossbar {
                 "NOR needs at least one input cell".into(),
             ));
         }
-        if self.strict_init && !self.blocks[block.0].get(out.0, out.1)? {
+        if self.strict_init && !semantics::strict_init_ok(self.blocks[block.0].get(out.0, out.1)?) {
             return Err(CrossbarError::UninitializedOutput {
                 block: block.0,
                 row: out.0,
                 col: out.1,
             });
         }
-        let mut any = false;
         for &(row, col) in inputs {
-            any |= self.blocks[block.0].get(row, col)?;
+            self.check_row(row)?;
+            self.check_col(col)?;
         }
-        self.blocks[block.0].set(out.0, out.1, !any)?;
+        let value = semantics::nor_bits(
+            inputs
+                .iter()
+                .map(|&(row, col)| self.blocks[block.0].get(row, col).expect("cells validated")),
+        );
+        self.blocks[block.0].set(out.0, out.1, value)?;
         self.stats.nor_ops += 1;
         self.stats.nor_cells += 1;
         self.stats.cycles += Cycles::new(1);
@@ -1733,7 +1756,7 @@ mod tests {
                     block: 0,
                     row: 1,
                     col0: 0,
-                    len: 2
+                    bits: vec![true, false]
                 },
                 TraceOp::InitRows {
                     block: 1,

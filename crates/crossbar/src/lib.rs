@@ -54,6 +54,7 @@ mod error;
 mod interconnect;
 mod layout;
 mod packed;
+pub mod semantics;
 mod stats;
 mod trace;
 mod wear;

@@ -103,8 +103,10 @@ impl Iterator for WordSpan {
 /// A rectangular grid of memristive cells stored 64 per word.
 ///
 /// Drop-in word-parallel replacement for the scalar [`crate::CrossbarArray`]:
-/// the per-cell API (`get`/`set`/`cell_writes`/faults) is identical, and the
-/// word API (`word`/`store_masked`/`fill_on_span`) is what
+/// the per-cell API (`get`/`set`/`cell_writes`/faults) is identical, the
+/// bounds-checked word API (`store_word_bits`/`read_word_bits`) moves up to
+/// 64 bits per call, and the crate-internal unchecked word primitives
+/// (`word`/`store_masked`/`fill_on_span`) are what
 /// [`crate::BlockedCrossbar`] builds its one-cycle column-parallel MAGIC NOR
 /// on.
 ///
@@ -115,7 +117,7 @@ impl Iterator for WordSpan {
 /// let mut a = PackedArray::new(4, 100)?;
 /// a.set(2, 3, true)?;
 /// assert!(a.get(2, 3)?);
-/// assert_eq!(a.word(2, 0) & 0b1000, 0b1000);
+/// assert_eq!(a.read_word_bits(2, 0, 4)?, 0b1000);
 /// # Ok(())
 /// # }
 /// ```
@@ -199,10 +201,17 @@ impl PackedArray {
         row * self.words_per_row + w
     }
 
-    /// Fault-corrected load of word `w` of `row` (no bounds check beyond
-    /// debug assertions; callers index within the grid).
+    /// Fault-corrected load of word `w` of `row`.
+    ///
+    /// Crate-internal hot path: every caller sits behind the
+    /// [`crate::BlockedCrossbar`] validation layer, which bounds-checks the
+    /// whole request before dispatching here, so the debug assertion is a
+    /// development aid rather than a reachable failure (out-of-contract use
+    /// would hit the deterministic slice bounds check below, never memory
+    /// unsafety). External users go through the checked `get` /
+    /// [`PackedArray::read_word_bits`] API instead.
     #[inline]
-    pub fn word(&self, row: usize, w: usize) -> u64 {
+    pub(crate) fn word(&self, row: usize, w: usize) -> u64 {
         debug_assert!(row < self.rows && w < self.words_per_row);
         let i = self.widx(row, w);
         (self.bits[i] & !self.fault_mask[i]) | (self.fault_val[i] & self.fault_mask[i])
@@ -211,7 +220,7 @@ impl PackedArray {
     /// Like [`PackedArray::word`] but returns `0` for word indices outside
     /// the row — the funnel shift reads one word past each span edge.
     #[inline]
-    pub fn word_or_zero(&self, row: usize, w: isize) -> u64 {
+    pub(crate) fn word_or_zero(&self, row: usize, w: isize) -> u64 {
         if w < 0 || w as usize >= self.words_per_row {
             0
         } else {
@@ -221,8 +230,12 @@ impl PackedArray {
 
     /// Stores `value` into the `mask` bits of word `w` of `row`, charging
     /// one wear count to every masked cell.
+    ///
+    /// Crate-internal hot path with the same pre-validated contract as
+    /// [`PackedArray::word`]; external users store through the checked
+    /// `set` / [`PackedArray::store_word_bits`] API.
     #[inline]
-    pub fn store_masked(&mut self, row: usize, w: usize, value: u64, mask: u64) {
+    pub(crate) fn store_masked(&mut self, row: usize, w: usize, value: u64, mask: u64) {
         debug_assert!(row < self.rows && w < self.words_per_row);
         let i = self.widx(row, w);
         self.bits[i] = (self.bits[i] & !mask) | (value & mask);
@@ -244,16 +257,52 @@ impl PackedArray {
     }
 
     /// Sets every cell of a (pre-validated) column span of `row` to ON.
-    pub fn fill_on_span(&mut self, row: usize, cols: &Range<usize>) {
+    pub(crate) fn fill_on_span(&mut self, row: usize, cols: &Range<usize>) {
         for (w, mask) in word_span(cols) {
             self.store_masked(row, w, u64::MAX, mask);
         }
     }
 
-    /// Stores the low `width` bits of `value` (LSB first) starting at
-    /// `col0` of a (pre-validated) row.
-    pub fn store_word_bits(&mut self, row: usize, col0: usize, width: usize, value: u64) {
-        debug_assert!(width <= WORD_BITS);
+    /// Validates a `width`-bit word access at `(row, col0..)`.
+    fn check_word_span(&self, row: usize, col0: usize, width: usize) -> Result<()> {
+        if width > WORD_BITS {
+            return Err(CrossbarError::InvalidConfig(format!(
+                "word access width {width} exceeds {WORD_BITS} bits"
+            )));
+        }
+        if row >= self.rows {
+            return Err(CrossbarError::OutOfBounds {
+                what: "row",
+                index: row,
+                limit: self.rows,
+            });
+        }
+        if col0 + width > self.cols {
+            return Err(CrossbarError::OutOfBounds {
+                what: "col",
+                index: col0.max(self.cols),
+                limit: self.cols,
+            });
+        }
+        Ok(())
+    }
+
+    /// Stores the low `width ≤ 64` bits of `value` (LSB first) starting at
+    /// `col0` of `row`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidConfig`] for `width > 64` and
+    /// [`CrossbarError::OutOfBounds`] if the span falls outside the array;
+    /// a rejected store writes nothing.
+    pub fn store_word_bits(
+        &mut self,
+        row: usize,
+        col0: usize,
+        width: usize,
+        value: u64,
+    ) -> Result<()> {
+        self.check_word_span(row, col0, width)?;
         let span = col0..col0 + width;
         for (w, mask) in word_span(&span) {
             let base = w * WORD_BITS;
@@ -265,11 +314,17 @@ impl PackedArray {
             };
             self.store_masked(row, w, aligned, mask);
         }
+        Ok(())
     }
 
     /// Reads `width ≤ 64` bits starting at `col0` of `row`, LSB first.
-    pub fn read_word_bits(&self, row: usize, col0: usize, width: usize) -> u64 {
-        debug_assert!(width <= WORD_BITS);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidConfig`] for `width > 64` and
+    /// [`CrossbarError::OutOfBounds`] if the span falls outside the array.
+    pub fn read_word_bits(&self, row: usize, col0: usize, width: usize) -> Result<u64> {
+        self.check_word_span(row, col0, width)?;
         let mut out = 0u64;
         let span = col0..col0 + width;
         for (w, mask) in word_span(&span) {
@@ -281,7 +336,7 @@ impl PackedArray {
                 out |= v << (base - col0);
             }
         }
-        out
+        Ok(out)
     }
 
     /// Reads the logical value of a cell.
@@ -389,7 +444,7 @@ impl PackedArray {
     /// Lowest column in `span` of `row` that reads OFF, if any — the
     /// word-parallel strict-init scan (`(word & mask) != mask` → first
     /// zero bit via `trailing_zeros`).
-    pub fn first_off(&self, row: usize, span: &Range<usize>) -> Option<usize> {
+    pub(crate) fn first_off(&self, row: usize, span: &Range<usize>) -> Option<usize> {
         for (w, mask) in word_span(span) {
             let off = !self.word(row, w) & mask;
             if off != 0 {
@@ -402,7 +457,7 @@ impl PackedArray {
     /// OR-fold of `rows` at word index `w` (0 outside the row) — the
     /// multi-input half of a word-parallel NOR.
     #[inline]
-    pub fn fold_or(&self, rows: &[usize], w: isize) -> u64 {
+    pub(crate) fn fold_or(&self, rows: &[usize], w: isize) -> u64 {
         let mut acc = 0u64;
         for &r in rows {
             acc |= self.word_or_zero(r, w);
@@ -434,13 +489,15 @@ pub(crate) fn nor_span_cross(
         (in_span.start as isize + shift) as usize..(in_span.end as isize + shift) as usize;
     for (w, mask) in word_span(&out_span) {
         let hi = inp.fold_or(in_rows, w as isize - k);
-        let acc = if r == 0 {
-            hi
+        // The funnel contributes (up to) two OR-operands per output word;
+        // the gate truth function itself lives in `semantics`.
+        let value = if r == 0 {
+            crate::semantics::nor_words([hi])
         } else {
             let lo = inp.fold_or(in_rows, w as isize - k - 1);
-            (hi << r) | (lo >> (WORD_BITS as u32 - r))
+            crate::semantics::nor_words([hi << r, lo >> (WORD_BITS as u32 - r)])
         };
-        out.store_masked(out_row, w, !acc, mask);
+        out.store_masked(out_row, w, value, mask);
     }
 }
 
@@ -455,8 +512,9 @@ pub(crate) fn nor_span_same(
     span: &Range<usize>,
 ) {
     for (w, mask) in word_span(span) {
-        let acc = arr.fold_or(in_rows, w as isize);
-        arr.store_masked(out_row, w, !acc, mask);
+        let value =
+            crate::semantics::nor_words(in_rows.iter().map(|&r| arr.word_or_zero(r, w as isize)));
+        arr.store_masked(out_row, w, value, mask);
     }
 }
 
@@ -521,11 +579,43 @@ mod tests {
     fn store_word_bits_round_trips_unaligned() {
         let mut a = PackedArray::new(1, 200).unwrap();
         let v = 0xDEAD_BEEF_CAFE_F00Du64;
-        a.store_word_bits(0, 61, 64, v);
-        assert_eq!(a.read_word_bits(0, 61, 64), v);
+        a.store_word_bits(0, 61, 64, v).unwrap();
+        assert_eq!(a.read_word_bits(0, 61, 64).unwrap(), v);
         // Neighbouring cells untouched.
         assert!(!a.get(0, 60).unwrap());
         assert!(!a.get(0, 125).unwrap());
+    }
+
+    #[test]
+    fn word_access_bounds_are_structured_errors() {
+        // Regression: these used to be debug assertions only, so release
+        // builds of out-of-contract calls fell through to slice panics (or
+        // silent wraps). They now return structured errors and leave the
+        // array untouched.
+        let mut a = PackedArray::new(2, 100).unwrap();
+        assert!(matches!(
+            a.store_word_bits(0, 0, 65, 0),
+            Err(CrossbarError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            a.store_word_bits(2, 0, 4, 0),
+            Err(CrossbarError::OutOfBounds { what: "row", .. })
+        ));
+        assert!(matches!(
+            a.store_word_bits(0, 98, 4, 0xF),
+            Err(CrossbarError::OutOfBounds { what: "col", .. })
+        ));
+        assert!(matches!(
+            a.read_word_bits(0, 0, 65),
+            Err(CrossbarError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            a.read_word_bits(1, 97, 4),
+            Err(CrossbarError::OutOfBounds { what: "col", .. })
+        ));
+        // The rejected store wrote nothing (no wear, no bits).
+        assert_eq!(a.total_cell_writes(), 0);
+        assert_eq!(a.read_word_bits(0, 90, 10).unwrap(), 0);
     }
 
     #[test]

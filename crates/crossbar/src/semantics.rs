@@ -1,0 +1,79 @@
+//! The one true multi-input NOR.
+//!
+//! MAGIC evaluates `out = NOR(in_1, …, in_k)` by discharging the
+//! pre-initialized (ON) output cell whenever any input cell is ON. Three
+//! executors need exactly this truth function — the scalar backend
+//! (bit-at-a-time), the packed backend (64 cells per word), and the
+//! symbolic equivalence checker in `apim-verify` (node ids over a hash-
+//! consed NOR graph) — and they must never drift. [`nor_with`] is the
+//! shared shape: an OR-fold over the inputs followed by one complement,
+//! parameterized over the value domain. [`nor_bits`] and [`nor_words`]
+//! are the two concrete instantiations; the symbolic interpreter threads
+//! its own three-valued lattice through [`nor_with`] directly.
+
+/// Folds `out = NOT(OR(inputs))` over an arbitrary value domain.
+///
+/// `zero` is the domain's OR identity (all cells OFF), `or` joins two
+/// values, and `not` complements the folded result. Every NOR executed
+/// anywhere in the workspace — scalar, packed, or symbolic — reduces to
+/// this function, so the gate truth table is defined in exactly one
+/// place.
+pub fn nor_with<T>(
+    zero: T,
+    inputs: impl IntoIterator<Item = T>,
+    or: impl FnMut(T, T) -> T,
+    not: impl FnOnce(T) -> T,
+) -> T {
+    not(inputs.into_iter().fold(zero, or))
+}
+
+/// Multi-input NOR over single cells: ON iff every input is OFF.
+pub fn nor_bits(inputs: impl IntoIterator<Item = bool>) -> bool {
+    nor_with(false, inputs, |acc, b| acc | b, |acc| !acc)
+}
+
+/// Multi-input NOR over 64-cell words, one crossbar column per bit lane.
+pub fn nor_words(inputs: impl IntoIterator<Item = u64>) -> u64 {
+    nor_with(0u64, inputs, |acc, w| acc | w, |acc| !acc)
+}
+
+/// The strict-init discipline: a MAGIC NOR can only switch its output
+/// cell OFF, so the cell must be ON *before* evaluation. Returns whether
+/// `before` (the output cell's pre-NOR state) satisfies that obligation.
+pub fn strict_init_ok(before: bool) -> bool {
+    before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nor_bits_matches_the_truth_table() {
+        assert!(nor_bits([]));
+        assert!(nor_bits([false, false, false]));
+        assert!(!nor_bits([false, true]));
+        assert!(!nor_bits([true]));
+        // NOT is the single-input special case.
+        assert!(nor_bits([false]));
+        assert!(!nor_bits([true, true]));
+    }
+
+    #[test]
+    fn nor_words_is_nor_bits_in_every_lane() {
+        let a = 0xA5A5_0F0F_3333_5555u64;
+        let b = 0x00FF_00FF_0F0F_F0F0u64;
+        let out = nor_words([a, b]);
+        for lane in 0..64 {
+            let bit = |w: u64| (w >> lane) & 1 == 1;
+            assert_eq!(bit(out), nor_bits([bit(a), bit(b)]), "lane {lane}");
+        }
+        assert_eq!(nor_words([]), u64::MAX);
+    }
+
+    #[test]
+    fn strict_init_accepts_only_on_cells() {
+        assert!(strict_init_ok(true));
+        assert!(!strict_init_ok(false));
+    }
+}

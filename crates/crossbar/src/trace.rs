@@ -27,8 +27,10 @@ pub enum TraceOp {
         row: usize,
         /// Target bitline.
         col: usize,
+        /// The bit stored (symbolic replay binds input cells here).
+        value: bool,
     },
-    /// `preload_word`: store `len` bits LSB-first from `col0` (0 cycles).
+    /// `preload_word`: store bits LSB-first from `col0` (0 cycles).
     PreloadWord {
         /// Target block index.
         block: usize,
@@ -36,8 +38,9 @@ pub enum TraceOp {
         row: usize,
         /// First bitline of the word.
         col0: usize,
-        /// Number of bits stored.
-        len: usize,
+        /// The bits stored, LSB first (symbolic replay binds operand
+        /// windows over these).
+        bits: Vec<bool>,
     },
     /// `read_bit`: sense-amplifier read (0 cycles).
     ReadBit {
@@ -56,6 +59,10 @@ pub enum TraceOp {
         cells: [(usize, usize); 3],
     },
     /// `write_back_bit`: peripheral write-back (1 cycle).
+    ///
+    /// Recorded `value` is what the kernel's host-side logic computed from
+    /// earlier sense-amplifier reads; the symbolic interpreter re-derives
+    /// it from the most recent read and cross-checks constants.
     WriteBackBit {
         /// Target block index.
         block: usize,
@@ -63,6 +70,8 @@ pub enum TraceOp {
         row: usize,
         /// Target bitline.
         col: usize,
+        /// The bit written back.
+        value: bool,
     },
     /// `init_rows`: pre-set row segments to ON (0 cycles).
     InitRows {
@@ -238,7 +247,7 @@ mod tests {
                     block: 0,
                     row: 0,
                     col0: 0,
-                    len: 4,
+                    bits: vec![true, false, true, true],
                 },
                 TraceOp::InitRows {
                     block: 1,
@@ -255,6 +264,7 @@ mod tests {
                     block: 1,
                     row: 1,
                     col: 0,
+                    value: true,
                 },
                 TraceOp::AdvanceCycles { cycles: 13 },
                 TraceOp::RewindCycles { cycles: 5 },

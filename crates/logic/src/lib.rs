@@ -20,6 +20,9 @@
 //!   those circuits, bit-exact including approximation behaviour. The
 //!   crossbar implementations are tested against these functions; the
 //!   workload crate executes them at scale.
+//! * [`spec`] — one-line closed-form specifications of what each kernel
+//!   promises to compute; the `apim-verify` equivalence checker proves the
+//!   recorded microprograms against exactly these.
 //! * [`model`] — the **analytic cost model**: closed-form cycle/energy
 //!   formulas, cross-validated against the crossbar simulation.
 //! * [`error_analysis`] — Monte-Carlo and analytic error estimation used by
@@ -63,6 +66,7 @@ pub mod gates;
 pub mod mac;
 pub mod model;
 pub mod multiplier;
+pub mod spec;
 pub mod subtractor;
 pub mod vector;
 pub mod wallace;

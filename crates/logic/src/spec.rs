@@ -1,0 +1,83 @@
+//! Closed-form specifications of the hand kernels, for equivalence
+//! checking.
+//!
+//! These are the *mathematical* definitions of what each kernel promises —
+//! one pure integer expression per kernel, with no knowledge of netlists,
+//! crossbars or cost accounting. The symbolic equivalence checker
+//! (`apim-verify`'s `equiv` module) proves each recorded microprogram
+//! computes exactly these functions; keeping them this small is the point,
+//! because anything shared with the gate-level implementation would be a
+//! common-mode failure.
+//!
+//! All word arithmetic wraps modulo `2^n` ([`mask`] truncates), matching
+//! the C `int` semantics of the paper's workloads.
+
+/// The low `n` bits set (`n = 64` saturates to all-ones).
+pub fn mask(n: usize) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// `x + y mod 2^n` — the serial ripple adder.
+pub fn add(x: u64, y: u64, n: usize) -> u64 {
+    x.wrapping_add(y) & mask(n)
+}
+
+/// `x − y mod 2^n` — two's-complement subtraction.
+pub fn sub(x: u64, y: u64, n: usize) -> u64 {
+    x.wrapping_sub(y) & mask(n)
+}
+
+/// `x · y mod 2^w` over a `w`-bit product window (`w = 2n` for the full
+/// product, `w = n` for C `int` truncation).
+pub fn mul(x: u64, y: u64, w: usize) -> u64 {
+    x.wrapping_mul(y) & mask(w)
+}
+
+/// `Σ aᵢ·bᵢ mod 2^n` — the fused multiply-accumulate.
+pub fn mac(terms: &[(u64, u64)], n: usize) -> u64 {
+    terms
+        .iter()
+        .fold(0u64, |acc, &(a, b)| acc.wrapping_add(a.wrapping_mul(b)))
+        & mask(n)
+}
+
+/// `Σ xᵢ mod 2^w` — the multi-operand fast adder over a `w`-bit window.
+pub fn sum(values: &[u64], w: usize) -> u64 {
+    values.iter().fold(0u64, |acc, &v| acc.wrapping_add(v)) & mask(w)
+}
+
+/// `x mod y` — the remainder the restoring divider leaves in its register
+/// (the divider's fast path; `y` must be nonzero).
+pub fn rem(x: u64, y: u64) -> u64 {
+    x % y
+}
+
+/// `x / y` — the quotient the restoring divider assembles bit-wise.
+pub fn div(x: u64, y: u64) -> u64 {
+    x / y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapping_matches_two_pow_n() {
+        assert_eq!(add(0xFF, 0x01, 8), 0);
+        assert_eq!(sub(5, 9, 8), 0xFC);
+        assert_eq!(mul(200, 200, 8), 40_000 & 0xFF);
+        assert_eq!(mul(0xFFFF_FFFF, 0xFFFF_FFFF, 64), 0xFFFF_FFFE_0000_0001);
+        assert_eq!(mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn aggregate_specs_fold_term_wise() {
+        assert_eq!(mac(&[(3, 5), (7, 9), (2, 2)], 8), (15 + 63 + 4) & 0xFF);
+        assert_eq!(sum(&[100, 200, 300], 12), 600);
+        assert_eq!((div(100, 7), rem(100, 7)), (14, 2));
+    }
+}

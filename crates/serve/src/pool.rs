@@ -426,10 +426,10 @@ struct RunMemo {
 }
 
 fn worker_loop(shared: &Shared) {
-    let apim = match Apim::new(shared.config.apim.clone()) {
-        Ok(apim) => apim,
-        // Pool::new validated the config; this is unreachable in practice.
-        Err(_) => return,
+    // Pool::new validated the config; the early return is unreachable in
+    // practice.
+    let Ok(apim) = Apim::new(shared.config.apim.clone()) else {
+        return;
     };
     while let Some(batch) = shared.intake.pop_batch(shared.config.max_batch) {
         shared.metrics.workers_busy.inc();

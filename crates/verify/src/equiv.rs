@@ -1,0 +1,1142 @@
+//! Symbolic equivalence checking: prove a recorded microprogram computes
+//! its specification, not merely that it avoids hazards.
+//!
+//! The hazard passes of this crate answer "is the trace well-formed?"; this
+//! module answers the stronger question "does it compute the right
+//! function?". It re-executes a recorded [`OpTrace`] over a **hash-consed
+//! NOR graph**: selected operand cells are bound to fresh Boolean
+//! variables, every other preloaded cell stays a constant, and each MAGIC
+//! NOR builds (or re-finds) one structurally-hashed graph node. Cells the
+//! trace never wrote hold the three-valued unknown **X** (see
+//! [`crate::xprop`]); an X that reaches host logic or an output bit is an
+//! error, because nothing can be proven through it.
+//!
+//! Equivalence against the spec — a pure-integer closure, completely
+//! independent of the crossbar simulator — is decided SAT-free by **64-lane
+//! packed cofactor evaluation**: each `u64` word carries 64 input
+//! assignments, the graph is evaluated once per node in construction
+//! (= topological) order, and the outputs are compared lane-wise against
+//! the spec. Up to [`MAX_EXHAUSTIVE_BITS`] input bits the sweep is
+//! exhaustive and the verdict is a proof; above that a seeded deterministic
+//! sample is drawn (structural hashing still collapses equal subfunctions,
+//! so syntactically identical output bits cost one evaluation, not two).
+//! Any mismatch is reported as a **concrete counterexample** — operand
+//! values that replay on the real simulator to the wrong answer.
+
+use crate::report::{Finding, LintReport, Pass, Severity};
+use apim_crossbar::semantics;
+use apim_crossbar::{OpTrace, TraceOp};
+use apim_logic::error_analysis::SplitMix64;
+use std::collections::HashMap;
+
+use crate::xprop::{maj_sym, nor_sym, Sym};
+
+/// Input-bit budget under which the cofactor sweep is exhaustive (and the
+/// equivalence verdict a proof): `2^20` assignments, 16384 packed words.
+pub const MAX_EXHAUSTIVE_BITS: u32 = 20;
+
+/// Packed 64-assignment chunks drawn in sampled mode, on top of the
+/// all-zeros and all-ones corner chunks.
+const SAMPLE_CHUNKS: u64 = 64;
+
+/// Seed of the deterministic sampling stream.
+const SAMPLE_SEED: u64 = 0x5EED_CAB1_E5A1_7A9Bu64;
+
+/// Index of a node in a [`NorGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// The constant-FALSE node, present in every graph.
+pub const FALSE: NodeId = NodeId(0);
+/// The constant-TRUE node, present in every graph.
+pub const TRUE: NodeId = NodeId(1);
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum NodeKind {
+    False,
+    True,
+    Var(u32),
+    Nor(Box<[NodeId]>),
+}
+
+/// A structurally-hashed DAG of multi-input NOR nodes over Boolean
+/// variables — the symbolic domain of the equivalence checker.
+///
+/// Construction is canonicalizing: inputs are sorted and deduplicated,
+/// constants fold (`NOR(…,1,…) = 0`, FALSE inputs drop, the empty NOR is
+/// TRUE), double negation collapses (`NOR(NOR(x)) = x`), and a
+/// complementary input pair folds to FALSE. Structurally equal functions
+/// therefore share one node id, making id equality a sound (incomplete)
+/// equivalence test and deduplicating all downstream evaluation.
+///
+/// Each node also carries its **base value** — its value under the
+/// recorded concrete assignment — so the interpreter can cross-check
+/// host-computed write-backs against the re-derived symbolic value for
+/// free.
+#[derive(Debug, Clone, Default)]
+pub struct NorGraph {
+    nodes: Vec<NodeKind>,
+    base: Vec<bool>,
+    dedup: HashMap<NodeKind, NodeId>,
+    num_vars: u32,
+}
+
+impl NorGraph {
+    /// An empty graph holding only the two constant nodes.
+    pub fn new() -> Self {
+        let mut g = NorGraph {
+            nodes: Vec::new(),
+            base: Vec::new(),
+            dedup: HashMap::new(),
+            num_vars: 0,
+        };
+        g.push(NodeKind::False, false);
+        g.push(NodeKind::True, true);
+        g
+    }
+
+    fn push(&mut self, kind: NodeKind, base: bool) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("node count fits u32"));
+        self.dedup.insert(kind.clone(), id);
+        self.nodes.push(kind);
+        self.base.push(base);
+        id
+    }
+
+    /// The constant node for `value`.
+    pub fn constant(value: bool) -> NodeId {
+        if value {
+            TRUE
+        } else {
+            FALSE
+        }
+    }
+
+    /// A fresh input variable whose recorded (baseline) value is `base`.
+    pub fn var(&mut self, base: bool) -> NodeId {
+        let v = self.num_vars;
+        self.num_vars += 1;
+        self.push(NodeKind::Var(v), base)
+    }
+
+    /// Number of input variables created so far.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Number of nodes (constants and variables included).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph holds only the two constants.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 2
+    }
+
+    /// The node's value under the recorded baseline assignment.
+    pub fn base(&self, id: NodeId) -> bool {
+        self.base[id.0 as usize]
+    }
+
+    /// The canonicalizing multi-input NOR constructor.
+    pub fn nor(&mut self, inputs: &[NodeId]) -> NodeId {
+        let mut ids = Vec::with_capacity(inputs.len());
+        for &id in inputs {
+            if id == TRUE {
+                return FALSE;
+            }
+            if id != FALSE {
+                ids.push(id);
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        if ids.is_empty() {
+            return TRUE;
+        }
+        // A complementary pair (x and NOR(x)) makes the OR true.
+        for &id in &ids {
+            if let NodeKind::Nor(inner) = &self.nodes[id.0 as usize] {
+                if inner.len() == 1 && ids.binary_search(&inner[0]).is_ok() {
+                    return FALSE;
+                }
+            }
+        }
+        // Double negation: NOR of exactly one single-input NOR.
+        if ids.len() == 1 {
+            if let NodeKind::Nor(inner) = &self.nodes[ids[0].0 as usize] {
+                if inner.len() == 1 {
+                    return inner[0];
+                }
+            }
+        }
+        let kind = NodeKind::Nor(ids.into_boxed_slice());
+        if let Some(&id) = self.dedup.get(&kind) {
+            return id;
+        }
+        let base = match &kind {
+            NodeKind::Nor(ids) => semantics::nor_bits(ids.iter().map(|id| self.base(*id))),
+            _ => unreachable!("only Nor reaches interning"),
+        };
+        self.push(kind, base)
+    }
+
+    /// Evaluates every node over 64 packed assignments: `var_words[v]`
+    /// carries variable `v`'s value in each of the 64 lanes, and on return
+    /// `vals[id]` carries each node's value the same way. Construction
+    /// order is topological, so one forward sweep suffices; the NOR itself
+    /// is the shared [`semantics::nor_words`].
+    pub fn eval_words(&self, var_words: &[u64], vals: &mut Vec<u64>) {
+        vals.clear();
+        vals.resize(self.nodes.len(), 0);
+        for (i, kind) in self.nodes.iter().enumerate() {
+            let w = match kind {
+                NodeKind::False => 0,
+                NodeKind::True => !0,
+                NodeKind::Var(v) => var_words[*v as usize],
+                NodeKind::Nor(ids) => {
+                    semantics::nor_words(ids.iter().map(|id| vals[id.0 as usize]))
+                }
+            };
+            vals[i] = w;
+        }
+    }
+}
+
+/// Declares one operand window to bind symbolically: the first recorded
+/// `preload_word` covering `[col0, col0 + width)` of `(block, row)` has
+/// those cells replaced by fresh variables (LSB at `col0`); the recorded
+/// bits become the baseline assignment.
+#[derive(Debug, Clone)]
+pub struct OperandBinding {
+    /// Operand name used in counterexamples.
+    pub name: String,
+    /// Block of the operand row.
+    pub block: usize,
+    /// Wordline holding the operand.
+    pub row: usize,
+    /// First bitline (LSB).
+    pub col0: usize,
+    /// Number of bits to bind (0 keeps the operand fully concrete).
+    pub width: usize,
+}
+
+/// Where the microprogram's result lives after the trace ran: `width` bits,
+/// LSB at `(block, row, col0)`.
+#[derive(Debug, Clone, Copy)]
+pub struct OutputBinding {
+    /// Block of the output row.
+    pub block: usize,
+    /// Wordline holding the result.
+    pub row: usize,
+    /// First bitline (LSB).
+    pub col0: usize,
+    /// Result width in bits.
+    pub width: usize,
+}
+
+/// A concrete input assignment on which the microprogram and its spec
+/// disagree — replayable on the real simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Bound operand values, in binding order.
+    pub inputs: Vec<(String, u64)>,
+    /// What the spec computes for those inputs.
+    pub expected: u64,
+    /// What the microprogram computes.
+    pub got: u64,
+}
+
+impl std::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, (name, v)) in self.inputs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}=0x{v:X}")?;
+        }
+        if self.inputs.is_empty() {
+            write!(f, "(recorded inputs)")?;
+        }
+        write!(
+            f,
+            " -> expected 0x{:X}, got 0x{:X}",
+            self.expected, self.got
+        )
+    }
+}
+
+/// How the verdict was reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckMode {
+    /// Every assignment of the bound input bits was evaluated: the verdict
+    /// is a proof.
+    Exhaustive {
+        /// Assignments covered (`2^input_bits`).
+        assignments: u64,
+    },
+    /// A seeded deterministic sample plus the all-zeros/all-ones corners.
+    Sampled {
+        /// Assignments covered.
+        assignments: u64,
+    },
+    /// Interpretation failed (X reached an output, a binding never
+    /// matched, …) — no evaluation ran.
+    Aborted,
+}
+
+impl std::fmt::Display for CheckMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckMode::Exhaustive { assignments } => write!(f, "exhaustive({assignments})"),
+            CheckMode::Sampled { assignments } => write!(f, "sampled({assignments})"),
+            CheckMode::Aborted => write!(f, "aborted"),
+        }
+    }
+}
+
+/// Outcome of one equivalence check.
+#[derive(Debug, Clone)]
+pub struct EquivReport {
+    /// Whether the microprogram matched the spec on every evaluated
+    /// assignment (a proof in [`CheckMode::Exhaustive`]).
+    pub equivalent: bool,
+    /// How the verdict was reached.
+    pub mode: CheckMode,
+    /// Bound input bits (symbolic variables).
+    pub input_bits: u32,
+    /// NOR-graph nodes the trace compiled to.
+    pub nodes: usize,
+    /// First mismatching assignment, if any.
+    pub counterexample: Option<Counterexample>,
+    /// X-propagation / equivalence findings gathered along the way.
+    pub lint: LintReport,
+}
+
+struct BoundOperand {
+    /// Counterexample name, copied from the binding.
+    name: String,
+    /// Variable indices of the operand's bits, LSB first.
+    var_indices: Vec<u32>,
+    matched: bool,
+}
+
+/// The symbolic interpreter: replays a trace over the NOR graph.
+struct Interpreter<'a> {
+    trace: &'a OpTrace,
+    graph: NorGraph,
+    cells: HashMap<(usize, usize, usize), Sym>,
+    last_sense: Option<Sym>,
+    findings: Vec<Finding>,
+    /// `(op index, node)` pairs: NOR output cells whose pre-NOR value was
+    /// symbolic — strict init demands the node be constant-TRUE over every
+    /// assignment, checked during the packed sweep.
+    obligations: Vec<(usize, NodeId)>,
+}
+
+impl<'a> Interpreter<'a> {
+    fn new(trace: &'a OpTrace) -> Self {
+        Interpreter {
+            trace,
+            graph: NorGraph::new(),
+            cells: HashMap::new(),
+            last_sense: None,
+            findings: Vec::new(),
+            obligations: Vec::new(),
+        }
+    }
+
+    fn cell(&self, block: usize, row: usize, col: usize) -> Sym {
+        *self.cells.get(&(block, row, col)).unwrap_or(&Sym::X)
+    }
+
+    fn set(&mut self, block: usize, row: usize, col: usize, sym: Sym) {
+        self.cells.insert((block, row, col), sym);
+    }
+
+    fn flag(&mut self, pass: Pass, severity: Severity, op: usize, message: String) {
+        self.findings.push(Finding {
+            pass,
+            severity,
+            op_index: Some(op),
+            message,
+        });
+    }
+
+    /// Strict-init discipline on a NOR destination, symbolically: constant
+    /// TRUE passes, constant FALSE and X fail now, anything else becomes a
+    /// proof obligation for the packed sweep.
+    fn check_init(&mut self, op: usize, block: usize, row: usize, col: usize) {
+        match self.cell(block, row, col) {
+            Sym::Node(TRUE) => {}
+            Sym::Node(FALSE) => self.flag(
+                Pass::Equiv,
+                Severity::Error,
+                op,
+                format!("NOR output cell (block {block}, row {row}, col {col}) is OFF, not initialized ON"),
+            ),
+            Sym::X => self.flag(
+                Pass::XProp,
+                Severity::Error,
+                op,
+                format!("NOR output cell (block {block}, row {row}, col {col}) was never written"),
+            ),
+            Sym::Node(id) => self.obligations.push((op, id)),
+        }
+    }
+
+    fn preload_word(
+        &mut self,
+        op: usize,
+        bound: &mut [(OperandBinding, BoundOperand)],
+        block: usize,
+        row: usize,
+        col0: usize,
+        bits: &[bool],
+    ) {
+        // Default: every preloaded bit is a constant.
+        let mut syms: Vec<Sym> = bits
+            .iter()
+            .map(|&b| Sym::Node(NorGraph::constant(b)))
+            .collect();
+        for (binding, state) in bound.iter_mut() {
+            let covers = binding.block == block
+                && binding.row == row
+                && col0 <= binding.col0
+                && binding.col0 + binding.width <= col0 + bits.len();
+            if state.matched || binding.width == 0 || !covers {
+                continue;
+            }
+            state.matched = true;
+            for bit in 0..binding.width {
+                let idx = binding.col0 + bit - col0;
+                let var_index = self.graph.num_vars();
+                let node = self.graph.var(bits[idx]);
+                state.var_indices.push(var_index);
+                syms[idx] = Sym::Node(node);
+            }
+            let _ = op;
+        }
+        for (i, sym) in syms.into_iter().enumerate() {
+            self.set(block, row, col0 + i, sym);
+        }
+    }
+
+    fn run(mut self, operands: &[OperandBinding], output: &OutputBinding) -> SymbolicOutcome {
+        let mut bound: Vec<(OperandBinding, BoundOperand)> = operands
+            .iter()
+            .map(|b| {
+                (
+                    b.clone(),
+                    BoundOperand {
+                        name: b.name.clone(),
+                        var_indices: Vec::new(),
+                        matched: false,
+                    },
+                )
+            })
+            .collect();
+        let ops: Vec<TraceOp> = self.trace.ops.clone();
+        for (i, op) in ops.iter().enumerate() {
+            self.step(i, op, &mut bound);
+        }
+        for (binding, state) in &bound {
+            if binding.width > 0 && !state.matched {
+                self.findings.push(Finding {
+                    pass: Pass::Equiv,
+                    severity: Severity::Error,
+                    op_index: None,
+                    message: format!(
+                        "operand binding '{}' (block {}, row {}, cols {}..{}) never matched a preload",
+                        binding.name,
+                        binding.block,
+                        binding.row,
+                        binding.col0,
+                        binding.col0 + binding.width
+                    ),
+                });
+            }
+        }
+        let mut outputs = Vec::with_capacity(output.width);
+        for bit in 0..output.width {
+            let sym = self.cell(output.block, output.row, output.col0 + bit);
+            if sym.is_x() {
+                self.findings.push(Finding {
+                    pass: Pass::XProp,
+                    severity: Severity::Error,
+                    op_index: None,
+                    message: format!(
+                        "output bit {bit} (block {}, row {}, col {}) was never written",
+                        output.block,
+                        output.row,
+                        output.col0 + bit
+                    ),
+                });
+            }
+            outputs.push(sym);
+        }
+        SymbolicOutcome {
+            graph: self.graph,
+            outputs,
+            bound: bound.into_iter().map(|(_, s)| s).collect(),
+            obligations: self.obligations,
+            findings: self.findings,
+        }
+    }
+
+    fn step(&mut self, i: usize, op: &TraceOp, bound: &mut [(OperandBinding, BoundOperand)]) {
+        match op {
+            TraceOp::PreloadBit {
+                block,
+                row,
+                col,
+                value,
+            } => self.set(*block, *row, *col, Sym::Node(NorGraph::constant(*value))),
+            TraceOp::PreloadWord {
+                block,
+                row,
+                col0,
+                bits,
+            } => self.preload_word(i, bound, *block, *row, *col0, bits),
+            TraceOp::ReadBit { block, row, col } => {
+                let sym = self.cell(*block, *row, *col);
+                match sym {
+                    Sym::X => self.flag(
+                        Pass::XProp,
+                        Severity::Error,
+                        i,
+                        format!("sense read of never-written cell (block {block}, row {row}, col {col})"),
+                    ),
+                    Sym::Node(_) if sym.as_const().is_none() => {
+                        self.flag(
+                            Pass::Equiv,
+                            Severity::Info,
+                            i,
+                            format!(
+                                "sense read of a symbolic cell (block {block}, row {row}, col {col}): host control flow is checked for the recorded specialization only"
+                            ),
+                        );
+                    }
+                    _ => {}
+                }
+                self.last_sense = Some(sym);
+            }
+            TraceOp::MajRead { block, cells } => {
+                let [a, b, c] = cells.map(|(r, col)| self.cell(*block, r, col));
+                let m = maj_sym(&mut self.graph, a, b, c);
+                if m.is_x() {
+                    self.flag(
+                        Pass::XProp,
+                        Severity::Error,
+                        i,
+                        format!(
+                            "MAJ read over never-written cells (block {block}, cells {cells:?})"
+                        ),
+                    );
+                }
+                self.last_sense = Some(m);
+            }
+            TraceOp::WriteBackBit {
+                block,
+                row,
+                col,
+                value,
+            } => {
+                // The host computed `value` from earlier sense reads; the
+                // symbolic value is the most recent sense result. Under
+                // the recorded baseline both must agree.
+                let sym = self
+                    .last_sense
+                    .unwrap_or(Sym::Node(NorGraph::constant(*value)));
+                if let Sym::Node(id) = sym {
+                    if self.graph.base(id) != *value {
+                        self.flag(
+                            Pass::Equiv,
+                            Severity::Error,
+                            i,
+                            format!(
+                                "write-back to (block {block}, row {row}, col {col}) stores {} but the re-derived sense value is {} under the recorded inputs",
+                                u8::from(*value),
+                                u8::from(self.graph.base(id)),
+                            ),
+                        );
+                    }
+                }
+                self.set(*block, *row, *col, sym);
+            }
+            TraceOp::InitRows { block, rows, cols } => {
+                for &r in rows {
+                    for c in cols.clone() {
+                        self.set(*block, r, c, Sym::Node(TRUE));
+                    }
+                }
+            }
+            TraceOp::InitCells { block, cells } => {
+                for &(r, c) in cells {
+                    self.set(*block, r, c, Sym::Node(TRUE));
+                }
+            }
+            TraceOp::InitCols { block, cols, rows } => {
+                for &c in cols {
+                    for r in rows.clone() {
+                        self.set(*block, r, c, Sym::Node(TRUE));
+                    }
+                }
+            }
+            TraceOp::NorRowsShifted {
+                inputs,
+                out,
+                cols,
+                shift,
+            } => {
+                let mut writes = Vec::with_capacity(cols.len());
+                for c in cols.clone() {
+                    let Some(out_col) = c.checked_add_signed(*shift) else {
+                        continue; // shift-bounds pass flags this
+                    };
+                    if out_col >= self.trace.cols {
+                        continue;
+                    }
+                    self.check_init(i, out.0, out.1, out_col);
+                    let in_syms: Vec<Sym> =
+                        inputs.iter().map(|&(b, r)| self.cell(b, r, c)).collect();
+                    let value = nor_sym(&mut self.graph, in_syms);
+                    writes.push((out_col, value));
+                }
+                // Commit after computing every column: the hardware NOR is
+                // column-parallel and reads the pre-op state.
+                for (out_col, value) in writes {
+                    self.set(out.0, out.1, out_col, value);
+                }
+            }
+            TraceOp::NorCols {
+                block,
+                input_cols,
+                out_col,
+                rows,
+            } => {
+                let mut writes = Vec::with_capacity(rows.len());
+                for r in rows.clone() {
+                    self.check_init(i, *block, r, *out_col);
+                    let in_syms: Vec<Sym> = input_cols
+                        .iter()
+                        .map(|&c| self.cell(*block, r, c))
+                        .collect();
+                    let value = nor_sym(&mut self.graph, in_syms);
+                    writes.push((r, value));
+                }
+                for (r, value) in writes {
+                    self.set(*block, r, *out_col, value);
+                }
+            }
+            TraceOp::NorCells { block, inputs, out } => {
+                self.check_init(i, *block, out.0, out.1);
+                let in_syms: Vec<Sym> = inputs
+                    .iter()
+                    .map(|&(r, c)| self.cell(*block, r, c))
+                    .collect();
+                let value = nor_sym(&mut self.graph, in_syms);
+                self.set(*block, out.0, out.1, value);
+            }
+            TraceOp::AdvanceCycles { .. } | TraceOp::RewindCycles { .. } => {}
+        }
+    }
+}
+
+struct SymbolicOutcome {
+    graph: NorGraph,
+    outputs: Vec<Sym>,
+    bound: Vec<BoundOperand>,
+    obligations: Vec<(usize, NodeId)>,
+    findings: Vec<Finding>,
+}
+
+/// Checks that `trace` computes `spec` over the bound operand windows.
+///
+/// `spec` receives the bound operand values in binding order and returns
+/// the expected output (masked to the output width). Operands left
+/// concrete — a multiplier chosen per specialization, a divisor steering
+/// host control flow — are simply not bound; the spec closure captures
+/// them instead.
+pub fn check_equiv(
+    trace: &OpTrace,
+    operands: &[OperandBinding],
+    output: &OutputBinding,
+    spec: impl Fn(&[u64]) -> u64,
+) -> EquivReport {
+    let outcome = Interpreter::new(trace).run(operands, output);
+    let nodes = outcome.graph.len();
+    let input_bits = outcome.graph.num_vars();
+    let has_errors = outcome
+        .findings
+        .iter()
+        .any(|f| f.severity == Severity::Error);
+    if has_errors {
+        return EquivReport {
+            equivalent: false,
+            mode: CheckMode::Aborted,
+            input_bits,
+            nodes,
+            counterexample: None,
+            lint: LintReport::from_findings(outcome.findings),
+        };
+    }
+    decide(outcome, output, spec)
+}
+
+/// Exhaustive lane patterns for the six in-word variables: variable `v`
+/// toggles with period `2^v` lanes.
+const LANE_PATTERNS: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+fn decide(
+    outcome: SymbolicOutcome,
+    output: &OutputBinding,
+    spec: impl Fn(&[u64]) -> u64,
+) -> EquivReport {
+    let SymbolicOutcome {
+        graph,
+        outputs,
+        bound,
+        obligations,
+        mut findings,
+    } = outcome;
+    let v = graph.num_vars();
+    let exhaustive = v <= MAX_EXHAUSTIVE_BITS;
+    let chunks: u64 = if exhaustive {
+        if v >= 6 {
+            1u64 << (v - 6)
+        } else {
+            1
+        }
+    } else {
+        SAMPLE_CHUNKS + 2
+    };
+    let valid: u64 = if !exhaustive || v >= 6 {
+        !0
+    } else {
+        (1u64 << (1u32 << v)) - 1
+    };
+    let out_mask = if output.width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << output.width) - 1
+    };
+    let mut rng = SplitMix64::new(SAMPLE_SEED);
+    let mut var_words = vec![0u64; v as usize];
+    let mut vals: Vec<u64> = Vec::new();
+    let mut exp_words = vec![0u64; outputs.len()];
+    let mut counterexample = None;
+
+    // Reads one operand's value out of lane `lane`.
+    let operand_at = |var_words: &[u64], op: &BoundOperand, lane: u32| -> u64 {
+        op.var_indices
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (bit, &vi)| {
+                acc | ((var_words[vi as usize] >> lane) & 1) << bit
+            })
+    };
+    let inputs_at = |var_words: &[u64], lane: u32| -> Vec<u64> {
+        bound
+            .iter()
+            .map(|op| operand_at(var_words, op, lane))
+            .collect()
+    };
+
+    'sweep: for chunk in 0..chunks {
+        for (i, w) in var_words.iter_mut().enumerate() {
+            *w = if exhaustive {
+                if i < 6 {
+                    LANE_PATTERNS[i]
+                } else {
+                    0u64.wrapping_sub((chunk >> (i - 6)) & 1)
+                }
+            } else {
+                match chunk {
+                    0 => 0,
+                    1 => !0,
+                    _ => rng.next_u64(),
+                }
+            };
+        }
+        graph.eval_words(&var_words, &mut vals);
+
+        // Init obligations: the pre-NOR cell value must be ON everywhere.
+        for &(op, id) in &obligations {
+            let w = vals[id.0 as usize];
+            if w & valid != valid {
+                let lane = (!w & valid).trailing_zeros();
+                let inputs = inputs_at(&var_words, lane);
+                findings.push(Finding {
+                    pass: Pass::Equiv,
+                    severity: Severity::Error,
+                    op_index: Some(op),
+                    message: format!(
+                        "NOR output cell is not provably initialized ON (OFF under inputs {inputs:?})"
+                    ),
+                });
+                break 'sweep;
+            }
+        }
+
+        // Expected output, lane-wise from the pure-integer spec.
+        for w in exp_words.iter_mut() {
+            *w = 0;
+        }
+        for lane in 0..64u32 {
+            if valid & (1 << lane) == 0 {
+                continue;
+            }
+            let inputs = inputs_at(&var_words, lane);
+            let expected = spec(&inputs) & out_mask;
+            for (bit, w) in exp_words.iter_mut().enumerate() {
+                *w |= ((expected >> bit) & 1) << lane;
+            }
+        }
+        for (bit, sym) in outputs.iter().enumerate() {
+            let Sym::Node(id) = sym else {
+                unreachable!("X outputs abort before the sweep")
+            };
+            let got_word = vals[id.0 as usize];
+            let diff = (exp_words[bit] ^ got_word) & valid;
+            if diff != 0 {
+                let lane = diff.trailing_zeros();
+                let inputs_vals = inputs_at(&var_words, lane);
+                let expected = spec(&inputs_vals) & out_mask;
+                let got = outputs
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (b, s)| match s {
+                        Sym::Node(id) => acc | ((vals[id.0 as usize] >> lane) & 1) << b,
+                        Sym::X => acc,
+                    });
+                counterexample = Some(Counterexample {
+                    inputs: bound
+                        .iter()
+                        .map(|op| (op.name.clone(), operand_at(&var_words, op, lane)))
+                        .collect(),
+                    expected,
+                    got,
+                });
+                break 'sweep;
+            }
+        }
+    }
+
+    let assignments = if exhaustive {
+        1u64 << v.min(63)
+    } else {
+        chunks * 64
+    };
+    let mode = if exhaustive {
+        CheckMode::Exhaustive { assignments }
+    } else {
+        CheckMode::Sampled { assignments }
+    };
+    let failed = counterexample.is_some() || findings.iter().any(|f| f.severity == Severity::Error);
+    EquivReport {
+        equivalent: !failed,
+        mode,
+        input_bits: v,
+        nodes: graph.len(),
+        counterexample,
+        lint: LintReport::from_findings(findings),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_rewrites_canonicalize() {
+        let mut g = NorGraph::new();
+        let a = g.var(false);
+        let b = g.var(true);
+        assert_eq!(g.nor(&[]), TRUE, "empty NOR");
+        assert_eq!(g.nor(&[a, TRUE]), FALSE, "TRUE input decides");
+        assert_eq!(g.nor(&[a, FALSE]), g.nor(&[a]), "FALSE inputs drop");
+        assert_eq!(g.nor(&[a, b]), g.nor(&[b, a, b]), "sorted + deduped");
+        let na = g.nor(&[a]);
+        assert_eq!(g.nor(&[na]), a, "double negation");
+        assert_eq!(g.nor(&[a, na]), FALSE, "complementary pair");
+        let n1 = g.nor(&[a, b]);
+        let n2 = g.nor(&[a, b]);
+        assert_eq!(n1, n2, "hash-consing");
+        assert!(!g.base(n1), "base: NOR(0, 1) = 0");
+    }
+
+    /// A 1-bit XOR netlist as a hand-written trace: n1 = NOR(a,b),
+    /// n2 = NOR(a,n1), n3 = NOR(b,n1), n4 = NOR(n2,n3), out = NOR(n4).
+    fn xor_trace() -> OpTrace {
+        let mut ops = vec![
+            TraceOp::PreloadWord {
+                block: 0,
+                row: 0,
+                col0: 0,
+                bits: vec![true],
+            },
+            TraceOp::PreloadWord {
+                block: 0,
+                row: 1,
+                col0: 0,
+                bits: vec![false],
+            },
+        ];
+        let gates: [(&[(usize, usize)], usize); 5] = [
+            (&[(0, 0), (1, 0)], 2),
+            (&[(0, 0), (2, 0)], 3),
+            (&[(1, 0), (2, 0)], 4),
+            (&[(3, 0), (4, 0)], 5),
+            (&[(5, 0)], 6),
+        ];
+        for (inputs, out_row) in gates {
+            ops.push(TraceOp::InitCells {
+                block: 0,
+                cells: vec![(out_row, 0)],
+            });
+            ops.push(TraceOp::NorCells {
+                block: 0,
+                inputs: inputs.to_vec(),
+                out: (out_row, 0),
+            });
+        }
+        OpTrace {
+            blocks: 1,
+            rows: 8,
+            cols: 2,
+            ops,
+        }
+    }
+
+    fn bit_bindings() -> Vec<OperandBinding> {
+        vec![
+            OperandBinding {
+                name: "a".into(),
+                block: 0,
+                row: 0,
+                col0: 0,
+                width: 1,
+            },
+            OperandBinding {
+                name: "b".into(),
+                block: 0,
+                row: 1,
+                col0: 0,
+                width: 1,
+            },
+        ]
+    }
+
+    const XOR_OUT: OutputBinding = OutputBinding {
+        block: 0,
+        row: 6,
+        col0: 0,
+        width: 1,
+    };
+
+    #[test]
+    fn xor_netlist_proves_equivalent() {
+        let report = check_equiv(&xor_trace(), &bit_bindings(), &XOR_OUT, |v| v[0] ^ v[1]);
+        assert!(report.equivalent, "{}", report.lint);
+        assert_eq!(report.mode, CheckMode::Exhaustive { assignments: 4 });
+        assert_eq!(report.input_bits, 2);
+        assert!(report.counterexample.is_none());
+    }
+
+    #[test]
+    fn wrong_spec_yields_a_replayable_counterexample() {
+        let report = check_equiv(&xor_trace(), &bit_bindings(), &XOR_OUT, |v| v[0] & v[1]);
+        assert!(!report.equivalent);
+        let cx = report.counterexample.expect("must find a mismatch");
+        let (a, b) = (cx.inputs[0].1, cx.inputs[1].1);
+        assert_eq!(cx.inputs[0].0, "a");
+        assert_eq!(cx.got, a ^ b, "the netlist really computes XOR");
+        assert_eq!(cx.expected, a & b, "the (wrong) spec wanted AND");
+        assert_ne!(cx.expected, cx.got);
+    }
+
+    #[test]
+    fn never_written_output_aborts_with_xprop_error() {
+        let out = OutputBinding {
+            block: 0,
+            row: 7,
+            col0: 0,
+            width: 1,
+        };
+        let report = check_equiv(&xor_trace(), &bit_bindings(), &out, |v| v[0] ^ v[1]);
+        assert!(!report.equivalent);
+        assert_eq!(report.mode, CheckMode::Aborted);
+        assert!(report
+            .lint
+            .findings()
+            .iter()
+            .any(|f| f.pass == Pass::XProp && f.severity == Severity::Error));
+    }
+
+    #[test]
+    fn uninitialized_nor_destination_is_flagged() {
+        let trace = OpTrace {
+            blocks: 1,
+            rows: 4,
+            cols: 2,
+            ops: vec![
+                TraceOp::PreloadWord {
+                    block: 0,
+                    row: 0,
+                    col0: 0,
+                    bits: vec![true],
+                },
+                // No InitCells: the destination was never written.
+                TraceOp::NorCells {
+                    block: 0,
+                    inputs: vec![(0, 0)],
+                    out: (1, 0),
+                },
+            ],
+        };
+        let out = OutputBinding {
+            block: 0,
+            row: 1,
+            col0: 0,
+            width: 1,
+        };
+        let report = check_equiv(&trace, &[], &out, |_| 0);
+        assert!(!report.equivalent);
+        assert!(report
+            .lint
+            .findings()
+            .iter()
+            .any(|f| f.pass == Pass::XProp && f.message.contains("never written")));
+    }
+
+    #[test]
+    fn diverging_write_back_is_caught() {
+        let trace = OpTrace {
+            blocks: 1,
+            rows: 4,
+            cols: 2,
+            ops: vec![
+                TraceOp::PreloadBit {
+                    block: 0,
+                    row: 0,
+                    col: 0,
+                    value: true,
+                },
+                TraceOp::ReadBit {
+                    block: 0,
+                    row: 0,
+                    col: 0,
+                },
+                // Host claims it read 0 — contradicts the cell.
+                TraceOp::WriteBackBit {
+                    block: 0,
+                    row: 1,
+                    col: 0,
+                    value: false,
+                },
+            ],
+        };
+        let out = OutputBinding {
+            block: 0,
+            row: 1,
+            col0: 0,
+            width: 1,
+        };
+        let report = check_equiv(&trace, &[], &out, |_| 1);
+        assert!(!report.equivalent);
+        assert_eq!(report.mode, CheckMode::Aborted);
+        assert!(report
+            .lint
+            .findings()
+            .iter()
+            .any(|f| f.pass == Pass::Equiv && f.message.contains("write-back")));
+    }
+
+    #[test]
+    fn symbolic_init_obligation_fails_with_assignment() {
+        // NOR into the symbolic operand cell itself: strict init can only
+        // hold if the operand bit is constant 1, which it is not.
+        let trace = OpTrace {
+            blocks: 1,
+            rows: 4,
+            cols: 2,
+            ops: vec![
+                TraceOp::PreloadWord {
+                    block: 0,
+                    row: 0,
+                    col0: 0,
+                    bits: vec![true],
+                },
+                TraceOp::PreloadBit {
+                    block: 0,
+                    row: 1,
+                    col: 0,
+                    value: false,
+                },
+                TraceOp::NorCells {
+                    block: 0,
+                    inputs: vec![(1, 0)],
+                    out: (0, 0),
+                },
+            ],
+        };
+        let bindings = [OperandBinding {
+            name: "a".into(),
+            block: 0,
+            row: 0,
+            col0: 0,
+            width: 1,
+        }];
+        let out = OutputBinding {
+            block: 0,
+            row: 0,
+            col0: 0,
+            width: 1,
+        };
+        let report = check_equiv(&trace, &bindings, &out, |_| 1);
+        assert!(!report.equivalent);
+        assert!(report
+            .lint
+            .findings()
+            .iter()
+            .any(|f| f.message.contains("not provably initialized")));
+    }
+
+    #[test]
+    fn unmatched_binding_is_an_error() {
+        let bindings = [OperandBinding {
+            name: "ghost".into(),
+            block: 3,
+            row: 9,
+            col0: 0,
+            width: 4,
+        }];
+        let report = check_equiv(&xor_trace(), &bindings, &XOR_OUT, |_| 0);
+        assert!(!report.equivalent);
+        assert_eq!(report.mode, CheckMode::Aborted);
+        assert!(report
+            .lint
+            .findings()
+            .iter()
+            .any(|f| f.message.contains("never matched a preload")));
+    }
+
+    #[test]
+    fn concrete_traces_check_as_a_single_assignment() {
+        // No bindings: the graph is all constants and the sweep degenerates
+        // to one lane — still an independent re-execution of the trace.
+        let report = check_equiv(&xor_trace(), &[], &XOR_OUT, |_| 1);
+        assert!(report.equivalent, "recorded a=1, b=0 -> XOR = 1");
+        assert_eq!(report.input_bits, 0);
+        assert_eq!(report.mode, CheckMode::Exhaustive { assignments: 1 });
+    }
+}

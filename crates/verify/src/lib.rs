@@ -27,6 +27,16 @@
 //! multiplier, MAC); `apim-cli verify` and the CI lint gate sit on top of
 //! them.
 //!
+//! On top of the hazard passes, the [`equiv`] module proves microprograms
+//! *compute their specification*: the trace is re-executed over a
+//! hash-consed symbolic NOR graph ([`xprop`] supplies the three-valued
+//! unknown lattice) and compared against a pure-integer spec by 64-lane
+//! packed cofactor evaluation — exhaustive up to
+//! [`equiv::MAX_EXHAUSTIVE_BITS`] input bits, seeded-sampled beyond, with
+//! concrete counterexamples on mismatch. [`verify_equiv_kernel`] /
+//! [`verify_equiv_all`] bundle the recording harnesses; `apim-cli verify
+//! --equiv` sits on top.
+//!
 //! ```
 //! use apim_verify::{verify_kernel, Kernel};
 //!
@@ -40,10 +50,19 @@
 
 #![deny(missing_docs)]
 
+pub mod equiv;
+pub mod equiv_kernels;
 pub mod kernels;
 pub mod passes;
 pub mod report;
+pub mod xprop;
 
+pub use equiv::{
+    check_equiv, CheckMode, Counterexample, EquivReport, NorGraph, OperandBinding, OutputBinding,
+};
+pub use equiv_kernels::{
+    render_equiv, verify_equiv_all, verify_equiv_kernel, EquivKernelRun, EquivTarget,
+};
 pub use kernels::{render, verify_all, verify_kernel, Kernel, KernelRun, DEFAULT_WIDTHS};
 pub use passes::{
     pass_aliasing, pass_cycle_accounting, pass_init_discipline, pass_scratch_lifetime,

@@ -89,20 +89,24 @@ pub fn pass_init_discipline(trace: &OpTrace) -> Vec<Finding> {
                     }
                 }
             }
-            TraceOp::PreloadBit { block, row, col } => {
+            TraceOp::PreloadBit {
+                block, row, col, ..
+            } => {
                 armed.remove(&(*block, *row, *col));
             }
             TraceOp::PreloadWord {
                 block,
                 row,
                 col0,
-                len,
+                bits,
             } => {
-                for c in *col0..col0 + len {
+                for c in *col0..col0 + bits.len() {
                     armed.remove(&(*block, *row, c));
                 }
             }
-            TraceOp::WriteBackBit { block, row, col } => {
+            TraceOp::WriteBackBit {
+                block, row, col, ..
+            } => {
                 armed.remove(&(*block, *row, *col));
             }
             TraceOp::NorRowsShifted { .. } | TraceOp::NorCols { .. } | TraceOp::NorCells { .. } => {
@@ -359,6 +363,7 @@ mod tests {
                 block: 0,
                 row: 3,
                 col: 3,
+                value: false,
             },
             TraceOp::NorCells {
                 block: 0,

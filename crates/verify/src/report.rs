@@ -41,6 +41,12 @@ pub enum Pass {
     ScratchLifetime,
     /// Recorded cycles must equal the analytic cost-model prediction.
     CycleAccounting,
+    /// Three-valued unknown propagation: reads of never-written cells must
+    /// not reach host logic or kernel outputs.
+    XProp,
+    /// Symbolic equivalence: the microprogram must compute its
+    /// specification, not merely avoid hazards.
+    Equiv,
 }
 
 impl Pass {
@@ -52,6 +58,8 @@ impl Pass {
             Pass::ShiftBounds => "shift-bounds",
             Pass::ScratchLifetime => "scratch-lifetime",
             Pass::CycleAccounting => "cycle-accounting",
+            Pass::XProp => "x-prop",
+            Pass::Equiv => "equiv",
         }
     }
 }

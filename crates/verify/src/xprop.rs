@@ -1,0 +1,211 @@
+//! Three-valued unknown propagation over the symbolic NOR graph.
+//!
+//! Every crossbar cell the symbolic interpreter tracks holds either a
+//! [`NorGraph`] node (a Boolean function of the bound input variables) or
+//! the lattice value **X** — "never written, contents unknown". X is not a
+//! third Boolean: it is the statement that the microprogram read a cell the
+//! recorded trace never gave a value, so no claim about the computed
+//! function can be made through it.
+//!
+//! X propagates through MAGIC NOR with one asymmetry that makes the
+//! analysis precise instead of merely conservative: `NOR(TRUE, X) = FALSE`,
+//! because a single ON input pins the shared output bitline low regardless
+//! of what the unknown cell holds. Only when no input is constant-TRUE does
+//! an X input poison the result.
+//!
+//! The accumulator below threads that rule through the *same*
+//! [`semantics::nor_with`] fold the concrete scalar and packed backends
+//! use, so the symbolic domain cannot drift from the simulator's NOR.
+
+use crate::equiv::{NodeId, NorGraph, FALSE, TRUE};
+use apim_crossbar::semantics;
+
+/// A cell's symbolic value: a NOR-graph node or the unknown X.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    /// Unknown: the cell was read before anything wrote it.
+    X,
+    /// A Boolean function of the bound input variables.
+    Node(NodeId),
+}
+
+impl Sym {
+    /// Whether this is the unknown lattice value.
+    pub fn is_x(self) -> bool {
+        matches!(self, Sym::X)
+    }
+
+    /// The node's constant Boolean value, if it is one of the two constant
+    /// nodes (X and non-constant functions return `None`).
+    pub fn as_const(self) -> Option<bool> {
+        match self {
+            Sym::Node(TRUE) => Some(true),
+            Sym::Node(FALSE) => Some(false),
+            _ => None,
+        }
+    }
+}
+
+/// OR-fold state of one symbolic NOR evaluation.
+///
+/// [`semantics::nor_with`] folds the inputs with OR and complements once at
+/// the end; this is the `T` it folds over. The three states mirror the
+/// X-lattice OR: a constant-TRUE input decides the fold outright, an X
+/// input (absent TRUE) makes it unknown, and otherwise the defined input
+/// nodes accumulate for one hash-consed `Nor` node at the complement step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NorAcc {
+    /// A constant-TRUE input was seen: the OR is TRUE, the NOR is FALSE.
+    SawTrue,
+    /// An X input was seen and no TRUE: the OR (and the NOR) is unknown.
+    SawX,
+    /// Only defined inputs so far: their node ids.
+    Ids(Vec<NodeId>),
+}
+
+impl NorAcc {
+    /// The fold's zero: no inputs seen (an empty NOR is constant TRUE).
+    pub fn empty() -> Self {
+        NorAcc::Ids(Vec::new())
+    }
+
+    /// Lifts one input cell into the fold domain.
+    pub fn lift(sym: Sym) -> Self {
+        match sym {
+            Sym::X => NorAcc::SawX,
+            Sym::Node(TRUE) => NorAcc::SawTrue,
+            Sym::Node(id) => NorAcc::Ids(vec![id]),
+        }
+    }
+
+    /// The X-lattice OR: `TRUE` absorbs everything, X absorbs everything
+    /// defined, and defined inputs concatenate.
+    pub fn join(self, other: NorAcc) -> NorAcc {
+        match (self, other) {
+            (NorAcc::SawTrue, _) | (_, NorAcc::SawTrue) => NorAcc::SawTrue,
+            (NorAcc::SawX, _) | (_, NorAcc::SawX) => NorAcc::SawX,
+            (NorAcc::Ids(mut a), NorAcc::Ids(b)) => {
+                a.extend(b);
+                NorAcc::Ids(a)
+            }
+        }
+    }
+
+    /// The final complement: `OR = TRUE` becomes the FALSE node, X stays
+    /// X, and defined inputs become one hash-consed `Nor` node.
+    fn complement(self, graph: &mut NorGraph) -> NorAcc {
+        match self {
+            NorAcc::SawTrue => NorAcc::Ids(vec![FALSE]),
+            NorAcc::SawX => NorAcc::SawX,
+            NorAcc::Ids(ids) => NorAcc::Ids(vec![graph.nor(&ids)]),
+        }
+    }
+
+    fn into_sym(self) -> Sym {
+        match self {
+            NorAcc::SawX => Sym::X,
+            NorAcc::Ids(ids) => {
+                debug_assert_eq!(ids.len(), 1, "complement leaves one node");
+                Sym::Node(ids[0])
+            }
+            NorAcc::SawTrue => unreachable!("complement eliminates SawTrue"),
+        }
+    }
+}
+
+/// Symbolic multi-input NOR, threaded through the shared
+/// [`semantics::nor_with`] fold.
+pub fn nor_sym(graph: &mut NorGraph, inputs: impl IntoIterator<Item = Sym>) -> Sym {
+    semantics::nor_with(
+        NorAcc::empty(),
+        inputs.into_iter().map(NorAcc::lift),
+        NorAcc::join,
+        |acc| acc.complement(graph),
+    )
+    .into_sym()
+}
+
+/// Symbolic NOT: a one-input NOR.
+pub fn not_sym(graph: &mut NorGraph, a: Sym) -> Sym {
+    nor_sym(graph, [a])
+}
+
+/// Symbolic OR: `NOT(NOR(inputs))`.
+pub fn or_sym(graph: &mut NorGraph, inputs: impl IntoIterator<Item = Sym>) -> Sym {
+    let n = nor_sym(graph, inputs);
+    not_sym(graph, n)
+}
+
+/// Symbolic AND: `NOR(NOT a, NOT b)`.
+pub fn and_sym(graph: &mut NorGraph, a: Sym, b: Sym) -> Sym {
+    let na = not_sym(graph, a);
+    let nb = not_sym(graph, b);
+    nor_sym(graph, [na, nb])
+}
+
+/// Symbolic majority-of-three, mirroring the modified sense amplifier:
+/// `MAJ(a,b,c) = ab + bc + ca`.
+pub fn maj_sym(graph: &mut NorGraph, a: Sym, b: Sym, c: Sym) -> Sym {
+    let ab = and_sym(graph, a, b);
+    let bc = and_sym(graph, b, c);
+    let ca = and_sym(graph, c, a);
+    or_sym(graph, [ab, bc, ca])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Sym {
+        Sym::Node(TRUE)
+    }
+
+    fn f() -> Sym {
+        Sym::Node(FALSE)
+    }
+
+    #[test]
+    fn constant_nor_matches_the_truth_table() {
+        let mut g = NorGraph::new();
+        assert_eq!(nor_sym(&mut g, [f(), f()]), t());
+        assert_eq!(nor_sym(&mut g, [t(), f()]), f());
+        assert_eq!(nor_sym(&mut g, [t(), t()]), f());
+        assert_eq!(nor_sym(&mut g, []), t());
+    }
+
+    #[test]
+    fn x_poisons_unless_a_true_input_decides() {
+        let mut g = NorGraph::new();
+        assert_eq!(nor_sym(&mut g, [Sym::X, f()]), Sym::X);
+        assert_eq!(nor_sym(&mut g, [Sym::X]), Sym::X);
+        // A single ON input pins the output low no matter what X holds.
+        assert_eq!(nor_sym(&mut g, [Sym::X, t()]), f());
+        let v = Sym::Node(g.var(false));
+        assert_eq!(nor_sym(&mut g, [Sym::X, v]), Sym::X);
+    }
+
+    #[test]
+    fn symbolic_inputs_hash_cons() {
+        let mut g = NorGraph::new();
+        let a = Sym::Node(g.var(false));
+        let b = Sym::Node(g.var(true));
+        let n1 = nor_sym(&mut g, [a, b]);
+        let n2 = nor_sym(&mut g, [b, a]);
+        assert_eq!(n1, n2, "commutativity via sorted hash-consing");
+        let na = not_sym(&mut g, a);
+        assert_eq!(not_sym(&mut g, na), a, "double negation");
+    }
+
+    #[test]
+    fn derived_gates_match_boolean_algebra() {
+        let mut g = NorGraph::new();
+        let v = Sym::Node(g.var(false));
+        assert_eq!(and_sym(&mut g, t(), v), v);
+        assert_eq!(and_sym(&mut g, f(), Sym::X), f(), "0 AND X = 0");
+        assert_eq!(or_sym(&mut g, [t(), Sym::X]), t(), "1 OR X = 1");
+        assert_eq!(maj_sym(&mut g, t(), t(), Sym::X), t(), "MAJ(1,1,X) = 1");
+        assert_eq!(maj_sym(&mut g, f(), f(), Sym::X), f(), "MAJ(0,0,X) = 0");
+        assert_eq!(maj_sym(&mut g, t(), f(), Sym::X), Sym::X);
+        assert_eq!(maj_sym(&mut g, t(), v, f()), v);
+    }
+}

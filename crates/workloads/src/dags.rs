@@ -42,72 +42,108 @@ fn const_node(dag: &mut Dag, value: i64) -> apim_compile::NodeId {
     dag.constant(value as u64)
 }
 
-/// The sharpen inner loop: `(5c - n - s - w - e) << FX_SHIFT >> FX_SHIFT`
-/// over inputs `c` (center) and `n`/`s`/`w`/`e` (4-neighborhood), exactly
-/// as [`crate::sharpen::sharpen`] issues it — five tap multiplications
-/// and a running sum, then the Q24→Q12 renormalization. The host clamps
-/// to pixel range afterwards, like the hand kernel.
+/// Fixed-point shift for a `width`-bit build of the workload DAGs: the
+/// full Q12 weights need 64-bit accumulation, so narrower builds (used by
+/// the `--equiv` sweep) scale the format down to keep every tap nonzero.
+/// At [`DAG_WIDTH`] this is exactly [`FX_SHIFT`].
+pub fn fx_shift_for(width: u32) -> u32 {
+    FX_SHIFT.min(width / 4)
+}
+
+/// The sharpen inner loop: `(5c - n - s - w - e) << fx >> fx` over inputs
+/// `c` (center) and `n`/`s`/`w`/`e` (4-neighborhood), exactly as
+/// [`crate::sharpen::sharpen`] issues it — five tap multiplications and a
+/// running sum, then the renormalizing shift (`fx` is
+/// [`fx_shift_for(width)`](fx_shift_for); Q12 at full width). The host
+/// clamps to pixel range afterwards, like the hand kernel.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Never — the DAG is statically well-formed.
-pub fn sharpen_dag() -> Dag {
-    let mut dag = Dag::new(DAG_WIDTH).unwrap();
+/// Rejects widths outside the crossbar-supported `4..=64` range.
+pub fn sharpen_dag_at(width: u32) -> Result<Dag, CompileError> {
+    let mut dag = Dag::new(width)?;
+    let fx = fx_shift_for(width);
+    let center = 5i64 << fx;
+    let cross = -(1i64 << fx);
     let mut acc = None;
     // The center tap leads the accumulation: an Add can absorb only one
     // negated product, so pairing two cross taps first would leave one
     // multiplication stuck with its expensive negative constant.
     for (name, weight) in [
-        ("c", SHARPEN_CENTER),
-        ("n", SHARPEN_CROSS),
-        ("w", SHARPEN_CROSS),
-        ("e", SHARPEN_CROSS),
-        ("s", SHARPEN_CROSS),
+        ("c", center),
+        ("n", cross),
+        ("w", cross),
+        ("e", cross),
+        ("s", cross),
     ] {
-        let tap = dag.input(name).unwrap();
+        let tap = dag.input(name)?;
         let weight = const_node(&mut dag, weight);
-        let product = dag.mul(tap, weight, PrecisionMode::Exact).unwrap();
+        let product = dag.mul(tap, weight, PrecisionMode::Exact)?;
         acc = Some(match acc {
             None => product,
-            Some(prev) => dag.add(prev, product).unwrap(),
+            Some(prev) => dag.add(prev, product)?,
         });
     }
-    let q12 = dag.shr(acc.unwrap(), FX_SHIFT).unwrap();
-    dag.set_root(q12).unwrap();
-    dag
+    let renorm = dag.shr(acc.expect("five taps"), fx)?;
+    dag.set_root(renorm)?;
+    Ok(dag)
+}
+
+/// [`sharpen_dag_at`] at the hand kernel's full [`DAG_WIDTH`].
+///
+/// # Panics
+///
+/// Never — the DAG is statically well-formed.
+pub fn sharpen_dag() -> Dag {
+    sharpen_dag_at(DAG_WIDTH).expect("full-width sharpen DAG is well-formed")
 }
 
 /// One Sobel gradient (the horizontal one; the vertical is the same DAG
 /// over transposed samples): six weighted taps accumulated in the hand
 /// kernel's order. Inputs `l0..l2` are the left kernel column
-/// (weights −1,−2,−1 × 1/6) and `r0..r2` the right (+1,+2,+1 × 1/6),
-/// row by row. The root is the Q24 gradient — magnitude and
-/// renormalization stay on the host, as in [`crate::sobel::sobel`].
+/// (weights −1,−2,−1 × w) and `r0..r2` the right (+1,+2,+1 × w), row by
+/// row, where `w` is the 1/6-normalized unit weight of the width's
+/// fixed-point format. The root is the full-precision gradient —
+/// magnitude and renormalization stay on the host, as in
+/// [`crate::sobel::sobel`].
+///
+/// # Errors
+///
+/// Rejects widths outside the crossbar-supported `4..=64` range.
+pub fn sobel_gradient_dag_at(width: u32) -> Result<Dag, CompileError> {
+    let mut dag = Dag::new(width)?;
+    // Keep the unit weight nonzero even where the narrowed fixed-point
+    // one (`1 << fx`) is smaller than the 1/6 normalizer.
+    let w1 = ((1i64 << fx_shift_for(width)) / 6).max(1);
+    let w2 = 2 * w1;
+    let mut acc = None;
+    for (name, weight) in [
+        ("l0", -w1),
+        ("r0", w1),
+        ("l1", -w2),
+        ("r1", w2),
+        ("l2", -w1),
+        ("r2", w1),
+    ] {
+        let tap = dag.input(name)?;
+        let weight = const_node(&mut dag, weight);
+        let product = dag.mul(tap, weight, PrecisionMode::Exact)?;
+        acc = Some(match acc {
+            None => product,
+            Some(prev) => dag.add(prev, product)?,
+        });
+    }
+    dag.set_root(acc.expect("six taps"))?;
+    Ok(dag)
+}
+
+/// [`sobel_gradient_dag_at`] at the hand kernel's full [`DAG_WIDTH`].
 ///
 /// # Panics
 ///
 /// Never — the DAG is statically well-formed.
 pub fn sobel_gradient_dag() -> Dag {
-    let mut dag = Dag::new(DAG_WIDTH).unwrap();
-    let mut acc = None;
-    for (name, weight) in [
-        ("l0", -SOBEL_W1),
-        ("r0", SOBEL_W1),
-        ("l1", -SOBEL_W2),
-        ("r1", SOBEL_W2),
-        ("l2", -SOBEL_W1),
-        ("r2", SOBEL_W1),
-    ] {
-        let tap = dag.input(name).unwrap();
-        let weight = const_node(&mut dag, weight);
-        let product = dag.mul(tap, weight, PrecisionMode::Exact).unwrap();
-        acc = Some(match acc {
-            None => product,
-            Some(prev) => dag.add(prev, product).unwrap(),
-        });
-    }
-    dag.set_root(acc.unwrap()).unwrap();
-    dag
+    sobel_gradient_dag_at(DAG_WIDTH).expect("full-width Sobel DAG is well-formed")
 }
 
 /// Analytic per-pixel cycle cost of the hand-written sharpen inner loop:
@@ -308,6 +344,28 @@ mod tests {
                 report.cycles,
                 gap * 100.0
             );
+        }
+    }
+
+    #[test]
+    fn narrow_dags_verify_equivalent_symbolically() {
+        for width in [8u32, 16, 32] {
+            for (dag, name) in [
+                (sharpen_dag_at(width).unwrap(), "sharpen"),
+                (sobel_gradient_dag_at(width).unwrap(), "sobel"),
+            ] {
+                let program = compile(&dag, &CompileOptions::default()).unwrap();
+                let mask = (1u64 << width) - 1;
+                let inputs: HashMap<String, u64> = program
+                    .dag()
+                    .inputs()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, n)| (n.to_string(), (3 * i as u64 + 7) & mask))
+                    .collect();
+                let report = program.verify_equiv(&inputs).unwrap();
+                assert!(report.equivalent, "{name}@{width}: {}", report.lint);
+            }
         }
     }
 
