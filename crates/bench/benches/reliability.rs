@@ -1,0 +1,38 @@
+//! Reliability-layer overheads: the in-crossbar SEC-DED encode/decode
+//! path, the protected-vs-raw fault campaign at the design density, and
+//! the wear-leveling comparison workload.
+
+use apim_reliability::{run_campaign, run_wear_demo, CampaignConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn campaign(ecc: bool) -> u64 {
+    let report = run_campaign(&CampaignConfig {
+        trials: 2,
+        ecc,
+        ..CampaignConfig::default()
+    })
+    .expect("campaign");
+    report
+        .kernels
+        .iter()
+        .map(|k| k.digest)
+        .fold(0, u64::wrapping_add)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reliability");
+    group.sample_size(10);
+    group.bench_function("campaign/ecc-on", |b| {
+        b.iter(|| campaign(true));
+    });
+    group.bench_function("campaign/ecc-off", |b| {
+        b.iter(|| campaign(false));
+    });
+    group.bench_function("wear-demo/36-rounds", |b| {
+        b.iter(|| run_wear_demo(36).expect("wear demo").rotate_max_writes);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

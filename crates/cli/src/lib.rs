@@ -140,8 +140,35 @@ pub enum Command {
         /// Mix seed.
         seed: u64,
     },
+    /// Seeded stuck-at fault-injection campaign over the kernel suite,
+    /// with or without the in-crossbar SEC-DED layer.
+    Faults {
+        /// Stuck-at fault density over the storage region (fraction of
+        /// cells, `0.0..=1.0`).
+        density: f64,
+        /// Which ECC settings to sweep.
+        ecc: EccMode,
+        /// Seed for operands and the fault field.
+        seed: u64,
+        /// Trials per word-oriented kernel.
+        trials: usize,
+        /// Run the endurance demo instead: wear-leveling allocation plus
+        /// row remapping with re-verification (`--wear-demo`).
+        wear_demo: bool,
+    },
     /// Print usage.
     Help,
+}
+
+/// Which ECC settings a `faults` campaign sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EccMode {
+    /// SEC-DED decode on every storage read.
+    On,
+    /// Raw reads; faults land in the kernels unprotected.
+    Off,
+    /// Both, back to back, for a protected-vs-raw comparison.
+    Both,
 }
 
 /// A parse failure with a user-facing message.
@@ -177,6 +204,8 @@ USAGE:
   apim-cli cluster-loadgen --nodes a:p,b:p[,...] [--requests N] [--seed S]
                            [--concurrency C]
   apim-cli cluster-smoke [--nodes N] [--requests N] [--workers N] [--seed S]
+  apim-cli faults [--density D] [--ecc on|off|both] [--seed S] [--trials N]
+  apim-cli faults --wear-demo
   apim-cli help
 
 APPS: sobel | robert | fft | dwt | sharpen | quasir
@@ -516,6 +545,60 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     seed,
                 })
             }
+            "faults" => {
+                let mut density = 1e-4f64;
+                let mut ecc = EccMode::On;
+                let mut seed = 7u64;
+                let mut trials = 4usize;
+                let mut wear_demo = false;
+                let mut it = rest.iter();
+                while let Some(flag) = it.next() {
+                    if flag == "--wear-demo" {
+                        wear_demo = true;
+                        continue;
+                    }
+                    let value = it
+                        .next()
+                        .ok_or_else(|| ParseError(format!("{flag} needs a value")))?;
+                    match flag.as_str() {
+                        "--density" => {
+                            let d: f64 = value.parse().map_err(|_| {
+                                ParseError(format!("invalid fault density `{value}`"))
+                            })?;
+                            if !(0.0..=1.0).contains(&d) {
+                                return Err(ParseError(format!(
+                                    "fault density {d} outside 0.0..=1.0"
+                                )));
+                            }
+                            density = d;
+                        }
+                        "--ecc" => {
+                            ecc = match value.as_str() {
+                                "on" => EccMode::On,
+                                "off" => EccMode::Off,
+                                "both" => EccMode::Both,
+                                other => {
+                                    return Err(ParseError(format!(
+                                        "invalid ecc mode `{other}` (expected on|off|both)"
+                                    )))
+                                }
+                            };
+                        }
+                        "--seed" => seed = parse_u64(value, "seed")?,
+                        "--trials" => {
+                            trials = parse_u64(value, "trial count")?.clamp(1, 64) as usize;
+                        }
+                        other => return Err(ParseError(format!("unknown flag `{other}`"))),
+                    }
+                }
+                Ok(Command::Faults {
+                    density,
+                    ecc,
+                    seed,
+                    trials,
+                    wear_demo,
+                })
+            }
             "repro" => match rest {
                 [exhibit] => Ok(Command::Repro {
                     exhibit: exhibit.clone(),
@@ -784,6 +867,82 @@ fn run_verify_equiv(
     Ok(out)
 }
 
+/// The `faults` command: either a fault-injection campaign over the
+/// kernel suite (gated — ECC-on runs must be bit-exact) or the endurance
+/// demo (gated — rotation must at least halve hottest-cell wear and the
+/// remapped adder must re-verify end to end).
+fn run_faults(
+    density: f64,
+    ecc: EccMode,
+    seed: u64,
+    trials: usize,
+    wear_demo: bool,
+) -> Result<String, apim::ApimError> {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    if wear_demo {
+        let wear = apim_reliability::run_wear_demo(36)?;
+        let _ = writeln!(out, "wear-leveling: {wear}");
+        let remap = apim_reliability::remap_adder_demo(16)?;
+        let moved: Vec<String> = remap
+            .remapped
+            .iter()
+            .map(|(worn, spare)| format!("{worn}->{spare}"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "row remap    : retired {} worn row(s) [{}]",
+            remap.remapped.len(),
+            moved.join(", ")
+        );
+        let _ = write!(
+            out,
+            "re-certify   : {} hazard error(s), equivalence {}",
+            remap.verify_errors,
+            if remap.equiv_ok { "proved" } else { "FAILED" }
+        );
+        if wear.reduction() < 2.0 {
+            return Err(apim::ApimError::Runtime(format!(
+                "wear-leveling gate: expected >= 2.0x hottest-cell reduction, got {:.1}x",
+                wear.reduction()
+            )));
+        }
+        if remap.verify_errors > 0 || !remap.equiv_ok {
+            return Err(apim::ApimError::Runtime(format!(
+                "remapped adder failed re-certification\n{out}"
+            )));
+        }
+        return Ok(out);
+    }
+
+    let modes: &[bool] = match ecc {
+        EccMode::On => &[true],
+        EccMode::Off => &[false],
+        EccMode::Both => &[true, false],
+    };
+    for &ecc_on in modes {
+        let report = apim_reliability::run_campaign(&apim_reliability::CampaignConfig {
+            seed,
+            density,
+            ecc: ecc_on,
+            trials,
+            ..apim_reliability::CampaignConfig::default()
+        })?;
+        let _ = write!(out, "{report}");
+        // A protected run that still diverges is a broken ECC layer, not a
+        // data point — fail loudly. Unprotected divergence is the point of
+        // the comparison and is only reported.
+        if ecc_on && !report.all_bit_exact() {
+            return Err(apim::ApimError::Runtime(format!(
+                "ECC-on campaign diverged from the fault-free digests\n{report}"
+            )));
+        }
+    }
+    out.pop();
+    Ok(out)
+}
+
 /// Executes a command, returning the text to print.
 ///
 /// # Errors
@@ -865,6 +1024,13 @@ pub fn execute(command: &Command) -> Result<String, apim::ApimError> {
                 "hottest cell absorbed {} writes",
                 report.max_cell_writes
             );
+            for h in &report.hotspots {
+                let _ = writeln!(
+                    out,
+                    "  hotspot: block {} row {:>2} col {:>3} — {} writes",
+                    h.block, h.row, h.col, h.writes
+                );
+            }
             let _ = write!(
                 out,
                 "verdict: {}",
@@ -1029,6 +1195,15 @@ pub fn execute(command: &Command) -> Result<String, apim::ApimError> {
                     report.loadgen.offered
                 )));
             }
+        }
+        Command::Faults {
+            density,
+            ecc,
+            seed,
+            trials,
+            wear_demo,
+        } => {
+            out = run_faults(*density, *ecc, *seed, *trials, *wear_demo)?;
         }
         Command::Repro { exhibit } => {
             use apim_bench as b;
@@ -1491,6 +1666,123 @@ mod tests {
         assert!(out.contains("apim_cluster_nodes 2"), "{out}");
         assert!(out.contains("checksum"), "{out}");
         cluster.shutdown();
+    }
+
+    #[test]
+    fn faults_parses_defaults_and_overrides() {
+        assert_eq!(
+            parse(&args("faults")).unwrap(),
+            Command::Faults {
+                density: 1e-4,
+                ecc: EccMode::On,
+                seed: 7,
+                trials: 4,
+                wear_demo: false,
+            }
+        );
+        assert_eq!(
+            parse(&args(
+                "faults --density 0.02 --ecc both --seed 11 --trials 2"
+            ))
+            .unwrap(),
+            Command::Faults {
+                density: 0.02,
+                ecc: EccMode::Both,
+                seed: 11,
+                trials: 2,
+                wear_demo: false,
+            }
+        );
+        assert_eq!(
+            parse(&args("faults --wear-demo")).unwrap(),
+            Command::Faults {
+                density: 1e-4,
+                ecc: EccMode::On,
+                seed: 7,
+                trials: 4,
+                wear_demo: true,
+            }
+        );
+        assert!(parse(&args("faults --density")).is_err());
+        assert!(
+            parse(&args("faults --density 1.5")).is_err(),
+            "out of range"
+        );
+        assert!(parse(&args("faults --density banana")).is_err());
+        assert!(parse(&args("faults --ecc maybe")).is_err());
+        assert!(parse(&args("faults --frob 3")).is_err());
+    }
+
+    #[test]
+    fn faults_campaign_is_bit_exact_with_ecc_on() {
+        let out = execute(&Command::Faults {
+            density: 1e-4,
+            ecc: EccMode::On,
+            seed: 7,
+            trials: 2,
+            wear_demo: false,
+        })
+        .unwrap();
+        assert!(out.contains("ecc on"), "{out}");
+        for kernel in ["adder", "multiplier", "sharpen"] {
+            assert!(out.contains(kernel), "{kernel} missing: {out}");
+        }
+        assert!(out.contains("bit-exact"), "{out}");
+        assert!(!out.contains("DIVERGED"), "{out}");
+        assert!(out.contains("ecc") && out.contains("cycles"), "{out}");
+    }
+
+    #[test]
+    fn faults_both_sweeps_protected_and_raw() {
+        let out = execute(&Command::Faults {
+            density: 1e-4,
+            ecc: EccMode::Both,
+            seed: 7,
+            trials: 2,
+            wear_demo: false,
+        })
+        .unwrap();
+        assert!(out.contains("ecc on"), "{out}");
+        assert!(out.contains("ecc off"), "{out}");
+    }
+
+    #[test]
+    fn faults_raw_sweep_reports_degradation_without_failing() {
+        // At 2% density the unprotected sweep must visibly degrade, and
+        // that is a *measurement*, not a command failure.
+        let out = execute(&Command::Faults {
+            density: 0.02,
+            ecc: EccMode::Off,
+            seed: 7,
+            trials: 2,
+            wear_demo: false,
+        })
+        .unwrap();
+        assert!(out.contains("DIVERGED"), "{out}");
+        assert!(out.contains("rel_err"), "{out}");
+    }
+
+    #[test]
+    fn faults_wear_demo_passes_both_gates() {
+        let out = execute(&Command::Faults {
+            density: 1e-4,
+            ecc: EccMode::On,
+            seed: 7,
+            trials: 4,
+            wear_demo: true,
+        })
+        .unwrap();
+        assert!(out.contains("x reduction"), "{out}");
+        assert!(out.contains("retired"), "{out}");
+        assert!(out.contains("0 hazard error(s)"), "{out}");
+        assert!(out.contains("equivalence proved"), "{out}");
+    }
+
+    #[test]
+    fn selftest_surfaces_wear_hotspots() {
+        let out = execute(&Command::SelfTest { samples: 4 }).unwrap();
+        assert_eq!(out.matches("hotspot:").count(), 3, "{out}");
+        assert!(out.contains("writes"), "{out}");
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub use apim_arch::{
     PrecisionMode, TuneOutcome,
 };
 pub use apim_baselines::{AppProfile, CostReport, GpuModel, GpuParams};
+pub use apim_crossbar::HotSpot;
 pub use apim_device::{Cycles, DeviceParams, EnergyDelayProduct, Joules, Seconds};
 pub use apim_workloads::{App, QualityReport, RunConfig};
 

@@ -4,7 +4,7 @@ use apim_arch::{
     AdaptiveController, ApimConfig, ApimCost, ArchError, Comparison, Executor, TuneOutcome,
 };
 use apim_baselines::{CostReport, GpuModel, GpuParams};
-use apim_crossbar::CrossbarError;
+use apim_crossbar::{CrossbarError, HotSpot};
 use apim_logic::error_analysis::SplitMix64;
 use apim_logic::multiplier::CrossbarMultiplier;
 use apim_logic::{functional, CostModel, PrecisionMode};
@@ -60,7 +60,7 @@ impl From<CrossbarError> for ApimError {
 }
 
 /// Verdict of a gate-level self-test ([`Apim::self_test`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SelfTestReport {
     /// Multiplications executed.
     pub samples: u32,
@@ -68,6 +68,9 @@ pub struct SelfTestReport {
     pub mismatches: u32,
     /// Wear absorbed by the hottest cell during the test.
     pub max_cell_writes: u64,
+    /// The most-written cells, hottest first, so endurance pressure can be
+    /// localised to concrete wordlines rather than just flagged.
+    pub hotspots: Vec<HotSpot>,
 }
 
 impl SelfTestReport {
@@ -299,6 +302,7 @@ impl Apim {
             samples,
             mismatches,
             max_cell_writes: mul.crossbar().max_cell_writes(),
+            hotspots: mul.crossbar().hotspots(3),
         })
     }
 
@@ -407,6 +411,10 @@ mod tests {
         assert!(report.passed(), "{report:?}");
         assert_eq!(report.samples, 12);
         assert!(report.max_cell_writes > 0);
+        // The top hotspot is by definition the hottest cell.
+        assert_eq!(report.hotspots.len(), 3);
+        assert_eq!(report.hotspots[0].writes, report.max_cell_writes);
+        assert!(report.hotspots[0].writes >= report.hotspots[2].writes);
     }
 
     #[test]

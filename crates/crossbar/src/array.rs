@@ -116,6 +116,22 @@ impl CrossbarArray {
         self.cells.iter().map(Cell::writes).max().unwrap_or(0)
     }
 
+    /// The `k` most-written cells as `(row, col, writes)`, hottest first
+    /// (ties broken by coordinate, lowest first). Cells that never absorbed
+    /// a write are omitted, so the result may be shorter than `k`.
+    pub fn hotspots(&self, k: usize) -> Vec<(usize, usize, u64)> {
+        let mut cells: Vec<(usize, usize, u64)> = self
+            .cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.writes() > 0)
+            .map(|(i, c)| (i / self.cols, i % self.cols, c.writes()))
+            .collect();
+        cells.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+        cells.truncate(k);
+        cells
+    }
+
     /// Total writes absorbed by the whole array.
     pub fn total_cell_writes(&self) -> u64 {
         self.cells.iter().map(Cell::writes).sum()

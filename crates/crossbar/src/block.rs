@@ -132,6 +132,20 @@ impl Store {
         }
     }
 
+    fn fault_count(&self) -> usize {
+        match self {
+            Store::Packed(a) => a.fault_count(),
+            Store::Scalar(a) => a.fault_count(),
+        }
+    }
+
+    fn hotspots(&self, k: usize) -> Vec<(usize, usize, u64)> {
+        match self {
+            Store::Packed(a) => a.hotspots(k),
+            Store::Scalar(a) => a.hotspots(k),
+        }
+    }
+
     /// Lowest column in `span` of `row` reading OFF, if any (pre-validated
     /// coordinates). The strict-init scan.
     fn first_off(&self, row: usize, span: &Range<usize>) -> Option<usize> {
@@ -1252,6 +1266,43 @@ impl BlockedCrossbar {
             .map(Store::max_cell_writes)
             .max()
             .unwrap_or(0)
+    }
+
+    /// The `k` most-written cells across every block, hottest first (ties
+    /// broken by coordinate). Built from the same two-level counters as
+    /// [`BlockedCrossbar::wear_report`]; never-written cells are omitted.
+    pub fn hotspots(&self, k: usize) -> Vec<crate::wear::HotSpot> {
+        let mut cells: Vec<crate::wear::HotSpot> = self
+            .blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(block, store)| {
+                store
+                    .hotspots(k)
+                    .into_iter()
+                    .map(move |(row, col, writes)| crate::wear::HotSpot {
+                        block,
+                        row,
+                        col,
+                        writes,
+                    })
+            })
+            .collect();
+        cells.sort_by(|a, b| {
+            b.writes
+                .cmp(&a.writes)
+                .then(a.block.cmp(&b.block))
+                .then(a.row.cmp(&b.row))
+                .then(a.col.cmp(&b.col))
+        });
+        cells.truncate(k);
+        cells
+    }
+
+    /// Number of cells currently carrying an injected stuck-at fault,
+    /// summed over every block.
+    pub fn fault_count(&self) -> usize {
+        self.blocks.iter().map(Store::fault_count).sum()
     }
 }
 

@@ -36,6 +36,25 @@ pub struct RowAllocator {
     free: Vec<usize>,
     next: usize,
     trace: Option<Vec<AllocEvent>>,
+    policy: ReusePolicy,
+}
+
+/// How a [`RowAllocator`] recycles freed rows.
+///
+/// The choice never changes *which* rows a kernel can use — only the order
+/// they are handed out — so microprograms are correct under either policy;
+/// what changes is where endurance is spent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReusePolicy {
+    /// Reuse the most recently freed row first (LIFO) and only bump into
+    /// fresh rows when the free list is empty. Minimal footprint, but a
+    /// kernel run in a loop hammers the same few scratch rows forever.
+    #[default]
+    Stack,
+    /// Wear leveling: prefer never-claimed rows while any remain, then
+    /// recycle freed rows oldest-first (FIFO). Scratch allocations
+    /// round-robin across the whole block, spreading write wear evenly.
+    Rotate,
 }
 
 impl RowAllocator {
@@ -46,6 +65,7 @@ impl RowAllocator {
             free: Vec::new(),
             next: 0,
             trace: None,
+            policy: ReusePolicy::Stack,
         }
     }
 
@@ -57,6 +77,29 @@ impl RowAllocator {
             trace: Some(Vec::new()),
             ..RowAllocator::new(rows)
         }
+    }
+
+    /// A wear-leveling allocator ([`ReusePolicy::Rotate`]): scratch rows
+    /// rotate through the whole block instead of piling writes onto the
+    /// lowest rows.
+    pub fn round_robin(rows: usize) -> Self {
+        RowAllocator {
+            policy: ReusePolicy::Rotate,
+            ..RowAllocator::new(rows)
+        }
+    }
+
+    /// [`RowAllocator::round_robin`] with event tracing armed.
+    pub fn round_robin_with_tracing(rows: usize) -> Self {
+        RowAllocator {
+            policy: ReusePolicy::Rotate,
+            ..RowAllocator::with_tracing(rows)
+        }
+    }
+
+    /// The active reuse policy.
+    pub fn policy(&self) -> ReusePolicy {
+        self.policy
     }
 
     /// Drains and returns the recorded event log (empty when the allocator
@@ -78,7 +121,18 @@ impl RowAllocator {
     /// Returns [`CrossbarError::OutOfBounds`] when the block has no rows
     /// left — the caller's layout needs a bigger block.
     pub fn alloc(&mut self) -> Result<usize> {
-        if let Some(row) = self.free.pop() {
+        let recycled = match self.policy {
+            // LIFO: favour the warmest row for cache-like locality of the
+            // simulated layout (the historical behaviour).
+            ReusePolicy::Stack => self.free.pop(),
+            // Rotation claims fresh rows while any exist; recycling (FIFO)
+            // only starts once the whole block has been touched.
+            ReusePolicy::Rotate if self.next >= self.rows && !self.free.is_empty() => {
+                Some(self.free.remove(0))
+            }
+            ReusePolicy::Rotate => None,
+        };
+        if let Some(row) = recycled {
             self.record(AllocEvent::Alloc { row });
             return Ok(row);
         }
@@ -255,5 +309,64 @@ mod tests {
         let mut a = RowAllocator::new(2);
         a.alloc().unwrap();
         assert!(a.take_events().is_empty());
+    }
+
+    #[test]
+    fn rotation_prefers_fresh_rows_over_freed_ones() {
+        let mut a = RowAllocator::round_robin(4);
+        let r0 = a.alloc().unwrap();
+        a.free(r0).unwrap();
+        // Stack policy would hand r0 straight back; rotation moves on.
+        assert_eq!(a.alloc().unwrap(), 1);
+        assert_eq!(a.alloc().unwrap(), 2);
+        assert_eq!(a.alloc().unwrap(), 3);
+        // Block exhausted: now the freed row comes back.
+        assert_eq!(a.alloc().unwrap(), r0);
+        assert!(a.alloc().is_err());
+    }
+
+    #[test]
+    fn rotation_recycles_oldest_freed_row_first() {
+        let mut a = RowAllocator::round_robin(3);
+        let rows = a.alloc_many(3).unwrap();
+        a.free(rows[2]).unwrap();
+        a.free(rows[0]).unwrap();
+        assert_eq!(a.alloc().unwrap(), rows[2], "FIFO, not LIFO");
+        assert_eq!(a.alloc().unwrap(), rows[0]);
+    }
+
+    #[test]
+    fn rotation_cycles_through_the_whole_block() {
+        // A one-row working set on an 8-row block must visit all 8 rows
+        // before reusing any — that is the whole wear-leveling argument.
+        let mut a = RowAllocator::round_robin(8);
+        let mut seen = Vec::new();
+        for _ in 0..8 {
+            let r = a.alloc().unwrap();
+            seen.push(r);
+            a.free(r).unwrap();
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn rotation_keeps_free_validation() {
+        let mut a = RowAllocator::round_robin(4);
+        let r = a.alloc().unwrap();
+        a.free(r).unwrap();
+        assert_eq!(a.free(r), Err(CrossbarError::DoubleFree { row: r }));
+        assert_eq!(a.free(3), Err(CrossbarError::FreeUnallocated { row: 3 }));
+        assert_eq!(a.available(), 4);
+    }
+
+    #[test]
+    fn policies_are_reported() {
+        assert_eq!(RowAllocator::new(2).policy(), ReusePolicy::Stack);
+        assert_eq!(RowAllocator::round_robin(2).policy(), ReusePolicy::Rotate);
+        let mut traced = RowAllocator::round_robin_with_tracing(2);
+        let r = traced.alloc().unwrap();
+        assert_eq!(traced.take_events(), vec![AllocEvent::Alloc { row: r }]);
     }
 }

@@ -64,11 +64,11 @@ pub use block::{Backend, BlockId, BlockRole, BlockedCrossbar, CrossbarConfig, Ro
 pub use cell::{Cell, Fault};
 pub use error::CrossbarError;
 pub use interconnect::BarrelShifter;
-pub use layout::RowAllocator;
+pub use layout::{ReusePolicy, RowAllocator};
 pub use packed::{PackedArray, WORD_BITS};
 pub use stats::{EnergyBreakdown, Stats};
 pub use trace::{AllocEvent, OpTrace, TraceOp};
-pub use wear::{BlockWear, WearReport};
+pub use wear::{BlockWear, HotSpot, WearReport};
 
 /// Convenience result alias for crossbar operations.
 pub type Result<T> = std::result::Result<T, CrossbarError>;

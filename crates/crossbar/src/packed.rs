@@ -391,6 +391,25 @@ impl PackedArray {
         max
     }
 
+    /// The `k` most-written cells as `(row, col, writes)`, hottest first
+    /// (ties broken by coordinate, lowest first). Cells that never absorbed
+    /// a write are omitted, so the result may be shorter than `k`.
+    pub fn hotspots(&self, k: usize) -> Vec<(usize, usize, u64)> {
+        let mut cells: Vec<(usize, usize, u64)> = Vec::new();
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                let w = self.wear[row * self.cols + col]
+                    + self.word_wear[self.widx(row, col / WORD_BITS)];
+                if w > 0 {
+                    cells.push((row, col, w));
+                }
+            }
+        }
+        cells.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+        cells.truncate(k);
+        cells
+    }
+
     /// Total writes absorbed by the whole array (running `count_ones()`
     /// sum, O(1)).
     pub fn total_cell_writes(&self) -> u64 {

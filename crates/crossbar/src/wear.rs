@@ -8,6 +8,34 @@
 
 use std::fmt;
 
+/// One entry of a top-K wear ranking: a single cell and its write count.
+///
+/// Produced by [`crate::BlockedCrossbar::hotspots`] from the two-level
+/// (per-word + per-cell) counters; the campaign tooling and `apim-cli`
+/// surface these so operators can see *where* endurance is being spent,
+/// not just how much.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotSpot {
+    /// Block index.
+    pub block: usize,
+    /// Wordline of the cell.
+    pub row: usize,
+    /// Bitline of the cell.
+    pub col: usize,
+    /// Writes absorbed by the cell.
+    pub writes: u64,
+}
+
+impl fmt::Display for HotSpot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "block {} row {} col {}: {} writes",
+            self.block, self.row, self.col, self.writes
+        )
+    }
+}
+
 /// Per-block wear summary.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BlockWear {

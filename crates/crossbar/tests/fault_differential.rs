@@ -1,0 +1,240 @@
+//! Fault-overlay differential suite: Packed vs Scalar under identical
+//! injected fault sets.
+//!
+//! The overlay bitplanes (`fault_mask`/`fault_val` on the packed fabric,
+//! `Option<Fault>` per scalar cell) must perturb *reads* — and therefore
+//! every NOR, strict-init scan and sense-amplifier read built on them —
+//! identically on both backends. Seeded stuck-at fault sets at several
+//! densities are injected into both crossbars, random compute/read
+//! sequences are replayed on each, and every observable (per-op results,
+//! error payloads, cell state, stats, wear) must agree bit for bit.
+
+use apim_crossbar::{
+    Backend, BlockedCrossbar, CrossbarConfig, CrossbarError, Fault, Result, RowRef,
+};
+use proptest::prelude::*;
+
+const BLOCKS: usize = 3;
+const ROWS: usize = 10;
+/// Two words per row with a ragged top word, so faults land on edge-masked
+/// and cross-word paths too.
+const COLS: usize = 100;
+
+fn pair() -> (BlockedCrossbar, BlockedCrossbar) {
+    let cfg = |backend| CrossbarConfig {
+        blocks: BLOCKS,
+        rows: ROWS,
+        cols: COLS,
+        strict_init: false,
+        backend,
+        ..CrossbarConfig::default()
+    };
+    (
+        BlockedCrossbar::new(cfg(Backend::Packed)).unwrap(),
+        BlockedCrossbar::new(cfg(Backend::Scalar)).unwrap(),
+    )
+}
+
+/// Deterministic SplitMix64 stream shared by both replays.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+/// Injects the same seeded stuck-at fault set into both crossbars; roughly
+/// `density` of all cells are faulted, polarity split evenly. Returns the
+/// number of faulted cells.
+fn inject_same_faults(
+    a: &mut BlockedCrossbar,
+    b: &mut BlockedCrossbar,
+    seed: u64,
+    density: f64,
+) -> usize {
+    let mut g = Gen(seed);
+    let threshold = (density.clamp(0.0, 1.0) * u64::MAX as f64) as u64;
+    let mut injected = 0;
+    for block in 0..BLOCKS {
+        for row in 0..ROWS {
+            for col in 0..COLS {
+                if g.next() >= threshold {
+                    continue;
+                }
+                let fault = if g.bool() {
+                    Fault::StuckAtOne
+                } else {
+                    Fault::StuckAtZero
+                };
+                let blk = a.block(block).unwrap();
+                a.inject_fault(blk, row, col, Some(fault)).unwrap();
+                b.inject_fault(blk, row, col, Some(fault)).unwrap();
+                injected += 1;
+            }
+        }
+    }
+    injected
+}
+
+/// One random observable-producing step replayed on both crossbars; the
+/// results (including error payloads) must match exactly. Both replays
+/// drive their own generator from the same seed, so as long as the
+/// backends behave identically the draw streams stay in lockstep (and if
+/// they ever diverge, the per-step assertion fires).
+fn step(x: &mut BlockedCrossbar, g: &mut Gen) -> std::result::Result<u64, CrossbarError> {
+    let blk = x.block(g.below(BLOCKS))?;
+    match g.below(6) {
+        0 => {
+            // Store then read back through the overlay.
+            let (row, col0) = (g.below(ROWS), g.below(COLS - 64));
+            let v = g.next();
+            x.preload_u64(blk, row, col0, 64, v)?;
+            x.peek_u64(blk, row, col0, 64)
+        }
+        1 => {
+            // Single-bit write + sense-amplifier read.
+            let (row, col) = (g.below(ROWS), g.below(COLS));
+            let bit = g.bool();
+            x.preload_bit(blk, row, col, bit)?;
+            Ok(u64::from(x.read_bit(blk, row, col)?))
+        }
+        2 => {
+            // Column-parallel NOR over possibly-faulty inputs.
+            let rows: Vec<usize> = (0..2).map(|_| g.below(ROWS - 1)).collect();
+            let out = ROWS - 1;
+            let lo = g.below(COLS - 70);
+            let cols = lo..lo + 64 + g.below(6);
+            x.init_rows(blk, &[out], cols.clone())?;
+            let inputs: Vec<RowRef> = rows.iter().map(|&r| RowRef::new(blk, r)).collect();
+            x.nor_rows_shifted(&inputs, RowRef::new(blk, out), cols.clone(), 0)?;
+            x.peek_u64(blk, out, cols.start, 64)
+        }
+        3 => {
+            // Majority read across three possibly-faulty cells.
+            let cells = [
+                (g.below(ROWS), g.below(COLS)),
+                (g.below(ROWS), g.below(COLS)),
+                (g.below(ROWS), g.below(COLS)),
+            ];
+            Ok(u64::from(x.maj_read(blk, cells)?))
+        }
+        4 => {
+            // Single-cell NOR.
+            let inputs = vec![(g.below(ROWS - 1), g.below(COLS)), (g.below(ROWS - 1), 0)];
+            let out = (ROWS - 1, g.below(COLS));
+            x.init_cells(blk, &[out])?;
+            x.nor_cells(blk, &inputs, out)?;
+            Ok(u64::from(x.peek_bit(blk, out.0, out.1)?))
+        }
+        _ => {
+            // Bulk word read over the ragged top word.
+            let row = g.below(ROWS);
+            x.peek_u64(blk, row, COLS - 36, 36)
+        }
+    }
+}
+
+fn run_differential(seed: u64, density: f64, steps: usize) {
+    let (mut packed, mut scalar) = pair();
+    let n = inject_same_faults(&mut packed, &mut scalar, seed, density);
+    assert_eq!(packed.fault_count(), n);
+    assert_eq!(scalar.fault_count(), n);
+
+    let mut gp = Gen(seed ^ 0xD1F);
+    let mut gs = Gen(seed ^ 0xD1F);
+    for i in 0..steps {
+        let rp = step(&mut packed, &mut gp);
+        let rs = step(&mut scalar, &mut gs);
+        assert_eq!(rp, rs, "step {i} diverged (seed {seed}, density {density})");
+    }
+
+    // Terminal state, stats and wear must also be identical.
+    for block in 0..BLOCKS {
+        let blk = packed.block(block).unwrap();
+        for row in 0..ROWS {
+            for col in 0..COLS {
+                assert_eq!(
+                    packed.peek_bit(blk, row, col).unwrap(),
+                    scalar.peek_bit(blk, row, col).unwrap(),
+                    "cell ({block},{row},{col}) diverged"
+                );
+                assert_eq!(
+                    packed.cell_writes(blk, row, col).unwrap(),
+                    scalar.cell_writes(blk, row, col).unwrap(),
+                    "wear ({block},{row},{col}) diverged"
+                );
+            }
+        }
+    }
+    assert_eq!(packed.stats(), scalar.stats());
+    assert_eq!(packed.hotspots(16), scalar.hotspots(16));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn backends_agree_under_sparse_faults(seed in any::<u64>()) {
+        run_differential(seed, 0.01, 60);
+    }
+
+    #[test]
+    fn backends_agree_under_dense_faults(seed in any::<u64>()) {
+        run_differential(seed, 0.2, 60);
+    }
+
+    #[test]
+    fn backends_agree_with_no_faults(seed in any::<u64>()) {
+        run_differential(seed, 0.0, 40);
+    }
+}
+
+#[test]
+fn stuck_at_one_perturbs_reads_on_both_backends() -> Result<()> {
+    let (mut packed, mut scalar) = pair();
+    for x in [&mut packed, &mut scalar] {
+        let blk = x.block(0)?;
+        x.preload_bit(blk, 0, 0, false)?;
+        x.inject_fault(blk, 0, 0, Some(Fault::StuckAtOne))?;
+        assert!(x.peek_bit(blk, 0, 0)?, "stuck-at-1 must win over stored 0");
+        assert!(x.read_bit(blk, 0, 0)?);
+        // Writes land in the underlying store but reads stay pinned.
+        x.preload_bit(blk, 0, 0, false)?;
+        assert!(x.peek_bit(blk, 0, 0)?);
+        // Clearing the fault reveals the last stored value again.
+        x.inject_fault(blk, 0, 0, None)?;
+        assert!(!x.peek_bit(blk, 0, 0)?);
+    }
+    Ok(())
+}
+
+#[test]
+fn stuck_at_zero_flips_nor_results_on_both_backends() -> Result<()> {
+    let (mut packed, mut scalar) = pair();
+    for x in [&mut packed, &mut scalar] {
+        let blk = x.block(0)?;
+        // NOR(1, 0) = 0 normally; pin the 1-input to zero and it becomes 1.
+        x.preload_bit(blk, 0, 0, true)?;
+        x.preload_bit(blk, 1, 0, false)?;
+        x.inject_fault(blk, 0, 0, Some(Fault::StuckAtZero))?;
+        x.init_cells(blk, &[(2, 0)])?;
+        x.nor_cells(blk, &[(0, 0), (1, 0)], (2, 0))?;
+        assert!(x.peek_bit(blk, 2, 0)?, "faulted input must flip the NOR");
+    }
+    assert_eq!(packed.fault_count(), 1);
+    assert_eq!(scalar.fault_count(), 1);
+    Ok(())
+}

@@ -1,0 +1,183 @@
+//! Seeded stuck-at fault injection for reliability campaigns.
+//!
+//! A [`FaultPlan`] decides per *cell coordinate* whether that cell is
+//! faulted, by hashing `(seed, block, row, col)` with SplitMix64 finalizers
+//! and comparing against a density threshold. Keying on the coordinate
+//! (rather than drawing from a sequential stream) makes injection
+//! order-independent: any subset of rows can be swept in any order, on
+//! either backend, and the same cells come out faulted — which is what lets
+//! the campaign runner inject identical fault sets into Packed and Scalar
+//! crossbars and demand bit-identical behaviour.
+
+use apim_crossbar::{BlockedCrossbar, Fault, Result};
+
+/// Mixes a 64-bit value through the SplitMix64 finalizer.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One injected fault, for reporting and for replaying the same set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Block index the fault landed in.
+    pub block: usize,
+    /// Wordline of the faulted cell.
+    pub row: usize,
+    /// Bitline of the faulted cell.
+    pub col: usize,
+    /// Stuck-at polarity.
+    pub fault: Fault,
+}
+
+/// A deterministic stuck-at fault distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed shared by every per-cell decision.
+    pub seed: u64,
+    /// Expected fraction of cells faulted, clamped to `[0, 1]`.
+    pub density: f64,
+}
+
+impl FaultPlan {
+    /// A plan injecting roughly `density` of all cells, keyed by `seed`.
+    pub fn new(seed: u64, density: f64) -> Self {
+        FaultPlan { seed, density }
+    }
+
+    fn threshold(&self) -> u64 {
+        // `u64::MAX as f64` rounds up to 2^64, so a density of 1.0 would
+        // overflow the cast; saturate explicitly.
+        let scaled = self.density.clamp(0.0, 1.0) * (u64::MAX as f64);
+        if scaled >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            scaled as u64
+        }
+    }
+
+    /// The fault (if any) this plan assigns to one cell. Pure function of
+    /// the plan and the coordinate.
+    pub fn fault_at(&self, block: usize, row: usize, col: usize) -> Option<Fault> {
+        let key = mix(self
+            .seed
+            .wrapping_add(mix((block as u64) << 40 ^ (row as u64) << 20 ^ col as u64)));
+        if key >= self.threshold() {
+            return None;
+        }
+        // An independent bit decides polarity so that threshold comparisons
+        // never bias it.
+        Some(if mix(key ^ 0xA5A5_A5A5_A5A5_A5A5) & 1 == 1 {
+            Fault::StuckAtOne
+        } else {
+            Fault::StuckAtZero
+        })
+    }
+
+    /// Injects this plan's faults into the given rows of one block
+    /// (columns `0..xbar.cols()`), returning every fault placed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates crossbar coordinate errors.
+    pub fn inject_rows(
+        &self,
+        xbar: &mut BlockedCrossbar,
+        block: usize,
+        rows: &[usize],
+    ) -> Result<Vec<InjectedFault>> {
+        let blk = xbar.block(block)?;
+        let cols = xbar.cols();
+        let mut injected = Vec::new();
+        for &row in rows {
+            for col in 0..cols {
+                if let Some(fault) = self.fault_at(block, row, col) {
+                    xbar.inject_fault(blk, row, col, Some(fault))?;
+                    injected.push(InjectedFault {
+                        block,
+                        row,
+                        col,
+                        fault,
+                    });
+                }
+            }
+        }
+        Ok(injected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apim_crossbar::{Backend, BlockedCrossbar, CrossbarConfig};
+
+    #[test]
+    fn decisions_are_deterministic_and_coordinate_keyed() {
+        let plan = FaultPlan::new(7, 0.05);
+        for block in 0..3 {
+            for row in 0..16 {
+                for col in 0..64 {
+                    assert_eq!(
+                        plan.fault_at(block, row, col),
+                        plan.fault_at(block, row, col)
+                    );
+                }
+            }
+        }
+        // A different seed decorrelates the pattern.
+        let other = FaultPlan::new(8, 0.05);
+        let a: Vec<_> = (0..4096).map(|c| plan.fault_at(0, 0, c)).collect();
+        let b: Vec<_> = (0..4096).map(|c| other.fault_at(0, 0, c)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn density_extremes_behave() {
+        let none = FaultPlan::new(3, 0.0);
+        let all = FaultPlan::new(3, 1.0);
+        for col in 0..256 {
+            assert_eq!(none.fault_at(0, 0, col), None);
+            assert!(all.fault_at(0, 0, col).is_some());
+        }
+    }
+
+    #[test]
+    fn observed_density_tracks_requested_density() {
+        let plan = FaultPlan::new(11, 0.1);
+        let n = 100_000;
+        let hits = (0..n).filter(|&c| plan.fault_at(1, 2, c).is_some()).count();
+        let observed = hits as f64 / n as f64;
+        assert!(
+            (observed - 0.1).abs() < 0.01,
+            "observed {observed} too far from 0.1"
+        );
+        // Polarity is roughly balanced.
+        let ones = (0..n)
+            .filter(|&c| plan.fault_at(1, 2, c) == Some(Fault::StuckAtOne))
+            .count();
+        let ratio = ones as f64 / hits as f64;
+        assert!((ratio - 0.5).abs() < 0.05, "polarity ratio {ratio}");
+    }
+
+    #[test]
+    fn injection_is_backend_identical_and_order_independent() {
+        let plan = FaultPlan::new(42, 0.08);
+        let cfg = |backend| CrossbarConfig {
+            backend,
+            ..CrossbarConfig::default()
+        };
+        let mut packed = BlockedCrossbar::new(cfg(Backend::Packed)).unwrap();
+        let mut scalar = BlockedCrossbar::new(cfg(Backend::Scalar)).unwrap();
+        let rows: Vec<usize> = (0..8).collect();
+        let reversed: Vec<usize> = rows.iter().rev().copied().collect();
+        let a = plan.inject_rows(&mut packed, 0, &rows).unwrap();
+        let mut b = plan.inject_rows(&mut scalar, 0, &reversed).unwrap();
+        b.sort_by_key(|f| (f.row, f.col));
+        let mut a_sorted = a.clone();
+        a_sorted.sort_by_key(|f| (f.row, f.col));
+        assert_eq!(a_sorted, b);
+        assert!(!a.is_empty());
+        assert_eq!(packed.fault_count(), scalar.fault_count());
+    }
+}

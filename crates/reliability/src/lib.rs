@@ -1,0 +1,34 @@
+//! Reliability layer for the APIM simulator.
+//!
+//! RRAM crossbars trade density and in-memory compute for two hard device
+//! problems: cells get **stuck** (fabrication defects, retention failures)
+//! and cells **wear out** (bounded write endurance). This crate closes the
+//! loop on both, building only on the public crossbar/logic/verify APIs:
+//!
+//! * [`ecc`] — Hamming SEC-DED computed *inside* the crossbar with MAGIC
+//!   NOR sequences, column-parallel across bitlines: each bitline of a
+//!   13-row group is an independent codeword, so one decode pass corrects
+//!   any single stuck cell per column and detects double errors, costed in
+//!   cycles and energy like every other kernel.
+//! * [`wearlevel`] — endurance-aware placement: the wear-leveling
+//!   allocation policy quantified against the default stack policy, plus
+//!   row remapping that retires wordlines past an endurance budget and
+//!   re-certifies the remapped microprogram (all hazard passes + symbolic
+//!   equivalence).
+//! * [`faults`] — deterministic, coordinate-keyed stuck-at fault injection
+//!   that is order-independent and identical across backends.
+//! * [`campaign`] — the fault-injection campaign runner sweeping the
+//!   kernel and compiled-DAG suite under a seeded fault field, proving
+//!   bit-exactness with ECC on and quantifying degradation with it off.
+
+#![deny(missing_docs)]
+
+pub mod campaign;
+pub mod ecc;
+pub mod faults;
+pub mod wearlevel;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, KernelOutcome};
+pub use ecc::{DecodeReport, EccGroup, DATA_ROWS, DECODE_CYCLES, ENCODE_CYCLES, GROUP_ROWS};
+pub use faults::{FaultPlan, InjectedFault};
+pub use wearlevel::{remap_adder_demo, run_wear_demo, RemapDemoReport, RemapPlan, WearDemoReport};

@@ -1,0 +1,690 @@
+//! Endurance-aware placement: wear-leveling rotation and row remapping.
+//!
+//! Two complementary mechanisms extend crossbar lifetime:
+//!
+//! * **Rotation** ([`apim_crossbar::ReusePolicy::Rotate`]): scratch
+//!   allocations walk the whole block instead of hammering the lowest rows.
+//!   [`run_wear_demo`] quantifies the effect by running the identical XOR
+//!   workload under both reuse policies and comparing the hottest cell.
+//! * **Remapping** ([`RemapPlan`]): rows whose hottest cell has crossed an
+//!   endurance budget are retired to spare wordlines. The plan rewrites a
+//!   recorded microprogram ([`RemapPlan::remap_trace`]) and its allocator
+//!   event log, so the remapped program can be re-checked by the full
+//!   `apim-verify` pass stack *and* re-proved equivalent to its integer
+//!   spec before anything trusts the new placement.
+
+use std::collections::BTreeMap;
+
+use apim_crossbar::{
+    AllocEvent, Backend, BlockedCrossbar, CrossbarConfig, CrossbarError, OpTrace, Result,
+    RowAllocator, RowRef, TraceOp,
+};
+use apim_logic::adder_serial::{add_words, SerialScratch};
+use apim_logic::gates::xor_row;
+use apim_logic::spec;
+use apim_verify::{check_equiv, OperandBinding, OutputBinding};
+
+/// Outcome of the Stack-vs-Rotate wear comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WearDemoReport {
+    /// Rounds of the XOR workload executed under each policy.
+    pub rounds: usize,
+    /// Hottest-cell writes with the LIFO (Stack) allocator.
+    pub stack_max_writes: u64,
+    /// Hottest-cell writes with the wear-leveling (Rotate) allocator.
+    pub rotate_max_writes: u64,
+}
+
+impl WearDemoReport {
+    /// How many times cooler the hottest cell runs under rotation.
+    pub fn reduction(&self) -> f64 {
+        if self.rotate_max_writes == 0 {
+            return f64::INFINITY;
+        }
+        self.stack_max_writes as f64 / self.rotate_max_writes as f64
+    }
+}
+
+impl std::fmt::Display for WearDemoReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} rounds: hottest cell {} writes (stack) vs {} (rotate), {:.1}x reduction",
+            self.rounds,
+            self.stack_max_writes,
+            self.rotate_max_writes,
+            self.reduction()
+        )
+    }
+}
+
+/// Runs the same XOR scratch workload under both reuse policies and
+/// reports the hottest-cell writes of each.
+///
+/// Each round claims seven rows (two operands, a destination and the XOR
+/// network's four scratch rows), evaluates one column-parallel XOR, checks
+/// the result against the host and frees everything — the archetypal
+/// "kernel in a loop" that pins write wear onto whichever rows the
+/// allocator favours. Both runs are recorded and must replay hazard-clean.
+///
+/// # Errors
+///
+/// Propagates crossbar errors; fails if either run's trace trips a verify
+/// pass or the XOR result diverges from the host reference.
+pub fn run_wear_demo(rounds: usize) -> Result<WearDemoReport> {
+    let stack_max = wear_workload(RowAllocator::with_tracing(64), rounds)?;
+    let rotate_max = wear_workload(RowAllocator::round_robin_with_tracing(64), rounds)?;
+    Ok(WearDemoReport {
+        rounds,
+        stack_max_writes: stack_max,
+        rotate_max_writes: rotate_max,
+    })
+}
+
+fn wear_workload(mut alloc: RowAllocator, rounds: usize) -> Result<u64> {
+    let mut xbar = BlockedCrossbar::new(CrossbarConfig {
+        backend: Backend::Packed,
+        ..CrossbarConfig::default()
+    })?;
+    let blk = xbar.block(0)?;
+    xbar.start_recording();
+    for round in 0..rounds {
+        let rows = alloc.alloc_many(7)?;
+        let a = 0x9E37_79B9u64.wrapping_mul(round as u64 + 1) & 0xFFFF_FFFF;
+        let b = 0x85EB_CA6Bu64.wrapping_mul(round as u64 + 3) & 0xFFFF_FFFF;
+        xbar.preload_u64(blk, rows[0], 0, 32, a)?;
+        xbar.preload_u64(blk, rows[1], 0, 32, b)?;
+        let rr = |row| RowRef::new(blk, row);
+        xor_row(
+            &mut xbar,
+            rr(rows[0]),
+            rr(rows[1]),
+            rr(rows[2]),
+            [rr(rows[3]), rr(rows[4]), rr(rows[5]), rr(rows[6])],
+            0..32,
+        )?;
+        let got = xbar.peek_u64(blk, rows[2], 0, 32)?;
+        if got != a ^ b {
+            return Err(CrossbarError::InvalidConfig(format!(
+                "wear workload round {round}: xor mismatch {got:#x} != {:#x}",
+                a ^ b
+            )));
+        }
+        alloc.free_many(rows)?;
+    }
+    let trace = xbar.stop_recording();
+    let report = apim_verify::verify_trace(&trace, &alloc.take_events(), None);
+    if report.error_count() > 0 {
+        return Err(CrossbarError::InvalidConfig(format!(
+            "wear workload trace failed verification: {report}"
+        )));
+    }
+    Ok(xbar.max_cell_writes())
+}
+
+/// A row-level remap for one block: worn wordlines retired to spares.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RemapPlan {
+    /// Block the plan applies to.
+    pub block: usize,
+    /// `worn row → spare row` assignments.
+    pub map: BTreeMap<usize, usize>,
+}
+
+impl RemapPlan {
+    /// Builds a plan retiring every row of `block` whose hottest cell
+    /// exceeds `budget` writes, assigning spares in order.
+    ///
+    /// # Errors
+    ///
+    /// [`CrossbarError::InvalidConfig`] when the worn rows outnumber the
+    /// provided spares, or a spare is itself past the budget.
+    pub fn from_wear(
+        xbar: &BlockedCrossbar,
+        block: usize,
+        budget: u64,
+        spares: &[usize],
+    ) -> Result<RemapPlan> {
+        let blk = xbar.block(block)?;
+        let row_max = |row: usize| -> Result<u64> {
+            let mut max = 0;
+            for col in 0..xbar.cols() {
+                max = max.max(xbar.cell_writes(blk, row, col)?);
+            }
+            Ok(max)
+        };
+        for &spare in spares {
+            if row_max(spare)? > budget {
+                return Err(CrossbarError::InvalidConfig(format!(
+                    "spare row {spare} is already past the endurance budget"
+                )));
+            }
+        }
+        let mut map = BTreeMap::new();
+        let mut next_spare = spares.iter().copied();
+        for row in 0..xbar.rows() {
+            if spares.contains(&row) {
+                continue;
+            }
+            if row_max(row)? > budget {
+                let Some(spare) = next_spare.next() else {
+                    return Err(CrossbarError::InvalidConfig(format!(
+                        "endurance budget {budget} retires more rows than the {} spares",
+                        spares.len()
+                    )));
+                };
+                map.insert(row, spare);
+            }
+        }
+        Ok(RemapPlan { block, map })
+    }
+
+    /// Where `row` lives after remapping.
+    pub fn target(&self, row: usize) -> usize {
+        self.map.get(&row).copied().unwrap_or(row)
+    }
+
+    /// Rewrites every row coordinate of `trace` that touches this plan's
+    /// block. The remapped trace drives the very same microprogram on the
+    /// new placement, so it can be replayed, verified and equivalence-
+    /// checked like the original.
+    ///
+    /// # Errors
+    ///
+    /// [`CrossbarError::InvalidConfig`] when
+    ///
+    /// * the trace references a spare row that is a remap *target* without
+    ///   that row being remapped away first (the placements would collide),
+    ///   or
+    /// * a worn row appears inside a column-oriented row *range*
+    ///   ([`TraceOp::InitCols`] / [`TraceOp::NorCols`]) — ranges cannot
+    ///   express a scattered remap, so such programs must be regenerated
+    ///   instead.
+    pub fn remap_trace(&self, trace: &OpTrace) -> Result<OpTrace> {
+        // Collision scan first: a target row already in use (and not
+        // itself remapped) would end up aliased with the retired row's
+        // traffic.
+        let targets: Vec<usize> = self.map.values().copied().collect();
+        for op in &trace.ops {
+            for (block, row) in rows_touched(op) {
+                if block == self.block && targets.contains(&row) && !self.map.contains_key(&row) {
+                    return Err(CrossbarError::InvalidConfig(format!(
+                        "remap target row {row} is still referenced by the trace"
+                    )));
+                }
+            }
+        }
+        let mut ops = Vec::with_capacity(trace.ops.len());
+        for op in &trace.ops {
+            ops.push(self.remap_op(op)?);
+        }
+        Ok(OpTrace {
+            blocks: trace.blocks,
+            rows: trace.rows,
+            cols: trace.cols,
+            ops,
+        })
+    }
+
+    /// Rewrites an allocator event log to match a remapped trace.
+    pub fn remap_events(&self, events: &[AllocEvent]) -> Vec<AllocEvent> {
+        events
+            .iter()
+            .map(|e| match *e {
+                AllocEvent::Alloc { row } => AllocEvent::Alloc {
+                    row: self.target(row),
+                },
+                AllocEvent::Free { row } => AllocEvent::Free {
+                    row: self.target(row),
+                },
+            })
+            .collect()
+    }
+
+    fn remap_op(&self, op: &TraceOp) -> Result<TraceOp> {
+        let row_in = |block: usize, row: usize| {
+            if block == self.block {
+                self.target(row)
+            } else {
+                row
+            }
+        };
+        let check_range = |block: usize, rows: &std::ops::Range<usize>| {
+            if block == self.block && self.map.keys().any(|r| rows.contains(r)) {
+                return Err(CrossbarError::InvalidConfig(
+                    "a worn row lies inside a column-oriented row range; \
+                     regenerate the microprogram instead of remapping it"
+                        .into(),
+                ));
+            }
+            Ok(())
+        };
+        Ok(match op {
+            TraceOp::PreloadBit {
+                block,
+                row,
+                col,
+                value,
+            } => TraceOp::PreloadBit {
+                block: *block,
+                row: row_in(*block, *row),
+                col: *col,
+                value: *value,
+            },
+            TraceOp::PreloadWord {
+                block,
+                row,
+                col0,
+                bits,
+            } => TraceOp::PreloadWord {
+                block: *block,
+                row: row_in(*block, *row),
+                col0: *col0,
+                bits: bits.clone(),
+            },
+            TraceOp::ReadBit { block, row, col } => TraceOp::ReadBit {
+                block: *block,
+                row: row_in(*block, *row),
+                col: *col,
+            },
+            TraceOp::MajRead { block, cells } => TraceOp::MajRead {
+                block: *block,
+                cells: cells.map(|(r, c)| (row_in(*block, r), c)),
+            },
+            TraceOp::WriteBackBit {
+                block,
+                row,
+                col,
+                value,
+            } => TraceOp::WriteBackBit {
+                block: *block,
+                row: row_in(*block, *row),
+                col: *col,
+                value: *value,
+            },
+            TraceOp::InitRows { block, rows, cols } => TraceOp::InitRows {
+                block: *block,
+                rows: rows.iter().map(|&r| row_in(*block, r)).collect(),
+                cols: cols.clone(),
+            },
+            TraceOp::InitCells { block, cells } => TraceOp::InitCells {
+                block: *block,
+                cells: cells.iter().map(|&(r, c)| (row_in(*block, r), c)).collect(),
+            },
+            TraceOp::InitCols { block, cols, rows } => {
+                check_range(*block, rows)?;
+                TraceOp::InitCols {
+                    block: *block,
+                    cols: cols.clone(),
+                    rows: rows.clone(),
+                }
+            }
+            TraceOp::NorRowsShifted {
+                inputs,
+                out,
+                cols,
+                shift,
+            } => TraceOp::NorRowsShifted {
+                inputs: inputs.iter().map(|&(b, r)| (b, row_in(b, r))).collect(),
+                out: (out.0, row_in(out.0, out.1)),
+                cols: cols.clone(),
+                shift: *shift,
+            },
+            TraceOp::NorCols {
+                block,
+                input_cols,
+                out_col,
+                rows,
+            } => {
+                check_range(*block, rows)?;
+                TraceOp::NorCols {
+                    block: *block,
+                    input_cols: input_cols.clone(),
+                    out_col: *out_col,
+                    rows: rows.clone(),
+                }
+            }
+            TraceOp::NorCells { block, inputs, out } => TraceOp::NorCells {
+                block: *block,
+                inputs: inputs
+                    .iter()
+                    .map(|&(r, c)| (row_in(*block, r), c))
+                    .collect(),
+                out: (row_in(*block, out.0), out.1),
+            },
+            TraceOp::AdvanceCycles { cycles } => TraceOp::AdvanceCycles { cycles: *cycles },
+            TraceOp::RewindCycles { cycles } => TraceOp::RewindCycles { cycles: *cycles },
+        })
+    }
+}
+
+/// Every `(block, row)` coordinate an op references.
+fn rows_touched(op: &TraceOp) -> Vec<(usize, usize)> {
+    match op {
+        TraceOp::PreloadBit { block, row, .. }
+        | TraceOp::PreloadWord { block, row, .. }
+        | TraceOp::ReadBit { block, row, .. }
+        | TraceOp::WriteBackBit { block, row, .. } => vec![(*block, *row)],
+        TraceOp::MajRead { block, cells } => cells.iter().map(|&(r, _)| (*block, r)).collect(),
+        TraceOp::InitRows { block, rows, .. } => rows.iter().map(|&r| (*block, r)).collect(),
+        TraceOp::InitCells { block, cells } => cells.iter().map(|&(r, _)| (*block, r)).collect(),
+        TraceOp::InitCols { block, rows, .. } | TraceOp::NorCols { block, rows, .. } => {
+            rows.clone().map(|r| (*block, r)).collect()
+        }
+        TraceOp::NorRowsShifted { inputs, out, .. } => {
+            let mut v: Vec<(usize, usize)> = inputs.clone();
+            v.push(*out);
+            v
+        }
+        TraceOp::NorCells { block, inputs, out } => {
+            let mut v: Vec<(usize, usize)> = inputs.iter().map(|&(r, _)| (*block, r)).collect();
+            v.push((*block, out.0));
+            v
+        }
+        TraceOp::AdvanceCycles { .. } | TraceOp::RewindCycles { .. } => Vec::new(),
+    }
+}
+
+/// Outcome of [`remap_adder_demo`]: the remapped adder re-verified end to
+/// end.
+#[derive(Debug, Clone)]
+pub struct RemapDemoReport {
+    /// Rows the plan retired (`worn → spare`).
+    pub remapped: Vec<(usize, usize)>,
+    /// Verify-pass errors on the remapped trace (must be 0).
+    pub verify_errors: usize,
+    /// Whether the symbolic equivalence checker proved the remapped trace
+    /// still computes `x + y mod 2^width`.
+    pub equiv_ok: bool,
+}
+
+/// Records a serial-adder run, retires its hottest scratch rows past an
+/// endurance budget to spare wordlines, and re-certifies the remapped
+/// microprogram: all five hazard passes plus the symbolic equivalence
+/// check against `spec::add`.
+///
+/// # Errors
+///
+/// Propagates crossbar errors and remap collisions.
+pub fn remap_adder_demo(width: usize) -> Result<RemapDemoReport> {
+    let mut xbar = BlockedCrossbar::new(CrossbarConfig::default())?;
+    let blk = xbar.block(1)?;
+    let mut alloc = RowAllocator::with_tracing(xbar.rows());
+    let rows = alloc.alloc_many(3)?; // x, y, out
+    let scratch = SerialScratch::alloc(&mut alloc)?;
+    xbar.start_recording();
+    let to_bits = |v: u64| (0..width).map(|i| (v >> i) & 1 == 1).collect::<Vec<_>>();
+    xbar.preload_word(blk, rows[0], 0, &to_bits(0x1234_5677 & spec::mask(width)))?;
+    xbar.preload_word(blk, rows[1], 0, &to_bits(0x0FED_CBA9 & spec::mask(width)))?;
+    add_words(
+        &mut xbar,
+        blk,
+        rows[0],
+        rows[1],
+        rows[2],
+        0..width,
+        &scratch,
+    )?;
+    let trace = xbar.stop_recording();
+    let events = alloc.take_events();
+
+    // Retire every row the run wore past half its hottest cell — on the
+    // serial adder that catches the netlist rows the bit-serial loop
+    // hammers `width` times — onto never-touched spare wordlines.
+    let budget = xbar.max_cell_writes() / 2;
+    let spares: Vec<usize> = (0..xbar.rows()).rev().take(16).collect();
+    let plan = RemapPlan::from_wear(&xbar, blk.index(), budget, &spares)?;
+    if plan.map.is_empty() {
+        return Err(CrossbarError::InvalidConfig(
+            "adder remap demo expected at least one row past the budget".into(),
+        ));
+    }
+    let remapped_trace = plan.remap_trace(&trace)?;
+    let remapped_events = plan.remap_events(&events);
+
+    let lint = apim_verify::verify_trace(&remapped_trace, &remapped_events, Some(trace.cycles()));
+    let operands = [
+        OperandBinding {
+            name: "x".into(),
+            block: blk.index(),
+            row: plan.target(rows[0]),
+            col0: 0,
+            width,
+        },
+        OperandBinding {
+            name: "y".into(),
+            block: blk.index(),
+            row: plan.target(rows[1]),
+            col0: 0,
+            width,
+        },
+    ];
+    let output = OutputBinding {
+        block: blk.index(),
+        row: plan.target(rows[2]),
+        col0: 0,
+        width,
+    };
+    let equiv = check_equiv(&remapped_trace, &operands, &output, |v| {
+        spec::add(v[0], v[1], width)
+    });
+    Ok(RemapDemoReport {
+        remapped: plan.map.iter().map(|(&w, &s)| (w, s)).collect(),
+        verify_errors: lint.error_count(),
+        equiv_ok: equiv.equivalent,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_cools_the_hottest_cell_by_2x() {
+        let report = run_wear_demo(36).unwrap();
+        assert!(
+            report.reduction() >= 2.0,
+            "wear-leveling gate missed: {report}"
+        );
+        assert!(report.stack_max_writes > report.rotate_max_writes);
+    }
+
+    #[test]
+    fn wear_demo_report_displays_reduction() {
+        let report = WearDemoReport {
+            rounds: 4,
+            stack_max_writes: 40,
+            rotate_max_writes: 10,
+        };
+        assert!(report.to_string().contains("4.0x reduction"));
+        assert_eq!(report.reduction(), 4.0);
+    }
+
+    #[test]
+    fn remap_rewrites_every_row_shape() {
+        let plan = RemapPlan {
+            block: 0,
+            map: BTreeMap::from([(1, 9)]),
+        };
+        let trace = OpTrace {
+            blocks: 2,
+            rows: 16,
+            cols: 8,
+            ops: vec![
+                TraceOp::PreloadBit {
+                    block: 0,
+                    row: 1,
+                    col: 0,
+                    value: true,
+                },
+                TraceOp::InitRows {
+                    block: 0,
+                    rows: vec![1, 2],
+                    cols: 0..4,
+                },
+                TraceOp::NorRowsShifted {
+                    inputs: vec![(0, 1), (1, 1)],
+                    out: (0, 2),
+                    cols: 0..4,
+                    shift: 0,
+                },
+                TraceOp::NorCells {
+                    block: 0,
+                    inputs: vec![(1, 0)],
+                    out: (2, 3),
+                },
+                TraceOp::MajRead {
+                    block: 0,
+                    cells: [(1, 0), (2, 1), (3, 2)],
+                },
+            ],
+        };
+        let out = plan.remap_trace(&trace).unwrap();
+        assert_eq!(
+            out.ops[0],
+            TraceOp::PreloadBit {
+                block: 0,
+                row: 9,
+                col: 0,
+                value: true
+            }
+        );
+        assert_eq!(
+            out.ops[1],
+            TraceOp::InitRows {
+                block: 0,
+                rows: vec![9, 2],
+                cols: 0..4
+            }
+        );
+        // Row 1 of block 1 is untouched: the plan only covers block 0.
+        assert_eq!(
+            out.ops[2],
+            TraceOp::NorRowsShifted {
+                inputs: vec![(0, 9), (1, 1)],
+                out: (0, 2),
+                cols: 0..4,
+                shift: 0
+            }
+        );
+        assert_eq!(
+            out.ops[3],
+            TraceOp::NorCells {
+                block: 0,
+                inputs: vec![(9, 0)],
+                out: (2, 3)
+            }
+        );
+        assert_eq!(
+            out.ops[4],
+            TraceOp::MajRead {
+                block: 0,
+                cells: [(9, 0), (2, 1), (3, 2)]
+            }
+        );
+    }
+
+    #[test]
+    fn remap_rejects_target_collisions() {
+        let plan = RemapPlan {
+            block: 0,
+            map: BTreeMap::from([(1, 9)]),
+        };
+        let trace = OpTrace {
+            blocks: 1,
+            rows: 16,
+            cols: 8,
+            ops: vec![TraceOp::ReadBit {
+                block: 0,
+                row: 9,
+                col: 0,
+            }],
+        };
+        assert!(matches!(
+            plan.remap_trace(&trace),
+            Err(CrossbarError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn remap_rejects_row_ranges_covering_worn_rows() {
+        let plan = RemapPlan {
+            block: 0,
+            map: BTreeMap::from([(2, 9)]),
+        };
+        let trace = OpTrace {
+            blocks: 1,
+            rows: 16,
+            cols: 8,
+            ops: vec![TraceOp::NorCols {
+                block: 0,
+                input_cols: vec![0, 1],
+                out_col: 2,
+                rows: 0..4,
+            }],
+        };
+        assert!(plan.remap_trace(&trace).is_err());
+        // A range that misses the worn row passes through untouched.
+        let clear = OpTrace {
+            blocks: 1,
+            rows: 16,
+            cols: 8,
+            ops: vec![TraceOp::NorCols {
+                block: 0,
+                input_cols: vec![0, 1],
+                out_col: 2,
+                rows: 4..8,
+            }],
+        };
+        assert_eq!(plan.remap_trace(&clear).unwrap(), clear);
+    }
+
+    #[test]
+    fn remap_events_follow_the_plan() {
+        let plan = RemapPlan {
+            block: 0,
+            map: BTreeMap::from([(3, 12)]),
+        };
+        let events = [
+            AllocEvent::Alloc { row: 3 },
+            AllocEvent::Alloc { row: 4 },
+            AllocEvent::Free { row: 3 },
+        ];
+        assert_eq!(
+            plan.remap_events(&events),
+            vec![
+                AllocEvent::Alloc { row: 12 },
+                AllocEvent::Alloc { row: 4 },
+                AllocEvent::Free { row: 12 },
+            ]
+        );
+    }
+
+    #[test]
+    fn from_wear_retires_only_rows_past_budget() {
+        let mut xbar = BlockedCrossbar::new(CrossbarConfig::default()).unwrap();
+        let blk = xbar.block(0).unwrap();
+        // Write row 2 five times, row 5 once.
+        for _ in 0..5 {
+            xbar.preload_bit(blk, 2, 0, true).unwrap();
+        }
+        xbar.preload_bit(blk, 5, 0, true).unwrap();
+        let spares = [60, 61];
+        let plan = RemapPlan::from_wear(&xbar, 0, 2, &spares).unwrap();
+        assert_eq!(plan.map, BTreeMap::from([(2, 60)]));
+        assert_eq!(plan.target(2), 60);
+        assert_eq!(plan.target(5), 5);
+        // Budget 0 retires both written rows; one spare is not enough.
+        assert!(RemapPlan::from_wear(&xbar, 0, 0, &[60]).is_err());
+        // A spare that is itself worn is rejected.
+        assert!(RemapPlan::from_wear(&xbar, 0, 2, &[2]).is_err());
+    }
+
+    #[test]
+    fn remapped_adder_passes_verify_and_equiv() {
+        let report = remap_adder_demo(16).unwrap();
+        assert!(!report.remapped.is_empty(), "demo must remap something");
+        assert_eq!(report.verify_errors, 0);
+        assert!(report.equiv_ok);
+    }
+}
