@@ -1,0 +1,45 @@
+//! Measures the compiled transcendental microkernels and writes
+//! `BENCH_math.json`.
+//!
+//! ```text
+//! cargo run -p apim-bench --release --bin math-bench
+//! ```
+//!
+//! The run *gates*: it exits non-zero if the FFT-on-compiled-twiddles MRE
+//! reaches 10%, if the compiled `1/√2` misses the hand constant, or if
+//! the compiled Haar level diverges from the hand kernel.
+
+use apim_bench::mathbench;
+use std::fs;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let bench = mathbench::generate();
+    print!("{}", mathbench::render(&bench));
+    fs::write("BENCH_math.json", mathbench::to_json(&bench)).expect("write BENCH_math.json");
+    println!("wrote BENCH_math.json");
+
+    if bench.fft_mre >= 0.10 {
+        eprintln!(
+            "FAIL: FFT on the compiled twiddle ROM has MRE {:.4} (need < 0.10)",
+            bench.fft_mre
+        );
+        return ExitCode::FAILURE;
+    }
+    if !bench.inv_sqrt2_exact {
+        eprintln!(
+            "FAIL: compiled 1/sqrt2 = {} (expected 23170)",
+            bench.inv_sqrt2
+        );
+        return ExitCode::FAILURE;
+    }
+    if !bench.haar_identical {
+        eprintln!("FAIL: compiled Haar level diverges from the hand kernel");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "gate ok: fft mre {:.4} < 0.10, haar scale exact, haar level bit-identical",
+        bench.fft_mre
+    );
+    ExitCode::SUCCESS
+}

@@ -29,6 +29,7 @@ pub mod fig5;
 pub mod fig5_sim;
 pub mod fig6;
 pub mod headline;
+pub mod mathbench;
 pub mod perf;
 pub mod table1;
 

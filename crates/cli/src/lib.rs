@@ -86,6 +86,25 @@ pub enum Command {
         /// kernel's analytic baseline (builtins only).
         compare: bool,
     },
+    /// Compile one transcendental microkernel (sin/cos/√) to a verified
+    /// in-crossbar microprogram and report its cost and oracle accuracy —
+    /// or regenerate the FFT twiddle ROM in-crossbar (`--twiddles`).
+    Math {
+        /// The function; `None` only when `--twiddles` drives the ROM
+        /// smoke instead.
+        func: Option<apim_compile::MathFn>,
+        /// Word width.
+        width: u32,
+        /// Evaluate via the LUT-interpolation mode instead of CORDIC.
+        lut: bool,
+        /// CORDIC iteration override (`None` = the width's default).
+        iters: Option<u32>,
+        /// LUT log₂ segment-count override (`None` = the width's default).
+        segments: Option<u32>,
+        /// Compile the twiddle ROM for this many FFT points and gate its
+        /// MRE against the float ROM.
+        twiddles: Option<usize>,
+    },
     /// One-shot serving of a request file on the worker pool.
     Serve {
         /// Path to the request file (one request per line).
@@ -198,6 +217,9 @@ USAGE:
   apim-cli verify --equiv [adder|subtractor|wallace|multiplier|mac|divider]
                           [--width N] [--counterexample]
   apim-cli compile <sharpen|sobel|file> [--set name=val ...] [--compare]
+  apim-cli math --fn <sin|cos|sqrt> [--mode cordic|lut] [--width N]
+                [--iters K | --segments S]
+  apim-cli math --twiddles <N>
   apim-cli serve <file> [--workers N] [--queue-depth N]
   apim-cli loadgen [--requests N] [--workers N] [--seed S] [--queue-depth N]
   apim-cli node [--addr H:P] [--workers N] [--queue-depth N] [--for-secs S]
@@ -427,6 +449,90 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "compile needs a builtin kernel (sharpen|sobel) or a program file".into(),
                 )),
             },
+            "math" => {
+                let mut func = None;
+                let mut width = 16u32;
+                let mut lut = false;
+                let mut iters = None;
+                let mut segments = None;
+                let mut twiddles = None;
+                let mut it = rest.iter();
+                while let Some(flag) = it.next() {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| ParseError(format!("{flag} needs a value")))?;
+                    match flag.as_str() {
+                        "--fn" => {
+                            func = Some(match value.as_str() {
+                                "sin" => apim_compile::MathFn::Sin,
+                                "cos" => apim_compile::MathFn::Cos,
+                                "sqrt" => apim_compile::MathFn::Sqrt,
+                                other => {
+                                    return Err(ParseError(format!(
+                                        "unknown function `{other}` (expected sin|cos|sqrt)"
+                                    )))
+                                }
+                            });
+                        }
+                        "--mode" => {
+                            lut = match value.as_str() {
+                                "cordic" => false,
+                                "lut" => true,
+                                other => {
+                                    return Err(ParseError(format!(
+                                        "unknown math mode `{other}` (expected cordic|lut)"
+                                    )))
+                                }
+                            };
+                        }
+                        "--width" => {
+                            let w = parse_u64(value, "width")?;
+                            if !(4..=64).contains(&w) {
+                                return Err(ParseError(format!(
+                                    "width {w} outside supported range 4..=64"
+                                )));
+                            }
+                            width = w as u32;
+                        }
+                        "--iters" => iters = Some(parse_u64(value, "iteration count")? as u32),
+                        "--segments" => {
+                            segments = Some(parse_u64(value, "segment count")? as u32);
+                        }
+                        "--twiddles" => {
+                            let n = parse_u64(value, "FFT length")? as usize;
+                            if !n.is_power_of_two() || n < 2 {
+                                return Err(ParseError(format!(
+                                    "--twiddles needs a power-of-two FFT length, got {n}"
+                                )));
+                            }
+                            twiddles = Some(n);
+                        }
+                        other => return Err(ParseError(format!("unknown math flag `{other}`"))),
+                    }
+                }
+                if func.is_none() && twiddles.is_none() {
+                    return Err(ParseError("math needs --fn or --twiddles".into()));
+                }
+                if func.is_some() && twiddles.is_some() {
+                    return Err(ParseError("--fn and --twiddles are exclusive".into()));
+                }
+                if lut && iters.is_some() {
+                    return Err(ParseError("--iters applies to cordic mode only".into()));
+                }
+                if !lut && segments.is_some() {
+                    return Err(ParseError(
+                        "--segments applies to lut mode only (add --mode lut)".into(),
+                    ));
+                }
+                Ok(Command::Math {
+                    func,
+                    width,
+                    lut,
+                    iters,
+                    segments,
+                    twiddles,
+                })
+            }
             "serve" => match rest {
                 [path, flags @ ..] if !path.starts_with("--") => {
                     let (workers, queue_depth) = parse_pool_flags(flags, |_, _| Ok(false))?;
@@ -745,6 +851,154 @@ fn run_compile(
     Ok(out)
 }
 
+/// The `math` command: compile one transcendental microkernel, gate-run
+/// it once at a representative domain point, and score the kernel against
+/// the `f64` oracle — or, with `--twiddles`, regenerate the FFT twiddle
+/// ROM fully in-crossbar and gate its MRE against the float ROM.
+fn run_math(
+    func: Option<apim_compile::MathFn>,
+    width: u32,
+    lut: bool,
+    iters: Option<u32>,
+    segments: Option<u32>,
+    twiddles: Option<usize>,
+) -> Result<String, apim::ApimError> {
+    use apim_math::reference as oracle;
+    use std::fmt::Write as _;
+
+    let fail = |e: apim_compile::CompileError| apim::ApimError::Runtime(e.to_string());
+    let mut out = String::new();
+
+    if let Some(n) = twiddles {
+        // The ROM smoke: every entry computed by the compiled 20-bit
+        // CORDIC programs, scored against the host float ROM.
+        let tw = apim_workloads::mathdags::compiled_twiddles(
+            n,
+            &apim_compile::CompileOptions::default(),
+        )
+        .map_err(fail)?;
+        let one = f64::from(1i32 << apim_workloads::fft::TW_SHIFT);
+        let mut got = Vec::with_capacity(n);
+        let mut want = Vec::with_capacity(n);
+        for (k, t) in tw.iter().enumerate() {
+            let angle = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+            got.push(i64::from(t.re));
+            got.push(i64::from(t.im));
+            want.push((angle.cos() * one).round() as i64);
+            want.push((angle.sin() * one).round() as i64);
+        }
+        let mre = apim_workloads::quality::mean_relative_error(&want, &got);
+        let max_abs = got
+            .iter()
+            .zip(&want)
+            .map(|(g, w)| (g - w).abs())
+            .max()
+            .unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "twiddles  : {n}-point FFT, {} entries from the compiled {}-bit CORDIC (Q{})",
+            tw.len(),
+            apim_workloads::mathdags::TWIDDLE_WIDTH,
+            apim_workloads::fft::TW_SHIFT
+        );
+        let _ = writeln!(out, "max abs   : {max_abs} LSB vs the float ROM");
+        let _ = write!(out, "mre       : {mre:.4} (gate < 0.1000)");
+        if mre >= 0.10 {
+            return Err(apim::ApimError::Runtime(format!(
+                "compiled twiddle ROM exceeds the MRE gate\n{out}"
+            )));
+        }
+        return Ok(out);
+    }
+
+    let func = func.expect("parse guarantees --fn when --twiddles is absent");
+    let default = apim_math::default_spec(func, width);
+    let mode = if lut {
+        let cap = apim_math::max_log2_segments(func, width, default.frac);
+        apim_compile::MathMode::Lut {
+            log2_segments: segments.unwrap_or_else(|| cap.min(3)),
+        }
+    } else {
+        match iters {
+            Some(k) => apim_compile::MathMode::Cordic { iters: k },
+            None => default.mode,
+        }
+    };
+    let spec = apim_compile::MathSpec { mode, ..default };
+    apim_math::validate(width, &spec)
+        .map_err(|e| apim::ApimError::Runtime(format!("invalid math spec: {e}")))?;
+
+    let mut dag = apim_compile::Dag::new(width).map_err(fail)?;
+    let x = dag.input("x").map_err(fail)?;
+    let m = dag.math(x, spec).map_err(fail)?;
+    dag.set_root(m).map_err(fail)?;
+    let program =
+        apim_compile::compile(&dag, &apim_compile::CompileOptions::default()).map_err(fail)?;
+
+    // One gate-level run at the domain's three-quarter point (π/4 for
+    // trig) — nonzero, representative, deterministic.
+    let sample = oracle::domain_samples(func, width, spec.frac, 5)[3];
+    let inputs: std::collections::HashMap<String, u64> = [("x".to_string(), sample)].into();
+    let report = program.run(&inputs).map_err(fail)?;
+    let x_f = oracle::input_to_f64(func, width, spec.frac, sample);
+    let got_f = oracle::output_to_f64(width, spec.frac, report.value);
+    let ideal_f = oracle::truth(func, x_f);
+
+    let _ = writeln!(
+        out,
+        "kernel    : {func} ({width}-bit Q{}, {})",
+        spec.frac, spec.mode
+    );
+    let _ = writeln!(
+        out,
+        "sample    : {func}({x_f:.4}) = {ideal_f:.4} ideal, {got_f:.4} compiled"
+    );
+    let _ = writeln!(
+        out,
+        "cycles    : {} measured / {} predicted ({})",
+        report.cycles,
+        report.expected_cycles,
+        if report.cycles == report.expected_cycles {
+            "exact"
+        } else {
+            "DRIFT"
+        }
+    );
+    let _ = writeln!(out, "energy    : {}", report.energy);
+    let _ = writeln!(
+        out,
+        "verify    : {} micro-ops, all 5 hazard passes clean ({} warning(s))",
+        report.trace_len,
+        report.lint.warning_count()
+    );
+    // The symbolic prover replays the whole recorded trace; keep it to the
+    // widths where compiled CORDIC traces stay small.
+    if width <= 12 {
+        let eq = program.verify_equiv(&inputs).map_err(fail)?;
+        if !eq.equivalent {
+            return Err(apim::ApimError::Runtime(format!(
+                "equivalence check FAILED for the compiled {func} kernel\n{}",
+                eq.lint
+            )));
+        }
+        let _ = writeln!(
+            out,
+            "equiv     : proved over the recorded assignment ({})",
+            eq.mode
+        );
+    } else {
+        let _ = writeln!(out, "equiv     : skipped (width > 12)");
+    }
+    let stats = oracle::measure(width, &spec, 129)
+        .map_err(|e| apim::ApimError::Runtime(format!("oracle sweep: {e}")))?;
+    let _ = write!(
+        out,
+        "oracle    : max abs {:.3e}, max rel {:.4}, mean rel {:.4} (129 samples)",
+        stats.max_abs, stats.max_rel, stats.mean_rel
+    );
+    Ok(out)
+}
+
 /// Builds a pool configuration from optional CLI overrides.
 fn pool_config(workers: Option<usize>, queue_depth: Option<usize>) -> apim_serve::PoolConfig {
     let mut config = apim_serve::PoolConfig::default();
@@ -823,6 +1077,41 @@ fn run_verify_equiv(
                     report,
                 });
             }
+        }
+        // The transcendental microkernels join the full sweep at a fixed
+        // width 8: wide enough to exercise the CORDIC/restoring-isqrt
+        // expansions, small enough that replaying their multi-thousand-op
+        // traces stays cheap.
+        for (name, func, input) in [
+            (
+                "sin-dag",
+                apim_compile::MathFn::Sin,
+                apim_math::consts::half_pi_q(5) / 3,
+            ),
+            (
+                "cos-dag",
+                apim_compile::MathFn::Cos,
+                apim_math::consts::half_pi_q(5) / 5,
+            ),
+            ("sqrt-dag", apim_compile::MathFn::Sqrt, 100),
+        ] {
+            let w = 8u32;
+            let spec = apim_math::default_spec(func, w);
+            let mut dag = apim_compile::Dag::new(w).map_err(fail)?;
+            let x = dag.input("x").map_err(fail)?;
+            let m = dag.math(x, spec).map_err(fail)?;
+            dag.set_root(m).map_err(fail)?;
+            let program = apim_compile::compile(&dag, &apim_compile::CompileOptions::default())
+                .map_err(fail)?;
+            let inputs: HashMap<String, u64> =
+                [("x".to_string(), apim_math::to_pattern(input, w))].into();
+            let report = program.verify_equiv(&inputs).map_err(fail)?;
+            rows.push(Row {
+                name,
+                width: w,
+                detail: format!("{} (compiled)", spec.mode),
+                report,
+            });
         }
     }
 
@@ -1079,6 +1368,16 @@ pub fn execute(command: &Command) -> Result<String, apim::ApimError> {
             compare,
         } => {
             out = run_compile(target, bindings, *compare)?;
+        }
+        Command::Math {
+            func,
+            width,
+            lut,
+            iters,
+            segments,
+            twiddles,
+        } => {
+            out = run_math(*func, *width, *lut, *iters, *segments, *twiddles)?;
         }
         Command::Serve {
             path,
@@ -1711,6 +2010,96 @@ mod tests {
         assert!(parse(&args("faults --density banana")).is_err());
         assert!(parse(&args("faults --ecc maybe")).is_err());
         assert!(parse(&args("faults --frob 3")).is_err());
+    }
+
+    #[test]
+    fn math_parses_kernel_and_twiddle_forms() {
+        assert_eq!(
+            parse(&args("math --fn sin --width 10 --iters 7")).unwrap(),
+            Command::Math {
+                func: Some(apim_compile::MathFn::Sin),
+                width: 10,
+                lut: false,
+                iters: Some(7),
+                segments: None,
+                twiddles: None,
+            }
+        );
+        assert_eq!(
+            parse(&args("math --fn sqrt --mode lut --segments 2")).unwrap(),
+            Command::Math {
+                func: Some(apim_compile::MathFn::Sqrt),
+                width: 16,
+                lut: true,
+                iters: None,
+                segments: Some(2),
+                twiddles: None,
+            }
+        );
+        assert_eq!(
+            parse(&args("math --twiddles 8")).unwrap(),
+            Command::Math {
+                func: None,
+                width: 16,
+                lut: false,
+                iters: None,
+                segments: None,
+                twiddles: Some(8),
+            }
+        );
+    }
+
+    #[test]
+    fn math_rejects_malformed_requests() {
+        assert!(parse(&args("math")).is_err(), "needs --fn or --twiddles");
+        assert!(parse(&args("math --fn tan")).is_err());
+        assert!(parse(&args("math --fn sin --width 3")).is_err());
+        assert!(parse(&args("math --fn sin --width")).is_err());
+        assert!(
+            parse(&args("math --fn sin --segments 2")).is_err(),
+            "--segments needs --mode lut"
+        );
+        assert!(
+            parse(&args("math --fn sin --mode lut --iters 3")).is_err(),
+            "--iters is cordic-only"
+        );
+        assert!(
+            parse(&args("math --fn sin --twiddles 8")).is_err(),
+            "exclusive forms"
+        );
+        assert!(
+            parse(&args("math --twiddles 12")).is_err(),
+            "power of two required"
+        );
+        assert!(parse(&args("math --frob 3")).is_err());
+    }
+
+    #[test]
+    fn math_reports_cost_accuracy_and_proof() {
+        let out = execute(&parse(&args("math --fn sin --width 10")).unwrap()).unwrap();
+        assert!(
+            out.contains("kernel    : sin (10-bit Q7, cordic 7)"),
+            "{out}"
+        );
+        assert!(out.contains("cycles"), "{out}");
+        assert!(out.contains("energy"), "{out}");
+        assert!(out.contains("all 5 hazard passes clean"), "{out}");
+        assert!(out.contains("equiv     : proved"), "{out}");
+        assert!(out.contains("mean rel"), "{out}");
+    }
+
+    #[test]
+    fn math_lut_mode_skips_the_prover_above_width_12() {
+        let out = execute(&parse(&args("math --fn sqrt --mode lut --width 16")).unwrap()).unwrap();
+        assert!(out.contains("lut"), "{out}");
+        assert!(out.contains("equiv     : skipped (width > 12)"), "{out}");
+    }
+
+    #[test]
+    fn math_twiddle_smoke_passes_its_gate() {
+        let out = execute(&parse(&args("math --twiddles 4")).unwrap()).unwrap();
+        assert!(out.contains("twiddles  : 4-point FFT"), "{out}");
+        assert!(out.contains("mre"), "{out}");
     }
 
     #[test]

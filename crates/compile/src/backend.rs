@@ -27,6 +27,7 @@ use apim_logic::{CostModel, PrecisionMode};
 use apim_verify::{check_equiv, verify_trace, EquivReport, LintReport, OutputBinding};
 
 use crate::eval::evaluate_all;
+use crate::expand::expand_math;
 use crate::ir::{Dag, Node, NodeId};
 use crate::lower::lower;
 use crate::plan::{
@@ -83,17 +84,17 @@ pub struct RunReport {
     pub lint: LintReport,
 }
 
-/// Compiles `dag` for the geometry in `options`: optimization, lowering,
-/// placement and block-pair scheduling. Gate-level execution is deferred
-/// to [`CompiledProgram::run`].
+/// Compiles `dag` for the geometry in `options`: math expansion,
+/// optimization, lowering, placement and block-pair scheduling.
+/// Gate-level execution is deferred to [`CompiledProgram::run`].
 ///
 /// # Errors
 ///
 /// [`CompileError::NoRoot`] without a designated output,
 /// [`CompileError::AreaExceeded`] when the program does not fit.
 pub fn compile(dag: &Dag, options: &CompileOptions) -> Result<CompiledProgram, CompileError> {
-    let mut dag = dag.clone();
     dag.root().ok_or(CompileError::NoRoot)?;
+    let mut dag = expand_math(dag);
     if options.strength_reduce {
         dag.strength_reduce_negated_constants();
     }
@@ -185,6 +186,28 @@ impl CompiledProgram {
         };
         let reference = exec.reference;
         Ok(check_equiv(&exec.ops, &[], &output, move |_| reference))
+    }
+
+    /// Records one gate-level execution and returns the raw microprogram,
+    /// its output binding and the reference value — the ingredients for
+    /// external equivalence checking and miscompile-fixture construction
+    /// (mutate the trace, watch the checker catch it).
+    ///
+    /// # Errors
+    ///
+    /// Unbound inputs or crossbar faults.
+    pub fn record(
+        &self,
+        inputs: &HashMap<String, u64>,
+    ) -> Result<(OpTrace, OutputBinding, u64), CompileError> {
+        let exec = self.execute(inputs)?;
+        let output = OutputBinding {
+            block: exec.root_block,
+            row: exec.root_row,
+            col0: 0,
+            width: self.dag.width() as usize,
+        };
+        Ok((exec.ops, output, exec.reference))
     }
 
     /// One recorded gate-level execution: the shared body behind
@@ -478,6 +501,11 @@ impl Machine<'_> {
                         placement.in_compute(id),
                     ))
             }
+            // compile() expands Math nodes before placement and place()
+            // rejects any that remain, so execution can never see one.
+            Node::Math { .. } => Err(CompileError::InvalidDag(
+                "unexpanded math node reached the gate-level backend".into(),
+            )),
         }
     }
 
@@ -832,6 +860,54 @@ mod tests {
         let report = program.verify_equiv(&inputs).unwrap();
         assert!(report.equivalent, "{}", report.lint);
         assert_eq!(report.input_bits, 0, "compiled inputs stay concrete");
+    }
+
+    #[test]
+    fn compiled_math_kernels_run_clean_at_the_gate_level() {
+        use apim_math::{default_spec, to_pattern, MathFn};
+        // sqrt(1521) = 39 as a pure in-crossbar microprogram.
+        let mut dag = Dag::new(12).unwrap();
+        let x = dag.input("x").unwrap();
+        let m = dag.math(x, default_spec(MathFn::Sqrt, 12)).unwrap();
+        dag.set_root(m).unwrap();
+        let report = run_dag(&dag, &[("x", 1521)]);
+        assert_eq!(report.value, 39);
+
+        // sin(π/6) ≈ 0.5 in Q9 at width 12.
+        let spec = default_spec(MathFn::Sin, 12);
+        let angle = apim_math::consts::half_pi_q(spec.frac) / 3;
+        let mut dag = Dag::new(12).unwrap();
+        let x = dag.input("x").unwrap();
+        let m = dag.math(x, spec).unwrap();
+        dag.set_root(m).unwrap();
+        let report = run_dag(&dag, &[("x", to_pattern(angle, 12))]);
+        let got = apim_math::from_pattern(report.value, 12);
+        assert!((got - 256).abs() <= 4, "sin(π/6) in Q9: {got}");
+    }
+
+    #[test]
+    fn symbolic_prover_covers_math_expansions_at_width_12() {
+        use apim_math::{default_spec, to_pattern, MathFn};
+        for (func, input) in [
+            (
+                MathFn::Sin,
+                to_pattern(apim_math::consts::half_pi_q(9) / 5, 12),
+            ),
+            (
+                MathFn::Cos,
+                to_pattern(-apim_math::consts::half_pi_q(9) / 7, 12),
+            ),
+            (MathFn::Sqrt, 1000),
+        ] {
+            let mut dag = Dag::new(12).unwrap();
+            let x = dag.input("x").unwrap();
+            let m = dag.math(x, default_spec(func, 12)).unwrap();
+            dag.set_root(m).unwrap();
+            let program = compile(&dag, &CompileOptions::default()).unwrap();
+            let inputs: HashMap<String, u64> = [("x".to_string(), input)].into();
+            let report = program.verify_equiv(&inputs).unwrap();
+            assert!(report.equivalent, "{func}: {}", report.lint);
+        }
     }
 
     #[test]

@@ -22,6 +22,23 @@ use crate::CompileError;
 ///
 /// Returns [`CompileError::UnboundInput`] if a named input has no binding.
 pub fn evaluate_all(dag: &Dag, inputs: &HashMap<String, u64>) -> Result<Vec<u64>, CompileError> {
+    evaluate_all_with(dag, inputs, &HashMap::new())
+}
+
+/// [`evaluate_all`] with per-node value overrides: after a node in
+/// `overrides` is computed, its value is replaced (masked to width) before
+/// any consumer reads it. Substituting an idealized value for one node and
+/// watching the root is how the quality harness attributes end-to-end
+/// error to individual approximate nodes.
+///
+/// # Errors
+///
+/// Returns [`CompileError::UnboundInput`] if a named input has no binding.
+pub fn evaluate_all_with(
+    dag: &Dag,
+    inputs: &HashMap<String, u64>,
+    overrides: &HashMap<NodeId, u64>,
+) -> Result<Vec<u64>, CompileError> {
     let n = dag.width();
     let mask = dag.mask();
     let mut values: Vec<u64> = Vec::with_capacity(dag.len());
@@ -54,7 +71,14 @@ pub fn evaluate_all(dag: &Dag, inputs: &HashMap<String, u64>) -> Result<Vec<u64>
                     shifted
                 }
             }
+            // apim-math's evaluator runs the same generic kernel the
+            // expansion emits, so this is bit-identical to evaluating
+            // the expanded DAG.
+            Node::Math { x, spec } => apim_math::eval(n, spec, values[x.0])
+                .map_err(|e| CompileError::InvalidDag(format!("math node: {e}")))?,
         };
+        let id = NodeId(values.len());
+        let v = overrides.get(&id).copied().unwrap_or(v);
         values.push(v & mask);
     }
     Ok(values)
@@ -143,6 +167,24 @@ mod tests {
             evaluate_bound(&dag, &[]),
             Err(CompileError::UnboundInput(_))
         ));
+    }
+
+    #[test]
+    fn overrides_substitute_before_consumers_read() {
+        let mut dag = Dag::new(8).unwrap();
+        let x = dag.input("x").unwrap();
+        let c = dag.constant(10);
+        let m = dag.mul(x, c, PrecisionMode::Exact).unwrap();
+        let r = dag.add(m, c).unwrap();
+        dag.set_root(r).unwrap();
+        let inputs: HashMap<String, u64> = [("x".to_string(), 3u64)].into();
+        let plain = evaluate_all(&dag, &inputs).unwrap();
+        assert_eq!(plain[r.0], 40);
+        // Pretend the multiplier returned 100 instead of 30.
+        let forced: HashMap<NodeId, u64> = [(m, 100u64)].into();
+        let forced_vals = evaluate_all_with(&dag, &inputs, &forced).unwrap();
+        assert_eq!(forced_vals[m.0], 100);
+        assert_eq!(forced_vals[r.0], 110);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! a per-operation decision, not a whole-program one.
 
 use apim_logic::PrecisionMode;
+use apim_math::MathSpec;
 
 use crate::CompileError;
 
@@ -79,6 +80,17 @@ pub enum Node {
         x: NodeId,
         /// Shift distance, `1 ≤ amount < width`.
         amount: u32,
+    },
+    /// A transcendental microkernel (`sin`/`cos`/`sqrt` from
+    /// `apim-math`). [`crate::expand::expand_math`] rewrites it into the
+    /// primitive nodes above before placement and lowering, so the
+    /// hazard passes, cycle accounting and equivalence prover all see
+    /// ordinary straight-line arithmetic.
+    Math {
+        /// Input value (Q-format per `spec.frac`; unsigned for sqrt).
+        x: NodeId,
+        /// Function, algorithm and precision knob.
+        spec: MathSpec,
     },
 }
 
@@ -305,6 +317,19 @@ impl Dag {
         Ok(self.push(Node::Shr { x, amount }))
     }
 
+    /// Adds a transcendental function node.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range operands and specs invalid for the DAG width
+    /// (see `apim_math::validate`).
+    pub fn math(&mut self, x: NodeId, spec: MathSpec) -> Result<NodeId, CompileError> {
+        self.check(x)?;
+        apim_math::validate(self.width, &spec)
+            .map_err(|e| CompileError::InvalidDag(format!("math node {spec}: {e}")))?;
+        Ok(self.push(Node::Math { x, spec }))
+    }
+
     /// Designates the output node.
     ///
     /// # Errors
@@ -322,7 +347,7 @@ impl Dag {
             Node::Input { .. } | Node::Const { .. } => Vec::new(),
             Node::Add { a, b } | Node::Sub { a, b } | Node::Mul { a, b, .. } => vec![*a, *b],
             Node::Mac { terms, .. } => terms.iter().flat_map(|&(a, b)| [a, b]).collect(),
-            Node::Shl { x, .. } | Node::Shr { x, .. } => vec![*x],
+            Node::Shl { x, .. } | Node::Shr { x, .. } | Node::Math { x, .. } => vec![*x],
         }
     }
 

@@ -32,13 +32,16 @@
 
 pub mod backend;
 pub mod eval;
+pub mod expand;
 pub mod ir;
 pub mod lower;
 pub mod parse;
 pub mod plan;
 
+pub use apim_math::{MathFn, MathMode, MathSpec};
 pub use backend::{compile, CompileOptions, CompiledProgram, RunReport};
-pub use eval::{evaluate, evaluate_all, evaluate_bound};
+pub use eval::{evaluate, evaluate_all, evaluate_all_with, evaluate_bound};
+pub use expand::{expand_math, has_math};
 pub use ir::{Dag, Node, NodeId};
 pub use lower::lower;
 pub use parse::{parse_program, render_program, ParseError, Program};

@@ -9,12 +9,18 @@
 use apim_arch::isa::{Op, Trace};
 use apim_logic::functional::partial_product_shifts;
 
+use crate::expand::{expand_math, has_math};
 use crate::ir::{Dag, Node};
 use crate::plan::mul_multiplier;
 
 /// Lowers every arithmetic node of `dag` to a controller macro-op, in id
-/// order.
+/// order. Transcendental [`Node::Math`] nodes are expanded into their
+/// primitive microkernels first, so the trace reflects what actually runs
+/// on the crossbar.
 pub fn lower(dag: &Dag) -> Trace {
+    if has_math(dag) {
+        return lower(&expand_math(dag));
+    }
     let bits = dag.width();
     let mut trace = Trace::new();
     for node in dag.nodes() {
@@ -58,6 +64,7 @@ pub fn lower(dag: &Dag) -> Trace {
                     amount: -(*amount as i32),
                 });
             }
+            Node::Math { .. } => unreachable!("expanded above"),
         }
     }
     trace

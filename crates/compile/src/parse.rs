@@ -13,21 +13,29 @@
 //!
 //! ```text
 //! program   := line*
-//! line      := "width" INT | "mode" mode | "in" IDENT
+//! line      := "width" INT | "mode" mode | "math" math | "in" IDENT
 //!            | "let" IDENT "=" expr | "out" expr
 //! mode      := "exact" | "mask" INT | "relax" INT
+//! math      := ("cordic" INT | "lut" INT) ["frac" INT]
 //! expr      := sum (("<<" | ">>") INT)*
 //! sum       := term (("+" | "-") term)*
 //! term      := atom ("*" atom)*
 //! atom      := INT | IDENT | "(" expr ")" | "-" atom
 //!            | "mac" "(" atom "*" atom ("," atom "*" atom)* ")"
+//!            | ("sin" | "cos" | "sqrt") "(" expr ")"
 //! ```
 //!
 //! Shifts bind loosest (like C); integer literals take `0x`/`0b`
 //! prefixes and `_` separators. Identifiers not bound by `let`/`in`
 //! become run-time inputs on first use. The active `mode` directive
-//! annotates every following `*`/`mac`. Errors carry 1-based line and
-//! column, in the same `line:col: message` shape the serve request
+//! annotates every following `*`/`mac`; the active `math` directive
+//! picks the algorithm/precision of every following `sin`/`cos`/`sqrt`
+//! (per-function defaults when absent, iteration/segment counts clamped
+//! to the function's legal range at the program width, the `frac`
+//! clause applying to trig only — sqrt is integer-domain). `sin`, `cos`,
+//! `sqrt` and `mac` are only special when called — followed by `(` —
+//! and stay ordinary identifiers otherwise. Errors carry 1-based line
+//! and column, in the same `line:col: message` shape the serve request
 //! parser uses.
 //!
 //! [`render_program`] is the canonical inverse: it emits one `in`/`let`
@@ -37,6 +45,7 @@
 use std::collections::HashMap;
 
 use apim_logic::PrecisionMode;
+use apim_math::{default_spec, max_iters, max_log2_segments, MathFn, MathMode, MathSpec};
 
 use crate::ir::{Dag, Node, NodeId};
 use crate::CompileError;
@@ -192,7 +201,49 @@ struct Parser {
     dag: Option<Dag>,
     names: HashMap<String, NodeId>,
     mode: PrecisionMode,
+    math: Option<(MathMode, Option<u32>)>,
     has_out: bool,
+}
+
+/// Resolves the active `math` directive (if any) into the concrete spec a
+/// `sin`/`cos`/`sqrt` call gets at this program width: per-function
+/// defaults when no directive is active, the directive's knob clamped to
+/// the function's legal range otherwise, the `frac` clause applying to
+/// trig only.
+fn applied_math_spec(
+    state: Option<(MathMode, Option<u32>)>,
+    func: MathFn,
+    width: u32,
+) -> Result<MathSpec, String> {
+    if !(4..=64).contains(&width) {
+        return Err(format!("math functions need width 4..=64, have {width}"));
+    }
+    let mut spec = default_spec(func, width);
+    let Some((mode, frac)) = state else {
+        return Ok(spec);
+    };
+    if func != MathFn::Sqrt {
+        if let Some(f) = frac {
+            spec.frac = f; // range-checked by Dag::math
+        }
+    }
+    spec.mode = match mode {
+        MathMode::Cordic { iters } => MathMode::Cordic {
+            iters: iters.clamp(1, max_iters(func, width)),
+        },
+        MathMode::Lut { log2_segments } => {
+            let max = max_log2_segments(func, width, spec.frac);
+            if max == 0 {
+                return Err(format!(
+                    "lut mode is unavailable for {func} at width {width}"
+                ));
+            }
+            MathMode::Lut {
+                log2_segments: log2_segments.clamp(1, max),
+            }
+        }
+    };
+    Ok(spec)
 }
 
 /// One line's token cursor.
@@ -256,6 +307,7 @@ impl Parser {
             dag: None,
             names: HashMap::new(),
             mode: PrecisionMode::Exact,
+            math: None,
             has_out: false,
         }
     }
@@ -325,6 +377,48 @@ impl Parser {
                     }
                 };
             }
+            "math" => {
+                let (t, c) = cur.next("'cordic' or 'lut'")?;
+                let name = match t {
+                    Tok::Ident(s) => s,
+                    other => {
+                        return Err(err(
+                            cur.line,
+                            c,
+                            format!("expected a math mode name, found {other}"),
+                        ))
+                    }
+                };
+                let mode = match name.as_str() {
+                    "cordic" => {
+                        let (iters, _) = cur.number("an iteration count")?;
+                        MathMode::Cordic {
+                            iters: iters as u32,
+                        }
+                    }
+                    "lut" => {
+                        let (k, _) = cur.number("a log2 segment count")?;
+                        MathMode::Lut {
+                            log2_segments: k as u32,
+                        }
+                    }
+                    other => {
+                        return Err(err(
+                            cur.line,
+                            c,
+                            format!("unknown math mode '{other}' (want cordic N or lut N)"),
+                        ))
+                    }
+                };
+                let frac = if cur.peek() == Some(&Tok::Ident("frac".into())) {
+                    cur.next("'frac'")?;
+                    let (f, _) = cur.number("fraction bits")?;
+                    Some(f as u32)
+                } else {
+                    None
+                };
+                self.math = Some((mode, frac));
+            }
             "in" => {
                 let (t, c) = cur.next("an input name")?;
                 let name = match t {
@@ -378,7 +472,7 @@ impl Parser {
                 return Err(err(
                     cur.line,
                     head_col,
-                    format!("unknown statement '{other}' (want width, mode, in, let or out)"),
+                    format!("unknown statement '{other}' (want width, mode, math, in, let or out)"),
                 ))
             }
         }
@@ -447,6 +541,7 @@ impl Parser {
     }
 
     /// atom := INT | IDENT | "(" expr ")" | "-" atom | mac-form
+    ///       | ("sin" | "cos" | "sqrt") "(" expr ")"
     fn atom(&mut self, cur: &mut Cursor<'_>) -> Result<NodeId, ParseError> {
         let (t, col) = cur.next("an expression")?;
         match t {
@@ -470,6 +565,23 @@ impl Parser {
             }
             Tok::Ident(name) if name == "mac" && cur.peek() == Some(&Tok::LParen) => {
                 self.mac_form(cur, col)
+            }
+            Tok::Ident(name)
+                if matches!(name.as_str(), "sin" | "cos" | "sqrt")
+                    && cur.peek() == Some(&Tok::LParen) =>
+            {
+                let func = match name.as_str() {
+                    "sin" => MathFn::Sin,
+                    "cos" => MathFn::Cos,
+                    _ => MathFn::Sqrt,
+                };
+                cur.expect(Tok::LParen)?;
+                let x = self.expr(cur)?;
+                cur.expect(Tok::RParen)?;
+                let dag = self.dag.as_mut().expect("expr implies width");
+                let spec = applied_math_spec(self.math, func, dag.width())
+                    .map_err(|msg| err(cur.line, col, msg))?;
+                Self::lift(dag.math(x, spec), cur.line, col)
             }
             Tok::Ident(name) => {
                 if let Some(&id) = self.names.get(&name) {
@@ -564,6 +676,7 @@ pub fn render_program(program: &Program) -> String {
         }
     };
     let mut out = format!("width {}\n", dag.width());
+    let mut math_state: Option<(MathMode, Option<u32>)> = None;
     let mut mode = PrecisionMode::Exact;
     let mut set_mode = |out: &mut String, m: PrecisionMode| {
         if m != mode {
@@ -606,6 +719,23 @@ pub fn render_program(program: &Program) -> String {
             }
             Node::Shr { x, amount } => {
                 out.push_str(&format!("let t{i} = {} >> {amount}\n", name(*x)));
+            }
+            Node::Math { x, spec } => {
+                // Re-emit a `math` directive whenever the active state would
+                // not resolve to this node's exact spec at reparse time.
+                let applied = applied_math_spec(math_state, spec.func, dag.width());
+                if applied.as_ref().ok() != Some(spec) {
+                    let frac = match spec.func {
+                        MathFn::Sqrt => None,
+                        MathFn::Sin | MathFn::Cos => Some(spec.frac),
+                    };
+                    match frac {
+                        Some(f) => out.push_str(&format!("math {} frac {f}\n", spec.mode)),
+                        None => out.push_str(&format!("math {}\n", spec.mode)),
+                    }
+                    math_state = Some((spec.mode, frac));
+                }
+                out.push_str(&format!("let t{i} = {}({})\n", spec.func, name(*x)));
             }
         }
     }
@@ -704,6 +834,85 @@ mod tests {
             p1.dag, p2.dag,
             "canonical form must rebuild the DAG exactly"
         );
+        assert_eq!(canon, render_program(&p2), "render is idempotent");
+    }
+
+    #[test]
+    fn math_atoms_take_defaults_without_a_directive() {
+        let p = parse_program("width 16\nout sqrt(x)").unwrap();
+        let specs: Vec<MathSpec> = p
+            .dag
+            .nodes()
+            .iter()
+            .filter_map(|n| match n {
+                Node::Math { spec, .. } => Some(*spec),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(specs, vec![default_spec(MathFn::Sqrt, 16)]);
+        assert_eq!(eval("width 16\nout sqrt(x)", &[("x", 10_000)]), 100);
+    }
+
+    #[test]
+    fn math_directive_steers_and_clamps_following_calls() {
+        let p = parse_program(
+            "width 16\nmath cordic 6 frac 10\nlet s = sin(a)\nmath lut 9\nout s + sqrt(b)",
+        )
+        .unwrap();
+        let specs: Vec<MathSpec> = p
+            .dag
+            .nodes()
+            .iter()
+            .filter_map(|n| match n {
+                Node::Math { spec, .. } => Some(*spec),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            specs[0],
+            MathSpec {
+                func: MathFn::Sin,
+                mode: MathMode::Cordic { iters: 6 },
+                frac: 10,
+            }
+        );
+        // `lut 9` exceeds the width-16 maximum and clamps; sqrt ignores
+        // the stale trig frac clause.
+        assert_eq!(specs[1].func, MathFn::Sqrt);
+        assert_eq!(specs[1].frac, 0);
+        assert_eq!(
+            specs[1].mode,
+            MathMode::Lut {
+                log2_segments: max_log2_segments(MathFn::Sqrt, 16, 0),
+            }
+        );
+    }
+
+    #[test]
+    fn math_keywords_stay_ordinary_identifiers_without_a_call() {
+        // `sin` not followed by '(' is a plain input name.
+        assert_eq!(eval("width 16\nout sin + 1", &[("sin", 41)]), 42);
+        // Sqrt LUT tables need width ≥ 6 for strictly increasing
+        // exact-square breakpoints.
+        let e = parse_program("width 4\nmath lut 1\nout sqrt(x)").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.msg.contains("unavailable"), "{e}");
+    }
+
+    #[test]
+    fn math_render_is_a_parser_fixed_point() {
+        let src = "width 18\n\
+                   math cordic 9 frac 12\n\
+                   let s = sin(a)\n\
+                   let c = cos(a)\n\
+                   math cordic 8\n\
+                   let r = sqrt(b)\n\
+                   math lut 3 frac 12\n\
+                   out s * c + r + sin(a + 1)";
+        let p1 = parse_program(src).unwrap();
+        let canon = render_program(&p1);
+        let p2 = parse_program(&canon).unwrap();
+        assert_eq!(p1.dag, p2.dag, "canonical form must rebuild math specs");
         assert_eq!(canon, render_program(&p2), "render is idempotent");
     }
 

@@ -125,6 +125,15 @@ fn worst_pps(dag: &Dag, i: usize) -> usize {
 /// Places `dag` onto `config`, or fails with [`CompileError::AreaExceeded`].
 pub fn place(dag: &Dag, config: &CrossbarConfig) -> Result<Placement, CompileError> {
     let n = dag.width() as usize;
+    if let Some(node) = dag
+        .nodes()
+        .iter()
+        .find(|node| matches!(node, Node::Math { .. }))
+    {
+        return Err(CompileError::InvalidDag(format!(
+            "{node:?} must be expanded (crate::expand::expand_math) before placement"
+        )));
+    }
     if config.blocks < 2 {
         return Err(CompileError::AreaExceeded {
             what: "compute block pair".into(),
@@ -367,6 +376,9 @@ pub fn estimate_node_cycles(dag: &Dag, placement: &Placement, model: &CostModel,
                     placement.in_compute(id),
                 )
         }
+        // place() rejects unexpanded Math nodes, so no placement (and
+        // hence no estimate request) can reach this arm.
+        Node::Math { .. } => 0,
     }
 }
 

@@ -1,0 +1,117 @@
+//! Hard-coded integer trigonometric constants.
+//!
+//! All constants are Q45 fixed-point integers (45 fraction bits), precise
+//! enough to round correctly to any Q-format the 4..=64-bit word widths
+//! can carry fraction bits for. Keeping them as integer literals — the
+//! same convention as `INV_SQRT2` in the DWT workload — means no `f64`
+//! ever participates in kernel construction or table generation.
+
+/// `atan(2^-i)` for `i = 0..31`, Q45.
+pub const ATAN_Q45: [i64; 31] = [
+    27_633_741_218_861,
+    16_313_149_993_182,
+    8_619_420_437_280,
+    4_375_352_399_238,
+    2_196_166_636_240,
+    1_099_153_923_404,
+    549_711_081_198,
+    274_872_314_743,
+    137_438_254_428,
+    68_719_389_355,
+    34_359_727_445,
+    17_179_867_819,
+    8_589_934_421,
+    4_294_967_275,
+    2_147_483_645,
+    1_073_741_824,
+    536_870_912,
+    268_435_456,
+    134_217_728,
+    67_108_864,
+    33_554_432,
+    16_777_216,
+    8_388_608,
+    4_194_304,
+    2_097_152,
+    1_048_576,
+    524_288,
+    262_144,
+    131_072,
+    65_536,
+    32_768,
+];
+
+/// The CORDIC gain reciprocal `K = Π 1/√(1 + 2^-2i) ≈ 0.607253`, Q45.
+/// Pre-scaling the initial vector by `K` makes the final magnitude 1.
+pub const K_Q45: i64 = 21_365_813_217_388;
+
+/// `π/2`, Q45.
+pub const HALF_PI_Q45: i64 = 55_267_482_437_722;
+
+/// `π`, Q45.
+pub const PI_Q45: i64 = 110_534_964_875_444;
+
+/// `2π`, Q45.
+pub const TWO_PI_Q45: i64 = 221_069_929_750_889;
+
+/// Number of fraction bits the constants above carry.
+pub const CONST_FRAC: u32 = 45;
+
+/// Re-quantizes a fixed-point value from `from` to `to` fraction bits with
+/// round-half-away-from-zero semantics.
+pub fn round_shift(v: i64, from: u32, to: u32) -> i64 {
+    if to >= from {
+        v << (to - from)
+    } else {
+        let shift = from - to;
+        let bias = 1i64 << (shift - 1);
+        if v >= 0 {
+            (v + bias) >> shift
+        } else {
+            -((-v + bias) >> shift)
+        }
+    }
+}
+
+/// `atan(2^-i)` re-quantized to `frac` fraction bits.
+pub fn atan_q(i: usize, frac: u32) -> i64 {
+    round_shift(ATAN_Q45[i], CONST_FRAC, frac)
+}
+
+/// The CORDIC gain reciprocal re-quantized to `frac` fraction bits.
+pub fn gain_q(frac: u32) -> i64 {
+    round_shift(K_Q45, CONST_FRAC, frac)
+}
+
+/// `π/2` re-quantized to `frac` fraction bits.
+pub fn half_pi_q(frac: u32) -> i64 {
+    round_shift(HALF_PI_Q45, CONST_FRAC, frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_round_to_known_low_precision_values() {
+        // Q15 1/√2-adjacent sanity anchors: π/2 in Q15 and the Q12 gain.
+        assert_eq!(half_pi_q(15), 51_472);
+        assert_eq!(gain_q(12), 2_487);
+        assert_eq!(atan_q(0, 12), 3_217); // π/4 in Q12
+    }
+
+    #[test]
+    fn round_shift_is_symmetric() {
+        for v in [0i64, 1, 7, 100, 12345] {
+            assert_eq!(round_shift(v, 10, 4), -round_shift(-v, 10, 4));
+        }
+        assert_eq!(round_shift(3, 2, 5), 24);
+    }
+
+    #[test]
+    fn atan_table_is_monotone_decreasing() {
+        for w in ATAN_Q45.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+}

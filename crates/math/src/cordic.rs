@@ -1,0 +1,140 @@
+//! Branch-free CORDIC rotation for sin/cos.
+//!
+//! Rotation-mode CORDIC drives the residual angle `z` to zero through
+//! `iters` micro-rotations by `±atan(2^-i)`. The rotation direction
+//! `d = sign(z)` is data-dependent, which a straight-line crossbar
+//! microprogram cannot branch on; instead the sign is extracted as a
+//! `{0, 1}` flag `s` (arithmetic shift of `z` by `width-1` yields the
+//! sign mask, negation turns it into the flag) and every conditional
+//! add/subtract becomes an unconditional pair:
+//!
+//! ```text
+//! x' = (x - y·2^-i) + 2·s·(y·2^-i)      (i.e. x ∓ y·2^-i)
+//! y' = (y + x·2^-i) - 2·s·(x·2^-i)
+//! z' = (z - atan_i) + s·(2·atan_i)
+//! ```
+//!
+//! The multiplications by `s` are exact single-partial-product products
+//! (`s ∈ {0, 1}`), and the multiplications by `2·atan_i` place the
+//! constant in the multiplier seat, so the in-crossbar cost stays a
+//! handful of adder passes per iteration.
+//!
+//! Domain: `|angle| ≤ π/2` in Q-`frac`. The intermediate `(x, y)` vector
+//! magnitude reaches the CORDIC gain `Π√(1+2^-2i) ≈ 1.647` and `z`
+//! excursions reach `±3.2`, which is why [`crate::validate`] caps
+//! `frac ≤ width - 3` (two integer bits plus sign).
+
+use crate::consts::{atan_q, gain_q};
+use crate::ops::FxOps;
+
+/// The pair of CORDIC outputs: `sin` is the final `y`, `cos` the final `x`.
+#[derive(Debug, Clone, Copy)]
+pub struct SinCos<V> {
+    /// `sin(angle)` in Q-`frac`.
+    pub sin: V,
+    /// `cos(angle)` in Q-`frac`.
+    pub cos: V,
+}
+
+/// Emits `iters` rotation-mode CORDIC iterations computing
+/// `sin`/`cos` of the Q-`frac` `angle` (domain `[-π/2, π/2]`).
+///
+/// The caller guarantees `1 ≤ iters ≤ min(width, 31)` and
+/// `1 ≤ frac ≤ width - 3` (see [`crate::validate`]).
+pub fn cordic_sincos<O: FxOps>(ops: &mut O, angle: O::V, frac: u32, iters: u32) -> SinCos<O::V> {
+    let width = ops.width();
+    let zero = ops.constant(0);
+    // Pre-scaled start vector (K, 0) absorbs the CORDIC gain.
+    let mut x = ops.constant(gain_q(frac));
+    let mut y = zero;
+    let mut z = angle;
+    for i in 0..iters {
+        // s = 1 iff z < 0: the arithmetic shift produces the sign mask
+        // (0 or all-ones), negation turns all-ones into +1.
+        let sign_mask = ops.shr(z, width - 1);
+        let s = ops.sub(zero, sign_mask);
+        let xi = if i == 0 { x } else { ops.shr(x, i) };
+        let yi = if i == 0 { y } else { ops.shr(y, i) };
+        // x' = (x - yi) + 2·(yi·s)
+        let x_sub = ops.sub(x, yi);
+        let ys = ops.mul(yi, s);
+        let ys2 = ops.shl(ys, 1);
+        let x_next = ops.add(x_sub, ys2);
+        // y' = (y + xi) - 2·(xi·s)
+        let y_add = ops.add(y, xi);
+        let xs = ops.mul(xi, s);
+        let xs2 = ops.shl(xs, 1);
+        let y_next = ops.sub(y_add, xs2);
+        // z' = (z - atan_i) + s·(2·atan_i)
+        let a = atan_q(i as usize, frac);
+        let ac = ops.constant(a);
+        let z_sub = ops.sub(z, ac);
+        let a2c = ops.constant(2 * a);
+        let za = ops.mul(s, a2c);
+        let z_next = ops.add(z_sub, za);
+        x = x_next;
+        y = y_next;
+        z = z_next;
+    }
+    SinCos { sin: y, cos: x }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consts::half_pi_q;
+    use crate::ops::{from_pattern, to_pattern, IntEval};
+
+    fn sincos_i64(width: u32, frac: u32, iters: u32, angle: i64) -> (i64, i64) {
+        let mut ops = IntEval::new(width).unwrap();
+        let a = to_pattern(angle, width);
+        let out = cordic_sincos(&mut ops, a, frac, iters);
+        (from_pattern(out.sin, width), from_pattern(out.cos, width))
+    }
+
+    #[test]
+    fn zero_angle_gives_unit_cos_zero_sin() {
+        // 14 iterations at Q12: residual well under 8 ulp.
+        let (sin, cos) = sincos_i64(16, 12, 14, 0);
+        assert!(sin.abs() <= 8, "sin(0) = {sin}");
+        assert!((cos - (1 << 12)).abs() <= 8, "cos(0) = {cos}");
+    }
+
+    #[test]
+    fn quarter_turn_endpoints() {
+        let hpi = half_pi_q(12);
+        let (sin, cos) = sincos_i64(16, 12, 14, hpi);
+        assert!((sin - (1 << 12)).abs() <= 8, "sin(π/2) = {sin}");
+        assert!(cos.abs() <= 8, "cos(π/2) = {cos}");
+        let (sin_n, cos_n) = sincos_i64(16, 12, 14, -hpi);
+        assert!((sin_n + (1 << 12)).abs() <= 8, "sin(-π/2) = {sin_n}");
+        assert!(cos_n.abs() <= 8, "cos(-π/2) = {cos_n}");
+    }
+
+    #[test]
+    fn pythagorean_identity_holds_within_quantization() {
+        let hpi = half_pi_q(13);
+        for step in -8i64..=8 {
+            let angle = hpi * step / 8;
+            let (sin, cos) = sincos_i64(18, 13, 15, angle);
+            let norm = sin * sin + cos * cos;
+            let unit = 1i64 << 26;
+            assert!(
+                (norm - unit).abs() < unit / 64,
+                "|sin²+cos² - 1| too large at angle {angle}: {norm} vs {unit}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_iterations_tighten_the_result() {
+        // sin(π/6) = 0.5 exactly; error at 4 iterations must strictly
+        // dominate error at 14.
+        let angle = half_pi_q(12) / 3;
+        let exact = 1i64 << 11;
+        let (coarse, _) = sincos_i64(16, 12, 4, angle);
+        let (fine, _) = sincos_i64(16, 12, 14, angle);
+        assert!((fine - exact).abs() < (coarse - exact).abs());
+        assert!((fine - exact).abs() <= 8);
+    }
+}

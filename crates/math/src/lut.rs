@@ -1,0 +1,279 @@
+//! Piecewise-linear table interpolation — the cheap, lower-precision
+//! alternative to iterative CORDIC.
+//!
+//! The approximation is `f(x) ≈ V_j + S_j·(x - c_j)` for the segment
+//! `[c_j, c_{j+1})` containing `x`. A straight-line microprogram cannot
+//! index a table, so segment selection is a chain of `{0, 1}` comparison
+//! indicators — `ge_j = 1 + ((x - c_j) >> (width-1))` is `1` iff
+//! `x ≥ c_j` — and each selected quantity is a delta accumulation:
+//!
+//! ```text
+//! base  = V_0 + Σ_j (V_j - V_{j-1})·ge_j       →  V_seg
+//! c_sel = c_0 + Σ_j (c_j - c_{j-1})·ge_j       →  c_seg
+//! s_sel = S_0 + Σ_j (S_j - S_{j-1})·ge_j       →  S_seg
+//! out   = base + (s_sel·(x - c_sel)) >> g
+//! ```
+//!
+//! The indicators are monotone in `j`, so every partial sum equals a
+//! genuine table entry and never overflows the word. The delta constants
+//! sit in the multiplier seat (known popcount), and negative deltas are
+//! flipped into subtractions by the compiler's negated-constant strength
+//! reduction. Slopes are stored in Q-`g`, with `g` chosen as the largest
+//! scale whose products provably fit the word.
+//!
+//! Table values are produced without floating point: trigonometric
+//! entries by running the integer CORDIC of [`crate::cordic`] at high
+//! precision (52-bit words, Q45, 31 iterations), square-root entries by
+//! [`isqrt_u64`] with breakpoints placed at exact squares (which also
+//! keeps the relative interpolation error flat across segments).
+
+use crate::consts::{half_pi_q, round_shift};
+use crate::cordic::cordic_sincos;
+use crate::ops::{from_pattern, to_pattern, FxOps, IntEval};
+use crate::sqrt::isqrt_u64;
+use crate::MathFn;
+
+/// Internal width/format of the table-generation CORDIC: comfortably
+/// more precise than any Q-format a ≤ 64-bit word can ask for.
+const GEN_WIDTH: u32 = 52;
+const GEN_FRAC: u32 = 45;
+const GEN_ITERS: u32 = 31;
+
+/// High-precision integer evaluation of `sin`/`cos` at a Q-`frac` angle
+/// (`|angle| ≤ π/2`), used for LUT table generation and anywhere else a
+/// host-side trig constant is needed without touching `f64`.
+///
+/// # Panics
+///
+/// Panics if `func` is [`MathFn::Sqrt`].
+pub fn trig_value_q(func: MathFn, angle: i64, frac: u32) -> i64 {
+    let a45 = round_shift(angle, frac, GEN_FRAC);
+    let mut ops = IntEval::new(GEN_WIDTH).expect("generation width is supported");
+    let out = cordic_sincos(&mut ops, to_pattern(a45, GEN_WIDTH), GEN_FRAC, GEN_ITERS);
+    let v45 = match func {
+        MathFn::Sin => from_pattern(out.sin, GEN_WIDTH),
+        MathFn::Cos => from_pattern(out.cos, GEN_WIDTH),
+        MathFn::Sqrt => panic!("trig_value_q is for sin/cos only"),
+    };
+    round_shift(v45, GEN_FRAC, frac)
+}
+
+/// A fully-materialized interpolation table for one function instance.
+#[derive(Debug, Clone)]
+pub struct LutSpec {
+    /// Fraction bits of the input/output Q-format.
+    pub frac: u32,
+    /// Segment boundaries, `K + 1` entries, strictly increasing
+    /// (Q-`frac` input units).
+    pub breakpoints: Vec<i64>,
+    /// Function values at the breakpoints, `K + 1` entries (Q-`frac`
+    /// output units).
+    pub values: Vec<i64>,
+    /// Per-segment slopes in Q-`g` per input unit, `K` entries.
+    pub slopes_qg: Vec<i64>,
+    /// Fraction bits of the slope scale; the interpolation term is
+    /// shifted right by this after the multiply.
+    pub g: u32,
+}
+
+/// The largest supported `log2_segments` for `func` at `width`/`frac`
+/// (capped at 6). Zero means LUT mode is unavailable — square root needs
+/// `width ≥ 6` so breakpoints at exact squares stay strictly increasing
+/// with end-of-domain headroom.
+pub fn max_log2_segments(func: MathFn, width: u32, frac: u32) -> u32 {
+    match func {
+        MathFn::Sin | MathFn::Cos => {
+            // Segment length must dominate the flooring remainder
+            // (range - K·seg < K): require seg = range >> k ≥ 2^k.
+            let range = 2 * half_pi_q(frac);
+            let mut k = 0;
+            while k < 6 && (range >> (k + 1)) >= (1i64 << (k + 1)) {
+                k += 1;
+            }
+            k
+        }
+        MathFn::Sqrt => {
+            // Last-segment overshoot (hi - R²  ≤ 2R) must fit the
+            // 2·segment slope guard: require 2^(k+1) ≤ R = ⌊√hi⌋.
+            let hi = (1u64 << (width - 1)) - 1;
+            let r = isqrt_u64(hi);
+            let mut k = 0;
+            while k < 6 && (2u64 << (k + 1)) <= r {
+                k += 1;
+            }
+            k
+        }
+    }
+}
+
+/// Symmetric (round-half-away-from-zero) division, `b > 0`.
+fn round_div(a: i128, b: i128) -> i128 {
+    if a >= 0 {
+        (a + b / 2) / b
+    } else {
+        -((-a + b / 2) / b)
+    }
+}
+
+/// Picks the largest slope scale `g` whose Q-`g` slopes keep every
+/// product `S_j·r` (with `r` up to twice the segment length, covering
+/// flooring remainder and end-of-domain overshoot) inside the signed
+/// `width`-bit word, and returns the slopes at that scale.
+fn solve_slopes(width: u32, breakpoints: &[i64], values: &[i64]) -> (u32, Vec<i64>) {
+    let limit = 1i128 << (width - 1);
+    for g in (0..=width - 2).rev() {
+        let mut slopes = Vec::with_capacity(breakpoints.len() - 1);
+        let mut ok = true;
+        for j in 0..breakpoints.len() - 1 {
+            let dv = i128::from(values[j + 1] - values[j]);
+            let seg = i128::from(breakpoints[j + 1] - breakpoints[j]);
+            let s = round_div(dv << g, seg);
+            if s.abs() * 2 * seg >= limit {
+                ok = false;
+                break;
+            }
+            slopes.push(s as i64);
+        }
+        if ok {
+            return (g, slopes);
+        }
+    }
+    unreachable!("g = 0 always satisfies the slope guard for valid tables")
+}
+
+/// Builds the interpolation table for `func` over its full domain
+/// (`[-π/2, π/2]` for trig, `[0, 2^(width-1))` for sqrt) with
+/// `2^log2_segments` segments.
+///
+/// The parameters must be valid per [`crate::validate`]; in particular
+/// `log2_segments ≤ max_log2_segments(func, width, frac)`.
+pub fn lut_spec(func: MathFn, width: u32, frac: u32, log2_segments: u32) -> LutSpec {
+    let k = 1i64 << log2_segments;
+    let (breakpoints, values): (Vec<i64>, Vec<i64>) = match func {
+        MathFn::Sin | MathFn::Cos => {
+            let hpi = half_pi_q(frac);
+            let seg = (2 * hpi) >> log2_segments;
+            let bps: Vec<i64> = (0..=k).map(|j| -hpi + j * seg).collect();
+            let vals = bps.iter().map(|&c| trig_value_q(func, c, frac)).collect();
+            (bps, vals)
+        }
+        MathFn::Sqrt => {
+            let hi = (1u64 << (width - 1)) - 1;
+            let r = i128::from(isqrt_u64(hi));
+            let ms: Vec<i64> = (0..=k)
+                .map(|j| round_div(i128::from(j) * r, i128::from(k)) as i64)
+                .collect();
+            let bps = ms.iter().map(|&m| m * m).collect();
+            (bps, ms)
+        }
+    };
+    let (g, slopes_qg) = solve_slopes(width, &breakpoints, &values);
+    LutSpec {
+        frac,
+        breakpoints,
+        values,
+        slopes_qg,
+        g,
+    }
+}
+
+/// Emits the straight-line interpolation microkernel for `table`
+/// (indicator chain, delta accumulation, one slope multiply).
+pub fn lut_interpolate<O: FxOps>(ops: &mut O, x: O::V, table: &LutSpec) -> O::V {
+    let width = ops.width();
+    let segments = table.slopes_qg.len();
+    let one = ops.constant(1);
+    let mut base = ops.constant(table.values[0]);
+    let mut c_sel = ops.constant(table.breakpoints[0]);
+    let mut s_sel = ops.constant(table.slopes_qg[0]);
+    for j in 1..segments {
+        let cj = ops.constant(table.breakpoints[j]);
+        let diff = ops.sub(x, cj);
+        let sign_mask = ops.shr(diff, width - 1);
+        let ge = ops.add(one, sign_mask);
+        let dv = table.values[j] - table.values[j - 1];
+        if dv != 0 {
+            let dvc = ops.constant(dv);
+            let term = ops.mul(dvc, ge);
+            base = ops.add(base, term);
+        }
+        let dc = table.breakpoints[j] - table.breakpoints[j - 1];
+        let dcc = ops.constant(dc);
+        let cterm = ops.mul(dcc, ge);
+        c_sel = ops.add(c_sel, cterm);
+        let ds = table.slopes_qg[j] - table.slopes_qg[j - 1];
+        if ds != 0 {
+            let dsc = ops.constant(ds);
+            let sterm = ops.mul(dsc, ge);
+            s_sel = ops.add(s_sel, sterm);
+        }
+    }
+    let r = ops.sub(x, c_sel);
+    let p = ops.mul(s_sel, r);
+    let interp = if table.g == 0 { p } else { ops.shr(p, table.g) };
+    ops.add(base, interp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::eval_signed;
+
+    #[test]
+    fn trig_value_anchors() {
+        // sin(π/2) = 1, cos(π/2) = 0, sin(π/6) = 1/2 — all in Q20.
+        let hpi = half_pi_q(20);
+        let one = 1i64 << 20;
+        assert!((trig_value_q(MathFn::Sin, hpi, 20) - one).abs() <= 2);
+        assert!(trig_value_q(MathFn::Cos, hpi, 20).abs() <= 2);
+        assert!((trig_value_q(MathFn::Sin, hpi / 3, 20) - one / 2).abs() <= 4);
+    }
+
+    #[test]
+    fn sqrt_table_breakpoints_are_exact_squares() {
+        let t = lut_spec(MathFn::Sqrt, 16, 0, 3);
+        assert_eq!(t.breakpoints.len(), 9);
+        for (m, c) in t.values.iter().zip(&t.breakpoints) {
+            assert_eq!(m * m, *c);
+        }
+        assert!(t.breakpoints.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn interpolation_is_exact_at_breakpoints() {
+        for func in [MathFn::Sin, MathFn::Cos] {
+            let t = lut_spec(func, 16, 13, 3);
+            for (&c, &v) in t.breakpoints.iter().zip(&t.values).take(8) {
+                let got = eval_signed(16, c, |ops, x| lut_interpolate(ops, x, &t));
+                assert!(
+                    (got - v).abs() <= 1,
+                    "{func} at breakpoint {c}: {got} vs {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sqrt_interpolation_tracks_isqrt_off_breakpoints() {
+        let t = lut_spec(MathFn::Sqrt, 16, 0, 3);
+        // Segments ≥ 1 (x ≥ c_1): relative error ≤ 1/(8·j·(j+1)) + rounding.
+        let lo = t.breakpoints[1];
+        for x in (lo..(1 << 15)).step_by(311) {
+            let got = eval_signed(16, x, |ops, v| lut_interpolate(ops, v, &t));
+            let truth = isqrt_u64(x as u64) as i64;
+            assert!(
+                (got - truth).abs() * 10 <= truth,
+                "lut sqrt({x}) = {got}, isqrt = {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_segments_scales_with_width() {
+        assert_eq!(max_log2_segments(MathFn::Sqrt, 4, 0), 0);
+        assert!(max_log2_segments(MathFn::Sqrt, 8, 0) >= 1);
+        assert_eq!(max_log2_segments(MathFn::Sqrt, 32, 0), 6);
+        assert!(max_log2_segments(MathFn::Sin, 8, 5) >= 1);
+        assert_eq!(max_log2_segments(MathFn::Cos, 32, 29), 6);
+    }
+}

@@ -1,0 +1,196 @@
+//! The op-builder abstraction the kernels are generic over.
+//!
+//! A [`FxOps`] implementation supplies `width`-bit two's-complement
+//! primitives — exactly the node kinds the APIM compiler lowers to MAGIC
+//! microprograms. The kernels in this crate call nothing else, so one
+//! kernel body serves as both the integer reference model (via
+//! [`IntEval`]) and the DAG expansion (via the compiler's builder impl).
+
+use crate::MathError;
+
+/// `width`-bit two's-complement primitive ops, mirroring the compiler's
+/// DAG node kinds one for one.
+///
+/// Semantics contract (what [`IntEval`] implements and the compiler's DAG
+/// evaluator matches bit for bit):
+///
+/// * values are `width`-bit patterns; every result is masked to width;
+/// * `add`/`sub` wrap;
+/// * `mul` is the truncated exact `n×n → n` product (wrapping); the
+///   second operand sits in the multiplier seat, so implementations that
+///   charge by partial products charge for `b`'s set bits;
+/// * `shl` is a logical left shift, `shr` an *arithmetic* (sign-filled)
+///   right shift; `amount` is always in `1..width`.
+pub trait FxOps {
+    /// A handle to one `width`-bit value (an integer for evaluation, a
+    /// node id for DAG construction).
+    type V: Copy;
+
+    /// Word width in bits.
+    fn width(&self) -> u32;
+
+    /// Materializes a constant (two's-complement, masked to width).
+    fn constant(&mut self, value: i64) -> Self::V;
+
+    /// Wrapping addition.
+    fn add(&mut self, a: Self::V, b: Self::V) -> Self::V;
+
+    /// Wrapping subtraction `a - b`.
+    fn sub(&mut self, a: Self::V, b: Self::V) -> Self::V;
+
+    /// Truncated exact product; `b` is the multiplier-seat operand.
+    fn mul(&mut self, a: Self::V, b: Self::V) -> Self::V;
+
+    /// Logical left shift, `1 ≤ amount < width`.
+    fn shl(&mut self, x: Self::V, amount: u32) -> Self::V;
+
+    /// Arithmetic right shift, `1 ≤ amount < width`.
+    fn shr(&mut self, x: Self::V, amount: u32) -> Self::V;
+}
+
+/// Sign-extends a `width`-bit pattern into an `i64`.
+pub fn from_pattern(bits: u64, width: u32) -> i64 {
+    if width == 64 {
+        return bits as i64;
+    }
+    let mask = (1u64 << width) - 1;
+    let v = bits & mask;
+    if v >> (width - 1) & 1 == 1 {
+        (v | !mask) as i64
+    } else {
+        v as i64
+    }
+}
+
+/// Two's-complement encodes an `i64` as a `width`-bit pattern.
+pub fn to_pattern(value: i64, width: u32) -> u64 {
+    if width == 64 {
+        value as u64
+    } else {
+        (value as u64) & ((1u64 << width) - 1)
+    }
+}
+
+/// The pure-integer [`FxOps`] implementation: values are `u64` bit
+/// patterns, ops are the wrapping/masked semantics of the contract above.
+#[derive(Debug, Clone)]
+pub struct IntEval {
+    width: u32,
+    mask: u64,
+}
+
+impl IntEval {
+    /// Creates an evaluator over `width`-bit words.
+    ///
+    /// # Errors
+    ///
+    /// [`MathError::InvalidWidth`] outside `4..=64`.
+    pub fn new(width: u32) -> Result<Self, MathError> {
+        if !(4..=64).contains(&width) {
+            return Err(MathError::InvalidWidth(width));
+        }
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        Ok(IntEval { width, mask })
+    }
+
+    /// The `width`-bit mask.
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+}
+
+impl FxOps for IntEval {
+    type V = u64;
+
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn constant(&mut self, value: i64) -> u64 {
+        (value as u64) & self.mask
+    }
+
+    fn add(&mut self, a: u64, b: u64) -> u64 {
+        a.wrapping_add(b) & self.mask
+    }
+
+    fn sub(&mut self, a: u64, b: u64) -> u64 {
+        a.wrapping_sub(b) & self.mask
+    }
+
+    fn mul(&mut self, a: u64, b: u64) -> u64 {
+        a.wrapping_mul(b) & self.mask
+    }
+
+    fn shl(&mut self, x: u64, amount: u32) -> u64 {
+        debug_assert!(amount >= 1 && amount < self.width);
+        (x << amount) & self.mask
+    }
+
+    fn shr(&mut self, x: u64, amount: u32) -> u64 {
+        debug_assert!(amount >= 1 && amount < self.width);
+        let sign = (x >> (self.width - 1)) & 1 == 1;
+        let shifted = x >> amount;
+        if sign {
+            (shifted | (self.mask & !(self.mask >> amount))) & self.mask
+        } else {
+            shifted
+        }
+    }
+}
+
+/// Evaluates `f` on sign-extended integer arguments through a fresh
+/// [`IntEval`], converting in and out of bit patterns — the convenient
+/// host-side entry point for table generation and tests.
+pub fn eval_signed<F>(width: u32, x: i64, f: F) -> i64
+where
+    F: FnOnce(&mut IntEval, u64) -> u64,
+{
+    let mut ops = IntEval::new(width).expect("caller supplies a supported width");
+    let xin = to_pattern(x, width);
+    let out = f(&mut ops, xin);
+    from_pattern(out, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_round_trip() {
+        for width in [4u32, 8, 16, 33, 64] {
+            for v in [-3i64, -1, 0, 1, 5] {
+                assert_eq!(from_pattern(to_pattern(v, width), width), v, "{v}@{width}");
+            }
+        }
+    }
+
+    #[test]
+    fn arithmetic_shift_sign_fills() {
+        let mut ops = IntEval::new(8).unwrap();
+        // -8 >> 2 = -2
+        assert_eq!(ops.shr(0xF8, 2), 0xFE);
+        assert_eq!(ops.shr(0x78, 2), 0x1E);
+    }
+
+    #[test]
+    fn mul_is_truncated_twos_complement_product() {
+        let mut ops = IntEval::new(8).unwrap();
+        let a = to_pattern(-3, 8);
+        let b = to_pattern(5, 8);
+        assert_eq!(from_pattern(ops.mul(a, b), 8), -15);
+    }
+
+    #[test]
+    fn select_by_flag_is_exact() {
+        // The kernels' core trick: mul by a {0,1} flag selects a value.
+        let mut ops = IntEval::new(12).unwrap();
+        let t = to_pattern(-100, 12);
+        assert_eq!(ops.mul(t, 1), t);
+        assert_eq!(ops.mul(t, 0), 0);
+    }
+}

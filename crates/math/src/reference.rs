@@ -1,0 +1,159 @@
+//! Floating-point ground truth, domain sampling and error metrics.
+//!
+//! This module is the *only* place `f64` appears in the crate. The
+//! kernels and their tables are pure integer end to end; the oracle here
+//! exists to *measure* them — tests, benchmarks, the CLI's error report
+//! and the quality harness all compare compiled results against these
+//! references, they never feed them into a program.
+
+use crate::ops::from_pattern;
+use crate::{eval, MathError, MathFn, MathSpec};
+
+/// `sin`/`cos`/`√` in real units — the ideal the fixed-point kernels
+/// approximate.
+pub fn truth(func: MathFn, x: f64) -> f64 {
+    match func {
+        MathFn::Sin => x.sin(),
+        MathFn::Cos => x.cos(),
+        MathFn::Sqrt => x.sqrt(),
+    }
+}
+
+/// Converts an input bit pattern to real units: signed Q-`frac` for trig,
+/// unsigned integer for sqrt.
+pub fn input_to_f64(func: MathFn, width: u32, frac: u32, pattern: u64) -> f64 {
+    match func {
+        MathFn::Sin | MathFn::Cos => from_pattern(pattern, width) as f64 / (frac as f64).exp2(),
+        MathFn::Sqrt => pattern as f64,
+    }
+}
+
+/// Converts an output bit pattern to real units (signed Q-`frac`).
+pub fn output_to_f64(width: u32, frac: u32, pattern: u64) -> f64 {
+    from_pattern(pattern, width) as f64 / (frac as f64).exp2()
+}
+
+/// The function's full legal input domain at this width/format, as
+/// `n` evenly spaced bit patterns (endpoints included).
+pub fn domain_samples(func: MathFn, width: u32, frac: u32, n: usize) -> Vec<u64> {
+    let (lo, hi): (i64, i64) = match func {
+        MathFn::Sin | MathFn::Cos => {
+            let hpi = crate::consts::half_pi_q(frac);
+            (-hpi, hpi)
+        }
+        MathFn::Sqrt => (0, ((1u64 << (width - 1)) - 1) as i64),
+    };
+    let n = n.max(2);
+    (0..n)
+        .map(|j| {
+            let v = lo + ((i128::from(hi - lo) * j as i128) / (n as i128 - 1)) as i64;
+            crate::ops::to_pattern(v, width)
+        })
+        .collect()
+}
+
+/// Aggregate error of a kernel against the oracle over a sample set.
+#[derive(Debug, Clone, Copy)]
+pub struct ErrorStats {
+    /// Largest absolute error, real units.
+    pub max_abs: f64,
+    /// Largest floored relative error (denominator never below
+    /// one tenth of the function's output scale).
+    pub max_rel: f64,
+    /// Mean floored relative error — the MRE the acceptance gates bound.
+    pub mean_rel: f64,
+}
+
+/// The denominator floor used for relative error: a tenth of the output
+/// scale (1 for trig, `√(2^(width-1))` for sqrt). Without the floor,
+/// relative error diverges where the true value passes through zero.
+pub fn rel_floor(func: MathFn, width: u32) -> f64 {
+    match func {
+        MathFn::Sin | MathFn::Cos => 0.1,
+        MathFn::Sqrt => 0.1 * (((width - 1) as f64).exp2()).sqrt(),
+    }
+}
+
+/// Computes [`ErrorStats`] from `(got, truth)` pairs in real units.
+pub fn error_stats(pairs: &[(f64, f64)], floor: f64) -> ErrorStats {
+    let mut max_abs = 0f64;
+    let mut max_rel = 0f64;
+    let mut sum_rel = 0f64;
+    for &(got, want) in pairs {
+        let abs = (got - want).abs();
+        let rel = abs / want.abs().max(floor);
+        max_abs = max_abs.max(abs);
+        max_rel = max_rel.max(rel);
+        sum_rel += rel;
+    }
+    ErrorStats {
+        max_abs,
+        max_rel,
+        mean_rel: sum_rel / pairs.len().max(1) as f64,
+    }
+}
+
+/// Runs the integer reference evaluator for `spec` over `n` evenly
+/// spaced domain samples and scores it against the oracle.
+///
+/// # Errors
+///
+/// [`MathError`] when the spec is invalid for `width`.
+pub fn measure(width: u32, spec: &MathSpec, n: usize) -> Result<ErrorStats, MathError> {
+    crate::validate(width, spec)?;
+    let pairs: Vec<(f64, f64)> = domain_samples(spec.func, width, spec.frac, n)
+        .into_iter()
+        .map(|p| {
+            let y = eval(width, spec, p).expect("validated above");
+            let x = input_to_f64(spec.func, width, spec.frac, p);
+            (output_to_f64(width, spec.frac, y), truth(spec.func, x))
+        })
+        .collect();
+    Ok(error_stats(&pairs, rel_floor(spec.func, width)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{default_spec, MathMode};
+
+    #[test]
+    fn default_cordic_specs_beat_one_percent_at_width_16() {
+        for func in [MathFn::Sin, MathFn::Cos, MathFn::Sqrt] {
+            let spec = default_spec(func, 16);
+            let stats = measure(16, &spec, 257).unwrap();
+            assert!(
+                stats.mean_rel < 0.01,
+                "{func}: mean rel {:.4}",
+                stats.mean_rel
+            );
+            // Floor-sqrt truncation alone reaches ~1 ulp just below a
+            // square, ≈ 5.4% relative at the width-16 floor boundary.
+            assert!(stats.max_rel < 0.08, "{func}: max rel {:.4}", stats.max_rel);
+        }
+    }
+
+    #[test]
+    fn lut_mode_is_coarser_but_bounded() {
+        for func in [MathFn::Sin, MathFn::Cos] {
+            let spec = MathSpec {
+                func,
+                mode: MathMode::Lut { log2_segments: 3 },
+                frac: 13,
+            };
+            let stats = measure(16, &spec, 257).unwrap();
+            assert!(
+                stats.mean_rel < 0.05,
+                "{func}: mean rel {:.4}",
+                stats.mean_rel
+            );
+        }
+    }
+
+    #[test]
+    fn samples_cover_the_domain_endpoints() {
+        let s = domain_samples(MathFn::Sqrt, 16, 0, 5);
+        assert_eq!(s[0], 0);
+        assert_eq!(*s.last().unwrap(), (1 << 15) - 1);
+    }
+}

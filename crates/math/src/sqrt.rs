@@ -1,0 +1,177 @@
+//! Integer square roots: the restoring bit recurrence (for in-crossbar
+//! expansion) and host-side helpers.
+//!
+//! The in-crossbar kernel is the classical *restoring* digit recurrence:
+//! one candidate subtract per result bit, highest bit first. Setting bit
+//! `i` of the partial root `res` costs `t = 2·res·2^i + 4^i`
+//! (`= (res + 2^i)² - res²`) out of the remaining radicand, so each step
+//! compares `x ≥ t` and conditionally commits. The comparison is the
+//! same sign-flag trick as CORDIC's rotation direction: `c = 1 + ((x - t)
+//! >> (width-1))` is `1` when `x ≥ t` and `0` otherwise, and the commit
+//! becomes the unconditional pair `x ← x - t·c`, `res ← res + c·2^i`.
+//!
+//! Domain: `0 ≤ x < 2^(width-1)` (unsigned, sign bit clear — the sign
+//! comparison trick needs the headroom). With fewer than the full
+//! [`isqrt_bits`] iterations the low result bits stay zero: a truncated
+//! root with error below `2^(bits - iters)`.
+
+use crate::ops::FxOps;
+
+/// Result bits of `⌊√x⌋` for `x < 2^(width-1)`: `⌈(width-1)/2⌉`.
+pub fn isqrt_bits(width: u32) -> u32 {
+    (width - 1).div_ceil(2)
+}
+
+/// Host-side exact `⌊√x⌋` on `u64` — pure integer (binary restoring),
+/// used for LUT table generation and as a test oracle.
+pub fn isqrt_u64(x: u64) -> u64 {
+    if x == 0 {
+        return 0;
+    }
+    // Highest power of four not exceeding x.
+    let mut bit = 1u64 << ((63 - x.leading_zeros()) & !1);
+    let mut rem = x;
+    let mut res = 0u64;
+    while bit != 0 {
+        if rem >= res + bit {
+            rem -= res + bit;
+            res = (res >> 1) + bit;
+        } else {
+            res >>= 1;
+        }
+        bit >>= 2;
+    }
+    res
+}
+
+/// Emits `iters` restoring-recurrence steps computing the truncated
+/// `⌊√x⌋` of the unsigned input `x < 2^(width-1)`.
+///
+/// The caller guarantees `1 ≤ iters ≤ isqrt_bits(width)` (see
+/// [`crate::validate`]). Full `iters` gives the exact floor root; fewer
+/// leave the low `isqrt_bits - iters` result bits zero.
+pub fn restoring_isqrt<O: FxOps>(ops: &mut O, x: O::V, iters: u32) -> O::V {
+    let width = ops.width();
+    let bits = isqrt_bits(width);
+    let one = ops.constant(1);
+    let mut rem = x;
+    let mut res = ops.constant(0);
+    for step in 0..iters {
+        let i = bits - 1 - step;
+        // Candidate cost t = 2·res·2^i + 4^i; at the first step res = 0,
+        // so t is the bare power-of-four constant.
+        let pow4 = ops.constant(1i64 << (2 * i));
+        let t = if step == 0 {
+            pow4
+        } else {
+            let shifted = ops.shl(res, i + 1);
+            ops.add(shifted, pow4)
+        };
+        // c = 1 iff rem ≥ t (both below 2^(width-1), so the difference's
+        // sign bit is trustworthy).
+        let diff = ops.sub(rem, t);
+        let sign_mask = ops.shr(diff, width - 1);
+        let c = ops.add(one, sign_mask);
+        // rem ← rem - t·c; res ← res + c·2^i.
+        let tc = ops.mul(t, c);
+        rem = ops.sub(rem, tc);
+        let inc = if i == 0 { c } else { ops.shl(c, i) };
+        res = ops.add(res, inc);
+    }
+    res
+}
+
+/// Division-free Newton–Raphson fixed-point square root, generic over the
+/// arithmetic backend — the single shared implementation behind the
+/// workloads crate's `sqrt_fx` (§4.1's "approximated by these two
+/// functions").
+///
+/// `x` is Q-`shift` and non-positive inputs return 0. Internally the
+/// reciprocal-root estimate `z` is kept at `shift + 4` fraction bits and
+/// refined by `z ← z·(3 - x·z²)/2`; the result is `x·z` renormalized to
+/// Q-`shift`. `mul`/`sub` run every multiply and subtract through the
+/// caller's context, so an instrumented or approximate backend sees
+/// exactly the operations it would have seen from a hand-inlined copy.
+pub fn sqrt_nr_q<C>(
+    x: i32,
+    shift: u32,
+    iterations: u32,
+    ctx: &mut C,
+    mul: impl Fn(&mut C, i32, i32) -> i64,
+    sub: impl Fn(&mut C, i64, i64) -> i64,
+) -> i32 {
+    if x <= 0 {
+        return 0;
+    }
+    let zshift = shift + 4;
+    // Power-of-two seed z0 = 2^(-⌈log2(v)/2⌉): guarantees x·z0² ≤ 2 < 3,
+    // inside Newton's convergence basin.
+    let e = 31 - x.leading_zeros() as i32 - i32::try_from(shift).expect("small shift");
+    let half_up = if e >= 0 { (e + 1) / 2 } else { -((-e) / 2) };
+    let mut z: i32 = 1 << (i32::try_from(zshift).expect("small shift") - half_up).clamp(1, 30);
+    let three = 3i64 << shift;
+    for _ in 0..iterations {
+        // v·z at z's precision (precise: the product is O(√v)), then
+        // v·z² back at Q-`shift`.
+        let xz = (mul(ctx, x, z) >> shift) as i32;
+        let xz2 = (mul(ctx, xz, z) >> (2 * zshift - shift)) as i32;
+        // t = 3 - v·z²; z ← z·t/2 (the extra shift bit is Newton's /2).
+        let t = sub(ctx, three, i64::from(xz2)) as i32;
+        z = (mul(ctx, z, t) >> (shift + 1)) as i32;
+        if z <= 0 {
+            z = 1;
+        }
+    }
+    // √x = v·z, renormalized from z's precision to Q-`shift`.
+    ((mul(ctx, x, z) >> shift) >> (zshift - shift)) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::IntEval;
+
+    #[test]
+    fn host_isqrt_is_exact() {
+        for x in 0u64..2000 {
+            let r = isqrt_u64(x);
+            assert!(r * r <= x && (r + 1) * (r + 1) > x, "isqrt({x}) = {r}");
+        }
+        assert_eq!(isqrt_u64(u64::MAX), (1u64 << 32) - 1);
+    }
+
+    #[test]
+    fn restoring_matches_host_isqrt_at_full_iterations() {
+        for width in [8u32, 12, 16, 17] {
+            let bits = isqrt_bits(width);
+            let hi = 1u64 << (width - 1);
+            for x in (0..hi).step_by((hi / 257).max(1) as usize) {
+                let mut ops = IntEval::new(width).unwrap();
+                let got = restoring_isqrt(&mut ops, x, bits);
+                assert_eq!(got, isqrt_u64(x), "width {width}, x {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_iterations_zero_low_bits() {
+        let mut ops = IntEval::new(16).unwrap();
+        let full = restoring_isqrt(&mut ops, 30_000, isqrt_bits(16));
+        let trunc = restoring_isqrt(&mut ops, 30_000, isqrt_bits(16) - 3);
+        assert_eq!(trunc & 0b111, 0);
+        assert_eq!(trunc, full & !0b111);
+    }
+
+    #[test]
+    fn newton_matches_float_sqrt() {
+        let plain_mul = |(): &mut (), a: i32, b: i32| i64::from(a) * i64::from(b);
+        let plain_sub = |(): &mut (), a: i64, b: i64| a - b;
+        for v in [0.0625f64, 0.25, 1.0, 2.0, 4.0, 100.0, 4000.0] {
+            let x = (v * 4096.0) as i32;
+            let y = f64::from(sqrt_nr_q(x, 12, 5, &mut (), plain_mul, plain_sub)) / 4096.0;
+            assert!((y - v.sqrt()).abs() / v.sqrt() < 0.01, "sqrt({v}) = {y}");
+        }
+        assert_eq!(sqrt_nr_q(0, 12, 5, &mut (), plain_mul, plain_sub), 0);
+        assert_eq!(sqrt_nr_q(-5, 12, 5, &mut (), plain_mul, plain_sub), 0);
+    }
+}

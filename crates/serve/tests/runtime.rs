@@ -238,6 +238,37 @@ fn batches_coalesce_same_key_requests() {
 }
 
 #[test]
+fn transcendental_compile_requests_serve_end_to_end() {
+    // Request lines carrying sin/sqrt programs go through admission
+    // parsing, worker-side compilation (CORDIC / restoring-isqrt
+    // expansion) and gate-level execution — the full compile→verify→serve
+    // path for the transcendental kernels. Unbound inputs default to
+    // their declaration index + 1, well inside both domains.
+    let pool = small_pool(2, 8);
+    let lines = [
+        "@1 compile width 10; in x; out sin(x)",
+        "@2 compile width 12; in x; out sqrt(x) + 1",
+        "@3 compile width 10; math lut 2; in x; out cos(x)",
+    ];
+    let handles: Vec<_> = lines
+        .iter()
+        .map(|line| {
+            let request = Request::parse_line(line).expect("admission parse");
+            pool.submit(request).expect("room")
+        })
+        .collect();
+    pool.drain();
+    for handle in handles {
+        let response = handle.try_wait().expect("drained pool answered");
+        let output = response.result.expect("compiled program served");
+        let summary = output.summary();
+        assert!(summary.contains("compiled"), "{summary}");
+        assert!(summary.contains("cycles"), "{summary}");
+    }
+    pool.shutdown();
+}
+
+#[test]
 fn zero_workers_is_a_structured_error() {
     let err = Pool::new(PoolConfig {
         workers: 0,

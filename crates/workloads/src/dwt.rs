@@ -8,10 +8,11 @@
 use crate::arith::Arith;
 
 /// Scale-factor fraction bits (Q15, finer than the Q12 data).
-const SCALE_SHIFT: u32 = 15;
+pub const SCALE_SHIFT: u32 = 15;
 
-/// `1/√2` in Q15.
-const INV_SQRT2: i32 = 23170; // round(32768 / sqrt(2))
+/// `1/√2` in Q15 — equal to `⌊√2^29⌋`, which is how the compiled
+/// in-crossbar path of [`crate::mathdags`] derives it without host floats.
+pub const INV_SQRT2: i32 = 23170; // round(32768 / sqrt(2))
 
 /// Output of a full Haar decomposition.
 #[derive(Debug, Clone, PartialEq, Eq)]

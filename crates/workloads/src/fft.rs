@@ -40,17 +40,32 @@ fn twiddles(n: usize) -> Vec<Complex> {
         .collect()
 }
 
-/// In-place radix-2 DIT FFT over `data` (length must be a power of two).
+/// In-place radix-2 DIT FFT over `data` (length must be a power of two),
+/// using the host-float twiddle ROM.
 ///
 /// # Panics
 ///
 /// Panics if the length is not a power of two.
 pub fn fft<A: Arith>(data: &mut [Complex], arith: &mut A) {
+    fft_with(data, arith, &twiddles(data.len()));
+}
+
+/// [`fft`] with a caller-supplied Q15 twiddle table (`tw[k] = e^{-2πi
+/// k/n}` for `k < n/2`) — the entry point for tables produced by the
+/// compiled in-crossbar CORDIC of [`crate::mathdags`], keeping host
+/// floating point out of the whole pipeline.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two or the table is not `n/2`
+/// entries.
+pub fn fft_with<A: Arith>(data: &mut [Complex], arith: &mut A, tw: &[Complex]) {
     let n = data.len();
     assert!(n.is_power_of_two(), "FFT length must be a power of two");
     if n < 2 {
         return;
     }
+    assert_eq!(tw.len(), n / 2, "twiddle table must hold n/2 factors");
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
@@ -60,7 +75,6 @@ pub fn fft<A: Arith>(data: &mut [Complex], arith: &mut A) {
             data.swap(i, j);
         }
     }
-    let tw = twiddles(n);
     let mut len = 2;
     while len <= n {
         let half = len / 2;

@@ -38,6 +38,7 @@ pub mod dags;
 pub mod dwt;
 pub mod fft;
 pub mod image;
+pub mod mathdags;
 pub mod mathx;
 pub mod pgm;
 pub mod quality;

@@ -1,0 +1,291 @@
+//! FFT twiddles and DwtHaar1D scaling as compiled transcendental DAGs.
+//!
+//! The hand-written [`crate::fft`] and [`crate::dwt`] kernels take their
+//! constants from host floating point (a `sin`/`cos` twiddle ROM, a
+//! `round(32768/√2)` scale). This module re-derives both **in-crossbar**:
+//! `sin`/`cos`/`sqrt` expression DAGs compile through `apim-compile` into
+//! MAGIC NOR microprograms (CORDIC / restoring-isqrt expansions from
+//! `apim-math`), execute at the gate level, and the read-back words become
+//! the tables. All angle bookkeeping is integer Q-format arithmetic on the
+//! crate's Q45 constants — no `f64` appears anywhere on this path, only in
+//! the tests that score it.
+//!
+//! * [`TrigPrograms`] — `sin(angle)` / `cos(angle)` compiled once at
+//!   [`TWIDDLE_WIDTH`] bits, run per table entry with quadrant folding.
+//! * [`compiled_twiddles`] — the Q15 twiddle table for an `n`-point FFT,
+//!   a drop-in for the float ROM via [`crate::fft::fft_with`].
+//! * [`compiled_inv_sqrt2`] — `⌊√2^29⌋ = 23170`, the Haar Q15 scale, from
+//!   a compiled integer square root.
+//! * [`haar_level_via_dag`] — one Haar analysis level where every
+//!   `(a ± b) · scale >> 15` pair runs as a compiled program, bit-identical
+//!   to [`crate::dwt::haar_level`] under the exact backend.
+
+use std::collections::HashMap;
+
+use apim_compile::{compile, CompileError, CompileOptions, CompiledProgram, Dag};
+use apim_logic::PrecisionMode;
+use apim_math::consts::{half_pi_q, round_shift, PI_Q45, TWO_PI_Q45};
+use apim_math::{from_pattern, to_pattern, MathFn, MathMode, MathSpec};
+
+use crate::dwt::SCALE_SHIFT;
+use crate::fft::{Complex, TW_SHIFT};
+
+/// Word width of the twiddle trig programs: Q15 values with CORDIC
+/// headroom (intermediate rotation state reaches ±2.4, needing two
+/// integer bits plus sign above the 15 fraction bits, with margin).
+pub const TWIDDLE_WIDTH: u32 = 20;
+
+/// CORDIC iterations for the twiddle programs — enough to push the
+/// rotation residual below the Q15 quantization step.
+pub const TWIDDLE_ITERS: u32 = 16;
+
+/// Word width of the compiled Haar pair programs: like
+/// [`crate::dags::DAG_WIDTH`], the Q12×Q15 products span ~35 bits and
+/// must not wrap before the renormalizing shift.
+pub const HAAR_WIDTH: u32 = 64;
+
+/// `sin`/`cos` compiled once against the default crossbar geometry and
+/// reused for every table entry.
+pub struct TrigPrograms {
+    sin: CompiledProgram,
+    cos: CompiledProgram,
+}
+
+fn trig_program(func: MathFn, options: &CompileOptions) -> Result<CompiledProgram, CompileError> {
+    let mut dag = Dag::new(TWIDDLE_WIDTH)?;
+    let x = dag.input("angle")?;
+    let spec = MathSpec {
+        func,
+        mode: MathMode::Cordic {
+            iters: TWIDDLE_ITERS,
+        },
+        frac: TW_SHIFT,
+    };
+    let m = dag.math(x, spec)?;
+    dag.set_root(m)?;
+    compile(&dag, options)
+}
+
+impl TrigPrograms {
+    /// Compiles the two programs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile/placement errors from `apim-compile`.
+    pub fn new(options: &CompileOptions) -> Result<Self, CompileError> {
+        Ok(TrigPrograms {
+            sin: trig_program(MathFn::Sin, options)?,
+            cos: trig_program(MathFn::Cos, options)?,
+        })
+    }
+
+    /// `(sin φ, cos φ)` in Q15 for any Q15 angle, each from one gate-level
+    /// run of the compiled CORDIC. The host only folds the angle into the
+    /// kernel's `[-π/2, π/2]` domain (integer compares and subtracts) and
+    /// applies the fold's sign to the read-back word.
+    ///
+    /// # Errors
+    ///
+    /// Propagates crossbar/verification errors from the compiled runs.
+    pub fn sin_cos(&self, angle_q15: i64) -> Result<(i64, i64), CompileError> {
+        let pi = round_shift(PI_Q45, 45, TW_SHIFT);
+        let two_pi = round_shift(TWO_PI_Q45, 45, TW_SHIFT);
+        let hpi = half_pi_q(TW_SHIFT);
+        // Normalize into (-π, π], then fold the outer quadrants through
+        // sin(π - r) = sin(r), cos(π - r) = -cos(r).
+        let mut phi = angle_q15 % two_pi;
+        if phi > pi {
+            phi -= two_pi;
+        } else if phi < -pi {
+            phi += two_pi;
+        }
+        let (r, cos_sign) = if phi > hpi {
+            (pi - phi, -1)
+        } else if phi < -hpi {
+            (-pi - phi, -1)
+        } else {
+            (phi, 1)
+        };
+        let inputs: HashMap<String, u64> =
+            [("angle".to_string(), to_pattern(r, TWIDDLE_WIDTH))].into();
+        let sin = from_pattern(self.sin.run(&inputs)?.value, TWIDDLE_WIDTH);
+        let cos = from_pattern(self.cos.run(&inputs)?.value, TWIDDLE_WIDTH);
+        Ok((sin, cos_sign * cos))
+    }
+}
+
+/// The Q15 twiddle table `e^{-2πi k/n}`, `k < n/2`, every entry computed
+/// by the compiled in-crossbar CORDIC — a drop-in replacement for the
+/// float ROM of [`crate::fft::fft`] via [`crate::fft::fft_with`]. Angles
+/// are exact integer arithmetic on the Q45 circle constant.
+///
+/// # Errors
+///
+/// Propagates compile/run errors from the trig programs.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+pub fn compiled_twiddles(n: usize, options: &CompileOptions) -> Result<Vec<Complex>, CompileError> {
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    let programs = TrigPrograms::new(options)?;
+    (0..n / 2)
+        .map(|k| {
+            // φ_k = 2πk/n, rounded once at Q45 then once to Q15.
+            let phi45 = (i128::from(TWO_PI_Q45) * k as i128 + (n as i128) / 2) / n as i128;
+            let phi = round_shift(phi45 as i64, 45, TW_SHIFT);
+            let (sin, cos) = programs.sin_cos(-phi)?;
+            Ok(Complex {
+                re: cos as i32,
+                im: sin as i32,
+            })
+        })
+        .collect()
+}
+
+/// `⌊√2^29⌋ = 23170`, the Haar Q15 scale `1/√2`, computed by compiling
+/// and running an integer square-root microprogram (width 32, the
+/// radicand is a `Const` node — no runtime inputs at all).
+///
+/// # Errors
+///
+/// Propagates compile/run errors.
+pub fn compiled_inv_sqrt2(options: &CompileOptions) -> Result<i32, CompileError> {
+    let width = 32;
+    let mut dag = Dag::new(width)?;
+    let x = dag.constant(1 << (2 * SCALE_SHIFT - 1));
+    let spec = MathSpec {
+        func: MathFn::Sqrt,
+        mode: MathMode::Cordic {
+            iters: apim_math::isqrt_bits(width),
+        },
+        frac: 0,
+    };
+    let m = dag.math(x, spec)?;
+    dag.set_root(m)?;
+    let program = compile(&dag, options)?;
+    Ok(program.run(&HashMap::new())?.value as i32)
+}
+
+/// One compiled Haar pair program: `(a ± b) · scale >> SCALE_SHIFT` at
+/// [`HAAR_WIDTH`] bits, mirroring [`crate::dwt::haar_level`]'s op
+/// sequence exactly (the scale is a constant multiplier, so its set-bit
+/// count is known to the §3.3 cost model).
+fn haar_pair_dag(sum: bool, scale: i32) -> Result<Dag, CompileError> {
+    let mut dag = Dag::new(HAAR_WIDTH)?;
+    let a = dag.input("a")?;
+    let b = dag.input("b")?;
+    let combined = if sum { dag.add(a, b)? } else { dag.sub(a, b)? };
+    let c = dag.constant(scale as u64);
+    let product = dag.mul(combined, c, PrecisionMode::Exact)?;
+    let out = dag.shr(product, SCALE_SHIFT)?;
+    dag.set_root(out)?;
+    Ok(dag)
+}
+
+/// One Haar analysis level with both pair programs executed at the gate
+/// level per input pair — the compiler-driven twin of
+/// [`crate::dwt::haar_level`], bit-identical to it when `scale` is
+/// [`crate::dwt::INV_SQRT2`].
+///
+/// # Errors
+///
+/// Propagates compile/run errors.
+///
+/// # Panics
+///
+/// Panics if the input length is odd.
+pub fn haar_level_via_dag(
+    input: &[i32],
+    scale: i32,
+    options: &CompileOptions,
+) -> Result<(Vec<i32>, Vec<i32>), CompileError> {
+    assert!(
+        input.len().is_multiple_of(2),
+        "Haar level needs an even length"
+    );
+    let approx_prog = compile(&haar_pair_dag(true, scale)?, options)?;
+    let detail_prog = compile(&haar_pair_dag(false, scale)?, options)?;
+    let mut approx = Vec::with_capacity(input.len() / 2);
+    let mut detail = Vec::with_capacity(input.len() / 2);
+    for pair in input.chunks_exact(2) {
+        let inputs: HashMap<String, u64> = [
+            ("a".to_string(), pair[0] as i64 as u64),
+            ("b".to_string(), pair[1] as i64 as u64),
+        ]
+        .into();
+        approx.push(approx_prog.run(&inputs)?.value as i32);
+        detail.push(detail_prog.run(&inputs)?.value as i32);
+    }
+    Ok((approx, detail))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::ExactArith;
+    use crate::dwt::{haar_level, INV_SQRT2};
+    use crate::fft::{fft_real, fft_with};
+    use crate::quality::{mean_relative_error, numeric_quality};
+
+    #[test]
+    fn compiled_inv_sqrt2_matches_the_hand_constant() {
+        assert_eq!(
+            compiled_inv_sqrt2(&CompileOptions::default()).unwrap(),
+            INV_SQRT2
+        );
+    }
+
+    #[test]
+    fn compiled_twiddles_track_the_float_rom() {
+        let n = 16;
+        let tw = compiled_twiddles(n, &CompileOptions::default()).unwrap();
+        assert_eq!(tw.len(), n / 2);
+        let one = f64::from(1 << TW_SHIFT);
+        for (k, t) in tw.iter().enumerate() {
+            let angle = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+            let re_err = (f64::from(t.re) / one - angle.cos()).abs();
+            let im_err = (f64::from(t.im) / one - angle.sin()).abs();
+            assert!(re_err < 0.005, "re[{k}]: {re_err}");
+            assert!(im_err < 0.005, "im[{k}]: {im_err}");
+        }
+        // Anchors: W^0 = 1, W^{n/4} = -i (±2 LSB of CORDIC residual).
+        assert!(i64::from(tw[0].im).abs() <= 2);
+        assert!((i64::from(tw[0].re) - (1 << TW_SHIFT)).abs() <= 2);
+        assert!(i64::from(tw[n / 4].re).abs() <= 2);
+        assert!((i64::from(tw[n / 4].im) + (1 << TW_SHIFT)).abs() <= 2);
+    }
+
+    #[test]
+    fn fft_with_compiled_twiddles_stays_below_the_mre_gate() {
+        let n = 16;
+        let tw = compiled_twiddles(n, &CompileOptions::default()).unwrap();
+        let signal: Vec<i32> = (0..n)
+            .map(|i| (((i * 37) % 256) as i32 - 128) << 6)
+            .collect();
+        let golden = fft_real(&signal, &mut ExactArith::new());
+        let mut data: Vec<Complex> = signal.iter().map(|&s| Complex::new(s, 0)).collect();
+        fft_with(&mut data, &mut ExactArith::new(), &tw);
+        let flat = |spec: &[Complex]| -> Vec<i64> {
+            spec.iter()
+                .flat_map(|c| [i64::from(c.re), i64::from(c.im)])
+                .collect()
+        };
+        let quality = numeric_quality(&flat(&golden), &flat(&data));
+        assert!(
+            quality.acceptable,
+            "compiled-twiddle FFT rel RMS {:.4}",
+            quality.mean_rel_err
+        );
+        assert!(mean_relative_error(&flat(&golden), &flat(&data)) < 0.10);
+    }
+
+    #[test]
+    fn haar_level_via_dag_is_bit_identical_to_hand_kernel() {
+        let signal: Vec<i32> = (0..8).map(|i| ((i * 53) % 211 - 100) << 10).collect();
+        let (ha, hd) = haar_level(&signal, &mut ExactArith::new());
+        let (ca, cd) = haar_level_via_dag(&signal, INV_SQRT2, &CompileOptions::default()).unwrap();
+        assert_eq!(ha, ca);
+        assert_eq!(hd, cd);
+    }
+}

@@ -6,7 +6,7 @@
 //! [`Arith`] backend's additions and multiplications, so it runs (and
 //! approximates) exactly like the rest of an APIM kernel.
 
-use crate::arith::{Arith, FX_ONE, FX_SHIFT};
+use crate::arith::{Arith, FX_SHIFT};
 
 /// Newton iterations for the inverse square root — quadratic convergence
 /// makes five plenty across the Q12 range.
@@ -31,25 +31,18 @@ pub fn sqrt_fx<A: Arith>(x: i32, arith: &mut A) -> i32 {
     if x <= 0 {
         return 0;
     }
-    // Power-of-two seed z0 = 2^(−⌈log2(v)/2⌉), encoded Q16: guarantees
-    // x·z0² ≤ 2 < 3, inside Newton's convergence basin.
-    let e = 31 - x.leading_zeros() as i32 - i32::try_from(FX_SHIFT).expect("small shift");
-    let half_up = if e >= 0 { (e + 1) / 2 } else { -((-e) / 2) };
-    let mut z: i32 = 1 << (16 - half_up).clamp(1, 30);
-    let three = 3 * FX_ONE;
-    for _ in 0..ITERATIONS {
-        // v·z in Q16 (precise: the product is O(√v)), then v·z² in Q12.
-        let xz = (arith.mul(x, z) >> FX_SHIFT) as i32;
-        let xz2 = (arith.mul(xz, z) >> 20) as i32;
-        // t = 3 − v·z² (Q12); z ← z·t/2 (Q16·Q12 >> 13 → Q16).
-        let t = arith.sub(i64::from(three), i64::from(xz2)) as i32;
-        z = (arith.mul(z, t) >> (FX_SHIFT + 1)) as i32;
-        if z <= 0 {
-            z = 1;
-        }
-    }
-    // √x = v · z: Q16 → Q12.
-    ((arith.mul(x, z) >> FX_SHIFT) >> 4) as i32
+    // The Newton recurrence itself lives in `apim-math` (shared with the
+    // compiler's transcendental kernels); every multiply/subtract still
+    // routes through this backend, so op counts and approximate-mode
+    // behavior are unchanged.
+    apim_math::sqrt_nr_q(
+        x,
+        FX_SHIFT,
+        ITERATIONS,
+        arith,
+        |a, p, q| a.mul(p, q),
+        |a, p, q| a.sub(p, q),
+    )
 }
 
 /// L2 gradient magnitude `sqrt(gx² + gy²)` in Q12, entirely on the
@@ -65,7 +58,7 @@ pub fn magnitude_fx<A: Arith>(gx: i32, gy: i32, arith: &mut A) -> i32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::arith::{ApimArith, ExactArith};
+    use crate::arith::{ApimArith, ExactArith, FX_ONE};
     use apim_logic::PrecisionMode;
 
     fn to_f(q: i32) -> f64 {

@@ -5,6 +5,12 @@
 //! acceptable accuracy is defined by having less than 10 % average relative
 //! error."
 
+use std::collections::HashMap;
+
+use apim_compile::{evaluate_all, evaluate_all_with, CompileError, Dag, MathSpec, Node, NodeId};
+use apim_math::reference::{input_to_f64, output_to_f64, rel_floor, truth};
+use apim_math::{from_pattern, to_pattern};
+
 /// PSNR acceptance threshold for image applications, dB.
 pub const PSNR_THRESHOLD_DB: f64 = 30.0;
 
@@ -180,6 +186,67 @@ pub fn image_quality_sized(golden: &[u8], approx: &[u8], width: usize) -> Qualit
     }
 }
 
+/// Error attribution for one transcendental node of a compiled DAG.
+#[derive(Debug, Clone, Copy)]
+pub struct MathNodeError {
+    /// The `Node::Math` node this row describes.
+    pub node: NodeId,
+    /// Its function/mode/precision spec.
+    pub spec: MathSpec,
+    /// The node's own approximation error at this input: floored relative
+    /// error of its fixed-point output against the `f64` oracle.
+    pub local_rel_err: f64,
+    /// How much the DAG *root* moves (relative, floored at 1.0) when this
+    /// node alone is replaced by the ideally-rounded oracle value — the
+    /// node's end-to-end contribution, including any downstream masking
+    /// or amplification.
+    pub root_shift_rel: f64,
+}
+
+/// Attributes end-to-end error to each transcendental node of `dag` at one
+/// input binding: per node, the local oracle error and the root's movement
+/// when that node is idealized ([`apim_compile::evaluate_all_with`]).
+/// Nodes whose `root_shift_rel` dwarfs their siblings' are where a
+/// precision knob (more CORDIC iterations, more LUT segments) buys the
+/// most output quality.
+///
+/// # Errors
+///
+/// [`CompileError::NoRoot`] without a designated root, or an unbound-input
+/// error.
+pub fn math_node_errors(
+    dag: &Dag,
+    inputs: &HashMap<String, u64>,
+) -> Result<Vec<MathNodeError>, CompileError> {
+    let root = dag.root().ok_or(CompileError::NoRoot)?;
+    let width = dag.width();
+    let values = evaluate_all(dag, inputs)?;
+    let root_plain = from_pattern(values[root.0], width) as f64;
+    let mut rows = Vec::new();
+    for (i, node) in dag.nodes().iter().enumerate() {
+        let Node::Math { x, spec } = node else {
+            continue;
+        };
+        let id = NodeId(i);
+        let x_f = input_to_f64(spec.func, width, spec.frac, values[x.0]);
+        let ideal_f = truth(spec.func, x_f);
+        let got_f = output_to_f64(width, spec.frac, values[id.0]);
+        let local_rel_err =
+            (got_f - ideal_f).abs() / ideal_f.abs().max(rel_floor(spec.func, width));
+        let ideal_q = (ideal_f * (spec.frac as f64).exp2()).round() as i64;
+        let overrides: HashMap<NodeId, u64> = [(id, to_pattern(ideal_q, width))].into();
+        let idealized = evaluate_all_with(dag, inputs, &overrides)?;
+        let root_ideal = from_pattern(idealized[root.0], width) as f64;
+        rows.push(MathNodeError {
+            node: id,
+            spec: *spec,
+            local_rel_err,
+            root_shift_rel: (root_ideal - root_plain).abs() / root_plain.abs().max(1.0),
+        });
+    }
+    Ok(rows)
+}
+
 /// Builds a [`QualityReport`] for a numeric application (relative RMS
 /// error against the < 10 % threshold).
 pub fn numeric_quality(golden: &[i64], approx: &[i64]) -> QualityReport {
@@ -309,5 +376,50 @@ mod tests {
     #[should_panic(expected = "too small")]
     fn ssim_rejects_tiny_images() {
         ssim_u8(&[0; 16], &[0; 16], 4);
+    }
+
+    #[test]
+    fn math_node_errors_rank_the_coarse_node_as_dominant() {
+        use apim_compile::{MathFn, MathMode};
+        // sin(x) + sin(x) with one precise and one deliberately coarse
+        // node: the coarse node must show the larger local error AND the
+        // larger root shift when idealized.
+        let mut dag = Dag::new(16).unwrap();
+        let x = dag.input("x").unwrap();
+        let fine = dag
+            .math(x, apim_math::default_spec(MathFn::Sin, 16))
+            .unwrap();
+        let coarse_spec = MathSpec {
+            func: MathFn::Sin,
+            mode: MathMode::Cordic { iters: 2 },
+            frac: 13,
+        };
+        let coarse = dag.math(x, coarse_spec).unwrap();
+        let sum = dag.add(fine, coarse).unwrap();
+        dag.set_root(sum).unwrap();
+        let angle = apim_math::consts::half_pi_q(13) / 3; // π/6 in Q13
+        let inputs: HashMap<String, u64> = [("x".to_string(), to_pattern(angle, 16))].into();
+        let rows = math_node_errors(&dag, &inputs).unwrap();
+        assert_eq!(rows.len(), 2);
+        let (f, c) = (&rows[0], &rows[1]);
+        assert_eq!(f.node, fine);
+        assert_eq!(c.spec, coarse_spec);
+        assert!(f.local_rel_err < 0.01, "fine local {:.4}", f.local_rel_err);
+        assert!(
+            c.local_rel_err > 2.0 * f.local_rel_err,
+            "coarse {:.4} !>> fine {:.4}",
+            c.local_rel_err,
+            f.local_rel_err
+        );
+        assert!(c.root_shift_rel > f.root_shift_rel);
+    }
+
+    #[test]
+    fn math_node_errors_skip_plain_dags() {
+        let mut dag = Dag::new(8).unwrap();
+        let x = dag.input("x").unwrap();
+        dag.set_root(x).unwrap();
+        let inputs: HashMap<String, u64> = [("x".to_string(), 5u64)].into();
+        assert!(math_node_errors(&dag, &inputs).unwrap().is_empty());
     }
 }
