@@ -7,6 +7,16 @@
 //! fleet-wide — and (b) losing a node only remaps the tenants it owned,
 //! not the whole fleet.
 //!
+//! The transport is **multiplexed and pipelined** by default: each node
+//! gets up to [`ClusterConfig::conns_per_node`] [`mux`](crate::mux)
+//! connections, each carrying any number of concurrent logical request
+//! streams tagged by correlation id, so a caller never waits behind an
+//! unrelated request for a socket. [`ClusterClient::begin_submit`]
+//! exposes the pipeline directly: issue without waiting, harvest
+//! responses out of order. Setting [`ClusterConfig::pipelined`] to
+//! `false` selects the original blocking one-RPC-at-a-time connection
+//! pool — kept as the comparison baseline for the net soak benchmark.
+//!
 //! Failover is transport-level only: a connection failure (dead node,
 //! severed mid-RPC) marks the node down and retries the request on the
 //! next distinct node along the ring with capped exponential backoff.
@@ -16,6 +26,7 @@
 //! a duplicate RPC at the next replica when the primary has not answered
 //! within a configured delay; first success wins.
 
+use crate::mux::{MuxConn, PendingRpc};
 use crate::wire::{self, Message, RecvError, WireOutput};
 use apim_serve::{Request, ServeError, TenantId};
 use std::collections::HashMap;
@@ -42,8 +53,8 @@ pub struct ClusterConfig {
     pub retry_backoff: Duration,
     /// Upper bound on one backoff sleep.
     pub backoff_cap: Duration,
-    /// Socket read timeout on an RPC (a node slower than this counts as
-    /// failed and the request fails over).
+    /// Deadline for one RPC (a node slower than this counts as failed and
+    /// the request fails over).
     pub rpc_timeout: Duration,
     /// TCP connect timeout.
     pub connect_timeout: Duration,
@@ -53,9 +64,13 @@ pub struct ClusterConfig {
     /// Launch a duplicate RPC on the next replica when the primary has
     /// not answered within this delay; `None` disables hedging.
     pub hedge_after: Option<Duration>,
-    /// Connections kept warm per node (also the per-node RPC concurrency
-    /// sweet spot; more RPCs just open extra connections).
+    /// Connections kept per node. Pipelined: the multiplexed sockets RPCs
+    /// round-robin over. Blocking: the warm-pool bound (extra concurrent
+    /// RPCs just open extra connections).
     pub conns_per_node: usize,
+    /// `true` (default): multiplexed connections with pipelined RPCs.
+    /// `false`: the blocking thread-per-RPC connection pool baseline.
+    pub pipelined: bool,
 }
 
 impl Default for ClusterConfig {
@@ -71,6 +86,7 @@ impl Default for ClusterConfig {
             health_interval: Some(Duration::from_millis(100)),
             hedge_after: None,
             conns_per_node: 4,
+            pipelined: true,
         }
     }
 }
@@ -168,11 +184,15 @@ struct StatsCells {
     hedges: AtomicU64,
 }
 
-/// One configured node: address, up/down belief, warm connections.
+/// One configured node: address, up/down belief, connections (multiplexed
+/// and blocking pools both live here; only the configured transport's pool
+/// is populated).
 struct NodeSlot {
     addr: String,
     up: AtomicBool,
     conns: Mutex<Vec<TcpStream>>,
+    muxes: Mutex<Vec<Arc<MuxConn>>>,
+    rr: AtomicU64,
 }
 
 struct ClientInner {
@@ -180,6 +200,9 @@ struct ClientInner {
     nodes: Vec<NodeSlot>,
     /// `(ring position, node index)`, sorted by position.
     ring: Vec<(u64, usize)>,
+    /// Correlation-id source for every RPC kind (submits, pings, metrics
+    /// pulls): one counter keeps ids unique per connection, which the
+    /// mux demultiplexer relies on.
     seq: AtomicU64,
     stats: StatsCells,
     stop: AtomicBool,
@@ -228,6 +251,8 @@ impl ClusterClient {
                 addr: addr.clone(),
                 up: AtomicBool::new(true),
                 conns: Mutex::new(Vec::new()),
+                muxes: Mutex::new(Vec::new()),
+                rr: AtomicU64::new(0),
             })
             .collect();
         let mut ring = Vec::with_capacity(nodes.len() * config.vnodes.max(1));
@@ -357,6 +382,51 @@ impl ClusterClient {
         Err(ClusterError::Unavailable { attempts, last })
     }
 
+    /// Begins one pipelined request on the tenant's home node and returns
+    /// without waiting for the answer — the caller harvests it later via
+    /// [`PendingSubmit::try_complete`] or [`PendingSubmit::wait`]. Many
+    /// pending submissions share one multiplexed connection, so a driver
+    /// can keep thousands of logical streams in flight from a handful of
+    /// threads.
+    ///
+    /// Unlike [`ClusterClient::submit`] this does **not** fail over: the
+    /// outcome (including any transport error) is reported as-is, and the
+    /// caller decides whether to re-submit.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Unavailable`] when no connection to the home node
+    /// could be opened; [`ClusterError::Protocol`] when the client was
+    /// configured with `pipelined: false`.
+    pub fn begin_submit(&self, request: &Request) -> Result<PendingSubmit, ClusterError> {
+        let inner = &self.inner;
+        if !inner.config.pipelined {
+            return Err(ClusterError::Protocol(
+                "begin_submit requires the pipelined transport".into(),
+            ));
+        }
+        inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let node = self.route(request.tenant)[0];
+        let mux = mux_for(inner, node).map_err(|last| {
+            inner
+                .stats
+                .transport_failures
+                .fetch_add(1, Ordering::Relaxed);
+            ClusterError::Unavailable { attempts: 1, last }
+        })?;
+        let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+        let message = Message::Submit {
+            seq,
+            request: request.clone(),
+        };
+        Ok(PendingSubmit {
+            node,
+            seq,
+            rpc: mux.begin(seq, &message),
+            inner: Arc::clone(inner),
+        })
+    }
+
     /// One RPC, optionally racing a hedged duplicate on `backup`.
     fn attempt_with_hedge(
         &self,
@@ -414,8 +484,11 @@ impl ClusterClient {
         let mut per_node = Vec::new();
         let mut unreachable = Vec::new();
         for (index, slot) in inner.nodes.iter().enumerate() {
-            match rpc(inner, index, &Message::MetricsPull) {
-                Ok(Message::Metrics { snapshot }) => per_node.push((slot.addr.clone(), snapshot)),
+            let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+            match rpc(inner, index, &Message::MetricsPull { seq }) {
+                Ok(Message::Metrics { seq: got, snapshot }) if got == seq => {
+                    per_node.push((slot.addr.clone(), snapshot));
+                }
                 Ok(_) | Err(_) => unreachable.push(slot.addr.clone()),
             }
         }
@@ -458,11 +531,103 @@ impl Drop for ClusterClient {
     }
 }
 
+/// One in-flight pipelined submission begun with
+/// [`ClusterClient::begin_submit`].
+pub struct PendingSubmit {
+    node: usize,
+    seq: u64,
+    rpc: PendingRpc,
+    inner: Arc<ClientInner>,
+}
+
+impl fmt::Debug for PendingSubmit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PendingSubmit")
+            .field("node", &self.node)
+            .field("seq", &self.seq)
+            .finish()
+    }
+}
+
+impl PendingSubmit {
+    /// Index of the node this submission was sent to.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// The outcome, if the response (or a connection failure) already
+    /// arrived. Consumes the outcome; a second call returns `None`.
+    pub fn try_complete(&mut self) -> Option<Result<ClusterResponse, ClusterError>> {
+        let outcome = self.rpc.try_complete()?;
+        Some(settle(&self.inner, self.node, self.seq, outcome))
+    }
+
+    /// Blocks until the response arrives or `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Rejected`] for a node-side rejection,
+    /// [`ClusterError::Unavailable`] for a transport failure or timeout.
+    pub fn wait(self, timeout: Duration) -> Result<ClusterResponse, ClusterError> {
+        let PendingSubmit {
+            node,
+            seq,
+            rpc,
+            inner,
+        } = self;
+        let outcome = rpc.wait(timeout);
+        settle(&inner, node, seq, outcome)
+    }
+}
+
+/// Maps a raw mux outcome to the public response type, updating stats.
+fn settle(
+    inner: &ClientInner,
+    node: usize,
+    seq: u64,
+    outcome: Result<Message, String>,
+) -> Result<ClusterResponse, ClusterError> {
+    match outcome {
+        Ok(Message::Reply { seq: got, reply }) if got == seq => match reply.result {
+            Ok(output) => {
+                inner.stats.succeeded.fetch_add(1, Ordering::Relaxed);
+                Ok(ClusterResponse {
+                    node,
+                    output,
+                    attempts: reply.attempts,
+                    node_latency_us: reply.latency_us,
+                    failovers: 0,
+                })
+            }
+            Err(error) => {
+                inner.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(ClusterError::Rejected(error))
+            }
+        },
+        Ok(other) => {
+            inner
+                .stats
+                .transport_failures
+                .fetch_add(1, Ordering::Relaxed);
+            Err(ClusterError::Protocol(format!(
+                "unexpected answer kind {other:?}"
+            )))
+        }
+        Err(last) => {
+            inner
+                .stats
+                .transport_failures
+                .fetch_add(1, Ordering::Relaxed);
+            inner.nodes[node].up.store(false, Ordering::Relaxed);
+            Err(ClusterError::Unavailable { attempts: 1, last })
+        }
+    }
+}
+
 fn health_loop(inner: &Arc<ClientInner>, interval: Duration) {
-    let mut nonce = 0u64;
     while !inner.stop.load(Ordering::SeqCst) {
-        nonce += 1;
         for (index, slot) in inner.nodes.iter().enumerate() {
+            let nonce = inner.seq.fetch_add(1, Ordering::Relaxed);
             let alive = matches!(
                 rpc(inner, index, &Message::Ping { nonce }),
                 Ok(Message::Pong { nonce: n, .. }) if n == nonce
@@ -479,17 +644,51 @@ fn health_loop(inner: &Arc<ClientInner>, interval: Duration) {
     }
 }
 
-/// Checks out a warm connection or opens a fresh one.
+/// Resolves a configured `host:port` string to one socket address.
+fn resolve(addr: &str) -> Result<SocketAddr, String> {
+    addr.to_socket_addrs()
+        .map_err(|e| format!("resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("resolve {addr}: no address"))
+}
+
+/// Picks a live multiplexed connection to `node` (round-robin), opening a
+/// new one while the pool is below `conns_per_node` or every socket died.
+fn mux_for(inner: &ClientInner, node: usize) -> Result<Arc<MuxConn>, String> {
+    let slot = &inner.nodes[node];
+    let mut muxes = slot.muxes.lock().expect("mux pool");
+    muxes.retain(|m| !m.is_dead());
+    if muxes.len() < inner.config.conns_per_node.max(1) {
+        let opened = resolve(&slot.addr).and_then(|addr| {
+            MuxConn::connect(addr, inner.config.connect_timeout)
+                .map_err(|e| format!("connect {addr}: {e}"))
+        });
+        match opened {
+            Ok(mux) => muxes.push(Arc::new(mux)),
+            Err(e) if muxes.is_empty() => return Err(e),
+            // Keep serving on the sockets we still have.
+            Err(_) => {}
+        }
+    }
+    let index = slot.rr.fetch_add(1, Ordering::Relaxed) as usize % muxes.len();
+    Ok(Arc::clone(&muxes[index]))
+}
+
+/// The correlation id a request message expects its response to echo.
+fn request_correlation(message: &Message) -> u64 {
+    match message {
+        Message::Submit { seq, .. } | Message::MetricsPull { seq } => *seq,
+        Message::Ping { nonce } => *nonce,
+        _ => 0,
+    }
+}
+
+/// Checks out a warm blocking connection or opens a fresh one.
 fn checkout(inner: &ClientInner, node: usize) -> Result<TcpStream, String> {
     if let Some(conn) = inner.nodes[node].conns.lock().expect("conn pool").pop() {
         return Ok(conn);
     }
-    let addr: SocketAddr = inner.nodes[node]
-        .addr
-        .to_socket_addrs()
-        .map_err(|e| format!("resolve {}: {e}", inner.nodes[node].addr))?
-        .next()
-        .ok_or_else(|| format!("resolve {}: no address", inner.nodes[node].addr))?;
+    let addr = resolve(&inner.nodes[node].addr)?;
     let stream = TcpStream::connect_timeout(&addr, inner.config.connect_timeout)
         .map_err(|e| format!("connect {addr}: {e}"))?;
     let _ = stream.set_nodelay(true);
@@ -499,7 +698,7 @@ fn checkout(inner: &ClientInner, node: usize) -> Result<TcpStream, String> {
     Ok(stream)
 }
 
-/// Returns a healthy connection to the warm pool (bounded).
+/// Returns a healthy blocking connection to the warm pool (bounded).
 fn checkin(inner: &ClientInner, node: usize, conn: TcpStream) {
     let mut pool = inner.nodes[node].conns.lock().expect("conn pool");
     if pool.len() < inner.config.conns_per_node {
@@ -507,9 +706,23 @@ fn checkin(inner: &ClientInner, node: usize, conn: TcpStream) {
     }
 }
 
-/// One request/response exchange on a checked-out connection. Any failure
-/// discards the connection (its stream state is unknown).
+/// One request/response exchange over the configured transport.
 fn rpc(inner: &ClientInner, node: usize, message: &Message) -> Result<Message, String> {
+    if inner.config.pipelined {
+        let mux = mux_for(inner, node)?;
+        mux.call(
+            request_correlation(message),
+            message,
+            inner.config.rpc_timeout,
+        )
+    } else {
+        rpc_blocking(inner, node, message)
+    }
+}
+
+/// One exchange on a checked-out blocking connection. Any failure discards
+/// the connection (its stream state is unknown).
+fn rpc_blocking(inner: &ClientInner, node: usize, message: &Message) -> Result<Message, String> {
     let mut conn = checkout(inner, node)?;
     wire::write_message(&mut conn, message).map_err(|e| format!("send: {e}"))?;
     match wire::read_message(&mut conn) {

@@ -71,6 +71,8 @@ impl fmt::Display for FleetSnapshot {
         writeln!(f, "apim_cluster_batches_total {}", m.batches)?;
         writeln!(f, "apim_cluster_queue_depth {}", m.queue_depth)?;
         writeln!(f, "apim_cluster_workers_busy {}", m.workers_busy)?;
+        writeln!(f, "apim_cluster_connections_open {}", m.connections_open)?;
+        writeln!(f, "apim_cluster_inflight_requests {}", m.inflight_requests)?;
         for (name, v) in [
             ("p50", m.latency_p50_us),
             ("p95", m.latency_p95_us),
@@ -121,5 +123,7 @@ mod tests {
         assert!(text.contains("apim_cluster_accepted_total 30"), "{text}");
         assert!(text.contains("node=\"n0:1\""), "{text}");
         assert!(text.contains("apim_cluster_latency_p99_us"), "{text}");
+        assert!(text.contains("apim_cluster_connections_open 0"), "{text}");
+        assert!(text.contains("apim_cluster_inflight_requests 0"), "{text}");
     }
 }

@@ -4,22 +4,29 @@
 //!
 //! The APIM architecture scales by replicating crossbar block pairs
 //! behind one controller; this crate is the same shape one level up:
-//! many serving pools behind one router. Plain std TCP with blocking
-//! I/O and a thread per connection — no async runtime — because the
-//! per-request work (a full in-memory kernel run) dwarfs any scheduling
-//! overhead an executor would save.
+//! many serving pools behind one router. Plain std TCP without an async
+//! runtime: the node daemon runs a poll-based event loop (the `apim-net`
+//! crate) that services every connection from one thread, and the client
+//! multiplexes many logical request streams — tagged by correlation id —
+//! over a handful of pipelined sockets. The original blocking
+//! thread-per-connection transport survives behind
+//! [`node::Transport::Blocking`] / [`ClusterConfig::pipelined`]` = false`
+//! as the comparison baseline for the net soak benchmark.
 //!
 //! - [`wire`] — the length-prefixed, versioned binary protocol. Strict
 //!   bounds-checked decoding: malformed frames produce structured
 //!   errors, never panics.
-//! - [`node`] — the daemon: one [`apim_serve::Pool`] behind a listener.
+//! - [`node`] — the daemon: one [`apim_serve::Pool`] behind a listener,
+//!   served by an event loop with per-connection pipelining and
+//!   backpressure.
 //! - [`client`] — the router: consistent hashing on tenant id, health
-//!   checks, failover with capped backoff, optional hedged sends.
+//!   checks, failover with capped backoff, optional hedged sends,
+//!   multiplexed pipelined RPC.
 //! - [`fleet`] — per-node metrics snapshots merged into exact
 //!   fleet-wide quantiles.
 //! - [`harness`] — in-process loopback fleet for deterministic tests.
-//! - [`loadgen`] — cluster load generation and the kill-a-node smoke
-//!   gate.
+//! - [`loadgen`] — cluster load generation, the kill-a-node smoke gate
+//!   and the pipelined soak driver.
 
 #![deny(missing_docs)]
 
@@ -27,10 +34,13 @@ pub mod client;
 pub mod fleet;
 pub mod harness;
 pub mod loadgen;
+mod mux;
 pub mod node;
 pub mod wire;
 
-pub use client::{ClientStats, ClusterClient, ClusterConfig, ClusterError, ClusterResponse};
+pub use client::{
+    ClientStats, ClusterClient, ClusterConfig, ClusterError, ClusterResponse, PendingSubmit,
+};
 pub use fleet::FleetSnapshot;
 pub use harness::LoopbackCluster;
-pub use node::{Node, NodeConfig};
+pub use node::{Node, NodeConfig, Transport};

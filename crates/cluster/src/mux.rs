@@ -1,0 +1,287 @@
+//! A multiplexed client connection: many logical request streams over one
+//! socket.
+//!
+//! [`MuxConn`] owns a nonblocking socket and one I/O thread. Callers
+//! (any number of threads) begin RPCs by queueing an encoded frame and
+//! registering the request's correlation id; the I/O thread batches
+//! queued frames onto the wire, reassembles inbound frames and routes
+//! each response to its registered waiter by [`Message::correlation_id`].
+//! Responses may return in any order — pipelining is the point.
+//!
+//! A dead connection (EOF, transport error, [`Message::ProtocolError`]
+//! from the node) fails every pending RPC with the reason and marks the
+//! mux dead so the owner can discard and reconnect. A response whose
+//! correlation id is unknown is dropped: it is the late answer of an RPC
+//! whose waiter already timed out.
+
+use crate::wire::{self, Message, WireFraming};
+use apim_net::Connection;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One waiter's mailbox: filled exactly once by the I/O thread.
+#[derive(Default)]
+struct PendingSlot {
+    value: Mutex<Option<Result<Message, String>>>,
+    ready: Condvar,
+}
+
+impl PendingSlot {
+    fn fill(&self, outcome: Result<Message, String>) {
+        let mut value = self.value.lock().expect("slot lock");
+        if value.is_none() {
+            *value = Some(outcome);
+        }
+        self.ready.notify_all();
+    }
+
+    fn try_take(&self) -> Option<Result<Message, String>> {
+        self.value.lock().expect("slot lock").take()
+    }
+
+    fn wait_timeout(&self, timeout: Duration) -> Option<Result<Message, String>> {
+        let deadline = Instant::now() + timeout;
+        let mut value = self.value.lock().expect("slot lock");
+        loop {
+            if value.is_some() {
+                return value.take();
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(value, deadline - now)
+                .expect("slot lock");
+            value = guard;
+        }
+    }
+}
+
+struct MuxInner {
+    /// Encoded frames waiting for the I/O thread to put on the wire.
+    outbound: Mutex<Vec<u8>>,
+    /// Correlation id → waiting RPC.
+    pending: Mutex<HashMap<u64, Arc<PendingSlot>>>,
+    dead: AtomicBool,
+    stop: AtomicBool,
+}
+
+impl MuxInner {
+    /// Marks the mux dead and fails every pending RPC with `reason`.
+    fn die(&self, reason: &str) {
+        self.dead.store(true, Ordering::SeqCst);
+        let waiters: Vec<Arc<PendingSlot>> = self
+            .pending
+            .lock()
+            .expect("pending map")
+            .drain()
+            .map(|(_, slot)| slot)
+            .collect();
+        for slot in waiters {
+            slot.fill(Err(reason.to_string()));
+        }
+    }
+}
+
+/// A handle to one in-flight RPC on a [`MuxConn`].
+pub(crate) struct PendingRpc {
+    seq: u64,
+    slot: Arc<PendingSlot>,
+    inner: Arc<MuxInner>,
+}
+
+impl PendingRpc {
+    /// The response, if it already arrived (or the connection already
+    /// failed). Consumes the outcome; a second call returns `None`.
+    pub(crate) fn try_complete(&self) -> Option<Result<Message, String>> {
+        self.slot.try_take()
+    }
+
+    /// Blocks until the response arrives or `timeout` elapses.
+    pub(crate) fn wait(self, timeout: Duration) -> Result<Message, String> {
+        match self.slot.wait_timeout(timeout) {
+            Some(outcome) => outcome,
+            None => Err(format!("rpc timeout after {timeout:?}")),
+        }
+    }
+}
+
+impl Drop for PendingRpc {
+    fn drop(&mut self) {
+        // Deregister so a late response is dropped instead of leaking the
+        // slot; harmless when the response already claimed it.
+        self.inner
+            .pending
+            .lock()
+            .expect("pending map")
+            .remove(&self.seq);
+    }
+}
+
+/// A multiplexed, pipelined connection to one node.
+pub(crate) struct MuxConn {
+    inner: Arc<MuxInner>,
+    io_thread: Option<JoinHandle<()>>,
+}
+
+impl MuxConn {
+    /// Connects and starts the I/O thread.
+    pub(crate) fn connect(addr: SocketAddr, connect_timeout: Duration) -> io::Result<MuxConn> {
+        let stream = TcpStream::connect_timeout(&addr, connect_timeout)?;
+        let conn = Connection::new(stream)?;
+        let inner = Arc::new(MuxInner {
+            outbound: Mutex::new(Vec::new()),
+            pending: Mutex::new(HashMap::new()),
+            dead: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+        });
+        let io_inner = Arc::clone(&inner);
+        let io_thread = std::thread::Builder::new()
+            .name(format!("apim-mux-{addr}"))
+            .spawn(move || io_loop(conn, &io_inner))?;
+        Ok(MuxConn {
+            inner,
+            io_thread: Some(io_thread),
+        })
+    }
+
+    /// Whether the connection has failed; a dead mux answers every new
+    /// RPC with an error immediately.
+    pub(crate) fn is_dead(&self) -> bool {
+        self.inner.dead.load(Ordering::SeqCst)
+    }
+
+    /// Begins one RPC: queues the frame and registers `correlation` so the
+    /// matching response routes back. Does not wait.
+    pub(crate) fn begin(&self, correlation: u64, message: &Message) -> PendingRpc {
+        let slot = Arc::new(PendingSlot::default());
+        if self.is_dead() {
+            slot.fill(Err("connection dead".into()));
+        } else {
+            self.inner
+                .pending
+                .lock()
+                .expect("pending map")
+                .insert(correlation, Arc::clone(&slot));
+            self.inner
+                .outbound
+                .lock()
+                .expect("outbound")
+                .extend_from_slice(&wire::encode_frame(message));
+            // The race window: the connection died between the check and
+            // the registration, and the dying drain missed this slot.
+            if self.is_dead() {
+                self.inner.die("connection dead");
+            }
+        }
+        PendingRpc {
+            seq: correlation,
+            slot,
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// One blocking RPC: [`MuxConn::begin`] + wait.
+    pub(crate) fn call(
+        &self,
+        correlation: u64,
+        message: &Message,
+        timeout: Duration,
+    ) -> Result<Message, String> {
+        self.begin(correlation, message).wait(timeout)
+    }
+}
+
+impl Drop for MuxConn {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        if let Some(io) = self.io_thread.take() {
+            let _ = io.join();
+        }
+    }
+}
+
+/// How long the I/O thread naps when the connection is quiet.
+const IDLE_NAP: Duration = Duration::from_micros(100);
+
+fn io_loop(mut conn: Connection, inner: &Arc<MuxInner>) {
+    let framing = WireFraming;
+    loop {
+        if inner.stop.load(Ordering::SeqCst) {
+            inner.die("client shut down");
+            return;
+        }
+        let mut progress = false;
+        // Batch every queued frame into the send buffer in one move —
+        // this is where pipelining collapses N logical requests into one
+        // write syscall.
+        {
+            let mut outbound = inner.outbound.lock().expect("outbound");
+            if !outbound.is_empty() {
+                conn.queue_frame(&outbound);
+                outbound.clear();
+                progress = true;
+            }
+        }
+        if conn.wants_write() {
+            if let Err(e) = conn.flush() {
+                inner.die(&format!("send: {e}"));
+                return;
+            }
+        }
+        match conn.fill() {
+            Ok(n) if n > 0 => progress = true,
+            Ok(_) => {}
+            Err(e) => {
+                inner.die(&format!("recv: {e}"));
+                return;
+            }
+        }
+        // Demultiplex every complete response to its waiter.
+        loop {
+            match conn.next_frame(&framing) {
+                Ok(Some(frame)) => match wire::decode_frame(frame) {
+                    Ok((message, _)) => {
+                        progress = true;
+                        if let Message::ProtocolError { detail } = &message {
+                            let reason = format!("node reported protocol error: {detail}");
+                            inner.die(&reason);
+                            return;
+                        }
+                        let waiter = message
+                            .correlation_id()
+                            .and_then(|id| inner.pending.lock().expect("pending map").remove(&id));
+                        // No waiter: the RPC timed out and deregistered;
+                        // drop the late response.
+                        if let Some(slot) = waiter {
+                            slot.fill(Ok(message));
+                        }
+                    }
+                    Err(e) => {
+                        inner.die(&format!("recv protocol: {e}"));
+                        return;
+                    }
+                },
+                Ok(None) => break,
+                Err(e) => {
+                    inner.die(&format!("recv framing: {e}"));
+                    return;
+                }
+            }
+        }
+        if conn.is_closed() {
+            inner.die("connection closed by node");
+            return;
+        }
+        if !progress {
+            std::thread::sleep(IDLE_NAP);
+        }
+    }
+}

@@ -25,7 +25,12 @@ use std::time::Duration;
 pub const MAGIC: [u8; 4] = *b"APCL";
 
 /// Protocol version this build speaks.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// Version 2 made every message correlatable for multiplexing: the
+/// metrics pull/response pair gained a `seq`, and a structured
+/// [`Message::ProtocolError`] (kind 7) was added so a node can tell a
+/// peer *why* its connection is being closed instead of just dropping it.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Fixed frame header length: magic (4), version (1), kind (1),
 /// reserved (2), payload length (4).
@@ -160,11 +165,23 @@ pub enum Message {
         queue_depth: u64,
     },
     /// Ask the node for its metrics snapshot.
-    MetricsPull,
+    MetricsPull {
+        /// Correlation id echoed by the [`Message::Metrics`] answer, so
+        /// pulls can share a multiplexed connection with serving traffic.
+        seq: u64,
+    },
     /// The node's metrics snapshot.
     Metrics {
+        /// Correlation id of the originating pull.
+        seq: u64,
         /// The snapshot, merged fleet-wide by the aggregator.
         snapshot: MetricsSnapshot,
+    },
+    /// The peer violated the protocol; sent as a last frame before the
+    /// connection is closed so the failure is diagnosable on both ends.
+    ProtocolError {
+        /// Human-readable description of the violation.
+        detail: String,
     },
 }
 
@@ -175,8 +192,20 @@ impl Message {
             Message::Reply { .. } => 2,
             Message::Ping { .. } => 3,
             Message::Pong { .. } => 4,
-            Message::MetricsPull => 5,
+            Message::MetricsPull { .. } => 5,
             Message::Metrics { .. } => 6,
+            Message::ProtocolError { .. } => 7,
+        }
+    }
+
+    /// The correlation id a response message answers, when it is one.
+    /// This is the demultiplexing key: a client running many logical
+    /// streams over one socket routes each inbound response by this id.
+    pub fn correlation_id(&self) -> Option<u64> {
+        match self {
+            Message::Reply { seq, .. } | Message::Metrics { seq, .. } => Some(*seq),
+            Message::Pong { nonce, .. } => Some(*nonce),
+            _ => None,
         }
     }
 }
@@ -358,6 +387,10 @@ fn put_request(out: &mut Vec<u8>, request: &Request) {
             out.push(3);
             put_str(out, source);
         }
+        JobKind::Echo { payload } => {
+            out.push(4);
+            put_u64(out, *payload);
+        }
     }
 }
 
@@ -400,6 +433,7 @@ fn take_request(r: &mut Reader<'_>) -> Result<Request, WireError> {
         3 => JobKind::Compile {
             source: r.string()?,
         },
+        4 => JobKind::Echo { payload: r.u64()? },
         other => {
             return Err(WireError::InvalidValue {
                 what: "job kind",
@@ -531,12 +565,14 @@ pub fn encode_frame(message: &Message) -> Vec<u8> {
             put_u32(&mut payload, *workers);
             put_u64(&mut payload, *queue_depth);
         }
-        Message::MetricsPull => {}
-        Message::Metrics { snapshot } => {
+        Message::MetricsPull { seq } => put_u64(&mut payload, *seq),
+        Message::Metrics { seq, snapshot } => {
+            put_u64(&mut payload, *seq);
             let bytes = snapshot.encode();
             put_u32(&mut payload, bytes.len() as u32);
             payload.extend_from_slice(&bytes);
         }
+        Message::ProtocolError { detail } => put_str(&mut payload, detail),
     }
     let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
     frame.extend_from_slice(&MAGIC);
@@ -566,7 +602,7 @@ pub fn decode_header(header: &[u8]) -> Result<(u8, u32), WireError> {
         return Err(WireError::UnsupportedVersion(header[4]));
     }
     let kind = header[5];
-    if !(1..=6).contains(&kind) {
+    if !(1..=7).contains(&kind) {
         return Err(WireError::UnknownKind(kind));
     }
     let len = u32::from_le_bytes(header[8..12].try_into().expect("len 4"));
@@ -598,17 +634,22 @@ pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<Message, WireError> {
             workers: r.u32()?,
             queue_depth: r.u64()?,
         },
-        5 => Message::MetricsPull,
+        5 => Message::MetricsPull { seq: r.u64()? },
         6 => {
+            let seq = r.u64()?;
             let len = r.u32()?;
             if len > MAX_PAYLOAD {
                 return Err(WireError::FrameTooLarge(len));
             }
             let bytes = r.take(len as usize)?;
             Message::Metrics {
+                seq,
                 snapshot: MetricsSnapshot::decode(bytes)?,
             }
         }
+        7 => Message::ProtocolError {
+            detail: r.string()?,
+        },
         other => return Err(WireError::UnknownKind(other)),
     };
     r.finish()?;
@@ -628,6 +669,37 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Message, usize), WireError> {
     let end = HEADER_LEN + len as usize;
     let payload = buf.get(HEADER_LEN..end).ok_or(WireError::Truncated)?;
     Ok((decode_payload(kind, payload)?, end))
+}
+
+/// The `APCL` protocol's [`apim_net::Framing`]: lets an `apim-net`
+/// receive buffer reassemble frames across arbitrary TCP chunk
+/// boundaries and hand them out as zero-copy slices that
+/// [`decode_frame`] parses in place. Header validation (magic, version,
+/// kind, length cap) happens here, so a hostile length prefix is a
+/// structured [`FrameError`](apim_net::FrameError) before any
+/// allocation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WireFraming;
+
+impl apim_net::Framing for WireFraming {
+    fn header_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    fn max_frame(&self) -> usize {
+        HEADER_LEN + MAX_PAYLOAD as usize
+    }
+
+    fn frame_len(&self, header: &[u8]) -> Result<u64, apim_net::FrameError> {
+        match decode_header(header) {
+            Ok((_kind, len)) => Ok(HEADER_LEN as u64 + u64::from(len)),
+            Err(WireError::FrameTooLarge(len)) => Err(apim_net::FrameError::TooLarge {
+                declared: HEADER_LEN as u64 + u64::from(len),
+                max: self.max_frame(),
+            }),
+            Err(e) => Err(apim_net::FrameError::Malformed(e.to_string())),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -713,6 +785,12 @@ mod tests {
                 source: "width 16\nin a\nout a * 3".into(),
             }),
         });
+        round_trip(Message::Submit {
+            seq: 3,
+            request: Request::new(JobKind::Echo {
+                payload: u64::MAX - 1,
+            }),
+        });
         round_trip(Message::Reply {
             seq: 42,
             reply: Reply {
@@ -754,10 +832,94 @@ mod tests {
             workers: 4,
             queue_depth: 17,
         });
-        round_trip(Message::MetricsPull);
+        round_trip(Message::MetricsPull { seq: 11 });
         round_trip(Message::Metrics {
+            seq: 11,
             snapshot: apim_serve::Metrics::default().snapshot(),
         });
+        round_trip(Message::ProtocolError {
+            detail: "declared payload 1048577 B exceeds cap".into(),
+        });
+    }
+
+    #[test]
+    fn correlation_ids_cover_every_response_kind() {
+        assert_eq!(
+            Message::Reply {
+                seq: 9,
+                reply: Reply {
+                    tenant: TenantId(0),
+                    attempts: 1,
+                    latency_us: 1,
+                    result: Err(ServeError::ShuttingDown),
+                },
+            }
+            .correlation_id(),
+            Some(9)
+        );
+        assert_eq!(
+            Message::Pong {
+                nonce: 4,
+                workers: 1,
+                queue_depth: 0
+            }
+            .correlation_id(),
+            Some(4)
+        );
+        assert_eq!(
+            Message::Metrics {
+                seq: 6,
+                snapshot: apim_serve::Metrics::default().snapshot(),
+            }
+            .correlation_id(),
+            Some(6)
+        );
+        // Requests and terminal errors correlate to nothing.
+        assert_eq!(Message::Ping { nonce: 4 }.correlation_id(), None);
+        assert_eq!(Message::MetricsPull { seq: 6 }.correlation_id(), None);
+        assert_eq!(
+            Message::ProtocolError { detail: "x".into() }.correlation_id(),
+            None
+        );
+    }
+
+    #[test]
+    fn wire_framing_reassembles_and_rejects_like_decode_frame() {
+        use apim_net::{Framing, RecvBuffer};
+        let framing = WireFraming;
+        let messages = [
+            Message::Ping { nonce: 1 },
+            Message::Submit {
+                seq: 2,
+                request: Request::new(JobKind::Echo { payload: 7 }),
+            },
+            Message::MetricsPull { seq: 3 },
+        ];
+        let stream: Vec<u8> = messages.iter().flat_map(encode_frame).collect();
+        let mut recv = RecvBuffer::new();
+        let mut decoded = Vec::new();
+        for chunk in stream.chunks(5) {
+            recv.push_bytes(chunk);
+            while let Some(frame) = recv.next_frame(&framing).expect("valid stream") {
+                let (message, consumed) = decode_frame(frame).expect("in-place parse");
+                assert_eq!(consumed, frame.len());
+                decoded.push(message);
+            }
+        }
+        assert_eq!(decoded, messages);
+        // A hostile length prefix surfaces as a structured TooLarge.
+        let mut hostile = encode_frame(&Message::Ping { nonce: 1 });
+        hostile[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            framing.frame_len(&hostile),
+            Err(apim_net::FrameError::TooLarge { .. })
+        ));
+        // Bad magic is malformed, not a length problem.
+        hostile[0] = b'X';
+        assert!(matches!(
+            framing.frame_len(&hostile),
+            Err(apim_net::FrameError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -50,9 +50,13 @@ fn sample_frames() -> Vec<Vec<u8>> {
             workers: 4,
             queue_depth: 9,
         },
-        Message::MetricsPull,
+        Message::MetricsPull { seq: 11 },
         Message::Metrics {
+            seq: 11,
             snapshot: apim_serve::Metrics::default().snapshot(),
+        },
+        Message::ProtocolError {
+            detail: "client sent a server-only message kind".into(),
         },
     ];
     messages.iter().map(encode_frame).collect()
@@ -73,7 +77,7 @@ proptest! {
     }
 
     #[test]
-    fn truncations_of_valid_frames_error_structurally(frame_sel in 0usize..8, cut in 0usize..512) {
+    fn truncations_of_valid_frames_error_structurally(frame_sel in 0usize..9, cut in 0usize..512) {
         let frames = sample_frames();
         let frame = &frames[frame_sel % frames.len()];
         let cut = cut % frame.len();
@@ -89,7 +93,7 @@ proptest! {
     }
 
     #[test]
-    fn corrupt_headers_are_rejected(frame_sel in 0usize..8, byte in 0usize..HEADER_LEN, flip in 1u8..=255) {
+    fn corrupt_headers_are_rejected(frame_sel in 0usize..9, byte in 0usize..HEADER_LEN, flip in 1u8..=255) {
         let frames = sample_frames();
         let mut frame = frames[frame_sel % frames.len()].clone();
         frame[byte] ^= flip;
@@ -106,7 +110,7 @@ proptest! {
     }
 
     #[test]
-    fn garbage_payload_under_a_valid_header_errors(kind in 1u8..=6, payload in proptest::collection::vec(any::<u8>(), 0..128)) {
+    fn garbage_payload_under_a_valid_header_errors(kind in 1u8..=7, payload in proptest::collection::vec(any::<u8>(), 0..128)) {
         let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
         frame.extend_from_slice(&MAGIC);
         frame.push(WIRE_VERSION);

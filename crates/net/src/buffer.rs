@@ -1,0 +1,301 @@
+//! Per-connection byte buffers: reassembly on the way in, queued flushes
+//! on the way out.
+//!
+//! [`RecvBuffer`] owns the bytes a connection has received but not yet
+//! consumed. Socket reads land directly in its tail and complete frames
+//! are handed out as borrowed slices — the frame is parsed *in place*,
+//! never copied into a per-frame `Vec`. The buffer also enforces the
+//! framing's maximum frame length before a hostile length prefix can
+//! force any allocation.
+//!
+//! [`SendBuffer`] queues outbound frames as one flat byte run with a
+//! flush cursor, so one `write` syscall can carry many pipelined frames
+//! and a partial write (`WouldBlock` mid-frame) resumes exactly where it
+//! stopped.
+
+use crate::frame::{FrameError, Framing};
+use std::io::{self, Read, Write};
+
+/// How many bytes one socket read may append to the receive buffer.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Consumed-prefix size beyond which the buffer compacts itself.
+const COMPACT_THRESHOLD: usize = 64 * 1024;
+
+/// Reassembles length-delimited frames from a byte stream.
+#[derive(Debug, Default)]
+pub struct RecvBuffer {
+    buf: Vec<u8>,
+    /// Start of the unconsumed region; bytes before it belong to frames
+    /// already handed out.
+    start: usize,
+}
+
+impl RecvBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        RecvBuffer::default()
+    }
+
+    /// Unconsumed bytes currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Whether no unconsumed bytes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends bytes arriving out-of-band (tests, replay harnesses). The
+    /// socket path is [`RecvBuffer::read_from`].
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        self.compact_if_due();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Reads once from `source` directly into the buffer's tail.
+    /// Returns the bytes read; `Ok(0)` is end-of-stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the read error (including `WouldBlock` on a drained
+    /// nonblocking socket — callers treat that as "no more for now").
+    pub fn read_from(&mut self, source: &mut impl Read) -> io::Result<usize> {
+        self.compact_if_due();
+        let len = self.buf.len();
+        self.buf.resize(len + READ_CHUNK, 0);
+        match source.read(&mut self.buf[len..]) {
+            Ok(n) => {
+                self.buf.truncate(len + n);
+                Ok(n)
+            }
+            Err(e) => {
+                self.buf.truncate(len);
+                Err(e)
+            }
+        }
+    }
+
+    /// Hands out the next complete frame as a borrowed slice of the
+    /// buffer, or `None` when more bytes are needed. The slice covers the
+    /// whole frame (header included) and stays valid until the next
+    /// mutable call.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError`] as soon as the buffered header is outside the
+    /// protocol — in particular [`FrameError::TooLarge`] for a hostile
+    /// length prefix, raised *before* any allocation for the declared
+    /// length.
+    pub fn next_frame(&mut self, framing: &impl Framing) -> Result<Option<&[u8]>, FrameError> {
+        if self.len() < framing.header_len() {
+            return Ok(None);
+        }
+        let declared = framing.frame_len(&self.buf[self.start..])?;
+        if declared > framing.max_frame() as u64 {
+            return Err(FrameError::TooLarge {
+                declared,
+                max: framing.max_frame(),
+            });
+        }
+        let total = declared as usize;
+        if self.len() < total {
+            return Ok(None);
+        }
+        let frame = &self.buf[self.start..self.start + total];
+        self.start += total;
+        Ok(Some(frame))
+    }
+
+    /// Drops the consumed prefix when it has grown past the threshold and
+    /// memmoves the live tail to the front.
+    fn compact_if_due(&mut self) {
+        if self.start >= COMPACT_THRESHOLD || self.start >= self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+/// Queued outbound bytes with a flush cursor.
+#[derive(Debug, Default)]
+pub struct SendBuffer {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl SendBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        SendBuffer::default()
+    }
+
+    /// Bytes still waiting to be written.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Whether any bytes are waiting to be written.
+    pub fn wants_write(&self) -> bool {
+        self.pending() > 0
+    }
+
+    /// Queues one encoded frame (or any byte run) behind whatever is
+    /// already waiting.
+    pub fn queue(&mut self, bytes: &[u8]) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes as much queued data as the sink accepts. Returns `true`
+    /// when the queue fully drained; `false` means the sink would block
+    /// and the cursor holds the resume position.
+    ///
+    /// # Errors
+    ///
+    /// Propagates every error except `WouldBlock`/`Interrupted`, which
+    /// are flow control, not failures.
+    pub fn flush_to(&mut self, sink: &mut impl Write) -> io::Result<bool> {
+        while self.start < self.buf.len() {
+            match sink.write(&self.buf[self.start..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "peer stopped accepting bytes",
+                    ))
+                }
+                Ok(n) => self.start += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            if self.start >= COMPACT_THRESHOLD && self.start == self.buf.len() {
+                self.buf.clear();
+                self.start = 0;
+            }
+        }
+        self.buf.clear();
+        self.start = 0;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::test_framing::{frame, LenPrefix};
+
+    #[test]
+    fn frames_reassemble_across_arbitrary_chunks() {
+        let framing = LenPrefix { max: 1 << 16 };
+        let frames: Vec<Vec<u8>> = vec![
+            frame(b"hello"),
+            frame(b""),
+            frame(&[7u8; 300]),
+            frame(b"tail"),
+        ];
+        let stream: Vec<u8> = frames.iter().flatten().copied().collect();
+        // Feed the stream one byte at a time — the worst chunking.
+        let mut recv = RecvBuffer::new();
+        let mut got = Vec::new();
+        for &byte in &stream {
+            recv.push_bytes(&[byte]);
+            while let Some(f) = recv.next_frame(&framing).expect("valid stream") {
+                got.push(f.to_vec());
+            }
+        }
+        assert_eq!(got, frames);
+        assert!(recv.is_empty());
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_before_buffering_payload() {
+        let framing = LenPrefix { max: 128 };
+        let mut recv = RecvBuffer::new();
+        recv.push_bytes(&u16::MAX.to_le_bytes());
+        match recv.next_frame(&framing) {
+            Err(FrameError::TooLarge { declared, max }) => {
+                assert_eq!(declared, 2 + u64::from(u16::MAX));
+                assert_eq!(max, 128);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_header_and_partial_payload_wait_for_more() {
+        let framing = LenPrefix { max: 1 << 16 };
+        let whole = frame(b"abcdef");
+        let mut recv = RecvBuffer::new();
+        recv.push_bytes(&whole[..1]);
+        assert_eq!(recv.next_frame(&framing).unwrap(), None, "header short");
+        recv.push_bytes(&whole[1..4]);
+        assert_eq!(recv.next_frame(&framing).unwrap(), None, "payload short");
+        recv.push_bytes(&whole[4..]);
+        assert_eq!(recv.next_frame(&framing).unwrap(), Some(&whole[..]));
+    }
+
+    #[test]
+    fn compaction_preserves_the_live_tail() {
+        let framing = LenPrefix { max: 1 << 20 };
+        let big = frame(&vec![9u8; 40 * 1024]);
+        let mut recv = RecvBuffer::new();
+        // Consume enough frames to push `start` past the threshold, with a
+        // partial frame straddling the compaction point.
+        for _ in 0..3 {
+            recv.push_bytes(&big);
+            assert!(recv.next_frame(&framing).unwrap().is_some());
+        }
+        let tail = frame(b"straddler");
+        recv.push_bytes(&tail[..3]);
+        recv.push_bytes(&tail[3..]); // push_bytes compacts here
+        assert_eq!(recv.next_frame(&framing).unwrap(), Some(&tail[..]));
+        assert!(recv.is_empty());
+    }
+
+    /// A sink that accepts at most `cap` bytes per write, then blocks.
+    struct Throttled {
+        accepted: Vec<u8>,
+        cap: usize,
+        calls_until_block: usize,
+    }
+
+    impl Write for Throttled {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.calls_until_block == 0 {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+            }
+            self.calls_until_block -= 1;
+            let n = buf.len().min(self.cap);
+            self.accepted.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn send_buffer_resumes_after_would_block() {
+        let mut send = SendBuffer::new();
+        send.queue(b"0123456789");
+        send.queue(b"abcdef");
+        let mut sink = Throttled {
+            accepted: Vec::new(),
+            cap: 4,
+            calls_until_block: 2,
+        };
+        assert!(!send.flush_to(&mut sink).unwrap(), "blocked mid-queue");
+        assert_eq!(sink.accepted, b"01234567");
+        assert_eq!(send.pending(), 8);
+        sink.calls_until_block = usize::MAX;
+        assert!(send.flush_to(&mut sink).unwrap());
+        assert_eq!(sink.accepted, b"0123456789abcdef");
+        assert!(!send.wants_write());
+    }
+}

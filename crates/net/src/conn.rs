@@ -1,0 +1,196 @@
+//! One nonblocking connection: stream + receive/send buffers + close
+//! tracking.
+//!
+//! [`Connection`] is the per-socket state machine an event loop iterates:
+//! on a readable event call [`Connection::fill`] then drain frames with
+//! [`Connection::next_frame`]; to respond, [`Connection::queue_frame`]
+//! and [`Connection::flush`]. All methods tolerate `WouldBlock` — the
+//! loop simply comes back on the next readiness tick.
+
+use crate::buffer::{RecvBuffer, SendBuffer};
+use crate::frame::{FrameError, Framing};
+use std::io;
+use std::net::TcpStream;
+
+/// A nonblocking TCP connection with buffered, framed I/O.
+#[derive(Debug)]
+pub struct Connection {
+    stream: TcpStream,
+    recv: RecvBuffer,
+    send: SendBuffer,
+    closed: bool,
+}
+
+impl Connection {
+    /// Wraps a stream, switching it to nonblocking with Nagle disabled
+    /// (pipelined RPC wants small frames on the wire immediately).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `set_nonblocking` failure; a `set_nodelay` failure is
+    /// ignored (it is an optimisation, not a correctness requirement).
+    pub fn new(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Connection {
+            stream,
+            recv: RecvBuffer::new(),
+            send: SendBuffer::new(),
+            closed: false,
+        })
+    }
+
+    /// The underlying stream (for poller registration or peer-addr
+    /// logging).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Reads until the socket would block or closes. Returns the bytes
+    /// read this call; after EOF the connection is marked closed (any
+    /// already-buffered frames remain drainable).
+    ///
+    /// # Errors
+    ///
+    /// Real I/O errors (not `WouldBlock`/`Interrupted`) mark the
+    /// connection closed and propagate.
+    pub fn fill(&mut self) -> io::Result<usize> {
+        let mut total = 0;
+        loop {
+            match self.recv.read_from(&mut self.stream) {
+                Ok(0) => {
+                    self.closed = true;
+                    return Ok(total);
+                }
+                Ok(n) => total += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(total),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    self.closed = true;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// The next complete buffered frame as a zero-copy slice, or `None`
+    /// when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError`] when the peer's byte stream is no longer framable;
+    /// the caller should answer with a protocol error and close.
+    pub fn next_frame(&mut self, framing: &impl Framing) -> Result<Option<&[u8]>, FrameError> {
+        self.recv.next_frame(framing)
+    }
+
+    /// Queues an encoded frame for sending. Call [`Connection::flush`] to
+    /// push it onto the wire.
+    pub fn queue_frame(&mut self, bytes: &[u8]) {
+        self.send.queue(bytes);
+    }
+
+    /// Writes queued bytes until drained or the socket would block.
+    /// Returns `true` when the send queue is empty.
+    ///
+    /// # Errors
+    ///
+    /// Real I/O errors mark the connection closed and propagate.
+    pub fn flush(&mut self) -> io::Result<bool> {
+        match self.send.flush_to(&mut self.stream) {
+            Ok(done) => Ok(done),
+            Err(e) => {
+                self.closed = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Whether bytes are still queued for sending.
+    pub fn wants_write(&self) -> bool {
+        self.send.wants_write()
+    }
+
+    /// Unconsumed received bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.recv.len()
+    }
+
+    /// Whether the peer closed or an I/O error severed the connection.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Marks the connection closed (protocol violation, idle timeout).
+    pub fn close(&mut self) {
+        self.closed = true;
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::test_framing::{frame, LenPrefix};
+    use std::io::Write;
+    use std::net::TcpListener;
+
+    fn pair() -> (Connection, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (Connection::new(server).unwrap(), client)
+    }
+
+    fn fill_until(conn: &mut Connection, want: usize) {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while conn.buffered() < want {
+            conn.fill().unwrap();
+            assert!(std::time::Instant::now() < deadline, "timed out filling");
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    }
+
+    #[test]
+    fn pipelined_frames_arrive_and_replies_flush() {
+        let framing = LenPrefix { max: 1 << 16 };
+        let (mut conn, mut peer) = pair();
+        // Peer pipelines three frames in one write.
+        let frames = [frame(b"one"), frame(b"two"), frame(b"three")];
+        let stream_bytes: Vec<u8> = frames.iter().flatten().copied().collect();
+        peer.write_all(&stream_bytes).unwrap();
+        fill_until(&mut conn, stream_bytes.len());
+        let mut got = Vec::new();
+        while let Some(f) = conn.next_frame(&framing).unwrap() {
+            got.push(f.to_vec());
+        }
+        assert_eq!(got, frames);
+        // Reply path.
+        conn.queue_frame(&frame(b"ack"));
+        assert!(conn.wants_write());
+        assert!(conn.flush().unwrap());
+        assert!(!conn.wants_write());
+        use std::io::Read;
+        let mut buf = vec![0u8; 5];
+        peer.read_exact(&mut buf).unwrap();
+        assert_eq!(buf, frame(b"ack"));
+    }
+
+    #[test]
+    fn eof_marks_closed_but_buffered_frames_remain() {
+        let framing = LenPrefix { max: 1 << 16 };
+        let (mut conn, mut peer) = pair();
+        let last = frame(b"last words");
+        peer.write_all(&last).unwrap();
+        drop(peer);
+        // Drain until EOF observed.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while !conn.is_closed() {
+            conn.fill().unwrap();
+            assert!(std::time::Instant::now() < deadline);
+        }
+        assert_eq!(conn.next_frame(&framing).unwrap(), Some(&last[..]));
+        assert_eq!(conn.next_frame(&framing).unwrap(), None);
+    }
+}

@@ -1,0 +1,94 @@
+//! The framing contract between a byte stream and a protocol.
+//!
+//! A [`Framing`] implementation answers one question: given the bytes at
+//! the front of a receive buffer, how long is the next complete frame?
+//! Everything else — reassembly across arbitrary TCP chunk boundaries,
+//! zero-copy hand-out of complete frames, enforcement of the maximum
+//! frame length *before* any allocation — lives in
+//! [`RecvBuffer`](crate::buffer::RecvBuffer), shared by every protocol.
+
+use std::fmt;
+
+/// Why a byte stream can no longer be framed. Once a peer has produced
+/// one of these there is no trustworthy framing left on the connection;
+/// callers should answer with a structured protocol error and close.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The header declares a frame longer than the protocol's cap. The
+    /// declared length is reported without ever being allocated.
+    TooLarge {
+        /// Length the header declared (header + payload).
+        declared: u64,
+        /// The protocol's hard cap on one frame.
+        max: usize,
+    },
+    /// The header is malformed in a protocol-specific way (bad magic,
+    /// unknown version or kind, ...).
+    Malformed(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TooLarge { declared, max } => {
+                write!(f, "declared frame length {declared} exceeds cap {max}")
+            }
+            FrameError::Malformed(detail) => write!(f, "malformed frame header: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A length-delimited framing: fixed-size header, then a payload whose
+/// length the header declares.
+pub trait Framing {
+    /// Bytes of header needed before [`Framing::frame_len`] can decide.
+    fn header_len(&self) -> usize;
+
+    /// Hard cap on one frame (header + payload). A header declaring more
+    /// is rejected by the buffer before any allocation happens.
+    fn max_frame(&self) -> usize;
+
+    /// Total length (header + payload) of the frame starting at
+    /// `header[0]`, given at least [`Framing::header_len`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError`] when the header is outside the protocol; the
+    /// connection's framing is unrecoverable from that point on.
+    fn frame_len(&self, header: &[u8]) -> Result<u64, FrameError>;
+}
+
+#[cfg(test)]
+pub(crate) mod test_framing {
+    use super::*;
+
+    /// Toy framing for unit tests: 2-byte little-endian payload length.
+    pub struct LenPrefix {
+        pub max: usize,
+    }
+
+    impl Framing for LenPrefix {
+        fn header_len(&self) -> usize {
+            2
+        }
+
+        fn max_frame(&self) -> usize {
+            self.max
+        }
+
+        fn frame_len(&self, header: &[u8]) -> Result<u64, FrameError> {
+            let len = u64::from(u16::from_le_bytes([header[0], header[1]]));
+            Ok(2 + len)
+        }
+    }
+
+    /// Encodes one toy frame.
+    pub fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + payload.len());
+        out.extend_from_slice(&(payload.len() as u16).to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+}

@@ -1,0 +1,47 @@
+//! # apim-net — poll-based event-loop I/O core
+//!
+//! The cluster tier originally ran a thread per connection over blocking
+//! TCP: fine for a smoke test, a ceiling for heavy traffic. This crate is
+//! the std-only replacement: a small, mio-style readiness layer over
+//! nonblocking sockets that lets **one** thread drive thousands of
+//! concurrent streams.
+//!
+//! * [`poll`] — token/interest registration and a readiness scan
+//!   ([`Poller`]). With `unsafe` forbidden workspace-wide there is no
+//!   `epoll`/`kqueue` binding to call, so readiness is detected with
+//!   nonblocking probes (`peek` for readability) and a bounded sleep when
+//!   nothing is ready — the *interface* is an event loop's, the syscall
+//!   budget is one cheap probe per idle source per tick, and under load
+//!   the loop never sleeps at all.
+//! * [`timer`] — a hashed [`TimerWheel`] for deadlines, idle sweeps and
+//!   backoff: O(1) schedule/cancel, expiry by walking the wheel.
+//! * [`buffer`] — [`RecvBuffer`]/[`SendBuffer`]: per-connection byte
+//!   buffers. Reads land directly in the receive buffer's tail and
+//!   complete frames are handed out as **borrowed slices** of it — the
+//!   zero-copy contract that lets a protocol crate parse its
+//!   bounds-checked wire types in place, with no intermediate `Vec` per
+//!   frame.
+//! * [`frame`] — the [`Framing`] trait: a protocol tells the buffer how
+//!   long the next frame is (and the hard cap a hostile length prefix
+//!   must not exceed); the buffer does the reassembly across arbitrary
+//!   TCP chunk boundaries.
+//! * [`conn`] — [`Connection`]: one nonblocking stream + both buffers +
+//!   close tracking, the per-connection state machine an event loop
+//!   iterates.
+//!
+//! The crate is protocol-agnostic: `apim-cluster` supplies the `APCL`
+//! framing and the message semantics on top.
+
+#![deny(missing_docs)]
+
+pub mod buffer;
+pub mod conn;
+pub mod frame;
+pub mod poll;
+pub mod timer;
+
+pub use buffer::{RecvBuffer, SendBuffer};
+pub use conn::Connection;
+pub use frame::{FrameError, Framing};
+pub use poll::{Event, Interest, Poller, Token};
+pub use timer::{TimerId, TimerWheel};

@@ -1,0 +1,305 @@
+//! Token/interest registration and readiness scanning.
+//!
+//! [`Poller`] is the mio-shaped core of the event loop: sources register
+//! under a [`Token`] with an [`Interest`], and [`Poller::poll`] fills an
+//! event list with whichever sources are ready. The workspace forbids
+//! `unsafe`, so there is no `epoll`/`kqueue` binding underneath — instead
+//! readability is detected with a nonblocking `peek` probe per registered
+//! stream and writability is reported whenever it is requested (a
+//! nonblocking write then resolves it for real, with `WouldBlock` as the
+//! backstop). When nothing is ready the poller sleeps up to the caller's
+//! timeout, so an idle loop costs one cheap probe per source per tick and
+//! a loaded loop never sleeps at all.
+
+use std::io;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Identifies a registered source in readiness events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token(pub usize);
+
+/// Which readiness a source wants reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Report when the source has bytes to read (or has hit EOF).
+    pub readable: bool,
+    /// Report when the caller wants to write; the write itself resolves
+    /// actual writability.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Writable only.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Both directions.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness report from [`Poller::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The registered source this event concerns.
+    pub token: Token,
+    /// Bytes are available to read, or the peer closed.
+    pub readable: bool,
+    /// The source asked for writability; attempt the write.
+    pub writable: bool,
+}
+
+enum Source {
+    /// A probeable TCP stream (kept as a cloned handle; the caller owns
+    /// the primary).
+    Stream(TcpStream),
+    /// A source the poller cannot probe (e.g. a listener): always
+    /// reported ready for its interest, letting the caller's nonblocking
+    /// accept/read resolve it.
+    Always,
+}
+
+struct Registration {
+    token: Token,
+    interest: Interest,
+    source: Source,
+}
+
+/// A readiness scanner over registered sources.
+#[derive(Default)]
+pub struct Poller {
+    sources: Vec<Registration>,
+}
+
+impl Poller {
+    /// An empty poller.
+    pub fn new() -> Self {
+        Poller::default()
+    }
+
+    /// Registered source count.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Whether nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// Registers a TCP stream under `token`. The stream is switched to
+    /// nonblocking and a probe handle is cloned off; the caller keeps
+    /// using its own handle for actual reads and writes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `set_nonblocking`/`try_clone` failures.
+    pub fn register_stream(
+        &mut self,
+        stream: &TcpStream,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        stream.set_nonblocking(true)?;
+        let probe = stream.try_clone()?;
+        self.deregister(token);
+        self.sources.push(Registration {
+            token,
+            interest,
+            source: Source::Stream(probe),
+        });
+        Ok(())
+    }
+
+    /// Registers a source the poller cannot probe (a listener, a wakeup
+    /// slot). It is reported ready on every poll for its interest; the
+    /// caller's own nonblocking operation resolves actual readiness.
+    pub fn register_always(&mut self, token: Token, interest: Interest) {
+        self.deregister(token);
+        self.sources.push(Registration {
+            token,
+            interest,
+            source: Source::Always,
+        });
+    }
+
+    /// Updates the interest of a registered source. Returns `false` when
+    /// the token is unknown.
+    pub fn set_interest(&mut self, token: Token, interest: Interest) -> bool {
+        match self.sources.iter_mut().find(|r| r.token == token) {
+            Some(reg) => {
+                reg.interest = interest;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes a source. Returns `true` when it was registered.
+    pub fn deregister(&mut self, token: Token) -> bool {
+        match self.sources.iter().position(|r| r.token == token) {
+            Some(pos) => {
+                self.sources.swap_remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Scans all sources, filling `events` with the ready ones. Blocks up
+    /// to `timeout` waiting for the first readiness; returns immediately
+    /// once anything is ready (or if any `Always` source is registered
+    /// with a live interest).
+    pub fn poll(&mut self, events: &mut Vec<Event>, timeout: Duration) {
+        events.clear();
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.scan(events);
+            if !events.is_empty() {
+                return;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            // Idle: nap briefly, bounded by the remaining timeout.
+            let nap = (deadline - now).min(Duration::from_micros(500));
+            std::thread::sleep(nap);
+        }
+    }
+
+    fn scan(&mut self, events: &mut Vec<Event>) {
+        let mut probe_buf = [0u8; 1];
+        for reg in &self.sources {
+            let (mut readable, mut writable) = (false, false);
+            match &reg.source {
+                Source::Always => {
+                    readable = reg.interest.readable;
+                    writable = reg.interest.writable;
+                }
+                Source::Stream(stream) => {
+                    if reg.interest.readable {
+                        readable = match stream.peek(&mut probe_buf) {
+                            Ok(_) => true, // bytes ready, or EOF (peek == 0)
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => false,
+                            Err(_) => true, // surface the error via the caller's read
+                        };
+                    }
+                    if reg.interest.writable {
+                        writable = true;
+                    }
+                }
+            }
+            if readable || writable {
+                events.push(Event {
+                    token: reg.token,
+                    readable,
+                    writable,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn stream_becomes_readable_when_peer_writes() {
+        let (client, mut server) = pair();
+        let mut poller = Poller::new();
+        poller
+            .register_stream(&client, Token(1), Interest::READABLE)
+            .unwrap();
+        let mut events = Vec::new();
+        poller.poll(&mut events, Duration::from_millis(10));
+        assert!(events.is_empty(), "no bytes yet: {events:?}");
+        server.write_all(b"x").unwrap();
+        poller.poll(&mut events, Duration::from_secs(2));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, Token(1));
+        assert!(events[0].readable);
+    }
+
+    #[test]
+    fn eof_reports_readable() {
+        let (client, server) = pair();
+        let mut poller = Poller::new();
+        poller
+            .register_stream(&client, Token(7), Interest::READABLE)
+            .unwrap();
+        drop(server);
+        let mut events = Vec::new();
+        poller.poll(&mut events, Duration::from_secs(2));
+        assert!(events.iter().any(|e| e.token == Token(7) && e.readable));
+    }
+
+    #[test]
+    fn interest_and_deregistration_are_respected() {
+        let (client, mut server) = pair();
+        server.write_all(b"y").unwrap();
+        let mut poller = Poller::new();
+        poller
+            .register_stream(&client, Token(3), Interest::READABLE)
+            .unwrap();
+        let mut events = Vec::new();
+        poller.poll(&mut events, Duration::from_secs(2));
+        assert!(!events.is_empty());
+        // Drop read interest: pending bytes no longer reported.
+        assert!(poller.set_interest(
+            Token(3),
+            Interest {
+                readable: false,
+                writable: false
+            }
+        ));
+        poller.poll(&mut events, Duration::from_millis(5));
+        assert!(events.is_empty(), "{events:?}");
+        assert!(poller.deregister(Token(3)));
+        assert!(!poller.deregister(Token(3)));
+        assert!(poller.is_empty());
+    }
+
+    #[test]
+    fn always_sources_report_their_interest() {
+        let mut poller = Poller::new();
+        poller.register_always(Token(0), Interest::READABLE);
+        let mut events = Vec::new();
+        poller.poll(&mut events, Duration::from_secs(1));
+        assert_eq!(events.len(), 1);
+        assert!(events[0].readable && !events[0].writable);
+    }
+
+    #[test]
+    fn write_interest_is_reported_for_streams() {
+        let (client, _server) = pair();
+        let mut poller = Poller::new();
+        poller
+            .register_stream(&client, Token(9), Interest::WRITABLE)
+            .unwrap();
+        let mut events = Vec::new();
+        poller.poll(&mut events, Duration::from_secs(1));
+        assert_eq!(events.len(), 1);
+        assert!(events[0].writable && !events[0].readable);
+    }
+}

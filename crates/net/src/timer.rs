@@ -1,0 +1,209 @@
+//! A hashed timer wheel for connection deadlines, idle sweeps and retry
+//! backoff.
+//!
+//! The wheel hashes each deadline into one of a fixed number of slots by
+//! its tick; a slot holds every timer whose deadline lands on that tick
+//! modulo the wheel size, each carrying its *absolute* deadline tick so
+//! timers more than one lap out are skipped until their lap arrives.
+//! Schedule and cancel are O(1) amortised; polling walks only the slots
+//! the clock has passed since the previous poll.
+
+use std::time::{Duration, Instant};
+
+/// Slots in the wheel. With 1 ms ticks this is one lap per ~4 s; longer
+/// deadlines simply survive laps via their absolute tick.
+const WHEEL_SLOTS: usize = 4096;
+
+/// Identifies a scheduled timer so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+#[derive(Debug)]
+struct TimerEntry {
+    id: TimerId,
+    /// Absolute deadline in ticks since the wheel's epoch.
+    deadline_tick: u64,
+    /// Opaque payload handed back on expiry (typically a connection
+    /// token or request sequence number).
+    payload: u64,
+}
+
+/// A hashed timer wheel over a monotonic clock.
+#[derive(Debug)]
+pub struct TimerWheel {
+    epoch: Instant,
+    tick: Duration,
+    /// Last tick up to which expiry has run.
+    cursor: u64,
+    slots: Vec<Vec<TimerEntry>>,
+    next_id: u64,
+    live: usize,
+}
+
+impl TimerWheel {
+    /// A wheel whose resolution is `tick` (deadlines round up to it).
+    pub fn new(tick: Duration) -> Self {
+        assert!(!tick.is_zero(), "timer wheel tick must be non-zero");
+        TimerWheel {
+            epoch: Instant::now(),
+            tick,
+            cursor: 0,
+            slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            next_id: 0,
+            live: 0,
+        }
+    }
+
+    /// Timers currently scheduled and not yet expired or cancelled.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no timers are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let since = at.saturating_duration_since(self.epoch);
+        // Round up: a timer never fires before its deadline.
+        (since.as_nanos().div_ceil(self.tick.as_nanos().max(1))) as u64
+    }
+
+    /// Schedules `payload` to expire `after` from `now`, returning a
+    /// handle for cancellation.
+    pub fn schedule(&mut self, now: Instant, after: Duration, payload: u64) -> TimerId {
+        let id = TimerId(self.next_id);
+        self.next_id += 1;
+        let deadline_tick = self.tick_of(now + after).max(self.cursor + 1);
+        let slot = (deadline_tick % WHEEL_SLOTS as u64) as usize;
+        self.slots[slot].push(TimerEntry {
+            id,
+            deadline_tick,
+            payload,
+        });
+        self.live += 1;
+        id
+    }
+
+    /// Cancels a scheduled timer. Returns `true` if it was still pending.
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        for slot in &mut self.slots {
+            if let Some(pos) = slot.iter().position(|e| e.id == id) {
+                slot.swap_remove(pos);
+                self.live -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Collects the payloads of every timer whose deadline is at or
+    /// before `now`, in deadline order per slot walk.
+    pub fn poll(&mut self, now: Instant, expired: &mut Vec<u64>) {
+        let now_tick = self.tick_of(now);
+        if now_tick <= self.cursor {
+            return;
+        }
+        // Walk at most one full lap; beyond that every slot was visited.
+        let span = (now_tick - self.cursor).min(WHEEL_SLOTS as u64);
+        for step in 1..=span {
+            let tick = self.cursor + step;
+            let slot = (tick % WHEEL_SLOTS as u64) as usize;
+            let entries = &mut self.slots[slot];
+            let mut i = 0;
+            while i < entries.len() {
+                if entries[i].deadline_tick <= now_tick {
+                    let entry = entries.swap_remove(i);
+                    expired.push(entry.payload);
+                    self.live -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.cursor = now_tick;
+    }
+
+    /// Time until the earliest pending deadline, or `None` when idle.
+    /// Linear in live timers; intended for choosing an idle sleep bound,
+    /// where the wheel is small.
+    pub fn next_deadline(&self, now: Instant) -> Option<Duration> {
+        let mut earliest: Option<u64> = None;
+        for slot in &self.slots {
+            for entry in slot {
+                earliest =
+                    Some(earliest.map_or(entry.deadline_tick, |e| e.min(entry.deadline_tick)));
+            }
+        }
+        let tick = earliest?;
+        let deadline = self.epoch + self.tick * u32::try_from(tick).unwrap_or(u32::MAX);
+        Some(deadline.saturating_duration_since(now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timers_expire_in_order_and_only_once() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(1));
+        let start = Instant::now();
+        wheel.schedule(start, Duration::from_millis(5), 1);
+        wheel.schedule(start, Duration::from_millis(2), 2);
+        wheel.schedule(start, Duration::from_millis(50), 3);
+        let mut expired = Vec::new();
+        wheel.poll(start + Duration::from_millis(10), &mut expired);
+        expired.sort_unstable();
+        assert_eq!(expired, vec![1, 2]);
+        assert_eq!(wheel.len(), 1);
+        expired.clear();
+        wheel.poll(start + Duration::from_millis(10), &mut expired);
+        assert!(expired.is_empty(), "no double fire");
+        wheel.poll(start + Duration::from_millis(60), &mut expired);
+        assert_eq!(expired, vec![3]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn cancel_prevents_expiry() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(1));
+        let start = Instant::now();
+        let keep = wheel.schedule(start, Duration::from_millis(3), 10);
+        let drop_ = wheel.schedule(start, Duration::from_millis(3), 11);
+        assert!(wheel.cancel(drop_));
+        assert!(!wheel.cancel(drop_), "second cancel is a no-op");
+        let mut expired = Vec::new();
+        wheel.poll(start + Duration::from_millis(10), &mut expired);
+        assert_eq!(expired, vec![10]);
+        assert!(!wheel.cancel(keep), "already expired");
+    }
+
+    #[test]
+    fn deadlines_beyond_one_lap_wait_for_their_lap() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(1));
+        let start = Instant::now();
+        // Same slot as a short timer, but one full lap later.
+        let lap = Duration::from_millis(WHEEL_SLOTS as u64);
+        wheel.schedule(start, Duration::from_millis(7), 1);
+        wheel.schedule(start, lap + Duration::from_millis(7), 2);
+        let mut expired = Vec::new();
+        wheel.poll(start + Duration::from_millis(20), &mut expired);
+        assert_eq!(expired, vec![1], "far timer must not fire a lap early");
+        expired.clear();
+        wheel.poll(start + lap + Duration::from_millis(20), &mut expired);
+        assert_eq!(expired, vec![2]);
+    }
+
+    #[test]
+    fn next_deadline_reports_the_earliest() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(1));
+        let start = Instant::now();
+        assert_eq!(wheel.next_deadline(start), None);
+        wheel.schedule(start, Duration::from_millis(40), 1);
+        wheel.schedule(start, Duration::from_millis(8), 2);
+        let next = wheel.next_deadline(start).expect("timers pending");
+        assert!(next <= Duration::from_millis(10), "next {next:?}");
+    }
+}

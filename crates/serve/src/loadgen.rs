@@ -147,6 +147,7 @@ pub fn output_digest(output: &JobOutput) -> u64 {
             .map(|r| fold(r.product as u64))
             .fold(0, |acc, h| acc ^ h),
         JobOutput::Compile { value, cycles, .. } => fold(*value) ^ fold(*cycles),
+        JobOutput::Echo(payload) => fold(*payload),
     }
 }
 

@@ -205,6 +205,10 @@ pub struct Metrics {
     pub queue_depth: Gauge,
     /// Workers currently executing a batch.
     pub workers_busy: Gauge,
+    /// Client connections currently open on the node's transport.
+    pub connections_open: Gauge,
+    /// Pipelined requests accepted but not yet answered on the wire.
+    pub inflight_requests: Gauge,
     /// End-to-end request latency (submission → response).
     pub latency: Histogram,
     /// Per-batch service time on a worker.
@@ -231,6 +235,8 @@ impl Metrics {
             coalesced: self.coalesced.get(),
             queue_depth: self.queue_depth.get(),
             workers_busy: self.workers_busy.get(),
+            connections_open: self.connections_open.get(),
+            inflight_requests: self.inflight_requests.get(),
             latency_p50_us: self.latency.quantile_us(0.50),
             latency_p95_us: self.latency.quantile_us(0.95),
             latency_p99_us: self.latency.quantile_us(0.99),
@@ -271,6 +277,10 @@ pub struct MetricsSnapshot {
     pub queue_depth: i64,
     /// Busy workers at snapshot time.
     pub workers_busy: i64,
+    /// Open transport connections at snapshot time.
+    pub connections_open: i64,
+    /// Pipelined in-flight requests at snapshot time.
+    pub inflight_requests: i64,
     /// p50 end-to-end latency, µs.
     pub latency_p50_us: Option<u64>,
     /// p95 end-to-end latency, µs.
@@ -295,7 +305,8 @@ pub struct MetricsSnapshot {
 }
 
 /// Version byte leading every [`MetricsSnapshot::encode`] payload.
-pub const SNAPSHOT_CODEC_VERSION: u8 = 1;
+/// Version 2 appended the connection/in-flight gauges.
+pub const SNAPSHOT_CODEC_VERSION: u8 = 2;
 
 /// Cap on decoded vector lengths: generous against any real snapshot, but
 /// small enough that a hostile length prefix cannot force an allocation.
@@ -398,6 +409,8 @@ impl MetricsSnapshot {
         self.coalesced += other.coalesced;
         self.queue_depth += other.queue_depth;
         self.workers_busy += other.workers_busy;
+        self.connections_open += other.connections_open;
+        self.inflight_requests += other.inflight_requests;
         add_buckets(&mut self.latency_buckets, &other.latency_buckets);
         self.latency_sum_us = self.latency_sum_us.saturating_add(other.latency_sum_us);
         add_buckets(
@@ -447,6 +460,8 @@ impl MetricsSnapshot {
         }
         put_varint(&mut out, zigzag(self.queue_depth));
         put_varint(&mut out, zigzag(self.workers_busy));
+        put_varint(&mut out, zigzag(self.connections_open));
+        put_varint(&mut out, zigzag(self.inflight_requests));
         for buckets in [&self.latency_buckets, &self.batch_service_buckets] {
             // Trailing empty buckets carry no information; drop them.
             let used = buckets.len() - buckets.iter().rev().take_while(|&&c| c == 0).count();
@@ -490,6 +505,8 @@ impl MetricsSnapshot {
         ];
         let queue_depth = unzigzag(take_varint(rest, &mut pos)?);
         let workers_busy = unzigzag(take_varint(rest, &mut pos)?);
+        let connections_open = unzigzag(take_varint(rest, &mut pos)?);
+        let inflight_requests = unzigzag(take_varint(rest, &mut pos)?);
         let mut take_buckets = |cap: u64| -> Result<Vec<u64>, CodecError> {
             let len = take_varint(rest, &mut pos)?;
             if len > cap {
@@ -532,6 +549,8 @@ impl MetricsSnapshot {
             coalesced,
             queue_depth,
             workers_busy,
+            connections_open,
+            inflight_requests,
             latency_p50_us: None,
             latency_p95_us: None,
             latency_p99_us: None,
@@ -560,6 +579,8 @@ impl fmt::Display for MetricsSnapshot {
         writeln!(f, "apim_serve_coalesced_total {}", self.coalesced)?;
         writeln!(f, "apim_serve_queue_depth {}", self.queue_depth)?;
         writeln!(f, "apim_serve_workers_busy {}", self.workers_busy)?;
+        writeln!(f, "apim_serve_connections_open {}", self.connections_open)?;
+        writeln!(f, "apim_serve_inflight_requests {}", self.inflight_requests)?;
         for (name, v) in [
             ("p50", self.latency_p50_us),
             ("p95", self.latency_p95_us),
@@ -707,6 +728,8 @@ mod tests {
         m.retries.add(5);
         m.queue_depth.set(-2); // exercises the zigzag path
         m.workers_busy.set(7);
+        m.connections_open.set(12);
+        m.inflight_requests.set(340);
         m.tenant(0).accepted.add(500);
         m.tenant(5).rejected.add(17);
         for us in [0u64, 1, 3, 900, 70_000, 5_000_000] {
@@ -753,7 +776,7 @@ mod tests {
         );
         // A hostile bucket count must be rejected before allocation.
         let mut oversized = vec![SNAPSHOT_CODEC_VERSION];
-        oversized.extend(std::iter::repeat_n(0, 9));
+        oversized.extend(std::iter::repeat_n(0, 11));
         oversized.extend(std::iter::repeat_n(0xff, 10)); // varint ~ 2^70
         assert!(MetricsSnapshot::decode(&oversized).is_err());
     }
@@ -765,8 +788,12 @@ mod tests {
         m.tenant(3).accepted.add(7);
         m.tenant(3 + TENANT_SLOTS as u16).accepted.add(1); // striped alias
         m.latency.record(Duration::from_micros(500));
+        m.connections_open.set(4);
+        m.inflight_requests.set(19);
         let text = m.snapshot().to_string();
         assert!(text.contains("apim_serve_accepted_total 10"));
+        assert!(text.contains("apim_serve_connections_open 4"));
+        assert!(text.contains("apim_serve_inflight_requests 19"));
         assert!(text.contains("apim_serve_latency_p50_us 512"));
         assert!(text.contains("slot=\"3\""));
         assert!(text.contains("accepted=8"), "aliased stripe sums: {text}");

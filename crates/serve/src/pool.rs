@@ -415,6 +415,8 @@ fn estimate_cycles(apim: &Apim, request: &Request) -> u64 {
         JobKind::Compile { source } => {
             source.lines().count().max(1) as u64 * u64::from(apim.config().operand_bits) * 16
         }
+        // Echo never reaches the simulator; its cost is the serving path.
+        JobKind::Echo { .. } => 1,
     }
 }
 
@@ -580,6 +582,7 @@ fn attempt(
                 Ok(JobOutput::Mac { reports, batch })
             }
             JobKind::Compile { source } => run_compiled(source),
+            JobKind::Echo { payload } => Ok(JobOutput::Echo(*payload)),
         }
     }))
     .unwrap_or(Err(ServeError::WorkerPanicked))

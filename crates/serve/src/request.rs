@@ -45,6 +45,14 @@ pub enum JobKind {
         /// Program text in the `apim-compile` expression language.
         source: String,
     },
+    /// A transport-cost probe: answered by the pool without touching the
+    /// simulator. Soak benchmarks use it to measure the serving path
+    /// itself rather than crossbar work.
+    Echo {
+        /// Opaque value echoed back (and folded into the digest, so a
+        /// dropped or crossed reply is detectable).
+        payload: u64,
+    },
 }
 
 impl JobKind {
@@ -188,6 +196,9 @@ impl Request {
                 a: parse_u64(a, "multiplicand")?,
                 b: parse_u64(b, "multiplier")?,
             },
+            ["echo", payload] => JobKind::Echo {
+                payload: parse_u64(payload, "echo payload")?,
+            },
             ["mac", operands @ ..] if !operands.is_empty() && operands.len() % 2 == 0 => {
                 let mut pairs = Vec::with_capacity(operands.len() / 2);
                 for pair in operands.chunks_exact(2) {
@@ -200,7 +211,7 @@ impl Request {
             }
             _ => {
                 return Err(format!(
-                    "cannot parse request `{line}` (expected run|multiply|mac|compile)"
+                    "cannot parse request `{line}` (expected run|multiply|mac|compile|echo)"
                 ))
             }
         };
@@ -246,6 +257,8 @@ pub enum JobOutput {
         /// Micro-ops in the verified trace.
         micro_ops: usize,
     },
+    /// Result of a [`JobKind::Echo`]: the payload, unchanged.
+    Echo(u64),
 }
 
 impl JobOutput {
@@ -264,6 +277,7 @@ impl JobOutput {
             } => {
                 format!("compiled {micro_ops} micro-ops, value {value} in {cycles} cycles")
             }
+            JobOutput::Echo(payload) => format!("echo {payload}"),
         }
     }
 }
@@ -355,6 +369,11 @@ mod tests {
         assert_eq!(r.kind, JobKind::Multiply { a: 12, b: 34 });
         assert_eq!(r.mode, PrecisionMode::Exact);
         assert_eq!(r.tenant, TenantId(0));
+
+        let r = Request::parse_line("@5 echo 987654321").unwrap();
+        assert_eq!(r.tenant, TenantId(5));
+        assert_eq!(r.kind, JobKind::Echo { payload: 987654321 });
+        assert_eq!(r.mode, PrecisionMode::Exact);
 
         let r = Request::parse_line("mac 1 2 3 4 --mask 4").unwrap();
         assert_eq!(
