@@ -1,0 +1,80 @@
+//! Measures the lane-batched vs serial compiled-kernel speedup and writes
+//! `BENCH_simd.json`.
+//!
+//! ```text
+//! cargo run -p apim-bench --release --bin simd-perf              # full sizes
+//! cargo run -p apim-bench --release --bin simd-perf -- --quick   # CI smoke
+//! cargo run -p apim-bench --release --bin simd-perf -- --batch N # lane count
+//! ```
+//!
+//! The run always *gates* on the deterministic cycles-per-instance metric:
+//! it exits non-zero if the 64-lane batched kernels are not at least 10x
+//! the serial baseline. Wall-clock numbers are reported informatively on
+//! multi-core machines only (elsewhere timing noise dominates).
+
+use apim_bench::simd;
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut lanes = simd::LANES;
+    if let Some(i) = args.iter().position(|a| a == "--batch") {
+        match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if (1..=64).contains(&n) => lanes = n,
+            _ => {
+                eprintln!("--batch expects a lane count in 1..=64");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let report = simd::generate(quick, lanes);
+    print!("{}", simd::render(&report));
+    if !quick && lanes == simd::LANES {
+        fs::write("BENCH_simd.json", simd::to_json(&report)).expect("write BENCH_simd.json");
+        println!("wrote BENCH_simd.json");
+    }
+
+    for row in &report.rows {
+        let speedup = row.cycle_speedup();
+        if lanes < 16 {
+            // Small batches can't reach the 64-lane bar; report only.
+            println!(
+                "{}: cycles-per-instance speedup {speedup:.1}x at {} lanes (gate needs >= 16 lanes)",
+                row.name, row.lanes
+            );
+            continue;
+        }
+        if speedup < 10.0 {
+            eprintln!(
+                "FAIL: {} cycles-per-instance speedup only {speedup:.2}x at {} lanes (need >= 10x)",
+                row.name, row.lanes
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "gate ok: {} cycles-per-instance speedup {speedup:.1}x at {} lanes (>= 10x)",
+            row.name, row.lanes
+        );
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if cores >= 2 {
+        // Informative only: the host simulator chews the same total
+        // bit-work either way — the 64x is in the modeled hardware cycles.
+        for row in &report.rows {
+            println!(
+                "wall-clock: {} batched image loop {} serial",
+                row.name,
+                apim_bench::times(row.wall_speedup())
+            );
+        }
+    } else {
+        println!("wall-clock report skipped: {cores} core(s), timing too noisy");
+    }
+    ExitCode::SUCCESS
+}

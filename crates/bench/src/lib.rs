@@ -13,6 +13,7 @@
 //! | [`headline`] | Abstract/§4 headline numbers incl. the adaptive controller |
 //! | [`ablation`] | design-choice ablations (interconnect, tree, logic family, MAJ) |
 //! | [`perf`] | packed-vs-oracle simulator speedup (`BENCH_packed.json`) |
+//! | [`simd`] | lane-batched vs serial compiled kernels (`BENCH_simd.json`) |
 //!
 //! Run everything with `cargo run -p apim-bench --bin repro --release`, or
 //! individual criterion benches (`cargo bench -p apim-bench`), which print
@@ -31,6 +32,7 @@ pub mod fig6;
 pub mod headline;
 pub mod mathbench;
 pub mod perf;
+pub mod simd;
 pub mod table1;
 
 /// Renders a ratio as the paper's "NNNx" notation.

@@ -85,6 +85,9 @@ pub enum Command {
         /// Compare the compiled cycle cost against the hand-written
         /// kernel's analytic baseline (builtins only).
         compare: bool,
+        /// Lane-batched instances per microprogram pass (`--batch N`,
+        /// 1..=64). `1` runs the serial backend.
+        batch: usize,
     },
     /// Compile one transcendental microkernel (sin/cos/√) to a verified
     /// in-crossbar microprogram and report its cost and oracle accuracy —
@@ -220,6 +223,7 @@ USAGE:
   apim-cli verify --equiv [adder|subtractor|wallace|multiplier|mac|divider]
                           [--width N] [--counterexample]
   apim-cli compile <sharpen|sobel|file> [--set name=val ...] [--compare]
+                   [--batch N]
   apim-cli math --fn <sin|cos|sqrt> [--mode cordic|lut] [--width N]
                 [--iters K | --segments S]
   apim-cli math --twiddles <N>
@@ -240,6 +244,7 @@ REQUEST FILE: one request per line, `#` comments; each line is
   [@<tenant>] run <app> <size-mb> [--relax M | --mask F]
   [@<tenant>] multiply <a> <b>   [--relax M | --mask F]
   [@<tenant>] mac <a1> <b1> ...  [--relax M | --mask F]
+  [@<tenant>] pixel <sharpen|sobel> <taps...> [--relax M | --mask F]
   [@<tenant>] compile <width N; let ...; out expr> (`;` = newline)
 
 PROGRAM FILE (`compile`): line-oriented, `#` comments:
@@ -427,6 +432,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 [target, flags @ ..] if !target.starts_with("--") => {
                     let mut bindings = Vec::new();
                     let mut compare = false;
+                    let mut batch = 1usize;
                     let mut it = flags.iter();
                     while let Some(flag) = it.next() {
                         match flag.as_str() {
@@ -440,6 +446,17 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                                 })?;
                                 bindings.push((name.to_string(), parse_u64(value, "input value")?));
                             }
+                            "--batch" => {
+                                let value = it.next().ok_or_else(|| {
+                                    ParseError("--batch needs a lane count".into())
+                                })?;
+                                batch = parse_u64(value, "lane count")? as usize;
+                                if !(1..=64).contains(&batch) {
+                                    return Err(ParseError(format!(
+                                        "--batch expects 1..=64 lanes, got {batch}"
+                                    )));
+                                }
+                            }
                             other => return Err(ParseError(format!("unknown flag `{other}`"))),
                         }
                     }
@@ -447,6 +464,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         target: target.clone(),
                         bindings,
                         compare,
+                        batch,
                     })
                 }
                 _ => Err(ParseError(
@@ -743,6 +761,7 @@ fn run_compile(
     target: &str,
     bindings: &[(String, u64)],
     compare: bool,
+    batch: usize,
 ) -> Result<String, apim::ApimError> {
     use apim_workloads::dags;
     use std::fmt::Write as _;
@@ -768,6 +787,9 @@ fn run_compile(
     };
 
     let options = apim_compile::CompileOptions::default();
+    if batch > 1 {
+        return run_compile_batched(target, &dag, bindings, compare, batch, hand, &options);
+    }
     let program = apim_compile::compile(&dag, &options).map_err(fail)?;
     let names: Vec<String> = program
         .dag()
@@ -853,6 +875,139 @@ fn run_compile(
                 let _ = writeln!(
                     out,
                     "compare   : hand-written kernel {hand} cycles, compiled {} ({gap:+.1}% gap)",
+                    report.cycles
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "compare   : no hand-written baseline for file programs"
+                );
+            }
+        }
+    }
+    out.pop();
+    Ok(out)
+}
+
+/// The `compile --batch N` path: the same DAG lane-batched so one
+/// microprogram pass runs `batch` instances. Lane 0 gets exactly the
+/// serial bindings (`--set` / defaults); lane `j` offsets every input by
+/// `j` so the lanes carry distinct data.
+fn run_compile_batched(
+    target: &str,
+    dag: &apim_compile::Dag,
+    bindings: &[(String, u64)],
+    compare: bool,
+    batch: usize,
+    hand: Option<fn(&apim_logic::CostModel) -> u64>,
+    options: &apim_compile::CompileOptions,
+) -> Result<String, apim::ApimError> {
+    use std::fmt::Write as _;
+
+    let fail = |e: apim_compile::CompileError| apim::ApimError::Runtime(e.to_string());
+    let program = apim_compile::compile_batched(dag, options, batch).map_err(fail)?;
+    let names: Vec<String> = program
+        .dag()
+        .inputs()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut lane0: std::collections::HashMap<String, u64> = names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| (name.clone(), (i as u64 + 1) << 4))
+        .collect();
+    for (name, value) in bindings {
+        if !lane0.contains_key(name) {
+            return Err(apim::ApimError::Runtime(format!(
+                "--set {name}: program has no input `{name}` (inputs: {})",
+                names.join(", ")
+            )));
+        }
+        lane0.insert(name.clone(), *value);
+    }
+    let inputs: Vec<std::collections::HashMap<String, u64>> = (0..batch as u64)
+        .map(|j| {
+            lane0
+                .iter()
+                .map(|(k, v)| (k.clone(), v.wrapping_add(j)))
+                .collect()
+        })
+        .collect();
+
+    let placement = program.placement();
+    let schedule = program.schedule();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "program   : {target} ({}-bit, {} nodes, {} inputs) x{batch} lanes",
+        program.dag().width(),
+        program.dag().len(),
+        names.len()
+    );
+    let _ = writeln!(
+        out,
+        "placement : {} staging + {} region rows/block pair, {} value(s) spilled to data blocks",
+        apim_compile::plan::STAGING_ROWS,
+        placement.region_rows,
+        placement.spilled
+    );
+    let _ = writeln!(
+        out,
+        "schedule  : {} block pair(s), makespan {} vs {} serial cycles",
+        schedule.units, schedule.makespan, schedule.serial_cycles
+    );
+    let shown: Vec<String> = names.iter().map(|n| format!("{n}={}", lane0[n])).collect();
+    let _ = writeln!(
+        out,
+        "inputs    : lane 0: {} (lane j adds j to every input)",
+        shown.join(" ")
+    );
+
+    let report = program.run(&inputs).map_err(fail)?;
+    let exact = report.values == report.references;
+    let _ = writeln!(
+        out,
+        "batch     : {batch} lane(s), {}",
+        if exact {
+            "all bit-exact vs per-lane references"
+        } else {
+            "LANE MISMATCH vs references"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "value     : lane 0 = {} (0x{:x})",
+        report.values[0], report.values[0]
+    );
+    let _ = writeln!(
+        out,
+        "cycles    : {} measured / {} predicted ({}) for the whole batch",
+        report.cycles,
+        report.expected_cycles,
+        if report.cycles == report.expected_cycles {
+            "exact"
+        } else {
+            "DRIFT"
+        }
+    );
+    let _ = writeln!(out, "energy    : {}", report.energy);
+    let _ = writeln!(
+        out,
+        "verify    : {} micro-ops, all 5 hazard passes clean ({} warning(s))",
+        report.trace_len,
+        report.lint.warning_count()
+    );
+    if compare {
+        match hand {
+            Some(hand_cycles) => {
+                let hand = hand_cycles(program.model());
+                let speedup = batch as f64 * hand as f64 / report.cycles as f64;
+                let _ = writeln!(
+                    out,
+                    "compare   : hand-written kernel {hand} cycles/instance serial; \
+                     batched {} for {batch} -> {speedup:.1}x per instance",
                     report.cycles
                 );
             }
@@ -1383,8 +1538,9 @@ pub fn execute(command: &Command) -> Result<String, apim::ApimError> {
             target,
             bindings,
             compare,
+            batch,
         } => {
-            out = run_compile(target, bindings, *compare)?;
+            out = run_compile(target, bindings, *compare, *batch)?;
         }
         Command::Math {
             func,
@@ -2243,6 +2399,7 @@ mod tests {
                 target: "sharpen".into(),
                 bindings: vec![],
                 compare: false,
+                batch: 1,
             }
         );
         assert_eq!(
@@ -2251,6 +2408,7 @@ mod tests {
                 target: "sobel".into(),
                 bindings: vec![("l0".into(), 4096), ("r0".into(), 8192)],
                 compare: true,
+                batch: 1,
             }
         );
         assert!(parse(&args("compile")).is_err(), "target is mandatory");
@@ -2265,11 +2423,57 @@ mod tests {
     }
 
     #[test]
+    fn compile_parses_batch_lane_counts() {
+        assert_eq!(
+            parse(&args("compile sharpen --batch 64")).unwrap(),
+            Command::Compile {
+                target: "sharpen".into(),
+                bindings: vec![],
+                compare: false,
+                batch: 64,
+            }
+        );
+        assert_eq!(
+            parse(&args("compile sobel --batch 1 --compare")).unwrap(),
+            Command::Compile {
+                target: "sobel".into(),
+                bindings: vec![],
+                compare: true,
+                batch: 1,
+            }
+        );
+        assert!(parse(&args("compile sharpen --batch")).is_err(), "needs N");
+        assert!(parse(&args("compile sharpen --batch 0")).is_err());
+        assert!(parse(&args("compile sharpen --batch 65")).is_err());
+        assert!(parse(&args("compile sharpen --batch many")).is_err());
+    }
+
+    #[test]
+    fn compile_batch_runs_all_lanes_bit_exact() {
+        let out = execute(&Command::Compile {
+            target: "sharpen".into(),
+            bindings: vec![("c".into(), 5 << 12)],
+            compare: true,
+            batch: 8,
+        })
+        .unwrap();
+        assert!(out.contains("x8 lanes"), "{out}");
+        assert!(
+            out.contains("8 lane(s), all bit-exact vs per-lane references"),
+            "{out}"
+        );
+        assert!(out.contains("(exact) for the whole batch"), "{out}");
+        assert!(out.contains("hazard passes clean"), "{out}");
+        assert!(out.contains("x per instance"), "{out}");
+    }
+
+    #[test]
     fn compile_builtin_reports_compare_gap() {
         let out = execute(&Command::Compile {
             target: "sharpen".into(),
             bindings: vec![("c".into(), 5 << 12)],
             compare: true,
+            batch: 1,
         })
         .unwrap();
         assert!(out.contains("bit-exact"), "{out}");
@@ -2285,6 +2489,7 @@ mod tests {
             target: "sobel".into(),
             bindings: vec![("nosuch".into(), 1)],
             compare: false,
+            batch: 1,
         })
         .unwrap_err();
         assert!(err.to_string().contains("no input `nosuch`"), "{err}");
@@ -2316,6 +2521,7 @@ mod tests {
             target: path.to_string_lossy().into_owned(),
             bindings: vec![("a".into(), 100), ("b".into(), 7)],
             compare: false,
+            batch: 1,
         })
         .unwrap();
         // (100·3 + 7·5) << 2 >> 1 = 335·2 = 670
@@ -2326,6 +2532,7 @@ mod tests {
             target: path.to_string_lossy().into_owned(),
             bindings: vec![],
             compare: true,
+            batch: 1,
         })
         .unwrap();
         assert!(compared.contains("no hand-written baseline"), "{compared}");
@@ -2341,6 +2548,7 @@ mod tests {
             target: path.to_string_lossy().into_owned(),
             bindings: vec![],
             compare: false,
+            batch: 1,
         })
         .unwrap_err();
         let msg = err.to_string();
@@ -2350,6 +2558,7 @@ mod tests {
             target: dir.join("nope.apim").to_string_lossy().into_owned(),
             bindings: vec![],
             compare: false,
+            batch: 1,
         })
         .unwrap_err();
         assert!(missing.to_string().contains("cannot read"), "{missing}");

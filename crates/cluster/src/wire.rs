@@ -46,6 +46,10 @@ const MAX_STRING: u32 = 1 << 16;
 /// Cap on a MAC pair list.
 const MAX_MAC_PAIRS: u32 = 1 << 12;
 
+/// Cap on a pixel tap list (the widest built-in kernel has 6 taps; the
+/// cap leaves headroom without letting a frame claim an absurd length).
+const MAX_PIXEL_TAPS: u32 = 64;
+
 /// Why the decoder rejected a frame. Every variant is a protocol error,
 /// not a crash: malformed input can only ever produce one of these.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -391,6 +395,14 @@ fn put_request(out: &mut Vec<u8>, request: &Request) {
             out.push(4);
             put_u64(out, *payload);
         }
+        JobKind::Pixel { app, taps } => {
+            out.push(5);
+            out.push(app_code(*app));
+            put_u32(out, taps.len().min(MAX_PIXEL_TAPS as usize) as u32);
+            for &tap in taps.iter().take(MAX_PIXEL_TAPS as usize) {
+                put_u64(out, tap);
+            }
+        }
     }
 }
 
@@ -434,6 +446,21 @@ fn take_request(r: &mut Reader<'_>) -> Result<Request, WireError> {
             source: r.string()?,
         },
         4 => JobKind::Echo { payload: r.u64()? },
+        5 => {
+            let app = app_from(r.u8()?)?;
+            let n = r.u32()?;
+            if n > MAX_PIXEL_TAPS {
+                return Err(WireError::InvalidValue {
+                    what: "pixel tap count",
+                    value: u64::from(n),
+                });
+            }
+            let mut taps = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                taps.push(r.u64()?);
+            }
+            JobKind::Pixel { app, taps }
+        }
         other => {
             return Err(WireError::InvalidValue {
                 what: "job kind",
@@ -789,6 +816,13 @@ mod tests {
             seq: 3,
             request: Request::new(JobKind::Echo {
                 payload: u64::MAX - 1,
+            }),
+        });
+        round_trip(Message::Submit {
+            seq: 4,
+            request: Request::new(JobKind::Pixel {
+                app: App::Sharpen,
+                taps: vec![10, 20, 30, 40, 50],
             }),
         });
         round_trip(Message::Reply {

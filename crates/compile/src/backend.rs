@@ -183,6 +183,7 @@ impl CompiledProgram {
             row: exec.root_row,
             col0: 0,
             width: self.dag.width() as usize,
+            col_step: 1,
         };
         let reference = exec.reference;
         Ok(check_equiv(&exec.ops, &[], &output, move |_| reference))
@@ -206,6 +207,7 @@ impl CompiledProgram {
             row: exec.root_row,
             col0: 0,
             width: self.dag.width() as usize,
+            col_step: 1,
         };
         Ok((exec.ops, output, exec.reference))
     }

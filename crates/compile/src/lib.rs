@@ -31,6 +31,7 @@
 #![deny(missing_docs)]
 
 pub mod backend;
+pub mod batch;
 pub mod eval;
 pub mod expand;
 pub mod ir;
@@ -40,6 +41,7 @@ pub mod plan;
 
 pub use apim_math::{MathFn, MathMode, MathSpec};
 pub use backend::{compile, CompileOptions, CompiledProgram, RunReport};
+pub use batch::{compile_batched, BatchCompiledProgram, BatchRunReport};
 pub use eval::{evaluate, evaluate_all, evaluate_all_with, evaluate_bound};
 pub use expand::{expand_math, has_math};
 pub use ir::{Dag, Node, NodeId};
@@ -74,6 +76,10 @@ pub enum CompileError {
     /// The compiled microprogram tripped an `apim-verify` hazard pass —
     /// a compiler bug, never a user error.
     VerificationFailed(String),
+    /// The DAG (or call) is outside the lane-batched backend's
+    /// data-independent-control subset — e.g. a non-constant multiplier or
+    /// an approximate final product.
+    BatchUnsupported(String),
 }
 
 impl std::fmt::Display for CompileError {
@@ -94,6 +100,9 @@ impl std::fmt::Display for CompileError {
             CompileError::Parse(e) => write!(f, "parse error: {e}"),
             CompileError::VerificationFailed(msg) => {
                 write!(f, "compiled microprogram failed hazard verification: {msg}")
+            }
+            CompileError::BatchUnsupported(msg) => {
+                write!(f, "not lane-batchable: {msg}")
             }
         }
     }

@@ -1185,6 +1185,96 @@ impl BlockedCrossbar {
         Ok(())
     }
 
+    /// One lane-parallel MAGIC NOR over scattered column *spans* of one
+    /// block: for every lane `j < lanes`, the single-bit gate
+    /// `(out.0, out.1 + j) = NOR(inputs[i].0, inputs[i].1 + j)` fires.
+    /// Costs one cycle regardless of the lane count — each lane's gate
+    /// uses its own bitlines, so the `lanes` gates share one voltage
+    /// application exactly as the columns of
+    /// [`BlockedCrossbar::nor_rows_shifted`] do. This is the SIMD
+    /// backbone of lane-batched kernels: the serial adder's carry step
+    /// crosses columns *within* a block (which the interconnect shift of
+    /// `nor_rows_shifted` cannot express), and `nor_lanes` replicates it
+    /// across up to 64 independent operand instances at once.
+    ///
+    /// Spans must be pairwise identical or disjoint; a partial overlap
+    /// would wire one lane's output bitline as another lane's input
+    /// bitline inside the same cycle, which no single voltage pattern can
+    /// realize.
+    ///
+    /// # Errors
+    ///
+    /// * [`CrossbarError::InvalidConfig`] for an empty input set or a lane
+    ///   count outside `1..=64`.
+    /// * [`CrossbarError::OutOfBounds`] if any span falls outside the
+    ///   arrays.
+    /// * [`CrossbarError::LaneOverlap`] for partially overlapping spans.
+    /// * [`CrossbarError::UninitializedOutput`] in strict mode when an
+    ///   output cell was not initialized to ON.
+    pub fn nor_lanes(
+        &mut self,
+        block: BlockId,
+        inputs: &[(usize, usize)],
+        out: (usize, usize),
+        lanes: usize,
+    ) -> Result<()> {
+        self.record(|| TraceOp::NorLanes {
+            block: block.0,
+            inputs: inputs.to_vec(),
+            out,
+            lanes,
+        });
+        if inputs.is_empty() {
+            return Err(CrossbarError::InvalidConfig(
+                "NOR needs at least one input span".into(),
+            ));
+        }
+        if lanes == 0 || lanes > WORD_BITS {
+            return Err(CrossbarError::InvalidConfig(format!(
+                "nor_lanes lane count {lanes} outside 1..={WORD_BITS}"
+            )));
+        }
+        self.check_row(out.0)?;
+        self.check_word_store(out.0, out.1, lanes)?;
+        for &(row, col0) in inputs {
+            self.check_row(row)?;
+            self.check_word_store(row, col0, lanes)?;
+        }
+        let disjoint = |a: usize, b: usize| a == b || a.abs_diff(b) >= lanes;
+        for (i, &(_, a)) in inputs.iter().enumerate() {
+            if !disjoint(a, out.1) {
+                return Err(CrossbarError::LaneOverlap { a, b: out.1, lanes });
+            }
+            for &(_, b) in &inputs[..i] {
+                if !disjoint(a, b) {
+                    return Err(CrossbarError::LaneOverlap { a, b, lanes });
+                }
+            }
+        }
+        if self.strict_init {
+            if let Some(col) = self.blocks[block.0].first_off(out.0, &(out.1..out.1 + lanes)) {
+                return Err(CrossbarError::UninitializedOutput {
+                    block: block.0,
+                    row: out.0,
+                    col,
+                });
+            }
+        }
+        let value = semantics::nor_words(
+            inputs
+                .iter()
+                .map(|&(row, col0)| self.blocks[block.0].read_word_bits(row, col0, lanes)),
+        );
+        self.blocks[block.0].store_word_bits(out.0, out.1, lanes, value);
+        self.stats.nor_ops += 1;
+        self.stats.nor_cells += lanes as u64;
+        self.stats.cycles += Cycles::new(1);
+        let nor_energy = self.energy.nor_op(lanes);
+        self.stats.energy += nor_energy;
+        self.stats.energy_breakdown.nor += nor_energy;
+        Ok(())
+    }
+
     /// Copies a row segment into another block with an optional shift.
     ///
     /// A copy is two successive NOT (single-input NOR) operations; this
@@ -1578,6 +1668,70 @@ mod tests {
         x.nor_cells(b, &[(0, 0), (0, 1)], (0, 2)).unwrap();
         assert!(!x.peek_bit(b, 0, 2).unwrap());
         assert_eq!(x.stats().cycles.get(), 1);
+    }
+
+    #[test]
+    fn nor_lanes_matches_per_lane_nor_cells_on_both_backends() {
+        for mut x in [xbar(), scalar_xbar()] {
+            let b = x.block(0).unwrap();
+            let lanes = 8;
+            x.preload_u64(b, 0, 0, lanes, 0b1010_0110).unwrap();
+            x.preload_u64(b, 1, 0, lanes, 0b1100_0011).unwrap();
+            x.init_rows(b, &[2], 16..16 + lanes).unwrap();
+            let before = x.stats().cycles;
+            x.nor_lanes(b, &[(0, 0), (1, 0)], (2, 16), lanes).unwrap();
+            assert_eq!(
+                (x.stats().cycles - before).get(),
+                1,
+                "one cycle, any lane count"
+            );
+            let expected = !(0b1010_0110u64 | 0b1100_0011) & 0xFF;
+            assert_eq!(x.peek_u64(b, 2, 16, lanes).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn nor_lanes_allows_equal_spans_and_rejects_partial_overlap() {
+        let mut x = xbar();
+        let b = x.block(0).unwrap();
+        x.preload_u64(b, 0, 0, 8, 0x0F).unwrap();
+        x.preload_u64(b, 1, 0, 8, 0x33).unwrap();
+        x.init_rows(b, &[2], 8..16).unwrap();
+        // Equal input spans are fine (same bitlines, different wordlines).
+        x.nor_lanes(b, &[(0, 0), (1, 0)], (2, 8), 8).unwrap();
+        // Output span partially overlapping an input span is not.
+        x.init_rows(b, &[3], 4..12).unwrap();
+        let err = x.nor_lanes(b, &[(0, 0)], (3, 4), 8).unwrap_err();
+        assert!(matches!(err, CrossbarError::LaneOverlap { .. }));
+        // Two input spans partially overlapping each other, likewise.
+        x.init_rows(b, &[3], 16..24).unwrap();
+        let err = x.nor_lanes(b, &[(0, 0), (1, 6)], (3, 16), 8).unwrap_err();
+        assert!(matches!(err, CrossbarError::LaneOverlap { .. }));
+    }
+
+    #[test]
+    fn nor_lanes_validates_before_writing() {
+        for mut x in [xbar(), scalar_xbar()] {
+            let b = x.block(0).unwrap();
+            x.init_rows(b, &[2], 0..8).unwrap();
+            let stats_before = *x.stats();
+            let err = x.nor_lanes(b, &[(9999, 0)], (2, 0), 8).unwrap_err();
+            assert!(matches!(err, CrossbarError::OutOfBounds { .. }));
+            assert_eq!(x.peek_u64(b, 2, 0, 8).unwrap(), 0xFF, "init kept");
+            assert_eq!(*x.stats(), stats_before);
+            assert!(x.nor_lanes(b, &[], (2, 0), 8).is_err(), "empty inputs");
+            assert!(x.nor_lanes(b, &[(0, 0)], (2, 0), 0).is_err(), "0 lanes");
+            assert!(x.nor_lanes(b, &[(0, 0)], (2, 0), 65).is_err(), "65 lanes");
+        }
+    }
+
+    #[test]
+    fn nor_lanes_respects_strict_init() {
+        let mut x = xbar();
+        let b = x.block(0).unwrap();
+        x.preload_u64(b, 0, 0, 4, 0x5).unwrap();
+        let err = x.nor_lanes(b, &[(0, 0)], (1, 8), 4).unwrap_err();
+        assert!(matches!(err, CrossbarError::UninitializedOutput { .. }));
     }
 
     #[test]

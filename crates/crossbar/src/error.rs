@@ -44,6 +44,17 @@ pub enum CrossbarError {
         /// End (exclusive) of the unshifted column range.
         end: usize,
     },
+    /// Lane-parallel NOR spans must be pairwise identical or disjoint:
+    /// a partial overlap would make one lane's output bitline another
+    /// lane's input bitline within the same cycle.
+    LaneOverlap {
+        /// First bitline of one offending span.
+        a: usize,
+        /// First bitline of the other offending span.
+        b: usize,
+        /// The lane count the spans cover.
+        lanes: usize,
+    },
     /// A scratch row was freed twice without an intervening allocation.
     DoubleFree {
         /// The offending row.
@@ -86,6 +97,10 @@ impl fmt::Display for CrossbarError {
             CrossbarError::IllegalShift { shift, start, end } => write!(
                 f,
                 "shift of {shift} moves column range {start}..{end} outside the array"
+            ),
+            CrossbarError::LaneOverlap { a, b, lanes } => write!(
+                f,
+                "lane spans starting at columns {a} and {b} overlap partially over {lanes} lane(s)"
             ),
             CrossbarError::DoubleFree { row } => {
                 write!(f, "scratch row {row} freed twice")

@@ -129,6 +129,22 @@ pub enum TraceOp {
         /// Output `(row, col)` cell.
         out: (usize, usize),
     },
+    /// `nor_lanes`: lane-parallel scattered MAGIC NOR (1 cycle). For every
+    /// lane `j < lanes` the gate `out + j = NOR(inputs + j)` fires on its
+    /// own set of bitlines — `lanes` independent [`TraceOp::NorCells`]
+    /// instances sharing one voltage application, exactly the
+    /// width-independence argument behind `nor_rows_shifted`.
+    NorLanes {
+        /// Block holding all cells.
+        block: usize,
+        /// Input `(row, col0)` span starts; lane `j` reads column
+        /// `col0 + j` of each.
+        inputs: Vec<(usize, usize)>,
+        /// Output `(row, col0)` span start; lane `j` writes `col0 + j`.
+        out: (usize, usize),
+        /// Number of lanes evaluated in parallel.
+        lanes: usize,
+    },
     /// `advance_cycles`: explicit non-hideable latency.
     AdvanceCycles {
         /// Cycles added.
@@ -194,6 +210,7 @@ impl OpTrace {
                 TraceOp::NorRowsShifted { .. }
                 | TraceOp::NorCols { .. }
                 | TraceOp::NorCells { .. }
+                | TraceOp::NorLanes { .. }
                 | TraceOp::MajRead { .. }
                 | TraceOp::WriteBackBit { .. } => total += 1,
                 TraceOp::AdvanceCycles { cycles } => total += cycles,

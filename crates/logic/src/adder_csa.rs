@@ -56,21 +56,55 @@ pub fn csa_group(
     cols: Range<usize>,
     scratch: &[usize; CSA_SCRATCH_ROWS],
 ) -> Result<()> {
+    csa_group_lanes(xbar, a, b, c, sum, carry, cols, 1, scratch)
+}
+
+/// Lane-batched [`csa_group`]: `lanes` independent 3:2 reductions in the
+/// same 13 cycles.
+///
+/// Operands use the interleaved layout of [`crate::lanes`]: logical column
+/// `c` of lane `j` lives at bitline `c * lanes + j`. Because that maps the
+/// contiguous logical window `cols` onto the contiguous physical window
+/// `cols.start * lanes .. cols.end * lanes`, the whole netlist runs as the
+/// same column-parallel NORs — only the carry steer changes, shifting by
+/// `lanes` bitlines (one *logical* column) instead of one. Callers must
+/// have zeroed the carry row's lane span at logical column `cols.start`.
+///
+/// `csa_group` is exactly the `lanes = 1` specialization.
+///
+/// # Errors
+///
+/// Propagates crossbar errors; the destination block must differ from the
+/// source block (the carry shift crosses the interconnect).
+#[allow(clippy::too_many_arguments)] // one parameter per netlist port
+pub fn csa_group_lanes(
+    xbar: &mut BlockedCrossbar,
+    a: RowRef,
+    b: RowRef,
+    c: RowRef,
+    sum: RowRef,
+    carry: RowRef,
+    cols: Range<usize>,
+    lanes: usize,
+    scratch: &[usize; CSA_SCRATCH_ROWS],
+) -> Result<()> {
     let src = a.block;
     let [n1, b2, b3, cl, t1, t2, ap, bp, cp, t3, sp] = scratch.map(|r| RowRef::new(src, r));
+    let span = cols.start * lanes..cols.end * lanes;
 
     let op =
         |xbar: &mut BlockedCrossbar, inputs: &[RowRef], out: RowRef, shift: isize| -> Result<()> {
-            let target = crate::gates::shifted(&cols, shift)?;
+            let target = crate::gates::shifted(&span, shift)?;
             xbar.init_rows(out.block, &[out.row], target)?;
-            xbar.nor_rows_shifted(inputs, out, cols.clone(), shift)
+            xbar.nor_rows_shifted(inputs, out, span.clone(), shift)
         };
+    let carry_shift = lanes as isize;
 
     op(xbar, &[a, b], n1, 0)?;
     op(xbar, &[b, c], b2, 0)?;
     op(xbar, &[a, c], b3, 0)?;
     op(xbar, &[n1, b2, b3], cl, 0)?;
-    op(xbar, &[n1, b2, b3], carry, 1)?;
+    op(xbar, &[n1, b2, b3], carry, carry_shift)?;
     op(xbar, &[a, b, c], t1, 0)?;
     op(xbar, &[t1, cl], t2, 0)?;
     op(xbar, &[a], ap, 0)?;
@@ -155,6 +189,61 @@ mod tests {
     fn csa_costs_exactly_13_cycles_any_width() {
         let (_, _, cycles) = run_csa(0x1234, 0x5678, 0x0FED);
         assert_eq!(cycles, 13);
+    }
+
+    #[test]
+    fn csa_lanes_runs_64_reductions_in_13_cycles() {
+        use crate::lanes::{preload_lanes, read_lanes};
+        let lanes = 64;
+        let n = 8;
+        let mut xbar = BlockedCrossbar::new(CrossbarConfig {
+            cols: 1024,
+            ..CrossbarConfig::default()
+        })
+        .unwrap();
+        let src = xbar.block(1).unwrap();
+        let dst = xbar.block(2).unwrap();
+        let a: Vec<u64> = (0..lanes as u64).map(|j| (j * 31 + 7) & 0xFF).collect();
+        let b: Vec<u64> = (0..lanes as u64).map(|j| (j * 89 + 13) & 0xFF).collect();
+        let c: Vec<u64> = (0..lanes as u64).map(|j| (j * 53 + 211) & 0xFF).collect();
+        preload_lanes(&mut xbar, src, 0, 0, n, lanes, &a).unwrap();
+        preload_lanes(&mut xbar, src, 1, 0, n, lanes, &b).unwrap();
+        preload_lanes(&mut xbar, src, 2, 0, n, lanes, &c).unwrap();
+        // Zero the destination rows over the full physical window,
+        // including the carry's low lane span.
+        xbar.preload_zeros(dst, 0, 0, (n + 2) * lanes).unwrap();
+        xbar.preload_zeros(dst, 1, 0, (n + 2) * lanes).unwrap();
+        let scratch: [usize; CSA_SCRATCH_ROWS] = core::array::from_fn(|i| 3 + i);
+        let before = *xbar.stats();
+        csa_group_lanes(
+            &mut xbar,
+            RowRef::new(src, 0),
+            RowRef::new(src, 1),
+            RowRef::new(src, 2),
+            RowRef::new(dst, 0),
+            RowRef::new(dst, 1),
+            0..n,
+            lanes,
+            &scratch,
+        )
+        .unwrap();
+        assert_eq!(
+            (*xbar.stats() - before).cycles.get(),
+            13,
+            "13 cycles regardless of lane count"
+        );
+        let sums = read_lanes(&xbar, dst, 0, 0, n, lanes).unwrap();
+        let carries = read_lanes(&xbar, dst, 1, 0, n + 1, lanes).unwrap();
+        for j in 0..lanes {
+            assert_eq!(
+                sums[j] + carries[j],
+                a[j] + b[j] + c[j],
+                "lane {j}: csa({}, {}, {})",
+                a[j],
+                b[j],
+                c[j]
+            );
+        }
     }
 
     #[test]

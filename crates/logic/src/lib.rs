@@ -11,6 +11,9 @@
 //!   (`12N + 2` cycles).
 //! * [`adder_csa`] — the width-independent 13-cycle 3:2 carry-save
 //!   reduction (§3.2).
+//! * [`lanes`] — the lane-batched operand layout: up to 64 independent
+//!   instances interleaved across the bitlines so one microprogram pass
+//!   computes all of them (SIMD across instances, not across bits).
 //! * [`wallace`] — the Wallace-tree-style N:2 reduction toggling between
 //!   two processing blocks (§3.2–3.3).
 //! * [`multiplier`] — the full three-stage multiplier: partial-product
@@ -63,6 +66,7 @@ pub mod divider;
 pub mod error_analysis;
 pub mod functional;
 pub mod gates;
+pub mod lanes;
 pub mod mac;
 pub mod model;
 pub mod multiplier;

@@ -21,19 +21,21 @@ use apim_crossbar::{BlockId, BlockedCrossbar, Result, RowRef};
 use apim_device::Cycles;
 use std::ops::Range;
 
-use crate::adder_csa::{csa_group, CSA_SCRATCH_ROWS};
+use crate::adder_csa::{csa_group_lanes, CSA_SCRATCH_ROWS};
 use crate::adder_serial::{add_words, SerialScratch};
 
-/// Zeroes a row over `cols.start .. cols.end + 2` (the operand window plus
-/// the carry-drift margin) — free of cycles, charged as writes.
+/// Zeroes a row over the physical lane span of `cols` plus a two-logical-
+/// column carry-drift margin (`2 * lanes` bitlines) — free of cycles,
+/// charged as writes.
 fn zero_row(
     xbar: &mut BlockedCrossbar,
     block: BlockId,
     row: usize,
     cols: &Range<usize>,
+    lanes: usize,
 ) -> Result<()> {
-    let width = cols.len() + 2;
-    xbar.preload_zeros(block, row, cols.start, width)
+    let width = (cols.len() + 2) * lanes;
+    xbar.preload_zeros(block, row, cols.start * lanes, width)
 }
 
 /// Reduces the operands stored in rows `0..count` of `src` down to at most
@@ -77,6 +79,36 @@ pub fn reduce_rows_to_two_at(
     cols: Range<usize>,
     base: usize,
 ) -> Result<(BlockId, usize)> {
+    reduce_rows_to_two_lanes(xbar, src, dst, count, cols, 1, base)
+}
+
+/// Lane-batched [`reduce_rows_to_two_at`]: every row holds `lanes`
+/// independent operands in the interleaved layout of [`crate::lanes`]
+/// (logical column `c` of lane `j` at bitline `c * lanes + j`), and each
+/// 13-cycle stage compresses all of them at once via
+/// [`crate::adder_csa::csa_group_lanes`].
+///
+/// `reduce_rows_to_two_at` is exactly the `lanes = 1` specialization; the
+/// stage count — and so the cycle total — is identical at every lane
+/// count, which is the batching win.
+///
+/// # Errors
+///
+/// Propagates crossbar errors; each block needs `base + count +
+/// CSA_SCRATCH_ROWS` rows and `(cols.end + 2) * lanes` columns.
+#[allow(clippy::too_many_arguments)] // mirrors reduce_rows_to_two_at + lanes
+pub fn reduce_rows_to_two_lanes(
+    xbar: &mut BlockedCrossbar,
+    src: BlockId,
+    dst: BlockId,
+    count: usize,
+    cols: Range<usize>,
+    lanes: usize,
+    base: usize,
+) -> Result<(BlockId, usize)> {
+    // The interleaved layout keeps the working window contiguous, so every
+    // row-parallel op below just runs over the scaled physical span.
+    let span = cols.start * lanes..cols.end * lanes;
     let mut cur = src;
     let mut oth = dst;
     let mut k = count;
@@ -88,9 +120,9 @@ pub fn reduce_rows_to_two_at(
         for g in 0..groups {
             let sum_row = base + 2 * g;
             let carry_row = base + 2 * g + 1;
-            zero_row(xbar, oth, sum_row, &cols)?;
-            zero_row(xbar, oth, carry_row, &cols)?;
-            csa_group(
+            zero_row(xbar, oth, sum_row, &cols, lanes)?;
+            zero_row(xbar, oth, carry_row, &cols, lanes)?;
+            csa_group_lanes(
                 xbar,
                 RowRef::new(cur, base + 3 * g),
                 RowRef::new(cur, base + 3 * g + 1),
@@ -98,27 +130,28 @@ pub fn reduce_rows_to_two_at(
                 RowRef::new(oth, sum_row),
                 RowRef::new(oth, carry_row),
                 cols.clone(),
+                lanes,
                 &scratch,
             )?;
         }
         for l in 0..leftovers {
             let src_row = base + 3 * groups + l;
             let dst_row = base + 2 * groups + l;
-            zero_row(xbar, oth, dst_row, &cols)?;
+            zero_row(xbar, oth, dst_row, &cols, lanes)?;
             // Copy = two NOTs; the intermediate complement reuses the first
             // scratch row.
-            xbar.init_rows(cur, &[scratch[0]], cols.clone())?;
+            xbar.init_rows(cur, &[scratch[0]], span.clone())?;
             xbar.nor_rows_shifted(
                 &[RowRef::new(cur, src_row)],
                 RowRef::new(cur, scratch[0]),
-                cols.clone(),
+                span.clone(),
                 0,
             )?;
-            xbar.init_rows(oth, &[dst_row], cols.clone())?;
+            xbar.init_rows(oth, &[dst_row], span.clone())?;
             xbar.nor_rows_shifted(
                 &[RowRef::new(cur, scratch[0])],
                 RowRef::new(oth, dst_row),
-                cols.clone(),
+                span.clone(),
                 0,
             )?;
         }
@@ -233,6 +266,44 @@ mod tests {
             4 * 13,
             "9:2 in four 13-cycle stages"
         );
+    }
+
+    #[test]
+    fn reduce_lanes_preserves_every_lane_total_at_serial_cycle_cost() {
+        use crate::lanes::{preload_lanes, read_lanes};
+        let lanes = 64;
+        let window = 10;
+        let count = 7;
+        let mut xbar = BlockedCrossbar::new(CrossbarConfig {
+            cols: 1024,
+            ..CrossbarConfig::default()
+        })
+        .unwrap();
+        let src = xbar.block(1).unwrap();
+        let dst = xbar.block(2).unwrap();
+        // Row r, lane j holds a distinct small operand.
+        let operands: Vec<Vec<u64>> = (0..count)
+            .map(|r| {
+                (0..lanes as u64)
+                    .map(|j| (j * 19 + r as u64 * 7 + 1) & 0x3F)
+                    .collect()
+            })
+            .collect();
+        for (r, vals) in operands.iter().enumerate() {
+            preload_lanes(&mut xbar, src, r, 0, window, lanes, vals).unwrap();
+        }
+        xbar.reset_stats();
+        let (block, k) =
+            reduce_rows_to_two_lanes(&mut xbar, src, dst, count, 0..window, lanes, 0).unwrap();
+        assert_eq!(k, 2);
+        // Same stage count as the 1-lane reduction: 7 -> 5 -> 4 -> 3 -> 2.
+        assert_eq!(xbar.stats().cycles.get(), 4 * 13);
+        let a = read_lanes(&xbar, block, 0, 0, window + 1, lanes).unwrap();
+        let b = read_lanes(&xbar, block, 1, 0, window + 1, lanes).unwrap();
+        for j in 0..lanes {
+            let total: u64 = operands.iter().map(|vals| vals[j]).sum();
+            assert_eq!(a[j] + b[j], total, "lane {j}");
+        }
     }
 
     #[test]

@@ -352,6 +352,20 @@ impl RemapPlan {
                     .collect(),
                 out: (row_in(*block, out.0), out.1),
             },
+            TraceOp::NorLanes {
+                block,
+                inputs,
+                out,
+                lanes,
+            } => TraceOp::NorLanes {
+                block: *block,
+                inputs: inputs
+                    .iter()
+                    .map(|&(r, c)| (row_in(*block, r), c))
+                    .collect(),
+                out: (row_in(*block, out.0), out.1),
+                lanes: *lanes,
+            },
             TraceOp::AdvanceCycles { cycles } => TraceOp::AdvanceCycles { cycles: *cycles },
             TraceOp::RewindCycles { cycles } => TraceOp::RewindCycles { cycles: *cycles },
         })
@@ -376,7 +390,10 @@ fn rows_touched(op: &TraceOp) -> Vec<(usize, usize)> {
             v.push(*out);
             v
         }
-        TraceOp::NorCells { block, inputs, out } => {
+        TraceOp::NorCells { block, inputs, out }
+        | TraceOp::NorLanes {
+            block, inputs, out, ..
+        } => {
             let mut v: Vec<(usize, usize)> = inputs.iter().map(|&(r, _)| (*block, r)).collect();
             v.push((*block, out.0));
             v
@@ -450,6 +467,7 @@ pub fn remap_adder_demo(width: usize) -> Result<RemapDemoReport> {
             row: plan.target(rows[0]),
             col0: 0,
             width,
+            col_step: 1,
         },
         OperandBinding {
             name: "y".into(),
@@ -457,6 +475,7 @@ pub fn remap_adder_demo(width: usize) -> Result<RemapDemoReport> {
             row: plan.target(rows[1]),
             col0: 0,
             width,
+            col_step: 1,
         },
     ];
     let output = OutputBinding {
@@ -464,6 +483,7 @@ pub fn remap_adder_demo(width: usize) -> Result<RemapDemoReport> {
         row: plan.target(rows[2]),
         col0: 0,
         width,
+        col_step: 1,
     };
     let equiv = check_equiv(&remapped_trace, &operands, &output, |v| {
         spec::add(v[0], v[1], width)

@@ -15,7 +15,11 @@
 //!   deduplicates identical runs inside a batch. One-shot workloads are
 //!   placed onto workers with the architecture layer's LPT
 //!   [`Schedule`](apim_arch::scheduler::Schedule) — host threads are
-//!   scheduled exactly like the device's block pairs.
+//!   scheduled exactly like the device's block pairs. Same-kernel
+//!   [`JobKind::Pixel`] batches that fit a word go further: one
+//!   lane-batched `compile_batched` pass answers the whole batch, one
+//!   pixel per bitline lane (DESIGN.md §16), with per-pixel serial
+//!   execution as the fallback and differential oracle.
 //! * **Deadlines and retries** — each request may carry a deadline;
 //!   failed attempts (simulator errors, injected faults, worker panics)
 //!   retry with capped exponential backoff before surfacing a structured

@@ -147,6 +147,9 @@ pub fn output_digest(output: &JobOutput) -> u64 {
             .map(|r| fold(r.product as u64))
             .fold(0, |acc, h| acc ^ h),
         JobOutput::Compile { value, cycles, .. } => fold(*value) ^ fold(*cycles),
+        // Value only: cycles/lanes differ between the lane-batched and
+        // serial paths, and the digest must be identical across both.
+        JobOutput::Pixel { value, .. } => fold(*value),
         JobOutput::Echo(payload) => fold(*payload),
     }
 }

@@ -51,6 +51,12 @@ pub struct PoolConfig {
     pub default_deadline: Option<Duration>,
     /// Max queue slots one tenant may hold (`None` = no quota).
     pub per_tenant_quota: Option<usize>,
+    /// Route same-`(app, mode)` [`JobKind::Pixel`] batches through the
+    /// lane-batched compiled-kernel path (one `compile_batched` pass
+    /// answers the whole batch, one pixel per bitline lane) whenever the
+    /// batch fits a word. Off forces the per-pixel serial path — the
+    /// differential oracle the integration tests compare against.
+    pub lane_batch: bool,
     /// Device configuration for every worker's simulator shard.
     pub apim: ApimConfig,
     /// Injected faults (testing).
@@ -68,6 +74,7 @@ impl Default for PoolConfig {
             backoff_cap: Duration::from_millis(50),
             default_deadline: None,
             per_tenant_quota: None,
+            lane_batch: true,
             apim: ApimConfig::default(),
             fault: FaultPlan::None,
         }
@@ -352,15 +359,30 @@ impl Pool {
                         let started = Instant::now();
                         let members = &batches[batch_id].1;
                         let mut memo = RunMemo::default();
-                        for &index in members {
-                            let response = execute_job(
-                                shared,
-                                &apim,
-                                &mut memo,
-                                index as u64,
-                                &requests[index],
-                                started,
-                            );
+                        let refs: Vec<&Request> = members.iter().map(|&i| &requests[i]).collect();
+                        let mut pre = if shared.config.lane_batch {
+                            lane_batch_pixels(&refs)
+                        } else {
+                            vec![None; members.len()]
+                        };
+                        for (slot, &index) in pre.iter_mut().zip(members) {
+                            let response = match slot.take() {
+                                Some(output) => respond_prebatched(
+                                    shared,
+                                    index as u64,
+                                    &requests[index],
+                                    started,
+                                    output,
+                                ),
+                                None => execute_job(
+                                    shared,
+                                    &apim,
+                                    &mut memo,
+                                    index as u64,
+                                    &requests[index],
+                                    started,
+                                ),
+                            };
                             let tenant = requests[index].tenant;
                             shared.metrics.accepted.inc();
                             shared.metrics.tenant(tenant.0).accepted.inc();
@@ -410,6 +432,10 @@ fn estimate_cycles(apim: &Apim, request: &Request) -> u64 {
             .unwrap_or(1),
         JobKind::Multiply { .. } => u64::from(apim.config().operand_bits) * 16,
         JobKind::Mac { pairs } => pairs.len() as u64 * u64::from(apim.config().operand_bits) * 16,
+        // One multiply-equivalent per tap; good enough for LPT balance.
+        JobKind::Pixel { taps, .. } => {
+            taps.len() as u64 * u64::from(apim.config().operand_bits) * 16
+        }
         // One multiply-equivalent per statement: compiling for a real
         // estimate would cost more than the imbalance it prevents.
         JobKind::Compile { source } => {
@@ -445,15 +471,26 @@ fn worker_loop(shared: &Shared) {
         if size > 1 {
             shared.metrics.coalesced.add(size as u64);
         }
-        for job in &batch {
-            let response = execute_job(
-                shared,
-                &apim,
-                &mut memo,
-                job.id,
-                &job.request,
-                job.submitted,
-            );
+        let members: Vec<&Request> = batch.iter().map(|job| &job.request).collect();
+        let mut pre = if shared.config.lane_batch {
+            lane_batch_pixels(&members)
+        } else {
+            vec![None; size]
+        };
+        for (job, pre) in batch.iter().zip(pre.iter_mut()) {
+            let response = match pre.take() {
+                Some(output) => {
+                    respond_prebatched(shared, job.id, &job.request, job.submitted, output)
+                }
+                None => execute_job(
+                    shared,
+                    &apim,
+                    &mut memo,
+                    job.id,
+                    &job.request,
+                    job.submitted,
+                ),
+            };
             // Metrics update before the slot fill: a client that observes
             // the response must also observe its effect on the registry.
             if response.result.is_ok() {
@@ -582,6 +619,7 @@ fn attempt(
                 Ok(JobOutput::Mac { reports, batch })
             }
             JobKind::Compile { source } => run_compiled(source),
+            JobKind::Pixel { app, taps } => run_pixel_serial(*app, taps),
             JobKind::Echo { payload } => Ok(JobOutput::Echo(*payload)),
         }
     }))
@@ -612,4 +650,133 @@ fn run_compiled(source: &str) -> Result<JobOutput, ServeError> {
         cycles: report.cycles,
         micro_ops: report.trace_len,
     })
+}
+
+/// The compiled pixel-kernel DAG behind a [`JobKind::Pixel`] app.
+fn kernel_dag(app: App) -> Option<apim_compile::Dag> {
+    match app {
+        App::Sharpen => Some(apim_workloads::dags::sharpen_dag()),
+        App::Sobel => Some(apim_workloads::dags::sobel_gradient_dag()),
+        _ => None,
+    }
+}
+
+/// Binds one pixel's taps to the kernel DAG's inputs, declaration order.
+fn bind_taps(
+    dag: &apim_compile::Dag,
+    taps: &[u64],
+) -> Result<std::collections::HashMap<String, u64>, ServeError> {
+    let inputs = dag.inputs();
+    if taps.len() != inputs.len() {
+        return Err(ServeError::Failed {
+            reason: format!("pixel needs {} taps, got {}", inputs.len(), taps.len()),
+            attempts: 0,
+        });
+    }
+    Ok(inputs
+        .iter()
+        .zip(taps)
+        .map(|(name, &tap)| (name.to_string(), tap))
+        .collect())
+}
+
+/// The serial pixel path: one compiled pass per pixel. This is both the
+/// fallback when a batch cannot lane-batch and the differential oracle the
+/// fast path is tested against.
+fn run_pixel_serial(app: App, taps: &[u64]) -> Result<JobOutput, ServeError> {
+    let fail = |reason: String| ServeError::Failed {
+        reason,
+        attempts: 0,
+    };
+    let dag =
+        kernel_dag(app).ok_or_else(|| fail(format!("`{}` has no pixel kernel", app.name())))?;
+    let compiled = apim_compile::compile(&dag, &apim_compile::CompileOptions::default())
+        .map_err(|e| fail(e.to_string()))?;
+    let report = compiled
+        .run(&bind_taps(&dag, taps)?)
+        .map_err(|e| fail(e.to_string()))?;
+    Ok(JobOutput::Pixel {
+        value: report.value,
+        cycles: report.cycles,
+        lanes: 1,
+    })
+}
+
+/// The lane-batched fast path over one coalesced batch: groups the batch's
+/// pixel jobs by `(app, mode)` and answers each group that fits a word
+/// (2..=64 pixels) with a single [`apim_compile::compile_batched`] pass —
+/// one pixel per bitline lane, so the whole group costs one serial pixel's
+/// cycles. Returns one pre-computed output slot per batch member; `None`
+/// slots (non-pixel jobs, singleton groups, any compile or run failure)
+/// fall back to the per-job serial path.
+fn lane_batch_pixels(requests: &[&Request]) -> Vec<Option<JobOutput>> {
+    // Bitline lanes in one packed word — compile_batched's upper bound.
+    const MAX_LANES: usize = 64;
+    let mut out: Vec<Option<JobOutput>> = vec![None; requests.len()];
+    let mut groups: Vec<((App, PrecisionMode), Vec<usize>)> = Vec::new();
+    for (index, request) in requests.iter().enumerate() {
+        if let JobKind::Pixel { app, .. } = request.kind {
+            let key = (app, request.mode);
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, members)) => members.push(index),
+                None => groups.push((key, vec![index])),
+            }
+        }
+    }
+    for ((app, _), members) in groups {
+        if !(2..=MAX_LANES).contains(&members.len()) {
+            continue;
+        }
+        let Some(dag) = kernel_dag(app) else {
+            continue;
+        };
+        let Ok(bindings) = members
+            .iter()
+            .filter_map(|&i| match &requests[i].kind {
+                JobKind::Pixel { taps, .. } => Some(bind_taps(&dag, taps)),
+                _ => None,
+            })
+            .collect::<Result<Vec<_>, _>>()
+        else {
+            continue;
+        };
+        if bindings.len() != members.len() {
+            continue;
+        }
+        let options = apim_compile::CompileOptions::default();
+        let Ok(program) = apim_compile::compile_batched(&dag, &options, members.len()) else {
+            continue;
+        };
+        let Ok(report) = program.run(&bindings) else {
+            continue;
+        };
+        for (lane, &index) in members.iter().enumerate() {
+            out[index] = Some(JobOutput::Pixel {
+                value: report.values[lane],
+                cycles: report.cycles,
+                lanes: members.len(),
+            });
+        }
+    }
+    out
+}
+
+/// Wraps one lane-batched output as a [`Response`]. The fast path has no
+/// retries: any failure already fell back to [`execute_job`].
+fn respond_prebatched(
+    shared: &Shared,
+    id: u64,
+    request: &Request,
+    submitted: Instant,
+    output: JobOutput,
+) -> Response {
+    let latency = submitted.elapsed();
+    shared.metrics.latency.record(latency);
+    Response {
+        id,
+        tenant: request.tenant,
+        attempts: 1,
+        latency,
+        result: Ok(output),
+    }
 }

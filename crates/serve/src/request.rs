@@ -45,6 +45,19 @@ pub enum JobKind {
         /// Program text in the `apim-compile` expression language.
         source: String,
     },
+    /// One pixel of a built-in image kernel (sharpen or one Sobel
+    /// gradient), gate-executed through `apim-compile`. Taps are the
+    /// kernel DAG's inputs in declaration order (sharpen: `c n w e s`;
+    /// Sobel: `l0 r0 l1 r1 l2 r2`). Same-`(app, mode)` pixel batches are
+    /// the lane-batched fast path: the pool runs a whole popped batch as
+    /// one `compile_batched` microprogram pass, one pixel per bitline
+    /// lane.
+    Pixel {
+        /// The kernel ([`App::Sharpen`] or [`App::Sobel`]).
+        app: App,
+        /// Tap values, in the kernel DAG's input order.
+        taps: Vec<u64>,
+    },
     /// A transport-cost probe: answered by the pool without touching the
     /// simulator. Soak benchmarks use it to measure the serving path
     /// itself rather than crossbar work.
@@ -56,12 +69,24 @@ pub enum JobKind {
 }
 
 impl JobKind {
-    /// The application this job runs, when it is a [`JobKind::Run`].
+    /// The application this job runs ([`JobKind::Run`] and
+    /// [`JobKind::Pixel`] — the latter so `batch_key` coalesces pixels of
+    /// the same kernel into one lane-batched pass).
     pub fn app(&self) -> Option<App> {
         match self {
-            JobKind::Run { app, .. } => Some(*app),
+            JobKind::Run { app, .. } | JobKind::Pixel { app, .. } => Some(*app),
             _ => None,
         }
+    }
+}
+
+/// Tap count of a [`JobKind::Pixel`]-servable kernel, `None` for apps
+/// without a pixel-level compiled DAG.
+pub(crate) fn pixel_arity(app: App) -> Option<usize> {
+    match app {
+        App::Sharpen => Some(5),
+        App::Sobel => Some(6),
+        _ => None,
     }
 }
 
@@ -122,6 +147,7 @@ impl Request {
     /// [@<tenant>] run <app> <size-mb> [--relax M | --mask F]
     /// [@<tenant>] multiply <a> <b>    [--relax M | --mask F]
     /// [@<tenant>] mac <a1> <b1> [<a2> <b2> ...] [--relax M | --mask F]
+    /// [@<tenant>] pixel <sharpen|sobel> <taps...> [--relax M | --mask F]
     /// [@<tenant>] compile <program, `;` standing in for newlines>
     /// ```
     ///
@@ -199,6 +225,23 @@ impl Request {
             ["echo", payload] => JobKind::Echo {
                 payload: parse_u64(payload, "echo payload")?,
             },
+            ["pixel", app, taps @ ..] => {
+                let app = parse_app(app)?;
+                let arity = pixel_arity(app)
+                    .ok_or_else(|| format!("`{}` has no pixel kernel", app.name()))?;
+                if taps.len() != arity {
+                    return Err(format!(
+                        "pixel {} needs {arity} taps, got {}",
+                        app.name(),
+                        taps.len()
+                    ));
+                }
+                let taps = taps
+                    .iter()
+                    .map(|t| parse_u64(t, "pixel tap"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                JobKind::Pixel { app, taps }
+            }
             ["mac", operands @ ..] if !operands.is_empty() && operands.len() % 2 == 0 => {
                 let mut pairs = Vec::with_capacity(operands.len() / 2);
                 for pair in operands.chunks_exact(2) {
@@ -211,7 +254,7 @@ impl Request {
             }
             _ => {
                 return Err(format!(
-                    "cannot parse request `{line}` (expected run|multiply|mac|compile|echo)"
+                    "cannot parse request `{line}` (expected run|multiply|mac|pixel|compile|echo)"
                 ))
             }
         };
@@ -257,6 +300,18 @@ pub enum JobOutput {
         /// Micro-ops in the verified trace.
         micro_ops: usize,
     },
+    /// Result of a [`JobKind::Pixel`]: the kernel value for this pixel
+    /// plus how it was computed.
+    Pixel {
+        /// Value the kernel microprogram left for this pixel's lane.
+        value: u64,
+        /// Crossbar cycles charged to the pass that computed it (shared by
+        /// every pixel of a lane-batched pass).
+        cycles: u64,
+        /// Lanes in the pass that answered this pixel: `1` on the serial
+        /// path, the batch size on the lane-batched fast path.
+        lanes: usize,
+    },
     /// Result of a [`JobKind::Echo`]: the payload, unchanged.
     Echo(u64),
 }
@@ -276,6 +331,13 @@ impl JobOutput {
                 micro_ops,
             } => {
                 format!("compiled {micro_ops} micro-ops, value {value} in {cycles} cycles")
+            }
+            JobOutput::Pixel {
+                value,
+                cycles,
+                lanes,
+            } => {
+                format!("pixel {value} in {cycles} cycles (x{lanes} lanes)")
             }
             JobOutput::Echo(payload) => format!("echo {payload}"),
         }
@@ -375,6 +437,26 @@ mod tests {
         assert_eq!(r.kind, JobKind::Echo { payload: 987654321 });
         assert_eq!(r.mode, PrecisionMode::Exact);
 
+        let r = Request::parse_line("@7 pixel sharpen 10 20 30 40 50 --relax 4").unwrap();
+        assert_eq!(r.tenant, TenantId(7));
+        assert_eq!(
+            r.kind,
+            JobKind::Pixel {
+                app: App::Sharpen,
+                taps: vec![10, 20, 30, 40, 50]
+            }
+        );
+        assert_eq!(r.mode, PrecisionMode::LastStage { relax_bits: 4 });
+
+        let r = Request::parse_line("pixel sobel 1 2 3 4 5 6").unwrap();
+        assert_eq!(
+            r.kind,
+            JobKind::Pixel {
+                app: App::Sobel,
+                taps: vec![1, 2, 3, 4, 5, 6]
+            }
+        );
+
         let r = Request::parse_line("mac 1 2 3 4 --mask 4").unwrap();
         assert_eq!(
             r.kind,
@@ -436,6 +518,10 @@ mod tests {
             "@x multiply 1 2",
             "frobnicate 1 2",
             "multiply 1 2 --frob 3",
+            "pixel sharpen 1 2 3 4",
+            "pixel sobel 1 2 3 4 5 6 7",
+            "pixel fft 1 2 3 4 5",
+            "pixel sharpen 1 2 3 4 x",
         ] {
             assert!(Request::parse_line(bad).is_err(), "{bad}");
         }
@@ -450,6 +536,12 @@ mod tests {
         assert_eq!(a.batch_key(), b.batch_key(), "size does not split batches");
         assert_ne!(a.batch_key(), c.batch_key(), "mode does");
         assert_ne!(a.batch_key(), d.batch_key(), "app does");
+
+        let p = Request::parse_line("pixel sharpen 1 2 3 4 5").unwrap();
+        let q = Request::parse_line("pixel sharpen 9 8 7 6 5").unwrap();
+        let s = Request::parse_line("pixel sobel 1 2 3 4 5 6").unwrap();
+        assert_eq!(p.batch_key(), q.batch_key(), "taps do not split batches");
+        assert_ne!(p.batch_key(), s.batch_key(), "kernel does");
     }
 
     #[test]

@@ -352,3 +352,131 @@ fn perf_4_workers_at_least_2x_1_worker() {
         parallel.throughput_rps
     );
 }
+
+/// Varied sharpen pixel requests: small positive taps with the center
+/// dominating, so the exact Q12 kernel reduces to `5c − (n+w+e+s)`.
+fn sharpen_pixels(count: usize) -> Vec<Request> {
+    (0..count as u64)
+        .map(|i| {
+            Request::new(JobKind::Pixel {
+                app: App::Sharpen,
+                taps: vec![100 + i, 3 + i, 5 + i, 7 + i, 11 + i],
+            })
+        })
+        .collect()
+}
+
+/// The lane-batched coalescer satellite gate: the same pixel workload run
+/// through the fast path (one `compile_batched` pass per popped batch) and
+/// the serial oracle (one compiled pass per pixel) yields bit-identical
+/// values and digests, the fast path actually lane-batches, and the whole
+/// batch finishes faster than the serial pool.
+#[test]
+fn lane_batched_pixels_match_serial_digests_and_cut_latency() {
+    use apim_serve::{loadgen::output_digest, JobOutput};
+    use std::time::Instant;
+
+    let mut requests = sharpen_pixels(24);
+    for i in 0..12u64 {
+        requests.push(Request::new(JobKind::Pixel {
+            app: App::Sobel,
+            taps: vec![1 + i, 40 + i, 2 + i, 50 + i, 3 + i, 60 + i],
+        }));
+    }
+    let pool = |lane_batch| {
+        Pool::new(PoolConfig {
+            workers: 1,
+            max_batch: 64,
+            lane_batch,
+            ..PoolConfig::default()
+        })
+        .expect("valid pool")
+    };
+    let fast_pool = pool(true);
+    let slow_pool = pool(false);
+    let started = Instant::now();
+    let fast = fast_pool.run_all(requests.clone()).expect("fast run_all");
+    let fast_elapsed = started.elapsed();
+    let started = Instant::now();
+    let slow = slow_pool.run_all(requests.clone()).expect("slow run_all");
+    let slow_elapsed = started.elapsed();
+
+    assert_eq!(fast.len(), requests.len());
+    for (index, (f, s)) in fast.iter().zip(&slow).enumerate() {
+        let (fast_out, slow_out) = match (&f.result, &s.result) {
+            (Ok(f), Ok(s)) => (f, s),
+            other => panic!("pixel {index} failed: {other:?}"),
+        };
+        assert_eq!(
+            output_digest(fast_out),
+            output_digest(slow_out),
+            "pixel {index} digests diverge"
+        );
+        match (fast_out, slow_out) {
+            (
+                JobOutput::Pixel {
+                    value: fv,
+                    lanes: fl,
+                    ..
+                },
+                JobOutput::Pixel {
+                    value: sv,
+                    lanes: sl,
+                    ..
+                },
+            ) => {
+                assert_eq!(fv, sv, "pixel {index} values diverge");
+                // The coalescer groups by (app, mode): 24 sharpen lanes,
+                // then 12 sobel lanes; the oracle runs one lane at a time.
+                assert_eq!(*fl, if index < 24 { 24 } else { 12 }, "pixel {index}");
+                assert_eq!(*sl, 1, "pixel {index}");
+            }
+            other => panic!("pixel {index}: unexpected outputs {other:?}"),
+        }
+    }
+    // Spot-check the oracle itself against the closed-form kernel.
+    match &slow[0].result {
+        Ok(JobOutput::Pixel { value, .. }) => {
+            assert_eq!(*value, 5 * 100 - (3 + 5 + 7 + 11));
+        }
+        other => panic!("unexpected oracle output {other:?}"),
+    }
+    // One compiled pass per batch vs one per pixel: the fast pool must win
+    // outright, 36 compile+verify cycles against 2.
+    assert!(
+        fast_elapsed < slow_elapsed,
+        "lane batching did not cut latency: fast {fast_elapsed:?}, slow {slow_elapsed:?}"
+    );
+}
+
+/// The submit path coalesces pixels too: a full queue popped as one batch
+/// answers every pixel correctly (lane-batched when the pop catches the
+/// whole group, serially otherwise — either way, identical values).
+#[test]
+fn submitted_pixel_batches_answer_every_lane() {
+    use apim_serve::JobOutput;
+
+    let pool = Pool::new(PoolConfig {
+        workers: 1,
+        queue_depth: 64,
+        max_batch: 16,
+        ..PoolConfig::default()
+    })
+    .expect("valid pool");
+    let handles: Vec<_> = sharpen_pixels(16)
+        .into_iter()
+        .map(|request| pool.submit(request).expect("queue has room"))
+        .collect();
+    for (i, handle) in handles.into_iter().enumerate() {
+        let response = handle.wait();
+        match response.result {
+            Ok(JobOutput::Pixel { value, lanes, .. }) => {
+                let i = i as u64;
+                assert_eq!(value, 5 * (100 + i) - (3 + i + 5 + i + 7 + i + 11 + i));
+                assert!((1..=16).contains(&lanes), "lanes {lanes}");
+            }
+            other => panic!("pixel {i} failed: {other:?}"),
+        }
+    }
+    pool.shutdown();
+}

@@ -204,10 +204,12 @@ impl NorGraph {
     }
 }
 
-/// Declares one operand window to bind symbolically: the first recorded
-/// `preload_word` covering `[col0, col0 + width)` of `(block, row)` has
-/// those cells replaced by fresh variables (LSB at `col0`); the recorded
-/// bits become the baseline assignment.
+/// Declares one operand window to bind symbolically: bit `b` of the
+/// operand lives at bitline `col0 + b * col_step` of `(block, row)`, and
+/// the first recorded `preload_word` covering that cell has it replaced by
+/// a fresh variable; the recorded bits become the baseline assignment. A
+/// strided operand may be assembled from several preloads (lane-batched
+/// layouts preload one word per *bit position*, not per operand).
 #[derive(Debug, Clone)]
 pub struct OperandBinding {
     /// Operand name used in counterexamples.
@@ -220,10 +222,14 @@ pub struct OperandBinding {
     pub col0: usize,
     /// Number of bits to bind (0 keeps the operand fully concrete).
     pub width: usize,
+    /// Column stride between consecutive bits: 1 for a contiguous word,
+    /// `lanes` for lane `j` of a lane-batched operand (whose LSB sits at
+    /// `base + j`).
+    pub col_step: usize,
 }
 
 /// Where the microprogram's result lives after the trace ran: `width` bits,
-/// LSB at `(block, row, col0)`.
+/// bit `b` at `(block, row, col0 + b * col_step)`.
 #[derive(Debug, Clone, Copy)]
 pub struct OutputBinding {
     /// Block of the output row.
@@ -234,6 +240,8 @@ pub struct OutputBinding {
     pub col0: usize,
     /// Result width in bits.
     pub width: usize,
+    /// Column stride between consecutive bits (1 = contiguous word).
+    pub col_step: usize,
 }
 
 /// A concrete input assignment on which the microprogram and its spec
@@ -317,9 +325,10 @@ pub struct EquivReport {
 struct BoundOperand {
     /// Counterexample name, copied from the binding.
     name: String,
-    /// Variable indices of the operand's bits, LSB first.
-    var_indices: Vec<u32>,
-    matched: bool,
+    /// Variable index of each operand bit, LSB first; `None` until a
+    /// preload covers that bit's cell. Bits may be bound by different
+    /// preloads (strided operands are preloaded per bit position).
+    var_indices: Vec<Option<u32>>,
 }
 
 /// The symbolic interpreter: replays a trace over the NOR graph.
@@ -401,23 +410,25 @@ impl<'a> Interpreter<'a> {
             .map(|&b| Sym::Node(NorGraph::constant(b)))
             .collect();
         for (binding, state) in bound.iter_mut() {
-            let covers = binding.block == block
-                && binding.row == row
-                && col0 <= binding.col0
-                && binding.col0 + binding.width <= col0 + bits.len();
-            if state.matched || binding.width == 0 || !covers {
+            if binding.block != block || binding.row != row {
                 continue;
             }
-            state.matched = true;
             for bit in 0..binding.width {
-                let idx = binding.col0 + bit - col0;
+                if state.var_indices[bit].is_some() {
+                    continue; // first covering preload wins, per bit
+                }
+                let col = binding.col0 + bit * binding.col_step;
+                if col < col0 || col >= col0 + bits.len() {
+                    continue;
+                }
+                let idx = col - col0;
                 let var_index = self.graph.num_vars();
                 let node = self.graph.var(bits[idx]);
-                state.var_indices.push(var_index);
+                state.var_indices[bit] = Some(var_index);
                 syms[idx] = Sym::Node(node);
             }
-            let _ = op;
         }
+        let _ = op;
         for (i, sym) in syms.into_iter().enumerate() {
             self.set(block, row, col0 + i, sym);
         }
@@ -431,8 +442,7 @@ impl<'a> Interpreter<'a> {
                     b.clone(),
                     BoundOperand {
                         name: b.name.clone(),
-                        var_indices: Vec::new(),
-                        matched: false,
+                        var_indices: vec![None; b.width],
                     },
                 )
             })
@@ -442,25 +452,31 @@ impl<'a> Interpreter<'a> {
             self.step(i, op, &mut bound);
         }
         for (binding, state) in &bound {
-            if binding.width > 0 && !state.matched {
+            let unbound = state.var_indices.iter().filter(|v| v.is_none()).count();
+            if binding.width > 0 && unbound > 0 {
                 self.findings.push(Finding {
                     pass: Pass::Equiv,
                     severity: Severity::Error,
                     op_index: None,
                     message: format!(
-                        "operand binding '{}' (block {}, row {}, cols {}..{}) never matched a preload",
+                        "operand binding '{}' (block {}, row {}, cols {}..{} step {}) never matched a preload on {unbound} bit(s)",
                         binding.name,
                         binding.block,
                         binding.row,
                         binding.col0,
-                        binding.col0 + binding.width
+                        binding.col0 + binding.width * binding.col_step,
+                        binding.col_step
                     ),
                 });
             }
         }
         let mut outputs = Vec::with_capacity(output.width);
         for bit in 0..output.width {
-            let sym = self.cell(output.block, output.row, output.col0 + bit);
+            let sym = self.cell(
+                output.block,
+                output.row,
+                output.col0 + bit * output.col_step,
+            );
             if sym.is_x() {
                 self.findings.push(Finding {
                     pass: Pass::XProp,
@@ -470,7 +486,7 @@ impl<'a> Interpreter<'a> {
                         "output bit {bit} (block {}, row {}, col {}) was never written",
                         output.block,
                         output.row,
-                        output.col0 + bit
+                        output.col0 + bit * output.col_step
                     ),
                 });
             }
@@ -639,6 +655,28 @@ impl<'a> Interpreter<'a> {
                 let value = nor_sym(&mut self.graph, in_syms);
                 self.set(*block, out.0, out.1, value);
             }
+            TraceOp::NorLanes {
+                block,
+                inputs,
+                out,
+                lanes,
+            } => {
+                let mut writes = Vec::with_capacity(*lanes);
+                for j in 0..*lanes {
+                    self.check_init(i, *block, out.0, out.1 + j);
+                    let in_syms: Vec<Sym> = inputs
+                        .iter()
+                        .map(|&(r, c)| self.cell(*block, r, c + j))
+                        .collect();
+                    let value = nor_sym(&mut self.graph, in_syms);
+                    writes.push((out.1 + j, value));
+                }
+                // All lanes share one voltage application and read the
+                // pre-op state; commit only after every lane is computed.
+                for (c, value) in writes {
+                    self.set(*block, out.0, c, value);
+                }
+            }
             TraceOp::AdvanceCycles { .. } | TraceOp::RewindCycles { .. } => {}
         }
     }
@@ -735,13 +773,15 @@ fn decide(
     let mut exp_words = vec![0u64; outputs.len()];
     let mut counterexample = None;
 
-    // Reads one operand's value out of lane `lane`.
+    // Reads one operand's value out of lane `lane`. Unbound bits (already
+    // reported as errors before the sweep runs) read as zero.
     let operand_at = |var_words: &[u64], op: &BoundOperand, lane: u32| -> u64 {
         op.var_indices
             .iter()
             .enumerate()
-            .fold(0u64, |acc, (bit, &vi)| {
-                acc | ((var_words[vi as usize] >> lane) & 1) << bit
+            .fold(0u64, |acc, (bit, vi)| match vi {
+                Some(vi) => acc | ((var_words[*vi as usize] >> lane) & 1) << bit,
+                None => acc,
             })
     };
     let inputs_at = |var_words: &[u64], lane: u32| -> Vec<u64> {
@@ -925,6 +965,7 @@ mod tests {
                 row: 0,
                 col0: 0,
                 width: 1,
+                col_step: 1,
             },
             OperandBinding {
                 name: "b".into(),
@@ -932,6 +973,7 @@ mod tests {
                 row: 1,
                 col0: 0,
                 width: 1,
+                col_step: 1,
             },
         ]
     }
@@ -941,6 +983,7 @@ mod tests {
         row: 6,
         col0: 0,
         width: 1,
+        col_step: 1,
     };
 
     #[test]
@@ -971,6 +1014,7 @@ mod tests {
             row: 7,
             col0: 0,
             width: 1,
+            col_step: 1,
         };
         let report = check_equiv(&xor_trace(), &bit_bindings(), &out, |v| v[0] ^ v[1]);
         assert!(!report.equivalent);
@@ -1008,6 +1052,7 @@ mod tests {
             row: 1,
             col0: 0,
             width: 1,
+            col_step: 1,
         };
         let report = check_equiv(&trace, &[], &out, |_| 0);
         assert!(!report.equivalent);
@@ -1050,6 +1095,7 @@ mod tests {
             row: 1,
             col0: 0,
             width: 1,
+            col_step: 1,
         };
         let report = check_equiv(&trace, &[], &out, |_| 1);
         assert!(!report.equivalent);
@@ -1095,12 +1141,14 @@ mod tests {
             row: 0,
             col0: 0,
             width: 1,
+            col_step: 1,
         }];
         let out = OutputBinding {
             block: 0,
             row: 0,
             col0: 0,
             width: 1,
+            col_step: 1,
         };
         let report = check_equiv(&trace, &bindings, &out, |_| 1);
         assert!(!report.equivalent);
@@ -1119,6 +1167,7 @@ mod tests {
             row: 9,
             col0: 0,
             width: 4,
+            col_step: 1,
         }];
         let report = check_equiv(&xor_trace(), &bindings, &XOR_OUT, |_| 0);
         assert!(!report.equivalent);
@@ -1128,6 +1177,170 @@ mod tests {
             .findings()
             .iter()
             .any(|f| f.message.contains("never matched a preload")));
+    }
+
+    /// A lane-batched 2-bit NOT over two lanes: logical column `c` of lane
+    /// `j` lives at bitline `c * 2 + j`, each bit position is preloaded by
+    /// its own `PreloadWord` (the lane-batched layout preloads across
+    /// lanes, not across bits), and one `NorLanes` per bit position
+    /// computes both lanes at once.
+    fn lane_batched_not_trace() -> OpTrace {
+        OpTrace {
+            blocks: 1,
+            rows: 4,
+            cols: 4,
+            ops: vec![
+                // Bit 0 of both lanes: lane 0 holds 0b10, lane 1 holds 0b01.
+                TraceOp::PreloadWord {
+                    block: 0,
+                    row: 0,
+                    col0: 0,
+                    bits: vec![false, true],
+                },
+                // Bit 1 of both lanes.
+                TraceOp::PreloadWord {
+                    block: 0,
+                    row: 0,
+                    col0: 2,
+                    bits: vec![true, false],
+                },
+                TraceOp::InitRows {
+                    block: 0,
+                    rows: vec![1],
+                    cols: 0..4,
+                },
+                TraceOp::NorLanes {
+                    block: 0,
+                    inputs: vec![(0, 0)],
+                    out: (1, 0),
+                    lanes: 2,
+                },
+                TraceOp::NorLanes {
+                    block: 0,
+                    inputs: vec![(0, 2)],
+                    out: (1, 2),
+                    lanes: 2,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn strided_lane_bindings_prove_each_lane_independently() {
+        for lane in 0..2 {
+            let bindings = [OperandBinding {
+                name: format!("a{lane}"),
+                block: 0,
+                row: 0,
+                col0: lane,
+                width: 2,
+                col_step: 2,
+            }];
+            let out = OutputBinding {
+                block: 0,
+                row: 1,
+                col0: lane,
+                width: 2,
+                col_step: 2,
+            };
+            let report = check_equiv(&lane_batched_not_trace(), &bindings, &out, |v| !v[0] & 0b11);
+            assert!(report.equivalent, "lane {lane}: {}", report.lint);
+            assert_eq!(report.mode, CheckMode::Exhaustive { assignments: 4 });
+            assert_eq!(
+                report.input_bits, 2,
+                "both bits bound across two separate preloads"
+            );
+        }
+    }
+
+    #[test]
+    fn partially_covered_strided_binding_reports_unbound_bits() {
+        let mut trace = lane_batched_not_trace();
+        trace.ops.remove(1); // drop the bit-1 preload
+        let bindings = [OperandBinding {
+            name: "a0".into(),
+            block: 0,
+            row: 0,
+            col0: 0,
+            width: 2,
+            col_step: 2,
+        }];
+        let out = OutputBinding {
+            block: 0,
+            row: 1,
+            col0: 0,
+            width: 2,
+            col_step: 2,
+        };
+        let report = check_equiv(&trace, &bindings, &out, |v| !v[0] & 0b11);
+        assert!(!report.equivalent);
+        assert_eq!(report.mode, CheckMode::Aborted);
+        assert!(report
+            .lint
+            .findings()
+            .iter()
+            .any(|f| f.message.contains("never matched a preload on 1 bit(s)")));
+    }
+
+    #[test]
+    fn nor_lanes_reads_pre_op_state_across_all_lanes() {
+        // Out span equals the input span: every lane must read the pre-op
+        // value, so the result is the lane-wise NOT of the original row.
+        let trace = OpTrace {
+            blocks: 1,
+            rows: 2,
+            cols: 2,
+            ops: vec![
+                TraceOp::PreloadWord {
+                    block: 0,
+                    row: 0,
+                    col0: 0,
+                    bits: vec![true, true],
+                },
+                TraceOp::InitRows {
+                    block: 0,
+                    rows: vec![1],
+                    cols: 0..2,
+                },
+                TraceOp::NorLanes {
+                    block: 0,
+                    inputs: vec![(0, 0)],
+                    out: (1, 0),
+                    lanes: 2,
+                },
+                // Second evaluation NORs the fresh result with the operand;
+                // lanes share one voltage application, so lane 1 must not
+                // observe lane 0's write from the same op.
+                TraceOp::InitRows {
+                    block: 0,
+                    rows: vec![1],
+                    cols: 0..2,
+                },
+                TraceOp::NorLanes {
+                    block: 0,
+                    inputs: vec![(0, 0)],
+                    out: (1, 0),
+                    lanes: 2,
+                },
+            ],
+        };
+        let bindings = [OperandBinding {
+            name: "a".into(),
+            block: 0,
+            row: 0,
+            col0: 0,
+            width: 2,
+            col_step: 1,
+        }];
+        let out = OutputBinding {
+            block: 0,
+            row: 1,
+            col0: 0,
+            width: 2,
+            col_step: 1,
+        };
+        let report = check_equiv(&trace, &bindings, &out, |v| !v[0] & 0b11);
+        assert!(report.equivalent, "{}", report.lint);
     }
 
     #[test]

@@ -100,6 +100,7 @@ fn binding(name: &str, block: usize, row: usize, width: usize) -> OperandBinding
         row,
         col0: 0,
         width,
+        col_step: 1,
     }
 }
 
@@ -134,6 +135,7 @@ fn adder_run(width: u32) -> Result<EquivKernelRun> {
         row: rows[2],
         col0: 0,
         width: n,
+        col_step: 1,
     };
     let report = check_equiv(&trace, &operands, &output, |v| spec::add(v[0], v[1], n));
     Ok(EquivKernelRun {
@@ -175,6 +177,7 @@ fn subtractor_run(width: u32) -> Result<EquivKernelRun> {
         row: rows[3],
         col0: 0,
         width: n,
+        col_step: 1,
     };
     let report = check_equiv(&trace, &operands, &output, |v| spec::sub(v[0], v[1], n));
     Ok(EquivKernelRun {
@@ -210,6 +213,7 @@ fn wallace_run(width: u32) -> Result<EquivKernelRun> {
         row,
         col0: 0,
         width: window,
+        col_step: 1,
     };
     let report = check_equiv(&trace, &operands, &output, |v| spec::sum(v, window));
     Ok(EquivKernelRun {
@@ -246,6 +250,7 @@ fn multiplier_run(width: u32, b: u64) -> Result<EquivKernelRun> {
         row: 2,
         col0: 0,
         width: w,
+        col_step: 1,
     };
     let report = check_equiv(&trace, &operands, &output, |v| spec::mul(v[0], b, w));
     Ok(EquivKernelRun {
@@ -284,6 +289,7 @@ fn mac_run(width: u32) -> Result<EquivKernelRun> {
         row: 2,
         col0: 0,
         width: n,
+        col_step: 1,
     };
     let report = check_equiv(&trace, &operands, &output, |v| {
         let terms: Vec<(u64, u64)> = v.iter().zip(bs).map(|(&a, b)| (a, b)).collect();
@@ -319,6 +325,7 @@ fn divider_run(width: u32, x: u64, y: u64) -> Result<EquivKernelRun> {
         row: 0,
         col0: 0,
         width: n,
+        col_step: 1,
     };
     let report = check_equiv(&trace, &[], &output, |_| spec::rem(x, y));
     Ok(EquivKernelRun {

@@ -54,6 +54,9 @@ fn nor_outputs(op: &TraceOp) -> Vec<(usize, usize, usize)> {
             ..
         } => rows.clone().map(|r| (*block, r, *out_col)).collect(),
         TraceOp::NorCells { block, out, .. } => vec![(*block, out.0, out.1)],
+        TraceOp::NorLanes {
+            block, out, lanes, ..
+        } => (0..*lanes).map(|j| (*block, out.0, out.1 + j)).collect(),
         _ => Vec::new(),
     }
 }
@@ -109,7 +112,10 @@ pub fn pass_init_discipline(trace: &OpTrace) -> Vec<Finding> {
             } => {
                 armed.remove(&(*block, *row, *col));
             }
-            TraceOp::NorRowsShifted { .. } | TraceOp::NorCols { .. } | TraceOp::NorCells { .. } => {
+            TraceOp::NorRowsShifted { .. }
+            | TraceOp::NorCols { .. }
+            | TraceOp::NorCells { .. }
+            | TraceOp::NorLanes { .. } => {
                 let outputs = nor_outputs(op);
                 let stale: Vec<_> = outputs.iter().filter(|c| !armed.contains(c)).collect();
                 if let Some(&&(b, r, c)) = stale.first() {
@@ -174,6 +180,12 @@ pub fn pass_aliasing(trace: &OpTrace) -> Vec<Finding> {
                     out.0, out.1
                 )
             }),
+            TraceOp::NorLanes {
+                inputs, out, lanes, ..
+            } => inputs
+                .iter()
+                .find(|&&(r, c)| r == out.0 && c.abs_diff(out.1) < *lanes)
+                .map(|&(r, c)| format!("input span (row {r}, col {c}..) overlaps the output span")),
             _ => None,
         };
         if let Some(message) = aliased {
@@ -396,6 +408,55 @@ mod tests {
             },
         ]);
         assert_eq!(pass_aliasing(&t).len(), 3);
+    }
+
+    #[test]
+    fn nor_lanes_tracks_init_and_aliasing_per_lane() {
+        let t = trace(vec![
+            TraceOp::InitRows {
+                block: 0,
+                rows: vec![4],
+                cols: 0..4,
+            },
+            // Clean: all four output lanes armed, input spans disjoint.
+            TraceOp::NorLanes {
+                block: 0,
+                inputs: vec![(0, 0), (1, 0)],
+                out: (4, 0),
+                lanes: 4,
+            },
+            // Init consumed: re-evaluating the same span is stale.
+            TraceOp::NorLanes {
+                block: 0,
+                inputs: vec![(0, 0)],
+                out: (4, 0),
+                lanes: 4,
+            },
+        ]);
+        let findings = pass_init_discipline(&t);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].op_index, Some(2));
+        assert!(findings[0].message.contains("4 uninitialized"));
+
+        // Same-row overlapping spans alias; same row disjoint spans do not.
+        let t = trace(vec![
+            TraceOp::NorLanes {
+                block: 0,
+                inputs: vec![(2, 2)],
+                out: (2, 0),
+                lanes: 4,
+            },
+            TraceOp::NorLanes {
+                block: 0,
+                inputs: vec![(2, 4)],
+                out: (2, 0),
+                lanes: 4,
+            },
+        ]);
+        let findings = pass_aliasing(&t);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].op_index, Some(0));
+        assert!(findings[0].message.contains("overlaps the output span"));
     }
 
     #[test]

@@ -63,6 +63,7 @@ fn adder_bindings(r: &Recorded) -> [OperandBinding; 2] {
             row: r.x_row,
             col0: 0,
             width: N,
+            col_step: 1,
         },
         OperandBinding {
             name: "y".into(),
@@ -70,6 +71,7 @@ fn adder_bindings(r: &Recorded) -> [OperandBinding; 2] {
             row: r.y_row,
             col0: 0,
             width: N,
+            col_step: 1,
         },
     ]
 }
@@ -80,6 +82,7 @@ fn adder_output(r: &Recorded) -> OutputBinding {
         row: r.out_row,
         col0: 0,
         width: N,
+        col_step: 1,
     }
 }
 
@@ -279,12 +282,14 @@ fn fixture_5_off_by_one_shift() {
         row: 0,
         col0: 0,
         width: N,
+        col_step: 1,
     }];
     let output = OutputBinding {
         block: 0,
         row: 2,
         col0: 0,
         width: N + 1,
+        col_step: 1,
     };
     let spec = |v: &[u64]| (v[0] << 1) & spec::mask(N + 1);
 

@@ -20,7 +20,10 @@
 
 use std::collections::HashMap;
 
-use apim_compile::{compile, CompileError, CompileOptions, CompiledProgram, Dag};
+use apim_compile::{
+    compile, compile_batched, BatchCompiledProgram, CompileError, CompileOptions, CompiledProgram,
+    Dag,
+};
 use apim_logic::{CostModel, PrecisionMode};
 
 use crate::arith::FX_SHIFT;
@@ -255,6 +258,124 @@ pub fn sobel_gradients_via_dag(
     Ok((gx.value as i64, gy.value as i64))
 }
 
+/// Runs one pixel tile through a lane-batched program: pads a partial
+/// tile by repeating its last binding (lanes are independent, so padding
+/// lanes just recompute a pixel whose result is discarded) and returns
+/// only the `bindings.len()` live lane values.
+fn run_tile(
+    program: &BatchCompiledProgram,
+    mut bindings: Vec<HashMap<String, u64>>,
+) -> Result<Vec<u64>, CompileError> {
+    let used = bindings.len();
+    let pad = bindings.last().expect("tiles are non-empty").clone();
+    bindings.resize(program.lanes(), pad);
+    let mut values = program.run(&bindings)?.values;
+    values.truncate(used);
+    Ok(values)
+}
+
+/// The sharpen tap bindings for pixel `(x, y)` — identical to the serial
+/// [`sharpen_via_dag`] loop body.
+fn sharpen_taps(input: &Image, x: isize, y: isize) -> HashMap<String, u64> {
+    bind(&[
+        ("c", i64::from(input.get_clamped(x, y))),
+        ("n", i64::from(input.get_clamped(x, y - 1))),
+        ("s", i64::from(input.get_clamped(x, y + 1))),
+        ("w", i64::from(input.get_clamped(x - 1, y))),
+        ("e", i64::from(input.get_clamped(x + 1, y))),
+    ])
+}
+
+/// Lane-batched [`sharpen_via_dag`]: the same compiled microprogram, but
+/// run once per `lanes`-pixel tile instead of once per pixel — every lane
+/// carries one pixel's five taps, and a single gate-level pass produces
+/// the whole tile (§3.1's column parallelism across *instances*). The
+/// serial path remains the differential oracle; outputs are bit-identical.
+///
+/// # Errors
+///
+/// Propagates compile/placement/verification errors from `apim-compile`,
+/// including [`CompileError::BatchUnsupported`] for lane counts outside
+/// `1..=64`.
+pub fn sharpen_via_dag_batched(input: &Image, lanes: usize) -> Result<Image, CompileError> {
+    let program = compile_batched(&sharpen_dag(), &CompileOptions::default(), lanes)?;
+    let (w, h) = (input.width(), input.height());
+    let coords: Vec<(isize, isize)> = (0..h as isize)
+        .flat_map(|y| (0..w as isize).map(move |x| (x, y)))
+        .collect();
+    let mut out = Vec::with_capacity(w * h);
+    for tile in coords.chunks(lanes) {
+        let bindings = tile
+            .iter()
+            .map(|&(x, y)| sharpen_taps(input, x, y))
+            .collect();
+        for acc in run_tile(&program, bindings)? {
+            out.push((acc as i64).clamp(0, i64::from(255 << FX_SHIFT)) as i32);
+        }
+    }
+    Ok(Image::new(w, h, out))
+}
+
+/// Lane-batched Sobel: gradient magnitudes for the whole image with each
+/// `lanes`-pixel tile computed in two gate-level passes (one per gradient
+/// direction) of the compiled [`sobel_gradient_dag`], instead of two
+/// passes *per pixel*. Magnitude and renormalization stay on the host,
+/// exactly as in [`crate::sobel::sobel`] — outputs are bit-identical to
+/// the hand kernel.
+///
+/// # Errors
+///
+/// Propagates compile/placement/verification errors from `apim-compile`,
+/// including [`CompileError::BatchUnsupported`] for lane counts outside
+/// `1..=64`.
+pub fn sobel_via_dag_batched(input: &Image, lanes: usize) -> Result<Image, CompileError> {
+    let program = compile_batched(&sobel_gradient_dag(), &CompileOptions::default(), lanes)?;
+    let (w, h) = (input.width(), input.height());
+    let coords: Vec<(isize, isize)> = (0..h as isize)
+        .flat_map(|y| (0..w as isize).map(move |x| (x, y)))
+        .collect();
+    let mut out = Vec::with_capacity(w * h);
+    for tile in coords.chunks(lanes) {
+        let tap = |x: isize, y: isize, dx: isize, dy: isize| {
+            i64::from(input.get_clamped(x + dx - 1, y + dy - 1))
+        };
+        let gx_bindings = tile
+            .iter()
+            .map(|&(x, y)| {
+                bind(&[
+                    ("l0", tap(x, y, 0, 0)),
+                    ("l1", tap(x, y, 0, 1)),
+                    ("l2", tap(x, y, 0, 2)),
+                    ("r0", tap(x, y, 2, 0)),
+                    ("r1", tap(x, y, 2, 1)),
+                    ("r2", tap(x, y, 2, 2)),
+                ])
+            })
+            .collect();
+        let gy_bindings = tile
+            .iter()
+            .map(|&(x, y)| {
+                bind(&[
+                    ("l0", tap(x, y, 0, 0)),
+                    ("l1", tap(x, y, 1, 0)),
+                    ("l2", tap(x, y, 2, 0)),
+                    ("r0", tap(x, y, 0, 2)),
+                    ("r1", tap(x, y, 1, 2)),
+                    ("r2", tap(x, y, 2, 2)),
+                ])
+            })
+            .collect();
+        let gxs = run_tile(&program, gx_bindings)?;
+        let gys = run_tile(&program, gy_bindings)?;
+        for (gx, gy) in gxs.into_iter().zip(gys) {
+            let (gx, gy) = (gx as i64, gy as i64);
+            let mag = ((gx.abs() + gy.abs()) >> FX_SHIFT).clamp(0, i64::from(i32::MAX));
+            out.push(mag as i32);
+        }
+    }
+    Ok(Image::new(w, h, out))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,6 +488,59 @@ mod tests {
                 assert!(report.equivalent, "{name}@{width}: {}", report.lint);
             }
         }
+    }
+
+    #[test]
+    fn batched_sharpen_is_bit_identical_to_the_hand_kernel() {
+        let img = synthetic_image(6, 6, 42);
+        let hand = sharpen(&img, &mut ExactArith::new());
+        // 36 pixels, 64 lanes: one padded tile covers the whole image.
+        let batched = sharpen_via_dag_batched(&img, 64).unwrap();
+        assert_eq!(hand, batched);
+    }
+
+    #[test]
+    fn batched_sobel_matches_hand_image_across_tile_boundaries() {
+        let img = synthetic_image(5, 5, 3);
+        let hand = sobel(&img, &mut ExactArith::new());
+        // 25 pixels at 16 lanes: one full tile plus a padded partial one.
+        let batched = sobel_via_dag_batched(&img, 16).unwrap();
+        assert_eq!(hand, batched);
+    }
+
+    #[test]
+    fn a_full_tile_costs_one_serial_pass() {
+        // 64 pixels through the batched sharpen program charge (almost)
+        // the cycles one serial pixel does — the 64x throughput claim.
+        let serial = compile(&sharpen_dag(), &CompileOptions::default()).unwrap();
+        let inputs: HashMap<String, u64> = serial
+            .dag()
+            .inputs()
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.to_string(), i as u64 + 11))
+            .collect();
+        let serial_cycles = serial.run(&inputs).unwrap().cycles;
+
+        let lanes = 64;
+        let batched = compile_batched(&sharpen_dag(), &CompileOptions::default(), lanes).unwrap();
+        let bindings: Vec<HashMap<String, u64>> = (0..lanes as u64)
+            .map(|j| {
+                batched
+                    .dag()
+                    .inputs()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, n)| (n.to_string(), 3 * i as u64 + j))
+                    .collect()
+            })
+            .collect();
+        let report = batched.run(&bindings).unwrap();
+        assert_eq!(report.values, report.references);
+        // The batched Shr pays one extra cycle for its in-array sign fill.
+        assert_eq!(report.cycles, serial_cycles + 1);
+        let speedup = (lanes as f64 * serial_cycles as f64) / report.cycles as f64;
+        assert!(speedup > 60.0, "cycles-per-pixel speedup {speedup:.1}");
     }
 
     #[test]
